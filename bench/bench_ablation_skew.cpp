@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Footnote-3 ablation: the paper modified the VSDK kernels to skew the
+ * starting addresses of concurrently accessed arrays (and to unroll
+ * small loops), reporting 1.2X-6.7X benefits from reduced cache
+ * conflicts and branch mispredictions. This bench compares the skewed
+ * allocator layout against the conflict-prone way-aligned layout.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace msim;
+    using core::Job;
+    using prog::Variant;
+
+    const std::vector<std::string> kernels = {"addition", "blend",
+                                              "copy",     "dotprod",
+                                              "scaling",  "thresh"};
+    std::vector<Job> jobs;
+    for (const auto &name : kernels) {
+        sim::MachineConfig skewed = sim::outOfOrder4Way();
+        sim::MachineConfig aligned = sim::outOfOrder4Way();
+        aligned.skewArrays = false;
+        jobs.push_back({name, Variant::Scalar, skewed});
+        jobs.push_back({name, Variant::Scalar, aligned});
+    }
+    const auto results = bench::runAll(jobs, "skew-ablation");
+
+    std::printf("=== Footnote 3 ablation: skewed vs way-aligned array "
+                "bases (scalar, 4-way ooo) ===\n\n");
+    Table t({"kernel", "cycles(skewed)", "cycles(aligned)", "benefit",
+             "l1-miss%(skewed)", "l1-miss%(aligned)"});
+    for (size_t b = 0; b < kernels.size(); ++b) {
+        const auto &s = results[2 * b];
+        const auto &a = results[2 * b + 1];
+        t.addRow({kernels[b], std::to_string(s.exec.cycles),
+                  std::to_string(a.exec.cycles),
+                  Table::num(double(a.exec.cycles) /
+                                 double(s.exec.cycles),
+                             2) + "X",
+                  Table::num(100.0 * s.l1.missRate),
+                  Table::num(100.0 * a.l1.missRate)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper: the skew+unroll modifications gave 1.2X-6.7X on "
+                "the VSDK kernels.\n");
+    return 0;
+}

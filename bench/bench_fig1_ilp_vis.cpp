@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 1 reproduction: normalized execution time of the 12 benchmarks
+ * on {1-way in-order, 4-way in-order, 4-way out-of-order}, without and
+ * with the VIS media ISA extensions, broken into Busy / FU stall /
+ * L1 hit / L1 miss components (normalized to 1-way scalar = 100).
+ *
+ * Also prints the Section 3.1/3.2/3.3 summary statistics: ILP speedup
+ * range, VIS speedup range, combined speedup, and the memory-bound
+ * classification of Section 3.3.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace msim;
+    using bench::geomean;
+    using core::Job;
+    using prog::Variant;
+
+    const std::vector<sim::MachineConfig> machines = {
+        sim::inOrder1Way(), sim::inOrder4Way(), sim::outOfOrder4Way()};
+    const auto names = bench::paperNames();
+
+    std::vector<Job> jobs;
+    for (const auto &name : names)
+        for (Variant var : {Variant::Scalar, Variant::Vis})
+            for (const auto &m : machines)
+                jobs.push_back({name, var, m});
+    const auto results = bench::runAll(jobs, "fig1");
+
+    std::printf("=== Figure 1: performance of image and video benchmarks"
+                " ===\n");
+    std::printf("(normalized execution time; 1-way scalar = 100)\n\n");
+
+    std::vector<double> ilp_speedups, vis_speedups, combined, mi_speedups;
+    std::vector<std::string> memory_bound;
+
+    for (size_t b = 0; b < names.size(); ++b) {
+        const size_t base_idx = b * 6;
+        const double base =
+            static_cast<double>(results[base_idx].exec.cycles);
+        std::vector<core::BreakdownBar> bars;
+        for (unsigned v = 0; v < 2; ++v) {
+            for (unsigned m = 0; m < 3; ++m) {
+                const auto &r = results[base_idx + v * 3 + m];
+                bars.push_back(core::makeBar(
+                    machines[m].label + (v ? " +VIS" : ""), r, base));
+            }
+        }
+        std::printf("%s\n",
+                    core::renderBars(names[b], bars).c_str());
+
+        const double t1 = static_cast<double>(results[base_idx].exec.cycles);
+        const double t4 =
+            static_cast<double>(results[base_idx + 1].exec.cycles);
+        const double to =
+            static_cast<double>(results[base_idx + 2].exec.cycles);
+        const double tov =
+            static_cast<double>(results[base_idx + 5].exec.cycles);
+        ilp_speedups.push_back(t1 / to);
+        mi_speedups.push_back(t1 / t4);
+        vis_speedups.push_back(to / tov);
+        combined.push_back(t1 / tov);
+
+        const auto &rv = results[base_idx + 5].exec;
+        const double mem_frac =
+            rv.fracMemL1Hit() + rv.fracMemL1Miss();
+        if (mem_frac > 0.5)
+            memory_bound.push_back(names[b]);
+        std::printf("  ILP speedup (ooo vs 1-way): %.2fX   "
+                    "VIS speedup (on ooo): %.2fX   combined: %.2fX   "
+                    "memory fraction (ooo+VIS): %.0f%%\n\n",
+                    t1 / to, to / tov, t1 / tov, 100.0 * mem_frac);
+    }
+
+    auto minmax = [](const std::vector<double> &v) {
+        double lo = v[0], hi = v[0];
+        for (double x : v) {
+            lo = std::min(lo, x);
+            hi = std::max(hi, x);
+        }
+        return std::pair{lo, hi};
+    };
+
+    const auto [ilp_lo, ilp_hi] = minmax(ilp_speedups);
+    const auto [mi_lo, mi_hi] = minmax(mi_speedups);
+    const auto [vis_lo, vis_hi] = minmax(vis_speedups);
+    const auto [all_lo, all_hi] = minmax(combined);
+
+    std::printf("=== Summary (paper Section 3) ===\n");
+    std::printf("multiple issue alone:        %.1fX - %.1fX (mean %.1fX)"
+                "   [paper: 1.1X - 1.4X, avg 1.2X]\n",
+                mi_lo, mi_hi, geomean(mi_speedups));
+    std::printf("multiple + out-of-order:     %.1fX - %.1fX (mean %.1fX)"
+                "   [paper: 2.3X - 4.2X, avg 3.1X]\n",
+                ilp_lo, ilp_hi, geomean(ilp_speedups));
+    std::printf("VIS on the ooo machine:      %.1fX - %.1fX (mean %.1fX)"
+                "   [paper: 1.1X - 4.2X, avg 1.8X]\n",
+                vis_lo, vis_hi, geomean(vis_speedups));
+    std::printf("ILP + VIS combined:          %.1fX - %.1fX (mean %.1fX)"
+                "   [paper: 3.5X - 18X, avg 5.5X]\n",
+                all_lo, all_hi, geomean(combined));
+    std::printf("memory-bound after ILP+VIS (>50%% memory stalls): ");
+    for (const auto &n : memory_bound)
+        std::printf("%s ", n.c_str());
+    std::printf("\n  [paper: 5 of the image processing benchmarks]\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 2 reproduction: dynamic (retired) instruction count of each
+ * benchmark without and with VIS on the 4-way out-of-order machine,
+ * broken into FU / Branch / Memory / VIS categories and normalized to
+ * the base (no-VIS) count = 100.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace msim;
+    using core::Job;
+    using prog::Variant;
+
+    const auto names = bench::paperNames();
+    std::vector<Job> jobs;
+    for (const auto &name : names)
+        for (Variant var : {Variant::Scalar, Variant::Vis})
+            jobs.push_back({name, var, sim::outOfOrder4Way()});
+    const auto results = bench::runAll(jobs, "fig2");
+
+    std::printf("=== Figure 2: impact of VIS on dynamic (retired) "
+                "instruction count ===\n");
+    std::printf("(components normalized to the base count = 100)\n\n");
+
+    Table t({"benchmark", "config", "total", "fu", "branch", "memory",
+             "vis"});
+    for (size_t b = 0; b < names.size(); ++b) {
+        const auto &base = results[2 * b].exec;
+        const auto &vis = results[2 * b + 1].exec;
+        const double scale = 100.0 / static_cast<double>(base.retired);
+        auto row = [&](const char *cfg, const cpu::ExecStats &e) {
+            t.addRow({names[b], cfg,
+                      Table::num(scale * double(e.retired)),
+                      Table::num(scale * double(e.mixFu)),
+                      Table::num(scale * double(e.mixBranch)),
+                      Table::num(scale * double(e.mixMemory)),
+                      Table::num(scale * double(e.mixVis))});
+        };
+        row("base", base);
+        row("VIS", vis);
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf("paper reference (VIS total as %% of base): addition 26, "
+                "blend 18, conv 25, dotprod 88, scaling 18, thresh 31,\n"
+                "cjpeg 86, djpeg 66, cjpeg-np 67, djpeg-np 58, "
+                "mpeg-enc 33, mpeg-dec 66\n");
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: VIS
+ * functional-semantics throughput, cache access path cost, pipeline
+ * step rate, and the native codec building blocks. These measure the
+ * host cost of simulation (useful when sizing experiments), not
+ * simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/core.hh"
+#include "img/synth.hh"
+#include "jpeg/codec.hh"
+#include "jpeg/dct.hh"
+#include "jpeg/huffman.hh"
+#include "mem/hierarchy.hh"
+#include "mpeg/codec.hh"
+#include "prog/trace_builder.hh"
+#include "vis/ops.hh"
+
+namespace
+{
+
+using namespace msim;
+
+void
+BM_VisPackedOps(benchmark::State &state)
+{
+    u64 a = 0x1234567890abcdefull, b = 0x0fedcba098765432ull;
+    const vis::Gsr gsr = vis::makeGsr(3, 4);
+    for (auto _ : state) {
+        a = vis::fpadd16(a, b);
+        b = vis::fmul8x16(a, b);
+        a = vis::faligndata(a, b, gsr);
+        b = vis::fpack16(a, gsr) | (a << 1);
+        benchmark::DoNotOptimize(a);
+        benchmark::DoNotOptimize(b);
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_VisPackedOps);
+
+void
+BM_VisPdist(benchmark::State &state)
+{
+    u64 a = 0x1234567890abcdefull, b = 0x0fedcba098765432ull;
+    u64 acc = 0;
+    for (auto _ : state) {
+        acc = vis::pdist(a, b, acc);
+        a = a * 0x9e3779b97f4a7c15ull + 1;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VisPdist);
+
+void
+BM_CacheHitPath(benchmark::State &state)
+{
+    mem::Hierarchy h(mem::MemConfig{});
+    Cycle t = h.access(0x10000, mem::AccessKind::Load, 0).ready;
+    for (auto _ : state) {
+        const auto r =
+            h.access(0x10000 + (t % 64), mem::AccessKind::Load, t);
+        t = r.ready;
+        benchmark::DoNotOptimize(r.ready);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitPath);
+
+void
+BM_CoreStepRate(benchmark::State &state)
+{
+    // Simulated instructions per host second on a dense integer loop.
+    const size_t chunk = 10000;
+    for (auto _ : state) {
+        mem::Hierarchy h(mem::MemConfig{});
+        cpu::PipelineCore core(cpu::CoreConfig::outOfOrder4Way(), h);
+        prog::TraceBuilder tb(core, true, false);
+        prog::Val v = tb.imm(0);
+        for (size_t i = 0; i < chunk; ++i)
+            v = tb.add(v, tb.imm(1));
+        tb.finish();
+        benchmark::DoNotOptimize(core.stats().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * chunk);
+}
+BENCHMARK(BM_CoreStepRate);
+
+void
+BM_NativeDct(benchmark::State &state)
+{
+    s16 in[64], out[64];
+    for (int i = 0; i < 64; ++i)
+        in[i] = static_cast<s16>(i * 3 - 90);
+    for (auto _ : state) {
+        jpeg::fdct8x8(in, out);
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NativeDct);
+
+void
+BM_NativeJpegEncode(benchmark::State &state)
+{
+    const img::Image im = img::makeTestImage(160, 96, 3, 1);
+    for (auto _ : state) {
+        const auto enc = jpeg::encodeJpeg(im, false, 75);
+        benchmark::DoNotOptimize(enc.scans.size());
+    }
+}
+BENCHMARK(BM_NativeJpegEncode);
+
+void
+BM_NativeMotionSearch(benchmark::State &state)
+{
+    mpeg::SeqConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    const auto frames = mpeg::makeTestSequence(cfg, 3);
+    for (auto _ : state) {
+        const auto m =
+            mpeg::fullSearch(frames[1].y, 16, 16, frames[0].y, 4);
+        benchmark::DoNotOptimize(m.sad);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NativeMotionSearch);
+
+void
+BM_HuffmanDecode(benchmark::State &state)
+{
+    std::vector<u64> freq(64);
+    for (unsigned i = 0; i < 64; ++i)
+        freq[i] = 1 + (i * 37) % 100;
+    const jpeg::HuffTable t = jpeg::HuffTable::fromFrequencies(freq);
+    jpeg::BitWriter bw;
+    for (int i = 0; i < 1000; ++i)
+        t.encode(bw, (i * 7) % 64);
+    const auto bytes = bw.finish();
+    for (auto _ : state) {
+        jpeg::BitReader br(bytes);
+        unsigned sum = 0;
+        for (int i = 0; i < 1000; ++i)
+            sum += t.decode(br);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HuffmanDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Section 4.1 reproduction: L1 cache size sweep (1K to 64K with the L2
+ * fixed at 128K, VIS versions on the 4-way ooo machine).
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace msim;
+    using core::Job;
+    using prog::Variant;
+
+    const std::vector<u32> sizes = {1 << 10, 4 << 10, 16 << 10, 64 << 10};
+    const auto names = bench::paperNames();
+
+    std::vector<Job> jobs;
+    for (const auto &name : names)
+        for (u32 size : sizes)
+            jobs.push_back({name, Variant::Vis, sim::withL1Size(size)});
+    const auto results = bench::runAll(jobs, "l1-sweep");
+
+    std::printf("=== Section 4.1: impact of L1 cache size (VIS, 4-way "
+                "ooo, 128K L2) ===\n");
+    std::printf("(execution time normalized to 1K L1 = 100)\n\n");
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (u32 s : sizes)
+        headers.push_back(std::to_string(s / 1024) + "K");
+    headers.push_back("64K-benefit");
+    headers.push_back("16K within");
+    Table t(std::move(headers));
+
+    for (size_t b = 0; b < names.size(); ++b) {
+        const double base =
+            static_cast<double>(results[b * sizes.size()].exec.cycles);
+        std::vector<std::string> row = {names[b]};
+        for (size_t s = 0; s < sizes.size(); ++s)
+            row.push_back(Table::num(
+                100.0 *
+                static_cast<double>(
+                    results[b * sizes.size() + s].exec.cycles) /
+                base));
+        const double t64 = static_cast<double>(
+            results[b * sizes.size() + sizes.size() - 1].exec.cycles);
+        const double t16 = static_cast<double>(
+            results[b * sizes.size() + 2].exec.cycles);
+        row.push_back(Table::num(base / t64, 2) + "X");
+        row.push_back(Table::num(100.0 * (t16 / t64 - 1.0)) + "%");
+        t.addRow(std::move(row));
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper: no impact on five kernels; 1.1X-1.3X elsewhere; "
+                "4K-16K L1s come within 3%% of 64K (small table\n"
+                "working sets: convolution/quantization/color-conversion"
+                "/clipping tables).\n");
+    return 0;
+}

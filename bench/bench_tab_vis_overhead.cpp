@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Section 3.2.3 reproduction: the share of dynamic VIS instructions that
+ * are subword rearrangement / alignment overhead (pack, expand, merge,
+ * align, GSR manipulation). The paper reports 41% on average.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "sim/machine.hh"
+
+int
+main()
+{
+    using namespace msim;
+    using core::Job;
+    using prog::Variant;
+
+    const auto names = bench::paperNames();
+    std::vector<Job> jobs;
+    for (const auto &name : names)
+        jobs.push_back({name, Variant::Vis, sim::outOfOrder4Way()});
+    const auto results = bench::runAll(jobs, "vis-overhead");
+
+    std::printf("=== Section 3.2.3: VIS rearrangement/alignment overhead"
+                " ===\n\n");
+    Table t({"benchmark", "vis-ops", "overhead-ops", "overhead%"});
+    std::vector<double> fracs;
+    for (size_t b = 0; b < names.size(); ++b) {
+        const auto &r = results[b];
+        t.addRow({names[b], std::to_string(r.visOps),
+                  std::to_string(r.visOverheadOps),
+                  Table::num(100.0 * r.visOverheadFrac())});
+        if (r.visOps)
+            fracs.push_back(r.visOverheadFrac());
+    }
+    std::printf("%s\n", t.render().c_str());
+    double sum = 0;
+    for (double f : fracs)
+        sum += f;
+    std::printf("average overhead: %.0f%%   [paper: 41%%]\n",
+                100.0 * sum / static_cast<double>(fracs.size()));
+    return 0;
+}

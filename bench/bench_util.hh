@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ */
+
+#ifndef MSIM_BENCH_BENCH_UTIL_HH_
+#define MSIM_BENCH_BENCH_UTIL_HH_
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+
+namespace msim::bench
+{
+
+/** Run a batch with a stderr progress note. */
+inline std::vector<sim::RunResult>
+runAll(const std::vector<core::Job> &jobs, const char *what)
+{
+    std::fprintf(stderr, "[%s] running %zu simulations...\n", what,
+                 jobs.size());
+    auto results = core::runJobs(jobs);
+    std::fprintf(stderr, "[%s] done\n", what);
+    return results;
+}
+
+/** Names of the 12 Table-1 benchmarks, in order. */
+inline std::vector<std::string>
+paperNames()
+{
+    std::vector<std::string> names;
+    for (const auto *b : core::paperBenchmarks())
+        names.push_back(b->name);
+    return names;
+}
+
+/** Geometric mean. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace msim::bench
+
+#endif // MSIM_BENCH_BENCH_UTIL_HH_

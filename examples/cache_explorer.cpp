@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Interactive cache-architecture exploration for one benchmark:
+ * sweeps the L1 and L2 sizes around the Table-3 defaults and reports
+ * execution time, miss rates, and where the time goes — the paper's
+ * Section 4.1 methodology applied to any workload in the registry.
+ *
+ * Usage: cache_explorer [benchmark] [base|vis|pf]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim;
+    using prog::Variant;
+
+    const std::string bench = argc > 1 ? argv[1] : "cjpeg";
+    Variant variant = Variant::Vis;
+    if (argc > 2) {
+        if (std::strcmp(argv[2], "base") == 0)
+            variant = Variant::Scalar;
+        else if (std::strcmp(argv[2], "pf") == 0)
+            variant = Variant::VisPrefetch;
+    }
+
+    std::printf("cache exploration: %s (%s), 4-way out-of-order core\n\n",
+                bench.c_str(), prog::variantName(variant));
+
+    {
+        std::printf("L2 size sweep (L1 fixed at 64K):\n");
+        Table t({"L2", "cycles", "norm", "l1-miss%", "l2-miss%",
+                 "mem-stall%"});
+        double base = 0;
+        for (u32 size : {32u << 10, 128u << 10, 512u << 10, 2u << 20}) {
+            const auto r = core::runBenchmark(bench, variant,
+                                              sim::withL2Size(size));
+            if (base == 0)
+                base = static_cast<double>(r.exec.cycles);
+            t.addRow({std::to_string(size / 1024) + "K",
+                      std::to_string(r.exec.cycles),
+                      Table::num(100.0 * double(r.exec.cycles) / base),
+                      Table::num(100.0 * r.l1.missRate),
+                      Table::num(100.0 * r.l2.missRate),
+                      Table::num(100.0 * (r.exec.fracMemL1Hit() +
+                                          r.exec.fracMemL1Miss()))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    {
+        std::printf("L1 size sweep (L2 fixed at 128K):\n");
+        Table t({"L1", "cycles", "norm", "l1-miss%", "mshr-mean",
+                 "mem-stall%"});
+        double base = 0;
+        for (u32 size : {1u << 10, 4u << 10, 16u << 10, 64u << 10}) {
+            const auto r = core::runBenchmark(bench, variant,
+                                              sim::withL1Size(size));
+            if (base == 0)
+                base = static_cast<double>(r.exec.cycles);
+            t.addRow({std::to_string(size / 1024) + "K",
+                      std::to_string(r.exec.cycles),
+                      Table::num(100.0 * double(r.exec.cycles) / base),
+                      Table::num(100.0 * r.l1.missRate),
+                      Table::num(r.l1.mshrMeanOccupancy, 2),
+                      Table::num(100.0 * (r.exec.fracMemL1Hit() +
+                                          r.exec.fracMemL1Miss()))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-stop workload characterization: runs every registered benchmark
+ * (scalar and VIS) on the default out-of-order machine and prints the
+ * metrics the paper's analysis is built from — instruction counts, IPC,
+ * memory-stall fraction, branch misprediction rate, cache miss rates,
+ * and VIS overhead.
+ *
+ * Usage: characterize [benchmark ...]   (default: all 12)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim;
+    using prog::Variant;
+
+    std::vector<std::string> names;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            names.emplace_back(argv[i]);
+    } else {
+        for (const auto *b : core::paperBenchmarks())
+            names.push_back(b->name);
+    }
+
+    Table t({"benchmark", "cfg", "instrs", "cycles", "ipc", "mem%",
+             "mispred%", "l1-miss%", "l2-miss%", "vis-ovh%"});
+    for (const auto &name : names) {
+        for (Variant var : {Variant::Scalar, Variant::Vis}) {
+            const auto r =
+                core::runBenchmark(name, var, sim::outOfOrder4Way());
+            t.addRow({name, prog::variantName(var),
+                      std::to_string(r.tbInstrs),
+                      std::to_string(r.exec.cycles),
+                      Table::num(double(r.exec.retired) /
+                                     double(r.exec.cycles),
+                                 2),
+                      Table::num(100.0 * (r.exec.fracMemL1Hit() +
+                                          r.exec.fracMemL1Miss())),
+                      Table::num(100.0 * r.exec.mispredictRate()),
+                      Table::num(100.0 * r.l1.missRate),
+                      Table::num(100.0 * r.l2.missRate),
+                      Table::num(100.0 * r.visOverheadFrac())});
+            std::fflush(stdout);
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

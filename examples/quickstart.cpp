@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: simulate one image-processing kernel on the paper's three
+ * processor configurations, without and with the VIS media ISA
+ * extensions, and print the Figure-1 style execution-time breakdown.
+ *
+ * Usage: quickstart [benchmark-name]   (default: addition)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace msim;
+    const std::string bench = argc > 1 ? argv[1] : "addition";
+
+    const std::vector<sim::MachineConfig> machines = {
+        sim::inOrder1Way(), sim::inOrder4Way(), sim::outOfOrder4Way()};
+
+    std::printf("benchmark: %s\n\n", bench.c_str());
+
+    // Baseline: scalar code on the single-issue in-order machine.
+    std::vector<core::Job> jobs;
+    for (prog::Variant var : {prog::Variant::Scalar, prog::Variant::Vis})
+        for (const auto &m : machines)
+            jobs.push_back({bench, var, m});
+    const auto results = core::runJobs(jobs);
+
+    const double base = static_cast<double>(results[0].exec.cycles);
+    std::vector<core::BreakdownBar> bars;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const bool vis = jobs[i].variant == prog::Variant::Vis;
+        bars.push_back(core::makeBar(
+            jobs[i].machine.label + (vis ? " +VIS" : ""), results[i],
+            base));
+    }
+    std::printf("%s\n",
+                core::renderBars("normalized execution time (1-way "
+                                 "scalar = 100)",
+                                 bars)
+                    .c_str());
+
+    std::printf("ILP speedup (scalar, ooo vs 1-way): %s\n",
+                core::speedupStr(double(results[0].exec.cycles),
+                                 double(results[2].exec.cycles))
+                    .c_str());
+    std::printf("VIS speedup on 4-way ooo:           %s\n",
+                core::speedupStr(double(results[2].exec.cycles),
+                                 double(results[5].exec.cycles))
+                    .c_str());
+    std::printf("retired instructions: scalar %llu, VIS %llu\n",
+                static_cast<unsigned long long>(results[2].exec.retired),
+                static_cast<unsigned long long>(results[5].exec.retired));
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the VIS semantics and the caches.
+ *
+ * Packed 64-bit values use the convention that lane 0 occupies the least
+ * significant bits (lane 0 of a packed-byte value is bits [7:0]). This
+ * differs from SPARC's big-endian register pictures but is internally
+ * consistent everywhere in msim, including the trace builder's memory
+ * accessors.
+ */
+
+#ifndef MSIM_COMMON_BITS_HH_
+#define MSIM_COMMON_BITS_HH_
+
+#include <bit>
+
+#include "common/types.hh"
+
+namespace msim
+{
+
+/** Extract byte lane @p i (0..7, lane 0 least significant). */
+constexpr u8
+byteLane(u64 v, unsigned i)
+{
+    return static_cast<u8>(v >> (8 * i));
+}
+
+/** Replace byte lane @p i of @p v with @p b. */
+constexpr u64
+setByteLane(u64 v, unsigned i, u8 b)
+{
+    const u64 mask = u64{0xff} << (8 * i);
+    return (v & ~mask) | (u64{b} << (8 * i));
+}
+
+/** Extract 16-bit lane @p i (0..3, lane 0 least significant). */
+constexpr u16
+halfLane(u64 v, unsigned i)
+{
+    return static_cast<u16>(v >> (16 * i));
+}
+
+/** Replace 16-bit lane @p i of @p v with @p h. */
+constexpr u64
+setHalfLane(u64 v, unsigned i, u16 h)
+{
+    const u64 mask = u64{0xffff} << (16 * i);
+    return (v & ~mask) | (u64{h} << (16 * i));
+}
+
+/** Extract 32-bit lane @p i (0..1, lane 0 least significant). */
+constexpr u32
+wordLane(u64 v, unsigned i)
+{
+    return static_cast<u32>(v >> (32 * i));
+}
+
+/** Replace 32-bit lane @p i of @p v with @p w. */
+constexpr u64
+setWordLane(u64 v, unsigned i, u32 w)
+{
+    const u64 mask = u64{0xffffffff} << (32 * i);
+    return (v & ~mask) | (u64{w} << (32 * i));
+}
+
+/** Sign-extend the low @p bits of @p v. */
+constexpr s64
+signExtend(u64 v, unsigned bits)
+{
+    const unsigned shift = 64 - bits;
+    return static_cast<s64>(v << shift) >> shift;
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(u64 v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+log2i(u64 v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr u64
+roundUp(u64 v, u64 align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace msim
+
+#endif // MSIM_COMMON_BITS_HH_

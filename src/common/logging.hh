@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal/panic idiom.
+ *
+ * panic() flags an internal simulator bug (aborts); fatal() flags a user
+ * error such as an inconsistent configuration (clean exit). Both are
+ * implemented as [[noreturn]] functions taking a printf-style format.
+ */
+
+#ifndef MSIM_COMMON_LOGGING_HH_
+#define MSIM_COMMON_LOGGING_HH_
+
+#include <cstdarg>
+
+namespace msim
+{
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a non-fatal condition worth the user's attention. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace msim
+
+#endif // MSIM_COMMON_LOGGING_HH_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small deterministic xorshift64* generator.
+ *
+ * Used for synthetic image/video content and for randomized property
+ * tests. Deterministic across platforms so that simulated traces (and
+ * therefore every reproduced figure) are bit-stable.
+ */
+
+#ifndef MSIM_COMMON_RNG_HH_
+#define MSIM_COMMON_RNG_HH_
+
+#include "common/types.hh"
+
+namespace msim
+{
+
+/** xorshift64* PRNG. Never returns the zero state. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next 64 random bits. */
+    u64
+    next()
+    {
+        u64 x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    u64 nextBelow(u64 bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    u64 state;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_RNG_HH_

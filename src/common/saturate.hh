@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Saturation and clamping helpers used by the image kernels, the VIS
+ * pack semantics, and the codecs.
+ */
+
+#ifndef MSIM_COMMON_SATURATE_HH_
+#define MSIM_COMMON_SATURATE_HH_
+
+#include "common/types.hh"
+
+namespace msim
+{
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Saturate a wide signed value to an unsigned 8-bit pixel. */
+constexpr u8
+satU8(s64 v)
+{
+    return static_cast<u8>(clamp<s64>(v, 0, 255));
+}
+
+/** Saturate a wide signed value to a signed 16-bit sample. */
+constexpr s16
+satS16(s64 v)
+{
+    return static_cast<s16>(clamp<s64>(v, -32768, 32767));
+}
+
+/** Saturate a wide signed value to a signed 32-bit sample. */
+constexpr s32
+satS32(s64 v)
+{
+    return static_cast<s32>(clamp<s64>(v, s64{-2147483647} - 1, 2147483647));
+}
+
+} // namespace msim
+
+#endif // MSIM_COMMON_SATURATE_HH_

@@ -1,0 +1,35 @@
+#include "common/stats.hh"
+
+namespace msim
+{
+
+double
+Distribution::mean() const
+{
+    return samples_ ? static_cast<double>(total) / samples_ : 0.0;
+}
+
+double
+Distribution::fracAtLeast(u64 v) const
+{
+    if (!samples_)
+        return 0.0;
+    u64 n = 0;
+    for (u64 i = v; i < buckets.size(); ++i)
+        n += buckets[i];
+    return static_cast<double>(n) / samples_;
+}
+
+double
+OccupancyTracker::fracAtLeast(unsigned n) const
+{
+    if (!elapsed)
+        return 0.0;
+    u64 t = 0;
+    const auto &w = histogram.weights();
+    for (unsigned i = n; i < w.size(); ++i)
+        t += w[i];
+    return static_cast<double>(t) / elapsed;
+}
+
+} // namespace msim

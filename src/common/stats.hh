@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Lightweight statistics primitives: scalar counters, distributions, and
+ * a time-weighted occupancy tracker (used for MSHR-occupancy results).
+ */
+
+#ifndef MSIM_COMMON_STATS_HH_
+#define MSIM_COMMON_STATS_HH_
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msim
+{
+
+/** A simple saturating-free accumulating counter. */
+class Counter
+{
+  public:
+    void inc(u64 by = 1) { count_ += by; }
+    u64 value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    u64 count_ = 0;
+};
+
+/** Distribution over small integer buckets [0, maxBucket]. */
+class Distribution
+{
+  public:
+    explicit Distribution(unsigned max_bucket = 32)
+        : buckets(max_bucket + 1, 0)
+    {}
+
+    /** Record one sample; values beyond the last bucket clamp into it. */
+    void
+    sample(u64 v)
+    {
+        const u64 idx = v < buckets.size() ? v : buckets.size() - 1;
+        ++buckets[idx];
+        ++samples_;
+        total += v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    u64 samples() const { return samples_; }
+    u64 maxSeen() const { return max_; }
+    double mean() const;
+    u64 bucket(unsigned i) const { return buckets[i]; }
+    unsigned numBuckets() const { return static_cast<unsigned>(buckets.size()); }
+
+    /** Fraction of samples with value >= @p v. */
+    double fracAtLeast(u64 v) const;
+
+  private:
+    std::vector<u64> buckets;
+    u64 samples_ = 0;
+    u64 total = 0;
+    u64 max_ = 0;
+};
+
+/**
+ * Tracks the time-weighted occupancy of a resource pool (e.g. how many
+ * MSHRs are in use, integrated over cycles).
+ */
+class OccupancyTracker
+{
+  public:
+    explicit OccupancyTracker(unsigned capacity)
+        : histogram(capacity)
+    {}
+
+    /**
+     * Advance simulated time to @p now with the pool holding @p occupied
+     * entries since the previous call.
+     */
+    void
+    advance(Cycle now, unsigned occupied)
+    {
+        if (now > last) {
+            const u64 dt = now - last;
+            weighted += dt * occupied;
+            elapsed += dt;
+            histogram.sampleWeighted(occupied, dt);
+            last = now;
+        }
+        if (occupied > peak)
+            peak = occupied;
+    }
+
+    double
+    meanOccupancy() const
+    {
+        return elapsed ? static_cast<double>(weighted) / elapsed : 0.0;
+    }
+
+    unsigned peakOccupancy() const { return peak; }
+
+    /** Fraction of elapsed time with occupancy >= @p n. */
+    double fracAtLeast(unsigned n) const;
+
+  private:
+    /** Cycle-weighted histogram over occupancy levels. */
+    class WeightedHist
+    {
+      public:
+        explicit WeightedHist(unsigned capacity)
+            : w(capacity + 1, 0)
+        {}
+
+        void
+        sampleWeighted(unsigned level, u64 weight)
+        {
+            const unsigned idx =
+                level < w.size() ? level : static_cast<unsigned>(w.size() - 1);
+            w[idx] += weight;
+        }
+
+        const std::vector<u64> &weights() const { return w; }
+
+      private:
+        std::vector<u64> w;
+    };
+
+    WeightedHist histogram;
+    Cycle last = 0;
+    u64 weighted = 0;
+    u64 elapsed = 0;
+    unsigned peak = 0;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_STATS_HH_

@@ -1,0 +1,60 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace msim
+{
+
+Table::Table(std::vector<std::string> headers)
+{
+    rows.push_back(std::move(headers));
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != rows.front().size()) {
+        panic("table row has %zu cells, expected %zu", cells.size(),
+              rows.front().size());
+    }
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(rows.front().size(), 0);
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+            out << rows[r][c]
+                << std::string(widths[c] - rows[r][c].size() + 2, ' ');
+        }
+        out << '\n';
+        if (r == 0) {
+            size_t total = 0;
+            for (size_t w : widths)
+                total += w + 2;
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace msim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal ASCII table formatter used by the benchmark harnesses to print
+ * the rows/series of the paper's figures and tables.
+ */
+
+#ifndef MSIM_COMMON_TABLE_HH_
+#define MSIM_COMMON_TABLE_HH_
+
+#include <string>
+#include <vector>
+
+namespace msim
+{
+
+/** Accumulates rows of string cells and renders an aligned ASCII table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 1);
+
+    /** Render the table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace msim
+
+#endif // MSIM_COMMON_TABLE_HH_

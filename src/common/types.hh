@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar type aliases used throughout msim.
+ */
+
+#ifndef MSIM_COMMON_TYPES_HH_
+#define MSIM_COMMON_TYPES_HH_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msim
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+
+/** Simulated time. The core runs at 1 GHz, so 1 cycle == 1 ns (Table 2). */
+using Cycle = std::uint64_t;
+
+/** Virtual byte address inside a benchmark's arena. */
+using Addr = std::uint64_t;
+
+/** SSA value identifier produced by the trace builder. 0 means "none". */
+using ValId = std::uint32_t;
+
+constexpr ValId kNoVal = 0;
+
+} // namespace msim
+
+#endif // MSIM_COMMON_TYPES_HH_

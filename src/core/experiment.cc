@@ -1,0 +1,51 @@
+#include "core/experiment.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace msim::core
+{
+
+RunResult
+runBenchmark(const std::string &name, Variant variant,
+             const MachineConfig &machine)
+{
+    const Benchmark &bench = findBenchmark(name);
+    return sim::runTrace(
+        [&bench, variant](prog::TraceBuilder &tb) {
+            bench.generate(tb, variant);
+        },
+        machine);
+}
+
+std::vector<RunResult>
+runJobs(const std::vector<Job> &jobs, unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 4;
+    }
+    threads = std::min<unsigned>(threads,
+                                 static_cast<unsigned>(jobs.size()));
+
+    std::vector<RunResult> results(jobs.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            results[i] = runBenchmark(jobs[i].benchmark,
+                                      jobs[i].variant, jobs[i].machine);
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+} // namespace msim::core

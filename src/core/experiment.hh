@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The public experiment API: run a benchmark variant on a machine, and
+ * run batches of independent simulations across host threads (each
+ * simulation is fully self-contained).
+ */
+
+#ifndef MSIM_CORE_EXPERIMENT_HH_
+#define MSIM_CORE_EXPERIMENT_HH_
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hh"
+#include "sim/runner.hh"
+
+namespace msim::core
+{
+
+using sim::MachineConfig;
+using sim::RunResult;
+
+/** One simulation request. */
+struct Job
+{
+    std::string benchmark;
+    Variant variant = Variant::Scalar;
+    MachineConfig machine;
+};
+
+/** Run one benchmark variant on one machine. */
+RunResult runBenchmark(const std::string &name, Variant variant,
+                       const MachineConfig &machine);
+
+/**
+ * Run a batch of jobs, using up to @p threads host threads (0 = one
+ * per hardware thread). Results are in job order.
+ */
+std::vector<RunResult> runJobs(const std::vector<Job> &jobs,
+                               unsigned threads = 0);
+
+} // namespace msim::core
+
+#endif // MSIM_CORE_EXPERIMENT_HH_

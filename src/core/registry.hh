@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The benchmark registry: the paper's 12 workloads (Table 1) plus the
+ * two extra VSDK kernels, addressable by name, each parameterized by
+ * code-path variant.
+ */
+
+#ifndef MSIM_CORE_REGISTRY_HH_
+#define MSIM_CORE_REGISTRY_HH_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "prog/trace_builder.hh"
+#include "prog/variant.hh"
+
+namespace msim::core
+{
+
+using prog::Variant;
+
+/** Workload category (drives which experiments include it). */
+enum class Category : u8
+{
+    ImageKernel, ///< VSDK image processing kernels
+    ImageCoding, ///< JPEG codecs
+    VideoCoding  ///< MPEG2 codecs
+};
+
+/** One registered benchmark. */
+struct Benchmark
+{
+    std::string name;
+    Category category;
+
+    /** Paper Figure 3 includes only benchmarks with significant memory
+     *  stall time; this flags the ones with a +PF variant. */
+    bool hasPrefetchVariant = false;
+
+    std::function<void(prog::TraceBuilder &, Variant)> generate;
+};
+
+/** All benchmarks, in the paper's Table-1 order (plus copy/invert). */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** The 12 Table-1 benchmarks only. */
+std::vector<const Benchmark *> paperBenchmarks();
+
+/** Lookup by name; calls fatal() if unknown. */
+const Benchmark &findBenchmark(const std::string &name);
+
+} // namespace msim::core
+
+#endif // MSIM_CORE_REGISTRY_HH_

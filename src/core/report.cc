@@ -1,0 +1,48 @@
+#include "core/report.hh"
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace msim::core
+{
+
+BreakdownBar
+makeBar(const std::string &label, const sim::RunResult &r,
+        double baseline_cycles)
+{
+    BreakdownBar bar;
+    bar.label = label;
+    const double scale =
+        baseline_cycles > 0 ? 100.0 / baseline_cycles : 0.0;
+    bar.total = static_cast<double>(r.exec.cycles) * scale;
+    bar.busy = r.exec.busy * scale;
+    bar.fuStall = r.exec.fuStall * scale;
+    bar.memL1Hit = r.exec.memL1Hit * scale;
+    bar.memL1Miss = r.exec.memL1Miss * scale;
+    return bar;
+}
+
+std::string
+renderBars(const std::string &title, const std::vector<BreakdownBar> &bars)
+{
+    Table t({"config", "total", "busy", "fu-stall", "l1-hit", "l1-miss"});
+    for (const BreakdownBar &b : bars) {
+        t.addRow({b.label, Table::num(b.total), Table::num(b.busy),
+                  Table::num(b.fuStall), Table::num(b.memL1Hit),
+                  Table::num(b.memL1Miss)});
+    }
+    std::ostringstream out;
+    out << title << '\n' << t.render();
+    return out.str();
+}
+
+std::string
+speedupStr(double base_cycles, double new_cycles)
+{
+    if (new_cycles <= 0)
+        return "n/a";
+    return Table::num(base_cycles / new_cycles, 2) + "X";
+}
+
+} // namespace msim::core

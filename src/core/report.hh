@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure/table formatting helpers: normalized execution-time breakdowns
+ * in the style of the paper's stacked bars.
+ */
+
+#ifndef MSIM_CORE_REPORT_HH_
+#define MSIM_CORE_REPORT_HH_
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace msim::core
+{
+
+/** One stacked bar of Figure 1: components normalized to a baseline. */
+struct BreakdownBar
+{
+    std::string label;
+    double total = 0;   ///< normalized execution time (baseline = 100)
+    double busy = 0;
+    double fuStall = 0;
+    double memL1Hit = 0;
+    double memL1Miss = 0;
+};
+
+/** Build a bar from a run, normalized so @p baseline_cycles == 100. */
+BreakdownBar makeBar(const std::string &label, const sim::RunResult &r,
+                     double baseline_cycles);
+
+/** Render bars as table rows (label, total, busy, fu, l1hit, l1miss). */
+std::string renderBars(const std::string &title,
+                       const std::vector<BreakdownBar> &bars);
+
+/** "1.83X" style speedup formatting. */
+std::string speedupStr(double base_cycles, double new_cycles);
+
+} // namespace msim::core
+
+#endif // MSIM_CORE_REPORT_HH_

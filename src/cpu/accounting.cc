@@ -1,0 +1,77 @@
+#include "cpu/accounting.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace msim::cpu
+{
+
+void
+ExecStats::charge(StallClass cls, double amount)
+{
+    switch (cls) {
+      case StallClass::Busy:
+        busy += amount;
+        break;
+      case StallClass::FuStall:
+        fuStall += amount;
+        break;
+      case StallClass::MemL1Hit:
+        memL1Hit += amount;
+        break;
+      case StallClass::MemL1Miss:
+        memL1Miss += amount;
+        break;
+      default:
+        panic("bad stall class");
+    }
+}
+
+double
+ExecStats::mispredictRate() const
+{
+    return branches ? static_cast<double>(mispredicts) / branches : 0.0;
+}
+
+double
+ExecStats::fracBusy() const
+{
+    return cycles ? busy / cycles : 0.0;
+}
+
+double
+ExecStats::fracFuStall() const
+{
+    return cycles ? fuStall / cycles : 0.0;
+}
+
+double
+ExecStats::fracMemL1Hit() const
+{
+    return cycles ? memL1Hit / cycles : 0.0;
+}
+
+double
+ExecStats::fracMemL1Miss() const
+{
+    return cycles ? memL1Miss / cycles : 0.0;
+}
+
+std::string
+ExecStats::summary() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "cycles=%llu retired=%llu ipc=%.2f busy=%.0f%% fu=%.0f%% "
+                  "l1hit=%.0f%% l1miss=%.0f%% mispred=%.1f%%",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(retired),
+                  cycles ? static_cast<double>(retired) / cycles : 0.0,
+                  100.0 * fracBusy(), 100.0 * fracFuStall(),
+                  100.0 * fracMemL1Hit(), 100.0 * fracMemL1Miss(),
+                  100.0 * mispredictRate());
+    return buf;
+}
+
+} // namespace msim::cpu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Execution-time accounting per the paper's Section 2.3.4 convention.
+ *
+ * Every cycle, the fraction of instructions retired relative to the
+ * maximum retire rate is Busy time; the remainder is charged to the
+ * first instruction that could not retire: FU stall if it waits on a
+ * non-memory producer, L1-hit or L1-miss memory time otherwise
+ * (classified by where the blocking access was satisfied).
+ */
+
+#ifndef MSIM_CPU_ACCOUNTING_HH_
+#define MSIM_CPU_ACCOUNTING_HH_
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace msim::cpu
+{
+
+/** The four execution-time components of Figure 1. */
+enum class StallClass : u8
+{
+    Busy,
+    FuStall,
+    MemL1Hit,
+    MemL1Miss
+};
+
+/** Per-run execution statistics. */
+struct ExecStats
+{
+    Cycle cycles = 0;
+    u64 retired = 0;
+
+    // Execution-time components, in (fractional) cycles.
+    double busy = 0.0;
+    double fuStall = 0.0;
+    double memL1Hit = 0.0;
+    double memL1Miss = 0.0;
+
+    // Figure-2 instruction mix of retired instructions.
+    u64 mixFu = 0;
+    u64 mixBranch = 0;
+    u64 mixMemory = 0;
+    u64 mixVis = 0;
+
+    // Branch behaviour.
+    u64 branches = 0;
+    u64 mispredicts = 0;
+
+    // Load classification by satisfaction level.
+    u64 loadsL1 = 0;
+    u64 loadsL2 = 0;
+    u64 loadsMem = 0;
+
+    u64 prefetchesIssued = 0;
+    u64 prefetchesDropped = 0;
+
+    /** Charge @p amount cycles to a component. */
+    void charge(StallClass cls, double amount);
+
+    double mispredictRate() const;
+
+    /** Total memory component (L1 hit + L1 miss). */
+    double memTotal() const { return memL1Hit + memL1Miss; }
+
+    /** Components as fractions of total cycles. */
+    double fracBusy() const;
+    double fracFuStall() const;
+    double fracMemL1Hit() const;
+    double fracMemL1Miss() const;
+
+    /** One-line summary for debugging. */
+    std::string summary() const;
+};
+
+} // namespace msim::cpu
+
+#endif // MSIM_CPU_ACCOUNTING_HH_

@@ -1,0 +1,64 @@
+#include "cpu/branch_predictor.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace msim::cpu
+{
+
+BranchPredictor::BranchPredictor(unsigned entries)
+    : counters(entries, 2) // weakly taken
+{
+    if (!isPow2(entries))
+        fatal("branch predictor size %u not a power of two", entries);
+}
+
+unsigned
+BranchPredictor::indexOf(u32 pc) const
+{
+    // Fibonacci hash spreads the trace builder's small dense pc ids.
+    const u32 h = pc * 2654435761u;
+    return h & (static_cast<unsigned>(counters.size()) - 1);
+}
+
+bool
+BranchPredictor::predictAndUpdate(u32 pc, bool taken)
+{
+    ++lookups_;
+    u8 &ctr = counters[indexOf(pc)];
+    const bool predicted_taken = ctr >= 2;
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    const bool correct = predicted_taken == taken;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+    : stack(depth, 0), depth(depth)
+{}
+
+void
+ReturnAddressStack::push(u64 addr)
+{
+    if (top == depth) {
+        // overflow discards the oldest entry
+        for (unsigned i = 1; i < depth; ++i)
+            stack[i - 1] = stack[i];
+        --top;
+    }
+    stack[top++] = addr;
+}
+
+u64
+ReturnAddressStack::pop()
+{
+    if (top == 0)
+        return 0;
+    return stack[--top];
+}
+
+} // namespace msim::cpu

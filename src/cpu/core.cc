@@ -1,0 +1,470 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace msim::cpu
+{
+
+namespace
+{
+
+constexpr unsigned kFetchBufCap = 512;
+constexpr unsigned kFwdRingSize = 64;
+
+} // namespace
+
+CoreConfig
+CoreConfig::inOrder1Way()
+{
+    CoreConfig c;
+    c.outOfOrder = false;
+    c.issueWidth = 1;
+    return c;
+}
+
+CoreConfig
+CoreConfig::inOrder4Way()
+{
+    CoreConfig c;
+    c.outOfOrder = false;
+    c.issueWidth = 4;
+    return c;
+}
+
+CoreConfig
+CoreConfig::outOfOrder4Way()
+{
+    CoreConfig c;
+    c.outOfOrder = true;
+    c.issueWidth = 4;
+    return c;
+}
+
+PipelineCore::PipelineCore(const CoreConfig &config, mem::MemoryPort &memory)
+    : cfg(config), mem_(memory), fuPool(config.issueWidth),
+      predictor(config.predictorEntries), fwdRing(kFwdRingSize)
+{
+    if (cfg.retireWidth == 0)
+        cfg.retireWidth = cfg.issueWidth;
+}
+
+Cycle
+PipelineCore::readyOf(ValId id) const
+{
+    if (id == kNoVal || id >= valReady.size())
+        return 0; // immediates and pre-run values are always ready
+    return valReady[id];
+}
+
+void
+PipelineCore::setReady(ValId id, Cycle t)
+{
+    if (id == kNoVal)
+        return;
+    if (id >= valReady.size()) {
+        valReady.resize(static_cast<size_t>(id) + 8192, 0);
+        valClass.resize(valReady.size(),
+                        static_cast<u8>(StallClass::FuStall));
+    }
+    valReady[id] = t;
+}
+
+StallClass
+PipelineCore::classOf(ValId id) const
+{
+    if (id == kNoVal || id >= valClass.size())
+        return StallClass::FuStall;
+    return static_cast<StallClass>(valClass[id]);
+}
+
+void
+PipelineCore::setClass(ValId id, StallClass cls)
+{
+    if (id != kNoVal && id < valClass.size())
+        valClass[id] = static_cast<u8>(cls);
+}
+
+void
+PipelineCore::feed(const isa::Inst &inst)
+{
+    fetchBuf.push_back(inst);
+    if (!manualPump && fetchBuf.size() > kFetchBufCap)
+        pump(false);
+}
+
+void
+PipelineCore::runTo(Cycle target)
+{
+    while (now < target && !done())
+        step();
+}
+
+void
+PipelineCore::finish()
+{
+    pump(true);
+    stats_.cycles = now;
+}
+
+void
+PipelineCore::pump(bool draining)
+{
+    if (draining) {
+        while (!window.empty() || !fetchBuf.empty())
+            step();
+    } else {
+        while (fetchBuf.size() > kFetchBufCap / 2)
+            step();
+    }
+}
+
+void
+PipelineCore::expireEvents()
+{
+    while (!memqFrees.empty() && memqFrees.top() <= now) {
+        memqFrees.pop();
+        --memqUsed;
+    }
+    while (!branchResolves.empty() && branchResolves.top() <= now) {
+        branchResolves.pop();
+        --specBranches;
+    }
+    std::erase_if(pendingStores,
+                  [this](const auto &p) { return p.first <= now; });
+}
+
+Cycle
+PipelineCore::forwardingReady(const DynInst &load) const
+{
+    const Addr lo = load.inst.addr;
+    const Addr hi = lo + load.inst.memSize;
+    const RingEntry *best = nullptr;
+    for (const auto &e : fwdRing) {
+        if (!e.valid || e.seq >= load.seq)
+            continue;
+        if (lo >= e.addr && hi <= e.addr + e.size) {
+            if (!best || e.seq > best->seq)
+                best = &e;
+        }
+    }
+    return best ? best->dataReady : kNever;
+}
+
+bool
+PipelineCore::canIssue(const DynInst &di) const
+{
+    for (unsigned i = 0; i < di.inst.numSrcs; ++i)
+        if (readyOf(di.inst.src[i]) > now)
+            return false;
+    return fuPool.available(di.inst.op, now);
+}
+
+void
+PipelineCore::issue(DynInst &di)
+{
+    using isa::Op;
+    di.issued = true;
+    const Cycle done = fuPool.reserve(di.inst.op, now);
+
+    switch (di.inst.op) {
+      case Op::Load: {
+        const Cycle fwd = forwardingReady(di);
+        if (fwd != kNever) {
+            di.readyTime = std::max(done, fwd);
+            di.level = mem::HitLevel::L1;
+            ++stats_.loadsL1;
+        } else {
+            const auto res =
+                mem_.access(di.inst.addr, mem::AccessKind::Load, done);
+            di.readyTime = res.ready;
+            di.level = res.level;
+            switch (res.level) {
+              case mem::HitLevel::L1: ++stats_.loadsL1; break;
+              case mem::HitLevel::L2: ++stats_.loadsL2; break;
+              case mem::HitLevel::Memory: ++stats_.loadsMem; break;
+            }
+        }
+        di.memFreeTime = di.readyTime;
+        memqFrees.push(di.memFreeTime);
+        setReady(di.inst.dst, di.readyTime);
+        setClass(di.inst.dst, di.level == mem::HitLevel::L1
+                                  ? StallClass::MemL1Hit
+                                  : StallClass::MemL1Miss);
+        break;
+      }
+      case Op::Store: {
+        const auto res =
+            mem_.access(di.inst.addr, mem::AccessKind::Store, done);
+        di.readyTime = done; // retirement does not wait for stores
+        di.memFreeTime = res.ready;
+        di.level = res.level;
+        memqFrees.push(di.memFreeTime);
+        if (di.fwdRing >= 0)
+            fwdRing[di.fwdRing].dataReady = done;
+        break;
+      }
+      case Op::Prefetch: {
+        const auto res =
+            mem_.access(di.inst.addr, mem::AccessKind::Prefetch, done);
+        di.readyTime = done;
+        di.memFreeTime = done;
+        memqFrees.push(done);
+        ++stats_.prefetchesIssued;
+        if (res.dropped)
+            ++stats_.prefetchesDropped;
+        break;
+      }
+      case Op::Branch: {
+        di.readyTime = done; // the branch resolves when it executes
+        branchResolves.push(done);
+        if (di.mispredicted) {
+            dispatchBlockedUntil = done + cfg.mispredictPenalty;
+            awaitingRedirect = false;
+        }
+        break;
+      }
+      default: {
+        di.readyTime = done;
+        setReady(di.inst.dst, done);
+        break;
+      }
+    }
+}
+
+unsigned
+PipelineCore::tryRetire()
+{
+    unsigned retired = 0;
+    while (retired < cfg.retireWidth && !window.empty()) {
+        DynInst &head = window.front();
+        if (!head.issued)
+            break;
+        // The out-of-order core commits in order from its window; the
+        // in-order core has no ROB -- an issued instruction has already
+        // written back, so only stall-on-use (at issue) delays it.
+        if (cfg.outOfOrder && head.readyTime > now)
+            break;
+        if (head.inst.isStore() && head.memFreeTime > now) {
+            // The store retires but keeps its memory-queue slot until the
+            // cache accepts it; remember what it is waiting on.
+            const StallClass cls = head.level == mem::HitLevel::L1
+                                       ? StallClass::MemL1Hit
+                                       : StallClass::MemL1Miss;
+            pendingStores.emplace_back(head.memFreeTime, cls);
+        }
+        switch (isa::mixClassOf(head.inst.op)) {
+          case isa::MixClass::Fu: ++stats_.mixFu; break;
+          case isa::MixClass::Branch: ++stats_.mixBranch; break;
+          case isa::MixClass::Memory: ++stats_.mixMemory; break;
+          case isa::MixClass::Vis: ++stats_.mixVis; break;
+        }
+        ++stats_.retired;
+        ++retired;
+        window.pop_front();
+    }
+    return retired;
+}
+
+unsigned
+PipelineCore::tryExecute()
+{
+    unsigned issued = 0;
+    size_t keep = 0;
+    bool stop = false;
+    for (size_t i = 0; i < unissued.size(); ++i) {
+        DynInst *di = unissued[i];
+        if (di->issued)
+            continue; // already handled (defensive; should not happen)
+        if (!stop && issued < cfg.issueWidth && canIssue(*di)) {
+            issue(*di);
+            ++issued;
+            continue;
+        }
+        if (!cfg.outOfOrder)
+            stop = true; // in-order issue: younger instructions must wait
+        unissued[keep++] = di;
+    }
+    unissued.resize(keep);
+    return issued;
+}
+
+unsigned
+PipelineCore::tryDispatch()
+{
+    unsigned dispatched = 0;
+    unsigned taken_this_cycle = 0;
+    while (dispatched < cfg.issueWidth && !fetchBuf.empty()) {
+        if (awaitingRedirect || now < dispatchBlockedUntil)
+            break;
+        if (window.size() >= cfg.windowSize)
+            break;
+        if (specBranches >= cfg.maxSpecBranches)
+            break;
+        const isa::Inst &inst = fetchBuf.front();
+        if (inst.isMem() && memqUsed >= cfg.memQueueSize)
+            break;
+
+        DynInst di;
+        di.inst = inst;
+        di.seq = nextSeq++;
+        if (inst.dst != kNoVal)
+            setReady(inst.dst, kNever);
+
+        if (inst.isBranch()) {
+            const bool correct =
+                predictor.predictAndUpdate(inst.pc, inst.taken());
+            ++stats_.branches;
+            ++specBranches;
+            if (!correct) {
+                ++stats_.mispredicts;
+                di.mispredicted = true;
+            }
+        }
+        if (inst.isStore()) {
+            fwdRing[fwdNext] =
+                RingEntry{di.seq, inst.addr, inst.memSize, kNever, true};
+            di.fwdRing = static_cast<int>(fwdNext);
+            fwdNext = (fwdNext + 1) % kFwdRingSize;
+        }
+        if (inst.isMem())
+            ++memqUsed;
+
+        const bool was_taken_branch = inst.isBranch() && inst.taken();
+        const bool mispredicted = di.mispredicted;
+        window.push_back(di);
+        unissued.push_back(&window.back());
+        fetchBuf.pop_front();
+        ++dispatched;
+
+        if (mispredicted) {
+            awaitingRedirect = true;
+            break; // no fetch past an unresolved mispredicted branch
+        }
+        if (was_taken_branch &&
+            ++taken_this_cycle >= cfg.takenBranchesPerCycle) {
+            break; // fetch limit: one taken branch per cycle
+        }
+    }
+    return dispatched;
+}
+
+StallClass
+PipelineCore::classifyBlock() const
+{
+    if (!window.empty()) {
+        const DynInst &head = window.front();
+        if (head.issued && head.readyTime > now && head.inst.isLoad()) {
+            return head.level == mem::HitLevel::L1 ? StallClass::MemL1Hit
+                                                   : StallClass::MemL1Miss;
+        }
+        if (!cfg.outOfOrder && !head.issued) {
+            // Stall-on-use: charge the latest-arriving blocked source.
+            Cycle worst = 0;
+            StallClass cls = StallClass::FuStall;
+            for (unsigned i = 0; i < head.inst.numSrcs; ++i) {
+                const Cycle r = readyOf(head.inst.src[i]);
+                if (r > now && r >= worst) {
+                    worst = r;
+                    cls = classOf(head.inst.src[i]);
+                }
+            }
+            return cls;
+        }
+        return StallClass::FuStall;
+    }
+    if (awaitingRedirect || now < dispatchBlockedUntil)
+        return StallClass::FuStall;
+    // Dispatch blocked by a full memory queue: charge the earliest
+    // pending store's memory level.
+    const std::pair<Cycle, StallClass> *oldest = nullptr;
+    for (const auto &p : pendingStores) {
+        if (p.first > now && (!oldest || p.first < oldest->first))
+            oldest = &p;
+    }
+    if (oldest)
+        return oldest->second;
+    return StallClass::FuStall;
+}
+
+Cycle
+PipelineCore::nextEventTime() const
+{
+    Cycle next = kNever;
+    if (!window.empty()) {
+        const DynInst &head = window.front();
+        if (head.issued && head.readyTime > now)
+            next = std::min(next, head.readyTime);
+    }
+    for (const DynInst *di : unissued) {
+        if (di->issued)
+            continue;
+        Cycle t = now + 1;
+        for (unsigned i = 0; i < di->inst.numSrcs; ++i)
+            t = std::max(t, readyOf(di->inst.src[i]));
+        if (t != kNever) {
+            t = std::max(t, fuPool.nextFree(di->inst.op, now));
+            next = std::min(next, t);
+        }
+        if (!cfg.outOfOrder)
+            break; // only the oldest unissued matters in order
+    }
+    if (!memqFrees.empty())
+        next = std::min(next, memqFrees.top());
+    if (!branchResolves.empty())
+        next = std::min(next, branchResolves.top());
+    if (dispatchBlockedUntil > now)
+        next = std::min(next, dispatchBlockedUntil);
+    return next;
+}
+
+void
+PipelineCore::step()
+{
+    expireEvents();
+
+    const unsigned retired = tryRetire();
+    const unsigned issued = tryExecute();
+    const unsigned dispatched = tryDispatch();
+
+    const double r = static_cast<double>(retired) / cfg.retireWidth;
+    stats_.charge(StallClass::Busy, r);
+    StallClass block = StallClass::Busy;
+    if (retired < cfg.retireWidth) {
+        block = classifyBlock();
+        stats_.charge(block, 1.0 - r);
+    }
+
+    if (retired == 0 && issued == 0 && dispatched == 0 &&
+        !(window.empty() && fetchBuf.empty())) {
+        // Nothing happened this cycle: fast-forward to the next event
+        // (computed against the *current* cycle so an event one cycle
+        // out is found), charging the idle gap to the blocking class.
+        const Cycle next = nextEventTime();
+        if (next == kNever) {
+            if (!window.empty()) {
+                const DynInst &head = window.front();
+                panic("pipeline deadlock at cycle %llu: window=%zu "
+                      "unissued=%zu head{op=%s issued=%d ready=%llu "
+                      "srcs=%u} memq=%u spec=%u",
+                      static_cast<unsigned long long>(now),
+                      window.size(), unissued.size(),
+                      isa::opName(head.inst.op), head.issued,
+                      static_cast<unsigned long long>(head.readyTime),
+                      head.inst.numSrcs, memqUsed, specBranches);
+            }
+            ++now;
+            return; // dispatch-only state; it will proceed next cycle
+        }
+        if (next > now + 1) {
+            const Cycle dt = next - now - 1;
+            stats_.charge(block, static_cast<double>(dt));
+            now = next;
+            return;
+        }
+    }
+    ++now;
+}
+
+} // namespace msim::cpu

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unified pipeline timing model covering both of the paper's processor
+ * configurations:
+ *
+ *  - In-order issue, out-of-order completion (UltraSPARC-II / 21164
+ *    class): instructions begin execution strictly in program order,
+ *    loads are non-blocking with stall-on-use semantics.
+ *  - Out-of-order issue (R10000 / 21264 class): 64-entry instruction
+ *    window, 32-entry memory queue, any ready instruction may issue.
+ *
+ * Shared machinery: Table-2 functional units, bimodal branch prediction
+ * with a trace-driven mispredict model (fetch stalls from a mispredicted
+ * branch's dispatch until it resolves plus a redirect penalty; no
+ * wrong-path execution), at most one taken branch fetched per cycle, at
+ * most 16 unresolved speculated branches, store-to-load forwarding, and
+ * the Section-2.3.4 retire-based execution-time accounting.
+ *
+ * The core consumes the dynamic instruction stream produced by the
+ * trace builder (isa::InstSink) and simulates incrementally, so traces
+ * are never materialized. Idle stretches (e.g. the tail of an L2 miss)
+ * are fast-forwarded in one step with their stall time charged to the
+ * blocking instruction's component.
+ */
+
+#ifndef MSIM_CPU_CORE_HH_
+#define MSIM_CPU_CORE_HH_
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "cpu/accounting.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/fu_pool.hh"
+#include "isa/inst.hh"
+#include "mem/hierarchy.hh"
+
+namespace msim::cpu
+{
+
+/** Core configuration (Table 2). */
+struct CoreConfig
+{
+    bool outOfOrder = true;
+    unsigned issueWidth = 4;
+    unsigned windowSize = 64;
+    unsigned memQueueSize = 32;
+    unsigned maxSpecBranches = 16;
+    unsigned takenBranchesPerCycle = 1;
+    unsigned mispredictPenalty = 4;
+    unsigned retireWidth = 0; ///< 0 means issueWidth
+    unsigned predictorEntries = 2048;
+
+    /** The three Figure-1 configurations. */
+    static CoreConfig inOrder1Way();
+    static CoreConfig inOrder4Way();
+    static CoreConfig outOfOrder4Way();
+};
+
+/** The timing core; see file comment. */
+class PipelineCore : public isa::InstSink
+{
+  public:
+    /**
+     * @param config  Pipeline parameters.
+     * @param memory  The memory port this core issues accesses to.
+     */
+    PipelineCore(const CoreConfig &config, mem::MemoryPort &memory);
+
+    void feed(const isa::Inst &inst) override;
+    void finish() override;
+
+    /**
+     * Multi-core driving: when manual pumping is enabled, feed() only
+     * buffers (the whole trace can be queued up front) and an external
+     * scheduler advances each core's clock in quanta with runTo(), so
+     * cores sharing a cache level stay loosely synchronized.
+     */
+    void setManualPump(bool manual) { manualPump = manual; }
+
+    /** Advance the pipeline until @p target or until out of work. */
+    void runTo(Cycle target);
+
+    /** True when every buffered instruction has retired. */
+    bool done() const { return window.empty() && fetchBuf.empty(); }
+
+    Cycle nowCycle() const { return now; }
+
+    /** Results; valid after finish(). */
+    const ExecStats &stats() const { return stats_; }
+
+  private:
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    struct DynInst
+    {
+        isa::Inst inst;
+        u64 seq = 0;
+        Cycle readyTime = kNever;  ///< result/resolution availability
+        Cycle memFreeTime = 0;     ///< when its memory-queue slot frees
+        int fwdRing = -1;          ///< store's slot in the forwarding ring
+        bool issued = false;
+        bool mispredicted = false;
+        mem::HitLevel level = mem::HitLevel::L1;
+    };
+
+    struct RingEntry
+    {
+        u64 seq = 0;
+        Addr addr = 0;
+        unsigned size = 0;
+        Cycle dataReady = kNever;
+        bool valid = false;
+    };
+
+    using MinHeap =
+        std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>;
+
+    /** Simulate cycles until the fetch buffer drains below its cap. */
+    void pump(bool draining);
+
+    /** Simulate one cycle (possibly fast-forwarding an idle gap). */
+    void step();
+
+    /** Release counter slots whose release time has arrived. */
+    void expireEvents();
+
+    unsigned tryRetire();
+    unsigned tryExecute();
+    unsigned tryDispatch();
+
+    bool canIssue(const DynInst &di) const;
+    void issue(DynInst &di);
+
+    /** Classify what the pipeline is blocked on this cycle. */
+    StallClass classifyBlock() const;
+
+    /** Earliest future cycle at which anything can change. */
+    Cycle nextEventTime() const;
+
+    Cycle readyOf(ValId id) const;
+    void setReady(ValId id, Cycle t);
+
+    /** Stall class of the producer of a value (loads record theirs). */
+    StallClass classOf(ValId id) const;
+    void setClass(ValId id, StallClass cls);
+
+    /** Try store-to-load forwarding; returns kNever if no match. */
+    Cycle forwardingReady(const DynInst &load) const;
+
+    CoreConfig cfg;
+    mem::MemoryPort &mem_;
+    FuPool fuPool;
+    BranchPredictor predictor;
+
+    std::deque<isa::Inst> fetchBuf;
+    std::deque<DynInst> window;
+    std::vector<DynInst *> unissued; ///< program-order, lazily compacted
+    std::vector<Cycle> valReady;
+    std::vector<u8> valClass;
+    std::vector<RingEntry> fwdRing;
+    unsigned fwdNext = 0;
+
+    /// Memory-queue occupancy: +1 at dispatch, -1 when the heap entry
+    /// pushed at issue time expires.
+    unsigned memqUsed = 0;
+    MinHeap memqFrees;
+
+    /// Unresolved speculated branches: +1 at dispatch, -1 at resolution.
+    unsigned specBranches = 0;
+    MinHeap branchResolves;
+
+    /// Stall classes of stores still holding memory-queue slots after
+    /// retirement, with their release times (for attribution).
+    std::vector<std::pair<Cycle, StallClass>> pendingStores;
+
+    Cycle now = 0;
+    bool manualPump = false;
+    Cycle dispatchBlockedUntil = 0;
+    bool awaitingRedirect = false; ///< mispredicted branch not yet issued
+    u64 nextSeq = 0;
+
+    ExecStats stats_;
+};
+
+} // namespace msim::cpu
+
+#endif // MSIM_CPU_CORE_HH_

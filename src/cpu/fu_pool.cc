@@ -1,0 +1,55 @@
+#include "cpu/fu_pool.hh"
+
+#include <algorithm>
+
+namespace msim::cpu
+{
+
+FuPool::FuPool(unsigned issue_width)
+{
+    for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+        const auto cls = static_cast<isa::FuClass>(c);
+        units[c].assign(isa::defaultFuCount(cls, issue_width), 0);
+    }
+}
+
+const std::vector<Cycle> &
+FuPool::unitsFor(isa::Op op) const
+{
+    return units[static_cast<unsigned>(isa::fuClassOf(op))];
+}
+
+std::vector<Cycle> &
+FuPool::unitsFor(isa::Op op)
+{
+    return units[static_cast<unsigned>(isa::fuClassOf(op))];
+}
+
+bool
+FuPool::available(isa::Op op, Cycle t) const
+{
+    const auto &u = unitsFor(op);
+    return std::any_of(u.begin(), u.end(),
+                       [t](Cycle busy) { return busy <= t; });
+}
+
+Cycle
+FuPool::reserve(isa::Op op, Cycle t)
+{
+    auto &u = unitsFor(op);
+    auto it = std::min_element(u.begin(), u.end());
+    const Cycle start = std::max(t, *it);
+    const isa::OpTiming timing = isa::timingOf(op);
+    *it = start + (timing.pipelined ? 1 : timing.latency);
+    return start + timing.latency;
+}
+
+Cycle
+FuPool::nextFree(isa::Op op, Cycle t) const
+{
+    const auto &u = unitsFor(op);
+    const Cycle earliest = *std::min_element(u.begin(), u.end());
+    return std::max(t, earliest);
+}
+
+} // namespace msim::cpu

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Functional-unit pool with Table-2 counts and latencies.
+ *
+ * Fully pipelined units accept one operation per cycle; the FP divider
+ * is occupied for its whole latency. Requests reserve the earliest-free
+ * unit of the right class.
+ */
+
+#ifndef MSIM_CPU_FU_POOL_HH_
+#define MSIM_CPU_FU_POOL_HH_
+
+#include <vector>
+
+#include "isa/inst.hh"
+#include "isa/timing.hh"
+
+namespace msim::cpu
+{
+
+/** All functional units of one core. */
+class FuPool
+{
+  public:
+    /** Build the pool for an @p issue_width -way machine (Table 2). */
+    explicit FuPool(unsigned issue_width);
+
+    /**
+     * Is a unit of @p op's class free at cycle @p t?
+     */
+    bool available(isa::Op op, Cycle t) const;
+
+    /**
+     * Reserve a unit for @p op starting at @p t (must be available).
+     * @return the cycle the result becomes available.
+     */
+    Cycle reserve(isa::Op op, Cycle t);
+
+    /** Earliest cycle >= @p t at which a unit of @p op's class frees. */
+    Cycle nextFree(isa::Op op, Cycle t) const;
+
+  private:
+    const std::vector<Cycle> &unitsFor(isa::Op op) const;
+    std::vector<Cycle> &unitsFor(isa::Op op);
+
+    std::vector<Cycle> units[isa::kNumFuClasses]; ///< per-unit busy-until
+};
+
+} // namespace msim::cpu
+
+#endif // MSIM_CPU_FU_POOL_HH_

@@ -1,0 +1,88 @@
+#include "img/image.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace msim::img
+{
+
+Image::Image(unsigned width, unsigned height, unsigned bands)
+    : width_(width), height_(height), bands_(bands),
+      data_(static_cast<size_t>(width) * height * bands, 0)
+{
+    if (bands < 1 || bands > 4)
+        fatal("image band count %u out of range [1,4]", bands);
+}
+
+u8 &
+Image::at(unsigned x, unsigned y, unsigned band)
+{
+    return data_[(static_cast<size_t>(y) * width_ + x) * bands_ + band];
+}
+
+u8
+Image::at(unsigned x, unsigned y, unsigned band) const
+{
+    return data_[(static_cast<size_t>(y) * width_ + x) * bands_ + band];
+}
+
+namespace
+{
+
+void
+checkShape(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.bands() != b.bands()) {
+        panic("image shape mismatch: %ux%ux%u vs %ux%ux%u", a.width(),
+              a.height(), a.bands(), b.width(), b.height(), b.bands());
+    }
+}
+
+} // namespace
+
+double
+psnr(const Image &a, const Image &b)
+{
+    checkShape(a, b);
+    double mse = 0.0;
+    const size_t n = a.sizeBytes();
+    for (size_t i = 0; i < n; ++i) {
+        const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+        mse += d * d;
+    }
+    mse /= static_cast<double>(n);
+    if (mse == 0.0)
+        return 99.0; // conventionally "identical"
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+double
+meanAbsDiff(const Image &a, const Image &b)
+{
+    checkShape(a, b);
+    u64 sum = 0;
+    const size_t n = a.sizeBytes();
+    for (size_t i = 0; i < n; ++i)
+        sum += static_cast<u64>(std::abs(int(a.data()[i]) - int(b.data()[i])));
+    return static_cast<double>(sum) / static_cast<double>(n);
+}
+
+unsigned
+maxAbsDiff(const Image &a, const Image &b)
+{
+    checkShape(a, b);
+    unsigned m = 0;
+    const size_t n = a.sizeBytes();
+    for (size_t i = 0; i < n; ++i) {
+        const unsigned d =
+            static_cast<unsigned>(std::abs(int(a.data()[i]) - int(b.data()[i])));
+        if (d > m)
+            m = d;
+    }
+    return m;
+}
+
+} // namespace msim::img

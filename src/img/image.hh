@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-band 8-bit image container used as benchmark input/output.
+ *
+ * Pixels are stored band-interleaved (RGBRGB... for 3-band images), the
+ * same layout the Sun VSDK kernels operate on, so a row of a 3-band image
+ * is 3*width consecutive bytes.
+ */
+
+#ifndef MSIM_IMG_IMAGE_HH_
+#define MSIM_IMG_IMAGE_HH_
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msim::img
+{
+
+/** A width x height image with 1..4 interleaved 8-bit bands. */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Create a zero-filled image. */
+    Image(unsigned width, unsigned height, unsigned bands);
+
+    unsigned width() const { return width_; }
+    unsigned height() const { return height_; }
+    unsigned bands() const { return bands_; }
+
+    /** Bytes per row (width * bands). */
+    unsigned rowBytes() const { return width_ * bands_; }
+
+    /** Total payload size in bytes. */
+    size_t sizeBytes() const { return data_.size(); }
+
+    u8 &at(unsigned x, unsigned y, unsigned band);
+    u8 at(unsigned x, unsigned y, unsigned band) const;
+
+    u8 *data() { return data_.data(); }
+    const u8 *data() const { return data_.data(); }
+
+    bool operator==(const Image &other) const = default;
+
+  private:
+    unsigned width_ = 0;
+    unsigned height_ = 0;
+    unsigned bands_ = 0;
+    std::vector<u8> data_;
+};
+
+/** Peak signal-to-noise ratio between two same-shaped images, in dB. */
+double psnr(const Image &a, const Image &b);
+
+/** Mean absolute per-sample difference between two same-shaped images. */
+double meanAbsDiff(const Image &a, const Image &b);
+
+/** Largest per-sample absolute difference. */
+unsigned maxAbsDiff(const Image &a, const Image &b);
+
+} // namespace msim::img
+
+#endif // MSIM_IMG_IMAGE_HH_

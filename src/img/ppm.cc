@@ -1,0 +1,107 @@
+#include "img/ppm.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace msim::img
+{
+
+namespace
+{
+
+/** Skip whitespace and '#' comments between PPM header tokens. */
+void
+skipSeparators(std::istream &in)
+{
+    for (;;) {
+        const int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            in.get();
+        } else {
+            return;
+        }
+    }
+}
+
+unsigned
+readHeaderInt(std::istream &in)
+{
+    skipSeparators(in);
+    unsigned v = 0;
+    if (!(in >> v))
+        fatal("ppm: malformed header integer");
+    return v;
+}
+
+} // namespace
+
+Image
+readPpm(std::istream &in)
+{
+    char magic[2] = {0, 0};
+    in.read(magic, 2);
+    unsigned bands = 0;
+    if (magic[0] == 'P' && magic[1] == '6')
+        bands = 3;
+    else if (magic[0] == 'P' && magic[1] == '5')
+        bands = 1;
+    else
+        fatal("ppm: unsupported magic '%c%c'", magic[0], magic[1]);
+
+    const unsigned width = readHeaderInt(in);
+    const unsigned height = readHeaderInt(in);
+    const unsigned maxval = readHeaderInt(in);
+    if (maxval != 255)
+        fatal("ppm: only maxval 255 supported, got %u", maxval);
+    in.get(); // the single whitespace byte after maxval
+
+    Image im(width, height, bands);
+    in.read(reinterpret_cast<char *>(im.data()),
+            static_cast<std::streamsize>(im.sizeBytes()));
+    if (!in)
+        fatal("ppm: truncated pixel data");
+    return im;
+}
+
+Image
+readPpmFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        fatal("ppm: cannot open '%s'", path.c_str());
+    return readPpm(f);
+}
+
+void
+writePpm(std::ostream &out, const Image &im)
+{
+    if (im.bands() == 3)
+        out << "P6\n";
+    else if (im.bands() == 1)
+        out << "P5\n";
+    else
+        fatal("ppm: cannot write %u-band image", im.bands());
+    out << im.width() << ' ' << im.height() << "\n255\n";
+    out.write(reinterpret_cast<const char *>(im.data()),
+              static_cast<std::streamsize>(im.sizeBytes()));
+}
+
+void
+writePpmFile(const std::string &path, const Image &im)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("ppm: cannot open '%s' for writing", path.c_str());
+    writePpm(f, im);
+    if (!f)
+        fatal("ppm: write to '%s' failed", path.c_str());
+}
+
+} // namespace msim::img

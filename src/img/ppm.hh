@@ -1,0 +1,35 @@
+/**
+ * @file
+ * PPM (P6) / PGM (P5) reader and writer.
+ *
+ * The paper ran the image kernels on PPM inputs from the Intel Media
+ * Benchmark. Our default workloads are synthesized (see img/synth.hh),
+ * but real images can be substituted through these functions.
+ */
+
+#ifndef MSIM_IMG_PPM_HH_
+#define MSIM_IMG_PPM_HH_
+
+#include <iosfwd>
+#include <string>
+
+#include "img/image.hh"
+
+namespace msim::img
+{
+
+/** Parse a binary PPM (P6, 3 bands) or PGM (P5, 1 band) stream. */
+Image readPpm(std::istream &in);
+
+/** Load a PPM/PGM file; calls fatal() on I/O or format errors. */
+Image readPpmFile(const std::string &path);
+
+/** Write @p im as P6 (3 bands) or P5 (1 band). */
+void writePpm(std::ostream &out, const Image &im);
+
+/** Save @p im to @p path; calls fatal() on I/O errors. */
+void writePpmFile(const std::string &path, const Image &im);
+
+} // namespace msim::img
+
+#endif // MSIM_IMG_PPM_HH_

@@ -1,0 +1,84 @@
+#include "img/synth.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/saturate.hh"
+
+namespace msim::img
+{
+
+namespace
+{
+
+/**
+ * Content function: low-frequency gradient + two sinusoidal textures +
+ * band-dependent phase, evaluated at world coordinates so that shifted
+ * evaluations produce genuinely translated content for video.
+ */
+u8
+contentAt(double wx, double wy, unsigned band, u64 seed)
+{
+    const double s = static_cast<double>(seed % 1024) * 0.13;
+    const double base = 118.0 + 72.0 * std::sin(wx * 0.041 + s) +
+                        52.0 * std::cos(wy * 0.057 + 0.7 * band);
+    const double texture = 26.0 * std::sin(wx * 0.19 + wy * 0.11 + band) +
+                           16.0 * std::cos(wx * 0.07 - wy * 0.23 + s);
+    return satU8(static_cast<s64>(std::lround(base + texture)));
+}
+
+} // namespace
+
+Image
+makeTestImage(unsigned width, unsigned height, unsigned bands, u64 seed)
+{
+    Image im(width, height, bands);
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            for (unsigned b = 0; b < bands; ++b) {
+                const int noise = static_cast<int>(rng.nextBelow(17)) - 8;
+                im.at(x, y, b) =
+                    satU8(contentAt(x, y, b, seed) + noise);
+            }
+        }
+    }
+    return im;
+}
+
+std::vector<Image>
+makeTestVideo(unsigned width, unsigned height, unsigned frames, int dx,
+              int dy, u64 seed)
+{
+    std::vector<Image> video;
+    video.reserve(frames);
+    Rng rng(seed ^ 0xabcdef1234567ull);
+    // Static per-sequence noise texture, translated with the pan so that
+    // motion search finds coherent matches.
+    for (unsigned f = 0; f < frames; ++f) {
+        Image im(width, height, 1);
+        const double ox = static_cast<double>(dx) * f;
+        const double oy = static_cast<double>(dy) * f;
+        // Moving foreground object: a bright square with its own velocity.
+        const int objx =
+            static_cast<int>((width / 4 + 3 * f) % (width - 16));
+        const int objy =
+            static_cast<int>((height / 4 + 2 * f) % (height - 16));
+        for (unsigned y = 0; y < height; ++y) {
+            for (unsigned x = 0; x < width; ++x) {
+                u8 v = contentAt(x + ox, y + oy, 0, seed);
+                const bool in_obj = static_cast<int>(x) >= objx &&
+                                    static_cast<int>(x) < objx + 16 &&
+                                    static_cast<int>(y) >= objy &&
+                                    static_cast<int>(y) < objy + 16;
+                if (in_obj)
+                    v = satU8(v + 70);
+                im.at(x, y, 0) = v;
+            }
+        }
+        video.push_back(std::move(im));
+    }
+    return video;
+}
+
+} // namespace msim::img

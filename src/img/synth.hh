@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic synthetic image and video generation.
+ *
+ * The paper's inputs (sf16.ppm, rose16.ppm, winter16.ppm, mei16v2) are
+ * not redistributable, so the workloads are synthesized with controlled
+ * statistics: smooth low-frequency gradients (realistic DCT energy
+ * compaction), mid-frequency texture (non-trivial Huffman symbol
+ * distribution), and noise (data-dependent saturation/threshold branch
+ * behaviour). Video frames add translational global motion plus a moving
+ * object so motion estimation has real work to do.
+ */
+
+#ifndef MSIM_IMG_SYNTH_HH_
+#define MSIM_IMG_SYNTH_HH_
+
+#include <vector>
+
+#include "img/image.hh"
+
+namespace msim::img
+{
+
+/**
+ * Deterministic "photograph-like" test image.
+ *
+ * @param width   Image width in pixels.
+ * @param height  Image height in pixels.
+ * @param bands   Number of interleaved bands (1 or 3).
+ * @param seed    Content selector; different seeds give independent images.
+ */
+Image makeTestImage(unsigned width, unsigned height, unsigned bands,
+                    u64 seed);
+
+/**
+ * Synthetic video: @p frames frames of @p width x @p height luma with a
+ * globally panning background and a locally moving block, suitable for
+ * exercising full-search motion estimation. Returned images are 1-band.
+ *
+ * @param dx Global pan in pixels/frame (x).
+ * @param dy Global pan in pixels/frame (y).
+ */
+std::vector<Image> makeTestVideo(unsigned width, unsigned height,
+                                 unsigned frames, int dx, int dy, u64 seed);
+
+} // namespace msim::img
+
+#endif // MSIM_IMG_SYNTH_HH_

@@ -1,0 +1,119 @@
+#include "isa/inst.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace msim::isa
+{
+
+MixClass
+mixClassOf(Op op)
+{
+    switch (op) {
+      case Op::IntAlu:
+      case Op::IntMul:
+      case Op::IntDiv:
+      case Op::FpAlu:
+      case Op::FpMul:
+      case Op::FpDiv:
+      case Op::FpMov:
+        return MixClass::Fu;
+      case Op::Branch:
+        return MixClass::Branch;
+      case Op::Load:
+      case Op::Store:
+      case Op::Prefetch:
+        return MixClass::Memory;
+      case Op::VisAdd:
+      case Op::VisMul:
+      case Op::VisPdist:
+      case Op::VisAlign:
+      case Op::VisPack:
+      case Op::VisGsr:
+        return MixClass::Vis;
+      default:
+        panic("mixClassOf: bad op %u", static_cast<unsigned>(op));
+    }
+}
+
+FuClass
+fuClassOf(Op op)
+{
+    switch (op) {
+      case Op::IntAlu:
+      case Op::IntMul:
+      case Op::IntDiv:
+      case Op::Branch:
+        return FuClass::IntUnit;
+      case Op::FpAlu:
+      case Op::FpMul:
+      case Op::FpDiv:
+      case Op::FpMov:
+        return FuClass::FpUnit;
+      case Op::Load:
+      case Op::Store:
+      case Op::Prefetch:
+        return FuClass::AddrGen;
+      case Op::VisAdd:
+      case Op::VisAlign:
+      case Op::VisPack:
+      case Op::VisGsr:
+        return FuClass::VisAdder;
+      case Op::VisMul:
+      case Op::VisPdist:
+        return FuClass::VisMul;
+      default:
+        panic("fuClassOf: bad op %u", static_cast<unsigned>(op));
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::IntAlu: return "ialu";
+      case Op::IntMul: return "imul";
+      case Op::IntDiv: return "idiv";
+      case Op::FpAlu: return "fpalu";
+      case Op::FpMul: return "fpmul";
+      case Op::FpDiv: return "fpdiv";
+      case Op::FpMov: return "fpmov";
+      case Op::Branch: return "br";
+      case Op::Load: return "ld";
+      case Op::Store: return "st";
+      case Op::Prefetch: return "pref";
+      case Op::VisAdd: return "vadd";
+      case Op::VisMul: return "vmul";
+      case Op::VisPdist: return "pdist";
+      case Op::VisAlign: return "valign";
+      case Op::VisPack: return "vpack";
+      case Op::VisGsr: return "vgsr";
+      default: return "?";
+    }
+}
+
+std::string
+toString(const Inst &inst)
+{
+    std::ostringstream out;
+    out << opName(inst.op) << " d" << inst.dst;
+    for (unsigned i = 0; i < inst.numSrcs; ++i)
+        out << " s" << inst.src[i];
+    if (inst.isMem())
+        out << " @0x" << std::hex << inst.addr << std::dec << "/"
+            << unsigned(inst.memSize);
+    if (inst.isBranch())
+        out << (inst.taken() ? " T" : " N") << " pc" << inst.pc;
+    return out.str();
+}
+
+void
+CountingSink::feed(const Inst &inst)
+{
+    ++total_;
+    ++mix[static_cast<unsigned>(mixClassOf(inst.op))];
+    ++ops[static_cast<unsigned>(inst.op)];
+}
+
+} // namespace msim::isa

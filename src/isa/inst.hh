@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Dynamic instruction record and opcode classes.
+ *
+ * msim is execution-driven through a trace-builder DSL: benchmarks do
+ * their real computation while emitting one Inst per dynamic operation.
+ * An Inst carries everything the timing models need — opcode class,
+ * SSA register dependences, memory address/size, and branch outcome —
+ * and nothing they don't (no encodings, no architectural register
+ * names; renaming is implicit in SSA value ids).
+ */
+
+#ifndef MSIM_ISA_INST_HH_
+#define MSIM_ISA_INST_HH_
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace msim::isa
+{
+
+/**
+ * Opcode classes. Scalar classes mirror the latency rows of the paper's
+ * Table 2; the Vis* classes mirror the VIS rows and the functional-unit
+ * split (one VIS adder, one VIS multiplier).
+ */
+enum class Op : u8
+{
+    IntAlu,     ///< integer add/sub/logic/shift/compare (1 cycle)
+    IntMul,     ///< integer multiply (7 cycles)
+    IntDiv,     ///< integer divide (12 cycles)
+    FpAlu,      ///< floating-point add/sub/compare (4 cycles)
+    FpMul,      ///< floating-point multiply (4 cycles)
+    FpDiv,      ///< floating-point divide (12 cycles, not pipelined)
+    FpMov,      ///< FP moves/converts (4 cycles)
+    Branch,     ///< conditional/unconditional branch (integer unit)
+    Load,       ///< memory load (address generation unit + cache)
+    Store,      ///< memory store (non-blocking)
+    Prefetch,   ///< software non-binding prefetch into L1
+    VisAdd,     ///< packed add/sub, logicals, partitioned compare, edge
+    VisMul,     ///< packed multiply family (3 cycles)
+    VisPdist,   ///< pixel distance / SAD (3 cycles)
+    VisAlign,   ///< alignaddr/faligndata (1 cycle, VIS adder)
+    VisPack,    ///< pack/expand/merge subword rearrangement (1 cycle)
+    VisGsr,     ///< graphics status register manipulation (1 cycle)
+    NumOps
+};
+
+constexpr unsigned kNumOps = static_cast<unsigned>(Op::NumOps);
+
+/** Coarse categories used for the paper's Figure 2 instruction mix. */
+enum class MixClass : u8 { Fu, Branch, Memory, Vis };
+
+/** Functional-unit classes (Table 2 counts: 2/2/2/1/1). */
+enum class FuClass : u8
+{
+    IntUnit,    ///< integer arithmetic unit
+    FpUnit,     ///< floating-point unit
+    AddrGen,    ///< address generation unit (drives all memory ops)
+    VisAdder,   ///< VIS adder
+    VisMul,     ///< VIS multiplier
+    NumClasses
+};
+
+constexpr unsigned kNumFuClasses = static_cast<unsigned>(FuClass::NumClasses);
+
+/** Per-instruction flags. */
+enum InstFlags : u8
+{
+    kFlagTaken = 1 << 0,       ///< branch outcome: taken
+    kFlagPartialStore = 1 << 1 ///< VIS partial (masked) store
+};
+
+/** One dynamic instruction. */
+struct Inst
+{
+    Op op = Op::IntAlu;
+    u8 memSize = 0;    ///< access width in bytes for Load/Store/Prefetch
+    u8 flags = 0;
+    u8 numSrcs = 0;
+    u32 pc = 0;        ///< static emission-site id (branch predictor index)
+    ValId dst = kNoVal;
+    ValId src[3] = {kNoVal, kNoVal, kNoVal};
+    Addr addr = 0;     ///< virtual address for memory ops
+
+    bool taken() const { return flags & kFlagTaken; }
+    bool isLoad() const { return op == Op::Load; }
+    bool isStore() const { return op == Op::Store; }
+    bool isPrefetch() const { return op == Op::Prefetch; }
+    bool isMem() const { return isLoad() || isStore() || isPrefetch(); }
+    bool isBranch() const { return op == Op::Branch; }
+
+    bool
+    isVis() const
+    {
+        return op >= Op::VisAdd && op <= Op::VisGsr;
+    }
+};
+
+/** Map an opcode to its Figure-2 mix class. */
+MixClass mixClassOf(Op op);
+
+/** Map an opcode to the functional unit class that executes it. */
+FuClass fuClassOf(Op op);
+
+/** Human-readable opcode name (for debugging and trace dumps). */
+const char *opName(Op op);
+
+/** One-line rendering of an instruction. */
+std::string toString(const Inst &inst);
+
+/**
+ * Consumer of a dynamic instruction stream. Timing cores and counting
+ * sinks implement this; the trace builder pushes into it so traces never
+ * need to be materialized in memory.
+ */
+class InstSink
+{
+  public:
+    virtual ~InstSink() = default;
+
+    /** Deliver the next instruction in program order. */
+    virtual void feed(const Inst &inst) = 0;
+
+    /** Signal end of program; the sink drains any buffered work. */
+    virtual void finish() = 0;
+};
+
+/** Sink that only tallies instruction counts by mix class. */
+class CountingSink : public InstSink
+{
+  public:
+    void feed(const Inst &inst) override;
+    void finish() override {}
+
+    u64 total() const { return total_; }
+    u64 byMix(MixClass c) const { return mix[static_cast<unsigned>(c)]; }
+    u64 byOp(Op op) const { return ops[static_cast<unsigned>(op)]; }
+
+  private:
+    u64 total_ = 0;
+    u64 mix[4] = {0, 0, 0, 0};
+    u64 ops[kNumOps] = {};
+};
+
+} // namespace msim::isa
+
+#endif // MSIM_ISA_INST_HH_

@@ -1,0 +1,52 @@
+#include "isa/timing.hh"
+
+#include "common/logging.hh"
+
+namespace msim::isa
+{
+
+OpTiming
+timingOf(Op op)
+{
+    switch (op) {
+      case Op::IntAlu: return {1, true};
+      case Op::IntMul: return {7, true};
+      case Op::IntDiv: return {12, true};
+      case Op::FpAlu: return {4, true};
+      case Op::FpMul: return {4, true};
+      case Op::FpDiv: return {12, false}; // the one non-pipelined unit
+      case Op::FpMov: return {4, true};
+      case Op::Branch: return {1, true};
+      // Memory ops: the latencies here are the address-generation step;
+      // cache access time is added by the memory hierarchy.
+      case Op::Load: return {1, true};
+      case Op::Store: return {1, true};
+      case Op::Prefetch: return {1, true};
+      case Op::VisAdd: return {1, true};
+      case Op::VisMul: return {3, true};
+      case Op::VisPdist: return {3, true};
+      case Op::VisAlign: return {1, true};
+      case Op::VisPack: return {1, true};
+      case Op::VisGsr: return {1, true};
+      default:
+        panic("timingOf: bad op %u", static_cast<unsigned>(op));
+    }
+}
+
+unsigned
+defaultFuCount(FuClass cls, unsigned issue_width)
+{
+    if (issue_width <= 1)
+        return 1; // "we scale the number of functional units to 1 of each"
+    switch (cls) {
+      case FuClass::IntUnit: return 2;
+      case FuClass::FpUnit: return 2;
+      case FuClass::AddrGen: return 2;
+      case FuClass::VisAdder: return 1;
+      case FuClass::VisMul: return 1;
+      default:
+        panic("defaultFuCount: bad class %u", static_cast<unsigned>(cls));
+    }
+}
+
+} // namespace msim::isa

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table-2 functional-unit latencies and counts.
+ *
+ * Latencies (cycles, 1 GHz): default integer/addrgen 1, integer
+ * multiply 7, divide 12, default FP 4, FP moves/converts 4, FP divide
+ * 12 (not pipelined), default VIS 1, VIS multiply and pdist 3.
+ * Counts (4-way config): 2 integer, 2 FP, 2 address generation, 1 VIS
+ * multiplier, 1 VIS adder; a 1-way config scales all counts to 1.
+ */
+
+#ifndef MSIM_ISA_TIMING_HH_
+#define MSIM_ISA_TIMING_HH_
+
+#include "isa/inst.hh"
+
+namespace msim::isa
+{
+
+/** Execution latency and pipelining per opcode class. */
+struct OpTiming
+{
+    unsigned latency;
+    bool pipelined;
+};
+
+/** Latency table indexed by Op; matches the paper's Table 2. */
+OpTiming timingOf(Op op);
+
+/** Default functional unit counts for a @p issue_width -way machine. */
+unsigned defaultFuCount(FuClass cls, unsigned issue_width);
+
+} // namespace msim::isa
+
+#endif // MSIM_ISA_TIMING_HH_

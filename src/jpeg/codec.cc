@@ -1,0 +1,364 @@
+#include "jpeg/codec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/saturate.hh"
+#include "jpeg/dct.hh"
+#include "jpeg/zigzag.hh"
+
+namespace msim::jpeg
+{
+
+namespace
+{
+
+constexpr unsigned kZrl = 0xf0; ///< run-of-16-zeros symbol
+constexpr unsigned kEob = 0x00; ///< end-of-band symbol
+
+/** Synthetic profile for the fixed baseline tables. */
+std::vector<u64>
+fixedDcFreq()
+{
+    std::vector<u64> f(12, 0);
+    for (unsigned c = 0; c < 12; ++c)
+        f[c] = u64{1} << (c < 8 ? (10 - c) : 1);
+    return f;
+}
+
+std::vector<u64>
+fixedAcFreq()
+{
+    std::vector<u64> f(256, 1); // every symbol representable
+    f[kEob] = 4000;
+    f[kZrl] = 200;
+    for (unsigned run = 0; run < 16; ++run) {
+        for (unsigned cat = 1; cat <= 10; ++cat) {
+            const unsigned sym = (run << 4) | cat;
+            f[sym] += (2000 >> std::min(run, 10u)) / cat;
+        }
+    }
+    return f;
+}
+
+} // namespace
+
+const HuffTable &
+fixedDcTable()
+{
+    static const HuffTable t = HuffTable::fromFrequencies(fixedDcFreq());
+    return t;
+}
+
+const HuffTable &
+fixedAcTable()
+{
+    static const HuffTable t = HuffTable::fromFrequencies(fixedAcFreq());
+    return t;
+}
+
+CoeffPlane
+transformPlane(const Plane &padded, const QuantTable &q)
+{
+    if (padded.w % 8 || padded.h % 8)
+        panic("transformPlane: plane %ux%u not padded", padded.w, padded.h);
+    CoeffPlane out;
+    out.wBlocks = padded.w / 8;
+    out.hBlocks = padded.h / 8;
+    out.data.resize(size_t{out.wBlocks} * out.hBlocks * 64);
+
+    s16 block[64], freq[64], zz[64];
+    for (unsigned by = 0; by < out.hBlocks; ++by) {
+        for (unsigned bx = 0; bx < out.wBlocks; ++bx) {
+            for (unsigned y = 0; y < 8; ++y)
+                for (unsigned x = 0; x < 8; ++x)
+                    block[y * 8 + x] = static_cast<s16>(
+                        int(padded.at(bx * 8 + x, by * 8 + y)) - 128);
+            fdct8x8(block, freq);
+            for (unsigned i = 0; i < 64; ++i)
+                freq[i] = quantOne(freq[i], q[i]);
+            toZigzag(freq, zz);
+            for (unsigned i = 0; i < 64; ++i)
+                out.block(bx, by)[i] = zz[i];
+        }
+    }
+    return out;
+}
+
+Plane
+reconstructPlane(const CoeffPlane &coeffs, const QuantTable &q)
+{
+    Plane out(coeffs.wBlocks * 8, coeffs.hBlocks * 8);
+    s16 zz[64], freq[64], px[64];
+    for (unsigned by = 0; by < coeffs.hBlocks; ++by) {
+        for (unsigned bx = 0; bx < coeffs.wBlocks; ++bx) {
+            for (unsigned i = 0; i < 64; ++i)
+                zz[i] = coeffs.block(bx, by)[i];
+            fromZigzag(zz, freq);
+            for (unsigned i = 0; i < 64; ++i)
+                freq[i] = static_cast<s16>(
+                    satS16(dequantOne(freq[i], q[i])));
+            idct8x8(freq, px);
+            for (unsigned y = 0; y < 8; ++y)
+                for (unsigned x = 0; x < 8; ++x)
+                    out.at(bx * 8 + x, by * 8 + y) =
+                        satU8(px[y * 8 + x] + 128);
+        }
+    }
+    return out;
+}
+
+void
+blockToSymbols(const s16 *zz, int &dc_pred, unsigned ss_start,
+               unsigned ss_end, std::vector<Sym> &out)
+{
+    unsigned i = ss_start;
+    if (ss_start == 0) {
+        const int diff = zz[0] - dc_pred;
+        dc_pred = zz[0];
+        const unsigned cat = magnitudeCategory(diff);
+        out.push_back({static_cast<u8>(cat), static_cast<u8>(cat),
+                       magnitudeBits(diff, cat)});
+        i = 1;
+    }
+    unsigned run = 0;
+    for (; i <= ss_end; ++i) {
+        if (zz[i] == 0) {
+            ++run;
+            continue;
+        }
+        while (run > 15) {
+            out.push_back({static_cast<u8>(kZrl), 0, 0});
+            run -= 16;
+        }
+        const unsigned cat = magnitudeCategory(zz[i]);
+        out.push_back({static_cast<u8>((run << 4) | cat),
+                       static_cast<u8>(cat), magnitudeBits(zz[i], cat)});
+        run = 0;
+    }
+    if (run > 0)
+        out.push_back({static_cast<u8>(kEob), 0, 0});
+}
+
+void
+symbolsToBlock(BitReader &br, const HuffTable &dc, const HuffTable &ac,
+               int &dc_pred, unsigned ss_start, unsigned ss_end, s16 *zz)
+{
+    unsigned i = ss_start;
+    if (ss_start == 0) {
+        const unsigned cat = dc.decode(br);
+        const u32 bits = br.getBits(cat);
+        dc_pred += magnitudeExtend(bits, cat);
+        zz[0] = static_cast<s16>(dc_pred);
+        i = 1;
+    }
+    while (i <= ss_end) {
+        const unsigned sym = ac.decode(br);
+        if (sym == kEob)
+            break;
+        if (sym == kZrl) {
+            i += 16;
+            continue;
+        }
+        const unsigned run = sym >> 4;
+        const unsigned cat = sym & 0xf;
+        i += run;
+        if (i > ss_end)
+            panic("jpeg: AC run overflows band (%u > %u)", i, ss_end);
+        const u32 bits = br.getBits(cat);
+        zz[i] = static_cast<s16>(magnitudeExtend(bits, cat));
+        ++i;
+    }
+}
+
+std::vector<std::pair<unsigned, std::pair<unsigned, unsigned>>>
+progressiveScanPlan()
+{
+    // DC scan across all planes, then spectral-selection AC scans.
+    return {
+        {kAllPlanes, {0, 0}},
+        {0, {1, 20}},
+        {0, {21, 63}},
+        {1, {1, 63}},
+        {2, {1, 63}},
+    };
+}
+
+namespace
+{
+
+/** Encode one scan over the given coefficient planes. */
+Scan
+encodeScan(const std::vector<CoeffPlane> &planes, unsigned plane,
+           unsigned ss_start, unsigned ss_end, bool optimize)
+{
+    Scan scan;
+    scan.plane = plane;
+    scan.ssStart = ss_start;
+    scan.ssEnd = ss_end;
+
+    // Gather the symbol stream (this is also the statistics pass).
+    const bool has_dc = ss_start == 0;
+    auto for_blocks = [&](auto &&fn) {
+        for (unsigned p = 0; p < planes.size(); ++p) {
+            if (plane != kAllPlanes && p != plane)
+                continue;
+            int dc_pred = 0;
+            const CoeffPlane &cp = planes[p];
+            for (unsigned by = 0; by < cp.hBlocks; ++by)
+                for (unsigned bx = 0; bx < cp.wBlocks; ++bx)
+                    fn(cp.block(bx, by), dc_pred);
+        }
+    };
+
+    std::vector<std::vector<Sym>> per_block;
+    for_blocks([&](const s16 *zz, int &dc_pred) {
+        std::vector<Sym> block_syms;
+        blockToSymbols(zz, dc_pred, ss_start, ss_end, block_syms);
+        per_block.push_back(std::move(block_syms));
+    });
+
+    // Build tables.
+    if (optimize) {
+        std::vector<u64> dc_freq(12, 0), ac_freq(256, 0);
+        for (const auto &bs : per_block) {
+            bool first = has_dc;
+            for (const Sym &s : bs) {
+                if (first) {
+                    ++dc_freq[s.sym];
+                    first = false;
+                } else {
+                    ++ac_freq[s.sym];
+                }
+            }
+        }
+        // Ensure decodability of any symbol the band could produce.
+        if (has_dc) {
+            for (auto &f : dc_freq)
+                f += 1;
+            scan.dc = HuffTable::fromFrequencies(dc_freq);
+        }
+        if (ss_end > 0) {
+            for (auto &f : ac_freq)
+                f += 1;
+            scan.ac = HuffTable::fromFrequencies(ac_freq);
+        }
+    } else {
+        scan.dc = fixedDcTable();
+        scan.ac = fixedAcTable();
+    }
+
+    // Emit bits.
+    BitWriter bw;
+    for (const auto &bs : per_block) {
+        bool first = has_dc;
+        for (const Sym &s : bs) {
+            if (first) {
+                scan.dc.encode(bw, s.sym);
+                first = false;
+            } else {
+                scan.ac.encode(bw, s.sym);
+            }
+            if (s.nbits)
+                bw.put(s.bits, s.nbits);
+        }
+    }
+    scan.bits = bw.finish();
+    return scan;
+}
+
+/** Decode one scan into the coefficient planes. */
+void
+decodeScan(const Scan &scan, std::vector<CoeffPlane> &planes)
+{
+    BitReader br(scan.bits);
+    for (unsigned p = 0; p < planes.size(); ++p) {
+        if (scan.plane != kAllPlanes && p != scan.plane)
+            continue;
+        int dc_pred = 0;
+        CoeffPlane &cp = planes[p];
+        for (unsigned by = 0; by < cp.hBlocks; ++by)
+            for (unsigned bx = 0; bx < cp.wBlocks; ++bx)
+                symbolsToBlock(br, scan.dc, scan.ac, dc_pred,
+                               scan.ssStart, scan.ssEnd,
+                               cp.block(bx, by));
+    }
+}
+
+std::vector<CoeffPlane>
+transformAll(const img::Image &rgb, const QuantTable &ql,
+             const QuantTable &qc)
+{
+    const Ycc420 ycc = rgbToYcc420(rgb);
+    std::vector<CoeffPlane> planes;
+    planes.push_back(transformPlane(padToBlocks(ycc.y), ql));
+    planes.push_back(transformPlane(padToBlocks(ycc.cb), qc));
+    planes.push_back(transformPlane(padToBlocks(ycc.cr), qc));
+    return planes;
+}
+
+} // namespace
+
+EncodedJpeg
+encodeJpeg(const img::Image &rgb, bool progressive, int quality)
+{
+    EncodedJpeg enc;
+    enc.width = rgb.width();
+    enc.height = rgb.height();
+    enc.progressive = progressive;
+    enc.qLuma = scaleTable(lumaBaseTable(), quality);
+    enc.qChroma = scaleTable(chromaBaseTable(), quality);
+
+    const std::vector<CoeffPlane> planes =
+        transformAll(rgb, enc.qLuma, enc.qChroma);
+
+    if (progressive) {
+        for (const auto &[plane, band] : progressiveScanPlan())
+            enc.scans.push_back(encodeScan(planes, plane, band.first,
+                                           band.second, true));
+    } else {
+        enc.scans.push_back(encodeScan(planes, kAllPlanes, 0, 63, false));
+    }
+    return enc;
+}
+
+img::Image
+decodeJpeg(const EncodedJpeg &enc)
+{
+    const unsigned yw = static_cast<unsigned>((enc.width + 7) / 8);
+    const unsigned yh = static_cast<unsigned>((enc.height + 7) / 8);
+    const unsigned cw = static_cast<unsigned>((enc.width / 2 + 7) / 8);
+    const unsigned ch = static_cast<unsigned>((enc.height / 2 + 7) / 8);
+
+    std::vector<CoeffPlane> planes(3);
+    planes[0].wBlocks = yw;
+    planes[0].hBlocks = yh;
+    planes[1].wBlocks = planes[2].wBlocks = cw;
+    planes[1].hBlocks = planes[2].hBlocks = ch;
+    for (auto &p : planes)
+        p.data.assign(size_t{p.wBlocks} * p.hBlocks * 64, 0);
+
+    for (const Scan &scan : enc.scans)
+        decodeScan(scan, planes);
+
+    Ycc420 ycc;
+    const Plane ypad = reconstructPlane(planes[0], enc.qLuma);
+    const Plane cbpad = reconstructPlane(planes[1], enc.qChroma);
+    const Plane crpad = reconstructPlane(planes[2], enc.qChroma);
+
+    // Crop the padded planes back to image dimensions.
+    auto crop = [](const Plane &p, unsigned w, unsigned h) {
+        Plane out(w, h);
+        for (unsigned y = 0; y < h; ++y)
+            for (unsigned x = 0; x < w; ++x)
+                out.at(x, y) = p.at(x, y);
+        return out;
+    };
+    ycc.y = crop(ypad, enc.width, enc.height);
+    ycc.cb = crop(cbpad, enc.width / 2, enc.height / 2);
+    ycc.cr = crop(crpad, enc.width / 2, enc.height / 2);
+
+    return ycc420ToRgb(ycc, enc.width, enc.height);
+}
+
+} // namespace msim::jpeg

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Native JPEG-style codec: baseline (single scan, fixed tables, blocked
+ * pipeline) and progressive (spectral-selection scans with per-scan
+ * optimized Huffman tables, multi-pass over the coefficient buffer).
+ *
+ * This is the reference implementation: the traced benchmarks
+ * (jpeg/traced.cc) share every table and arithmetic helper with it, and
+ * their outputs are verified against it.
+ */
+
+#ifndef MSIM_JPEG_CODEC_HH_
+#define MSIM_JPEG_CODEC_HH_
+
+#include <vector>
+
+#include "img/image.hh"
+#include "jpeg/color.hh"
+#include "jpeg/huffman.hh"
+#include "jpeg/quant.hh"
+
+namespace msim::jpeg
+{
+
+/** Quantized coefficients of one plane, 64 s16 per block, zig-zag order. */
+struct CoeffPlane
+{
+    unsigned wBlocks = 0;
+    unsigned hBlocks = 0;
+    std::vector<s16> data;
+
+    s16 *block(unsigned bx, unsigned by)
+    {
+        return &data[(size_t{by} * wBlocks + bx) * 64];
+    }
+
+    const s16 *block(unsigned bx, unsigned by) const
+    {
+        return &data[(size_t{by} * wBlocks + bx) * 64];
+    }
+};
+
+/** One entropy symbol: Huffman symbol plus raw magnitude bits. */
+struct Sym
+{
+    u8 sym = 0;
+    u8 nbits = 0;
+    u32 bits = 0;
+};
+
+/** One encoded scan. */
+struct Scan
+{
+    unsigned plane = 0;   ///< 0=Y, 1=Cb, 2=Cr; kAllPlanes for a DC scan
+    unsigned ssStart = 0; ///< first zig-zag index coded
+    unsigned ssEnd = 63;  ///< last zig-zag index coded
+    HuffTable dc;         ///< DC category table (if the scan codes DC)
+    HuffTable ac;         ///< AC run/size table (if the scan codes AC)
+    std::vector<u8> bits; ///< entropy-coded payload
+};
+
+constexpr unsigned kAllPlanes = 3;
+
+/** A complete in-memory encoded image. */
+struct EncodedJpeg
+{
+    unsigned width = 0;
+    unsigned height = 0;
+    bool progressive = false;
+    QuantTable qLuma{};
+    QuantTable qChroma{};
+    std::vector<Scan> scans;
+};
+
+/** Fixed (baseline) tables, built once from a synthetic profile. */
+const HuffTable &fixedDcTable();
+const HuffTable &fixedAcTable();
+
+/** Forward-transform one padded plane: DCT + quant + zig-zag per block. */
+CoeffPlane transformPlane(const Plane &padded, const QuantTable &q);
+
+/** Inverse: dequant + IDCT per block back into a padded plane. */
+Plane reconstructPlane(const CoeffPlane &coeffs, const QuantTable &q);
+
+/**
+ * Entropy symbols of one block's [ss_start, ss_end] band.
+ * @param dc_pred  DC predictor, updated in place (used when ss_start==0).
+ */
+void blockToSymbols(const s16 *zz, int &dc_pred, unsigned ss_start,
+                    unsigned ss_end, std::vector<Sym> &out);
+
+/**
+ * Decode one block band from the reader; inverse of blockToSymbols.
+ */
+void symbolsToBlock(BitReader &br, const HuffTable &dc,
+                    const HuffTable &ac, int &dc_pred, unsigned ss_start,
+                    unsigned ss_end, s16 *zz);
+
+/** Full native encode. */
+EncodedJpeg encodeJpeg(const img::Image &rgb, bool progressive,
+                       int quality = 75);
+
+/** Full native decode. */
+img::Image decodeJpeg(const EncodedJpeg &enc);
+
+/** The scan structure used for progressive encoding of a plane count. */
+std::vector<std::pair<unsigned, std::pair<unsigned, unsigned>>>
+progressiveScanPlan();
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_CODEC_HH_

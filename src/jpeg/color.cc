@@ -1,0 +1,89 @@
+#include "jpeg/color.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace msim::jpeg
+{
+
+Ycc420
+rgbToYcc420(const img::Image &rgb)
+{
+    if (rgb.bands() != 3)
+        fatal("rgbToYcc420: need a 3-band image, got %u bands",
+              rgb.bands());
+    const unsigned w = rgb.width();
+    const unsigned h = rgb.height();
+    if (w % 2 || h % 2)
+        fatal("rgbToYcc420: dimensions must be even (%ux%u)", w, h);
+
+    Ycc420 out;
+    out.y = Plane(w, h);
+    out.cb = Plane(w / 2, h / 2);
+    out.cr = Plane(w / 2, h / 2);
+
+    // Full-resolution luma plus full-resolution chroma scratch.
+    Plane cb_full(w, h), cr_full(w, h);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            const int r = rgb.at(x, y, 0);
+            const int g = rgb.at(x, y, 1);
+            const int b = rgb.at(x, y, 2);
+            out.y.at(x, y) = yOf(r, g, b);
+            cb_full.at(x, y) = cbOf(r, g, b);
+            cr_full.at(x, y) = crOf(r, g, b);
+        }
+    }
+    // 2x2 box decimation.
+    for (unsigned y = 0; y < h / 2; ++y) {
+        for (unsigned x = 0; x < w / 2; ++x) {
+            const auto avg = [&](const Plane &p) {
+                const unsigned s = p.at(2 * x, 2 * y) +
+                                   p.at(2 * x + 1, 2 * y) +
+                                   p.at(2 * x, 2 * y + 1) +
+                                   p.at(2 * x + 1, 2 * y + 1);
+                return static_cast<u8>((s + 2) >> 2);
+            };
+            out.cb.at(x, y) = avg(cb_full);
+            out.cr.at(x, y) = avg(cr_full);
+        }
+    }
+    return out;
+}
+
+img::Image
+ycc420ToRgb(const Ycc420 &ycc, unsigned width, unsigned height)
+{
+    img::Image rgb(width, height, 3);
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const int yy = ycc.y.at(x, y);
+            const int cb = ycc.cb.at(x / 2, y / 2);
+            const int cr = ycc.cr.at(x / 2, y / 2);
+            rgb.at(x, y, 0) = rOf(yy, cr);
+            rgb.at(x, y, 1) = gOf(yy, cb, cr);
+            rgb.at(x, y, 2) = bOf(yy, cb);
+        }
+    }
+    return rgb;
+}
+
+Plane
+padToBlocks(const Plane &p)
+{
+    const unsigned w = static_cast<unsigned>(roundUp(p.w, 8));
+    const unsigned h = static_cast<unsigned>(roundUp(p.h, 8));
+    if (w == p.w && h == p.h)
+        return p;
+    Plane out(w, h);
+    for (unsigned y = 0; y < h; ++y) {
+        const unsigned sy = y < p.h ? y : p.h - 1;
+        for (unsigned x = 0; x < w; ++x) {
+            const unsigned sx = x < p.w ? x : p.w - 1;
+            out.at(x, y) = p.at(sx, sy);
+        }
+    }
+    return out;
+}
+
+} // namespace msim::jpeg

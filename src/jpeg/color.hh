@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fixed-point RGB <-> YCbCr conversion and 4:2:0 chroma resampling.
+ *
+ * Constants are exported so the traced code paths (scalar and VIS) use
+ * the same arithmetic as the native reference.
+ */
+
+#ifndef MSIM_JPEG_COLOR_HH_
+#define MSIM_JPEG_COLOR_HH_
+
+#include <vector>
+
+#include "common/saturate.hh"
+#include "img/image.hh"
+
+namespace msim::jpeg
+{
+
+/** 8-bit fixed-point forward color constants (x256). */
+constexpr int kYR = 77, kYG = 150, kYB = 29;
+constexpr int kCbR = -43, kCbG = -85, kCbB = 128;
+constexpr int kCrR = 128, kCrG = -107, kCrB = -21;
+
+/** 8-bit fixed-point inverse constants (x256). */
+constexpr int kRCr = 359, kGCb = 88, kGCr = 183, kBCb = 454;
+
+/** One 8-bit sample plane with row-major layout. */
+struct Plane
+{
+    unsigned w = 0;
+    unsigned h = 0;
+    std::vector<u8> samples;
+
+    Plane() = default;
+    Plane(unsigned w, unsigned h) : w(w), h(h), samples(size_t{w} * h, 0) {}
+
+    u8 &at(unsigned x, unsigned y) { return samples[size_t{y} * w + x]; }
+    u8 at(unsigned x, unsigned y) const { return samples[size_t{y} * w + x]; }
+};
+
+/** Y/Cb/Cr triple in 4:2:0 layout (chroma at half resolution). */
+struct Ycc420
+{
+    Plane y, cb, cr;
+};
+
+/** Forward conversion of one pixel. */
+constexpr u8
+yOf(int r, int g, int b)
+{
+    return satU8((kYR * r + kYG * g + kYB * b) >> 8);
+}
+
+constexpr u8
+cbOf(int r, int g, int b)
+{
+    return satU8(((kCbR * r + kCbG * g + kCbB * b) >> 8) + 128);
+}
+
+constexpr u8
+crOf(int r, int g, int b)
+{
+    return satU8(((kCrR * r + kCrG * g + kCrB * b) >> 8) + 128);
+}
+
+/** Inverse conversion of one pixel. */
+constexpr u8
+rOf(int y, int cr)
+{
+    return satU8(y + ((kRCr * (cr - 128)) >> 8));
+}
+
+constexpr u8
+gOf(int y, int cb, int cr)
+{
+    return satU8(y - ((kGCb * (cb - 128) + kGCr * (cr - 128)) >> 8));
+}
+
+constexpr u8
+bOf(int y, int cb)
+{
+    return satU8(y + ((kBCb * (cb - 128)) >> 8));
+}
+
+/** RGB image -> 4:2:0 YCbCr (chroma box-filtered 2x2). */
+Ycc420 rgbToYcc420(const img::Image &rgb);
+
+/** 4:2:0 YCbCr -> RGB image (chroma replicated 2x2). */
+img::Image ycc420ToRgb(const Ycc420 &ycc, unsigned width, unsigned height);
+
+/** Pad a plane to multiples of 8 in both dimensions (edge replication). */
+Plane padToBlocks(const Plane &p);
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_COLOR_HH_

@@ -1,0 +1,108 @@
+#include "jpeg/dct.hh"
+
+#include <cmath>
+
+namespace msim::jpeg
+{
+
+const DctMatrixT &
+dctMatrix()
+{
+    static const DctMatrixT m = [] {
+        DctMatrixT t{};
+        const double pi = std::acos(-1.0);
+        for (int k = 0; k < 8; ++k) {
+            const double ck = k == 0 ? std::sqrt(0.5) : 1.0;
+            for (int n = 0; n < 8; ++n) {
+                const double v =
+                    0.5 * ck * std::cos((2 * n + 1) * k * pi / 16.0);
+                t[k][n] =
+                    static_cast<int>(std::lround(v * (1 << kDctBits)));
+            }
+        }
+        return t;
+    }();
+    return m;
+}
+
+namespace
+{
+
+/** One forward 1-D pass: out[k] = sum_n M[k][n] * in[n]. */
+void
+fpass(const s32 *in, s32 *out)
+{
+    const DctMatrixT &m = dctMatrix();
+    for (int k = 0; k < 8; ++k) {
+        s64 acc = 0;
+        for (int n = 0; n < 8; ++n)
+            acc += static_cast<s64>(m[k][n]) * in[n];
+        out[k] = static_cast<s32>((acc + (1 << (kDctBits - 1))) >>
+                                  kDctBits);
+    }
+}
+
+/** One inverse 1-D pass: out[n] = sum_k M[k][n] * in[k]. */
+void
+ipass(const s32 *in, s32 *out)
+{
+    const DctMatrixT &m = dctMatrix();
+    for (int n = 0; n < 8; ++n) {
+        s64 acc = 0;
+        for (int k = 0; k < 8; ++k)
+            acc += static_cast<s64>(m[k][n]) * in[k];
+        out[n] = static_cast<s32>((acc + (1 << (kDctBits - 1))) >>
+                                  kDctBits);
+    }
+}
+
+} // namespace
+
+void
+fdct8x8(const s16 in[64], s16 out[64])
+{
+    s32 tmp[64];
+    s32 row_in[8], row_out[8];
+    // Rows.
+    for (int r = 0; r < 8; ++r) {
+        for (int n = 0; n < 8; ++n)
+            row_in[n] = in[r * 8 + n];
+        fpass(row_in, row_out);
+        for (int k = 0; k < 8; ++k)
+            tmp[r * 8 + k] = row_out[k];
+    }
+    // Columns.
+    for (int c = 0; c < 8; ++c) {
+        s32 col_in[8], col_out[8];
+        for (int n = 0; n < 8; ++n)
+            col_in[n] = tmp[n * 8 + c];
+        fpass(col_in, col_out);
+        for (int k = 0; k < 8; ++k)
+            out[k * 8 + c] = static_cast<s16>(col_out[k]);
+    }
+}
+
+void
+idct8x8(const s16 in[64], s16 out[64])
+{
+    s32 tmp[64];
+    // Columns (inverse order of the forward transform).
+    for (int c = 0; c < 8; ++c) {
+        s32 col_in[8], col_out[8];
+        for (int k = 0; k < 8; ++k)
+            col_in[k] = in[k * 8 + c];
+        ipass(col_in, col_out);
+        for (int n = 0; n < 8; ++n)
+            tmp[n * 8 + c] = col_out[n];
+    }
+    for (int r = 0; r < 8; ++r) {
+        s32 row_in[8], row_out[8];
+        for (int k = 0; k < 8; ++k)
+            row_in[k] = tmp[r * 8 + k];
+        ipass(row_in, row_out);
+        for (int n = 0; n < 8; ++n)
+            out[r * 8 + n] = static_cast<s16>(row_out[n]);
+    }
+}
+
+} // namespace msim::jpeg

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * 8x8 integer DCT-II / inverse DCT used by both codecs.
+ *
+ * The transform is an orthonormal matrix product in 1.11 fixed point
+ * (forward: F = M X M^T, inverse: X = M^T F M) using an even/odd
+ * decomposition per 1-D pass. The same constant matrix drives both the
+ * native reference implementation here and the trace-builder versions
+ * in jpeg/traced.cc, so simulated and reference arithmetic match.
+ */
+
+#ifndef MSIM_JPEG_DCT_HH_
+#define MSIM_JPEG_DCT_HH_
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace msim::jpeg
+{
+
+/** Fixed-point fraction bits of the DCT basis constants. */
+constexpr int kDctBits = 11;
+
+using DctMatrixT = std::array<std::array<int, 8>, 8>;
+
+/**
+ * Orthonormal DCT-II basis matrix, row k = 0.5 * C_k * cos((2n+1)k pi/16),
+ * scaled by 2^kDctBits.
+ */
+const DctMatrixT &dctMatrix();
+
+/** Fixed-point multiply by a basis constant: (a*c) >> kDctBits. */
+constexpr s32
+dctMul(s32 a, int c)
+{
+    return static_cast<s32>((static_cast<s64>(a) * c) >> kDctBits);
+}
+
+/**
+ * Forward DCT on a level-shifted 8x8 block (row-major, values in
+ * [-128, 127]); coefficients magnitude-bounded by ~1024.
+ */
+void fdct8x8(const s16 in[64], s16 out[64]);
+
+/** Inverse DCT; output is NOT clamped (caller level-unshifts + clamps). */
+void idct8x8(const s16 in[64], s16 out[64]);
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_DCT_HH_

@@ -1,0 +1,216 @@
+#include "jpeg/huffman.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace msim::jpeg
+{
+
+void
+BitWriter::put(u32 code, unsigned len)
+{
+    if (len > 24)
+        panic("bitwriter: %u bits in one put", len);
+    acc = (acc << len) | (code & ((len < 32 ? (u32{1} << len) : 0) - 1));
+    nbits += len;
+    while (nbits >= 8) {
+        nbits -= 8;
+        bits.push_back(static_cast<u8>(acc >> nbits));
+    }
+}
+
+std::vector<u8>
+BitWriter::finish()
+{
+    if (nbits) {
+        const unsigned pad = 8 - nbits;
+        put((1u << pad) - 1, pad);
+    }
+    return std::move(bits);
+}
+
+u32
+BitReader::getBit()
+{
+    if (nbits == 0) {
+        if (pos >= bytes->size())
+            panic("bitreader: read past end of stream");
+        acc = (*bytes)[pos++];
+        nbits = 8;
+    }
+    --nbits;
+    return (acc >> nbits) & 1;
+}
+
+u32
+BitReader::getBits(unsigned n)
+{
+    u32 v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v = (v << 1) | getBit();
+    return v;
+}
+
+bool
+BitReader::exhausted() const
+{
+    return pos >= bytes->size() && nbits == 0;
+}
+
+HuffTable
+HuffTable::fromFrequencies(const std::vector<u64> &freq)
+{
+    const unsigned n = static_cast<unsigned>(freq.size());
+    std::vector<u64> f(freq);
+
+    std::vector<u8> lens(n, 0);
+    for (;;) {
+        // Heap-based Huffman over nonzero symbols.
+        struct Node
+        {
+            u64 weight;
+            int left, right; ///< children, or ~symbol for leaves
+        };
+        std::vector<Node> nodes;
+        using HeapItem = std::pair<u64, int>;
+        std::priority_queue<HeapItem, std::vector<HeapItem>,
+                            std::greater<>> heap;
+        for (unsigned s = 0; s < n; ++s) {
+            if (f[s]) {
+                nodes.push_back({f[s], ~static_cast<int>(s), 0});
+                heap.emplace(f[s], static_cast<int>(nodes.size()) - 1);
+            }
+        }
+        if (heap.empty())
+            fatal("huffman: no symbols with nonzero frequency");
+        if (heap.size() == 1) {
+            // Single symbol: give it a 1-bit code.
+            const int idx = heap.top().second;
+            lens.assign(n, 0);
+            lens[~nodes[idx].left] = 1;
+            break;
+        }
+        while (heap.size() > 1) {
+            const auto [wa, a] = heap.top();
+            heap.pop();
+            const auto [wb, b] = heap.top();
+            heap.pop();
+            nodes.push_back({wa + wb, a, b});
+            heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+        }
+        // Depth-assign code lengths iteratively.
+        lens.assign(n, 0);
+        unsigned maxlen = 0;
+        std::vector<std::pair<int, unsigned>> stack{
+            {heap.top().second, 0}};
+        while (!stack.empty()) {
+            const auto [idx, depth] = stack.back();
+            stack.pop_back();
+            const Node &node = nodes[idx];
+            if (node.left < 0) {
+                // Leaf.
+                lens[~node.left] = static_cast<u8>(depth ? depth : 1);
+                maxlen = std::max(maxlen, depth ? depth : 1);
+            } else {
+                stack.emplace_back(node.left, depth + 1);
+                stack.emplace_back(node.right, depth + 1);
+            }
+        }
+        if (maxlen <= kMaxCodeLen)
+            break;
+        // Too deep: flatten the distribution and retry (IJG-style).
+        for (auto &w : f)
+            if (w)
+                w = (w + 1) / 2;
+    }
+
+    // Canonical code assignment: order by (length, symbol).
+    std::vector<unsigned> order;
+    for (unsigned s = 0; s < n; ++s)
+        if (lens[s])
+            order.push_back(s);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return lens[a] != lens[b] ? lens[a] < lens[b] : a < b;
+    });
+
+    HuffTable t;
+    t.code_.assign(n, 0);
+    t.len_.assign(lens.begin(), lens.end());
+    u32 code = 0;
+    unsigned prev_len = 0;
+    for (unsigned s : order) {
+        code <<= (lens[s] - prev_len);
+        prev_len = lens[s];
+        t.code_[s] = code++;
+    }
+    t.buildDecodeTables();
+    return t;
+}
+
+void
+HuffTable::buildDecodeTables()
+{
+    // Group symbols by code length in canonical order.
+    std::vector<unsigned> order;
+    for (unsigned s = 0; s < len_.size(); ++s)
+        if (len_[s])
+            order.push_back(s);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return len_[a] != len_[b] ? len_[a] < len_[b] : a < b;
+    });
+
+    vals.clear();
+    u32 code = 0;
+    size_t k = 0;
+    for (unsigned l = 1; l <= kMaxCodeLen; ++l) {
+        code <<= 1;
+        if (k < order.size() && len_[order[k]] == l) {
+            valptr[l] = static_cast<u16>(vals.size());
+            mincode[l] = static_cast<s32>(code);
+            while (k < order.size() && len_[order[k]] == l) {
+                vals.push_back(static_cast<u16>(order[k]));
+                ++k;
+                ++code;
+            }
+            maxcode[l] = static_cast<s32>(code) - 1;
+        } else {
+            mincode[l] = 0;
+            maxcode[l] = -1;
+        }
+    }
+}
+
+void
+HuffTable::encode(BitWriter &bw, unsigned sym) const
+{
+    const unsigned len = len_[sym];
+    if (!len)
+        panic("huffman: encoding symbol %u with no code", sym);
+    bw.put(code_[sym], len);
+}
+
+unsigned
+HuffTable::decode(BitReader &br) const
+{
+    unsigned len;
+    return decode(br, len);
+}
+
+unsigned
+HuffTable::decode(BitReader &br, unsigned &len_out) const
+{
+    s32 code = static_cast<s32>(br.getBit());
+    unsigned l = 1;
+    while (l <= kMaxCodeLen && code > maxcode[l]) {
+        code = (code << 1) | static_cast<s32>(br.getBit());
+        ++l;
+    }
+    if (l > kMaxCodeLen)
+        panic("huffman: corrupt stream (no code <= %u bits)", kMaxCodeLen);
+    len_out = l;
+    return vals[valptr[l] + static_cast<unsigned>(code - mincode[l])];
+}
+
+} // namespace msim::jpeg

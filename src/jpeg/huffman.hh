@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Canonical Huffman coding: code construction (length-limited to 16
+ * bits, JPEG-style), native bit I/O, and the JPEG magnitude-category
+ * helpers shared by the JPEG and MPEG entropy stages.
+ *
+ * The progressive encoder builds optimized tables from symbol
+ * statistics (as IJG's -optimize/progressive modes do); the baseline
+ * encoder and the MPEG codec use fixed tables built once from a
+ * synthetic frequency profile. Tables travel with the encoded stream
+ * in memory; header serialization is elided (timing-irrelevant).
+ */
+
+#ifndef MSIM_JPEG_HUFFMAN_HH_
+#define MSIM_JPEG_HUFFMAN_HH_
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msim::jpeg
+{
+
+/** Maximum code length (JPEG limit). */
+constexpr unsigned kMaxCodeLen = 16;
+
+/** Append-only bit stream writer (MSB first, as in JPEG). */
+class BitWriter
+{
+  public:
+    /** Append the low @p len bits of @p code. */
+    void put(u32 code, unsigned len);
+
+    /** Pad with 1-bits to a byte boundary and return the stream. */
+    std::vector<u8> finish();
+
+    size_t bitCount() const { return bits.size() * 8 + nbits; }
+
+  private:
+    std::vector<u8> bits;
+    u32 acc = 0;
+    unsigned nbits = 0;
+};
+
+/** Bit stream reader matching BitWriter's layout. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<u8> &bytes) : bytes(&bytes) {}
+
+    /** Read one bit; panics past end-of-stream. */
+    u32 getBit();
+
+    /** Read @p n bits MSB-first. */
+    u32 getBits(unsigned n);
+
+    /** Byte offset of the next unread bit (for traced mirroring). */
+    size_t bytePos() const { return pos; }
+
+    bool exhausted() const;
+
+  private:
+    const std::vector<u8> *bytes;
+    size_t pos = 0;
+    u32 acc = 0;
+    unsigned nbits = 0;
+};
+
+/** A canonical Huffman code over symbols 0..n-1. */
+class HuffTable
+{
+  public:
+    HuffTable() = default;
+
+    /**
+     * Build a length-limited canonical code. Symbols with zero
+     * frequency get no code; at least one symbol must be nonzero.
+     */
+    static HuffTable fromFrequencies(const std::vector<u64> &freq);
+
+    u32 codeOf(unsigned sym) const { return code_[sym]; }
+    unsigned lenOf(unsigned sym) const { return len_[sym]; }
+
+    /** Encode one symbol. */
+    void encode(BitWriter &bw, unsigned sym) const;
+
+    /** Decode one symbol (canonical mincode/maxcode walk, F.16 style). */
+    unsigned decode(BitReader &br) const;
+
+    /**
+     * Decode while reporting the code length consumed (used by the
+     * traced decoder to emit a realistic op count).
+     */
+    unsigned decode(BitReader &br, unsigned &len_out) const;
+
+    unsigned numSymbols() const { return static_cast<unsigned>(len_.size()); }
+
+  private:
+    void buildDecodeTables();
+
+    std::vector<u32> code_;
+    std::vector<u8> len_;
+    // Canonical decode tables per length 1..16.
+    std::array<s32, kMaxCodeLen + 1> mincode{};
+    std::array<s32, kMaxCodeLen + 1> maxcode{};
+    std::array<u16, kMaxCodeLen + 1> valptr{};
+    std::vector<u16> vals;
+};
+
+/** JPEG magnitude category: number of bits to represent |v|. */
+constexpr unsigned
+magnitudeCategory(int v)
+{
+    unsigned n = 0;
+    unsigned m = static_cast<unsigned>(v < 0 ? -v : v);
+    while (m) {
+        ++n;
+        m >>= 1;
+    }
+    return n;
+}
+
+/** JPEG magnitude bits for value @p v in category @p cat. */
+constexpr u32
+magnitudeBits(int v, unsigned cat)
+{
+    return v >= 0 ? static_cast<u32>(v)
+                  : static_cast<u32>(v + (1 << cat) - 1);
+}
+
+/** Inverse of magnitudeBits. */
+constexpr int
+magnitudeExtend(u32 bits, unsigned cat)
+{
+    if (cat == 0)
+        return 0;
+    if (bits < (1u << (cat - 1)))
+        return static_cast<int>(bits) - (1 << cat) + 1;
+    return static_cast<int>(bits);
+}
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_HUFFMAN_HH_

@@ -1,0 +1,55 @@
+#include "jpeg/quant.hh"
+
+#include "common/saturate.hh"
+
+namespace msim::jpeg
+{
+
+const QuantTable &
+lumaBaseTable()
+{
+    // The ITU-T T.81 Annex K.1 luminance table.
+    static const QuantTable t = {
+        16, 11, 10, 16, 24,  40,  51,  61,
+        12, 12, 14, 19, 26,  58,  60,  55,
+        14, 13, 16, 24, 40,  57,  69,  56,
+        14, 17, 22, 29, 51,  87,  80,  62,
+        18, 22, 37, 56, 68,  109, 103, 77,
+        24, 35, 55, 64, 81,  104, 113, 92,
+        49, 64, 78, 87, 103, 121, 120, 101,
+        72, 92, 95, 98, 112, 100, 103, 99,
+    };
+    return t;
+}
+
+const QuantTable &
+chromaBaseTable()
+{
+    // The ITU-T T.81 Annex K.2 chrominance table.
+    static const QuantTable t = {
+        17, 18, 24, 47, 99, 99, 99, 99,
+        18, 21, 26, 66, 99, 99, 99, 99,
+        24, 26, 56, 99, 99, 99, 99, 99,
+        47, 66, 99, 99, 99, 99, 99, 99,
+        99, 99, 99, 99, 99, 99, 99, 99,
+        99, 99, 99, 99, 99, 99, 99, 99,
+        99, 99, 99, 99, 99, 99, 99, 99,
+        99, 99, 99, 99, 99, 99, 99, 99,
+    };
+    return t;
+}
+
+QuantTable
+scaleTable(const QuantTable &base, int quality)
+{
+    const int q = clamp(quality, 1, 100);
+    const int scale = q < 50 ? 5000 / q : 200 - q * 2;
+    QuantTable out{};
+    for (int i = 0; i < 64; ++i) {
+        const int v = (base[i] * scale + 50) / 100;
+        out[i] = static_cast<u16>(clamp(v, 1, 255));
+    }
+    return out;
+}
+
+} // namespace msim::jpeg

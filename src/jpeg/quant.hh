@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Quantization tables and the reciprocal-multiply quantizer shared by
+ * the native reference codec and the traced benchmark code (identical
+ * arithmetic on both sides keeps them bit-consistent).
+ */
+
+#ifndef MSIM_JPEG_QUANT_HH_
+#define MSIM_JPEG_QUANT_HH_
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace msim::jpeg
+{
+
+/** One 64-entry table in row-major order. */
+using QuantTable = std::array<u16, 64>;
+
+/** Fraction bits of the quantizer reciprocals. */
+constexpr int kQuantRecipBits = 19;
+
+/** Annex-K style luminance base table. */
+const QuantTable &lumaBaseTable();
+
+/** Annex-K style chrominance base table. */
+const QuantTable &chromaBaseTable();
+
+/** Scale a base table by JPEG quality (1..100, 50 = base). */
+QuantTable scaleTable(const QuantTable &base, int quality);
+
+/** Reciprocal for quantization: floor(2^kQuantRecipBits / q). */
+constexpr u32
+quantRecip(u16 q)
+{
+    return static_cast<u32>((u64{1} << kQuantRecipBits) / q);
+}
+
+/**
+ * Quantize one coefficient: sign(c) * ((|c| + q/2) * recip) >> bits.
+ * This reciprocal form (not exact division) is the shared contract
+ * between the reference codec and the traced code.
+ */
+constexpr s16
+quantOne(s32 c, u16 q)
+{
+    const u32 recip = quantRecip(q);
+    const u32 mag = static_cast<u32>(c < 0 ? -c : c) + q / 2;
+    const s32 v = static_cast<s32>(
+        (static_cast<u64>(mag) * recip) >> kQuantRecipBits);
+    return static_cast<s16>(c < 0 ? -v : v);
+}
+
+/** Dequantize one coefficient. */
+constexpr s32
+dequantOne(s16 c, u16 q)
+{
+    return static_cast<s32>(c) * q;
+}
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_QUANT_HH_

@@ -1,0 +1,651 @@
+#include "jpeg/traced.hh"
+
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "img/synth.hh"
+#include "jpeg/codec.hh"
+#include "jpeg/traced_xform.hh"
+#include "jpeg/zigzag.hh"
+
+namespace msim::jpeg
+{
+
+namespace
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+using prog::Variant;
+
+/** A padded plane living in the arena. */
+struct PlaneBuf
+{
+    Addr base = 0;
+    unsigned w = 0; ///< padded width (row stride)
+    unsigned h = 0; ///< padded height
+    unsigned usedW = 0;
+    unsigned usedH = 0;
+};
+
+PlaneBuf
+allocPlane(TraceBuilder &tb, unsigned used_w, unsigned used_h,
+           const char *name)
+{
+    PlaneBuf p;
+    p.usedW = used_w;
+    p.usedH = used_h;
+    p.w = static_cast<unsigned>(roundUp(used_w, 8));
+    p.h = static_cast<unsigned>(roundUp(used_h, 8));
+    p.base = tb.alloc(size_t{p.w} * p.h, name);
+    return p;
+}
+
+/** Read a plane out of the arena into a native Plane. */
+[[maybe_unused]] Plane
+downloadPlane(const TraceBuilder &tb, const PlaneBuf &p)
+{
+    Plane out(p.w, p.h);
+    tb.arena().readBytes(p.base, out.samples.data(), out.samples.size());
+    return out;
+}
+
+/** Emit edge-replication of pad rows/columns (small scalar loops). */
+void
+emitPadPlane(TraceBuilder &tb, const PlaneBuf &p)
+{
+    const u32 pc = tb.makePc("jpg.pad");
+    unsigned count = 0;
+    for (unsigned y = 0; y < p.h; ++y) {
+        const unsigned sy = y < p.usedH ? y : p.usedH - 1;
+        for (unsigned x = 0; x < p.w; ++x) {
+            if (x < p.usedW && y < p.usedH)
+                continue;
+            const unsigned sx = x < p.usedW ? x : p.usedW - 1;
+            Val v = tb.load(p.base + size_t{sy} * p.w + sx, 1);
+            tb.store(p.base + size_t{y} * p.w + x, 1, v);
+            tb.branch(pc, (++count & 3) != 0);
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Color conversion (forward: RGB -> YCC 4:2:0)
+// --------------------------------------------------------------------
+
+void
+emitColorFwd(TraceBuilder &tb, Variant variant, Addr rgb, unsigned w,
+             unsigned h, const PlaneBuf &py, const PlaneBuf &pcb,
+             const PlaneBuf &pcr, Addr cb_tmp, Addr cr_tmp)
+{
+    const bool vis = variant != Variant::Scalar;
+    const u32 loop_pc = tb.makePc("jpg.ccf");
+    const Val k128 = tb.imm(128);
+
+    if (!vis) {
+        for (unsigned y = 0; y < h; ++y) {
+            for (unsigned x = 0; x < w; ++x) {
+                const Addr px = rgb + (size_t{y} * w + x) * 3;
+                Val r = tb.load(px, 1);
+                Val g = tb.load(px + 1, 1);
+                Val b = tb.load(px + 2, 1);
+                Val yv = tb.shr(
+                    tb.add(tb.add(tb.mul(r, tb.imm(kYR)),
+                                  tb.mul(g, tb.imm(kYG))),
+                           tb.mul(b, tb.imm(kYB))),
+                    8);
+                tb.store(py.base + size_t{y} * py.w + x, 1, yv);
+                Val cbv = tb.add(
+                    tb.sra(tb.add(tb.add(tb.mul(r, tb.imm(u64(s64(kCbR)))),
+                                         tb.mul(g, tb.imm(u64(s64(kCbG))))),
+                                  tb.mul(b, tb.imm(kCbB))),
+                           8),
+                    k128);
+                tb.store(cb_tmp + size_t{y} * w + x, 1, cbv);
+                Val crv = tb.add(
+                    tb.sra(tb.add(tb.add(tb.mul(r, tb.imm(kCrR)),
+                                         tb.mul(g, tb.imm(u64(s64(kCrG))))),
+                                  tb.mul(b, tb.imm(u64(s64(kCrB))))),
+                           8),
+                    k128);
+                tb.store(cr_tmp + size_t{y} * w + x, 1, crv);
+                tb.branch(loop_pc, x + 1 < w);
+            }
+        }
+    } else {
+        tb.setGsrScale(7);
+        // Per 4 pixels: gather each component's 4 bytes from the
+        // interleaved stream (the byte-reordering overhead the paper
+        // attributes to VIS color conversion), then packed math.
+        auto gather4 = [&](Addr base, unsigned stride_bytes) {
+            Val v = tb.load(base, 1);
+            for (unsigned k = 1; k < 4; ++k) {
+                Val b = tb.load(base + k * stride_bytes, 1);
+                v = tb.orOp(v, tb.shl(b, 8 * k));
+            }
+            return v;
+        };
+        const Val bias = tb.imm(lanesOf16(128));
+        const bool pf = variant == Variant::VisPrefetch;
+        for (unsigned y = 0; y < h; ++y) {
+            for (unsigned x = 0; x < w; x += 4) {
+                const Addr px = rgb + (size_t{y} * w + x) * 3;
+                if (pf && (3 * x) % 64 < 12) {
+                    tb.prefetch(px + 256);
+                    tb.prefetch(py.base + size_t{y} * py.w + x + 256);
+                }
+                Val r4 = gather4(px, 3);
+                Val g4 = gather4(px + 1, 3);
+                Val b4 = gather4(px + 2, 3);
+
+                auto cc3 = [&](int cr_, int cg_, int cb_) {
+                    Val t = tb.vfmul8x16au(
+                        r4, tb.imm(u64(u16(s16(cr_))) << 16));
+                    t = tb.vfpadd16(t, tb.vfmul8x16au(
+                        g4, tb.imm(u64(u16(s16(cg_))) << 16)));
+                    t = tb.vfpadd16(t, tb.vfmul8x16au(
+                        b4, tb.imm(u64(u16(s16(cb_))) << 16)));
+                    return t;
+                };
+                Val y16 = cc3(kYR, kYG, kYB);
+                tb.store(py.base + size_t{y} * py.w + x, 4,
+                         tb.vfpack16(y16));
+                Val cb16 = tb.vfpadd16(cc3(kCbR, kCbG, kCbB), bias);
+                tb.store(cb_tmp + size_t{y} * w + x, 4, tb.vfpack16(cb16));
+                Val cr16 = tb.vfpadd16(cc3(kCrR, kCrG, kCrB), bias);
+                tb.store(cr_tmp + size_t{y} * w + x, 4, tb.vfpack16(cr16));
+                tb.branch(loop_pc, x + 4 < w);
+            }
+        }
+    }
+
+    // Chroma decimation (scalar in both variants: data reordering).
+    const u32 dec_pc = tb.makePc("jpg.dec");
+    for (unsigned y = 0; y < h / 2; ++y) {
+        for (unsigned x = 0; x < w / 2; ++x) {
+            auto decim = [&](Addr src, const PlaneBuf &dst) {
+                Val a = tb.load(src + size_t{2 * y} * w + 2 * x, 1);
+                Val b = tb.load(src + size_t{2 * y} * w + 2 * x + 1, 1);
+                Val c = tb.load(src + size_t{2 * y + 1} * w + 2 * x, 1);
+                Val d = tb.load(src + size_t{2 * y + 1} * w + 2 * x + 1, 1);
+                Val s = tb.add(tb.add(a, b), tb.add(c, d));
+                Val v = tb.shr(tb.addi(s, 2), 2);
+                tb.store(dst.base + size_t{y} * dst.w + x, 1, v);
+            };
+            decim(cb_tmp, pcb);
+            decim(cr_tmp, pcr);
+            tb.branch(dec_pc, x + 1 < w / 2);
+        }
+    }
+
+    emitPadPlane(tb, py);
+    emitPadPlane(tb, pcb);
+    emitPadPlane(tb, pcr);
+}
+
+// --------------------------------------------------------------------
+// Color conversion (inverse: YCC 4:2:0 -> RGB / RGBX)
+// --------------------------------------------------------------------
+
+void
+emitColorInv(TraceBuilder &tb, Variant variant, const PlaneBuf &py,
+             const PlaneBuf &pcb, const PlaneBuf &pcr, Addr out,
+             unsigned w, unsigned h)
+{
+    const bool vis = variant != Variant::Scalar;
+    const u32 loop_pc = tb.makePc("jpg.cci");
+    static thread_local u32 clamp_pc = 0;
+    if (!clamp_pc)
+        clamp_pc = tb.makePc("jpg.cciclamp");
+
+    if (!vis) {
+        // Scalar: interleaved 3-byte RGB output with clamp branches.
+        for (unsigned y = 0; y < h; ++y) {
+            for (unsigned x = 0; x < w; ++x) {
+                Val yy = tb.load(py.base + size_t{y} * py.w + x, 1);
+                Val cb = tb.load(pcb.base + size_t{y / 2} * pcb.w + x / 2,
+                                 1);
+                Val cr = tb.load(pcr.base + size_t{y / 2} * pcr.w + x / 2,
+                                 1);
+                Val dcb = tb.addi(cb, -128);
+                Val dcr = tb.addi(cr, -128);
+                auto clampStore = [&](Val v, Addr a) {
+                    Val res = v;
+                    const s64 s = v.s();
+                    Val c_low = tb.cmpLt(v, tb.imm(0));
+                    tb.branch(clamp_pc, s < 0, c_low);
+                    if (s < 0) {
+                        res = tb.imm(0);
+                    } else {
+                        Val c_hi = tb.cmpLt(tb.imm(255), v);
+                        tb.branch(clamp_pc, s > 255, c_hi);
+                        if (s > 255)
+                            res = tb.imm(255);
+                    }
+                    tb.store(a, 1, res);
+                };
+                const Addr px = out + (size_t{y} * w + x) * 3;
+                Val r = tb.add(yy, tb.sra(tb.mul(dcr, tb.imm(kRCr)), 8));
+                clampStore(r, px);
+                Val g = tb.sub(
+                    yy, tb.sra(tb.add(tb.mul(dcb, tb.imm(kGCb)),
+                                      tb.mul(dcr, tb.imm(kGCr))),
+                               8));
+                clampStore(g, px + 1);
+                Val b = tb.add(yy, tb.sra(tb.mul(dcb, tb.imm(kBCb)), 8));
+                clampStore(b, px + 2);
+                tb.branch(loop_pc, x + 1 < w);
+            }
+        }
+    } else {
+        // VIS: 4 pixels at a time into RGBX (4-byte) output; saturation
+        // via fpack16, interleave via fpmerge/faligndata.
+        tb.setGsrScale(3); // values carried <<4
+        const Val bias2048 = tb.imm(lanesOf16(128 << 4));
+        const bool pf = variant == Variant::VisPrefetch;
+        for (unsigned y = 0; y < h; ++y) {
+            for (unsigned x = 0; x < w; x += 4) {
+                if (pf && x % 64 < 4) {
+                    tb.prefetch(py.base + size_t{y} * py.w + x + 256);
+                    tb.prefetch(out + (size_t{y} * w + x) * 4 + 256);
+                }
+                Val y4 = tb.load(py.base + size_t{y} * py.w + x, 4);
+                Val cb2 = tb.load(
+                    pcb.base + size_t{y / 2} * pcb.w + x / 2, 2);
+                Val cr2 = tb.load(
+                    pcr.base + size_t{y / 2} * pcr.w + x / 2, 2);
+                Val cb4 = tb.vfpmerge(cb2, cb2); // c0 c0 c1 c1
+                Val cr4 = tb.vfpmerge(cr2, cr2);
+                Val ey = tb.vfexpand(y4);
+                Val dcb = tb.vfpsub16(tb.vfexpand(cb4), bias2048);
+                Val dcr = tb.vfpsub16(tb.vfexpand(cr4), bias2048);
+
+                auto cmul = [&](Val d, int c) {
+                    Val cv = tb.imm(lanesOf16(static_cast<s16>(c)));
+                    Val su = tb.vfmul8sux16(d, cv);
+                    Val ul = tb.vfmul8ulx16(d, cv);
+                    return tb.vfpadd16(su, ul);
+                };
+                Val r16 = tb.vfpadd16(ey, cmul(dcr, kRCr));
+                Val g16 = tb.vfpsub16(
+                    ey, tb.vfpadd16(cmul(dcb, kGCb), cmul(dcr, kGCr)));
+                Val b16 = tb.vfpadd16(ey, cmul(dcb, kBCb));
+                Val r4 = tb.vfpack16(r16);
+                Val g4 = tb.vfpack16(g16);
+                Val b4 = tb.vfpack16(b16);
+
+                // Interleave to RGBX: merge (r,b) and (g,X), then merge
+                // the halves pairwise.
+                Val rb = tb.vfpmerge(r4, b4); // r0 b0 r1 b1 ...
+                Val gx = tb.vfpmerge(g4, tb.imm(0)); // g0 0 g1 0 ...
+                Val lo = tb.vfpmerge(rb, gx); // r0 g0 b0 0 r1 g1 b1 0
+                tb.visAlignAddr(4);
+                Val rb_hi = tb.vfaligndata(rb, rb);
+                Val gx_hi = tb.vfaligndata(gx, gx);
+                Val hi = tb.vfpmerge(rb_hi, gx_hi);
+                const Addr px = out + (size_t{y} * w + x) * 4;
+                tb.vstore(px, lo);
+                tb.vstore(px + 8, hi);
+                tb.branch(loop_pc, x + 4 < w);
+            }
+        }
+    }
+}
+
+/** Block geometry of a padded plane. */
+struct BlockGrid
+{
+    unsigned wb, hb;
+};
+
+BlockGrid
+gridOf(const PlaneBuf &p)
+{
+    return {p.w / 8, p.h / 8};
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// cjpeg / cjpeg-np
+// --------------------------------------------------------------------
+
+void
+runCjpeg(TraceBuilder &tb, Variant variant, bool progressive,
+         unsigned width, unsigned height)
+{
+    const img::Image src = img::makeTestImage(width, height, 3, 81);
+    const Addr rgb = tb.alloc(src.sizeBytes(), "jpg.rgb");
+    tb.arena().writeBytes(rgb, src.data(), src.sizeBytes());
+
+    const QuantTable ql = scaleTable(lumaBaseTable(), 75);
+    const QuantTable qc = scaleTable(chromaBaseTable(), 75);
+    TracedTables tables(tb, ql, qc);
+
+    PlaneBuf py = allocPlane(tb, width, height, "jpg.y");
+    PlaneBuf pcb = allocPlane(tb, width / 2, height / 2, "jpg.cb");
+    PlaneBuf pcr = allocPlane(tb, width / 2, height / 2, "jpg.cr");
+    const Addr cb_tmp = tb.alloc(size_t{width} * height, "jpg.cbtmp");
+    const Addr cr_tmp = tb.alloc(size_t{width} * height, "jpg.crtmp");
+
+    emitColorFwd(tb, variant, rgb, width, height, py, pcb, pcr, cb_tmp,
+                 cr_tmp);
+
+    const PlaneBuf planes[3] = {py, pcb, pcr};
+    EncodedJpeg enc;
+    enc.width = width;
+    enc.height = height;
+    enc.progressive = progressive;
+    enc.qLuma = ql;
+    enc.qChroma = qc;
+
+    const Addr bits_base = tb.alloc(512 * 1024, "jpg.bits");
+
+    if (!progressive) {
+        // Blocked pipeline: transform + entropy-code each block through
+        // a single 64-coefficient temporary (8x8 working set).
+        const Addr tmp = tb.alloc(128, "jpg.blocktmp");
+        TracedHuff dc_h(tb, fixedDcTable());
+        TracedHuff ac_h(tb, fixedAcTable());
+        TracedBitWriter bw(tb, bits_base, 512 * 1024);
+        Scan scan;
+        scan.plane = kAllPlanes;
+        scan.ssStart = 0;
+        scan.ssEnd = 63;
+        scan.dc = fixedDcTable();
+        scan.ac = fixedAcTable();
+        for (unsigned p = 0; p < 3; ++p) {
+            const BlockGrid g = gridOf(planes[p]);
+            int dc_pred = 0;
+            for (unsigned by = 0; by < g.hb; ++by) {
+                for (unsigned bx = 0; bx < g.wb; ++bx) {
+                    const Addr bsrc = planes[p].base +
+                                      size_t{by} * 8 * planes[p].w +
+                                      size_t{bx} * 8;
+                    emitFdctQuantBlock(tb, variant, tables, p > 0, bsrc,
+                                       planes[p].w, tmp);
+                    s16 zz[64];
+                    for (unsigned i = 0; i < 64; ++i)
+                        zz[i] = static_cast<s16>(static_cast<s64>(
+                            signExtend(tb.arena().read(tmp + 2 * i, 2),
+                                       16)));
+                    emitEncodeBlock(tb, bw, dc_h, ac_h, tmp, zz, dc_pred,
+                                    0, 63);
+                }
+            }
+        }
+        const size_t nbytes = bw.finish();
+        scan.bits.resize(nbytes);
+        tb.arena().readBytes(bits_base, scan.bits.data(), nbytes);
+        enc.scans.push_back(std::move(scan));
+    } else {
+        // Transform everything into the coefficient buffers first.
+        Addr coeff[3];
+        BlockGrid grids[3];
+        for (unsigned p = 0; p < 3; ++p) {
+            grids[p] = gridOf(planes[p]);
+            coeff[p] = tb.alloc(size_t{grids[p].wb} * grids[p].hb * 128,
+                                "jpg.coeff");
+            for (unsigned by = 0; by < grids[p].hb; ++by) {
+                for (unsigned bx = 0; bx < grids[p].wb; ++bx) {
+                    const Addr bsrc = planes[p].base +
+                                      size_t{by} * 8 * planes[p].w +
+                                      size_t{bx} * 8;
+                    const Addr bdst =
+                        coeff[p] +
+                        (size_t{by} * grids[p].wb + bx) * 128;
+                    emitFdctQuantBlock(tb, variant, tables, p > 0, bsrc,
+                                       planes[p].w, bdst);
+                }
+            }
+        }
+
+        // Read the authoritative coefficients back for symbol logic.
+        auto read_block = [&](unsigned p, unsigned bx, unsigned by,
+                              s16 *zz) {
+            const Addr a = coeff[p] + (size_t{by} * grids[p].wb + bx) * 128;
+            for (unsigned i = 0; i < 64; ++i)
+                zz[i] = static_cast<s16>(static_cast<s64>(
+                    signExtend(tb.arena().read(a + 2 * i, 2), 16)));
+        };
+
+        const Addr freq_dc = tb.alloc(12 * 4, "jpg.freqdc");
+        const Addr freq_ac = tb.alloc(256 * 4, "jpg.freqac");
+        size_t bits_pos = 0;
+
+        for (const auto &[plane, band] : progressiveScanPlan()) {
+            const unsigned ss = band.first, se = band.second;
+            // Statistics pass (traced traversal of the coefficient
+            // buffer) gathering real frequencies.
+            std::vector<u64> dc_freq(12, 0), ac_freq(256, 0);
+            for (unsigned p = 0; p < 3; ++p) {
+                if (plane != kAllPlanes && p != plane)
+                    continue;
+                int pred = 0;
+                for (unsigned by = 0; by < grids[p].hb; ++by) {
+                    for (unsigned bx = 0; bx < grids[p].wb; ++bx) {
+                        s16 zz[64];
+                        read_block(p, bx, by, zz);
+                        std::vector<Sym> syms;
+                        int pred2 = pred;
+                        blockToSymbols(zz, pred2, ss, se, syms);
+                        bool first = ss == 0;
+                        for (const Sym &s : syms) {
+                            if (first) {
+                                ++dc_freq[s.sym];
+                                first = false;
+                            } else {
+                                ++ac_freq[s.sym];
+                            }
+                        }
+                        const Addr a =
+                            coeff[p] +
+                            (size_t{by} * grids[p].wb + bx) * 128;
+                        if (variant == Variant::VisPrefetch) {
+                            tb.prefetch(a + 512);
+                            tb.prefetch(a + 576);
+                        }
+                        emitStatsBlock(tb, a, zz, pred, ss, se,
+                                       ss == 0 ? freq_dc : freq_ac);
+                    }
+                }
+            }
+            Scan scan;
+            scan.plane = plane;
+            scan.ssStart = ss;
+            scan.ssEnd = se;
+            if (ss == 0) {
+                for (auto &f : dc_freq)
+                    f += 1;
+                scan.dc = HuffTable::fromFrequencies(dc_freq);
+            }
+            if (se > 0) {
+                for (auto &f : ac_freq)
+                    f += 1;
+                scan.ac = HuffTable::fromFrequencies(ac_freq);
+            }
+            TracedHuff dc_h(tb, ss == 0 ? scan.dc : fixedDcTable());
+            TracedHuff ac_h(tb, se > 0 ? scan.ac : fixedAcTable());
+
+            // Encode pass.
+            TracedBitWriter bw(tb, bits_base + bits_pos,
+                               512 * 1024 - bits_pos);
+            for (unsigned p = 0; p < 3; ++p) {
+                if (plane != kAllPlanes && p != plane)
+                    continue;
+                int pred = 0;
+                for (unsigned by = 0; by < grids[p].hb; ++by) {
+                    for (unsigned bx = 0; bx < grids[p].wb; ++bx) {
+                        s16 zz[64];
+                        read_block(p, bx, by, zz);
+                        const Addr a =
+                            coeff[p] +
+                            (size_t{by} * grids[p].wb + bx) * 128;
+                        if (variant == Variant::VisPrefetch) {
+                            tb.prefetch(a + 512);
+                            tb.prefetch(a + 576);
+                        }
+                        emitEncodeBlock(tb, bw, dc_h, ac_h, a, zz, pred,
+                                        ss, se);
+                    }
+                }
+            }
+            const size_t nbytes = bw.finish();
+            scan.bits.resize(nbytes);
+            tb.arena().readBytes(bits_base + bits_pos, scan.bits.data(),
+                                 nbytes);
+            bits_pos += nbytes;
+            enc.scans.push_back(std::move(scan));
+        }
+    }
+
+    // Verify: native decode of the traced stream must reconstruct the
+    // source faithfully.
+    const img::Image round = decodeJpeg(enc);
+    const double p = img::psnr(src, round);
+    if (p < 24.0)
+        panic("cjpeg%s (%s): roundtrip PSNR %.1f dB too low",
+              progressive ? "" : "-np",
+              variant == Variant::Scalar ? "scalar" : "vis", p);
+}
+
+// --------------------------------------------------------------------
+// djpeg / djpeg-np
+// --------------------------------------------------------------------
+
+void
+runDjpeg(TraceBuilder &tb, Variant variant, bool progressive,
+         unsigned width, unsigned height)
+{
+    const img::Image src = img::makeTestImage(width, height, 3, 82);
+    const EncodedJpeg enc = encodeJpeg(src, progressive, 75);
+    const img::Image native_out = decodeJpeg(enc);
+
+    TracedTables tables(tb, enc.qLuma, enc.qChroma);
+
+    PlaneBuf py = allocPlane(tb, width, height, "jpd.y");
+    PlaneBuf pcb = allocPlane(tb, width / 2, height / 2, "jpd.cb");
+    PlaneBuf pcr = allocPlane(tb, width / 2, height / 2, "jpd.cr");
+    const PlaneBuf planes[3] = {py, pcb, pcr};
+    BlockGrid grids[3];
+    for (unsigned p = 0; p < 3; ++p)
+        grids[p] = gridOf(planes[p]);
+
+    const bool vis = variant != Variant::Scalar;
+    const Addr out = tb.alloc(size_t{width} * height * (vis ? 4 : 3),
+                              "jpd.out");
+
+    if (!progressive) {
+        // Blocked pipeline: decode + IDCT per block.
+        const Scan &scan = enc.scans.at(0);
+        TracedHuff dc_h(tb, scan.dc);
+        TracedHuff ac_h(tb, scan.ac);
+        const Addr stream = tb.alloc(scan.bits.size() + 64, "jpd.bits");
+        TracedBitReader br(tb, scan.bits, stream);
+        const Addr tmp = tb.alloc(128, "jpd.blocktmp");
+        for (unsigned p = 0; p < 3; ++p) {
+            int pred = 0;
+            for (unsigned by = 0; by < grids[p].hb; ++by) {
+                for (unsigned bx = 0; bx < grids[p].wb; ++bx) {
+                    emitZeroBlock(tb, variant, tmp);
+                    emitDecodeBlock(tb, br, dc_h, ac_h, pred, 0, 63, tmp);
+                    const Addr bdst = planes[p].base +
+                                      size_t{by} * 8 * planes[p].w +
+                                      size_t{bx} * 8;
+                    emitIdctBlock(tb, variant, tables, p > 0, tmp, bdst,
+                                  planes[p].w);
+                }
+            }
+        }
+    } else {
+        // Progressive: coefficient buffers accumulate across scans.
+        Addr coeff[3];
+        for (unsigned p = 0; p < 3; ++p) {
+            coeff[p] = tb.alloc(size_t{grids[p].wb} * grids[p].hb * 128,
+                                "jpd.coeff");
+            for (size_t i = 0;
+                 i < size_t{grids[p].wb} * grids[p].hb * 128; i += 8)
+                tb.store(coeff[p] + i, 8, tb.imm(0));
+        }
+        for (const Scan &scan : enc.scans) {
+            TracedHuff dc_h(tb, scan.ssStart == 0 ? scan.dc
+                                                  : fixedDcTable());
+            TracedHuff ac_h(tb, scan.ssEnd > 0 ? scan.ac
+                                               : fixedAcTable());
+            const Addr stream =
+                tb.alloc(scan.bits.size() + 64, "jpd.sbits");
+            TracedBitReader br(tb, scan.bits, stream);
+            for (unsigned p = 0; p < 3; ++p) {
+                if (scan.plane != kAllPlanes && p != scan.plane)
+                    continue;
+                int pred = 0;
+                for (unsigned by = 0; by < grids[p].hb; ++by) {
+                    for (unsigned bx = 0; bx < grids[p].wb; ++bx) {
+                        const Addr a =
+                            coeff[p] +
+                            (size_t{by} * grids[p].wb + bx) * 128;
+                        if (variant == Variant::VisPrefetch) {
+                            tb.prefetch(a + 512);
+                            tb.prefetch(a + 576);
+                        }
+                        emitDecodeBlock(tb, br, dc_h, ac_h, pred,
+                                        scan.ssStart, scan.ssEnd, a);
+                    }
+                }
+            }
+        }
+        // IDCT pass over the full coefficient buffers.
+        for (unsigned p = 0; p < 3; ++p) {
+            for (unsigned by = 0; by < grids[p].hb; ++by) {
+                for (unsigned bx = 0; bx < grids[p].wb; ++bx) {
+                    const Addr a = coeff[p] +
+                                   (size_t{by} * grids[p].wb + bx) * 128;
+                    const Addr bdst = planes[p].base +
+                                      size_t{by} * 8 * planes[p].w +
+                                      size_t{bx} * 8;
+                    if (variant == Variant::VisPrefetch) {
+                        tb.prefetch(a + 512);
+                        tb.prefetch(a + 576);
+                    }
+                    emitIdctBlock(tb, variant, tables, p > 0, a, bdst,
+                                  planes[p].w);
+                }
+            }
+        }
+    }
+
+    emitColorInv(tb, variant, py, pcb, pcr, out, width, height);
+
+    // Verify.
+    img::Image got(width, height, 3);
+    if (!vis) {
+        tb.arena().readBytes(out, got.data(), got.sizeBytes());
+        if (got != native_out) {
+            const double p = img::psnr(got, native_out);
+            if (p < 45.0)
+                panic("djpeg%s scalar mismatch vs native decode "
+                      "(psnr %.1f)",
+                      progressive ? "" : "-np", p);
+        }
+    } else {
+        std::vector<u8> rgbx(size_t{width} * height * 4);
+        tb.arena().readBytes(out, rgbx.data(), rgbx.size());
+        for (unsigned y = 0; y < height; ++y)
+            for (unsigned x = 0; x < width; ++x)
+                for (unsigned b = 0; b < 3; ++b)
+                    got.at(x, y, b) =
+                        rgbx[(size_t{y} * width + x) * 4 + b];
+        const double p = img::psnr(got, native_out);
+        if (p < 24.0)
+            panic("djpeg%s vis output PSNR %.1f dB too low vs native",
+                  progressive ? "" : "-np", p);
+    }
+    const double psrc = img::psnr(got, src);
+    if (psrc < 22.0)
+        panic("djpeg%s (%s): decode PSNR vs source %.1f dB too low",
+              progressive ? "" : "-np",
+              variant == Variant::Scalar ? "scalar" : "vis", psrc);
+}
+
+} // namespace msim::jpeg

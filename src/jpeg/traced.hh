@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The four JPEG benchmarks (cjpeg, djpeg, cjpeg-np, djpeg-np) emitted
+ * through the trace builder.
+ *
+ * Progressive encoding performs all block transforms into a
+ * coefficient buffer and then runs a statistics pass plus an encode
+ * pass per scan over it (the multi-pass traversal responsible for the
+ * paper's cache-size sensitivity); the non-progressive codecs run a
+ * blocked pipeline that never leaves an 8x8 working set (which is why
+ * the paper finds them insensitive to cache size).
+ */
+
+#ifndef MSIM_JPEG_TRACED_HH_
+#define MSIM_JPEG_TRACED_HH_
+
+#include "prog/trace_builder.hh"
+#include "prog/variant.hh"
+
+namespace msim::jpeg
+{
+
+/** Default geometry (paper: 1024x640, scaled for simulation time). */
+constexpr unsigned kJpegW = 320;
+constexpr unsigned kJpegH = 200;
+
+/**
+ * JPEG encoding benchmark (cjpeg / cjpeg-np). Verifies by natively
+ * decoding the produced stream and checking PSNR against the source.
+ */
+void runCjpeg(prog::TraceBuilder &tb, prog::Variant variant,
+              bool progressive, unsigned width = kJpegW,
+              unsigned height = kJpegH);
+
+/**
+ * JPEG decoding benchmark (djpeg / djpeg-np). The input stream is
+ * produced by the native encoder; output is verified against the
+ * native decoder (bit-exact for the scalar variant).
+ */
+void runDjpeg(prog::TraceBuilder &tb, prog::Variant variant,
+              bool progressive, unsigned width = kJpegW,
+              unsigned height = kJpegH);
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_TRACED_HH_

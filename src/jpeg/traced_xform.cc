@@ -1,0 +1,563 @@
+#include "jpeg/traced_xform.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "jpeg/dct.hh"
+#include "jpeg/zigzag.hh"
+
+namespace msim::jpeg
+{
+
+u64
+lanesOf16(s16 v)
+{
+    u64 r = 0;
+    for (unsigned l = 0; l < 4; ++l)
+        r = setHalfLane(r, l, static_cast<u16>(v));
+    return r;
+}
+
+Val
+visMul3(TraceBuilder &tb, Val x, Val cvec)
+{
+    // One instruction on MMX-class ISAs, the 3-op emulation on VIS.
+    return tb.vmul16(x, cvec);
+}
+
+TracedTables::TracedTables(TraceBuilder &tb, const QuantTable &luma,
+                           const QuantTable &chroma)
+    : lumaT(luma), chromaT(chroma)
+{
+    zigzag = tb.alloc(64, "tab.zigzag");
+    for (unsigned i = 0; i < 64; ++i)
+        tb.arena().write(zigzag + i, 1, kZigzag[i]);
+
+    auto upload_q = [&tb](const QuantTable &q, const char *name) {
+        const Addr base = tb.alloc(64 * 8, name);
+        for (unsigned i = 0; i < 64; ++i) {
+            tb.arena().write(base + 8 * i, 4, quantRecip(q[i]));
+            tb.arena().write(base + 8 * i + 4, 2, q[i] / 2);
+            tb.arena().write(base + 8 * i + 6, 2, q[i]);
+        }
+        return base;
+    };
+    qLuma = upload_q(luma, "tab.qluma");
+    qChroma = upload_q(chroma, "tab.qchroma");
+
+    scratch_a = tb.alloc(128, "tab.scratchA");
+    scratch_b = tb.alloc(128, "tab.scratchB");
+}
+
+TracedBitWriter::TracedBitWriter(TraceBuilder &tb, Addr base,
+                                 size_t capacity)
+    : tb(tb), base_(base), capacity(capacity), accVal(tb.imm(0))
+{}
+
+void
+TracedBitWriter::put(u32 code, unsigned len)
+{
+    if (!len)
+        return;
+    static u32 flush_pc_tag = 0;
+    (void)flush_pc_tag;
+    accVal = tb.orOp(tb.shl(accVal, len), tb.imm(code));
+    acc = (acc << len) | (code & ((u32{1} << len) - 1));
+    nbits += len;
+    flushBytes();
+}
+
+void
+TracedBitWriter::flushBytes()
+{
+    // One flush-check branch per put (compiled bit-writer idiom).
+    static thread_local u32 pc = 0;
+    if (!pc)
+        pc = tb.makePc("bw.flush");
+    tb.branch(pc, nbits >= 8, accVal);
+    while (nbits >= 8) {
+        nbits -= 8;
+        const u8 byte = static_cast<u8>(acc >> nbits);
+        if (pos >= capacity)
+            panic("traced bit writer overflow at %zu bytes", pos);
+        Val b = tb.shr(accVal, nbits);
+        tb.store(base_ + pos, 1, Val{b.id, byte});
+        ++pos;
+    }
+}
+
+size_t
+TracedBitWriter::finish()
+{
+    if (nbits)
+        put((1u << (8 - nbits)) - 1, 8 - nbits);
+    return pos;
+}
+
+TracedHuff::TracedHuff(TraceBuilder &tb, const HuffTable &table)
+    : table_(&table)
+{
+    const unsigned n = table.numSymbols();
+    enc = tb.alloc(4 * n, "huff.enc");
+    for (unsigned s = 0; s < n; ++s) {
+        tb.arena().write(enc + 4 * s, 2, table.codeOf(s));
+        tb.arena().write(enc + 4 * s + 2, 2, table.lenOf(s));
+    }
+    // Decode tables: we only need addresses for realistic loads; the
+    // authoritative decode runs natively.
+    mincode = tb.alloc(4 * (kMaxCodeLen + 1), "huff.mincode");
+    maxcode = tb.alloc(4 * (kMaxCodeLen + 1), "huff.maxcode");
+    valptr = tb.alloc(2 * (kMaxCodeLen + 1), "huff.valptr");
+    vals = tb.alloc(2 * n, "huff.vals");
+}
+
+void
+TracedHuff::emitEncode(TraceBuilder &tb, TracedBitWriter &bw,
+                       unsigned sym) const
+{
+    Val code = tb.load(enc + 4 * sym, 2);
+    Val len = tb.load(enc + 4 * sym + 2, 2);
+    (void)code;
+    (void)len;
+    bw.put(table_->codeOf(sym), table_->lenOf(sym));
+}
+
+TracedBitReader::TracedBitReader(TraceBuilder &tb,
+                                 const std::vector<u8> &bits, Addr base)
+    : tb(tb), base(base), reader(bits), accVal(tb.imm(0))
+{
+    tb.arena().writeBytes(base, bits.data(), bits.size());
+}
+
+void
+TracedBitReader::consumeBits(unsigned n)
+{
+    static thread_local u32 pc = 0;
+    if (!pc)
+        pc = tb.makePc("br.bit");
+    for (unsigned i = 0; i < n; ++i) {
+        if (bits_consumed % 8 == 0) {
+            Val byte = tb.load(base + bits_consumed / 8, 1);
+            accVal = tb.orOp(tb.shl(accVal, 8), byte);
+        }
+        accVal = tb.shr(accVal, 1);
+        ++bits_consumed;
+    }
+}
+
+unsigned
+TracedBitReader::decodeSym(const TracedHuff &huff)
+{
+    static thread_local u32 walk_pc = 0;
+    if (!walk_pc)
+        walk_pc = tb.makePc("br.walk");
+    unsigned len = 0;
+    const unsigned sym = huff.table().decode(reader, len);
+    // Canonical walk: per level, accumulate one bit and compare against
+    // maxcode[l], branching back while the code is too large.
+    for (unsigned l = 1; l <= len; ++l) {
+        consumeBits(1);
+        Val maxv = tb.load(huff.maxcode + 4 * l, 4);
+        Val cmp = tb.cmpLe(accVal, maxv);
+        tb.branch(walk_pc, l < len, cmp);
+    }
+    Val vp = tb.load(huff.valptr + 2 * len, 2);
+    Val sv = tb.load(huff.vals + 2 * sym, 2, vp);
+    (void)sv;
+    return sym;
+}
+
+u32
+TracedBitReader::getBits(unsigned n)
+{
+    const u32 v = reader.getBits(n);
+    consumeBits(n);
+    return v;
+}
+
+namespace
+{
+
+void
+fdctQuantImpl(TraceBuilder &tb, Variant variant,
+              const TracedTables &tables, bool chroma, Addr src,
+              unsigned stride, Addr dst, bool residual_input)
+{
+    const bool vis = variant != Variant::Scalar;
+    const DctMatrixT &M = dctMatrix();
+    const QuantTable &q = tables.table(chroma);
+    const Addr sa = tables.scratchA();
+    const Addr sb = tables.scratchB();
+    const Val k128 = tb.imm(128);
+
+    // --- Load (+ level shift) + row pass (scalar in both variants) ---
+    Val px[64];
+    for (unsigned y = 0; y < 8; ++y)
+        for (unsigned x = 0; x < 8; ++x) {
+            if (residual_input) {
+                px[y * 8 + x] = tb.load(
+                    src + 2 * (static_cast<Addr>(y) * stride + x), 2,
+                    Val{}, true);
+            } else {
+                Val v = tb.load(src + static_cast<Addr>(y) * stride + x,
+                                1);
+                px[y * 8 + x] = tb.sub(v, k128);
+            }
+        }
+
+    for (unsigned r = 0; r < 8; ++r) {
+        for (unsigned k = 0; k < 8; ++k) {
+            Val acc{};
+            for (unsigned n = 0; n < 8; ++n) {
+                Val p = tb.mul(px[r * 8 + n],
+                               tb.imm(static_cast<u64>(
+                                   static_cast<s64>(M[k][n]))));
+                acc = n == 0 ? p : tb.add(acc, p);
+            }
+            Val t = tb.sra(tb.addi(acc, 1 << (kDctBits - 1)),
+                           kDctBits);
+            tb.store(sa + 2 * (r * 8 + k), 2, t);
+        }
+    }
+
+    // --- Column pass --------------------------------------------------
+    if (!vis) {
+        for (unsigned c = 0; c < 8; ++c) {
+            Val col[8];
+            for (unsigned n = 0; n < 8; ++n)
+                col[n] = tb.load(sa + 2 * (n * 8 + c), 2, Val{}, true);
+            for (unsigned k = 0; k < 8; ++k) {
+                Val acc{};
+                for (unsigned n = 0; n < 8; ++n) {
+                    Val p = tb.mul(col[n],
+                                   tb.imm(static_cast<u64>(
+                                       static_cast<s64>(M[k][n]))));
+                    acc = n == 0 ? p : tb.add(acc, p);
+                }
+                Val f = tb.sra(tb.addi(acc, 1 << (kDctBits - 1)),
+                               kDctBits);
+                tb.store(sb + 2 * (k * 8 + c), 2, f);
+            }
+        }
+    } else {
+        for (unsigned g = 0; g < 2; ++g) {
+            Val in[8];
+            for (unsigned n = 0; n < 8; ++n)
+                in[n] = tb.vload(sa + 2 * (n * 8) + 8 * g);
+            for (unsigned k = 0; k < 8; ++k) {
+                Val acc{};
+                for (unsigned n = 0; n < 8; ++n) {
+                    // 8-bit basis constants: c8 = M >> 3 so that the
+                    // (x*c)>>8 primitive yields x*cos directly.
+                    Val cvec = tb.imm(lanesOf16(
+                        static_cast<s16>(M[k][n] >> 3)));
+                    Val p = visMul3(tb, in[n], cvec);
+                    acc = n == 0 ? p : tb.vfpadd16(acc, p);
+                }
+                tb.vstore(sb + 2 * (k * 8) + 8 * g, acc);
+            }
+        }
+    }
+
+    // --- Quantize (scalar in both variants; paper: VIS-inapplicable) --
+    Val qv[64];
+    static thread_local u32 sign_pc = 0, sign2_pc = 0;
+    if (!sign_pc) {
+        sign_pc = tb.makePc("quant.sign");
+        sign2_pc = tb.makePc("quant.sign2");
+    }
+    for (unsigned i = 0; i < 64; ++i) {
+        Val c = tb.load(sb + 2 * i, 2, Val{}, true);
+        Val recip = tb.load(tables.quantEntry(chroma, i), 4);
+        Val half = tb.load(tables.quantEntry(chroma, i) + 4, 2);
+        const bool neg = c.s() < 0;
+        Val is_neg = tb.cmpLt(c, tb.imm(0));
+        tb.branch(sign_pc, neg, is_neg);
+        Val mag = neg ? tb.sub(tb.imm(0), c) : c;
+        Val biased = tb.add(mag, half);
+        Val prod = tb.mul(biased, recip);
+        Val v = tb.shr(prod, kQuantRecipBits);
+        if (neg) {
+            tb.branch(sign2_pc, true, is_neg);
+            v = tb.sub(tb.imm(0), v);
+        }
+        // Keep the value consistent with the native quantOne contract.
+        const s16 want = quantOne(static_cast<s32>(c.s()), q[i]);
+        qv[i] = Val{v.id, static_cast<u64>(static_cast<s64>(want))};
+    }
+
+    // --- Zig-zag gather + store (scalar; scatter-gather, no VIS) ------
+    for (unsigned i = 0; i < 64; ++i) {
+        Val zz = tb.load(tables.zigzagAddr() + i, 1);
+        tb.store(dst + 2 * i, 2, qv[kZigzag[i]], zz);
+    }
+}
+
+} // namespace
+
+void
+emitFdctQuantBlock(TraceBuilder &tb, Variant variant,
+                   const TracedTables &tables, bool chroma, Addr src,
+                   unsigned stride, Addr dst)
+{
+    fdctQuantImpl(tb, variant, tables, chroma, src, stride, dst, false);
+}
+
+void
+emitFdctQuantResidual(TraceBuilder &tb, Variant variant,
+                      const TracedTables &tables, bool chroma, Addr src,
+                      unsigned stride, Addr dst)
+{
+    fdctQuantImpl(tb, variant, tables, chroma, src, stride, dst, true);
+}
+
+void
+emitIdctBlock(TraceBuilder &tb, Variant variant,
+              const TracedTables &tables, bool chroma, Addr src, Addr dst,
+              unsigned stride, bool residual)
+{
+    const bool vis = variant != Variant::Scalar;
+    const DctMatrixT &M = dctMatrix();
+    const Addr sa = tables.scratchA();
+    const Addr sb = tables.scratchB();
+
+    // --- Zig-zag ungather + dequant (scalar in both variants) ---------
+    Val nat[64];
+    for (unsigned i = 0; i < 64; ++i) {
+        Val zz = tb.load(tables.zigzagAddr() + i, 1);
+        Val c = tb.load(src + 2 * i, 2, zz, true);
+        Val qq = tb.load(tables.quantEntry(chroma, kZigzag[i]) + 6, 2);
+        nat[kZigzag[i]] = tb.mul(c, qq);
+    }
+    for (unsigned i = 0; i < 64; ++i)
+        tb.store(sa + 2 * i, 2, nat[i]);
+
+    // --- Inverse column pass -------------------------------------------
+    if (!vis) {
+        for (unsigned c = 0; c < 8; ++c) {
+            Val col[8];
+            for (unsigned k = 0; k < 8; ++k)
+                col[k] = tb.load(sa + 2 * (k * 8 + c), 2, Val{}, true);
+            for (unsigned n = 0; n < 8; ++n) {
+                Val acc{};
+                for (unsigned k = 0; k < 8; ++k) {
+                    Val p = tb.mul(col[k],
+                                   tb.imm(static_cast<u64>(
+                                       static_cast<s64>(M[k][n]))));
+                    acc = k == 0 ? p : tb.add(acc, p);
+                }
+                Val f = tb.sra(tb.addi(acc, 1 << (kDctBits - 1)),
+                               kDctBits);
+                tb.store(sb + 2 * (n * 8 + c), 2, f);
+            }
+        }
+    } else {
+        for (unsigned g = 0; g < 2; ++g) {
+            Val in[8];
+            for (unsigned k = 0; k < 8; ++k)
+                in[k] = tb.vload(sa + 2 * (k * 8) + 8 * g);
+            for (unsigned n = 0; n < 8; ++n) {
+                Val acc{};
+                for (unsigned k = 0; k < 8; ++k) {
+                    Val cvec = tb.imm(lanesOf16(
+                        static_cast<s16>(M[k][n] >> 3)));
+                    Val p = visMul3(tb, in[k], cvec);
+                    acc = k == 0 ? p : tb.vfpadd16(acc, p);
+                }
+                tb.vstore(sb + 2 * (n * 8) + 8 * g, acc);
+            }
+        }
+    }
+
+    // --- Inverse row pass (scalar) + output ----------------------------
+    static thread_local u32 clamp_lo_pc = 0, clamp_hi_pc = 0;
+    if (!clamp_lo_pc) {
+        clamp_lo_pc = tb.makePc("idct.lo");
+        clamp_hi_pc = tb.makePc("idct.hi");
+    }
+    for (unsigned r = 0; r < 8; ++r) {
+        Val row[8];
+        for (unsigned k = 0; k < 8; ++k)
+            row[k] = tb.load(sb + 2 * (r * 8 + k), 2, Val{}, true);
+        for (unsigned n = 0; n < 8; ++n) {
+            Val acc{};
+            for (unsigned k = 0; k < 8; ++k) {
+                Val p = tb.mul(row[k],
+                               tb.imm(static_cast<u64>(
+                                   static_cast<s64>(M[k][n]))));
+                acc = k == 0 ? p : tb.add(acc, p);
+            }
+            Val v = tb.sra(tb.addi(acc, 1 << (kDctBits - 1)),
+                           kDctBits);
+            if (residual) {
+                tb.store(dst + 2 * (static_cast<Addr>(r) * stride + n),
+                         2, v);
+                continue;
+            }
+            if (!vis) {
+                // Scalar saturation: two data-dependent branches.
+                Val sum = tb.addi(v, 128);
+                Val res = sum;
+                const s64 s = sum.s();
+                Val c_low = tb.cmpLt(sum, tb.imm(0));
+                tb.branch(clamp_lo_pc, s < 0, c_low);
+                if (s < 0) {
+                    res = tb.imm(0);
+                } else {
+                    Val c_high = tb.cmpLt(tb.imm(255), sum);
+                    tb.branch(clamp_hi_pc, s > 255, c_high);
+                    if (s > 255)
+                        res = tb.imm(255);
+                }
+                tb.store(dst + static_cast<Addr>(r) * stride + n, 1, res);
+            } else {
+                // Stage and pack 4 at a time below.
+                tb.store(sa + 2 * (r * 8 + n), 2, v);
+            }
+        }
+        if (vis && !residual) {
+            // Pack row r: +128 then fpack16 saturation, no branches.
+            tb.setGsrScale(7);
+            for (unsigned g = 0; g < 2; ++g) {
+                Val v4 = tb.vload(sa + 2 * (r * 8) + 8 * g);
+                Val biased = tb.vfpadd16(v4, tb.imm(lanesOf16(128)));
+                Val packed = tb.vfpack16(biased);
+                tb.store(dst + static_cast<Addr>(r) * stride + 4 * g, 4,
+                         packed);
+            }
+        }
+    }
+}
+
+
+// --------------------------------------------------------------------
+// Entropy emission (shared by JPEG and MPEG traced codecs)
+// --------------------------------------------------------------------
+
+/** Emit the encode ops for one block band; returns via native logic. */
+void
+emitEncodeBlock(TraceBuilder &tb, TracedBitWriter &bw,
+                const TracedHuff &dc_h, const TracedHuff &ac_h,
+                Addr block_addr, const s16 *zz, int &dc_pred,
+                unsigned ss_start, unsigned ss_end)
+{
+    static thread_local u32 zero_pc = 0, cat_pc = 0;
+    if (!zero_pc) {
+        zero_pc = tb.makePc("jent.zero");
+        cat_pc = tb.makePc("jent.cat");
+    }
+
+    std::vector<Sym> syms;
+    int pred = dc_pred;
+    blockToSymbols(zz, pred, ss_start, ss_end, syms);
+
+    // Coefficient scan: one load + zero-test branch per position.
+    for (unsigned i = ss_start; i <= ss_end; ++i) {
+        Val c = tb.load(block_addr + 2 * i, 2, Val{}, true);
+        Val z = tb.cmpEq(c, tb.imm(0));
+        tb.branch(zero_pc, zz[i] == 0 && i > ss_start, z);
+    }
+
+    bool first = ss_start == 0;
+    for (const Sym &s : syms) {
+        // Category computation: shift/test loop (cat iterations).
+        for (unsigned k = 0; k < (s.nbits ? s.nbits : 1u); ++k) {
+            Val t = tb.shr(tb.imm(1), 1);
+            tb.branch(cat_pc, k + 1 < s.nbits, t);
+        }
+        if (first) {
+            dc_h.emitEncode(tb, bw, s.sym);
+            first = false;
+        } else {
+            ac_h.emitEncode(tb, bw, s.sym);
+        }
+        if (s.nbits)
+            bw.put(s.bits, s.nbits);
+    }
+    dc_pred = pred;
+}
+
+/** Emit the statistics-pass ops for one block band (progressive). */
+void
+emitStatsBlock(TraceBuilder &tb, Addr block_addr, const s16 *zz,
+               int &dc_pred, unsigned ss_start, unsigned ss_end,
+               Addr freq_table)
+{
+    static thread_local u32 zero_pc = 0;
+    if (!zero_pc)
+        zero_pc = tb.makePc("jent.stat");
+
+    std::vector<Sym> syms;
+    blockToSymbols(zz, dc_pred, ss_start, ss_end, syms);
+
+    for (unsigned i = ss_start; i <= ss_end; ++i) {
+        Val c = tb.load(block_addr + 2 * i, 2, Val{}, true);
+        Val z = tb.cmpEq(c, tb.imm(0));
+        tb.branch(zero_pc, zz[i] == 0 && i > ss_start, z);
+    }
+    for (const Sym &s : syms) {
+        // Histogram increment: load, add, store.
+        Val f = tb.load(freq_table + 4 * s.sym, 4);
+        tb.store(freq_table + 4 * s.sym, 4, tb.addi(f, 1));
+    }
+}
+
+/** Emit the decode ops for one block band; fills @p dst (zig-zag s16). */
+void
+emitDecodeBlock(TraceBuilder &tb, TracedBitReader &br,
+                const TracedHuff &dc_h, const TracedHuff &ac_h,
+                int &dc_pred, unsigned ss_start, unsigned ss_end,
+                Addr dst)
+{
+    static thread_local u32 sign_pc = 0;
+    if (!sign_pc)
+        sign_pc = tb.makePc("jdec.sign");
+
+    unsigned i = ss_start;
+    if (ss_start == 0) {
+        const unsigned cat = br.decodeSym(dc_h);
+        const u32 bits = br.getBits(cat);
+        const int diff = magnitudeExtend(bits, cat);
+        dc_pred += diff;
+        Val v = tb.addi(tb.imm(static_cast<u64>(static_cast<s64>(diff))),
+                        0);
+        tb.branch(sign_pc, diff < 0, v);
+        tb.store(dst, 2,
+                 Val{v.id, static_cast<u64>(static_cast<s64>(dc_pred))});
+        i = 1;
+    }
+    while (i <= ss_end) {
+        const unsigned sym = br.decodeSym(ac_h);
+        if (sym == 0x00)
+            break;
+        if (sym == 0xf0) {
+            i += 16;
+            continue;
+        }
+        const unsigned run = sym >> 4;
+        const unsigned cat = sym & 0xf;
+        i += run;
+        const u32 bits = br.getBits(cat);
+        const int v = magnitudeExtend(bits, cat);
+        Val vv = tb.addi(tb.imm(bits), 0);
+        tb.branch(sign_pc, v < 0, vv);
+        tb.store(dst + 2 * i, 2,
+                 Val{vv.id, static_cast<u64>(static_cast<s64>(v))});
+        ++i;
+    }
+}
+
+/** Zero a 64-coefficient block buffer. */
+void
+emitZeroBlock(TraceBuilder &tb, Variant variant, Addr dst)
+{
+    if (variant == Variant::Scalar) {
+        for (unsigned i = 0; i < 16; ++i)
+            tb.store(dst + 8 * i, 8, tb.imm(0));
+    } else {
+        for (unsigned i = 0; i < 16; ++i)
+            tb.vstore(dst + 8 * i, tb.imm(0));
+    }
+}
+
+
+} // namespace msim::jpeg

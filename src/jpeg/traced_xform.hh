@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Trace-emitting building blocks shared by the JPEG and MPEG2 traced
+ * benchmarks: arena-resident tables, bit I/O, the block transform
+ * pipeline (level shift + DCT + quant + zig-zag and its inverse), and
+ * Huffman symbol emission/decoding.
+ *
+ * Scalar emission reproduces the native reference arithmetic bit-for-
+ * bit. The VIS paths vectorize the DCT column passes, the final
+ * saturation, and (in the callers) color conversion; the row passes,
+ * quantization, zig-zag gather, and all entropy coding remain scalar —
+ * matching the paper's observations about where VIS is inapplicable
+ * (sequential variable-length coding, scatter-gather addressing,
+ * quantization).
+ */
+
+#ifndef MSIM_JPEG_TRACED_XFORM_HH_
+#define MSIM_JPEG_TRACED_XFORM_HH_
+
+#include <vector>
+
+#include "jpeg/codec.hh"
+#include "prog/trace_builder.hh"
+#include "prog/variant.hh"
+
+namespace msim::jpeg
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+using prog::Variant;
+
+/** Pack the same 16-bit value into all four lanes of a 64-bit constant. */
+u64 lanesOf16(s16 v);
+
+/**
+ * VIS 16-bit-by-constant multiply: the 3-op fmul8sux16/fmul8ulx16/
+ * fpadd16 emulation computing (x * c) >> 8 per lane.
+ */
+Val visMul3(TraceBuilder &tb, Val x, Val cvec);
+
+/** Arena images of the small lookup tables the codec loads from. */
+class TracedTables
+{
+  public:
+    TracedTables(TraceBuilder &tb, const QuantTable &luma,
+                 const QuantTable &chroma);
+
+    Addr zigzagAddr() const { return zigzag; }
+
+    /** Entry layout: recip u32 @0, half u16 @4, q u16 @6 (8 bytes). */
+    Addr quantEntry(bool chroma, unsigned i) const
+    {
+        return (chroma ? qChroma : qLuma) + 8 * i;
+    }
+
+    const QuantTable &table(bool chroma) const
+    {
+        return chroma ? chromaT : lumaT;
+    }
+
+    /** Scratch staging buffers used by the VIS block pipeline. */
+    Addr scratchA() const { return scratch_a; }
+    Addr scratchB() const { return scratch_b; }
+
+  private:
+    Addr zigzag = 0;
+    Addr qLuma = 0;
+    Addr qChroma = 0;
+    Addr scratch_a = 0;
+    Addr scratch_b = 0;
+    QuantTable lumaT{};
+    QuantTable chromaT{};
+};
+
+/**
+ * Bit writer that emits realistic shift/or/flush instruction sequences
+ * and stores the produced bytes into the arena.
+ */
+class TracedBitWriter
+{
+  public:
+    /** @param capacity  Arena bytes reserved at @p base. */
+    TracedBitWriter(TraceBuilder &tb, Addr base, size_t capacity);
+
+    void put(u32 code, unsigned len);
+
+    /** Pad to a byte boundary; returns the total byte count. */
+    size_t finish();
+
+    Addr base() const { return base_; }
+
+  private:
+    void flushBytes();
+
+    TraceBuilder &tb;
+    Addr base_;
+    size_t capacity;
+    size_t pos = 0;
+    u32 acc = 0;
+    unsigned nbits = 0;
+    Val accVal;
+};
+
+/**
+ * Arena image of a HuffTable: encode entries (code,len) and the
+ * canonical decode tables (mincode/maxcode/valptr/vals).
+ */
+class TracedHuff
+{
+  public:
+    TracedHuff(TraceBuilder &tb, const HuffTable &table);
+
+    const HuffTable &table() const { return *table_; }
+
+    /** Emit the encode-side ops for one symbol into @p bw. */
+    void emitEncode(TraceBuilder &tb, TracedBitWriter &bw,
+                    unsigned sym) const;
+
+    Addr encodeEntry(unsigned sym) const { return enc + 4 * sym; }
+
+  private:
+    friend class TracedBitReader;
+
+    const HuffTable *table_;
+    Addr enc = 0;     ///< per symbol: code u16, len u16
+    Addr mincode = 0; ///< s32[17]
+    Addr maxcode = 0; ///< s32[17]
+    Addr valptr = 0;  ///< u16[17]
+    Addr vals = 0;    ///< u16[]
+};
+
+/**
+ * Bit reader mirroring a native BitReader: the host decodes
+ * authoritatively while realistic load/shift/compare ops are emitted,
+ * including the byte-refill loads from the arena-resident stream.
+ */
+class TracedBitReader
+{
+  public:
+    /** The stream bytes are uploaded to the arena at @p base. */
+    TracedBitReader(TraceBuilder &tb, const std::vector<u8> &bits,
+                    Addr base);
+
+    /** Decode one symbol through @p huff, emitting the canonical walk. */
+    unsigned decodeSym(const TracedHuff &huff);
+
+    /** Read @p n magnitude bits. */
+    u32 getBits(unsigned n);
+
+    bool exhausted() const { return reader.exhausted(); }
+
+  private:
+    void consumeBits(unsigned n);
+
+    TraceBuilder &tb;
+    Addr base;
+    BitReader reader;
+    size_t bits_consumed = 0;
+    Val accVal;
+};
+
+/**
+ * Emit one block of the forward pipeline: load 8x8 samples at @p src
+ * (row stride @p stride), level-shift, DCT, quantize, zig-zag, store 64
+ * s16 at @p dst. Returns nothing; all results live in the arena.
+ */
+void emitFdctQuantBlock(TraceBuilder &tb, Variant variant,
+                        const TracedTables &tables, bool chroma, Addr src,
+                        unsigned stride, Addr dst);
+
+/**
+ * Emit one block of the inverse pipeline: load 64 zig-zag s16 at
+ * @p src, dequantize, IDCT, level-unshift with saturation, store 8x8
+ * samples at @p dst.
+ *
+ * @param residual  When true, skip the +128 level unshift and store
+ *                  signed 16-bit residuals instead of u8 samples (MPEG
+ *                  motion-compensated blocks add these to a prediction).
+ */
+void emitIdctBlock(TraceBuilder &tb, Variant variant,
+                   const TracedTables &tables, bool chroma, Addr src,
+                   Addr dst, unsigned stride, bool residual = false);
+
+/**
+ * Forward-transform one block of *signed 16-bit residuals* (stride in
+ * elements) instead of u8 samples: no level shift (MPEG inter blocks).
+ */
+void emitFdctQuantResidual(TraceBuilder &tb, Variant variant,
+                           const TracedTables &tables, bool chroma,
+                           Addr src, unsigned stride, Addr dst);
+
+/**
+ * Emit the encode-side ops for one block band through @p bw.
+ * @param zz       authoritative coefficients (read from the arena).
+ * @param dc_pred  DC predictor, updated (pass 0-reset for inter blocks).
+ */
+void emitEncodeBlock(TraceBuilder &tb, TracedBitWriter &bw,
+                     const TracedHuff &dc_h, const TracedHuff &ac_h,
+                     Addr block_addr, const s16 *zz, int &dc_pred,
+                     unsigned ss_start, unsigned ss_end);
+
+/** Emit the statistics-pass ops for one block band (progressive JPEG). */
+void emitStatsBlock(TraceBuilder &tb, Addr block_addr, const s16 *zz,
+                    int &dc_pred, unsigned ss_start, unsigned ss_end,
+                    Addr freq_table);
+
+/** Emit the decode ops for one block band, storing into @p dst. */
+void emitDecodeBlock(TraceBuilder &tb, TracedBitReader &br,
+                     const TracedHuff &dc_h, const TracedHuff &ac_h,
+                     int &dc_pred, unsigned ss_start, unsigned ss_end,
+                     Addr dst);
+
+/** Zero a 64-coefficient (128-byte) block buffer. */
+void emitZeroBlock(TraceBuilder &tb, Variant variant, Addr dst);
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_TRACED_XFORM_HH_

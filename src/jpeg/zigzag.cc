@@ -1,0 +1,73 @@
+#include "jpeg/zigzag.hh"
+
+namespace msim::jpeg
+{
+
+namespace
+{
+
+/** Generate the classic zig-zag traversal of an 8x8 grid. */
+std::array<u8, 64>
+makeZigzag()
+{
+    std::array<u8, 64> z{};
+    int x = 0, y = 0;
+    bool up = true;
+    for (int i = 0; i < 64; ++i) {
+        z[i] = static_cast<u8>(y * 8 + x);
+        if (up) {
+            if (x == 7) {
+                ++y;
+                up = false;
+            } else if (y == 0) {
+                ++x;
+                up = false;
+            } else {
+                ++x;
+                --y;
+            }
+        } else {
+            if (y == 7) {
+                ++x;
+                up = true;
+            } else if (x == 0) {
+                ++y;
+                up = true;
+            } else {
+                --x;
+                ++y;
+            }
+        }
+    }
+    return z;
+}
+
+std::array<u8, 64>
+makeUnzigzag(const std::array<u8, 64> &z)
+{
+    std::array<u8, 64> u{};
+    for (int i = 0; i < 64; ++i)
+        u[z[i]] = static_cast<u8>(i);
+    return u;
+}
+
+} // namespace
+
+const std::array<u8, 64> kZigzag = makeZigzag();
+const std::array<u8, 64> kUnzigzag = makeUnzigzag(kZigzag);
+
+void
+toZigzag(const s16 in[64], s16 out[64])
+{
+    for (int i = 0; i < 64; ++i)
+        out[i] = in[kZigzag[i]];
+}
+
+void
+fromZigzag(const s16 in[64], s16 out[64])
+{
+    for (int i = 0; i < 64; ++i)
+        out[kZigzag[i]] = in[i];
+}
+
+} // namespace msim::jpeg

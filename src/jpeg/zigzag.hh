@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The JPEG zig-zag scan order and (de)reordering helpers.
+ */
+
+#ifndef MSIM_JPEG_ZIGZAG_HH_
+#define MSIM_JPEG_ZIGZAG_HH_
+
+#include <array>
+
+#include "common/types.hh"
+
+namespace msim::jpeg
+{
+
+/** kZigzag[i] is the row-major index of the i-th coefficient in scan order. */
+extern const std::array<u8, 64> kZigzag;
+
+/** Inverse permutation: kUnzigzag[row_major_index] = scan position. */
+extern const std::array<u8, 64> kUnzigzag;
+
+/** Reorder a row-major block into zig-zag scan order. */
+void toZigzag(const s16 in[64], s16 out[64]);
+
+/** Reorder a zig-zag block back to row-major order. */
+void fromZigzag(const s16 in[64], s16 out[64]);
+
+} // namespace msim::jpeg
+
+#endif // MSIM_JPEG_ZIGZAG_HH_

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * VSDK-style image addition: dst = (src1 + src2) / 2 per 8-bit sample.
+ */
+
+#ifndef MSIM_KERNELS_ADDITION_HH_
+#define MSIM_KERNELS_ADDITION_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/**
+ * Emit (and functionally verify) the addition benchmark.
+ *
+ * The scalar path is an unrolled byte loop; the VIS path processes 8
+ * pixels per iteration via fexpand/fpadd16/fpack16 with faligndata used
+ * to reach the upper four byte lanes, and edge-masked partial stores at
+ * row boundaries. Panics if the simulated output mismatches a natively
+ * computed reference.
+ */
+void runAddition(prog::TraceBuilder &tb, Variant variant,
+                 unsigned width = kImgW, unsigned height = kImgH,
+                 unsigned bands = kImgBands);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_ADDITION_HH_

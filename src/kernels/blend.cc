@@ -1,0 +1,131 @@
+#include "kernels/blend.hh"
+
+#include <cstdlib>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+/** Exact scalar blend of one sample: (al*x + (255-al)*y + 127) / 255. */
+u8
+refBlend(u8 al, u8 x, u8 y)
+{
+    const u32 sum = u32{al} * x + (255u - al) * y;
+    // x/255 == (x + 128 + ((x + 128) >> 8)) >> 8 for x in [0, 255*255]
+    return static_cast<u8>((sum + 128 + ((sum + 128) >> 8)) >> 8);
+}
+
+void
+emitScalar(TraceBuilder &tb, Addr a1, Addr a2, Addr aa, Addr d, unsigned n)
+{
+    const u32 loop_pc = tb.makePc("blend.loop");
+    const Val k255 = tb.imm(255);
+    const Val k128 = tb.imm(128);
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 2) {
+        for (unsigned e = 0; e < 2; ++e) {
+            Val al = tb.load(aa + i + e, 1, idx);
+            Val x = tb.load(a1 + i + e, 1, idx);
+            Val y = tb.load(a2 + i + e, 1, idx);
+            Val inv = tb.sub(k255, al);
+            Val p1 = tb.mul(al, x);
+            Val p2 = tb.mul(inv, y);
+            Val sum = tb.add(p1, p2);
+            Val biased = tb.add(sum, k128);
+            Val t = tb.shr(biased, 8);
+            Val t2 = tb.add(biased, t);
+            Val q = tb.shr(t2, 8);
+            tb.store(d + i + e, 1, q, idx);
+        }
+        idx = tb.addi(idx, 2);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 2 < n, c);
+    }
+}
+
+/** VIS path: 4 samples/iteration via fmul8x16 (8.8 fixed point). */
+void
+emitVis(TraceBuilder &tb, Variant variant, Addr a1, Addr a2, Addr aa,
+        Addr d, unsigned n)
+{
+    const u32 loop_pc = tb.makePc("blend.vloop");
+
+    // fexpand yields alpha<<4 per lane; fmul8x16 computes
+    // (pixel*coeff+128)>>8, so with coeff = alpha<<4 the result is
+    // approximately (pixel*alpha)>>4, a 12-bit value; fpack16 with
+    // scale 3 extracts bits 11..4.
+    tb.setGsrScale(3);
+    // 255<<4 per 16-bit lane, for computing the inverse alpha.
+    u64 k255x4 = 0;
+    for (unsigned l = 0; l < 4; ++l)
+        k255x4 = setHalfLane(k255x4, l, 255u << 4);
+    const Val vk255 = tb.imm(k255x4);
+
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 4) {
+        maybePrefetch(tb, variant, {a1, a2, aa, d}, i, 4);
+
+        Val va = tb.vload(aa + i - (aa + i) % 8, idx); // aligned 8B window
+        // Extract the 4 alpha bytes of interest with faligndata.
+        tb.visAlignAddr(aa + i, idx);
+        Val al4 = tb.vfaligndata(va, va);
+        Val ea = tb.vfexpand(al4);
+        Val inv = tb.vfpsub16(vk255, ea);
+
+        Val x4 = tb.load(a1 + i, 4, idx);
+        Val y4 = tb.load(a2 + i, 4, idx);
+        Val p1 = tb.vfmul8x16(x4, ea);
+        Val p2 = tb.vfmul8x16(y4, inv);
+        Val sum = tb.vfpadd16(p1, p2);
+        Val packed = tb.vfpack16(sum);
+        tb.store(d + i, 4, packed, idx);
+
+        idx = tb.addi(idx, 4);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 4 < n, c);
+    }
+}
+
+} // namespace
+
+void
+runBlend(TraceBuilder &tb, Variant variant, unsigned width, unsigned height,
+         unsigned bands)
+{
+    const img::Image src1 = img::makeTestImage(width, height, bands, 31);
+    const img::Image src2 = img::makeTestImage(width, height, bands, 32);
+    const img::Image alpha = img::makeTestImage(width, height, bands, 33);
+    const Addr a1 = uploadImage(tb, src1, "blend.src1");
+    const Addr a2 = uploadImage(tb, src2, "blend.src2");
+    const Addr aa = uploadImage(tb, alpha, "blend.alpha");
+    const Addr d = tb.alloc(src1.sizeBytes(), "blend.dst");
+
+    const unsigned n = width * height * bands;
+    if (variant == Variant::Scalar)
+        emitScalar(tb, a1, a2, aa, d, n);
+    else
+        emitVis(tb, variant, a1, a2, aa, d, n);
+
+    const img::Image out = downloadImage(tb, d, width, height, bands);
+    const unsigned tolerance = variant == Variant::Scalar ? 0 : 4;
+    for (size_t i = 0; i < src1.sizeBytes(); ++i) {
+        const u8 want =
+            refBlend(alpha.data()[i], src1.data()[i], src2.data()[i]);
+        const unsigned diff = static_cast<unsigned>(
+            std::abs(int(out.data()[i]) - int(want)));
+        if (diff > tolerance)
+            panic("blend mismatch at %zu: got %u want %u (tol %u)", i,
+                  out.data()[i], want, tolerance);
+    }
+}
+
+} // namespace msim::kernels

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * VSDK-style alpha blending:
+ * dst = (alpha * src1 + (255 - alpha) * src2) / 255 per 8-bit sample.
+ */
+
+#ifndef MSIM_KERNELS_BLEND_HH_
+#define MSIM_KERNELS_BLEND_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/**
+ * Emit (and functionally verify) the blend benchmark.
+ *
+ * The scalar path computes the exact blend with the classic /255
+ * strength-reduction; the VIS path uses fmul8x16 (an 8.8 fixed-point
+ * multiply, i.e. /256), which the paper's methodology explicitly allows
+ * ("the loss in accuracy ... should be visually imperceptible"); the
+ * verifier therefore tolerates |diff| <= 2 on the VIS paths.
+ */
+void runBlend(prog::TraceBuilder &tb, Variant variant,
+              unsigned width = kImgW, unsigned height = kImgH,
+              unsigned bands = kImgBands);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_BLEND_HH_

@@ -1,0 +1,38 @@
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+Addr
+uploadImage(prog::TraceBuilder &tb, const img::Image &im, const char *name)
+{
+    const Addr base = tb.alloc(im.sizeBytes(), name);
+    tb.arena().writeBytes(base, im.data(), im.sizeBytes());
+    return base;
+}
+
+img::Image
+downloadImage(const prog::TraceBuilder &tb, Addr base, unsigned width,
+              unsigned height, unsigned bands)
+{
+    img::Image im(width, height, bands);
+    tb.arena().readBytes(base, im.data(), im.sizeBytes());
+    return im;
+}
+
+void
+maybePrefetch(prog::TraceBuilder &tb, Variant variant,
+              std::initializer_list<Addr> streams, unsigned offset,
+              unsigned step)
+{
+    if (variant != Variant::VisPrefetch)
+        return;
+    // Issue one prefetch per stream whenever this iteration's window
+    // crosses into a new 64-byte line.
+    if ((offset % 64) < step) {
+        for (Addr s : streams)
+            tb.prefetch(s + offset + kPrefetchBytes);
+    }
+}
+
+} // namespace msim::kernels

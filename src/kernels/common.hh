@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared infrastructure for the VSDK-style image kernels: benchmark
+ * variants, default workload geometry, arena upload helpers, and the
+ * software-prefetch distance used by the +PF variants.
+ */
+
+#ifndef MSIM_KERNELS_COMMON_HH_
+#define MSIM_KERNELS_COMMON_HH_
+
+#include "img/image.hh"
+#include "prog/trace_builder.hh"
+#include "prog/variant.hh"
+
+namespace msim::kernels
+{
+
+using Variant = prog::Variant;
+
+/** Default image geometry (paper: 1024x640, scaled for simulation time). */
+constexpr unsigned kImgW = 320;
+constexpr unsigned kImgH = 200;
+constexpr unsigned kImgBands = 3;
+
+/** Dot-product length (paper: 1048576, scaled). */
+constexpr unsigned kDotN = 262144;
+
+/**
+ * Prefetch distance in bytes for streaming kernels, per Mowry's
+ * algorithm: far enough ahead to cover the ~100-cycle memory latency at
+ * roughly one 64-byte line per few iterations.
+ */
+constexpr unsigned kPrefetchBytes = 256;
+
+/** Upload an image into the arena; returns its base address. */
+Addr uploadImage(prog::TraceBuilder &tb, const img::Image &im,
+                 const char *name);
+
+/** Download a same-shaped image from the arena. */
+img::Image downloadImage(const prog::TraceBuilder &tb, Addr base,
+                         unsigned width, unsigned height, unsigned bands);
+
+/**
+ * Emit the prefetches for one iteration of a streaming loop: one
+ * prefetch per stream each time @p offset crosses a cache line.
+ */
+void maybePrefetch(prog::TraceBuilder &tb, Variant variant,
+                   std::initializer_list<Addr> streams, unsigned offset,
+                   unsigned step);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_COMMON_HH_

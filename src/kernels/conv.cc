@@ -1,0 +1,212 @@
+#include "kernels/conv.hh"
+
+#include "common/logging.hh"
+#include "common/saturate.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+/** Native reference: saturating 3x3 convolution, borders copied. */
+img::Image
+refConv(const img::Image &src, const ConvTaps &taps)
+{
+    img::Image dst = src;
+    for (unsigned y = 1; y + 1 < src.height(); ++y) {
+        for (unsigned x = 1; x + 1 < src.width(); ++x) {
+            s64 sum = 0;
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    sum += taps[(dy + 1) * 3 + (dx + 1)] *
+                           src.at(x + dx, y + dy, 0);
+            dst.at(x, y, 0) = satU8(sum);
+        }
+    }
+    return dst;
+}
+
+/** Copy the one-pixel border (both variants do this scalar). */
+void
+emitBorderCopy(TraceBuilder &tb, Addr s, Addr d, unsigned w, unsigned h)
+{
+    const u32 pc = tb.makePc("conv.border");
+    unsigned count = 0;
+    auto copy_px = [&](unsigned x, unsigned y) {
+        const Addr off = static_cast<Addr>(y) * w + x;
+        Val v = tb.load(s + off, 1);
+        tb.store(d + off, 1, v);
+        ++count;
+        tb.branch(pc, (count & 3) != 0);
+    };
+    for (unsigned x = 0; x < w; ++x) {
+        copy_px(x, 0);
+        copy_px(x, h - 1);
+    }
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        copy_px(0, y);
+        copy_px(w - 1, y);
+    }
+}
+
+void
+emitScalar(TraceBuilder &tb, const ConvTaps &taps, Addr s, Addr d,
+           unsigned w, unsigned h)
+{
+    const u32 loop_pc = tb.makePc("conv.loop");
+    const u32 low_pc = tb.makePc("conv.satlow");
+    const u32 high_pc = tb.makePc("conv.sathigh");
+    const Val k0 = tb.imm(0);
+    const Val k255 = tb.imm(255);
+
+    Val idx = tb.imm(0);
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; ++x) {
+            Val sum = tb.imm(0);
+            bool first = true;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const Addr off =
+                        static_cast<Addr>(y + dy) * w + (x + dx);
+                    Val px = tb.load(s + off, 1, idx);
+                    Val prod =
+                        tb.mul(px, tb.imm(static_cast<u64>(
+                                   taps[(dy + 1) * 3 + (dx + 1)])));
+                    sum = first ? prod : tb.add(sum, prod);
+                    first = false;
+                }
+            }
+            // Explicit saturation: two data-dependent branches.
+            Val res = sum;
+            Val c_low = tb.cmpLt(sum, k0);
+            const bool is_low = sum.s() < 0;
+            tb.branch(low_pc, is_low, c_low);
+            if (is_low) {
+                res = k0;
+            } else {
+                Val c_high = tb.cmpLt(k255, sum);
+                const bool is_high = sum.s() > 255;
+                tb.branch(high_pc, is_high, c_high);
+                if (is_high)
+                    res = k255;
+            }
+            tb.store(d + static_cast<Addr>(y) * w + x, 1, res, idx);
+
+            idx = tb.addi(idx, 1);
+            Val c = tb.cmpLt(idx, tb.imm(w - 1));
+            tb.branch(loop_pc, x + 1 < w - 1, c);
+        }
+    }
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, const ConvTaps &taps, Addr s,
+        Addr d, unsigned w, unsigned h)
+{
+    const u32 loop_pc = tb.makePc("conv.vloop");
+    tb.setGsrScale(7); // fpack16 identity scaling with saturation
+
+    // Tap coefficients as fmul8x16au operands: tap*256 in the upper
+    // 16 bits of a 32-bit register value.
+    Val coeff[9];
+    for (unsigned t = 0; t < 9; ++t) {
+        const u16 fixed = static_cast<u16>(static_cast<s16>(taps[t] * 256));
+        coeff[t] = tb.imm(static_cast<u64>(fixed) << 16);
+    }
+
+    Val idx = tb.imm(0);
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        const unsigned interior = w - 2;
+        for (unsigned x = 1; x + 1 < w; x += 4) {
+            maybePrefetch(tb, variant,
+                          {s + static_cast<Addr>(y) * w,
+                           d + static_cast<Addr>(y) * w},
+                          x, 4);
+            Val acc{};
+            bool first = true;
+            for (int dy = -1; dy <= 1; ++dy) {
+                const Addr base =
+                    s + static_cast<Addr>(y + dy) * w + (x - 1);
+                const Addr blk = base & ~Addr{7};
+                const unsigned off0 = static_cast<unsigned>(base & 7);
+                Val d0 = tb.vload(blk, idx);
+                Val d1 = tb.vload(blk + 8, idx);
+                Val d2{};
+                for (int dx = 0; dx < 3; ++dx) {
+                    tb.visAlignAddr(base + dx, idx);
+                    // Pick the register pair holding the tap window; a
+                    // third load is needed when the window slides past
+                    // the second 8-byte block.
+                    Val win;
+                    if (off0 + dx < 8) {
+                        win = tb.vfaligndata(d0, d1);
+                    } else {
+                        if (d2.id == kNoVal)
+                            d2 = tb.vload(blk + 16, idx);
+                        win = tb.vfaligndata(d1, d2);
+                    }
+                    Val prod =
+                        tb.vfmul8x16au(win, coeff[(dy + 1) * 3 + dx]);
+                    acc = first ? prod : tb.vfpadd16(acc, prod);
+                    first = false;
+                }
+            }
+            Val packed = tb.vfpack16(acc); // saturation is implicit
+
+            const unsigned remaining = interior - (x - 1);
+            if (remaining >= 4) {
+                tb.store(d + static_cast<Addr>(y) * w + x, 4, packed, idx);
+            } else {
+                // Row tail: edge-masked partial store.
+                const Addr dst = d + static_cast<Addr>(y) * w + x;
+                Val edge = tb.vedge8(dst, dst + remaining - 1);
+                // Fold the edge mask with the tail width (the edge op
+                // models the VSDK boundary handling; the tail bound is
+                // what determines the lanes actually written here).
+                Val mask = tb.andOp(tb.orOp(edge, tb.imm(0xff)),
+                                    tb.imm((u64{1} << remaining) - 1));
+                tb.vstorePartial(dst, packed, mask, idx);
+            }
+
+            idx = tb.addi(idx, 4);
+            Val c = tb.cmpLt(idx, tb.imm(interior));
+            tb.branch(loop_pc, x + 4 < w - 1, c);
+        }
+    }
+}
+
+} // namespace
+
+void
+runConv(TraceBuilder &tb, Variant variant, unsigned width, unsigned height,
+        const ConvTaps &taps)
+{
+    const img::Image src = img::makeTestImage(width, height, 1, 41);
+    const Addr s = uploadImage(tb, src, "conv.src");
+    const Addr d = tb.alloc(src.sizeBytes(), "conv.dst");
+
+    emitBorderCopy(tb, s, d, width, height);
+    if (variant == Variant::Scalar)
+        emitScalar(tb, taps, s, d, width, height);
+    else
+        emitVis(tb, variant, taps, s, d, width, height);
+
+    const img::Image want = refConv(src, taps);
+    const img::Image out = downloadImage(tb, d, width, height, 1);
+    unsigned bad = 0;
+    for (size_t i = 0; i < want.sizeBytes(); ++i) {
+        if (out.data()[i] != want.data()[i]) {
+            fprintf(stderr, "conv mismatch at %zu (x=%zu y=%zu): got %u want %u\n",
+                    i, i % width, i / width, out.data()[i], want.data()[i]);
+            if (++bad > 20) break;
+        }
+    }
+    if (bad) panic("conv mismatches: %u", bad);
+}
+
+} // namespace msim::kernels

@@ -1,0 +1,85 @@
+#include "kernels/copy_invert.hh"
+
+#include "common/logging.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+void
+emitLoop(TraceBuilder &tb, Variant variant, Addr s, Addr d, unsigned n,
+         bool invert)
+{
+    const u32 loop_pc = tb.makePc("cpy.loop");
+    const Val all_ones = tb.imm(~u64{0});
+    Val idx = tb.imm(0);
+    if (variant == Variant::Scalar) {
+        const Val k255 = tb.imm(255);
+        for (unsigned i = 0; i < n; i += 4) {
+            for (unsigned e = 0; e < 4; ++e) {
+                Val v = tb.load(s + i + e, 1, idx);
+                if (invert)
+                    v = tb.sub(k255, v);
+                tb.store(d + i + e, 1, v, idx);
+            }
+            idx = tb.addi(idx, 4);
+            Val c = tb.cmpLt(idx, tb.imm(n));
+            tb.branch(loop_pc, i + 4 < n, c);
+        }
+    } else {
+        for (unsigned i = 0; i < n; i += 8) {
+            maybePrefetch(tb, variant, {s, d}, i, 8);
+            Val v = tb.vload(s + i, idx);
+            if (invert)
+                v = tb.vxor(v, all_ones); // 255 - v == ~v per byte
+            tb.vstore(d + i, v, idx);
+            idx = tb.addi(idx, 8);
+            Val c = tb.cmpLt(idx, tb.imm(n));
+            tb.branch(loop_pc, i + 8 < n, c);
+        }
+    }
+}
+
+void
+run(TraceBuilder &tb, Variant variant, unsigned width, unsigned height,
+    unsigned bands, bool invert)
+{
+    const img::Image src = img::makeTestImage(width, height, bands, 71);
+    const Addr s = uploadImage(tb, src, "cpy.src");
+    const Addr d = tb.alloc(src.sizeBytes(), "cpy.dst");
+
+    emitLoop(tb, variant, s, d, width * height * bands, invert);
+
+    const img::Image out = downloadImage(tb, d, width, height, bands);
+    for (size_t i = 0; i < src.sizeBytes(); ++i) {
+        const u8 want =
+            invert ? static_cast<u8>(255 - src.data()[i]) : src.data()[i];
+        if (out.data()[i] != want)
+            panic("copy/invert mismatch at %zu: got %u want %u", i,
+                  out.data()[i], want);
+    }
+}
+
+} // namespace
+
+void
+runCopy(TraceBuilder &tb, Variant variant, unsigned width, unsigned height,
+        unsigned bands)
+{
+    run(tb, variant, width, height, bands, false);
+}
+
+void
+runInvert(TraceBuilder &tb, Variant variant, unsigned width,
+          unsigned height, unsigned bands)
+{
+    run(tb, variant, width, height, bands, true);
+}
+
+} // namespace msim::kernels

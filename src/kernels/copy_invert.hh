@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Two further VSDK kernels, image copy and inversion (255 - v). The
+ * paper studied all 14 VSDK kernels but reported six; these two round
+ * out the suite and serve as simple substrate tests.
+ */
+
+#ifndef MSIM_KERNELS_COPY_INVERT_HH_
+#define MSIM_KERNELS_COPY_INVERT_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/** Emit (and verify) an image copy. */
+void runCopy(prog::TraceBuilder &tb, Variant variant,
+             unsigned width = kImgW, unsigned height = kImgH,
+             unsigned bands = kImgBands);
+
+/** Emit (and verify) image inversion: dst = 255 - src. */
+void runInvert(prog::TraceBuilder &tb, Variant variant,
+               unsigned width = kImgW, unsigned height = kImgH,
+               unsigned bands = kImgBands);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_COPY_INVERT_HH_

@@ -1,0 +1,123 @@
+#include "kernels/dotprod.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+void
+emitScalar(TraceBuilder &tb, Addr a, Addr b, Addr out, unsigned n)
+{
+    const u32 loop_pc = tb.makePc("dot.loop");
+    Val acc = tb.imm(0);
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 4) {
+        for (unsigned e = 0; e < 4; ++e) {
+            Val x = tb.load(a + 2 * (i + e), 2, idx, /*sign=*/true);
+            Val y = tb.load(b + 2 * (i + e), 2, idx, /*sign=*/true);
+            Val p = tb.mul(x, y);
+            acc = tb.add(acc, p);
+        }
+        idx = tb.addi(idx, 4);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 4 < n, c);
+    }
+    tb.store(out, 8, acc);
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, Addr a, Addr b, Addr out,
+        unsigned n)
+{
+    const u32 loop_pc = tb.makePc("dot.vloop");
+    // Two 2x32-bit accumulators (even/odd lane pairs).
+    Val acc_lo = tb.imm(0);
+    Val acc_hi = tb.imm(0);
+    Val idx = tb.imm(0);
+    const bool pmadd = tb.features().hasPmaddwd;
+    for (unsigned i = 0; i < n; i += 4) {
+        maybePrefetch(tb, variant, {a, b}, 2 * i, 8);
+        Val va = tb.vload(a + 2 * Addr{i}, idx);
+        Val vb = tb.vload(b + 2 * Addr{i}, idx);
+
+        if (pmadd) {
+            // MMX-class ISA: one packed multiply-add does all 4 lanes
+            // (pair sums land in the two 32-bit accumulator lanes).
+            acc_lo = tb.vfpadd32(acc_lo, tb.vpmaddwd(va, vb));
+            idx = tb.addi(idx, 4);
+            Val c = tb.cmpLt(idx, tb.imm(n));
+            tb.branch(loop_pc, i + 4 < n, c);
+            continue;
+        }
+
+        // Lanes 0..1: exact 32-bit products via the muld pair.
+        Val su = tb.vfmuld8sux16(va, vb);
+        Val ul = tb.vfmuld8ulx16(va, vb);
+        acc_lo = tb.vfpadd32(acc_lo, tb.vfpadd32(su, ul));
+
+        // Lanes 2..3: shift them down with faligndata, then repeat.
+        tb.visAlignAddr(4, idx); // align offset 4 bytes
+        Val va_hi = tb.vfaligndata(va, va);
+        Val vb_hi = tb.vfaligndata(vb, vb);
+        Val su2 = tb.vfmuld8sux16(va_hi, vb_hi);
+        Val ul2 = tb.vfmuld8ulx16(va_hi, vb_hi);
+        acc_hi = tb.vfpadd32(acc_hi, tb.vfpadd32(su2, ul2));
+
+        idx = tb.addi(idx, 4);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 4 < n, c);
+    }
+    // Final reduction: extract the four 32-bit partial sums.
+    Val w0 = tb.andOp(acc_lo, tb.imm(0xffffffffu));
+    Val w1 = tb.shr(acc_lo, 32);
+    Val w2 = tb.andOp(acc_hi, tb.imm(0xffffffffu));
+    Val w3 = tb.shr(acc_hi, 32);
+    auto sext32 = [&](Val v) {
+        return tb.sra(tb.shl(v, 32), 32);
+    };
+    Val sum = tb.add(tb.add(sext32(w0), sext32(w1)),
+                     tb.add(sext32(w2), sext32(w3)));
+    tb.store(out, 8, sum);
+}
+
+} // namespace
+
+void
+runDotprod(TraceBuilder &tb, Variant variant, unsigned n)
+{
+    const Addr a = tb.alloc(2 * static_cast<size_t>(n), "dot.a");
+    const Addr b = tb.alloc(2 * static_cast<size_t>(n), "dot.b");
+    const Addr out = tb.alloc(8, "dot.out");
+
+    // Small random 16-bit values; per-lane 32-bit accumulators must not
+    // overflow (n/2 products per lane, |x*y| <= 2^14).
+    Rng rng(0xd07);
+    s64 want = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const s16 x = static_cast<s16>(rng.nextBelow(256)) - 128;
+        const s16 y = static_cast<s16>(rng.nextBelow(256)) - 128;
+        tb.arena().write(a + 2 * Addr{i}, 2, static_cast<u16>(x));
+        tb.arena().write(b + 2 * Addr{i}, 2, static_cast<u16>(y));
+        want += s64{x} * y;
+    }
+
+    if (variant == Variant::Scalar)
+        emitScalar(tb, a, b, out, n);
+    else
+        emitVis(tb, variant, a, b, out, n);
+
+    const s64 got = static_cast<s64>(tb.arena().read(out, 8));
+    if (got != want)
+        panic("dotprod mismatch: got %lld want %lld",
+              static_cast<long long>(got), static_cast<long long>(want));
+}
+
+} // namespace msim::kernels

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * VSDK-style 16x16 dot product over a large linear array (paper:
+ * 1048576 elements, randomly initialized).
+ */
+
+#ifndef MSIM_KERNELS_DOTPROD_HH_
+#define MSIM_KERNELS_DOTPROD_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/**
+ * Emit (and functionally verify) the dot-product benchmark.
+ *
+ * Scalar: 16-bit loads, integer multiply, 64-bit accumulate. VIS: the
+ * full-precision 16x16 multiply must be emulated with the
+ * fmuld8sux16/fmuld8ulx16 pair plus fpadd32 (the overhead the paper
+ * cites as the reason dotprod benefits least from VIS).
+ */
+void runDotprod(prog::TraceBuilder &tb, Variant variant,
+                unsigned n = kDotN);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_DOTPROD_HH_

@@ -1,0 +1,139 @@
+#include "kernels/erode.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+/** Binarize an image at @p threshold. */
+img::Image
+binarize(const img::Image &src, u8 threshold)
+{
+    img::Image out = src;
+    for (size_t i = 0; i < out.sizeBytes(); ++i)
+        out.data()[i] = out.data()[i] >= threshold ? 255 : 0;
+    return out;
+}
+
+img::Image
+refErode(const img::Image &mask)
+{
+    img::Image out(mask.width(), mask.height(), 1);
+    for (unsigned y = 1; y + 1 < mask.height(); ++y)
+        for (unsigned x = 1; x + 1 < mask.width(); ++x) {
+            bool all = true;
+            for (int dy = -1; dy <= 1; ++dy)
+                for (int dx = -1; dx <= 1; ++dx)
+                    all = all && mask.at(x + dx, y + dy, 0) == 255;
+            out.at(x, y, 0) = all ? 255 : 0;
+        }
+    return out;
+}
+
+void
+emitScalar(TraceBuilder &tb, Addr s, Addr d, unsigned w, unsigned h,
+           const img::Image &mask)
+{
+    const u32 loop_pc = tb.makePc("er.loop");
+    const u32 exit_pc = tb.makePc("er.exit");
+    Val idx = tb.imm(0);
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; ++x) {
+            // Short-circuit scan of the neighborhood: a data-dependent
+            // early-exit branch per neighbor.
+            bool all = true;
+            for (int dy = -1; dy <= 1 && all; ++dy) {
+                for (int dx = -1; dx <= 1 && all; ++dx) {
+                    Val v = tb.load(
+                        s + size_t{y + dy} * w + (x + dx), 1, idx);
+                    Val c = tb.cmpEq(v, tb.imm(255));
+                    const bool set =
+                        mask.at(x + dx, y + dy, 0) == 255;
+                    tb.branch(exit_pc, !set, c);
+                    all = set;
+                }
+            }
+            tb.store(d + size_t{y} * w + x, 1,
+                     tb.imm(all ? 255 : 0), idx);
+            idx = tb.addi(idx, 1);
+            tb.branch(loop_pc, x + 2 < w, idx);
+        }
+    }
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, Addr s, Addr d, unsigned w,
+        unsigned h)
+{
+    const u32 loop_pc = tb.makePc("er.vloop");
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; x += 8) {
+            maybePrefetch(tb, variant, {s + size_t{y} * w}, x, 8);
+            Val acc{};
+            bool first = true;
+            for (int dy = -1; dy <= 1; ++dy) {
+                const Addr base = s + size_t{y + dy} * w + (x - 1);
+                const Addr blk = base & ~Addr{7};
+                const unsigned off0 = static_cast<unsigned>(base & 7);
+                Val d0 = tb.vload(blk);
+                Val d1 = tb.vload(blk + 8);
+                Val d2 = tb.vload(blk + 16);
+                for (int dx = 0; dx < 3; ++dx) {
+                    tb.visAlignAddr(base + dx);
+                    Val win = off0 + dx < 8 ? tb.vfaligndata(d0, d1)
+                                            : tb.vfaligndata(d1, d2);
+                    acc = first ? win : tb.vand(acc, win);
+                    first = false;
+                }
+            }
+            // Mask the tail lanes beyond the interior.
+            const unsigned valid = std::min<u64>(8, (w - 1) - x);
+            if (valid == 8) {
+                tb.vstore(d + size_t{y} * w + x, acc);
+            } else {
+                Val edge = tb.vedge8(d + size_t{y} * w + x,
+                                     d + size_t{y} * w + (w - 2));
+                Val m = tb.andOp(tb.orOp(edge, tb.imm(0xff)),
+                                 tb.imm((u64{1} << valid) - 1));
+                tb.vstorePartial(d + size_t{y} * w + x, acc, m);
+            }
+            tb.branch(loop_pc, x + 8 < w - 1);
+        }
+    }
+}
+
+} // namespace
+
+void
+runErode(TraceBuilder &tb, Variant variant, unsigned width,
+         unsigned height, u8 threshold)
+{
+    const img::Image mask =
+        binarize(img::makeTestImage(width, height, 1, 53), threshold);
+    const Addr s = uploadImage(tb, mask, "er.src");
+    const Addr d = tb.alloc(mask.sizeBytes() + 64, "er.dst");
+
+    if (variant == Variant::Scalar)
+        emitScalar(tb, s, d, width, height, mask);
+    else
+        emitVis(tb, variant, s, d, width, height);
+
+    const img::Image want = refErode(mask);
+    const img::Image out = downloadImage(tb, d, width, height, 1);
+    for (unsigned y = 1; y + 1 < height; ++y)
+        for (unsigned x = 1; x + 1 < width; ++x)
+            if (out.at(x, y, 0) != want.at(x, y, 0))
+                panic("erode mismatch at (%u,%u): got %u want %u", x, y,
+                      out.at(x, y, 0), want.at(x, y, 0));
+}
+
+} // namespace msim::kernels

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * 3x3 binary erosion on a thresholded (0/255) image: a pixel stays set
+ * only if its whole 3x3 neighborhood is set (used after chroma-keying
+ * to despeckle masks). The scalar code short-circuits with
+ * data-dependent branches; the VIS variant is branch-free logical ANDs
+ * over faligndata-aligned rows.
+ */
+
+#ifndef MSIM_KERNELS_ERODE_HH_
+#define MSIM_KERNELS_ERODE_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/** Emit (and functionally verify) the erosion benchmark. */
+void runErode(prog::TraceBuilder &tb, Variant variant,
+              unsigned width = kImgW, unsigned height = kImgH,
+              u8 threshold = 128);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_ERODE_HH_

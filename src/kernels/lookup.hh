@@ -1,0 +1,26 @@
+/**
+ * @file
+ * VSDK-style table lookup (colormap application): dst = table[src].
+ *
+ * This is one of the kernels the paper classifies as VIS-inapplicable:
+ * a data-dependent gather has no packed equivalent, so the "VIS"
+ * variant differs from scalar only in using 8-byte stores for the
+ * gathered results (a common hand-optimization of the era).
+ */
+
+#ifndef MSIM_KERNELS_LOOKUP_HH_
+#define MSIM_KERNELS_LOOKUP_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/** Emit (and functionally verify) the lookup benchmark. */
+void runLookup(prog::TraceBuilder &tb, Variant variant,
+               unsigned width = kImgW, unsigned height = kImgH,
+               unsigned bands = kImgBands);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_LOOKUP_HH_

@@ -1,0 +1,125 @@
+#include "kernels/scaling.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/saturate.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+u8
+refScale(u8 v, int scale_fx, int offset)
+{
+    return satU8(((s64{v} * scale_fx) >> 8) + offset);
+}
+
+void
+emitScalar(TraceBuilder &tb, Addr s, Addr d, unsigned n, int scale_fx,
+           int offset)
+{
+    const u32 loop_pc = tb.makePc("scale.loop");
+    const u32 low_pc = tb.makePc("scale.satlow");
+    const u32 high_pc = tb.makePc("scale.sathigh");
+    const Val k0 = tb.imm(0);
+    const Val k255 = tb.imm(255);
+    const Val kscale = tb.imm(static_cast<u64>(scale_fx));
+    const Val koff = tb.imm(static_cast<u64>(static_cast<s64>(offset)));
+
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 2) {
+        for (unsigned e = 0; e < 2; ++e) {
+            Val v = tb.load(s + i + e, 1, idx);
+            Val p = tb.mul(v, kscale);
+            Val sh = tb.sra(p, 8);
+            Val sum = tb.add(sh, koff);
+
+            Val res = sum;
+            Val c_low = tb.cmpLt(sum, k0);
+            const bool is_low = sum.s() < 0;
+            tb.branch(low_pc, is_low, c_low);
+            if (is_low) {
+                res = k0;
+            } else {
+                Val c_high = tb.cmpLt(k255, sum);
+                const bool is_high = sum.s() > 255;
+                tb.branch(high_pc, is_high, c_high);
+                if (is_high)
+                    res = k255;
+            }
+            tb.store(d + i + e, 1, res, idx);
+        }
+        idx = tb.addi(idx, 2);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 2 < n, c);
+    }
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, Addr s, Addr d, unsigned n,
+        int scale_fx, int offset)
+{
+    const u32 loop_pc = tb.makePc("scale.vloop");
+    tb.setGsrScale(7); // identity extraction with saturation
+
+    // fmul8x16au: (pixel * scale_fx + 128) >> 8 == (pixel*scale)>>8
+    // with the +128 rounding; offset folded in with fpadd16.
+    const u16 coeff = static_cast<u16>(static_cast<s16>(scale_fx));
+    const Val vcoeff = tb.imm(static_cast<u64>(coeff) << 16);
+    u64 off_lanes = 0;
+    for (unsigned l = 0; l < 4; ++l)
+        off_lanes = setHalfLane(off_lanes, l,
+                                static_cast<u16>(static_cast<s16>(offset)));
+    const Val voffset = tb.imm(off_lanes);
+
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 4) {
+        maybePrefetch(tb, variant, {s, d}, i, 4);
+        Val v4 = tb.load(s + i, 4, idx);
+        Val prod = tb.vfmul8x16au(v4, vcoeff);
+        Val sum = tb.vfpadd16(prod, voffset);
+        Val packed = tb.vfpack16(sum);
+        tb.store(d + i, 4, packed, idx);
+
+        idx = tb.addi(idx, 4);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 4 < n, c);
+    }
+}
+
+} // namespace
+
+void
+runScaling(TraceBuilder &tb, Variant variant, unsigned width,
+           unsigned height, unsigned bands, int scale_fx, int offset)
+{
+    const img::Image src = img::makeTestImage(width, height, bands, 51);
+    const Addr s = uploadImage(tb, src, "scale.src");
+    const Addr d = tb.alloc(src.sizeBytes(), "scale.dst");
+
+    const unsigned n = width * height * bands;
+    if (variant == Variant::Scalar)
+        emitScalar(tb, s, d, n, scale_fx, offset);
+    else
+        emitVis(tb, variant, s, d, n, scale_fx, offset);
+
+    const img::Image out = downloadImage(tb, d, width, height, bands);
+    const unsigned tolerance = variant == Variant::Scalar ? 0 : 1;
+    for (size_t i = 0; i < src.sizeBytes(); ++i) {
+        const u8 want = refScale(src.data()[i], scale_fx, offset);
+        const unsigned diff = static_cast<unsigned>(
+            out.data()[i] > want ? out.data()[i] - want
+                                 : want - out.data()[i]);
+        if (diff > tolerance)
+            panic("scaling mismatch at %zu: got %u want %u", i,
+                  out.data()[i], want);
+    }
+}
+
+} // namespace msim::kernels

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * VSDK-style linear image scaling: dst = sat(src * scale + offset) with
+ * an 8.8 fixed-point scale factor.
+ */
+
+#ifndef MSIM_KERNELS_SCALING_HH_
+#define MSIM_KERNELS_SCALING_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/**
+ * Emit (and functionally verify) the scaling benchmark.
+ *
+ * @param scale_fx  Scale factor in 8.8 fixed point (default 1.25).
+ * @param offset    Additive offset (default -16, producing saturation).
+ */
+void runScaling(prog::TraceBuilder &tb, Variant variant,
+                unsigned width = kImgW, unsigned height = kImgH,
+                unsigned bands = kImgBands, int scale_fx = 320,
+                int offset = -16);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_SCALING_HH_

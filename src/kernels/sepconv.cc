@@ -1,0 +1,252 @@
+#include "kernels/sepconv.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/saturate.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+/** Pack the same 16-bit value into all four lanes. */
+u64
+lanes16v(s16 v)
+{
+    u64 r = 0;
+    for (unsigned l = 0; l < 4; ++l)
+        r = setHalfLane(r, l, static_cast<u16>(v));
+    return r;
+}
+
+/** Native reference. */
+img::Image
+refSepconv(const img::Image &src, const SepTaps &taps)
+{
+    const unsigned w = src.width(), h = src.height();
+    img::Image dst = src;
+    std::vector<s32> tmp(size_t{w} * h, 0);
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 1; x + 1 < w; ++x)
+            tmp[y * w + x] = taps.h[0] * src.at(x - 1, y, 0) +
+                             taps.h[1] * src.at(x, y, 0) +
+                             taps.h[2] * src.at(x + 1, y, 0);
+    for (unsigned y = 1; y + 1 < h; ++y)
+        for (unsigned x = 1; x + 1 < w; ++x) {
+            const s32 sum = taps.v[0] * tmp[(y - 1) * w + x] +
+                            taps.v[1] * tmp[y * w + x] +
+                            taps.v[2] * tmp[(y + 1) * w + x];
+            dst.at(x, y, 0) = satU8(sum >> taps.shift);
+        }
+    return dst;
+}
+
+void
+emitBorderCopy(TraceBuilder &tb, Addr s, Addr d, unsigned w, unsigned h)
+{
+    const u32 pc = tb.makePc("sep.border");
+    unsigned count = 0;
+    auto cp = [&](unsigned x, unsigned y) {
+        Val v = tb.load(s + size_t{y} * w + x, 1);
+        tb.store(d + size_t{y} * w + x, 1, v);
+        tb.branch(pc, (++count & 3) != 0);
+    };
+    for (unsigned x = 0; x < w; ++x) {
+        cp(x, 0);
+        cp(x, h - 1);
+    }
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        cp(0, y);
+        cp(w - 1, y);
+    }
+}
+
+void
+emitScalar(TraceBuilder &tb, const SepTaps &taps, Addr s, Addr d,
+           Addr tmp, unsigned w, unsigned h)
+{
+    const u32 hpc = tb.makePc("sep.h");
+    const u32 vpc = tb.makePc("sep.v");
+    const u32 lo_pc = tb.makePc("sep.lo");
+    const u32 hi_pc = tb.makePc("sep.hi");
+
+    // Horizontal pass into the 16-bit intermediate buffer.
+    Val idx = tb.imm(0);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; ++x) {
+            Val acc{};
+            for (int k = -1; k <= 1; ++k) {
+                Val px = tb.load(s + size_t{y} * w + x + k, 1, idx);
+                Val prod = tb.mul(
+                    px, tb.imm(static_cast<u64>(taps.h[k + 1])));
+                acc = k == -1 ? prod : tb.add(acc, prod);
+            }
+            tb.store(tmp + 2 * (size_t{y} * w + x), 2, acc, idx);
+            idx = tb.addi(idx, 1);
+            tb.branch(hpc, x + 2 < w, idx);
+        }
+    }
+
+    // Vertical pass with normalization and saturation branches.
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; ++x) {
+            Val acc{};
+            for (int k = -1; k <= 1; ++k) {
+                Val t = tb.load(tmp + 2 * (size_t{y + k} * w + x), 2,
+                                idx, true);
+                Val prod = tb.mul(
+                    t, tb.imm(static_cast<u64>(taps.v[k + 1])));
+                acc = k == -1 ? prod : tb.add(acc, prod);
+            }
+            Val v = tb.sra(acc, taps.shift);
+            Val res = v;
+            const s64 sv = v.s();
+            Val c_lo = tb.cmpLt(v, tb.imm(0));
+            tb.branch(lo_pc, sv < 0, c_lo);
+            if (sv < 0) {
+                res = tb.imm(0);
+            } else {
+                Val c_hi = tb.cmpLt(tb.imm(255), v);
+                tb.branch(hi_pc, sv > 255, c_hi);
+                if (sv > 255)
+                    res = tb.imm(255);
+            }
+            tb.store(d + size_t{y} * w + x, 1, res, idx);
+            tb.branch(vpc, x + 2 < w);
+        }
+    }
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, const SepTaps &taps, Addr s,
+        Addr d, Addr tmp, unsigned w, unsigned h)
+{
+    const u32 hpc = tb.makePc("sep.vh");
+    const u32 vpc = tb.makePc("sep.vv");
+
+    // Horizontal pass: 4 intermediate values per iteration via
+    // fmul8x16au over faligndata windows (conv's pattern).
+    Val hcoeff[3];
+    for (int k = 0; k < 3; ++k)
+        hcoeff[k] = tb.imm(
+            u64(u16(s16(taps.h[k] * 256))) << 16);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; x += 4) {
+            maybePrefetch(tb, variant, {s + size_t{y} * w}, x, 4);
+            const Addr base = s + size_t{y} * w + (x - 1);
+            const Addr blk = base & ~Addr{7};
+            const unsigned off0 = static_cast<unsigned>(base & 7);
+            Val d0 = tb.vload(blk);
+            Val d1 = tb.vload(blk + 8);
+            Val d2{};
+            Val acc{};
+            for (int k = 0; k < 3; ++k) {
+                tb.visAlignAddr(base + k);
+                Val win;
+                if (off0 + k < 8) {
+                    win = tb.vfaligndata(d0, d1);
+                } else {
+                    if (d2.id == kNoVal)
+                        d2 = tb.vload(blk + 16);
+                    win = tb.vfaligndata(d1, d2);
+                }
+                Val prod = tb.vfmul8x16au(win, hcoeff[k]);
+                acc = k == 0 ? prod : tb.vfpadd16(acc, prod);
+            }
+            // Store 4 s16 lanes into the intermediate buffer (tail
+            // lanes beyond the interior are never read back).
+            tb.vstore(tmp + 2 * (size_t{y} * w + x), acc);
+            tb.branch(hpc, x + 4 < w - 1);
+        }
+    }
+
+    // Vertical pass: 16-bit lanes via the 3-op multiply emulation, with
+    // fpack16 providing saturation. Values are in units of 1 (h pass
+    // used 8.8 coefficients), so pack with scale 7 after >>shift via
+    // multiply by 256>>shift.
+    tb.setGsrScale(7);
+    const Val norm = tb.imm(lanes16v(static_cast<s16>(256 >> taps.shift)));
+    for (unsigned y = 1; y + 1 < h; ++y) {
+        for (unsigned x = 1; x + 1 < w; x += 4) {
+            Val acc{};
+            for (int k = -1; k <= 1; ++k) {
+                Val t = tb.vload(tmp + 2 * (size_t{y + k} * w + x));
+                // Lane times small integer tap: strength-reduced to
+                // packed adds for 1/2, the 3-op multiply otherwise.
+                Val prod;
+                const int c = taps.v[k + 1];
+                if (c == 1) {
+                    prod = t;
+                } else if (c == 2) {
+                    prod = tb.vfpadd16(t, t);
+                } else {
+                    const Val cv =
+                        tb.imm(lanes16v(static_cast<s16>(c << 8)));
+                    prod = tb.vfpadd16(tb.vfmul8sux16(t, cv),
+                                       tb.vfmul8ulx16(t, cv));
+                }
+                acc = k == -1 ? prod : tb.vfpadd16(acc, prod);
+            }
+            // (acc * (256>>shift)) >> 8 == acc >> shift, then saturate.
+            Val su = tb.vfmul8sux16(acc, norm);
+            Val ul = tb.vfmul8ulx16(acc, norm);
+            Val scaled = tb.vfpadd16(su, ul);
+            Val packed = tb.vfpack16(scaled);
+            // Mask the tail so the border column / next row stay clean.
+            const unsigned valid =
+                std::min<unsigned>(4, (w - 1) - x);
+            if (valid == 4) {
+                tb.store(d + size_t{y} * w + x, 4, packed);
+            } else {
+                Val edge = tb.vedge8(d + size_t{y} * w + x,
+                                     d + size_t{y} * w + (w - 2));
+                Val mask = tb.andOp(tb.orOp(edge, tb.imm(0xff)),
+                                    tb.imm((u64{1} << valid) - 1));
+                tb.vstorePartial(d + size_t{y} * w + x, packed, mask);
+            }
+            tb.branch(vpc, x + 4 < w - 1);
+        }
+    }
+}
+
+} // namespace
+
+void
+runSepconv(TraceBuilder &tb, Variant variant, unsigned width,
+           unsigned height, const SepTaps &taps)
+{
+    const img::Image src = img::makeTestImage(width, height, 1, 45);
+    const Addr s = uploadImage(tb, src, "sep.src");
+    const Addr d = tb.alloc(src.sizeBytes(), "sep.dst");
+    const Addr tmp = tb.alloc(2 * src.sizeBytes() + 64, "sep.tmp");
+
+    if (variant == Variant::Scalar)
+        emitScalar(tb, taps, s, d, tmp, width, height);
+    else
+        emitVis(tb, variant, taps, s, d, tmp, width, height);
+    emitBorderCopy(tb, s, d, width, height);
+
+    const img::Image want = refSepconv(src, taps);
+    const img::Image out = downloadImage(tb, d, width, height, 1);
+    for (size_t i = 0; i < want.sizeBytes(); ++i) {
+        const unsigned diff = static_cast<unsigned>(
+            out.data()[i] > want.data()[i]
+                ? out.data()[i] - want.data()[i]
+                : want.data()[i] - out.data()[i]);
+        // The VIS vertical pass truncates differently by at most 1.
+        const unsigned tol = variant == Variant::Scalar ? 0 : 1;
+        if (diff > tol)
+            panic("sepconv mismatch at %zu: got %u want %u", i,
+                  out.data()[i], want.data()[i]);
+    }
+}
+
+} // namespace msim::kernels

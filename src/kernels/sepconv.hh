@@ -1,0 +1,37 @@
+/**
+ * @file
+ * VSDK-style separable 3x3 convolution: a horizontal 3-tap pass into a
+ * 16-bit intermediate buffer followed by a vertical 3-tap pass with
+ * normalization and saturation (the VSDK provides both general and
+ * separable convolution; the paper's conv benchmark is the general one).
+ */
+
+#ifndef MSIM_KERNELS_SEPCONV_HH_
+#define MSIM_KERNELS_SEPCONV_HH_
+
+#include <array>
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/** Horizontal and vertical 3-tap vectors plus the final right shift. */
+struct SepTaps
+{
+    std::array<int, 3> h{1, 2, 1};
+    std::array<int, 3> v{1, 2, 1};
+    unsigned shift = 4; ///< normalizes sum(h)*sum(v) = 16
+};
+
+/**
+ * Emit (and functionally verify) the separable convolution benchmark
+ * on a one-band image. Interior pixels only; the border is copied.
+ */
+void runSepconv(prog::TraceBuilder &tb, Variant variant,
+                unsigned width = kImgW, unsigned height = kImgH,
+                const SepTaps &taps = SepTaps{});
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_SEPCONV_HH_

@@ -1,0 +1,124 @@
+#include "kernels/thresh.hh"
+
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+void
+emitScalar(TraceBuilder &tb, const ThreshParams &p, Addr s, Addr d,
+           unsigned n, unsigned bands)
+{
+    const u32 loop_pc = tb.makePc("thresh.loop");
+    const u32 low_pc = tb.makePc("thresh.low");
+    const u32 high_pc = tb.makePc("thresh.high");
+
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 2) {
+        for (unsigned e = 0; e < 2; ++e) {
+            const unsigned band = (i + e) % bands;
+            Val v = tb.load(s + i + e, 1, idx);
+            Val c1 = tb.cmpLt(v, tb.imm(p.low[band]));
+            const bool below = v.data < p.low[band];
+            tb.branch(low_pc, below, c1);
+            if (below) {
+                tb.store(d + i + e, 1, v, idx);
+            } else {
+                Val c2 = tb.cmpLt(tb.imm(p.high[band]), v);
+                const bool above = v.data > p.high[band];
+                tb.branch(high_pc, above, c2);
+                if (above)
+                    tb.store(d + i + e, 1, v, idx);
+                else
+                    tb.store(d + i + e, 1, tb.imm(p.map[band]), idx);
+            }
+        }
+        idx = tb.addi(idx, 2);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 2 < n, c);
+    }
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, const ThreshParams &p, Addr s,
+        Addr d, unsigned n, unsigned bands)
+{
+    const u32 loop_pc = tb.makePc("thresh.vloop");
+
+    // Lane-packed limits/map values for each of the `bands` possible
+    // phase alignments of a 4-sample block (kept in registers, as a
+    // compiler would hoist them).
+    std::vector<Val> lows(bands), highs(bands), maps(bands);
+    for (unsigned ph = 0; ph < bands; ++ph) {
+        u64 lo = 0, hi = 0, mp = 0;
+        for (unsigned l = 0; l < 4; ++l) {
+            const unsigned band = (ph + l) % bands;
+            lo = setHalfLane(lo, l, static_cast<u16>(p.low[band] << 4));
+            hi = setHalfLane(hi, l, static_cast<u16>(p.high[band] << 4));
+            mp = setByteLane(mp, l, p.map[band]);
+        }
+        lows[ph] = tb.imm(lo);
+        highs[ph] = tb.imm(hi);
+        maps[ph] = tb.imm(mp);
+    }
+
+    Val idx = tb.imm(0);
+    for (unsigned i = 0; i < n; i += 4) {
+        maybePrefetch(tb, variant, {s, d}, i, 4);
+        const unsigned ph = i % bands;
+        Val v4 = tb.load(s + i, 4, idx);
+        Val ev = tb.vfexpand(v4);
+        Val c1 = tb.vfcmple16(lows[ph], ev);  // low <= v
+        Val c2 = tb.vfcmple16(ev, highs[ph]); // v <= high
+        Val mask = tb.andOp(c1, c2);
+        // Pass-through store, then overwrite the in-range lanes with the
+        // map values via a masked partial store — no branches.
+        tb.store(d + i, 4, v4, idx);
+        tb.vstorePartial(d + i, maps[ph], mask, idx);
+
+        idx = tb.addi(idx, 4);
+        Val c = tb.cmpLt(idx, tb.imm(n));
+        tb.branch(loop_pc, i + 4 < n, c);
+    }
+}
+
+} // namespace
+
+void
+runThresh(TraceBuilder &tb, Variant variant, unsigned width,
+          unsigned height, unsigned bands, const ThreshParams &params)
+{
+    const img::Image src = img::makeTestImage(width, height, bands, 61);
+    const Addr s = uploadImage(tb, src, "thresh.src");
+    const Addr d = tb.alloc(src.sizeBytes(), "thresh.dst");
+
+    const unsigned n = width * height * bands;
+    if (variant == Variant::Scalar)
+        emitScalar(tb, params, s, d, n, bands);
+    else
+        emitVis(tb, variant, params, s, d, n, bands);
+
+    const img::Image out = downloadImage(tb, d, width, height, bands);
+    for (size_t i = 0; i < src.sizeBytes(); ++i) {
+        const unsigned band = i % bands;
+        const u8 v = src.data()[i];
+        const u8 want = (v >= params.low[band] && v <= params.high[band])
+                            ? params.map[band]
+                            : v;
+        if (out.data()[i] != want)
+            panic("thresh mismatch at %zu: got %u want %u", i,
+                  out.data()[i], want);
+    }
+}
+
+} // namespace msim::kernels

@@ -1,0 +1,94 @@
+#include "kernels/transpose.hh"
+
+#include "common/logging.hh"
+#include "img/synth.hh"
+
+namespace msim::kernels
+{
+
+using prog::TraceBuilder;
+using prog::Val;
+
+namespace
+{
+
+void
+emitScalar(TraceBuilder &tb, Addr s, Addr d, unsigned w, unsigned h)
+{
+    const u32 pc = tb.makePc("tr.loop");
+    Val idx = tb.imm(0);
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            Val v = tb.load(s + size_t{y} * w + x, 1, idx);
+            tb.store(d + size_t{x} * h + y, 1, v, idx);
+            tb.branch(pc, x + 1 < w, idx);
+        }
+        idx = tb.addi(idx, 1);
+    }
+}
+
+void
+emitVis(TraceBuilder &tb, Variant variant, Addr s, Addr d, unsigned w,
+        unsigned h)
+{
+    const u32 pc = tb.makePc("tr.vloop");
+    for (unsigned by = 0; by < h; by += 8) {
+        for (unsigned bx = 0; bx < w; bx += 8) {
+            maybePrefetch(tb, variant, {s + size_t{by} * w}, bx, 8);
+            Val r[8];
+            for (unsigned row = 0; row < 8; ++row)
+                r[row] = tb.vload(s + size_t{by + row} * w + bx);
+
+            // Three perfect-shuffle rounds. One round maps flat index
+            // (b,k,i) -> (k,i,b): out[2k+?] interleaves lanes of r[k]
+            // and r[k+4] (low half via fpmerge directly, high half via
+            // a 4-byte faligndata first).
+            for (unsigned round = 0; round < 3; ++round) {
+                tb.visAlignAddr(4); // GSR.align = 4 for the high halves
+                Val next[8];
+                for (unsigned k = 0; k < 4; ++k) {
+                    Val lo_a = r[k];
+                    Val lo_b = r[k + 4];
+                    next[2 * k] = tb.vfpmerge(lo_a, lo_b);
+                    Val hi_a = tb.vfaligndata(r[k], r[k]);
+                    Val hi_b = tb.vfaligndata(r[k + 4], r[k + 4]);
+                    next[2 * k + 1] = tb.vfpmerge(hi_a, hi_b);
+                }
+                for (unsigned k = 0; k < 8; ++k)
+                    r[k] = next[k];
+            }
+
+            for (unsigned col = 0; col < 8; ++col)
+                tb.vstore(d + size_t{bx + col} * h + by, r[col]);
+            tb.branch(pc, bx + 8 < w);
+        }
+    }
+}
+
+} // namespace
+
+void
+runTranspose(TraceBuilder &tb, Variant variant, unsigned width,
+             unsigned height)
+{
+    if (width % 8 || height % 8)
+        fatal("transpose: dimensions must be multiples of 8");
+    const img::Image src = img::makeTestImage(width, height, 1, 49);
+    const Addr s = uploadImage(tb, src, "tr.src");
+    const Addr d = tb.alloc(src.sizeBytes(), "tr.dst");
+
+    if (variant == Variant::Scalar)
+        emitScalar(tb, s, d, width, height);
+    else
+        emitVis(tb, variant, s, d, width, height);
+
+    const img::Image out =
+        downloadImage(tb, d, height, width, 1); // transposed shape
+    for (unsigned y = 0; y < height; ++y)
+        for (unsigned x = 0; x < width; ++x)
+            if (out.at(y, x, 0) != src.at(x, y, 0))
+                panic("transpose mismatch at (%u,%u): got %u want %u", x,
+                      y, out.at(y, x, 0), src.at(x, y, 0));
+}
+
+} // namespace msim::kernels

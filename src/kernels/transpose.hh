@@ -1,0 +1,29 @@
+/**
+ * @file
+ * 8x8-blocked image transpose.
+ *
+ * The VIS variant transposes each 8x8 byte tile in registers with three
+ * rounds of fpmerge/faligndata perfect shuffles (rotating the 6-bit
+ * element index by one position per round, so three rounds swap the row
+ * and column fields) — the subword-rearrangement style of optimization
+ * the paper's Section 3.2.3 overhead numbers come from.
+ */
+
+#ifndef MSIM_KERNELS_TRANSPOSE_HH_
+#define MSIM_KERNELS_TRANSPOSE_HH_
+
+#include "kernels/common.hh"
+
+namespace msim::kernels
+{
+
+/**
+ * Emit (and functionally verify) the transpose benchmark on a one-band
+ * image; @p width and @p height must be multiples of 8.
+ */
+void runTranspose(prog::TraceBuilder &tb, Variant variant,
+                  unsigned width = kImgW, unsigned height = kImgH);
+
+} // namespace msim::kernels
+
+#endif // MSIM_KERNELS_TRANSPOSE_HH_

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Request/response types shared by the memory-hierarchy levels.
+ */
+
+#ifndef MSIM_MEM_ACCESS_HH_
+#define MSIM_MEM_ACCESS_HH_
+
+#include "common/types.hh"
+
+namespace msim::mem
+{
+
+/** What kind of request this is (affects MSHR-full policy and stats). */
+enum class AccessKind : u8
+{
+    Load,
+    Store,
+    Prefetch,
+    Writeback ///< dirty-line eviction from an upper level
+};
+
+/** Where a request was satisfied. */
+enum class HitLevel : u8
+{
+    L1 = 1,
+    L2 = 2,
+    Memory = 3
+};
+
+/** Outcome of a hierarchy access. */
+struct AccessResult
+{
+    /** Cycle at which the data (or write acknowledgment) is available. */
+    Cycle ready = 0;
+
+    /** Deepest level the request had to travel to. */
+    HitLevel level = HitLevel::L1;
+
+    /** True if the request waited on MSHR or port availability. */
+    bool contended = false;
+
+    /** True if a prefetch was dropped for lack of resources. */
+    bool dropped = false;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_ACCESS_HH_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Memory-system configuration (paper Table 3 defaults).
+ */
+
+#ifndef MSIM_MEM_CONFIG_HH_
+#define MSIM_MEM_CONFIG_HH_
+
+#include "common/types.hh"
+
+namespace msim::mem
+{
+
+/** Parameters for one cache level. */
+struct CacheConfig
+{
+    u32 sizeBytes = 64 * 1024;
+    u32 assoc = 2;
+    u32 lineBytes = 64;
+    u32 ports = 2;          ///< request ports (accesses accepted per cycle)
+    Cycle hitLatency = 2;   ///< ns == cycles at 1 GHz
+    u32 numMshrs = 12;
+    u32 maxCombines = 8;    ///< max outstanding requests combined per line
+};
+
+/** Parameters for main memory. */
+struct DramConfig
+{
+    Cycle totalLatency = 100; ///< total L2-miss latency (Table 3)
+    u32 interleave = 4;       ///< number of interleaved banks
+    Cycle bankBusy = 25;      ///< per-line bank occupancy (bandwidth limit)
+    u32 lineBytes = 64;
+};
+
+/** The full two-level hierarchy configuration. */
+struct MemConfig
+{
+    CacheConfig l1{64 * 1024, 2, 64, 2, 2, 12, 8};
+    CacheConfig l2{128 * 1024, 4, 64, 1, 20, 12, 8};
+    DramConfig dram{};
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_CONFIG_HH_

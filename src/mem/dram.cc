@@ -1,0 +1,33 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+
+namespace msim::mem
+{
+
+Dram::Dram(const DramConfig &config)
+    : cfg(config), bankFree(config.interleave, 0)
+{}
+
+AccessResult
+Dram::accessLine(Addr line_addr, AccessKind kind, Cycle t)
+{
+    const unsigned bank = static_cast<unsigned>(line_addr % cfg.interleave);
+    const Cycle start = std::max(t, bankFree[bank]);
+    bankFree[bank] = start + cfg.bankBusy;
+
+    if (kind == AccessKind::Writeback)
+        writes_.inc();
+    else
+        reads_.inc();
+
+    AccessResult result;
+    result.ready = start + cfg.totalLatency;
+    result.level = HitLevel::Memory;
+    result.contended = start != t;
+    return result;
+}
+
+} // namespace msim::mem

@@ -1,0 +1,12 @@
+#include "mem/hierarchy.hh"
+
+namespace msim::mem
+{
+
+Hierarchy::Hierarchy(const MemConfig &config)
+    : dram_(std::make_unique<Dram>(config.dram)),
+      l2_(std::make_unique<Cache>(config.l2, *dram_, HitLevel::L2)),
+      l1_(std::make_unique<Cache>(config.l1, *l2_, HitLevel::L1))
+{}
+
+} // namespace msim::mem

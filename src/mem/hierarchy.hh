@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The full two-level memory hierarchy (Table 3): on-chip L1, off-chip
+ * L2, interleaved DRAM. This is the object the CPU cores talk to.
+ */
+
+#ifndef MSIM_MEM_HIERARCHY_HH_
+#define MSIM_MEM_HIERARCHY_HH_
+
+#include <memory>
+
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "mem/dram.hh"
+
+namespace msim::mem
+{
+
+/**
+ * What a core sees: a byte-addressable memory port. Hierarchy is the
+ * standard single-core implementation; multi-core runs substitute a
+ * view whose private L1 misses into a shared L2 (sim/multicore.cc).
+ */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** Core-side access; @p addr is a byte address. */
+    virtual AccessResult access(Addr addr, AccessKind kind, Cycle t) = 0;
+};
+
+/** Owns and wires L1 -> L2 -> DRAM. */
+class Hierarchy : public MemoryPort
+{
+  public:
+    explicit Hierarchy(const MemConfig &config);
+
+    AccessResult
+    access(Addr addr, AccessKind kind, Cycle t) override
+    {
+        return l1_->access(addr, kind, t);
+    }
+
+    const Cache &l1() const { return *l1_; }
+    const Cache &l2() const { return *l2_; }
+    const Dram &dram() const { return *dram_; }
+
+  private:
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1_;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_HIERARCHY_HH_

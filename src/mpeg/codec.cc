@@ -1,0 +1,560 @@
+#include "mpeg/codec.hh"
+
+#include "common/logging.hh"
+#include "common/saturate.hh"
+#include "img/synth.hh"
+#include "jpeg/dct.hh"
+#include "jpeg/huffman.hh"
+#include "jpeg/zigzag.hh"
+
+namespace msim::mpeg
+{
+
+using jpeg::BitReader;
+using jpeg::BitWriter;
+using jpeg::HuffTable;
+using jpeg::Sym;
+
+QuantTable
+interQuantTable()
+{
+    QuantTable t{};
+    t.fill(14);
+    return t;
+}
+
+std::vector<Ycc420>
+makeTestSequence(const SeqConfig &cfg, u64 seed)
+{
+    const auto luma = img::makeTestVideo(cfg.width, cfg.height,
+                                         cfg.frames, 1, 1, seed);
+    std::vector<Ycc420> out(cfg.frames);
+    for (unsigned f = 0; f < cfg.frames; ++f) {
+        Ycc420 &ycc = out[f];
+        ycc.y = Plane(cfg.width, cfg.height);
+        for (unsigned y = 0; y < cfg.height; ++y)
+            for (unsigned x = 0; x < cfg.width; ++x)
+                ycc.y.at(x, y) = luma[f].at(x, y, 0);
+        // Chroma derived from decimated luma so that it translates
+        // coherently with the pan (content-linked, like real video).
+        ycc.cb = Plane(cfg.width / 2, cfg.height / 2);
+        ycc.cr = Plane(cfg.width / 2, cfg.height / 2);
+        for (unsigned y = 0; y < cfg.height / 2; ++y) {
+            for (unsigned x = 0; x < cfg.width / 2; ++x) {
+                const unsigned s =
+                    unsigned(ycc.y.at(2 * x, 2 * y)) +
+                    ycc.y.at(2 * x + 1, 2 * y) +
+                    ycc.y.at(2 * x, 2 * y + 1) +
+                    ycc.y.at(2 * x + 1, 2 * y + 1);
+                const u8 avg = static_cast<u8>((s + 2) >> 2);
+                ycc.cb.at(x, y) = static_cast<u8>(128 + (avg - 128) / 3);
+                ycc.cr.at(x, y) = static_cast<u8>(255 - avg / 2);
+            }
+        }
+    }
+    return out;
+}
+
+const HuffTable &
+mpegDcTable()
+{
+    return jpeg::fixedDcTable();
+}
+
+const HuffTable &
+mpegAcTable()
+{
+    return jpeg::fixedAcTable();
+}
+
+const HuffTable &
+mpegMvTable()
+{
+    // Small-magnitude vectors dominate.
+    static const HuffTable t = [] {
+        std::vector<u64> f(12, 1);
+        for (unsigned c = 0; c < 6; ++c)
+            f[c] += u64{1} << (8 - c);
+        return HuffTable::fromFrequencies(f);
+    }();
+    return t;
+}
+
+namespace
+{
+
+/** Extract an 8x8 u8 block into s16 with optional level shift. */
+void
+extractBlock(const Plane &p, unsigned x0, unsigned y0, bool level_shift,
+             s16 out[64])
+{
+    for (unsigned y = 0; y < 8; ++y)
+        for (unsigned x = 0; x < 8; ++x)
+            out[y * 8 + x] = static_cast<s16>(
+                int(p.at(x0 + x, y0 + y)) - (level_shift ? 128 : 0));
+}
+
+/** Forward transform + quant + zigzag of an s16 block. */
+void
+codeBlock(const s16 in[64], const QuantTable &q, s16 zz[64])
+{
+    s16 freq[64];
+    jpeg::fdct8x8(in, freq);
+    for (unsigned i = 0; i < 64; ++i)
+        freq[i] = jpeg::quantOne(freq[i], q[i]);
+    jpeg::toZigzag(freq, zz);
+}
+
+/** Inverse: dequant + IDCT (no level unshift). */
+void
+decodeBlock(const s16 zz[64], const QuantTable &q, s16 out[64])
+{
+    s16 nat[64];
+    jpeg::fromZigzag(zz, nat);
+    for (unsigned i = 0; i < 64; ++i)
+        nat[i] = static_cast<s16>(
+            satS16(jpeg::dequantOne(nat[i], q[i])));
+    jpeg::idct8x8(nat, out);
+}
+
+bool
+anyNonzero(const s16 zz[64])
+{
+    for (unsigned i = 0; i < 64; ++i)
+        if (zz[i])
+            return true;
+    return false;
+}
+
+/** Geometry of the 6 blocks of a macroblock. */
+struct BlockRef
+{
+    bool chroma;
+    unsigned plane; ///< 0 = Y, 1 = Cb, 2 = Cr
+    unsigned x, y;  ///< top-left in its plane
+};
+
+std::array<BlockRef, 6>
+mbBlocks(unsigned mbx, unsigned mby)
+{
+    return {{
+        {false, 0, mbx * 16, mby * 16},
+        {false, 0, mbx * 16 + 8, mby * 16},
+        {false, 0, mbx * 16, mby * 16 + 8},
+        {false, 0, mbx * 16 + 8, mby * 16 + 8},
+        {true, 1, mbx * 8, mby * 8},
+        {true, 2, mbx * 8, mby * 8},
+    }};
+}
+
+Plane &
+planeOf(Ycc420 &f, unsigned idx)
+{
+    return idx == 0 ? f.y : (idx == 1 ? f.cb : f.cr);
+}
+
+const Plane &
+planeOf(const Ycc420 &f, unsigned idx)
+{
+    return idx == 0 ? f.y : (idx == 1 ? f.cb : f.cr);
+}
+
+/** Reconstruct one intra block into a frame. */
+void
+reconIntraBlock(const MbCode &mb, unsigned b, const BlockRef &br,
+                const QuantTable &q, Ycc420 &dst)
+{
+    s16 px[64];
+    decodeBlock(mb.blocks[b], q, px);
+    Plane &p = planeOf(dst, br.plane);
+    for (unsigned y = 0; y < 8; ++y)
+        for (unsigned x = 0; x < 8; ++x)
+            p.at(br.x + x, br.y + y) = satU8(px[y * 8 + x] + 128);
+}
+
+/** Build the full 16x16+8x8+8x8 prediction for a macroblock. */
+void
+buildPrediction(const MbCode &mb, unsigned mbx, unsigned mby,
+                const Ycc420 *fwd_ref, const Ycc420 *bwd_ref,
+                u8 pred_y[256], u8 pred_cb[64], u8 pred_cr[64])
+{
+    u8 tmp_y[256], tmp_cb[64], tmp_cr[64];
+    auto fetch = [&](const Ycc420 &ref, MotionVector mv, u8 *py, u8 *pcb,
+                     u8 *pcr) {
+        fetchPrediction(ref.y, mbx * 16, mby * 16, mv, 16, py);
+        fetchPrediction(ref.cb, mbx * 8, mby * 8, mv, 8, pcb);
+        fetchPrediction(ref.cr, mbx * 8, mby * 8, mv, 8, pcr);
+    };
+    switch (mb.mode) {
+      case MbMode::Fwd:
+        fetch(*fwd_ref, mb.fwd, pred_y, pred_cb, pred_cr);
+        break;
+      case MbMode::Bwd:
+        fetch(*bwd_ref, mb.bwd, pred_y, pred_cb, pred_cr);
+        break;
+      case MbMode::Avg:
+        fetch(*fwd_ref, mb.fwd, pred_y, pred_cb, pred_cr);
+        fetch(*bwd_ref, mb.bwd, tmp_y, tmp_cb, tmp_cr);
+        averagePrediction(pred_y, tmp_y, 256, pred_y);
+        averagePrediction(pred_cb, tmp_cb, 64, pred_cb);
+        averagePrediction(pred_cr, tmp_cr, 64, pred_cr);
+        break;
+      default:
+        panic("buildPrediction: intra macroblock");
+    }
+}
+
+/** Code one inter macroblock's residual blocks and set its cbp. */
+void
+codeInterResidual(MbCode &mb, const Ycc420 &cur, unsigned mbx,
+                  unsigned mby, const u8 pred_y[256],
+                  const u8 pred_cb[64], const u8 pred_cr[64],
+                  const QuantTable &q_inter)
+{
+    mb.cbp = 0;
+    const auto blocks = mbBlocks(mbx, mby);
+    for (unsigned b = 0; b < 6; ++b) {
+        const BlockRef &br = blocks[b];
+        const Plane &p = planeOf(cur, br.plane);
+        s16 resid[64];
+        for (unsigned y = 0; y < 8; ++y) {
+            for (unsigned x = 0; x < 8; ++x) {
+                int pv;
+                if (b < 4) {
+                    const unsigned ly = (br.y - mby * 16) + y;
+                    const unsigned lx = (br.x - mbx * 16) + x;
+                    pv = pred_y[ly * 16 + lx];
+                } else {
+                    pv = (b == 4 ? pred_cb : pred_cr)[y * 8 + x];
+                }
+                resid[y * 8 + x] =
+                    static_cast<s16>(int(p.at(br.x + x, br.y + y)) - pv);
+            }
+        }
+        codeBlock(resid, q_inter, mb.blocks[b]);
+        if (anyNonzero(mb.blocks[b]))
+            mb.cbp |= 1u << b;
+    }
+}
+
+/** Reconstruct one inter macroblock from prediction + residuals. */
+void
+reconInterMb(const MbCode &mb, unsigned mbx, unsigned mby,
+             const u8 pred_y[256], const u8 pred_cb[64],
+             const u8 pred_cr[64], const QuantTable &q_inter, Ycc420 &dst)
+{
+    const auto blocks = mbBlocks(mbx, mby);
+    for (unsigned b = 0; b < 6; ++b) {
+        const BlockRef &br = blocks[b];
+        s16 resid[64] = {};
+        if (mb.cbp & (1u << b))
+            decodeBlock(mb.blocks[b], q_inter, resid);
+        Plane &p = planeOf(dst, br.plane);
+        for (unsigned y = 0; y < 8; ++y) {
+            for (unsigned x = 0; x < 8; ++x) {
+                int pv;
+                if (b < 4) {
+                    const unsigned ly = (br.y - mby * 16) + y;
+                    const unsigned lx = (br.x - mbx * 16) + x;
+                    pv = pred_y[ly * 16 + lx];
+                } else {
+                    pv = (b == 4 ? pred_cb : pred_cr)[y * 8 + x];
+                }
+                p.at(br.x + x, br.y + y) =
+                    satU8(pv + resid[y * 8 + x]);
+            }
+        }
+    }
+}
+
+void
+encodeMv(BitWriter &bw, MotionVector mv)
+{
+    for (const int c : {mv.dx, mv.dy}) {
+        const unsigned cat = jpeg::magnitudeCategory(c);
+        mpegMvTable().encode(bw, cat);
+        if (cat)
+            bw.put(jpeg::magnitudeBits(c, cat), cat);
+    }
+}
+
+MotionVector
+decodeMv(BitReader &br)
+{
+    MotionVector mv;
+    for (int *c : {&mv.dx, &mv.dy}) {
+        const unsigned cat = mpegMvTable().decode(br);
+        *c = cat ? jpeg::magnitudeExtend(br.getBits(cat), cat) : 0;
+    }
+    return mv;
+}
+
+} // namespace
+
+std::vector<u8>
+writeFrameBits(const FrameCode &frame)
+{
+    BitWriter bw;
+    for (const MbCode &mb : frame.mbs) {
+        bw.put(static_cast<u32>(mb.mode), 2);
+        if (mb.mode == MbMode::Fwd || mb.mode == MbMode::Avg)
+            encodeMv(bw, mb.fwd);
+        if (mb.mode == MbMode::Bwd || mb.mode == MbMode::Avg)
+            encodeMv(bw, mb.bwd);
+        if (mb.mode != MbMode::Intra)
+            bw.put(mb.cbp, 6);
+        for (unsigned b = 0; b < 6; ++b) {
+            if (!(mb.cbp & (1u << b)))
+                continue;
+            std::vector<Sym> syms;
+            int pred = 0;
+            jpeg::blockToSymbols(mb.blocks[b], pred, 0, 63, syms);
+            bool first = true;
+            for (const Sym &s : syms) {
+                (first ? mpegDcTable() : mpegAcTable()).encode(bw, s.sym);
+                first = false;
+                if (s.nbits)
+                    bw.put(s.bits, s.nbits);
+            }
+        }
+    }
+    return bw.finish();
+}
+
+void
+readFrameBits(FrameCode &frame, unsigned num_mbs)
+{
+    BitReader br(frame.bits);
+    frame.mbs.assign(num_mbs, MbCode{});
+    for (MbCode &mb : frame.mbs) {
+        mb.mode = static_cast<MbMode>(br.getBits(2));
+        if (mb.mode == MbMode::Fwd || mb.mode == MbMode::Avg)
+            mb.fwd = decodeMv(br);
+        if (mb.mode == MbMode::Bwd || mb.mode == MbMode::Avg)
+            mb.bwd = decodeMv(br);
+        mb.cbp = mb.mode == MbMode::Intra
+                     ? 0x3f
+                     : static_cast<u8>(br.getBits(6));
+        for (unsigned b = 0; b < 6; ++b) {
+            if (!(mb.cbp & (1u << b)))
+                continue;
+            int pred = 0;
+            jpeg::symbolsToBlock(br, mpegDcTable(), mpegAcTable(), pred,
+                                 0, 63, mb.blocks[b]);
+        }
+    }
+}
+
+EncodedSeq
+encodeMpeg(const std::vector<Ycc420> &frames, const SeqConfig &cfg)
+{
+    if (frames.size() != 4)
+        fatal("encodeMpeg: expected 4 frames (I B B P), got %zu",
+              frames.size());
+    if (cfg.width % 16 || cfg.height % 16)
+        fatal("encodeMpeg: dimensions must be multiples of 16");
+
+    EncodedSeq enc;
+    enc.cfg = cfg;
+    enc.qIntra = jpeg::scaleTable(jpeg::lumaBaseTable(), cfg.quality);
+    enc.qInter = interQuantTable();
+
+    const unsigned mbw = cfg.width / 16;
+    const unsigned mbh = cfg.height / 16;
+
+    Ycc420 recon_i = frames[0]; // shape template; contents overwritten
+    Ycc420 recon_p = frames[3];
+
+    // --- I frame (display 0) ------------------------------------------
+    FrameCode fi;
+    fi.type = 'I';
+    fi.displayIdx = 0;
+    for (unsigned mby = 0; mby < mbh; ++mby) {
+        for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+            MbCode mb;
+            mb.mode = MbMode::Intra;
+            mb.cbp = 0x3f;
+            const auto blocks = mbBlocks(mbx, mby);
+            for (unsigned b = 0; b < 6; ++b) {
+                s16 in[64];
+                extractBlock(planeOf(frames[0], blocks[b].plane),
+                             blocks[b].x, blocks[b].y, true, in);
+                codeBlock(in, enc.qIntra, mb.blocks[b]);
+                reconIntraBlock(mb, b, blocks[b], enc.qIntra, recon_i);
+            }
+            fi.mbs.push_back(mb);
+        }
+    }
+    fi.bits = writeFrameBits(fi);
+    enc.frames.push_back(std::move(fi));
+
+    // --- P frame (display 3, ref = recon I) ----------------------------
+    FrameCode fp;
+    fp.type = 'P';
+    fp.displayIdx = 3;
+    for (unsigned mby = 0; mby < mbh; ++mby) {
+        for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+            MbCode mb;
+            const MotionMatch m = fullSearch(frames[3].y, mbx * 16,
+                                             mby * 16, recon_i.y,
+                                             cfg.searchRange);
+            if (m.sad > kIntraSadThreshold) {
+                mb.mode = MbMode::Intra;
+                mb.cbp = 0x3f;
+                const auto blocks = mbBlocks(mbx, mby);
+                for (unsigned b = 0; b < 6; ++b) {
+                    s16 in[64];
+                    extractBlock(planeOf(frames[3], blocks[b].plane),
+                                 blocks[b].x, blocks[b].y, true, in);
+                    codeBlock(in, enc.qIntra, mb.blocks[b]);
+                    reconIntraBlock(mb, b, blocks[b], enc.qIntra,
+                                    recon_p);
+                }
+            } else {
+                mb.mode = MbMode::Fwd;
+                mb.fwd = m.mv;
+                u8 py[256], pcb[64], pcr[64];
+                buildPrediction(mb, mbx, mby, &recon_i, nullptr, py, pcb,
+                                pcr);
+                codeInterResidual(mb, frames[3], mbx, mby, py, pcb, pcr,
+                                  enc.qInter);
+                reconInterMb(mb, mbx, mby, py, pcb, pcr, enc.qInter,
+                             recon_p);
+            }
+            fp.mbs.push_back(mb);
+        }
+    }
+    fp.bits = writeFrameBits(fp);
+    enc.frames.push_back(std::move(fp));
+
+    // --- B frames (display 1, 2; refs = recon I, recon P) --------------
+    for (unsigned d = 1; d <= 2; ++d) {
+        FrameCode fb;
+        fb.type = 'B';
+        fb.displayIdx = d;
+        for (unsigned mby = 0; mby < mbh; ++mby) {
+            for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+                MbCode mb;
+                const MotionMatch mf = fullSearch(frames[d].y, mbx * 16,
+                                                  mby * 16, recon_i.y,
+                                                  cfg.searchRange);
+                const MotionMatch mbk = fullSearch(frames[d].y, mbx * 16,
+                                                   mby * 16, recon_p.y,
+                                                   cfg.searchRange);
+                // Interpolated candidate with the two best vectors.
+                u8 pf[256], pb[256], pa[256];
+                fetchPrediction(recon_i.y, mbx * 16, mby * 16, mf.mv, 16,
+                                pf);
+                fetchPrediction(recon_p.y, mbx * 16, mby * 16, mbk.mv,
+                                16, pb);
+                averagePrediction(pf, pb, 256, pa);
+                u32 sad_avg = 0;
+                for (unsigned y = 0; y < 16; ++y)
+                    for (unsigned x = 0; x < 16; ++x) {
+                        const int c =
+                            frames[d].y.at(mbx * 16 + x, mby * 16 + y);
+                        const int diff = c - pa[y * 16 + x];
+                        sad_avg += static_cast<u32>(
+                            diff < 0 ? -diff : diff);
+                    }
+
+                u32 best = mf.sad;
+                mb.mode = MbMode::Fwd;
+                mb.fwd = mf.mv;
+                if (mbk.sad < best) {
+                    best = mbk.sad;
+                    mb.mode = MbMode::Bwd;
+                    mb.bwd = mbk.mv;
+                    mb.fwd = MotionVector{};
+                }
+                if (sad_avg < best) {
+                    best = sad_avg;
+                    mb.mode = MbMode::Avg;
+                    mb.fwd = mf.mv;
+                    mb.bwd = mbk.mv;
+                }
+                if (best > kIntraSadThreshold) {
+                    mb.mode = MbMode::Intra;
+                    mb.cbp = 0x3f;
+                    const auto blocks = mbBlocks(mbx, mby);
+                    for (unsigned b = 0; b < 6; ++b) {
+                        s16 in[64];
+                        extractBlock(planeOf(frames[d], blocks[b].plane),
+                                     blocks[b].x, blocks[b].y, true, in);
+                        codeBlock(in, enc.qIntra, mb.blocks[b]);
+                    }
+                } else {
+                    u8 py[256], pcb[64], pcr[64];
+                    buildPrediction(mb, mbx, mby, &recon_i, &recon_p, py,
+                                    pcb, pcr);
+                    codeInterResidual(mb, frames[d], mbx, mby, py, pcb,
+                                      pcr, enc.qInter);
+                }
+                fb.mbs.push_back(mb);
+            }
+        }
+        fb.bits = writeFrameBits(fb);
+        enc.frames.push_back(std::move(fb));
+    }
+
+    enc.recon.push_back(std::move(recon_i));
+    enc.recon.push_back(std::move(recon_p));
+    return enc;
+}
+
+std::vector<Ycc420>
+decodeMpeg(const EncodedSeq &enc)
+{
+    const unsigned mbw = enc.cfg.width / 16;
+    const unsigned mbh = enc.cfg.height / 16;
+
+    auto blank = [&] {
+        Ycc420 f;
+        f.y = Plane(enc.cfg.width, enc.cfg.height);
+        f.cb = Plane(enc.cfg.width / 2, enc.cfg.height / 2);
+        f.cr = Plane(enc.cfg.width / 2, enc.cfg.height / 2);
+        return f;
+    };
+
+    std::vector<Ycc420> display(4, blank());
+    Ycc420 recon_i = blank(), recon_p = blank();
+
+    for (const FrameCode &fc_in : enc.frames) {
+        FrameCode fc;
+        fc.type = fc_in.type;
+        fc.displayIdx = fc_in.displayIdx;
+        fc.bits = fc_in.bits;
+        readFrameBits(fc, mbw * mbh);
+
+        Ycc420 out = blank();
+        const Ycc420 *fwd_ref = &recon_i;
+        const Ycc420 *bwd_ref = &recon_p;
+
+        unsigned idx = 0;
+        for (unsigned mby = 0; mby < mbh; ++mby) {
+            for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+                const MbCode &mb = fc.mbs[idx++];
+                if (mb.mode == MbMode::Intra) {
+                    const auto blocks = mbBlocks(mbx, mby);
+                    for (unsigned b = 0; b < 6; ++b)
+                        reconIntraBlock(mb, b, blocks[b],
+                                        enc.qIntra, out);
+                } else {
+                    u8 py[256], pcb[64], pcr[64];
+                    buildPrediction(mb, mbx, mby, fwd_ref, bwd_ref, py,
+                                    pcb, pcr);
+                    reconInterMb(mb, mbx, mby, py, pcb, pcr, enc.qInter,
+                                 out);
+                }
+            }
+        }
+        if (fc.type == 'I')
+            recon_i = out;
+        else if (fc.type == 'P')
+            recon_p = out;
+        display[fc.displayIdx] = std::move(out);
+    }
+    return display;
+}
+
+} // namespace msim::mpeg

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Native MPEG2-style video codec (reference implementation).
+ *
+ * GOP structure I-B-B-P (display order), coded as I, P, B, B. 16x16
+ * macroblocks with full-search motion estimation, forward/backward/
+ * interpolated prediction for B frames, intra fallback, DCT residual
+ * coding with JPEG-style run/size VLC over fixed Huffman tables (MPEG2
+ * uses fixed tables, so unlike progressive JPEG there is no statistics
+ * pass), and an in-loop reconstruction of reference frames.
+ *
+ * The traced benchmarks (mpeg/traced.cc) share all arithmetic with this
+ * implementation and are verified against it.
+ */
+
+#ifndef MSIM_MPEG_CODEC_HH_
+#define MSIM_MPEG_CODEC_HH_
+
+#include <vector>
+
+#include "jpeg/codec.hh"
+#include "mpeg/motion.hh"
+
+namespace msim::mpeg
+{
+
+using jpeg::Plane;
+using jpeg::QuantTable;
+using jpeg::Ycc420;
+
+/** Sequence parameters (paper: 352x240 mei16v2, scaled). */
+struct SeqConfig
+{
+    unsigned width = 160;
+    unsigned height = 128;
+    unsigned frames = 4;  ///< display order I B B P
+    int searchRange = 2;  ///< full-search window half-width
+    int quality = 70;     ///< intra quantizer quality
+};
+
+/** Macroblock prediction mode. */
+enum class MbMode : u8
+{
+    Intra = 0,
+    Fwd = 1,
+    Bwd = 2,
+    Avg = 3
+};
+
+/** One coded macroblock: mode, vectors, and 6 coefficient blocks. */
+struct MbCode
+{
+    MbMode mode = MbMode::Intra;
+    MotionVector fwd;
+    MotionVector bwd;
+    u8 cbp = 0x3f; ///< coded-block pattern, bits 0..5 = Y0..Y3, Cb, Cr
+    s16 blocks[6][64] = {};
+};
+
+/** One coded frame, in coding order. */
+struct FrameCode
+{
+    char type = 'I'; ///< 'I', 'P', or 'B'
+    unsigned displayIdx = 0;
+    std::vector<MbCode> mbs;
+    std::vector<u8> bits; ///< VLC payload for this frame
+};
+
+/** A complete encoded sequence. */
+struct EncodedSeq
+{
+    SeqConfig cfg;
+    QuantTable qIntra{};
+    QuantTable qInter{};
+    std::vector<FrameCode> frames; ///< coding order: I P B B
+    std::vector<Ycc420> recon;     ///< encoder reconstructions (I, P)
+};
+
+/** If the best SAD exceeds this, a P/B macroblock is coded intra. */
+constexpr u32 kIntraSadThreshold = 16 * 16 * 24;
+
+/** Inter (residual) quantization table: flat, MPEG2-style. */
+QuantTable interQuantTable();
+
+/** Synthetic 4:2:0 test sequence with global pan plus a moving object. */
+std::vector<Ycc420> makeTestSequence(const SeqConfig &cfg, u64 seed);
+
+/** Fixed tables for the MPEG VLC (shared with the traced encoder). */
+const jpeg::HuffTable &mpegDcTable();
+const jpeg::HuffTable &mpegAcTable();
+const jpeg::HuffTable &mpegMvTable();
+
+/** Encode a 4-frame sequence. */
+EncodedSeq encodeMpeg(const std::vector<Ycc420> &frames,
+                      const SeqConfig &cfg);
+
+/** Decode to display order. */
+std::vector<Ycc420> decodeMpeg(const EncodedSeq &enc);
+
+/** Serialize one frame's macroblocks to bits (also used traced). */
+std::vector<u8> writeFrameBits(const FrameCode &frame);
+
+/** Parse one frame's macroblocks from bits. */
+void readFrameBits(FrameCode &frame, unsigned num_mbs);
+
+} // namespace msim::mpeg
+
+#endif // MSIM_MPEG_CODEC_HH_

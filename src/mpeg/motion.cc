@@ -1,0 +1,75 @@
+#include "mpeg/motion.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace msim::mpeg
+{
+
+u32
+sadBlock(const Plane &a, unsigned ax, unsigned ay, const Plane &b,
+         unsigned bx, unsigned by, unsigned w, unsigned h)
+{
+    u32 sad = 0;
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x)
+            sad += static_cast<u32>(
+                std::abs(int(a.at(ax + x, ay + y)) -
+                         int(b.at(bx + x, by + y))));
+    return sad;
+}
+
+MotionMatch
+fullSearch(const Plane &cur, unsigned mx, unsigned my, const Plane &ref,
+           int range)
+{
+    MotionMatch best;
+    best.sad = ~u32{0};
+    for (int dy = -range; dy <= range; ++dy) {
+        for (int dx = -range; dx <= range; ++dx) {
+            const int rx = static_cast<int>(mx) + dx;
+            const int ry = static_cast<int>(my) + dy;
+            if (rx < 0 || ry < 0 || rx + 16 > static_cast<int>(ref.w) ||
+                ry + 16 > static_cast<int>(ref.h))
+                continue;
+            const u32 sad =
+                sadBlock(cur, mx, my, ref, static_cast<unsigned>(rx),
+                         static_cast<unsigned>(ry), 16, 16);
+            // Ties go to the earlier (row-major) candidate, and to the
+            // zero vector first — matching the traced search order.
+            if (sad < best.sad) {
+                best.sad = sad;
+                best.mv = {dx, dy};
+            }
+        }
+    }
+    if (best.sad == ~u32{0})
+        panic("fullSearch: empty candidate window");
+    return best;
+}
+
+void
+fetchPrediction(const Plane &ref, unsigned mx, unsigned my,
+                MotionVector mv, unsigned size, u8 *out)
+{
+    const int dx = size == 16 ? mv.dx : mv.dx / 2;
+    const int dy = size == 16 ? mv.dy : mv.dy / 2;
+    const int bx = static_cast<int>(mx) + dx;
+    const int by = static_cast<int>(my) + dy;
+    if (bx < 0 || by < 0 || bx + int(size) > int(ref.w) ||
+        by + int(size) > int(ref.h))
+        panic("fetchPrediction: block out of bounds");
+    for (unsigned y = 0; y < size; ++y)
+        for (unsigned x = 0; x < size; ++x)
+            out[y * size + x] = ref.at(bx + x, by + y);
+}
+
+void
+averagePrediction(const u8 *a, const u8 *b, unsigned n, u8 *out)
+{
+    for (unsigned i = 0; i < n; ++i)
+        out[i] = static_cast<u8>((unsigned(a[i]) + b[i] + 1) >> 1);
+}
+
+} // namespace msim::mpeg

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Motion estimation and compensation primitives (native reference).
+ *
+ * Full-search block matching over a clamped window, 16x16 luma
+ * macroblocks, sum-of-absolute-differences cost — the computation the
+ * VIS pdist instruction targets (paper Section 3.2.2).
+ */
+
+#ifndef MSIM_MPEG_MOTION_HH_
+#define MSIM_MPEG_MOTION_HH_
+
+#include "jpeg/color.hh"
+
+namespace msim::mpeg
+{
+
+using jpeg::Plane;
+
+/** A motion vector in integer pixels. */
+struct MotionVector
+{
+    int dx = 0;
+    int dy = 0;
+
+    bool operator==(const MotionVector &) const = default;
+};
+
+/** Result of a full search. */
+struct MotionMatch
+{
+    MotionVector mv;
+    u32 sad = 0;
+};
+
+/** SAD between the WxH block at (ax,ay) in @p a and (bx,by) in @p b. */
+u32 sadBlock(const Plane &a, unsigned ax, unsigned ay, const Plane &b,
+             unsigned bx, unsigned by, unsigned w, unsigned h);
+
+/**
+ * Exhaustive search for the best 16x16 match around (mx,my) within
+ * +-range, clamped to the reference bounds.
+ */
+MotionMatch fullSearch(const Plane &cur, unsigned mx, unsigned my,
+                       const Plane &ref, int range);
+
+/**
+ * Fetch the 16x16 (luma) or 8x8 (chroma) prediction block at
+ * (mx+dx, my+dy); chroma uses the half-resolution vector dx/2, dy/2.
+ */
+void fetchPrediction(const Plane &ref, unsigned mx, unsigned my,
+                     MotionVector mv, unsigned size, u8 *out);
+
+/** Average two prediction blocks (B-frame interpolated mode). */
+void averagePrediction(const u8 *a, const u8 *b, unsigned n, u8 *out);
+
+} // namespace msim::mpeg
+
+#endif // MSIM_MPEG_MOTION_HH_

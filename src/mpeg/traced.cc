@@ -1,0 +1,885 @@
+#include "mpeg/traced.hh"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "jpeg/traced_xform.hh"
+#include "jpeg/zigzag.hh"
+
+namespace msim::mpeg
+{
+
+namespace
+{
+
+using jpeg::TracedBitReader;
+using jpeg::TracedBitWriter;
+using jpeg::TracedHuff;
+using jpeg::TracedTables;
+using prog::TraceBuilder;
+using prog::Val;
+using prog::Variant;
+
+/** One 4:2:0 frame resident in the arena. */
+struct FrameBufs
+{
+    Addr y = 0, cb = 0, cr = 0;
+    unsigned w = 0, h = 0;
+
+    Addr
+    planeAddr(unsigned p) const
+    {
+        return p == 0 ? y : (p == 1 ? cb : cr);
+    }
+
+    unsigned strideOf(unsigned p) const { return p == 0 ? w : w / 2; }
+};
+
+FrameBufs
+allocFrame(TraceBuilder &tb, unsigned w, unsigned h, const char *name)
+{
+    FrameBufs f;
+    f.w = w;
+    f.h = h;
+    f.y = tb.alloc(size_t{w} * h, name);
+    f.cb = tb.alloc(size_t{w / 2} * (h / 2), name);
+    f.cr = tb.alloc(size_t{w / 2} * (h / 2), name);
+    return f;
+}
+
+void
+uploadFrame(TraceBuilder &tb, const Ycc420 &src, const FrameBufs &dst)
+{
+    tb.arena().writeBytes(dst.y, src.y.samples.data(),
+                          src.y.samples.size());
+    tb.arena().writeBytes(dst.cb, src.cb.samples.data(),
+                          src.cb.samples.size());
+    tb.arena().writeBytes(dst.cr, src.cr.samples.data(),
+                          src.cr.samples.size());
+}
+
+Ycc420
+downloadFrame(const TraceBuilder &tb, const FrameBufs &src)
+{
+    Ycc420 f;
+    f.y = Plane(src.w, src.h);
+    f.cb = Plane(src.w / 2, src.h / 2);
+    f.cr = Plane(src.w / 2, src.h / 2);
+    tb.arena().readBytes(src.y, f.y.samples.data(), f.y.samples.size());
+    tb.arena().readBytes(src.cb, f.cb.samples.data(),
+                         f.cb.samples.size());
+    tb.arena().readBytes(src.cr, f.cr.samples.data(),
+                         f.cr.samples.size());
+    return f;
+}
+
+// --------------------------------------------------------------------
+// Motion estimation emission
+// --------------------------------------------------------------------
+
+/**
+ * Emit one 16x16 SAD. The scalar path carries the |a-b| branch per
+ * pixel; the VIS path uses two pdist per row over faligndata-aligned
+ * reference data.
+ */
+u32
+emitSad16(TraceBuilder &tb, Variant variant, Addr cur,
+          unsigned cur_stride, Addr ref, unsigned ref_stride)
+{
+    static thread_local u32 abs_pc = 0, row_pc = 0;
+    if (!abs_pc) {
+        abs_pc = tb.makePc("me.abs");
+        row_pc = tb.makePc("me.row");
+    }
+
+    // MVI-class ISAs have no pdist; their motion estimation stays scalar.
+    if (variant == Variant::Scalar || !tb.features().hasPdist) {
+        Val acc = tb.imm(0);
+        for (unsigned y = 0; y < 16; ++y) {
+            for (unsigned x = 0; x < 16; ++x) {
+                Val a = tb.load(cur + size_t{y} * cur_stride + x, 1);
+                Val b = tb.load(ref + size_t{y} * ref_stride + x, 1);
+                Val d = tb.sub(a, b);
+                const bool neg = d.s() < 0;
+                Val c = tb.cmpLt(d, tb.imm(0));
+                tb.branch(abs_pc, neg, c);
+                Val mag = neg ? tb.sub(tb.imm(0), d) : d;
+                acc = tb.add(acc, mag);
+            }
+            tb.branch(row_pc, y + 1 < 16);
+        }
+        return static_cast<u32>(acc.data);
+    }
+
+    Val acc = tb.imm(0);
+    for (unsigned y = 0; y < 16; ++y) {
+        const Addr crow = cur + size_t{y} * cur_stride;
+        const Addr rrow = ref + size_t{y} * ref_stride;
+        Val c0 = tb.vload(crow);
+        Val c1 = tb.vload(crow + 8);
+        const Addr rblk = tb.visAlignAddr(rrow);
+        Val r0 = tb.vload(rblk);
+        Val r1 = tb.vload(rblk + 8);
+        Val r2 = tb.vload(rblk + 16);
+        Val ra = tb.vfaligndata(r0, r1);
+        Val rb = tb.vfaligndata(r1, r2);
+        acc = tb.vpdist(c0, ra, acc);
+        acc = tb.vpdist(c1, rb, acc);
+        tb.branch(row_pc, y + 1 < 16);
+    }
+    return static_cast<u32>(acc.data);
+}
+
+/** Traced full search; identical candidate order to the native code. */
+MotionMatch
+emitFullSearch(TraceBuilder &tb, Variant variant, const FrameBufs &cur,
+               unsigned mx, unsigned my, const FrameBufs &ref, int range)
+{
+    static thread_local u32 best_pc = 0;
+    if (!best_pc)
+        best_pc = tb.makePc("me.best");
+
+    MotionMatch best;
+    best.sad = ~u32{0};
+    for (int dy = -range; dy <= range; ++dy) {
+        for (int dx = -range; dx <= range; ++dx) {
+            const int rx = static_cast<int>(mx) + dx;
+            const int ry = static_cast<int>(my) + dy;
+            if (rx < 0 || ry < 0 ||
+                rx + 16 > static_cast<int>(ref.w) ||
+                ry + 16 > static_cast<int>(ref.h))
+                continue;
+            const u32 sad = emitSad16(
+                tb, variant, cur.y + size_t{my} * cur.w + mx, cur.w,
+                ref.y + static_cast<size_t>(ry) * ref.w +
+                    static_cast<size_t>(rx),
+                ref.w);
+            // Best-so-far update: compare + (mispredictable) branch.
+            Val c = tb.cmpLt(tb.imm(sad), tb.imm(best.sad));
+            tb.branch(best_pc, sad < best.sad, c);
+            if (sad < best.sad) {
+                best.sad = sad;
+                best.mv = {dx, dy};
+            }
+        }
+    }
+    return best;
+}
+
+// --------------------------------------------------------------------
+// Prediction fetch / residual / reconstruction emission
+// --------------------------------------------------------------------
+
+/** Copy a size x size block at an MV offset into a compact buffer. */
+void
+emitFetchPred(TraceBuilder &tb, Variant variant, const FrameBufs &ref,
+              unsigned plane, unsigned bx, unsigned by, MotionVector mv,
+              unsigned size, Addr dst)
+{
+    const int dx = size == 16 ? mv.dx : mv.dx / 2;
+    const int dy = size == 16 ? mv.dy : mv.dy / 2;
+    const unsigned stride = ref.strideOf(plane);
+    const Addr base =
+        ref.planeAddr(plane) +
+        static_cast<Addr>((static_cast<int>(by) + dy)) * stride +
+        static_cast<Addr>(static_cast<int>(bx) + dx);
+
+    if (variant == Variant::Scalar) {
+        for (unsigned y = 0; y < size; ++y)
+            for (unsigned x = 0; x < size; ++x) {
+                Val v = tb.load(base + size_t{y} * stride + x, 1);
+                tb.store(dst + size_t{y} * size + x, 1, v);
+            }
+    } else {
+        for (unsigned y = 0; y < size; ++y) {
+            const Addr row = base + size_t{y} * stride;
+            const Addr blk = tb.visAlignAddr(row);
+            Val r0 = tb.vload(blk);
+            Val r1 = tb.vload(blk + 8);
+            Val a = tb.vfaligndata(r0, r1);
+            tb.vstore(dst + size_t{y} * size, a);
+            if (size == 16) {
+                Val r2 = tb.vload(blk + 16);
+                Val b = tb.vfaligndata(r1, r2);
+                tb.vstore(dst + size_t{y} * size + 8, b);
+            }
+        }
+    }
+}
+
+/** Average two compact prediction buffers into a third. */
+void
+emitAvgPred(TraceBuilder &tb, Variant variant, Addr a, Addr b, Addr dst,
+            unsigned n)
+{
+    if (variant == Variant::Scalar) {
+        for (unsigned i = 0; i < n; ++i) {
+            Val x = tb.load(a + i, 1);
+            Val y = tb.load(b + i, 1);
+            Val s = tb.shr(tb.addi(tb.add(x, y), 1), 1);
+            tb.store(dst + i, 1, s);
+        }
+    } else {
+        // fpadd16 on expanded halves, repack; exact (x+y+1)>>1 needs the
+        // +1 rounding term folded in before the pack shift.
+        tb.setGsrScale(2); // ((v<<4)<<2)>>7 == v>>1
+        for (unsigned i = 0; i < n; i += 8) {
+            Val x = tb.vload(a + i);
+            Val y = tb.vload(b + i);
+            tb.visAlignAddr(a + i + 4);
+            Val xh = tb.vfaligndata(x, x);
+            Val yh = tb.vfaligndata(y, y);
+            const Val round = tb.imm(jpeg::lanesOf16(1 << 4));
+            Val lo = tb.vfpack16(tb.vfpadd16(
+                tb.vfpadd16(tb.vfexpand(x), tb.vfexpand(y)), round));
+            Val hi = tb.vfpack16(tb.vfpadd16(
+                tb.vfpadd16(tb.vfexpand(xh), tb.vfexpand(yh)), round));
+            tb.store(dst + i, 4, lo);
+            tb.store(dst + i + 4, 4, hi);
+        }
+    }
+}
+
+/** Residual of one 8x8 block: cur plane block minus compact pred. */
+void
+emitResidual(TraceBuilder &tb, Variant variant, Addr cur,
+             unsigned cur_stride, Addr pred, unsigned pred_stride,
+             Addr dst)
+{
+    if (variant == Variant::Scalar) {
+        for (unsigned y = 0; y < 8; ++y)
+            for (unsigned x = 0; x < 8; ++x) {
+                Val c = tb.load(cur + size_t{y} * cur_stride + x, 1);
+                Val p = tb.load(pred + size_t{y} * pred_stride + x, 1);
+                tb.store(dst + 2 * (y * 8 + x), 2, tb.sub(c, p));
+            }
+    } else {
+        for (unsigned y = 0; y < 8; ++y) {
+            Val c = tb.vload(cur + size_t{y} * cur_stride);
+            Val p = tb.vload(pred + size_t{y} * pred_stride);
+            tb.visAlignAddr(4);
+            Val ch = tb.vfaligndata(c, c);
+            Val ph = tb.vfaligndata(p, p);
+            // fexpand carries <<4; the difference keeps the scale, so
+            // shift back down with pack-free arithmetic: store the
+            // 16-bit difference (cur-pred)<<4 ... instead compute via
+            // fpsub16 then scale-correct during the DCT? Keep it exact:
+            // (c<<4 - p<<4) >> 4 done with the mul3 primitive (x*16>>8
+            // is a >>4). Simpler and exact: subtract expanded values
+            // and multiply by 16/256.
+            Val dlo = tb.vfpsub16(tb.vfexpand(c), tb.vfexpand(p));
+            Val dhi = tb.vfpsub16(tb.vfexpand(ch), tb.vfexpand(ph));
+            const Val k16 = tb.imm(jpeg::lanesOf16(16));
+            dlo = jpeg::visMul3(tb, dlo, k16);
+            dhi = jpeg::visMul3(tb, dhi, k16);
+            tb.vstore(dst + 2 * (y * 8), dlo);
+            tb.vstore(dst + 2 * (y * 8) + 8, dhi);
+        }
+    }
+}
+
+/** Reconstruct one 8x8 block: pred + s16 residual, saturated. */
+void
+emitReconAdd(TraceBuilder &tb, Variant variant, Addr pred,
+             unsigned pred_stride, Addr resid, Addr dst,
+             unsigned dst_stride, bool have_residual)
+{
+    static thread_local u32 clamp_pc = 0;
+    if (!clamp_pc)
+        clamp_pc = tb.makePc("mc.clamp");
+
+    if (variant == Variant::Scalar) {
+        for (unsigned y = 0; y < 8; ++y)
+            for (unsigned x = 0; x < 8; ++x) {
+                Val p = tb.load(pred + size_t{y} * pred_stride + x, 1);
+                Val v = p;
+                if (have_residual) {
+                    Val r = tb.load(resid + 2 * (y * 8 + x), 2, Val{},
+                                    true);
+                    v = tb.add(p, r);
+                    Val res = v;
+                    const s64 s = v.s();
+                    Val c_low = tb.cmpLt(v, tb.imm(0));
+                    tb.branch(clamp_pc, s < 0, c_low);
+                    if (s < 0) {
+                        res = tb.imm(0);
+                    } else {
+                        Val c_hi = tb.cmpLt(tb.imm(255), v);
+                        tb.branch(clamp_pc, s > 255, c_hi);
+                        if (s > 255)
+                            res = tb.imm(255);
+                    }
+                    v = res;
+                }
+                tb.store(dst + size_t{y} * dst_stride + x, 1, v);
+            }
+    } else {
+        tb.setGsrScale(7);
+        for (unsigned y = 0; y < 8; ++y) {
+            Val p = tb.vload(pred + size_t{y} * pred_stride);
+            if (!have_residual) {
+                tb.vstore(dst + size_t{y} * dst_stride, p);
+                continue;
+            }
+            tb.visAlignAddr(4);
+            Val ph = tb.vfaligndata(p, p);
+            Val r0 = tb.vload(resid + 2 * (y * 8));
+            Val r1 = tb.vload(resid + 2 * (y * 8) + 8);
+            // expand gives p<<4; bring residual to the same scale.
+            const Val k16v = tb.imm(jpeg::lanesOf16(16));
+            Val rs0 = jpeg::visMul3(
+                tb, r0, tb.imm(jpeg::lanesOf16(16 << 8))); // r<<4
+            (void)k16v;
+            Val rs1 = jpeg::visMul3(
+                tb, r1, tb.imm(jpeg::lanesOf16(16 << 8)));
+            Val lo = tb.vfpadd16(tb.vfexpand(p), rs0);
+            Val hi = tb.vfpadd16(tb.vfexpand(ph), rs1);
+            tb.setGsrScale(3); // (v<<3)>>7 == v>>4
+            Val blo = tb.vfpack16(lo);
+            Val bhi = tb.vfpack16(hi);
+            tb.store(dst + size_t{y} * dst_stride, 4, blo);
+            tb.store(dst + size_t{y} * dst_stride + 4, 4, bhi);
+        }
+    }
+}
+
+/** Geometry of the 6 blocks of a macroblock (matches codec.cc). */
+struct BlockRef
+{
+    unsigned plane;
+    unsigned x, y;
+};
+
+std::array<BlockRef, 6>
+mbBlockRefs(unsigned mbx, unsigned mby)
+{
+    return {{
+        {0, mbx * 16, mby * 16},
+        {0, mbx * 16 + 8, mby * 16},
+        {0, mbx * 16, mby * 16 + 8},
+        {0, mbx * 16 + 8, mby * 16 + 8},
+        {1, mbx * 8, mby * 8},
+        {2, mbx * 8, mby * 8},
+    }};
+}
+
+/** Read 64 zig-zag coefficients from the arena. */
+void
+readZz(const TraceBuilder &tb, Addr a, s16 zz[64])
+{
+    for (unsigned i = 0; i < 64; ++i)
+        zz[i] = static_cast<s16>(static_cast<s64>(
+            signExtend(tb.arena().read(a + 2 * i, 2), 16)));
+}
+
+/** Intra-code one macroblock into @p mb, emitting all six blocks. */
+void
+emitIntraMb(TraceBuilder &tb, Variant variant, const TracedTables &tables,
+            const FrameBufs &src, unsigned mbx, unsigned mby,
+            Addr mb_coeff, MbCode &mb)
+{
+    mb.mode = MbMode::Intra;
+    mb.cbp = 0x3f;
+    const auto blocks = mbBlockRefs(mbx, mby);
+    for (unsigned b = 0; b < 6; ++b) {
+        const BlockRef &br = blocks[b];
+        const Addr bsrc = src.planeAddr(br.plane) +
+                          size_t{br.y} * src.strideOf(br.plane) + br.x;
+        jpeg::emitFdctQuantBlock(tb, variant, tables, /*chroma=*/false,
+                                 bsrc, src.strideOf(br.plane),
+                                 mb_coeff + 128 * b);
+        readZz(tb, mb_coeff + 128 * b, mb.blocks[b]);
+    }
+}
+
+/** Emit the VLC for one macroblock (mirrors writeFrameBits). */
+void
+emitMbVlc(TraceBuilder &tb, TracedBitWriter &bw, const TracedHuff &dc_h,
+          const TracedHuff &ac_h, const TracedHuff &mv_h, const MbCode &mb,
+          Addr mb_coeff)
+{
+    bw.put(static_cast<u32>(mb.mode), 2);
+    auto put_mv = [&](MotionVector mv) {
+        for (const int c : {mv.dx, mv.dy}) {
+            const unsigned cat = jpeg::magnitudeCategory(c);
+            mv_h.emitEncode(tb, bw, cat);
+            if (cat)
+                bw.put(jpeg::magnitudeBits(c, cat), cat);
+        }
+    };
+    if (mb.mode == MbMode::Fwd || mb.mode == MbMode::Avg)
+        put_mv(mb.fwd);
+    if (mb.mode == MbMode::Bwd || mb.mode == MbMode::Avg)
+        put_mv(mb.bwd);
+    if (mb.mode != MbMode::Intra)
+        bw.put(mb.cbp, 6);
+    for (unsigned b = 0; b < 6; ++b) {
+        if (!(mb.cbp & (1u << b)))
+            continue;
+        int pred = 0;
+        jpeg::emitEncodeBlock(tb, bw, dc_h, ac_h, mb_coeff + 128 * b,
+                              mb.blocks[b], pred, 0, 63);
+    }
+}
+
+double
+yPsnr(const Ycc420 &a, const Ycc420 &b)
+{
+    double mse = 0;
+    const size_t n = a.y.samples.size();
+    for (size_t i = 0; i < n; ++i) {
+        const double d =
+            double(a.y.samples[i]) - double(b.y.samples[i]);
+        mse += d * d;
+    }
+    mse /= double(n);
+    if (mse == 0)
+        return 99.0;
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// mpeg-enc
+// --------------------------------------------------------------------
+
+void
+runMpegEnc(TraceBuilder &tb, Variant variant, const SeqConfig &cfg)
+{
+    const std::vector<Ycc420> src = makeTestSequence(cfg, 91);
+    const QuantTable q_intra =
+        jpeg::scaleTable(jpeg::lumaBaseTable(), cfg.quality);
+    const QuantTable q_inter = interQuantTable();
+    // Table slot 0 ("luma") = intra, slot 1 ("chroma") = inter.
+    TracedTables tables(tb, q_intra, q_inter);
+    TracedHuff dc_h(tb, mpegDcTable());
+    TracedHuff ac_h(tb, mpegAcTable());
+    TracedHuff mv_h(tb, mpegMvTable());
+
+    const unsigned mbw = cfg.width / 16;
+    const unsigned mbh = cfg.height / 16;
+
+    FrameBufs orig[4];
+    for (unsigned f = 0; f < 4; ++f) {
+        orig[f] = allocFrame(tb, cfg.width, cfg.height, "mpg.orig");
+        uploadFrame(tb, src[f], orig[f]);
+    }
+    FrameBufs recon_i = allocFrame(tb, cfg.width, cfg.height, "mpg.ri");
+    FrameBufs recon_p = allocFrame(tb, cfg.width, cfg.height, "mpg.rp");
+
+    const Addr mb_coeff = tb.alloc(6 * 128, "mpg.mbcoeff");
+    const Addr pred_y = tb.alloc(256 + 64, "mpg.predy");
+    const Addr pred_c = tb.alloc(2 * 64 + 64, "mpg.predc");
+    const Addr pred_y2 = tb.alloc(256 + 64, "mpg.predy2");
+    const Addr pred_c2 = tb.alloc(2 * 64 + 64, "mpg.predc2");
+    const Addr pred_avg = tb.alloc(256 + 64, "mpg.predavg");
+    const Addr resid = tb.alloc(128, "mpg.resid");
+    const Addr resid_out = tb.alloc(128, "mpg.residout");
+    const Addr bits_base = tb.alloc(512 * 1024, "mpg.bits");
+    size_t bits_pos = 0;
+
+    EncodedSeq enc;
+    enc.cfg = cfg;
+    enc.qIntra = q_intra;
+    enc.qInter = q_inter;
+
+    /** Reconstruct one intra-coded MB into @p dst. */
+    auto recon_intra = [&](const MbCode &mb, unsigned mbx, unsigned mby,
+                           const FrameBufs &dst) {
+        const auto blocks = mbBlockRefs(mbx, mby);
+        for (unsigned b = 0; b < 6; ++b) {
+            const BlockRef &br = blocks[b];
+            const Addr bdst = dst.planeAddr(br.plane) +
+                              size_t{br.y} * dst.strideOf(br.plane) +
+                              br.x;
+            jpeg::emitIdctBlock(tb, variant, tables, /*chroma=*/false,
+                                mb_coeff + 128 * b, bdst,
+                                dst.strideOf(br.plane));
+        }
+        (void)mb;
+    };
+
+    /** Inter-code one MB given compact predictions; updates mb. */
+    auto code_inter = [&](MbCode &mb, const FrameBufs &cur, unsigned mbx,
+                          unsigned mby, Addr py, Addr pc,
+                          const FrameBufs *recon_dst) {
+        mb.cbp = 0;
+        const auto blocks = mbBlockRefs(mbx, mby);
+        for (unsigned b = 0; b < 6; ++b) {
+            const BlockRef &br = blocks[b];
+            const Addr csrc = cur.planeAddr(br.plane) +
+                              size_t{br.y} * cur.strideOf(br.plane) +
+                              br.x;
+            Addr pbase;
+            unsigned pstride;
+            if (b < 4) {
+                pbase = py + (br.y - mby * 16) * 16 + (br.x - mbx * 16);
+                pstride = 16;
+            } else {
+                pbase = pc + (b - 4) * 64;
+                pstride = 8;
+            }
+            emitResidual(tb, variant, csrc, cur.strideOf(br.plane),
+                         pbase, pstride, resid);
+            jpeg::emitFdctQuantResidual(tb, variant, tables,
+                                        /*chroma=*/true, resid, 8,
+                                        mb_coeff + 128 * b);
+            readZz(tb, mb_coeff + 128 * b, mb.blocks[b]);
+            bool nz = false;
+            for (unsigned i = 0; i < 64; ++i)
+                nz = nz || mb.blocks[b][i] != 0;
+            if (nz)
+                mb.cbp |= 1u << b;
+            if (recon_dst) {
+                const Addr bdst =
+                    recon_dst->planeAddr(br.plane) +
+                    size_t{br.y} * recon_dst->strideOf(br.plane) + br.x;
+                if (nz)
+                    jpeg::emitIdctBlock(tb, variant, tables, true,
+                                        mb_coeff + 128 * b, resid_out, 8,
+                                        /*residual=*/true);
+                emitReconAdd(tb, variant, pbase, pstride, resid_out,
+                             bdst, recon_dst->strideOf(br.plane), nz);
+            }
+        }
+    };
+
+    /** Fetch luma+chroma predictions for an MV into (py, pc). */
+    auto fetch_pred = [&](const FrameBufs &ref, unsigned mbx,
+                          unsigned mby, MotionVector mv, Addr py,
+                          Addr pc) {
+        emitFetchPred(tb, variant, ref, 0, mbx * 16, mby * 16, mv, 16,
+                      py);
+        emitFetchPred(tb, variant, ref, 1, mbx * 8, mby * 8, mv, 8, pc);
+        emitFetchPred(tb, variant, ref, 2, mbx * 8, mby * 8, mv, 8,
+                      pc + 64);
+    };
+
+    // ======== I frame ==================================================
+    {
+        FrameCode fc;
+        fc.type = 'I';
+        fc.displayIdx = 0;
+        TracedBitWriter bw(tb, bits_base + bits_pos,
+                           512 * 1024 - bits_pos);
+        for (unsigned mby = 0; mby < mbh; ++mby) {
+            for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+                MbCode mb;
+                emitIntraMb(tb, variant, tables, orig[0], mbx, mby,
+                            mb_coeff, mb);
+                emitMbVlc(tb, bw, dc_h, ac_h, mv_h, mb, mb_coeff);
+                recon_intra(mb, mbx, mby, recon_i);
+                fc.mbs.push_back(mb);
+            }
+        }
+        bits_pos += bw.finish();
+        fc.bits = writeFrameBits(fc);
+        enc.frames.push_back(std::move(fc));
+    }
+
+    // ======== P frame (display 3) ======================================
+    {
+        FrameCode fc;
+        fc.type = 'P';
+        fc.displayIdx = 3;
+        TracedBitWriter bw(tb, bits_base + bits_pos,
+                           512 * 1024 - bits_pos);
+        for (unsigned mby = 0; mby < mbh; ++mby) {
+            for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+                MbCode mb;
+                const MotionMatch m =
+                    emitFullSearch(tb, variant, orig[3], mbx * 16,
+                                   mby * 16, recon_i, cfg.searchRange);
+                if (m.sad > kIntraSadThreshold) {
+                    emitIntraMb(tb, variant, tables, orig[3], mbx, mby,
+                                mb_coeff, mb);
+                    emitMbVlc(tb, bw, dc_h, ac_h, mv_h, mb, mb_coeff);
+                    recon_intra(mb, mbx, mby, recon_p);
+                } else {
+                    mb.mode = MbMode::Fwd;
+                    mb.fwd = m.mv;
+                    fetch_pred(recon_i, mbx, mby, m.mv, pred_y, pred_c);
+                    code_inter(mb, orig[3], mbx, mby, pred_y, pred_c,
+                               &recon_p);
+                    emitMbVlc(tb, bw, dc_h, ac_h, mv_h, mb, mb_coeff);
+                }
+                fc.mbs.push_back(mb);
+            }
+        }
+        bits_pos += bw.finish();
+        fc.bits = writeFrameBits(fc);
+        enc.frames.push_back(std::move(fc));
+    }
+
+    // ======== B frames (display 1, 2) ==================================
+    for (unsigned d = 1; d <= 2; ++d) {
+        FrameCode fc;
+        fc.type = 'B';
+        fc.displayIdx = d;
+        TracedBitWriter bw(tb, bits_base + bits_pos,
+                           512 * 1024 - bits_pos);
+        for (unsigned mby = 0; mby < mbh; ++mby) {
+            for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+                MbCode mb;
+                const MotionMatch mf =
+                    emitFullSearch(tb, variant, orig[d], mbx * 16,
+                                   mby * 16, recon_i, cfg.searchRange);
+                const MotionMatch mbk =
+                    emitFullSearch(tb, variant, orig[d], mbx * 16,
+                                   mby * 16, recon_p, cfg.searchRange);
+                // Interpolated candidate: fetch both, average, SAD.
+                emitFetchPred(tb, variant, recon_i, 0, mbx * 16,
+                              mby * 16, mf.mv, 16, pred_y);
+                emitFetchPred(tb, variant, recon_p, 0, mbx * 16,
+                              mby * 16, mbk.mv, 16, pred_y2);
+                emitAvgPred(tb, variant, pred_y, pred_y2, pred_avg, 256);
+                const u32 sad_avg = emitSad16(
+                    tb, variant,
+                    orig[d].y + size_t{mby * 16} * orig[d].w + mbx * 16,
+                    orig[d].w, pred_avg, 16);
+
+                u32 best = mf.sad;
+                mb.mode = MbMode::Fwd;
+                mb.fwd = mf.mv;
+                if (mbk.sad < best) {
+                    best = mbk.sad;
+                    mb.mode = MbMode::Bwd;
+                    mb.bwd = mbk.mv;
+                    mb.fwd = MotionVector{};
+                }
+                if (sad_avg < best) {
+                    best = sad_avg;
+                    mb.mode = MbMode::Avg;
+                    mb.fwd = mf.mv;
+                    mb.bwd = mbk.mv;
+                }
+                if (best > kIntraSadThreshold) {
+                    emitIntraMb(tb, variant, tables, orig[d], mbx, mby,
+                                mb_coeff, mb);
+                    emitMbVlc(tb, bw, dc_h, ac_h, mv_h, mb, mb_coeff);
+                } else {
+                    // Build the final prediction buffers for the mode.
+                    if (mb.mode == MbMode::Fwd) {
+                        fetch_pred(recon_i, mbx, mby, mb.fwd, pred_y,
+                                   pred_c);
+                    } else if (mb.mode == MbMode::Bwd) {
+                        fetch_pred(recon_p, mbx, mby, mb.bwd, pred_y,
+                                   pred_c);
+                    } else {
+                        fetch_pred(recon_i, mbx, mby, mb.fwd, pred_y,
+                                   pred_c);
+                        fetch_pred(recon_p, mbx, mby, mb.bwd, pred_y2,
+                                   pred_c2);
+                        emitAvgPred(tb, variant, pred_y, pred_y2,
+                                    pred_y, 256);
+                        emitAvgPred(tb, variant, pred_c, pred_c2,
+                                    pred_c, 128);
+                    }
+                    code_inter(mb, orig[d], mbx, mby, pred_y, pred_c,
+                               nullptr);
+                    emitMbVlc(tb, bw, dc_h, ac_h, mv_h, mb, mb_coeff);
+                }
+                fc.mbs.push_back(mb);
+            }
+        }
+        bits_pos += bw.finish();
+        fc.bits = writeFrameBits(fc);
+        enc.frames.push_back(std::move(fc));
+    }
+
+    // --- Verification ---------------------------------------------------
+    const std::vector<Ycc420> decoded = decodeMpeg(enc);
+    for (unsigned f = 0; f < 4; ++f) {
+        const double p = yPsnr(decoded[f], src[f]);
+        if (p < 20.0)
+            panic("mpeg-enc (%s): frame %u PSNR %.1f dB too low",
+                  prog::variantName(variant), f, p);
+    }
+    // The decoder's reference frames must match the traced encoder's
+    // in-loop reconstruction (exactly: the traced pipeline defined the
+    // coefficients the decoder consumes and both use the same IDCT for
+    // the scalar path; within tolerance for VIS).
+    const Ycc420 tr_i = downloadFrame(tb, recon_i);
+    const double pi = yPsnr(decoded[0], tr_i);
+    const double min_match = variant == Variant::Scalar ? 99.0 : 40.0;
+    if (pi < min_match)
+        panic("mpeg-enc (%s): I recon mismatch (PSNR %.1f dB)",
+              prog::variantName(variant), pi);
+}
+
+// --------------------------------------------------------------------
+// mpeg-dec
+// --------------------------------------------------------------------
+
+void
+runMpegDec(TraceBuilder &tb, Variant variant, const SeqConfig &cfg)
+{
+    const std::vector<Ycc420> src = makeTestSequence(cfg, 91);
+    const EncodedSeq enc = encodeMpeg(src, cfg);
+    const std::vector<Ycc420> native_out = decodeMpeg(enc);
+
+    TracedTables tables(tb, enc.qIntra, enc.qInter);
+    TracedHuff dc_h(tb, mpegDcTable());
+    TracedHuff ac_h(tb, mpegAcTable());
+    TracedHuff mv_h(tb, mpegMvTable());
+
+    const unsigned mbw = cfg.width / 16;
+    const unsigned mbh = cfg.height / 16;
+
+    FrameBufs out[4];
+    for (unsigned f = 0; f < 4; ++f)
+        out[f] = allocFrame(tb, cfg.width, cfg.height, "mpd.out");
+    FrameBufs recon_i = allocFrame(tb, cfg.width, cfg.height, "mpd.ri");
+    FrameBufs recon_p = allocFrame(tb, cfg.width, cfg.height, "mpd.rp");
+
+    const Addr mb_coeff = tb.alloc(6 * 128, "mpd.mbcoeff");
+    const Addr pred_y = tb.alloc(256 + 64, "mpd.predy");
+    const Addr pred_c = tb.alloc(2 * 64 + 64, "mpd.predc");
+    const Addr pred_y2 = tb.alloc(256 + 64, "mpd.predy2");
+    const Addr pred_c2 = tb.alloc(2 * 64 + 64, "mpd.predc2");
+    const Addr resid_out = tb.alloc(128, "mpd.residout");
+
+    auto fetch_pred = [&](const FrameBufs &ref, unsigned mbx,
+                          unsigned mby, MotionVector mv, Addr py,
+                          Addr pc) {
+        if (variant == Variant::VisPrefetch) {
+            // Prefetch the reference window of the *next* macroblock.
+            const Addr nxt = ref.y + size_t{mby * 16} * ref.w +
+                             (mbx + 1) * 16;
+            for (unsigned r = 0; r < 16; r += 4)
+                tb.prefetch(nxt + size_t{r} * ref.w);
+        }
+        emitFetchPred(tb, variant, ref, 0, mbx * 16, mby * 16, mv, 16,
+                      py);
+        emitFetchPred(tb, variant, ref, 1, mbx * 8, mby * 8, mv, 8, pc);
+        emitFetchPred(tb, variant, ref, 2, mbx * 8, mby * 8, mv, 8,
+                      pc + 64);
+    };
+
+    for (const FrameCode &fc : enc.frames) {
+        const Addr stream = tb.alloc(fc.bits.size() + 64, "mpd.bits");
+        TracedBitReader br(tb, fc.bits, stream);
+        FrameBufs &dst = fc.type == 'I'
+                             ? recon_i
+                             : (fc.type == 'P' ? recon_p
+                                               : out[fc.displayIdx]);
+
+        unsigned idx = 0;
+        for (unsigned mby = 0; mby < mbh; ++mby) {
+            for (unsigned mbx = 0; mbx < mbw; ++mbx) {
+                const MbCode &mb = fc.mbs[idx++];
+                // Parse: mode, vectors, cbp (ops mirror the bit reads).
+                br.getBits(2);
+                auto read_mv = [&](MotionVector want) {
+                    for (const int c : {want.dx, want.dy}) {
+                        const unsigned cat = jpeg::magnitudeCategory(c);
+                        const unsigned got = br.decodeSym(mv_h);
+                        if (got != cat)
+                            panic("mpeg-dec: mv category mismatch");
+                        if (cat)
+                            br.getBits(cat);
+                    }
+                };
+                if (mb.mode == MbMode::Fwd || mb.mode == MbMode::Avg)
+                    read_mv(mb.fwd);
+                if (mb.mode == MbMode::Bwd || mb.mode == MbMode::Avg)
+                    read_mv(mb.bwd);
+                if (mb.mode != MbMode::Intra)
+                    br.getBits(6);
+
+                // Coefficient decode into the MB coefficient buffer.
+                for (unsigned b = 0; b < 6; ++b) {
+                    if (!(mb.cbp & (1u << b)))
+                        continue;
+                    jpeg::emitZeroBlock(tb, variant, mb_coeff + 128 * b);
+                    int pred = 0;
+                    jpeg::emitDecodeBlock(tb, br, dc_h, ac_h, pred, 0,
+                                          63, mb_coeff + 128 * b);
+                }
+
+                const auto blocks = mbBlockRefs(mbx, mby);
+                if (mb.mode == MbMode::Intra) {
+                    for (unsigned b = 0; b < 6; ++b) {
+                        const BlockRef &bref = blocks[b];
+                        const Addr bdst =
+                            dst.planeAddr(bref.plane) +
+                            size_t{bref.y} * dst.strideOf(bref.plane) +
+                            bref.x;
+                        jpeg::emitIdctBlock(tb, variant, tables, false,
+                                            mb_coeff + 128 * b, bdst,
+                                            dst.strideOf(bref.plane));
+                    }
+                } else {
+                    if (mb.mode == MbMode::Fwd) {
+                        fetch_pred(recon_i, mbx, mby, mb.fwd, pred_y,
+                                   pred_c);
+                    } else if (mb.mode == MbMode::Bwd) {
+                        fetch_pred(recon_p, mbx, mby, mb.bwd, pred_y,
+                                   pred_c);
+                    } else {
+                        fetch_pred(recon_i, mbx, mby, mb.fwd, pred_y,
+                                   pred_c);
+                        fetch_pred(recon_p, mbx, mby, mb.bwd, pred_y2,
+                                   pred_c2);
+                        emitAvgPred(tb, variant, pred_y, pred_y2,
+                                    pred_y, 256);
+                        emitAvgPred(tb, variant, pred_c, pred_c2,
+                                    pred_c, 128);
+                    }
+                    for (unsigned b = 0; b < 6; ++b) {
+                        const BlockRef &bref = blocks[b];
+                        const bool nz = (mb.cbp & (1u << b)) != 0;
+                        if (nz)
+                            jpeg::emitIdctBlock(tb, variant, tables,
+                                                true, mb_coeff + 128 * b,
+                                                resid_out, 8, true);
+                        Addr pbase;
+                        unsigned pstride;
+                        if (b < 4) {
+                            pbase = pred_y + (bref.y - mby * 16) * 16 +
+                                    (bref.x - mbx * 16);
+                            pstride = 16;
+                        } else {
+                            pbase = pred_c + (b - 4) * 64;
+                            pstride = 8;
+                        }
+                        const Addr bdst =
+                            dst.planeAddr(bref.plane) +
+                            size_t{bref.y} * dst.strideOf(bref.plane) +
+                            bref.x;
+                        emitReconAdd(tb, variant, pbase, pstride,
+                                     resid_out, bdst,
+                                     dst.strideOf(bref.plane), nz);
+                    }
+                }
+            }
+        }
+    }
+
+    // Copy reference frames into display slots (host-side bookkeeping;
+    // the real output of I/P lives in the recon buffers).
+    const Ycc420 got_i = downloadFrame(tb, recon_i);
+    const Ycc420 got_p = downloadFrame(tb, recon_p);
+    const Ycc420 got_b1 = downloadFrame(tb, out[1]);
+    const Ycc420 got_b2 = downloadFrame(tb, out[2]);
+    const Ycc420 got[4] = {got_i, got_b1, got_b2, got_p};
+
+    const double min_match = variant == Variant::Scalar ? 99.0 : 35.0;
+    for (unsigned f = 0; f < 4; ++f) {
+        const double pm = yPsnr(got[f], native_out[f]);
+        if (pm < min_match)
+            panic("mpeg-dec (%s): frame %u mismatch vs native "
+                  "(PSNR %.1f dB)",
+                  prog::variantName(variant), f, pm);
+        const double ps = yPsnr(got[f], src[f]);
+        if (ps < 20.0)
+            panic("mpeg-dec (%s): frame %u PSNR vs source %.1f dB",
+                  prog::variantName(variant), f, ps);
+    }
+}
+
+} // namespace msim::mpeg

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The MPEG2 benchmarks (mpeg-enc, mpeg-dec) emitted through the trace
+ * builder. Motion estimation dominates mpeg-enc; its VIS path uses the
+ * pdist instruction, which collapses the ~48-instruction scalar SAD
+ * inner sequence (with its hard-to-predict |a-b| branches) into one
+ * instruction per 8 pixels — the paper's marquee special-purpose-
+ * instruction result.
+ */
+
+#ifndef MSIM_MPEG_TRACED_HH_
+#define MSIM_MPEG_TRACED_HH_
+
+#include "mpeg/codec.hh"
+#include "prog/trace_builder.hh"
+#include "prog/variant.hh"
+
+namespace msim::mpeg
+{
+
+/** MPEG2 encoding benchmark: 4 frames, I-B-B-P. */
+void runMpegEnc(prog::TraceBuilder &tb, prog::Variant variant,
+                const SeqConfig &cfg = SeqConfig{});
+
+/** MPEG2 decoding benchmark over a natively encoded stream. */
+void runMpegDec(prog::TraceBuilder &tb, prog::Variant variant,
+                const SeqConfig &cfg = SeqConfig{});
+
+} // namespace msim::mpeg
+
+#endif // MSIM_MPEG_TRACED_HH_

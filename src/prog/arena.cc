@@ -1,0 +1,94 @@
+#include "prog/arena.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace msim::prog
+{
+
+Arena::Arena(bool skew_arrays, Addr base)
+    : skew(skew_arrays), base_(base ? base : kDefaultBase),
+      next(base ? base : kDefaultBase)
+{}
+
+Addr
+Arena::alloc(size_t bytes_wanted, const std::string &name, size_t align)
+{
+    (void)name; // names are for debugging; keep the signature documented
+    if (!isPow2(align))
+        fatal("arena: alignment %zu is not a power of two", align);
+    if (!skew && bytes_wanted >= 4096) {
+        // Unmodified-VSDK layout: large arrays land on nice round
+        // boundaries (one L1 way), so same-index streams conflict.
+        align = std::max<size_t>(align, 32 * 1024);
+    }
+    next = roundUp(next, align);
+    if (skew) {
+        // Distinct sub-page offsets per array so that same-index streams
+        // through equal-sized arrays land in different cache sets.
+        next += (static_cast<Addr>(allocCount) * 5 % 16) * 64 + 64;
+        next = roundUp(next, align);
+    }
+    const Addr base = next;
+    next += bytes_wanted;
+    ++allocCount;
+    return base;
+}
+
+void
+Arena::ensure(Addr a, size_t n) const
+{
+    if (a < base_)
+        panic("arena: access to unallocated low address 0x%llx",
+              static_cast<unsigned long long>(a));
+    const size_t need = static_cast<size_t>(a - base_) + n;
+    if (need > bytes.size())
+        bytes.resize(roundUp(need, 4096), 0);
+}
+
+u64
+Arena::read(Addr a, unsigned size) const
+{
+    ensure(a, size);
+    u64 v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= u64{bytes[a - base_ + i]} << (8 * i);
+    return v;
+}
+
+void
+Arena::write(Addr a, unsigned size, u64 v)
+{
+    ensure(a, size);
+    for (unsigned i = 0; i < size; ++i)
+        bytes[a - base_ + i] = static_cast<u8>(v >> (8 * i));
+}
+
+void
+Arena::writeMasked(Addr a, u64 v, u8 mask)
+{
+    ensure(a, 8);
+    for (unsigned i = 0; i < 8; ++i)
+        if (mask & (1u << i))
+            bytes[a - base_ + i] = static_cast<u8>(v >> (8 * i));
+}
+
+void
+Arena::writeBytes(Addr a, const u8 *src, size_t n)
+{
+    ensure(a, n);
+    for (size_t i = 0; i < n; ++i)
+        bytes[a - base_ + i] = src[i];
+}
+
+void
+Arena::readBytes(Addr a, u8 *dst, size_t n) const
+{
+    ensure(a, n);
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = bytes[a - base_ + i];
+}
+
+} // namespace msim::prog

@@ -1,0 +1,543 @@
+#include "prog/trace_builder.hh"
+
+#include <bit>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "vis/ops.hh"
+
+namespace msim::prog
+{
+
+using isa::Inst;
+using isa::Op;
+
+TraceBuilder::TraceBuilder(isa::InstSink &sink, bool skew_arrays,
+                           bool explicit_addressing, VisFeatures features,
+                           Addr arena_base)
+    : sink(sink), arena_(skew_arrays, arena_base),
+      explicitAddressing(explicit_addressing), features_(features)
+{}
+
+Val
+TraceBuilder::addrCalc(Addr a, Val addr_dep)
+{
+    if (!explicitAddressing)
+        return addr_dep;
+    return emit2(Op::IntAlu, a, addr_dep);
+}
+
+u32
+TraceBuilder::makePc(const char *tag)
+{
+    (void)tag;
+    return nextPc++;
+}
+
+Val
+TraceBuilder::emit2(Op op, u64 result, Val a, Val b, Val c)
+{
+    Inst inst;
+    inst.op = op;
+    inst.dst = nextId++;
+    unsigned n = 0;
+    for (const Val *v : {&a, &b, &c}) {
+        if (v->id != kNoVal)
+            inst.src[n++] = v->id;
+    }
+    inst.numSrcs = static_cast<u8>(n);
+    ++count_;
+    ++opCount[static_cast<unsigned>(op)];
+    sink.feed(inst);
+    return Val{inst.dst, result};
+}
+
+void
+TraceBuilder::emitMem(Op op, Addr a, unsigned size, Val data, Val addr_dep,
+                      u8 flags)
+{
+    Inst inst;
+    inst.op = op;
+    inst.memSize = static_cast<u8>(size);
+    inst.flags = flags;
+    inst.addr = a;
+    unsigned n = 0;
+    if (data.id != kNoVal)
+        inst.src[n++] = data.id;
+    if (addr_dep.id != kNoVal)
+        inst.src[n++] = addr_dep.id;
+    inst.numSrcs = static_cast<u8>(n);
+    ++count_;
+    ++opCount[static_cast<unsigned>(op)];
+    sink.feed(inst);
+}
+
+// --- Scalar integer ---------------------------------------------------------
+
+Val
+TraceBuilder::add(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.data + b.data, a, b);
+}
+
+Val
+TraceBuilder::sub(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.data - b.data, a, b);
+}
+
+Val
+TraceBuilder::mul(Val a, Val b)
+{
+    return emit2(Op::IntMul, a.data * b.data, a, b);
+}
+
+Val
+TraceBuilder::div(Val a, Val b)
+{
+    if (b.data == 0)
+        panic("trace builder: integer divide by zero");
+    return emit2(Op::IntDiv, static_cast<u64>(a.s() / b.s()), a, b);
+}
+
+Val
+TraceBuilder::andOp(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.data & b.data, a, b);
+}
+
+Val
+TraceBuilder::orOp(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.data | b.data, a, b);
+}
+
+Val
+TraceBuilder::xorOp(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.data ^ b.data, a, b);
+}
+
+Val
+TraceBuilder::notOp(Val a)
+{
+    return emit2(Op::IntAlu, ~a.data, a);
+}
+
+Val
+TraceBuilder::shl(Val a, unsigned k)
+{
+    return emit2(Op::IntAlu, a.data << k, a);
+}
+
+Val
+TraceBuilder::shr(Val a, unsigned k)
+{
+    return emit2(Op::IntAlu, a.data >> k, a);
+}
+
+Val
+TraceBuilder::sra(Val a, unsigned k)
+{
+    return emit2(Op::IntAlu, static_cast<u64>(a.s() >> k), a);
+}
+
+Val
+TraceBuilder::cmpLt(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.s() < b.s() ? 1 : 0, a, b);
+}
+
+Val
+TraceBuilder::cmpLe(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.s() <= b.s() ? 1 : 0, a, b);
+}
+
+Val
+TraceBuilder::cmpEq(Val a, Val b)
+{
+    return emit2(Op::IntAlu, a.data == b.data ? 1 : 0, a, b);
+}
+
+Val
+TraceBuilder::select(Val cond, Val if_true, Val if_false)
+{
+    // compare + conditional move: two dependent IntAlu ops
+    Val t = emit2(Op::IntAlu, cond.data, cond);
+    return emit2(Op::IntAlu, cond.data ? if_true.data : if_false.data, t,
+                 if_true, if_false);
+}
+
+// --- Scalar floating point ----------------------------------------------------
+
+Val
+TraceBuilder::fimm(double v)
+{
+    return Val{kNoVal, std::bit_cast<u64>(v)};
+}
+
+double
+TraceBuilder::asF(Val v)
+{
+    return std::bit_cast<double>(v.data);
+}
+
+Val
+TraceBuilder::fadd(Val a, Val b)
+{
+    return emit2(Op::FpAlu, std::bit_cast<u64>(asF(a) + asF(b)), a, b);
+}
+
+Val
+TraceBuilder::fsub(Val a, Val b)
+{
+    return emit2(Op::FpAlu, std::bit_cast<u64>(asF(a) - asF(b)), a, b);
+}
+
+Val
+TraceBuilder::fmul(Val a, Val b)
+{
+    return emit2(Op::FpMul, std::bit_cast<u64>(asF(a) * asF(b)), a, b);
+}
+
+Val
+TraceBuilder::fdiv(Val a, Val b)
+{
+    return emit2(Op::FpDiv, std::bit_cast<u64>(asF(a) / asF(b)), a, b);
+}
+
+Val
+TraceBuilder::fcvtFromInt(Val a)
+{
+    return emit2(Op::FpMov, std::bit_cast<u64>(static_cast<double>(a.s())),
+                 a);
+}
+
+Val
+TraceBuilder::fcvtToInt(Val a)
+{
+    return emit2(Op::FpMov, static_cast<u64>(static_cast<s64>(asF(a))), a);
+}
+
+// --- Control -------------------------------------------------------------------
+
+void
+TraceBuilder::branch(u32 pc, bool taken, Val dep)
+{
+    Inst inst;
+    inst.op = Op::Branch;
+    inst.pc = pc;
+    inst.flags = taken ? isa::kFlagTaken : 0;
+    if (dep.id != kNoVal) {
+        inst.src[0] = dep.id;
+        inst.numSrcs = 1;
+    }
+    ++count_;
+    ++opCount[static_cast<unsigned>(Op::Branch)];
+    sink.feed(inst);
+}
+
+// --- Memory ----------------------------------------------------------------------
+
+Val
+TraceBuilder::load(Addr a, unsigned size, Val addr_dep, bool sign)
+{
+    addr_dep = addrCalc(a, addr_dep);
+    u64 v = arena_.read(a, size);
+    if (sign)
+        v = static_cast<u64>(signExtend(v, 8 * size));
+    Inst inst;
+    inst.op = Op::Load;
+    inst.memSize = static_cast<u8>(size);
+    inst.addr = a;
+    inst.dst = nextId++;
+    if (addr_dep.id != kNoVal) {
+        inst.src[0] = addr_dep.id;
+        inst.numSrcs = 1;
+    }
+    ++count_;
+    ++opCount[static_cast<unsigned>(Op::Load)];
+    sink.feed(inst);
+    return Val{inst.dst, v};
+}
+
+void
+TraceBuilder::store(Addr a, unsigned size, Val v, Val addr_dep)
+{
+    addr_dep = addrCalc(a, addr_dep);
+    arena_.write(a, size, v.data);
+    emitMem(Op::Store, a, size, v, addr_dep);
+}
+
+void
+TraceBuilder::prefetch(Addr a, Val addr_dep)
+{
+    addr_dep = addrCalc(a, addr_dep);
+    emitMem(Op::Prefetch, a, 64, Val{}, addr_dep);
+}
+
+// --- VIS ------------------------------------------------------------------------
+
+void
+TraceBuilder::setGsrScale(unsigned scale)
+{
+    gsr_.scale = scale & 0xf;
+    emit2(Op::VisGsr, gsr_.scale, Val{});
+}
+
+Addr
+TraceBuilder::visAlignAddr(Addr a, Val addr_dep)
+{
+    const Addr aligned = vis::alignaddr(a, gsr_);
+    emit2(Op::VisAlign, aligned, addr_dep);
+    return aligned;
+}
+
+Val
+TraceBuilder::vload(Addr a, Val addr_dep)
+{
+    addr_dep = addrCalc(a, addr_dep);
+    const u64 v = arena_.read(a, 8);
+    Inst inst;
+    inst.op = Op::Load;
+    inst.memSize = 8;
+    inst.addr = a;
+    inst.dst = nextId++;
+    if (addr_dep.id != kNoVal) {
+        inst.src[0] = addr_dep.id;
+        inst.numSrcs = 1;
+    }
+    ++count_;
+    ++opCount[static_cast<unsigned>(Op::Load)];
+    sink.feed(inst);
+    return Val{inst.dst, v};
+}
+
+void
+TraceBuilder::vstore(Addr a, Val v, Val addr_dep)
+{
+    addr_dep = addrCalc(a, addr_dep);
+    arena_.write(a, 8, v.data);
+    emitMem(Op::Store, a, 8, v, addr_dep);
+}
+
+void
+TraceBuilder::vstorePartial(Addr a, Val v, Val mask, Val addr_dep)
+{
+    addr_dep = addrCalc(a, addr_dep);
+    arena_.writeMasked(a, v.data, static_cast<u8>(mask.data));
+    Inst inst;
+    inst.op = Op::Store;
+    inst.memSize = 8;
+    inst.flags = isa::kFlagPartialStore;
+    inst.addr = a;
+    unsigned n = 0;
+    inst.src[n++] = v.id;
+    if (mask.id != kNoVal)
+        inst.src[n++] = mask.id;
+    if (addr_dep.id != kNoVal)
+        inst.src[n++] = addr_dep.id;
+    inst.numSrcs = static_cast<u8>(n);
+    ++count_;
+    ++opCount[static_cast<unsigned>(Op::Store)];
+    sink.feed(inst);
+}
+
+Val
+TraceBuilder::vfpadd16(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fpadd16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfpsub16(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fpsub16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfpadd32(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fpadd32(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfpsub32(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fpsub32(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfmul8x16(Val a, Val b)
+{
+    return emit2(Op::VisMul, vis::fmul8x16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfmul8x16au(Val a, Val b)
+{
+    return emit2(Op::VisMul,
+                 vis::fmul8x16au(a.data, static_cast<u32>(b.data)), a, b);
+}
+
+Val
+TraceBuilder::vfmul8x16al(Val a, Val b)
+{
+    return emit2(Op::VisMul,
+                 vis::fmul8x16al(a.data, static_cast<u32>(b.data)), a, b);
+}
+
+Val
+TraceBuilder::vfmul8sux16(Val a, Val b)
+{
+    return emit2(Op::VisMul, vis::fmul8sux16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfmul8ulx16(Val a, Val b)
+{
+    return emit2(Op::VisMul, vis::fmul8ulx16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfmuld8sux16(Val a, Val b)
+{
+    return emit2(Op::VisMul, vis::fmuld8sux16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfmuld8ulx16(Val a, Val b)
+{
+    return emit2(Op::VisMul, vis::fmuld8ulx16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vmul16(Val a, Val b)
+{
+    if (features_.direct16x16Mul)
+        return emit2(Op::VisMul, vis::mul16(a.data, b.data), a, b);
+    Val su = vfmul8sux16(a, b);
+    Val ul = vfmul8ulx16(a, b);
+    return vfpadd16(su, ul);
+}
+
+Val
+TraceBuilder::vpmaddwd(Val a, Val b)
+{
+    if (!features_.hasPmaddwd)
+        panic("vpmaddwd: ISA has no packed multiply-add");
+    return emit2(Op::VisMul, vis::pmaddwd(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfexpand(Val a)
+{
+    return emit2(Op::VisPack, vis::fexpand(a.data), a);
+}
+
+Val
+TraceBuilder::vfpack16(Val a)
+{
+    return emit2(Op::VisPack, vis::fpack16(a.data, gsr_), a);
+}
+
+Val
+TraceBuilder::vfpackfix(Val a)
+{
+    return emit2(Op::VisPack, vis::fpackfix(a.data, gsr_), a);
+}
+
+Val
+TraceBuilder::vfpmerge(Val a, Val b)
+{
+    return emit2(Op::VisPack, vis::fpmerge(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfaligndata(Val a, Val b)
+{
+    return emit2(Op::VisAlign, vis::faligndata(a.data, b.data, gsr_), a, b);
+}
+
+Val
+TraceBuilder::vand(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fand(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vor(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::forOp(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vxor(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fxor(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vnot(Val a)
+{
+    return emit2(Op::VisAdd, vis::fnot(a.data), a);
+}
+
+Val
+TraceBuilder::vandnot(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fandnot(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfcmpgt16(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fcmpgt16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfcmple16(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fcmple16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vfcmpeq16(Val a, Val b)
+{
+    return emit2(Op::VisAdd, vis::fcmpeq16(a.data, b.data), a, b);
+}
+
+Val
+TraceBuilder::vedge8(Addr a1, Addr a2)
+{
+    return emit2(Op::VisAdd, vis::edge8(a1, a2), Val{});
+}
+
+Val
+TraceBuilder::vedge16(Addr a1, Addr a2)
+{
+    return emit2(Op::VisAdd, vis::edge16(a1, a2), Val{});
+}
+
+Val
+TraceBuilder::vmaskLanes16(Val mask)
+{
+    return emit2(Op::VisPack,
+                 vis::maskToLanes16(static_cast<u32>(mask.data)), mask);
+}
+
+Val
+TraceBuilder::vpdist(Val a, Val b, Val acc)
+{
+    return emit2(Op::VisPdist, vis::pdist(a.data, b.data, acc.data), a, b,
+                 acc);
+}
+
+void
+TraceBuilder::finish()
+{
+    sink.finish();
+}
+
+} // namespace msim::prog

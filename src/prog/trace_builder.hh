@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The trace-builder DSL: benchmarks execute through this interface,
+ * computing real results while streaming the dynamic instruction trace
+ * into an isa::InstSink (a timing core or a counting sink).
+ *
+ * Values are SSA handles: each operation allocates a fresh ValId and
+ * carries its concrete 64-bit result in the handle, so host code can
+ * branch on real data (and must then emit the corresponding Branch
+ * instruction so the predictor sees it). Immediates are free — compiled
+ * loops keep constants in registers.
+ */
+
+#ifndef MSIM_PROG_TRACE_BUILDER_HH_
+#define MSIM_PROG_TRACE_BUILDER_HH_
+
+#include <string>
+
+#include "isa/inst.hh"
+#include "prog/arena.hh"
+#include "prog/variant.hh"
+#include "vis/gsr.hh"
+
+namespace msim::prog
+{
+
+/** An SSA value: id for dependence tracking, data for functional use. */
+struct Val
+{
+    ValId id = kNoVal;
+    u64 data = 0;
+
+    /** The value as signed. */
+    s64 s() const { return static_cast<s64>(data); }
+};
+
+/** See file comment. One TraceBuilder per benchmark run. */
+class TraceBuilder
+{
+  public:
+    /**
+     * @param sink         Receives the dynamic instruction stream.
+     * @param skew_arrays  Forwarded to the Arena (paper footnote 3).
+     * @param explicit_addressing
+     *                     Emit one integer address-computation op per
+     *                     memory access, as compiled code of the era
+     *                     does. On by default; the cpu tests disable it
+     *                     to get exact instruction placement.
+     */
+    explicit TraceBuilder(isa::InstSink &sink, bool skew_arrays = true,
+                          bool explicit_addressing = true,
+                          VisFeatures features = VisFeatures{},
+                          Addr arena_base = 0);
+
+    const VisFeatures &features() const { return features_; }
+
+    Arena &arena() { return arena_; }
+    const Arena &arena() const { return arena_; }
+
+    /** Allocate a named array in the arena. */
+    Addr
+    alloc(size_t bytes, const std::string &name = "", size_t align = 64)
+    {
+        return arena_.alloc(bytes, name, align);
+    }
+
+    /** Allocate a static branch-site id. */
+    u32 makePc(const char *tag);
+
+    /** Register-resident constant; emits no instruction. */
+    Val imm(u64 v) { return Val{kNoVal, v}; }
+
+    // --- Scalar integer ---------------------------------------------------
+
+    Val add(Val a, Val b);
+    Val sub(Val a, Val b);
+    Val mul(Val a, Val b);       ///< integer multiply (7 cycles)
+    Val div(Val a, Val b);       ///< integer divide (12 cycles)
+    Val andOp(Val a, Val b);
+    Val orOp(Val a, Val b);
+    Val xorOp(Val a, Val b);
+    Val notOp(Val a);
+    Val shl(Val a, unsigned k);
+    Val shr(Val a, unsigned k);  ///< logical right shift
+    Val sra(Val a, unsigned k);  ///< arithmetic right shift
+
+    Val addi(Val a, s64 k) { return add(a, imm(static_cast<u64>(k))); }
+
+    /** Signed compares producing 0/1. */
+    Val cmpLt(Val a, Val b);
+    Val cmpLe(Val a, Val b);
+    Val cmpEq(Val a, Val b);
+
+    /** Select via computed value; models a compare+cmov (2 IntAlu ops). */
+    Val select(Val cond, Val if_true, Val if_false);
+
+    // --- Scalar floating point ---------------------------------------------
+
+    /** Floating values are doubles bit-cast into the 64-bit payload. */
+    Val fimm(double v);
+    Val fadd(Val a, Val b);
+    Val fsub(Val a, Val b);
+    Val fmul(Val a, Val b);
+    Val fdiv(Val a, Val b);
+    Val fcvtFromInt(Val a); ///< int -> double (FpMov class)
+    Val fcvtToInt(Val a);   ///< double -> int, truncating
+
+    static double asF(Val v);
+
+    // --- Control -----------------------------------------------------------
+
+    /**
+     * Emit a conditional branch at static site @p pc with outcome
+     * @p taken, data-dependent on @p dep (e.g. the compare result).
+     */
+    void branch(u32 pc, bool taken, Val dep = {});
+
+    // --- Memory -------------------------------------------------------------
+
+    /**
+     * Load @p size bytes at @p a.
+     * @param addr_dep  Value the address computation depends on (e.g. the
+     *                  induction variable), if any.
+     * @param sign      Sign-extend the loaded value.
+     */
+    Val load(Addr a, unsigned size, Val addr_dep = {}, bool sign = false);
+
+    /** Store the low @p size bytes of @p v at @p a. */
+    void store(Addr a, unsigned size, Val v, Val addr_dep = {});
+
+    /** Non-binding software prefetch of the line containing @p a. */
+    void prefetch(Addr a, Val addr_dep = {});
+
+    // --- VIS ----------------------------------------------------------------
+
+    /** Set the GSR pack-scale field (emits a VisGsr instruction). */
+    void setGsrScale(unsigned scale);
+
+    const vis::Gsr &gsr() const { return gsr_; }
+
+    /**
+     * alignaddr: emits a VisAlign op, sets GSR.align from @p a, and
+     * returns the aligned address.
+     */
+    Addr visAlignAddr(Addr a, Val addr_dep = {});
+
+    /** 8-byte VIS load; byte at a+i lands in byte lane i. */
+    Val vload(Addr a, Val addr_dep = {});
+
+    /** 8-byte VIS store. */
+    void vstore(Addr a, Val v, Val addr_dep = {});
+
+    /**
+     * Partial store: write only the byte lanes selected by the mask
+     * value @p mask (low 8 bits), as produced by vedge8/vfcmp*.
+     */
+    void vstorePartial(Addr a, Val v, Val mask, Val addr_dep = {});
+
+    Val vfpadd16(Val a, Val b);
+    Val vfpsub16(Val a, Val b);
+    Val vfpadd32(Val a, Val b);
+    Val vfpsub32(Val a, Val b);
+
+    Val vfmul8x16(Val a, Val b);
+    Val vfmul8x16au(Val a, Val b);
+    Val vfmul8x16al(Val a, Val b);
+    Val vfmul8sux16(Val a, Val b);
+    Val vfmul8ulx16(Val a, Val b);
+    Val vfmuld8sux16(Val a, Val b);
+    Val vfmuld8ulx16(Val a, Val b);
+
+    /**
+     * Per-lane (a*b)>>8: one instruction when the ISA has a direct
+     * 16x16 multiply (MMX-like), the 3-op VIS emulation otherwise.
+     */
+    Val vmul16(Val a, Val b);
+
+    /** MMX pmaddwd; only valid when features().hasPmaddwd. */
+    Val vpmaddwd(Val a, Val b);
+
+    Val vfexpand(Val a);
+    Val vfpack16(Val a);
+    Val vfpackfix(Val a);
+    Val vfpmerge(Val a, Val b);
+    Val vfaligndata(Val a, Val b);
+
+    Val vand(Val a, Val b);
+    Val vor(Val a, Val b);
+    Val vxor(Val a, Val b);
+    Val vnot(Val a);
+    Val vandnot(Val a, Val b);
+
+    Val vfcmpgt16(Val a, Val b);
+    Val vfcmple16(Val a, Val b);
+    Val vfcmpeq16(Val a, Val b);
+
+    /** Edge mask for the block at @p a1 given final address @p a2. */
+    Val vedge8(Addr a1, Addr a2);
+    Val vedge16(Addr a1, Addr a2);
+
+    /** Expand a 4-bit compare mask into 4x16 lane masks (VisPack class). */
+    Val vmaskLanes16(Val mask);
+
+    /** pdist: SAD of 8 byte pairs accumulated into @p acc. */
+    Val vpdist(Val a, Val b, Val acc);
+
+    // --- Introspection -------------------------------------------------------
+
+    u64 instCount() const { return count_; }
+    u64 countOf(isa::Op op) const
+    {
+        return opCount[static_cast<unsigned>(op)];
+    }
+
+    /** End of program: forwards finish() to the sink. */
+    void finish();
+
+  private:
+    Val emit2(isa::Op op, u64 result, Val a, Val b = {}, Val c = {});
+    void emitMem(isa::Op op, Addr a, unsigned size, Val data, Val addr_dep,
+                 u8 flags = 0);
+
+    /** Emit the explicit address-computation op, when enabled. */
+    Val addrCalc(Addr a, Val addr_dep);
+
+    isa::InstSink &sink;
+    Arena arena_;
+    bool explicitAddressing;
+    VisFeatures features_;
+    vis::Gsr gsr_;
+    ValId nextId = 1;
+    u32 nextPc = 1;
+    u64 count_ = 0;
+    u64 opCount[isa::kNumOps] = {};
+};
+
+} // namespace msim::prog
+
+#endif // MSIM_PROG_TRACE_BUILDER_HH_

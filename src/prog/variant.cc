@@ -1,0 +1,17 @@
+#include "prog/variant.hh"
+
+namespace msim::prog
+{
+
+const char *
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::Scalar: return "base";
+      case Variant::Vis: return "VIS";
+      case Variant::VisPrefetch: return "VIS+PF";
+      default: return "?";
+    }
+}
+
+} // namespace msim::prog

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Benchmark code-path variants, shared by all workload generators.
+ */
+
+#ifndef MSIM_PROG_VARIANT_HH_
+#define MSIM_PROG_VARIANT_HH_
+
+#include "common/types.hh"
+
+namespace msim::prog
+{
+
+/** Which code path a benchmark run uses. */
+enum class Variant : u8
+{
+    Scalar,      ///< compiled-C style scalar code
+    Vis,         ///< VIS media-ISA code path
+    VisPrefetch  ///< VIS plus Mowry-style software prefetching
+};
+
+/** Short name for reports ("base", "VIS", "VIS+PF"). */
+const char *variantName(Variant v);
+
+/**
+ * ISA feature knobs distinguishing the media extensions the paper
+ * compares in Section 2.2.2. VIS is the default; MMX-like ISAs add a
+ * direct 16x16 multiply (and pmaddwd); MVI-like minimal ISAs lack the
+ * special-purpose pdist instruction entirely.
+ */
+struct VisFeatures
+{
+    /** Single-instruction 16x16 multiply (MMX) instead of the 3-op
+     *  fmul8sux16/fmul8ulx16/fpadd16 emulation. */
+    bool direct16x16Mul = false;
+
+    /** Packed multiply-add of adjacent pairs (MMX pmaddwd). Implied by
+     *  direct16x16Mul in our model. */
+    bool hasPmaddwd = false;
+
+    /** The pixel-distance (SAD) instruction; VIS-specific. */
+    bool hasPdist = true;
+};
+
+} // namespace msim::prog
+
+#endif // MSIM_PROG_VARIANT_HH_

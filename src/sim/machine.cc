@@ -1,0 +1,57 @@
+#include "sim/machine.hh"
+
+#include <cstdio>
+
+namespace msim::sim
+{
+
+MachineConfig
+inOrder1Way()
+{
+    MachineConfig m;
+    m.core = cpu::CoreConfig::inOrder1Way();
+    m.label = "1-way";
+    return m;
+}
+
+MachineConfig
+inOrder4Way()
+{
+    MachineConfig m;
+    m.core = cpu::CoreConfig::inOrder4Way();
+    m.label = "4-way";
+    return m;
+}
+
+MachineConfig
+outOfOrder4Way()
+{
+    MachineConfig m;
+    m.core = cpu::CoreConfig::outOfOrder4Way();
+    m.label = "4-way ooo";
+    return m;
+}
+
+MachineConfig
+withL2Size(u32 bytes)
+{
+    MachineConfig m = outOfOrder4Way();
+    m.mem.l2.sizeBytes = bytes;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L2=%uK", bytes / 1024);
+    m.label = buf;
+    return m;
+}
+
+MachineConfig
+withL1Size(u32 bytes)
+{
+    MachineConfig m = outOfOrder4Way();
+    m.mem.l1.sizeBytes = bytes;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L1=%uK", bytes / 1024);
+    m.label = buf;
+    return m;
+}
+
+} // namespace msim::sim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Full-machine configuration: a core (Table 2) plus a memory hierarchy
+ * (Table 3), and the named configurations used throughout the paper.
+ */
+
+#ifndef MSIM_SIM_MACHINE_HH_
+#define MSIM_SIM_MACHINE_HH_
+
+#include <string>
+
+#include "cpu/core.hh"
+#include "mem/config.hh"
+#include "prog/variant.hh"
+
+namespace msim::sim
+{
+
+/** A complete simulated machine. */
+struct MachineConfig
+{
+    cpu::CoreConfig core = cpu::CoreConfig::outOfOrder4Way();
+    mem::MemConfig mem{};
+
+    /** Skew concurrently accessed array bases (paper footnote 3). */
+    bool skewArrays = true;
+
+    /** Media-ISA feature set (Section 2.2.2 cross-ISA ablations). */
+    prog::VisFeatures visFeatures{};
+
+    /** Short label used in reports ("1-way", "4-way", "4-way ooo"). */
+    std::string label = "4-way ooo";
+};
+
+/** The three Figure-1 processor configurations with default caches. */
+MachineConfig inOrder1Way();
+MachineConfig inOrder4Way();
+MachineConfig outOfOrder4Way();
+
+/** Default machine with the L2 size overridden (Section 4.1 sweep). */
+MachineConfig withL2Size(u32 bytes);
+
+/** Default machine with the L1 size overridden (Section 4.1 sweep). */
+MachineConfig withL1Size(u32 bytes);
+
+} // namespace msim::sim
+
+#endif // MSIM_SIM_MACHINE_HH_

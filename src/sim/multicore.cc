@@ -1,0 +1,113 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "cpu/core.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+#include "prog/trace_builder.hh"
+
+namespace msim::sim
+{
+
+namespace
+{
+
+/** Address-region stride between cores' arenas (disjoint data). */
+constexpr Addr kCoreRegion = Addr{1} << 28;
+
+/** A core's memory port: a private L1 missing into the shared L2. */
+class SharedL2View : public mem::MemoryPort
+{
+  public:
+    SharedL2View(const mem::CacheConfig &l1_cfg, mem::Cache &shared_l2)
+        : l1_(l1_cfg, shared_l2, mem::HitLevel::L1)
+    {}
+
+    mem::AccessResult
+    access(Addr addr, mem::AccessKind kind, Cycle t) override
+    {
+        return l1_.access(addr, kind, t);
+    }
+
+    const mem::Cache &l1() const { return l1_; }
+
+  private:
+    mem::Cache l1_;
+};
+
+CacheSnap
+snapShared(const mem::Cache &c)
+{
+    CacheSnap s;
+    s.accesses = c.accesses();
+    s.hits = c.hits();
+    s.misses = c.misses();
+    s.writebacks = c.writebacks();
+    s.missRate = c.missRate();
+    s.mshrMeanOccupancy = c.mshrOccupancy().meanOccupancy();
+    s.mshrPeakOccupancy = c.mshrOccupancy().peakOccupancy();
+    return s;
+}
+
+} // namespace
+
+MultiRunResult
+runTraceMulti(const std::vector<Generator> &core_gens,
+              const MachineConfig &machine, Cycle quantum)
+{
+    const unsigned n = static_cast<unsigned>(core_gens.size());
+
+    // Shared levels.
+    mem::Dram dram(machine.mem.dram);
+    mem::Cache l2(machine.mem.l2, dram, mem::HitLevel::L2);
+
+    // Private L1 views and cores.
+    std::vector<std::unique_ptr<SharedL2View>> views;
+    std::vector<std::unique_ptr<cpu::PipelineCore>> cores;
+    for (unsigned c = 0; c < n; ++c) {
+        views.push_back(
+            std::make_unique<SharedL2View>(machine.mem.l1, l2));
+        cores.push_back(std::make_unique<cpu::PipelineCore>(
+            machine.core, *views[c]));
+        cores[c]->setManualPump(true);
+    }
+
+    // Generate each core's full trace into its (buffering) core, with
+    // disjoint address regions so the shared L2 sees distinct lines.
+    std::vector<std::unique_ptr<prog::TraceBuilder>> tbs;
+    for (unsigned c = 0; c < n; ++c) {
+        tbs.push_back(std::make_unique<prog::TraceBuilder>(
+            *cores[c], machine.skewArrays, true, machine.visFeatures,
+            Addr{0x10000} + kCoreRegion * c));
+        core_gens[c](*tbs[c]);
+    }
+
+    // Quantum-synchronized advance (gem5-style loose lockstep).
+    Cycle horizon = quantum;
+    for (;;) {
+        bool all_done = true;
+        for (auto &core : cores) {
+            core->runTo(horizon);
+            all_done = all_done && core->done();
+        }
+        if (all_done)
+            break;
+        horizon += quantum;
+    }
+
+    MultiRunResult r;
+    for (unsigned c = 0; c < n; ++c) {
+        tbs[c]->finish();
+        r.cores.push_back(cores[c]->stats());
+        r.makespan = std::max(r.makespan, cores[c]->stats().cycles);
+    }
+    r.l2 = snapShared(l2);
+    r.dramReads = dram.reads();
+    r.dramWrites = dram.writes();
+    return r;
+}
+
+} // namespace msim::sim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Multiprocessor extension (the paper's Section 6 future work:
+ * "architectural optimizations that improve computation time (e.g.,
+ * multiprocessing) ... are likely to expose the memory system
+ * bottleneck yet again").
+ *
+ * N cores, each with a private L1, share one L2 and one interleaved
+ * memory. Each core runs its own workload generator in a disjoint
+ * address region (an SPMD row-sliced split of a data-parallel kernel),
+ * so no coherence traffic arises; the interesting contention is for the
+ * shared L2 port/capacity and the DRAM banks. Cores are advanced in
+ * fixed quanta so their clocks stay loosely synchronized — the standard
+ * quantum-based multiprocessor simulation approach.
+ */
+
+#ifndef MSIM_SIM_MULTICORE_HH_
+#define MSIM_SIM_MULTICORE_HH_
+
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace msim::sim
+{
+
+/** Result of a multi-core run. */
+struct MultiRunResult
+{
+    /** Per-core execution statistics. */
+    std::vector<cpu::ExecStats> cores;
+
+    /** Completion time of the slowest core (the parallel makespan). */
+    Cycle makespan = 0;
+
+    /** Shared-L2 and memory statistics. */
+    CacheSnap l2;
+    u64 dramReads = 0;
+    u64 dramWrites = 0;
+};
+
+/**
+ * Run one generator per core on @p machine with a shared L2 and DRAM.
+ *
+ * @param core_gens  One workload generator per core; each receives a
+ *                   trace builder whose arena occupies a disjoint
+ *                   address region.
+ * @param machine    Per-core pipeline config and the (shared) memory
+ *                   configuration.
+ * @param quantum    Synchronization quantum in cycles.
+ */
+MultiRunResult runTraceMulti(const std::vector<Generator> &core_gens,
+                             const MachineConfig &machine,
+                             Cycle quantum = 500);
+
+} // namespace msim::sim
+
+#endif // MSIM_SIM_MULTICORE_HH_

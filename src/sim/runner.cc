@@ -1,0 +1,62 @@
+#include "sim/runner.hh"
+
+#include "cpu/core.hh"
+#include "isa/inst.hh"
+#include "mem/hierarchy.hh"
+
+namespace msim::sim
+{
+
+namespace
+{
+
+CacheSnap
+snapOf(const mem::Cache &c)
+{
+    CacheSnap s;
+    s.accesses = c.accesses();
+    s.hits = c.hits();
+    s.misses = c.misses();
+    s.writebacks = c.writebacks();
+    s.prefetchDrops = c.prefetchDrops();
+    s.combined = c.combinedRequests();
+    s.blocked = c.blockedRequests();
+    s.missRate = c.missRate();
+    s.mshrMeanOccupancy = c.mshrOccupancy().meanOccupancy();
+    s.mshrPeakOccupancy = c.mshrOccupancy().peakOccupancy();
+    s.mshrFracAtLeast2 = c.mshrOccupancy().fracAtLeast(2);
+    s.mshrFracAtLeast5 = c.mshrOccupancy().fracAtLeast(5);
+    s.loadOverlapMean = c.loadOverlap().mean();
+    return s;
+}
+
+} // namespace
+
+RunResult
+runTrace(const Generator &generate, const MachineConfig &machine)
+{
+    mem::Hierarchy hierarchy(machine.mem);
+    cpu::PipelineCore core(machine.core, hierarchy);
+    prog::TraceBuilder tb(core, machine.skewArrays, true,
+                          machine.visFeatures);
+
+    generate(tb);
+    tb.finish();
+
+    RunResult r;
+    r.exec = core.stats();
+    r.l1 = snapOf(hierarchy.l1());
+    r.l2 = snapOf(hierarchy.l2());
+    r.tbInstrs = tb.instCount();
+
+    using isa::Op;
+    const u64 pack = tb.countOf(Op::VisPack);
+    const u64 align = tb.countOf(Op::VisAlign);
+    const u64 gsr = tb.countOf(Op::VisGsr);
+    r.visOverheadOps = pack + align + gsr;
+    r.visOps = r.visOverheadOps + tb.countOf(Op::VisAdd) +
+               tb.countOf(Op::VisMul) + tb.countOf(Op::VisPdist);
+    return r;
+}
+
+} // namespace msim::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Glue that wires a workload generator to a machine: trace builder ->
+ * pipeline core -> cache hierarchy, with a consolidated result record.
+ */
+
+#ifndef MSIM_SIM_RUNNER_HH_
+#define MSIM_SIM_RUNNER_HH_
+
+#include <functional>
+
+#include "cpu/accounting.hh"
+#include "prog/trace_builder.hh"
+#include "sim/machine.hh"
+
+namespace msim::sim
+{
+
+/** Snapshot of one cache level's statistics. */
+struct CacheSnap
+{
+    u64 accesses = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 writebacks = 0;
+    u64 prefetchDrops = 0;
+    u64 combined = 0;
+    u64 blocked = 0;
+    double missRate = 0.0;
+    double mshrMeanOccupancy = 0.0;
+    unsigned mshrPeakOccupancy = 0;
+    double mshrFracAtLeast2 = 0.0;
+    double mshrFracAtLeast5 = 0.0;
+    double loadOverlapMean = 0.0;
+};
+
+/** Everything measured in one simulation run. */
+struct RunResult
+{
+    cpu::ExecStats exec;
+    CacheSnap l1;
+    CacheSnap l2;
+    u64 tbInstrs = 0;
+
+    /** Dynamic VIS instruction count and its rearrangement/alignment
+     *  subset (paper Section 3.2.3 overhead metric). */
+    u64 visOps = 0;
+    u64 visOverheadOps = 0;
+
+    double
+    visOverheadFrac() const
+    {
+        return visOps ? static_cast<double>(visOverheadOps) / visOps
+                      : 0.0;
+    }
+};
+
+/** A workload: everything the benchmark emits through the builder. */
+using Generator = std::function<void(prog::TraceBuilder &)>;
+
+/** Run @p generate on @p machine and collect the results. */
+RunResult runTrace(const Generator &generate,
+                   const MachineConfig &machine);
+
+} // namespace msim::sim
+
+#endif // MSIM_SIM_RUNNER_HH_

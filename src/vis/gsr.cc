@@ -1,0 +1,12 @@
+#include "vis/gsr.hh"
+
+namespace msim::vis
+{
+
+Gsr
+makeGsr(unsigned scale, unsigned align)
+{
+    return Gsr{scale & 0xf, align & 0x7};
+}
+
+} // namespace msim::vis

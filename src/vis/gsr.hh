@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Graphics Status Register (GSR) model.
+ *
+ * VIS keeps two pieces of state in a special register: the pack scale
+ * factor used by the fpack* instructions and the byte offset used by
+ * faligndata. alignaddr writes the align field as a side effect.
+ */
+
+#ifndef MSIM_VIS_GSR_HH_
+#define MSIM_VIS_GSR_HH_
+
+#include "common/types.hh"
+
+namespace msim::vis
+{
+
+/** The two GSR fields consumed by VIS instructions. */
+struct Gsr
+{
+    unsigned scale = 0; ///< fpack scale factor, 0..15
+    unsigned align = 0; ///< faligndata byte offset, 0..7
+};
+
+/** Clamp raw field values into their architectural ranges. */
+Gsr makeGsr(unsigned scale, unsigned align);
+
+} // namespace msim::vis
+
+#endif // MSIM_VIS_GSR_HH_

@@ -1,0 +1,325 @@
+#include "vis/ops.hh"
+
+#include <cstdlib>
+
+#include "common/bits.hh"
+#include "common/saturate.hh"
+
+namespace msim::vis
+{
+
+u64
+fpadd16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        r = setHalfLane(r, i, static_cast<u16>(halfLane(a, i) + halfLane(b, i)));
+    return r;
+}
+
+u64
+fpsub16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        r = setHalfLane(r, i, static_cast<u16>(halfLane(a, i) - halfLane(b, i)));
+    return r;
+}
+
+u64
+fpadd32(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 2; ++i)
+        r = setWordLane(r, i, wordLane(a, i) + wordLane(b, i));
+    return r;
+}
+
+u64
+fpsub32(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 2; ++i)
+        r = setWordLane(r, i, wordLane(a, i) - wordLane(b, i));
+    return r;
+}
+
+u64
+fmul8x16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const s32 pixel = byteLane(a, i);
+        const s32 coeff = static_cast<s16>(halfLane(b, i));
+        const s32 prod = (pixel * coeff + 128) >> 8;
+        r = setHalfLane(r, i, static_cast<u16>(prod));
+    }
+    return r;
+}
+
+u64
+fmul8x16au(u64 a, u32 b)
+{
+    u64 coeffs = 0;
+    const u16 c = static_cast<u16>(b >> 16);
+    for (unsigned i = 0; i < 4; ++i)
+        coeffs = setHalfLane(coeffs, i, c);
+    return fmul8x16(a, coeffs);
+}
+
+u64
+fmul8x16al(u64 a, u32 b)
+{
+    u64 coeffs = 0;
+    const u16 c = static_cast<u16>(b);
+    for (unsigned i = 0; i < 4; ++i)
+        coeffs = setHalfLane(coeffs, i, c);
+    return fmul8x16(a, coeffs);
+}
+
+u64
+fmul8sux16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const s32 hi = static_cast<s8>(halfLane(a, i) >> 8);
+        const s32 coeff = static_cast<s16>(halfLane(b, i));
+        // hi*coeff is the contribution of the upper byte; it already sits
+        // at bit 8 of the full product, so no shift is required here.
+        r = setHalfLane(r, i, static_cast<u16>(hi * coeff));
+    }
+    return r;
+}
+
+u64
+fmul8ulx16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const s32 lo = static_cast<u8>(halfLane(a, i));
+        const s32 coeff = static_cast<s16>(halfLane(b, i));
+        r = setHalfLane(r, i, static_cast<u16>((lo * coeff) >> 8));
+    }
+    return r;
+}
+
+u64
+fmuld8sux16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 2; ++i) {
+        const s32 hi = static_cast<s8>(halfLane(a, i) >> 8);
+        const s32 coeff = static_cast<s16>(halfLane(b, i));
+        r = setWordLane(r, i, static_cast<u32>((hi * coeff) << 8));
+    }
+    return r;
+}
+
+u64
+fmuld8ulx16(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 2; ++i) {
+        const s32 lo = static_cast<u8>(halfLane(a, i));
+        const s32 coeff = static_cast<s16>(halfLane(b, i));
+        r = setWordLane(r, i, static_cast<u32>(lo * coeff));
+    }
+    return r;
+}
+
+u64
+mul16(u64 a, u64 b)
+{
+    return fpadd16(fmul8sux16(a, b), fmul8ulx16(a, b));
+}
+
+u64
+pmaddwd(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned p = 0; p < 2; ++p) {
+        const s32 x0 = static_cast<s16>(halfLane(a, 2 * p));
+        const s32 y0 = static_cast<s16>(halfLane(b, 2 * p));
+        const s32 x1 = static_cast<s16>(halfLane(a, 2 * p + 1));
+        const s32 y1 = static_cast<s16>(halfLane(b, 2 * p + 1));
+        r = setWordLane(r, p, static_cast<u32>(x0 * y0 + x1 * y1));
+    }
+    return r;
+}
+
+u64
+fexpand(u64 a)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        r = setHalfLane(r, i, static_cast<u16>(byteLane(a, i) << 4));
+    return r;
+}
+
+u64
+fpack16(u64 a, const Gsr &gsr)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        const s32 v = static_cast<s16>(halfLane(a, i));
+        const s32 shifted = v << gsr.scale;
+        r = setByteLane(r, i, satU8(shifted >> 7));
+    }
+    return r;
+}
+
+u64
+fpackfix(u64 a, const Gsr &gsr)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 2; ++i) {
+        const s64 v = static_cast<s32>(wordLane(a, i));
+        const s64 shifted = v << gsr.scale;
+        r = setHalfLane(r, i, static_cast<u16>(satS16(shifted >> 16)));
+    }
+    return r;
+}
+
+u64
+fpmerge(u64 a, u64 b)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        r = setByteLane(r, 2 * i, byteLane(a, i));
+        r = setByteLane(r, 2 * i + 1, byteLane(b, i));
+    }
+    return r;
+}
+
+u64
+faligndata(u64 a, u64 b, const Gsr &gsr)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        const unsigned src = gsr.align + i;
+        const u8 byte = src < 8 ? byteLane(a, src) : byteLane(b, src - 8);
+        r = setByteLane(r, i, byte);
+    }
+    return r;
+}
+
+Addr
+alignaddr(Addr addr, Gsr &gsr)
+{
+    gsr.align = static_cast<unsigned>(addr & 7);
+    return addr & ~Addr{7};
+}
+
+u64 fand(u64 a, u64 b) { return a & b; }
+u64 forOp(u64 a, u64 b) { return a | b; }
+u64 fxor(u64 a, u64 b) { return a ^ b; }
+u64 fnot(u64 a) { return ~a; }
+u64 fandnot(u64 a, u64 b) { return ~a & b; }
+
+namespace
+{
+
+template <typename Lane, unsigned N, typename Get>
+u32
+cmpMask(u64 a, u64 b, Get get, bool greater, bool or_equal)
+{
+    u32 mask = 0;
+    for (unsigned i = 0; i < N; ++i) {
+        const auto x = static_cast<Lane>(get(a, i));
+        const auto y = static_cast<Lane>(get(b, i));
+        bool hit;
+        if (greater)
+            hit = or_equal ? x >= y : x > y;
+        else
+            hit = or_equal ? x <= y : x < y;
+        if (hit)
+            mask |= 1u << i;
+    }
+    return mask;
+}
+
+} // namespace
+
+u32
+fcmpgt16(u64 a, u64 b)
+{
+    return cmpMask<s16, 4>(a, b, halfLane, true, false);
+}
+
+u32
+fcmple16(u64 a, u64 b)
+{
+    return cmpMask<s16, 4>(a, b, halfLane, false, true);
+}
+
+u32
+fcmpeq16(u64 a, u64 b)
+{
+    u32 mask = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        if (halfLane(a, i) == halfLane(b, i))
+            mask |= 1u << i;
+    return mask;
+}
+
+u32
+fcmpgt32(u64 a, u64 b)
+{
+    return cmpMask<s32, 2>(a, b, wordLane, true, false);
+}
+
+u32
+fcmple32(u64 a, u64 b)
+{
+    return cmpMask<s32, 2>(a, b, wordLane, false, true);
+}
+
+namespace
+{
+
+/** Shared edge-mask logic for lane widths of 1, 2, or 4 bytes. */
+u8
+edgeMask(Addr addr1, Addr addr2, unsigned lane_bytes)
+{
+    const unsigned lanes = 8 / lane_bytes;
+    const unsigned lo = static_cast<unsigned>(addr1 & 7) / lane_bytes;
+    u8 mask = 0;
+    for (unsigned i = lo; i < lanes; ++i)
+        mask |= 1u << i;
+    if ((addr1 & ~Addr{7}) == (addr2 & ~Addr{7})) {
+        const unsigned hi = static_cast<unsigned>(addr2 & 7) / lane_bytes;
+        u8 upper = 0;
+        for (unsigned i = 0; i <= hi; ++i)
+            upper |= 1u << i;
+        mask &= upper;
+    }
+    return mask;
+}
+
+} // namespace
+
+u8 edge8(Addr addr1, Addr addr2) { return edgeMask(addr1, addr2, 1); }
+u8 edge16(Addr addr1, Addr addr2) { return edgeMask(addr1, addr2, 2); }
+u8 edge32(Addr addr1, Addr addr2) { return edgeMask(addr1, addr2, 4); }
+
+u64
+pdist(u64 a, u64 b, u64 acc)
+{
+    u64 sum = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        sum += static_cast<u64>(
+            std::abs(int(byteLane(a, i)) - int(byteLane(b, i))));
+    return acc + sum;
+}
+
+u64
+maskToLanes16(u32 mask)
+{
+    u64 r = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        if (mask & (1u << i))
+            r = setHalfLane(r, i, 0xffff);
+    return r;
+}
+
+} // namespace msim::vis

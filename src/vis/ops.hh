@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Functional semantics of the VIS instruction subset used by the paper's
+ * benchmarks, operating on 64-bit packed values.
+ *
+ * Lane convention: lane 0 lives in the least significant bits (see
+ * common/bits.hh); the trace builder's 64-bit loads place the byte at
+ * address A+i into byte lane i, so faligndata/edge masks compose with
+ * memory exactly as on the big-endian original.
+ *
+ * Packed adds/subtracts wrap (modulo), as on real VIS; saturation happens
+ * only in the fpack* instructions, which is precisely why VIS kernels can
+ * drop explicit saturation branches (paper Section 3.2.2).
+ */
+
+#ifndef MSIM_VIS_OPS_HH_
+#define MSIM_VIS_OPS_HH_
+
+#include "common/types.hh"
+#include "vis/gsr.hh"
+
+namespace msim::vis
+{
+
+// --- Packed arithmetic (wraparound) --------------------------------------
+
+/** Four parallel 16-bit adds (modulo 2^16 per lane). */
+u64 fpadd16(u64 a, u64 b);
+
+/** Four parallel 16-bit subtracts. */
+u64 fpsub16(u64 a, u64 b);
+
+/** Two parallel 32-bit adds. */
+u64 fpadd32(u64 a, u64 b);
+
+/** Two parallel 32-bit subtracts. */
+u64 fpsub32(u64 a, u64 b);
+
+// --- Packed multiplies ----------------------------------------------------
+
+/**
+ * fmul8x16: lane i of the result is round((u8)a_byte[i] * (s16)b_half[i]
+ * / 256), i.e. an unsigned pixel scaled by a signed 8.8 fixed-point
+ * coefficient. Only byte lanes 0..3 of @p a participate.
+ */
+u64 fmul8x16(u64 a, u64 b);
+
+/** fmul8x16au: all four pixels multiplied by the upper 16 bits of b. */
+u64 fmul8x16au(u64 a, u32 b);
+
+/** fmul8x16al: all four pixels multiplied by the lower 16 bits of b. */
+u64 fmul8x16al(u64 a, u32 b);
+
+/**
+ * fmul8sux16: signed upper byte of each 16-bit a-lane times the b-lane;
+ * the upper 16 bits of the 24-bit product per lane.
+ */
+u64 fmul8sux16(u64 a, u64 b);
+
+/**
+ * fmul8ulx16: unsigned lower byte of each 16-bit a-lane times the b-lane,
+ * sign-extended upper 16 bits of the 24-bit product per lane.
+ *
+ * fpadd16(fmul8sux16(a,b), fmul8ulx16(a,b)) == per-lane (a*b) >> 8 (mod
+ * 2^16) — the 3-instruction 16x16 multiply emulation the paper describes.
+ */
+u64 fmul8ulx16(u64 a, u64 b);
+
+/**
+ * fmuld8sux16: 16-bit lanes 0..1 only; signed upper byte times the
+ * b-lane, shifted left 8, as two 32-bit results.
+ *
+ * fpadd32(fmuld8sux16(a,b), fmuld8ulx16(a,b)) is the *exact* 32-bit
+ * product of the signed 16-bit lanes — the full-precision multiply pair
+ * used by the VSDK dot-product kernel.
+ */
+u64 fmuld8sux16(u64 a, u64 b);
+
+/** fmuld8ulx16: unsigned lower byte times b-lane, 32-bit results. */
+u64 fmuld8ulx16(u64 a, u64 b);
+
+/**
+ * mul16: MMX-style direct multiply, per-lane (a*b) >> 8 (mod 2^16) —
+ * exactly what the 3-op VIS emulation computes, in one instruction.
+ */
+u64 mul16(u64 a, u64 b);
+
+/**
+ * pmaddwd: MMX-style multiply-add of adjacent signed 16-bit pairs:
+ * word 0 = a0*b0 + a1*b1, word 1 = a2*b2 + a3*b3.
+ */
+u64 pmaddwd(u64 a, u64 b);
+
+// --- Subword rearrangement and alignment ----------------------------------
+
+/**
+ * fexpand: byte lanes 0..3 of @p a widened to 16-bit lanes, each shifted
+ * left by 4 (the VIS fixed-point pixel format).
+ */
+u64 fexpand(u64 a);
+
+/**
+ * fpack16: each signed 16-bit lane is left-shifted by gsr.scale, the
+ * integer part (bits 14..7 after the shift) is extracted and saturated
+ * to [0,255]. With gsr.scale == 3 this exactly inverts fexpand.
+ */
+u64 fpack16(u64 a, const Gsr &gsr); // result in byte lanes 0..3
+
+/**
+ * fpackfix: each signed 32-bit lane shifted left by gsr.scale, then bits
+ * 30..16 taken and saturated to signed 16-bit; results in half lanes 0..1.
+ */
+u64 fpackfix(u64 a, const Gsr &gsr);
+
+/** fpmerge: interleave byte lanes 0..3 of a and b: a0 b0 a1 b1 a2 b2 a3 b3. */
+u64 fpmerge(u64 a, u64 b);
+
+/**
+ * faligndata: treat a then b as 16 consecutive bytes (a's lane j is byte
+ * j) and extract 8 bytes starting at byte gsr.align.
+ */
+u64 faligndata(u64 a, u64 b, const Gsr &gsr);
+
+/** alignaddr: returns addr & ~7; the caller stores addr & 7 into the GSR. */
+Addr alignaddr(Addr addr, Gsr &gsr);
+
+// --- Logical --------------------------------------------------------------
+
+u64 fand(u64 a, u64 b);
+u64 forOp(u64 a, u64 b);
+u64 fxor(u64 a, u64 b);
+u64 fnot(u64 a);
+u64 fandnot(u64 a, u64 b); ///< ~a & b
+
+// --- Partitioned compares and edge masks -----------------------------------
+
+/** fcmpgt16: bit i of result set iff (s16)a_lane[i] > (s16)b_lane[i]. */
+u32 fcmpgt16(u64 a, u64 b);
+
+/** fcmple16: bit i set iff (s16)a_lane[i] <= (s16)b_lane[i]. */
+u32 fcmple16(u64 a, u64 b);
+
+/** fcmpeq16. */
+u32 fcmpeq16(u64 a, u64 b);
+
+/** fcmpgt32 / fcmple32 over the two 32-bit lanes. */
+u32 fcmpgt32(u64 a, u64 b);
+u32 fcmple32(u64 a, u64 b);
+
+/**
+ * edge8: byte-lane validity mask for a loop writing [addr1, addr2].
+ * Lanes below addr1's offset within its 8-byte block are masked off; if
+ * addr2 falls in the same block, lanes above addr2's offset are too.
+ */
+u8 edge8(Addr addr1, Addr addr2);
+
+/** edge16: like edge8 over four 16-bit lanes. */
+u8 edge16(Addr addr1, Addr addr2);
+
+/** edge32: like edge8 over two 32-bit lanes. */
+u8 edge32(Addr addr1, Addr addr2);
+
+// --- Special purpose --------------------------------------------------------
+
+/** pdist: acc + sum over 8 byte lanes of |a_i - b_i| (motion-estimation SAD). */
+u64 pdist(u64 a, u64 b, u64 acc);
+
+/** Expand a 4-bit fcmp mask to a 4x16 all-ones/all-zeros lane mask. */
+u64 maskToLanes16(u32 mask);
+
+} // namespace msim::vis
+
+#endif // MSIM_VIS_OPS_HH_

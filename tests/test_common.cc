@@ -1,0 +1,148 @@
+/** @file Unit tests for the common utility layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/saturate.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace msim
+{
+namespace
+{
+
+TEST(Bits, ByteLaneRoundtrip)
+{
+    u64 v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v = setByteLane(v, i, static_cast<u8>(0x10 + i));
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(byteLane(v, i), 0x10 + i);
+}
+
+TEST(Bits, HalfLaneRoundtrip)
+{
+    u64 v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v = setHalfLane(v, i, static_cast<u16>(0x1000 + i));
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(halfLane(v, i), 0x1000 + i);
+}
+
+TEST(Bits, WordLaneRoundtrip)
+{
+    u64 v = setWordLane(setWordLane(0, 0, 0xdeadbeef), 1, 0xcafef00d);
+    EXPECT_EQ(wordLane(v, 0), 0xdeadbeefu);
+    EXPECT_EQ(wordLane(v, 1), 0xcafef00du);
+}
+
+TEST(Bits, LanesAreIndependent)
+{
+    u64 v = ~u64{0};
+    v = setHalfLane(v, 2, 0);
+    EXPECT_EQ(halfLane(v, 1), 0xffff);
+    EXPECT_EQ(halfLane(v, 2), 0);
+    EXPECT_EQ(halfLane(v, 3), 0xffff);
+}
+
+TEST(Bits, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x1234, 16), 0x1234);
+}
+
+TEST(Bits, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(24));
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(roundUp(13, 8), 16u);
+    EXPECT_EQ(roundUp(16, 8), 16u);
+}
+
+TEST(Saturate, SatU8)
+{
+    EXPECT_EQ(satU8(-5), 0);
+    EXPECT_EQ(satU8(0), 0);
+    EXPECT_EQ(satU8(128), 128);
+    EXPECT_EQ(satU8(255), 255);
+    EXPECT_EQ(satU8(300), 255);
+}
+
+TEST(Saturate, SatS16)
+{
+    EXPECT_EQ(satS16(-40000), -32768);
+    EXPECT_EQ(satS16(40000), 32767);
+    EXPECT_EQ(satS16(-3), -3);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.nextBelow(17), 17u);
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Stats, DistributionBasics)
+{
+    Distribution d(8);
+    d.sample(1);
+    d.sample(3);
+    d.sample(3);
+    d.sample(100); // clamps into the last bucket
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_EQ(d.maxSeen(), 100u);
+    EXPECT_DOUBLE_EQ(d.mean(), (1 + 3 + 3 + 100) / 4.0);
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(3), 0.75);
+    // Values past the last bucket clamp into it.
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(8), 0.25);
+}
+
+TEST(Stats, OccupancyTimeWeighted)
+{
+    OccupancyTracker t(4);
+    t.advance(10, 0); // [0,10) at occupancy 0
+    t.advance(20, 2); // [10,20) at occupancy 2
+    t.advance(40, 4); // [20,40) at occupancy 4
+    EXPECT_DOUBLE_EQ(t.meanOccupancy(), (10 * 0 + 10 * 2 + 20 * 4) / 40.0);
+    EXPECT_EQ(t.peakOccupancy(), 4u);
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(2), 30.0 / 40.0);
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(4), 20.0 / 40.0);
+}
+
+TEST(Table, RendersAlignedRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_EQ(Table::num(1.234, 2), "1.23");
+}
+
+} // namespace
+} // namespace msim

@@ -1,0 +1,132 @@
+/** @file Unit tests for the image library. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "img/image.hh"
+#include "img/ppm.hh"
+#include "img/synth.hh"
+
+namespace msim::img
+{
+namespace
+{
+
+TEST(Image, ShapeAndAccess)
+{
+    Image im(8, 4, 3);
+    EXPECT_EQ(im.width(), 8u);
+    EXPECT_EQ(im.height(), 4u);
+    EXPECT_EQ(im.bands(), 3u);
+    EXPECT_EQ(im.rowBytes(), 24u);
+    EXPECT_EQ(im.sizeBytes(), 96u);
+    im.at(7, 3, 2) = 200;
+    EXPECT_EQ(im.at(7, 3, 2), 200);
+    // Interleaved layout: the sample lives at the expected flat index.
+    EXPECT_EQ(im.data()[(3 * 8 + 7) * 3 + 2], 200);
+}
+
+TEST(Image, PsnrIdenticalIs99)
+{
+    Image a = makeTestImage(16, 16, 3, 1);
+    EXPECT_DOUBLE_EQ(psnr(a, a), 99.0);
+}
+
+TEST(Image, PsnrDropsWithNoise)
+{
+    Image a = makeTestImage(32, 32, 1, 2);
+    Image b = a;
+    for (size_t i = 0; i < b.sizeBytes(); i += 7)
+        b.data()[i] = static_cast<u8>(b.data()[i] ^ 0x08);
+    const double p = psnr(a, b);
+    EXPECT_LT(p, 99.0);
+    EXPECT_GT(p, 20.0);
+    EXPECT_GT(maxAbsDiff(a, b), 0u);
+    EXPECT_GT(meanAbsDiff(a, b), 0.0);
+}
+
+TEST(Ppm, RoundtripP6)
+{
+    const Image a = makeTestImage(20, 12, 3, 3);
+    std::stringstream ss;
+    writePpm(ss, a);
+    const Image b = readPpm(ss);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Ppm, RoundtripP5)
+{
+    const Image a = makeTestImage(9, 7, 1, 4);
+    std::stringstream ss;
+    writePpm(ss, a);
+    const Image b = readPpm(ss);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Ppm, CommentsSkipped)
+{
+    std::stringstream ss;
+    ss << "P5\n# a comment\n2 2\n# another\n255\n";
+    ss.write("\x01\x02\x03\x04", 4);
+    const Image im = readPpm(ss);
+    EXPECT_EQ(im.width(), 2u);
+    EXPECT_EQ(im.at(1, 1, 0), 4);
+}
+
+TEST(Synth, Deterministic)
+{
+    const Image a = makeTestImage(40, 30, 3, 7);
+    const Image b = makeTestImage(40, 30, 3, 7);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Synth, SeedsProduceDifferentContent)
+{
+    const Image a = makeTestImage(40, 30, 3, 7);
+    const Image b = makeTestImage(40, 30, 3, 8);
+    EXPECT_NE(a, b);
+}
+
+TEST(Synth, HasDynamicRange)
+{
+    const Image a = makeTestImage(64, 64, 1, 9);
+    u8 lo = 255, hi = 0;
+    for (size_t i = 0; i < a.sizeBytes(); ++i) {
+        lo = std::min(lo, a.data()[i]);
+        hi = std::max(hi, a.data()[i]);
+    }
+    EXPECT_LT(lo, 64);  // not washed out
+    EXPECT_GT(hi, 192); // reaches bright values (saturation happens)
+}
+
+TEST(Synth, VideoTranslatesCoherently)
+{
+    // With a (1,1) pan, frame f+1 at (x,y) should roughly equal frame f
+    // at (x+1,y+1) away from the moving object.
+    const auto v = makeTestVideo(64, 48, 2, 1, 1, 11);
+    unsigned matches = 0, total = 0;
+    for (unsigned y = 8; y < 40; ++y) {
+        for (unsigned x = 8; x < 56; ++x) {
+            ++total;
+            const int a = v[1].at(x, y, 0);
+            const int b = v[0].at(x + 1, y + 1, 0);
+            if (std::abs(a - b) <= 2)
+                ++matches;
+        }
+    }
+    EXPECT_GT(static_cast<double>(matches) / total, 0.7);
+}
+
+TEST(Synth, VideoFrameCount)
+{
+    const auto v = makeTestVideo(32, 32, 5, 0, 0, 1);
+    EXPECT_EQ(v.size(), 5u);
+    for (const auto &f : v) {
+        EXPECT_EQ(f.width(), 32u);
+        EXPECT_EQ(f.bands(), 1u);
+    }
+}
+
+} // namespace
+} // namespace msim::img

@@ -1,0 +1,121 @@
+/** @file Unit tests for the instruction model and Table-2 timing. */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+#include "isa/timing.hh"
+
+namespace msim::isa
+{
+namespace
+{
+
+TEST(Inst, MixClassification)
+{
+    EXPECT_EQ(mixClassOf(Op::IntAlu), MixClass::Fu);
+    EXPECT_EQ(mixClassOf(Op::FpDiv), MixClass::Fu);
+    EXPECT_EQ(mixClassOf(Op::Branch), MixClass::Branch);
+    EXPECT_EQ(mixClassOf(Op::Load), MixClass::Memory);
+    EXPECT_EQ(mixClassOf(Op::Store), MixClass::Memory);
+    EXPECT_EQ(mixClassOf(Op::Prefetch), MixClass::Memory);
+    EXPECT_EQ(mixClassOf(Op::VisPdist), MixClass::Vis);
+    EXPECT_EQ(mixClassOf(Op::VisPack), MixClass::Vis);
+}
+
+TEST(Inst, FuClassification)
+{
+    EXPECT_EQ(fuClassOf(Op::IntMul), FuClass::IntUnit);
+    EXPECT_EQ(fuClassOf(Op::Branch), FuClass::IntUnit);
+    EXPECT_EQ(fuClassOf(Op::FpMov), FuClass::FpUnit);
+    EXPECT_EQ(fuClassOf(Op::Load), FuClass::AddrGen);
+    EXPECT_EQ(fuClassOf(Op::VisAdd), FuClass::VisAdder);
+    EXPECT_EQ(fuClassOf(Op::VisMul), FuClass::VisMul);
+    EXPECT_EQ(fuClassOf(Op::VisPdist), FuClass::VisMul);
+    EXPECT_EQ(fuClassOf(Op::VisPack), FuClass::VisAdder);
+}
+
+TEST(Inst, PredicatesAndFlags)
+{
+    Inst in;
+    in.op = Op::Branch;
+    in.flags = kFlagTaken;
+    EXPECT_TRUE(in.isBranch());
+    EXPECT_TRUE(in.taken());
+    EXPECT_FALSE(in.isMem());
+    in.op = Op::Load;
+    in.flags = 0;
+    EXPECT_TRUE(in.isLoad());
+    EXPECT_TRUE(in.isMem());
+    EXPECT_FALSE(in.isVis());
+    in.op = Op::VisAlign;
+    EXPECT_TRUE(in.isVis());
+}
+
+/** Table 2: default integer 1, multiply 7, divide 12, FP 4, div 12. */
+TEST(Timing, Table2Latencies)
+{
+    EXPECT_EQ(timingOf(Op::IntAlu).latency, 1u);
+    EXPECT_EQ(timingOf(Op::IntMul).latency, 7u);
+    EXPECT_EQ(timingOf(Op::IntDiv).latency, 12u);
+    EXPECT_EQ(timingOf(Op::FpAlu).latency, 4u);
+    EXPECT_EQ(timingOf(Op::FpMov).latency, 4u);
+    EXPECT_EQ(timingOf(Op::FpDiv).latency, 12u);
+    EXPECT_EQ(timingOf(Op::VisAdd).latency, 1u);
+    EXPECT_EQ(timingOf(Op::VisMul).latency, 3u);
+    EXPECT_EQ(timingOf(Op::VisPdist).latency, 3u);
+}
+
+TEST(Timing, OnlyFpDivNotPipelined)
+{
+    for (unsigned o = 0; o < kNumOps; ++o) {
+        const Op op = static_cast<Op>(o);
+        EXPECT_EQ(timingOf(op).pipelined, op != Op::FpDiv)
+            << "op " << opName(op);
+    }
+}
+
+TEST(Timing, FuCountsScaleWithWidth)
+{
+    EXPECT_EQ(defaultFuCount(FuClass::IntUnit, 4), 2u);
+    EXPECT_EQ(defaultFuCount(FuClass::FpUnit, 4), 2u);
+    EXPECT_EQ(defaultFuCount(FuClass::AddrGen, 4), 2u);
+    EXPECT_EQ(defaultFuCount(FuClass::VisAdder, 4), 1u);
+    EXPECT_EQ(defaultFuCount(FuClass::VisMul, 4), 1u);
+    for (unsigned c = 0; c < kNumFuClasses; ++c)
+        EXPECT_EQ(defaultFuCount(static_cast<FuClass>(c), 1), 1u);
+}
+
+TEST(CountingSink, TalliesByClass)
+{
+    CountingSink sink;
+    Inst a;
+    a.op = Op::IntAlu;
+    Inst b;
+    b.op = Op::Load;
+    Inst c;
+    c.op = Op::VisMul;
+    sink.feed(a);
+    sink.feed(a);
+    sink.feed(b);
+    sink.feed(c);
+    EXPECT_EQ(sink.total(), 4u);
+    EXPECT_EQ(sink.byMix(MixClass::Fu), 2u);
+    EXPECT_EQ(sink.byMix(MixClass::Memory), 1u);
+    EXPECT_EQ(sink.byMix(MixClass::Vis), 1u);
+    EXPECT_EQ(sink.byOp(Op::IntAlu), 2u);
+}
+
+TEST(Inst, ToStringSmoke)
+{
+    Inst in;
+    in.op = Op::Load;
+    in.addr = 0x1234;
+    in.memSize = 4;
+    in.dst = 7;
+    const std::string s = toString(in);
+    EXPECT_NE(s.find("ld"), std::string::npos);
+    EXPECT_NE(s.find("1234"), std::string::npos);
+}
+
+} // namespace
+} // namespace msim::isa

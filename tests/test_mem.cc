@@ -1,0 +1,260 @@
+/** @file Unit tests for the cache hierarchy, MSHRs, and DRAM model. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/config.hh"
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+
+namespace msim::mem
+{
+namespace
+{
+
+MemConfig
+smallConfig()
+{
+    MemConfig m;
+    m.l1 = CacheConfig{1024, 2, 64, 2, 2, 12, 8};
+    m.l2 = CacheConfig{4096, 4, 64, 1, 20, 12, 8};
+    return m;
+}
+
+TEST(Dram, LatencyAndBanking)
+{
+    DramConfig cfg;
+    Dram dram(cfg);
+    // Two accesses to the same bank serialize on bank occupancy.
+    const auto a = dram.accessLine(0, AccessKind::Load, 0);
+    const auto b = dram.accessLine(4, AccessKind::Load, 0); // bank 0 again
+    EXPECT_EQ(a.ready, cfg.totalLatency);
+    EXPECT_EQ(b.ready, cfg.bankBusy + cfg.totalLatency);
+    EXPECT_TRUE(b.contended);
+    // A different bank is unaffected.
+    const auto c = dram.accessLine(1, AccessKind::Load, 0);
+    EXPECT_EQ(c.ready, cfg.totalLatency);
+    EXPECT_EQ(dram.reads(), 3u);
+}
+
+TEST(Dram, WritebacksCountedAsWrites)
+{
+    Dram dram(DramConfig{});
+    dram.accessLine(0, AccessKind::Writeback, 0);
+    EXPECT_EQ(dram.writes(), 1u);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    const auto miss = l1.access(0x100, AccessKind::Load, 0);
+    EXPECT_EQ(miss.level, HitLevel::Memory);
+    EXPECT_GE(miss.ready, 100u);
+    const auto hit = l1.access(0x104, AccessKind::Load, miss.ready + 10);
+    EXPECT_EQ(hit.level, HitLevel::L1);
+    EXPECT_EQ(hit.ready, miss.ready + 10 + 2);
+    EXPECT_EQ(l1.misses(), 1u);
+    EXPECT_EQ(l1.hits(), 1u);
+}
+
+TEST(Cache, LruReplacement)
+{
+    // 1K, 2-way, 64B lines -> 8 sets. Three lines mapping to set 0:
+    // addresses 0, 512, 1024.
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    Cycle t = 0;
+    t = l1.access(0, AccessKind::Load, t).ready;
+    t = l1.access(512, AccessKind::Load, t).ready;
+    // Touch 0 so 512 becomes LRU.
+    t = l1.access(0, AccessKind::Load, t).ready;
+    t = l1.access(1024, AccessKind::Load, t).ready; // evicts 512
+    const auto r0 = l1.access(0, AccessKind::Load, t);
+    EXPECT_EQ(r0.level, HitLevel::L1);
+    const auto r512 = l1.access(512, AccessKind::Load, r0.ready);
+    EXPECT_EQ(r512.level, HitLevel::Memory);
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    DramConfig dcfg;
+    Dram dram(dcfg);
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    Cycle t = 0;
+    t = l1.access(0, AccessKind::Store, t).ready;     // dirty line 0
+    t = l1.access(512, AccessKind::Load, t).ready;
+    t = l1.access(1024, AccessKind::Load, t).ready;   // evicts dirty 0
+    EXPECT_EQ(l1.writebacks(), 1u);
+    EXPECT_GE(dram.writes(), 1u);
+}
+
+TEST(Cache, MshrCombinesRequestsToSameLine)
+{
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    const auto first = l1.access(0, AccessKind::Load, 0);
+    // A second request to the in-flight line combines; it completes at
+    // the fill, not after a second memory access.
+    const auto second = l1.access(8, AccessKind::Load, 1);
+    EXPECT_EQ(second.ready, first.ready);
+    EXPECT_EQ(l1.misses(), 1u);
+    EXPECT_EQ(l1.combinedRequests(), 1u);
+    EXPECT_EQ(dram.reads(), 1u);
+}
+
+TEST(Cache, CombineLimitBlocksInput)
+{
+    // maxCombines 4: the 5th request to an in-flight line must wait for
+    // the fill and then hits.
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 4, 2, 12, 4}, dram, HitLevel::L1);
+    const auto first = l1.access(0, AccessKind::Store, 0);
+    Cycle t = 1;
+    for (int i = 1; i < 4; ++i)
+        l1.access(static_cast<Addr>(8 * i), AccessKind::Store, t++);
+    const auto blocked = l1.access(40, AccessKind::Store, t);
+    EXPECT_GE(blocked.ready, first.ready);
+    EXPECT_TRUE(blocked.contended);
+    EXPECT_GT(l1.blockedRequests(), 0u);
+}
+
+TEST(Cache, MshrExhaustionBlocksEvenHits)
+{
+    // 2 MSHRs: two outstanding misses block a subsequent hit.
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 4, 2, 2, 8}, dram, HitLevel::L1);
+    Cycle t = 0;
+    const auto warm = l1.access(0, AccessKind::Load, t); // line 0 cached
+    t = warm.ready;
+    // Misses to sets 1, 2 and 3 so the warmed line 0 is not evicted.
+    const auto m1 = l1.access(4096 + 64, AccessKind::Load, t);
+    const auto m2 = l1.access(8192 + 128, AccessKind::Load, t + 1);
+    // Third miss finds no MSHR: the cache input backs up.
+    const auto m3 = l1.access(16384 + 192, AccessKind::Load, t + 2);
+    EXPECT_TRUE(m3.contended);
+    EXPECT_GT(m3.ready, std::max(m1.ready, m2.ready));
+    // With the input blocked, even a hit to the resident line 0 waits.
+    const auto hit = l1.access(0, AccessKind::Load, t + 3);
+    EXPECT_EQ(hit.level, HitLevel::L1);
+    EXPECT_GT(hit.ready, std::min(m1.ready, m2.ready));
+    EXPECT_TRUE(hit.contended);
+}
+
+TEST(Cache, PrefetchDroppedWhenMshrsFull)
+{
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 4, 2, 2, 8}, dram, HitLevel::L1);
+    l1.access(4096, AccessKind::Load, 0);
+    l1.access(8192, AccessKind::Load, 1);
+    const auto p = l1.access(16384, AccessKind::Prefetch, 2);
+    EXPECT_TRUE(p.dropped);
+    EXPECT_EQ(l1.prefetchDrops(), 1u);
+}
+
+TEST(Cache, PrefetchWarmsTheCache)
+{
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    const auto p = l1.access(0x200, AccessKind::Prefetch, 0);
+    EXPECT_FALSE(p.dropped);
+    // Prefetch returns immediately for the issuer...
+    EXPECT_LE(p.ready, 1u);
+    // ...and a later demand load hits.
+    const auto hit = l1.access(0x200, AccessKind::Load, 200);
+    EXPECT_EQ(hit.level, HitLevel::L1);
+}
+
+TEST(Cache, PortContentionSerializes)
+{
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 1, 2, 12, 8}, dram, HitLevel::L1);
+    Cycle t = 0;
+    t = l1.access(0, AccessKind::Load, 0).ready;
+    // Three hits issued the same cycle on a single-ported cache.
+    const auto a = l1.access(0, AccessKind::Load, t);
+    const auto b = l1.access(8, AccessKind::Load, t);
+    const auto c = l1.access(16, AccessKind::Load, t);
+    EXPECT_EQ(a.ready, t + 2);
+    EXPECT_EQ(b.ready, t + 3);
+    EXPECT_EQ(c.ready, t + 4);
+}
+
+TEST(Cache, MshrOccupancyTracked)
+{
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    l1.access(4096, AccessKind::Load, 0);
+    l1.access(8192, AccessKind::Load, 1);
+    l1.access(12288, AccessKind::Load, 2);
+    // Force an occupancy sample well after the misses began.
+    l1.access(4096, AccessKind::Load, 50);
+    EXPECT_GE(l1.mshrOccupancy().peakOccupancy(), 2u);
+    EXPECT_GT(l1.loadOverlap().samples(), 0u);
+}
+
+TEST(Hierarchy, L2HitFasterThanMemory)
+{
+    Hierarchy h(smallConfig());
+    // First access: L1 and L2 miss, goes to memory.
+    const auto miss = h.access(0, AccessKind::Load, 0);
+    EXPECT_EQ(miss.level, HitLevel::Memory);
+    // Evict line 0 from tiny L1 by touching its set; L2 still holds it.
+    Cycle t = miss.ready;
+    t = h.access(512, AccessKind::Load, t).ready;
+    t = h.access(1024, AccessKind::Load, t).ready;
+    const auto l2hit = h.access(0, AccessKind::Load, t);
+    EXPECT_EQ(l2hit.level, HitLevel::L2);
+    EXPECT_LT(l2hit.ready - t, 60u);
+    EXPECT_GE(l2hit.ready - t, 20u);
+}
+
+TEST(Hierarchy, StatsExposed)
+{
+    Hierarchy h(smallConfig());
+    h.access(0, AccessKind::Load, 0);
+    EXPECT_EQ(h.l1().accesses(), 1u);
+    EXPECT_EQ(h.l2().accesses(), 1u);
+    EXPECT_EQ(h.dram().reads(), 1u);
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    Dram dram(DramConfig{});
+    EXPECT_DEATH(
+        {
+            Cache bad(CacheConfig{1000, 3, 64, 2, 2, 12, 8}, dram,
+                      HitLevel::L1);
+        },
+        "");
+}
+
+/** Streaming sweep: miss rate matches 1/(accesses-per-line). */
+class StreamMissTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(StreamMissTest, MissRateMatchesStride)
+{
+    const unsigned stride = GetParam();
+    Dram dram(DramConfig{});
+    Cache l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    Cycle t = 0;
+    const unsigned n = 2048;
+    for (unsigned i = 0; i < n; ++i) {
+        const auto r = l1.access(0x40000 + Addr{i} * stride,
+                                 AccessKind::Load, t);
+        t = r.ready;
+    }
+    const double expected =
+        stride >= 64 ? 1.0 : static_cast<double>(stride) / 64.0;
+    EXPECT_NEAR(l1.missRate(), expected, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StreamMissTest,
+                         ::testing::Values(1u, 4u, 16u, 64u, 128u));
+
+} // namespace
+} // namespace msim::mem

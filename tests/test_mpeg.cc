@@ -1,0 +1,256 @@
+/** @file Tests for the MPEG2-style codec and its traced benchmarks. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+#include "mpeg/codec.hh"
+#include "mpeg/motion.hh"
+#include "mpeg/traced.hh"
+#include "prog/trace_builder.hh"
+
+namespace msim::mpeg
+{
+namespace
+{
+
+SeqConfig
+smallCfg()
+{
+    SeqConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    cfg.searchRange = 2;
+    return cfg;
+}
+
+TEST(Motion, SadZeroForIdenticalBlocks)
+{
+    Plane p(32, 32);
+    for (unsigned y = 0; y < 32; ++y)
+        for (unsigned x = 0; x < 32; ++x)
+            p.at(x, y) = static_cast<u8>(x * 7 + y * 3);
+    EXPECT_EQ(sadBlock(p, 4, 4, p, 4, 4, 16, 16), 0u);
+    EXPECT_GT(sadBlock(p, 4, 4, p, 5, 4, 16, 16), 0u);
+}
+
+TEST(Motion, FullSearchFindsPlantedShift)
+{
+    // ref = cur shifted by (+2, +1): search must find mv (2, 1).
+    Plane cur(64, 64), ref(64, 64);
+    for (unsigned y = 0; y < 64; ++y)
+        for (unsigned x = 0; x < 64; ++x)
+            cur.at(x, y) = static_cast<u8>((x * 13 + y * 7 + x * y) & 0xff);
+    for (unsigned y = 0; y < 64; ++y)
+        for (unsigned x = 0; x < 64; ++x) {
+            const unsigned sx = std::min(x + 2, 63u);
+            const unsigned sy = std::min(y + 1, 63u);
+            ref.at(x, y) = cur.at(sx, sy);
+        }
+    // Block at (16,16) in cur matches ref at (14,15) => mv (-2,-1).
+    const MotionMatch m = fullSearch(cur, 16, 16, ref, 3);
+    EXPECT_EQ(m.mv.dx, -2);
+    EXPECT_EQ(m.mv.dy, -1);
+    EXPECT_EQ(m.sad, 0u);
+}
+
+TEST(Motion, SearchClampsAtFrameEdges)
+{
+    Plane cur(32, 32), ref(32, 32);
+    const MotionMatch m = fullSearch(cur, 0, 0, ref, 4);
+    // Candidates with negative coordinates were skipped.
+    EXPECT_GE(m.mv.dx, 0);
+    EXPECT_GE(m.mv.dy, 0);
+}
+
+TEST(Motion, AveragePredictionRounds)
+{
+    const u8 a[4] = {0, 10, 255, 3};
+    const u8 b[4] = {1, 20, 255, 4};
+    u8 out[4];
+    averagePrediction(a, b, 4, out);
+    EXPECT_EQ(out[0], 1);   // (0+1+1)>>1
+    EXPECT_EQ(out[1], 15);
+    EXPECT_EQ(out[2], 255);
+    EXPECT_EQ(out[3], 4);
+}
+
+TEST(Motion, ChromaVectorsHalved)
+{
+    Plane ref(32, 32);
+    for (unsigned y = 0; y < 32; ++y)
+        for (unsigned x = 0; x < 32; ++x)
+            ref.at(x, y) = static_cast<u8>(x + 100 * y);
+    u8 out[64];
+    fetchPrediction(ref, 8, 8, MotionVector{3, 2}, 8, out);
+    EXPECT_EQ(out[0], ref.at(8 + 1, 8 + 1)); // dx/2=1, dy/2=1
+}
+
+TEST(Codec, SequenceRoundtrip)
+{
+    const SeqConfig cfg = smallCfg();
+    const auto frames = makeTestSequence(cfg, 5);
+    ASSERT_EQ(frames.size(), 4u);
+    const EncodedSeq enc = encodeMpeg(frames, cfg);
+    EXPECT_EQ(enc.frames.size(), 4u);
+    EXPECT_EQ(enc.frames[0].type, 'I');
+    EXPECT_EQ(enc.frames[1].type, 'P');
+    EXPECT_EQ(enc.frames[2].type, 'B');
+    EXPECT_EQ(enc.frames[3].type, 'B');
+
+    const auto out = decodeMpeg(enc);
+    ASSERT_EQ(out.size(), 4u);
+    for (unsigned f = 0; f < 4; ++f) {
+        double mse = 0;
+        const auto &a = frames[f].y.samples;
+        const auto &b = out[f].y.samples;
+        for (size_t i = 0; i < a.size(); ++i) {
+            const double d = double(a[i]) - b[i];
+            mse += d * d;
+        }
+        mse /= double(a.size());
+        const double psnr = 10 * std::log10(255.0 * 255.0 / mse);
+        EXPECT_GT(psnr, 22.0) << "frame " << f;
+    }
+}
+
+TEST(Codec, DecoderReproducesEncoderRecon)
+{
+    // The in-loop reconstruction and the decoder must agree exactly
+    // (no drift) for the reference frames.
+    const SeqConfig cfg = smallCfg();
+    const auto frames = makeTestSequence(cfg, 6);
+    const EncodedSeq enc = encodeMpeg(frames, cfg);
+    const auto out = decodeMpeg(enc);
+    EXPECT_EQ(out[0].y.samples, enc.recon[0].y.samples);
+    EXPECT_EQ(out[3].y.samples, enc.recon[1].y.samples);
+    EXPECT_EQ(out[0].cb.samples, enc.recon[0].cb.samples);
+    EXPECT_EQ(out[3].cr.samples, enc.recon[1].cr.samples);
+}
+
+TEST(Codec, PFrameUsesMotionVectors)
+{
+    const SeqConfig cfg = smallCfg();
+    const auto frames = makeTestSequence(cfg, 7);
+    const EncodedSeq enc = encodeMpeg(frames, cfg);
+    unsigned inter = 0, moved = 0;
+    for (const MbCode &mb : enc.frames[1].mbs) {
+        if (mb.mode == MbMode::Fwd) {
+            ++inter;
+            if (mb.fwd.dx != 0 || mb.fwd.dy != 0)
+                ++moved;
+        }
+    }
+    EXPECT_GT(inter, 0u);
+    // The synthetic pan means most matched blocks carry nonzero MVs.
+    EXPECT_GT(moved, inter / 2);
+}
+
+TEST(Codec, BFramesUseBidirectionalModes)
+{
+    const SeqConfig cfg = smallCfg();
+    const auto frames = makeTestSequence(cfg, 8);
+    const EncodedSeq enc = encodeMpeg(frames, cfg);
+    unsigned modes[4] = {};
+    for (unsigned fi : {2u, 3u})
+        for (const MbCode &mb : enc.frames[fi].mbs)
+            ++modes[static_cast<unsigned>(mb.mode)];
+    // At least two distinct prediction modes in use across B frames.
+    unsigned distinct = 0;
+    for (unsigned m = 1; m < 4; ++m)
+        distinct += modes[m] > 0;
+    EXPECT_GE(distinct, 2u);
+}
+
+TEST(Codec, FrameBitsRoundtrip)
+{
+    const SeqConfig cfg = smallCfg();
+    const auto frames = makeTestSequence(cfg, 9);
+    const EncodedSeq enc = encodeMpeg(frames, cfg);
+    for (const FrameCode &fc : enc.frames) {
+        FrameCode parsed;
+        parsed.type = fc.type;
+        parsed.bits = fc.bits;
+        readFrameBits(parsed, static_cast<unsigned>(fc.mbs.size()));
+        ASSERT_EQ(parsed.mbs.size(), fc.mbs.size());
+        for (size_t i = 0; i < fc.mbs.size(); ++i) {
+            EXPECT_EQ(parsed.mbs[i].mode, fc.mbs[i].mode);
+            EXPECT_EQ(parsed.mbs[i].cbp, fc.mbs[i].cbp);
+            EXPECT_EQ(parsed.mbs[i].fwd, fc.mbs[i].fwd);
+            for (unsigned b = 0; b < 6; ++b)
+                for (unsigned k = 0; k < 64; ++k)
+                    ASSERT_EQ(parsed.mbs[i].blocks[b][k],
+                              fc.mbs[i].blocks[b][k]);
+        }
+    }
+}
+
+TEST(Codec, CbpSkipsZeroBlocks)
+{
+    // A static sequence yields many zero residual blocks.
+    SeqConfig cfg = smallCfg();
+    auto frames = makeTestSequence(cfg, 10);
+    frames[1] = frames[0];
+    frames[2] = frames[0];
+    frames[3] = frames[0];
+    const EncodedSeq enc = encodeMpeg(frames, cfg);
+    unsigned zeroed = 0, total = 0;
+    for (const MbCode &mb : enc.frames[1].mbs) {
+        if (mb.mode == MbMode::Intra)
+            continue;
+        for (unsigned b = 0; b < 6; ++b, ++total)
+            zeroed += !(mb.cbp & (1u << b));
+    }
+    EXPECT_GT(zeroed, total / 2);
+}
+
+// --- Traced benchmarks ------------------------------------------------
+
+class TracedMpegTest : public ::testing::TestWithParam<prog::Variant>
+{
+};
+
+TEST_P(TracedMpegTest, EncoderVerifies)
+{
+    isa::CountingSink sink;
+    prog::TraceBuilder tb(sink);
+    runMpegEnc(tb, GetParam(), smallCfg());
+    EXPECT_GT(sink.total(), 100000u);
+}
+
+TEST_P(TracedMpegTest, DecoderVerifies)
+{
+    isa::CountingSink sink;
+    prog::TraceBuilder tb(sink);
+    runMpegDec(tb, GetParam(), smallCfg());
+    EXPECT_GT(sink.total(), 10000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TracedMpegTest,
+                         ::testing::Values(prog::Variant::Scalar,
+                                           prog::Variant::Vis),
+                         [](const auto &info) {
+                             return info.param == prog::Variant::Scalar
+                                        ? "scalar"
+                                        : "vis";
+                         });
+
+TEST(TracedMpeg, PdistCollapsesMotionEstimation)
+{
+    isa::CountingSink s1, s2;
+    prog::TraceBuilder t1(s1), t2(s2);
+    runMpegEnc(t1, prog::Variant::Scalar, smallCfg());
+    runMpegEnc(t2, prog::Variant::Vis, smallCfg());
+    // Paper: mpeg-enc VIS drops to ~33% of the base instruction count,
+    // dominated by pdist in motion estimation.
+    const double ratio = double(s2.total()) / double(s1.total());
+    EXPECT_LT(ratio, 0.6);
+    EXPECT_GT(s2.byOp(isa::Op::VisPdist), 1000u);
+    // Branch count collapses too (|a-b| branches disappear).
+    EXPECT_LT(s2.byMix(isa::MixClass::Branch),
+              s1.byMix(isa::MixClass::Branch) / 2);
+}
+
+} // namespace
+} // namespace msim::mpeg

@@ -1,0 +1,105 @@
+/** @file Tests for the multiprocessor extension (shared L2 + DRAM). */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/addition.hh"
+#include "kernels/conv.hh"
+#include "prog/trace_builder.hh"
+#include "sim/multicore.hh"
+
+namespace msim::sim
+{
+namespace
+{
+
+using prog::TraceBuilder;
+using prog::Variant;
+
+Generator
+convSlice(unsigned rows)
+{
+    return [rows](TraceBuilder &tb) {
+        kernels::runConv(tb, Variant::Vis, 128, rows);
+    };
+}
+
+Generator
+additionSlice(unsigned rows)
+{
+    return [rows](TraceBuilder &tb) {
+        kernels::runAddition(tb, Variant::Vis, 128, rows, 3);
+    };
+}
+
+TEST(Multicore, SingleCoreMatchesWorkShape)
+{
+    const auto r = runTraceMulti({convSlice(32)}, outOfOrder4Way());
+    ASSERT_EQ(r.cores.size(), 1u);
+    EXPECT_GT(r.cores[0].retired, 10000u);
+    EXPECT_EQ(r.makespan, r.cores[0].cycles);
+    EXPECT_GT(r.l2.accesses, 0u);
+}
+
+TEST(Multicore, ComputeBoundWorkScales)
+{
+    const auto one = runTraceMulti({convSlice(32)}, outOfOrder4Way());
+    const auto two = runTraceMulti({convSlice(16), convSlice(16)},
+                                   outOfOrder4Way());
+    const double speedup =
+        double(one.makespan) / double(two.makespan);
+    EXPECT_GT(speedup, 1.4);
+    EXPECT_LE(speedup, 2.3);
+}
+
+TEST(Multicore, MemoryBoundWorkScalesWorse)
+{
+    const auto one =
+        runTraceMulti({additionSlice(64)}, outOfOrder4Way());
+    std::vector<Generator> four;
+    for (int i = 0; i < 4; ++i)
+        four.push_back(additionSlice(16));
+    const auto multi = runTraceMulti(four, outOfOrder4Way());
+    const double speedup =
+        double(one.makespan) / double(multi.makespan);
+    // Shared-memory contention keeps this well under linear.
+    EXPECT_LT(speedup, 3.0);
+    EXPECT_GE(speedup, 0.9);
+}
+
+TEST(Multicore, CoresUseDisjointAddressRegions)
+{
+    // Two identical workloads must still generate distinct L2 traffic
+    // (no aliasing between the cores' arenas).
+    const auto two = runTraceMulti({additionSlice(16), additionSlice(16)},
+                                   outOfOrder4Way());
+    const auto one = runTraceMulti({additionSlice(16)}, outOfOrder4Way());
+    // Each core streams its own copy: roughly double the DRAM lines.
+    EXPECT_GT(two.dramReads + two.dramWrites,
+              (one.dramReads + one.dramWrites) * 3 / 2);
+}
+
+TEST(Multicore, Deterministic)
+{
+    const auto a = runTraceMulti({convSlice(16), convSlice(16)},
+                                 outOfOrder4Way());
+    const auto b = runTraceMulti({convSlice(16), convSlice(16)},
+                                 outOfOrder4Way());
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.dramReads, b.dramReads);
+}
+
+TEST(Multicore, QuantumSizeIsSecondOrder)
+{
+    const auto fine = runTraceMulti({convSlice(16), convSlice(16)},
+                                    outOfOrder4Way(), 100);
+    const auto coarse = runTraceMulti({convSlice(16), convSlice(16)},
+                                      outOfOrder4Way(), 2000);
+    const double delta = std::abs(double(fine.makespan) -
+                                  double(coarse.makespan));
+    EXPECT_LT(delta / double(fine.makespan), 0.10);
+}
+
+} // namespace
+} // namespace msim::sim

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Reproduction-invariant tests: the paper's headline qualitative claims
+ * must hold on this apparatus. These run on moderately sized workloads
+ * (smaller than the bench harnesses, larger than the unit tests) so
+ * they stay meaningful but fast.
+ */
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "jpeg/traced.hh"
+#include "kernels/addition.hh"
+#include "kernels/blend.hh"
+#include "kernels/dotprod.hh"
+#include "kernels/scaling.hh"
+#include "kernels/thresh.hh"
+#include "mpeg/traced.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace msim
+{
+namespace
+{
+
+using prog::TraceBuilder;
+using prog::Variant;
+using sim::Generator;
+
+sim::RunResult
+run(const Generator &gen, const sim::MachineConfig &m)
+{
+    return sim::runTrace(gen, m);
+}
+
+/** Moderate-size kernel generators by name (avoids the differing
+ *  default-parameter signatures of the kernel entry points). */
+Generator
+kernelGen(const char *name, Variant var)
+{
+    const std::string n = name;
+    return [n, var](TraceBuilder &tb) {
+        if (n == "addition")
+            kernels::runAddition(tb, var, 160, 64, 3);
+        else if (n == "blend")
+            kernels::runBlend(tb, var, 160, 64, 3);
+        else if (n == "scaling")
+            kernels::runScaling(tb, var, 160, 64, 3);
+        else if (n == "thresh")
+            kernels::runThresh(tb, var, 160, 64, 3);
+    };
+}
+
+/** Section 3.1: multiple issue helps a little, OOO helps a lot. */
+TEST(PaperClaims, IlpSpeedupsInRange)
+{
+    const auto gen = kernelGen("blend", Variant::Scalar);
+    const double t1 =
+        double(run(gen, sim::inOrder1Way()).exec.cycles);
+    const double t4 =
+        double(run(gen, sim::inOrder4Way()).exec.cycles);
+    const double to =
+        double(run(gen, sim::outOfOrder4Way()).exec.cycles);
+    const double multi = t1 / t4;
+    const double ilp = t1 / to;
+    EXPECT_GE(multi, 1.05); // paper: 1.1X - 1.4X
+    EXPECT_LE(multi, 1.8);
+    EXPECT_GE(ilp, 1.5); // paper: 2.3X - 4.2X
+    EXPECT_LE(ilp, 8.0);
+}
+
+/** Section 3.2: VIS gives 1.1X-4.2X on top of the ooo machine. */
+TEST(PaperClaims, VisSpeedupInRange)
+{
+    const auto base =
+        run(kernelGen("scaling", Variant::Scalar),
+            sim::outOfOrder4Way());
+    const auto vis = run(kernelGen("scaling", Variant::Vis),
+                         sim::outOfOrder4Way());
+    const double speedup =
+        double(base.exec.cycles) / double(vis.exec.cycles);
+    EXPECT_GE(speedup, 1.1);
+    EXPECT_LE(speedup, 6.0);
+}
+
+/** Section 3.3: ILP+VIS makes the streaming kernels memory-bound. */
+TEST(PaperClaims, StreamingKernelsGoMemoryBound)
+{
+    for (const char *name : {"addition", "blend", "scaling", "thresh"}) {
+        const auto r = run(kernelGen(name, Variant::Vis),
+                           sim::outOfOrder4Way());
+        const double mem =
+            r.exec.fracMemL1Hit() + r.exec.fracMemL1Miss();
+        EXPECT_GT(mem, 0.40) << name << " not memory-bound";
+    }
+}
+
+/** Section 4.2: with prefetching they revert to compute-bound. */
+TEST(PaperClaims, PrefetchRevertsToComputeBound)
+{
+    for (const char *name : {"addition", "blend"}) {
+        const auto r = run(kernelGen(name, Variant::VisPrefetch),
+                           sim::outOfOrder4Way());
+        const double mem =
+            r.exec.fracMemL1Hit() + r.exec.fracMemL1Miss();
+        EXPECT_LT(mem, 0.50) << name << " still memory-bound with PF";
+    }
+}
+
+/** Section 3.2.3: dotprod benefits least (16x16 multiply emulation). */
+TEST(PaperClaims, DotprodIsTheWorstVisKernel)
+{
+    auto ratio = [](const Generator &s, const Generator &v) {
+        const auto rs = run(s, sim::outOfOrder4Way());
+        const auto rv = run(v, sim::outOfOrder4Way());
+        return double(rv.tbInstrs) / double(rs.tbInstrs);
+    };
+    const double dot = ratio(
+        [](TraceBuilder &tb) {
+            kernels::runDotprod(tb, Variant::Scalar, 32768);
+        },
+        [](TraceBuilder &tb) {
+            kernels::runDotprod(tb, Variant::Vis, 32768);
+        });
+    const double blend =
+        ratio(kernelGen("blend", Variant::Scalar),
+              kernelGen("blend", Variant::Vis));
+    EXPECT_GT(dot, blend);
+}
+
+/** Section 3.2.2: VIS removes thresh's hard-to-predict branches. */
+TEST(PaperClaims, VisFixesThreshMispredicts)
+{
+    const auto base =
+        run(kernelGen("thresh", Variant::Scalar),
+            sim::outOfOrder4Way());
+    const auto vis = run(kernelGen("thresh", Variant::Vis),
+                         sim::outOfOrder4Way());
+    EXPECT_GT(base.exec.mispredictRate(), 0.03); // paper: ~6%
+    EXPECT_LT(vis.exec.mispredictRate(), 0.01);  // paper: ~0%
+}
+
+/** Section 3.2.2: pdist collapses mpeg-enc's motion estimation. */
+TEST(PaperClaims, PdistShrinksMpegEnc)
+{
+    mpeg::SeqConfig cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    auto gen = [&cfg](Variant v) {
+        return [&cfg, v](TraceBuilder &tb) { mpeg::runMpegEnc(tb, v, cfg); };
+    };
+    const auto base = run(gen(Variant::Scalar), sim::outOfOrder4Way());
+    const auto vis = run(gen(Variant::Vis), sim::outOfOrder4Way());
+    EXPECT_LT(double(vis.tbInstrs), 0.6 * double(base.tbInstrs));
+    EXPECT_LT(vis.exec.mispredictRate(), base.exec.mispredictRate());
+}
+
+/** Section 4.1: blocked (non-progressive) JPEG is cache-insensitive. */
+TEST(PaperClaims, BaselineJpegCacheInsensitive)
+{
+    auto gen = [](TraceBuilder &tb) {
+        jpeg::runCjpeg(tb, Variant::Vis, /*progressive=*/false, 96, 64);
+    };
+    const auto small = run(gen, sim::withL2Size(32 << 10));
+    const auto big = run(gen, sim::withL2Size(2 << 20));
+    const double delta = std::abs(double(small.exec.cycles) -
+                                  double(big.exec.cycles));
+    EXPECT_LT(delta / double(small.exec.cycles), 0.08);
+}
+
+} // namespace
+} // namespace msim

@@ -1,0 +1,295 @@
+/** @file Unit tests for the arena and trace builder. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.hh"
+#include "prog/arena.hh"
+#include "prog/trace_builder.hh"
+
+namespace msim::prog
+{
+namespace
+{
+
+using isa::Inst;
+using isa::Op;
+
+/** Sink that records every instruction. */
+class RecordingSink : public isa::InstSink
+{
+  public:
+    void feed(const Inst &inst) override { insts.push_back(inst); }
+    void finish() override { finished = true; }
+
+    std::vector<Inst> insts;
+    bool finished = false;
+};
+
+TEST(Arena, ReadWriteRoundtrip)
+{
+    Arena a;
+    const Addr p = a.alloc(64, "x");
+    a.write(p, 4, 0xdeadbeef);
+    EXPECT_EQ(a.read(p, 4), 0xdeadbeefu);
+    a.write(p + 8, 8, 0x1122334455667788ull);
+    EXPECT_EQ(a.read(p + 8, 8), 0x1122334455667788ull);
+    // Little-endian byte order.
+    EXPECT_EQ(a.read(p + 8, 1), 0x88u);
+}
+
+TEST(Arena, MaskedWrite)
+{
+    Arena a;
+    const Addr p = a.alloc(8);
+    a.write(p, 8, 0x1111111111111111ull);
+    a.writeMasked(p, 0x2222222222222222ull, 0x0f);
+    EXPECT_EQ(a.read(p, 8), 0x1111111122222222ull);
+}
+
+TEST(Arena, BulkCopies)
+{
+    Arena a;
+    const Addr p = a.alloc(16);
+    const u8 src[4] = {1, 2, 3, 4};
+    a.writeBytes(p, src, 4);
+    u8 dst[4] = {};
+    a.readBytes(p, dst, 4);
+    EXPECT_EQ(dst[2], 3);
+}
+
+TEST(Arena, AllocationsDisjointAndAligned)
+{
+    Arena a;
+    const Addr p1 = a.alloc(100, "a", 64);
+    const Addr p2 = a.alloc(100, "b", 64);
+    EXPECT_EQ(p1 % 64, 0u);
+    EXPECT_EQ(p2 % 64, 0u);
+    EXPECT_GE(p2, p1 + 100);
+}
+
+TEST(Arena, SkewChangesRelativeOffsets)
+{
+    Arena skewed(true), packed(false);
+    const Addr s1 = skewed.alloc(4096, "a", 64);
+    const Addr s2 = skewed.alloc(4096, "b", 64);
+    const Addr q1 = packed.alloc(4096, "a", 64);
+    const Addr q2 = packed.alloc(4096, "b", 64);
+    // Without skew, large arrays land on L1-way boundaries (the
+    // conflict-prone unmodified-VSDK layout of paper footnote 3)...
+    EXPECT_EQ(q1 % (32 * 1024), 0u);
+    EXPECT_EQ(q2 % (32 * 1024), 0u);
+    // ...while skewing staggers the bases by sub-way offsets.
+    EXPECT_NE(s2 % (32 * 1024), s1 % (32 * 1024));
+}
+
+TEST(TraceBuilder, ArithmeticValuesAndDeps)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    Val a = tb.imm(5);
+    Val b = tb.imm(7);
+    Val c = tb.add(a, b);
+    EXPECT_EQ(c.data, 12u);
+    Val d = tb.mul(c, tb.imm(3));
+    EXPECT_EQ(d.data, 36u);
+    Val e = tb.sub(d, c);
+    EXPECT_EQ(e.data, 24u);
+    ASSERT_EQ(sink.insts.size(), 3u);
+    // The subtract depends on both earlier results.
+    EXPECT_EQ(sink.insts[2].src[0], d.id);
+    EXPECT_EQ(sink.insts[2].src[1], c.id);
+    // Immediates are free: first inst has no sources.
+    EXPECT_EQ(sink.insts[0].numSrcs, 0u);
+}
+
+TEST(TraceBuilder, SignedOps)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    Val m = tb.imm(static_cast<u64>(s64{-20}));
+    EXPECT_EQ(tb.sra(m, 2).s(), -5);
+    EXPECT_EQ(tb.cmpLt(m, tb.imm(0)).data, 1u);
+    EXPECT_EQ(tb.cmpLe(tb.imm(3), tb.imm(3)).data, 1u);
+    EXPECT_EQ(tb.cmpEq(tb.imm(3), tb.imm(4)).data, 0u);
+    EXPECT_EQ(tb.div(tb.imm(static_cast<u64>(s64{-9})), tb.imm(2)).s(),
+              -4);
+}
+
+TEST(TraceBuilder, FloatOps)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    Val a = tb.fimm(1.5);
+    Val b = tb.fimm(2.5);
+    EXPECT_DOUBLE_EQ(TraceBuilder::asF(tb.fadd(a, b)), 4.0);
+    EXPECT_DOUBLE_EQ(TraceBuilder::asF(tb.fmul(a, b)), 3.75);
+    EXPECT_DOUBLE_EQ(TraceBuilder::asF(tb.fdiv(b, a)),
+                     2.5 / 1.5);
+    EXPECT_EQ(tb.fcvtToInt(tb.fimm(7.9)).s(), 7);
+    EXPECT_EQ(sink.insts[0].op, Op::FpAlu);
+    EXPECT_EQ(sink.insts[1].op, Op::FpMul);
+    EXPECT_EQ(sink.insts[2].op, Op::FpDiv);
+}
+
+TEST(TraceBuilder, LoadStoreThroughArena)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink, true, /*explicit_addressing=*/false);
+    const Addr p = tb.alloc(16);
+    tb.store(p, 2, tb.imm(0xabcd));
+    Val v = tb.load(p, 2);
+    EXPECT_EQ(v.data, 0xabcdu);
+    Val s = tb.load(p, 2, Val{}, /*sign=*/true);
+    EXPECT_EQ(s.s(), static_cast<s16>(0xabcd));
+    ASSERT_EQ(sink.insts.size(), 3u);
+    EXPECT_TRUE(sink.insts[0].isStore());
+    EXPECT_TRUE(sink.insts[1].isLoad());
+    EXPECT_EQ(sink.insts[1].addr, p);
+    EXPECT_EQ(sink.insts[1].memSize, 2u);
+}
+
+TEST(TraceBuilder, ExplicitAddressingAddsOneOpPerAccess)
+{
+    RecordingSink s1, s2;
+    TraceBuilder lean(s1, true, false), fat(s2, true, true);
+    const Addr p1 = lean.alloc(8);
+    const Addr p2 = fat.alloc(8);
+    lean.store(p1, 1, lean.imm(1));
+    lean.load(p1, 1);
+    fat.store(p2, 1, fat.imm(1));
+    fat.load(p2, 1);
+    EXPECT_EQ(s1.insts.size(), 2u);
+    EXPECT_EQ(s2.insts.size(), 4u);
+    EXPECT_EQ(s2.insts[0].op, Op::IntAlu); // the address computation
+}
+
+TEST(TraceBuilder, BranchCarriesOutcomeAndPc)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    const u32 pc = tb.makePc("loop");
+    Val c = tb.cmpLt(tb.imm(1), tb.imm(2));
+    tb.branch(pc, true, c);
+    tb.branch(pc, false);
+    ASSERT_EQ(sink.insts.size(), 3u);
+    EXPECT_TRUE(sink.insts[1].isBranch());
+    EXPECT_TRUE(sink.insts[1].taken());
+    EXPECT_EQ(sink.insts[1].pc, pc);
+    EXPECT_FALSE(sink.insts[2].taken());
+}
+
+TEST(TraceBuilder, VisOpsComputeAndClassify)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink, true, false);
+    const Addr p = tb.alloc(16);
+    tb.arena().write(p, 8, 0x0807060504030201ull);
+    Val v = tb.vload(p);
+    EXPECT_EQ(v.data, 0x0807060504030201ull);
+    Val e = tb.vfexpand(v);
+    EXPECT_EQ(e.data & 0xffff, 0x010u); // byte 1 << 4
+    Val sum = tb.vfpadd16(e, e);
+    tb.setGsrScale(2);
+    Val packed = tb.vfpack16(sum);
+    EXPECT_EQ(packed.data & 0xff, 0x01u); // (1<<4 + 1<<4) <<2 >>7 == 1
+    Val dist = tb.vpdist(v, tb.imm(0), tb.imm(0));
+    EXPECT_EQ(dist.data, 1u + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+    EXPECT_EQ(tb.countOf(Op::VisPack), 2u);
+    EXPECT_EQ(tb.countOf(Op::VisAdd), 1u);
+    EXPECT_EQ(tb.countOf(Op::VisPdist), 1u);
+    EXPECT_EQ(tb.countOf(Op::VisGsr), 1u);
+}
+
+TEST(TraceBuilder, PartialStoreWritesSelectedLanes)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink, true, false);
+    const Addr p = tb.alloc(8);
+    tb.vstore(p, tb.imm(0x1111111111111111ull));
+    tb.vstorePartial(p, tb.imm(0x2222222222222222ull), tb.imm(0xf0));
+    EXPECT_EQ(tb.arena().read(p, 8), 0x2222222211111111ull);
+    EXPECT_TRUE(sink.insts.back().flags & isa::kFlagPartialStore);
+}
+
+TEST(TraceBuilder, AlignAddrSetsGsrAlign)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    const Addr a = tb.visAlignAddr(0x10003);
+    EXPECT_EQ(a, 0x10000u);
+    EXPECT_EQ(tb.gsr().align, 3u);
+}
+
+TEST(TraceBuilder, PrefetchEmitsPrefetchOp)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink, true, false);
+    const Addr p = tb.alloc(64);
+    tb.prefetch(p);
+    ASSERT_EQ(sink.insts.size(), 1u);
+    EXPECT_TRUE(sink.insts[0].isPrefetch());
+}
+
+TEST(TraceBuilder, FinishForwardsToSink)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    tb.finish();
+    EXPECT_TRUE(sink.finished);
+}
+
+TEST(TraceBuilder, InstCountTracksEmission)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink, true, false);
+    tb.add(tb.imm(1), tb.imm(2));
+    tb.mul(tb.imm(1), tb.imm(2));
+    const Addr p = tb.alloc(8);
+    tb.load(p, 1);
+    EXPECT_EQ(tb.instCount(), 3u);
+    EXPECT_EQ(tb.countOf(Op::IntAlu), 1u);
+    EXPECT_EQ(tb.countOf(Op::IntMul), 1u);
+    EXPECT_EQ(tb.countOf(Op::Load), 1u);
+}
+
+TEST(TraceBuilder, Mul16DispatchesOnIsaFeatures)
+{
+    RecordingSink s1, s2;
+    TraceBuilder vis(s1, true, false);
+    VisFeatures mmx_features;
+    mmx_features.direct16x16Mul = true;
+    mmx_features.hasPmaddwd = true;
+    TraceBuilder mmx(s2, true, false, mmx_features);
+
+    Val a1 = vis.imm(0x0102030405060708ull);
+    Val b1 = vis.imm(0x1112131415161718ull);
+    Val r1 = vis.vmul16(a1, b1);
+    Val r2 = mmx.vmul16(mmx.imm(a1.data), mmx.imm(b1.data));
+    EXPECT_EQ(r1.data, r2.data);     // identical arithmetic...
+    EXPECT_EQ(s1.insts.size(), 3u);  // ...3 ops on VIS
+    EXPECT_EQ(s2.insts.size(), 1u);  // ...1 op on MMX
+    EXPECT_EQ(mmx.vpmaddwd(mmx.imm(1), mmx.imm(2)).id != kNoVal, true);
+}
+
+TEST(TraceBuilder, PmaddwdRequiresFeature)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink); // default VIS features: no pmaddwd
+    EXPECT_DEATH(tb.vpmaddwd(tb.imm(1), tb.imm(2)), "");
+}
+
+TEST(TraceBuilder, SelectEmitsTwoOps)
+{
+    RecordingSink sink;
+    TraceBuilder tb(sink);
+    Val r = tb.select(tb.imm(1), tb.imm(10), tb.imm(20));
+    EXPECT_EQ(r.data, 10u);
+    Val r2 = tb.select(tb.imm(0), tb.imm(10), tb.imm(20));
+    EXPECT_EQ(r2.data, 20u);
+    EXPECT_EQ(sink.insts.size(), 4u);
+}
+
+} // namespace
+} // namespace msim::prog

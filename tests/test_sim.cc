@@ -1,0 +1,216 @@
+/** @file Integration tests: registry, runner, machines, experiments. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "kernels/addition.hh"
+#include "kernels/dotprod.hh"
+#include "sim/machine.hh"
+
+namespace msim::core
+{
+namespace
+{
+
+using prog::Variant;
+
+/** A small, fast workload used for machine-level comparisons. */
+sim::RunResult
+runSmall(Variant var, const sim::MachineConfig &m)
+{
+    return sim::runTrace(
+        [var](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, var, 128, 32, 3);
+        },
+        m);
+}
+
+TEST(Registry, HasTheTwelvePaperBenchmarks)
+{
+    const auto paper = paperBenchmarks();
+    ASSERT_EQ(paper.size(), 12u);
+    const char *expected[] = {"addition", "blend",    "conv",
+                              "dotprod",  "scaling",  "thresh",
+                              "cjpeg",    "djpeg",    "cjpeg-np",
+                              "djpeg-np", "mpeg-enc", "mpeg-dec"};
+    for (unsigned i = 0; i < 12; ++i)
+        EXPECT_EQ(paper[i]->name, expected[i]);
+}
+
+TEST(Registry, CategoriesMatchTable1)
+{
+    EXPECT_EQ(findBenchmark("conv").category, Category::ImageKernel);
+    EXPECT_EQ(findBenchmark("cjpeg").category, Category::ImageCoding);
+    EXPECT_EQ(findBenchmark("mpeg-enc").category, Category::VideoCoding);
+}
+
+TEST(Registry, PrefetchFlagsMatchFigure3)
+{
+    // Figure 3 omits cjpeg-np, djpeg-np, and mpeg-enc (<6% miss time).
+    EXPECT_FALSE(findBenchmark("cjpeg-np").hasPrefetchVariant);
+    EXPECT_FALSE(findBenchmark("djpeg-np").hasPrefetchVariant);
+    EXPECT_FALSE(findBenchmark("mpeg-enc").hasPrefetchVariant);
+    EXPECT_TRUE(findBenchmark("addition").hasPrefetchVariant);
+    EXPECT_TRUE(findBenchmark("mpeg-dec").hasPrefetchVariant);
+}
+
+TEST(Machines, LabelsAndShapes)
+{
+    EXPECT_FALSE(sim::inOrder1Way().core.outOfOrder);
+    EXPECT_EQ(sim::inOrder1Way().core.issueWidth, 1u);
+    EXPECT_EQ(sim::inOrder4Way().core.issueWidth, 4u);
+    EXPECT_TRUE(sim::outOfOrder4Way().core.outOfOrder);
+    EXPECT_EQ(sim::withL2Size(2 << 20).mem.l2.sizeBytes, 2u << 20);
+    EXPECT_EQ(sim::withL1Size(4096).mem.l1.sizeBytes, 4096u);
+    // Table 2/3 defaults.
+    const auto def = sim::outOfOrder4Way();
+    EXPECT_EQ(def.core.windowSize, 64u);
+    EXPECT_EQ(def.core.memQueueSize, 32u);
+    EXPECT_EQ(def.mem.l1.sizeBytes, 64u * 1024);
+    EXPECT_EQ(def.mem.l2.sizeBytes, 128u * 1024);
+    EXPECT_EQ(def.mem.l1.hitLatency, 2u);
+    EXPECT_EQ(def.mem.l2.hitLatency, 20u);
+    EXPECT_EQ(def.mem.dram.totalLatency, 100u);
+}
+
+TEST(Experiment, IlpOrderingHolds)
+{
+    const auto r1 = runSmall(Variant::Scalar, sim::inOrder1Way());
+    const auto r4 = runSmall(Variant::Scalar, sim::inOrder4Way());
+    const auto ro = runSmall(Variant::Scalar, sim::outOfOrder4Way());
+    EXPECT_GT(r1.exec.cycles, r4.exec.cycles);
+    EXPECT_GT(r4.exec.cycles, ro.exec.cycles);
+}
+
+TEST(Experiment, VisImprovesAndShrinksInstructionCount)
+{
+    const auto base = runSmall(Variant::Scalar, sim::outOfOrder4Way());
+    const auto vis = runSmall(Variant::Vis, sim::outOfOrder4Way());
+    EXPECT_LT(vis.exec.cycles, base.exec.cycles);
+    EXPECT_LT(vis.tbInstrs, base.tbInstrs);
+    EXPECT_GT(vis.visOps, 0u);
+    EXPECT_GT(vis.visOverheadFrac(), 0.1); // rearrangement overhead real
+    EXPECT_LT(vis.visOverheadFrac(), 0.9);
+}
+
+TEST(Experiment, PrefetchingCutsMissStall)
+{
+    const auto vis = runSmall(Variant::Vis, sim::outOfOrder4Way());
+    const auto pf = runSmall(Variant::VisPrefetch, sim::outOfOrder4Way());
+    EXPECT_LT(pf.exec.memL1Miss, vis.exec.memL1Miss);
+    EXPECT_LT(pf.exec.cycles, vis.exec.cycles);
+    EXPECT_GT(pf.exec.prefetchesIssued, 0u);
+}
+
+TEST(Experiment, StreamingKernelInsensitiveToL2Size)
+{
+    // Paper Section 4.1: no-reuse streams see no benefit from larger L2.
+    const auto small = runSmall(Variant::Vis, sim::withL2Size(128 << 10));
+    const auto big = runSmall(Variant::Vis, sim::withL2Size(2 << 20));
+    const double delta =
+        std::abs(double(small.exec.cycles) - double(big.exec.cycles));
+    EXPECT_LT(delta / double(small.exec.cycles), 0.05);
+}
+
+TEST(Experiment, CacheStatsArePlumbedThrough)
+{
+    const auto r = runSmall(Variant::Scalar, sim::outOfOrder4Way());
+    EXPECT_GT(r.l1.accesses, 0u);
+    EXPECT_GT(r.l1.misses, 0u);
+    EXPECT_GT(r.l2.accesses, 0u);
+    EXPECT_GT(r.l1.missRate, 0.0);
+    EXPECT_LE(r.l1.missRate, 1.0);
+}
+
+TEST(Experiment, RunJobsMatchesSequentialRuns)
+{
+    std::vector<Job> jobs;
+    jobs.push_back({"scaling", Variant::Scalar, sim::outOfOrder4Way()});
+    jobs.push_back({"scaling", Variant::Vis, sim::outOfOrder4Way()});
+    jobs.push_back({"thresh", Variant::Scalar, sim::inOrder1Way()});
+    const auto par = runJobs(jobs, 3);
+    ASSERT_EQ(par.size(), 3u);
+    const auto seq0 =
+        runBenchmark("scaling", Variant::Scalar, sim::outOfOrder4Way());
+    EXPECT_EQ(par[0].exec.cycles, seq0.exec.cycles);
+    EXPECT_EQ(par[0].tbInstrs, seq0.tbInstrs);
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    const auto a = runSmall(Variant::Vis, sim::outOfOrder4Way());
+    const auto b = runSmall(Variant::Vis, sim::outOfOrder4Way());
+    EXPECT_EQ(a.exec.cycles, b.exec.cycles);
+    EXPECT_EQ(a.tbInstrs, b.tbInstrs);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+}
+
+TEST(Experiment, SkewAblationChangesConflictBehaviour)
+{
+    // Paper footnote 3: un-skewed concurrent arrays conflict in the
+    // 2-way L1 and hurt performance.
+    auto gen = [](prog::TraceBuilder &tb) {
+        kernels::runAddition(tb, Variant::Scalar, 256, 48, 3);
+    };
+    sim::MachineConfig skewed = sim::outOfOrder4Way();
+    sim::MachineConfig packed = sim::outOfOrder4Way();
+    packed.skewArrays = false;
+    const auto a = sim::runTrace(gen, skewed);
+    const auto b = sim::runTrace(gen, packed);
+    // The layouts must at least differ in measured behaviour.
+    EXPECT_NE(a.l1.misses, b.l1.misses);
+}
+
+TEST(Experiment, IsaFeaturesChangeInstructionCounts)
+{
+    sim::MachineConfig mmx = sim::outOfOrder4Way();
+    mmx.visFeatures.direct16x16Mul = true;
+    mmx.visFeatures.hasPmaddwd = true;
+    auto gen = [](prog::TraceBuilder &tb) {
+        kernels::runDotprod(tb, Variant::Vis, 4096);
+    };
+    const auto vis = sim::runTrace(gen, sim::outOfOrder4Way());
+    const auto fast = sim::runTrace(gen, mmx);
+    EXPECT_LT(fast.tbInstrs, vis.tbInstrs);
+    EXPECT_LE(fast.exec.cycles, vis.exec.cycles);
+}
+
+TEST(Experiment, ExtraKernelsRegisteredButNotInPaperSet)
+{
+    EXPECT_EQ(allBenchmarks().size(), 18u);
+    EXPECT_EQ(paperBenchmarks().size(), 12u);
+    EXPECT_EQ(findBenchmark("sepconv").category, Category::ImageKernel);
+    EXPECT_TRUE(findBenchmark("erode").hasPrefetchVariant);
+}
+
+TEST(Report, BarNormalization)
+{
+    sim::RunResult r;
+    r.exec.cycles = 500;
+    r.exec.busy = 250;
+    r.exec.fuStall = 100;
+    r.exec.memL1Hit = 100;
+    r.exec.memL1Miss = 50;
+    const BreakdownBar bar = makeBar("x", r, 1000.0);
+    EXPECT_DOUBLE_EQ(bar.total, 50.0);
+    EXPECT_DOUBLE_EQ(bar.busy, 25.0);
+    EXPECT_DOUBLE_EQ(bar.memL1Miss, 5.0);
+    EXPECT_EQ(speedupStr(1000, 500), "2.00X");
+    const std::string s = renderBars("t", {bar});
+    EXPECT_NE(s.find("50.0"), std::string::npos);
+}
+
+TEST(Experiment, ComponentsSumToTotalOnRealWorkload)
+{
+    const auto r = runSmall(Variant::Scalar, sim::inOrder4Way());
+    const double sum = r.exec.busy + r.exec.fuStall + r.exec.memL1Hit +
+                       r.exec.memL1Miss;
+    EXPECT_NEAR(sum, double(r.exec.cycles), double(r.exec.cycles) * 0.01);
+}
+
+} // namespace
+} // namespace msim::core

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the shared traced-codec machinery (jpeg/traced_xform):
+ * arena-resident bit I/O, Huffman emission, and the block transform
+ * pipelines, cross-checked against the native reference codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/inst.hh"
+#include "jpeg/codec.hh"
+#include "jpeg/dct.hh"
+#include "jpeg/traced_xform.hh"
+#include "jpeg/zigzag.hh"
+#include "prog/trace_builder.hh"
+
+namespace msim::jpeg
+{
+namespace
+{
+
+using isa::CountingSink;
+using isa::Op;
+using prog::TraceBuilder;
+
+TEST(TracedBits, WriterMatchesNativeBytes)
+{
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    const Addr base = tb.alloc(1024, "bits");
+    TracedBitWriter traced(tb, base, 1024);
+    BitWriter native;
+
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len = 1 + rng.nextBelow(16);
+        const u32 code =
+            static_cast<u32>(rng.next()) & ((1u << len) - 1);
+        traced.put(code, len);
+        native.put(code, len);
+    }
+    const size_t n = traced.finish();
+    const auto want = native.finish();
+    ASSERT_EQ(n, want.size());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(tb.arena().read(base + i, 1), want[i]) << "byte " << i;
+    // Bit emission costs instructions (shift/or/flush/store).
+    EXPECT_GT(sink.total(), 1000u);
+}
+
+TEST(TracedBits, ReaderFollowsNativeDecode)
+{
+    // Build a table, encode natively, decode via the traced reader.
+    std::vector<u64> freq(20, 1);
+    for (unsigned i = 0; i < 20; ++i)
+        freq[i] += i * 13;
+    const HuffTable table = HuffTable::fromFrequencies(freq);
+
+    std::vector<unsigned> syms;
+    BitWriter bw;
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i) {
+        const unsigned s = static_cast<unsigned>(rng.nextBelow(20));
+        syms.push_back(s);
+        table.encode(bw, s);
+    }
+    const auto bytes = bw.finish();
+
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    TracedHuff huff(tb, table);
+    const Addr stream = tb.alloc(bytes.size() + 8, "stream");
+    TracedBitReader br(tb, bytes, stream);
+    for (int i = 0; i < 300; ++i)
+        ASSERT_EQ(br.decodeSym(huff), syms[i]) << "sym " << i;
+    // Decoding emits the canonical-walk ops and stream loads.
+    EXPECT_GT(sink.byOp(Op::Load), 300u);
+    EXPECT_GT(sink.byMix(isa::MixClass::Branch), 300u);
+}
+
+TEST(TracedXform, ScalarFdctMatchesNativeTransform)
+{
+    // One 8x8 block through the traced scalar pipeline must equal the
+    // native transformPlane arithmetic exactly.
+    Plane plane(8, 8);
+    Rng rng(3);
+    for (unsigned i = 0; i < 64; ++i)
+        plane.samples[i] = static_cast<u8>(rng.nextBelow(256));
+    const QuantTable q = scaleTable(lumaBaseTable(), 75);
+
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    TracedTables tables(tb, q, q);
+    const Addr src = tb.alloc(64, "px");
+    tb.arena().writeBytes(src, plane.samples.data(), 64);
+    const Addr dst = tb.alloc(128, "zz");
+    emitFdctQuantBlock(tb, prog::Variant::Scalar, tables, false, src, 8,
+                       dst);
+
+    const CoeffPlane want = transformPlane(plane, q);
+    for (unsigned i = 0; i < 64; ++i) {
+        const s16 got = static_cast<s16>(tb.arena().read(dst + 2 * i, 2));
+        EXPECT_EQ(got, want.block(0, 0)[i]) << "coeff " << i;
+    }
+}
+
+TEST(TracedXform, ScalarIdctMatchesNativeReconstruct)
+{
+    Plane plane(8, 8);
+    Rng rng(4);
+    for (unsigned i = 0; i < 64; ++i)
+        plane.samples[i] = static_cast<u8>(rng.nextBelow(256));
+    const QuantTable q = scaleTable(lumaBaseTable(), 75);
+    const CoeffPlane coeffs = transformPlane(plane, q);
+    const Plane want = reconstructPlane(coeffs, q);
+
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    TracedTables tables(tb, q, q);
+    const Addr src = tb.alloc(128, "zz");
+    for (unsigned i = 0; i < 64; ++i)
+        tb.arena().write(src + 2 * i, 2,
+                         static_cast<u16>(coeffs.block(0, 0)[i]));
+    const Addr dst = tb.alloc(64, "px");
+    emitIdctBlock(tb, prog::Variant::Scalar, tables, false, src, dst, 8);
+
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(tb.arena().read(dst + i, 1), want.samples[i])
+            << "pixel " << i;
+}
+
+TEST(TracedXform, VisFdctStaysClose)
+{
+    // The VIS column pass uses 8-bit basis constants; coefficients may
+    // differ slightly from the scalar path but must stay close.
+    Plane plane(8, 8);
+    Rng rng(5);
+    for (unsigned i = 0; i < 64; ++i)
+        plane.samples[i] = static_cast<u8>(rng.nextBelow(256));
+    const QuantTable q = scaleTable(lumaBaseTable(), 75);
+
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    TracedTables tables(tb, q, q);
+    const Addr src = tb.alloc(64, "px");
+    tb.arena().writeBytes(src, plane.samples.data(), 64);
+    const Addr dst = tb.alloc(128, "zz");
+    emitFdctQuantBlock(tb, prog::Variant::Vis, tables, false, src, 8,
+                       dst);
+
+    const CoeffPlane want = transformPlane(plane, q);
+    for (unsigned i = 0; i < 64; ++i) {
+        const s16 got = static_cast<s16>(tb.arena().read(dst + 2 * i, 2));
+        EXPECT_NEAR(got, want.block(0, 0)[i], 2) << "coeff " << i;
+    }
+    EXPECT_GT(sink.byMix(isa::MixClass::Vis), 0u);
+}
+
+TEST(TracedXform, ResidualRoundtrip)
+{
+    // Residual in -> fdct/quant -> idct(residual mode) -> close to the
+    // original residual.
+    s16 resid[64];
+    Rng rng(6);
+    for (unsigned i = 0; i < 64; ++i)
+        resid[i] = static_cast<s16>(rng.nextBelow(101)) - 50;
+    const QuantTable q = []() {
+        QuantTable t{};
+        t.fill(4);
+        return t;
+    }();
+
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    TracedTables tables(tb, q, q);
+    const Addr src = tb.alloc(128, "resid");
+    for (unsigned i = 0; i < 64; ++i)
+        tb.arena().write(src + 2 * i, 2, static_cast<u16>(resid[i]));
+    const Addr zz = tb.alloc(128, "zz");
+    emitFdctQuantResidual(tb, prog::Variant::Scalar, tables, true, src,
+                          8, zz);
+    const Addr out = tb.alloc(128, "out");
+    emitIdctBlock(tb, prog::Variant::Scalar, tables, true, zz, out, 8,
+                  /*residual=*/true);
+
+    for (unsigned i = 0; i < 64; ++i) {
+        const s16 got = static_cast<s16>(tb.arena().read(out + 2 * i, 2));
+        EXPECT_NEAR(got, resid[i], 6) << "residual " << i;
+    }
+}
+
+TEST(TracedXform, TablesLiveInArena)
+{
+    CountingSink sink;
+    TraceBuilder tb(sink);
+    const QuantTable ql = scaleTable(lumaBaseTable(), 50);
+    const QuantTable qc = scaleTable(chromaBaseTable(), 50);
+    TracedTables tables(tb, ql, qc);
+    // Zig-zag order table readable.
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(tb.arena().read(tables.zigzagAddr() + i, 1),
+                  kZigzag[i]);
+    // Quant entries: reciprocal, half, q.
+    for (unsigned i = 0; i < 64; i += 9) {
+        EXPECT_EQ(tb.arena().read(tables.quantEntry(false, i), 4),
+                  quantRecip(ql[i]));
+        EXPECT_EQ(tb.arena().read(tables.quantEntry(false, i) + 6, 2),
+                  ql[i]);
+        EXPECT_EQ(tb.arena().read(tables.quantEntry(true, i) + 6, 2),
+                  qc[i]);
+    }
+}
+
+TEST(TracedXform, VisBlockPipelineIsCheaper)
+{
+    Plane plane(8, 8);
+    for (unsigned i = 0; i < 64; ++i)
+        plane.samples[i] = static_cast<u8>(i * 4);
+    const QuantTable q = scaleTable(lumaBaseTable(), 75);
+
+    auto count = [&](prog::Variant v) {
+        CountingSink sink;
+        TraceBuilder tb(sink);
+        TracedTables tables(tb, q, q);
+        const Addr src = tb.alloc(64, "px");
+        tb.arena().writeBytes(src, plane.samples.data(), 64);
+        const Addr dst = tb.alloc(128, "zz");
+        emitFdctQuantBlock(tb, v, tables, false, src, 8, dst);
+        return sink.total();
+    };
+    EXPECT_LT(count(prog::Variant::Vis), count(prog::Variant::Scalar));
+}
+
+} // namespace
+} // namespace msim::jpeg

@@ -1,0 +1,343 @@
+/** @file Property and unit tests for the VIS functional semantics. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "common/saturate.hh"
+#include "vis/gsr.hh"
+#include "vis/ops.hh"
+
+namespace msim::vis
+{
+namespace
+{
+
+u64
+randomPacked(Rng &rng)
+{
+    return rng.next();
+}
+
+TEST(VisOps, Fpadd16MatchesScalar)
+{
+    Rng rng(1);
+    for (int t = 0; t < 200; ++t) {
+        const u64 a = randomPacked(rng), b = randomPacked(rng);
+        const u64 r = fpadd16(a, b);
+        for (unsigned l = 0; l < 4; ++l)
+            EXPECT_EQ(halfLane(r, l),
+                      static_cast<u16>(halfLane(a, l) + halfLane(b, l)));
+    }
+}
+
+TEST(VisOps, Fpsub16MatchesScalar)
+{
+    Rng rng(2);
+    for (int t = 0; t < 200; ++t) {
+        const u64 a = randomPacked(rng), b = randomPacked(rng);
+        const u64 r = fpsub16(a, b);
+        for (unsigned l = 0; l < 4; ++l)
+            EXPECT_EQ(halfLane(r, l),
+                      static_cast<u16>(halfLane(a, l) - halfLane(b, l)));
+    }
+}
+
+TEST(VisOps, Fpadd32Wraps)
+{
+    const u64 a = setWordLane(setWordLane(0, 0, 0xffffffff), 1, 1);
+    const u64 b = setWordLane(setWordLane(0, 0, 1), 1, 2);
+    const u64 r = fpadd32(a, b);
+    EXPECT_EQ(wordLane(r, 0), 0u);
+    EXPECT_EQ(wordLane(r, 1), 3u);
+}
+
+TEST(VisOps, Fmul8x16Rounding)
+{
+    // (pixel * coeff + 128) >> 8, signed coefficient.
+    u64 a = 0;
+    a = setByteLane(a, 0, 200);
+    a = setByteLane(a, 1, 10);
+    u64 b = 0;
+    b = setHalfLane(b, 0, 256); // 1.0 in 8.8
+    b = setHalfLane(b, 1, static_cast<u16>(s16{-256}));
+    const u64 r = fmul8x16(a, b);
+    EXPECT_EQ(static_cast<s16>(halfLane(r, 0)), 200);
+    EXPECT_EQ(static_cast<s16>(halfLane(r, 1)), -10);
+}
+
+TEST(VisOps, Fmul8x16AuAlBroadcast)
+{
+    Rng rng(3);
+    for (int t = 0; t < 100; ++t) {
+        const u64 a = randomPacked(rng);
+        const u16 hi = static_cast<u16>(rng.next());
+        const u16 lo = static_cast<u16>(rng.next());
+        const u32 b = (u32{hi} << 16) | lo;
+        const u64 rau = fmul8x16au(a, b);
+        const u64 ral = fmul8x16al(a, b);
+        for (unsigned l = 0; l < 4; ++l) {
+            const s32 px = byteLane(a, l);
+            EXPECT_EQ(static_cast<s16>(halfLane(rau, l)),
+                      static_cast<s16>((px * static_cast<s16>(hi) + 128)
+                                       >> 8));
+            EXPECT_EQ(static_cast<s16>(halfLane(ral, l)),
+                      static_cast<s16>((px * static_cast<s16>(lo) + 128)
+                                       >> 8));
+        }
+    }
+}
+
+/** The 3-op 16x16 emulation: su + ul == (a*b) >> 8 (mod 2^16). */
+TEST(VisOps, Mul16EmulationIdentity)
+{
+    Rng rng(4);
+    for (int t = 0; t < 500; ++t) {
+        const u64 a = randomPacked(rng), b = randomPacked(rng);
+        const u64 sum = fpadd16(fmul8sux16(a, b), fmul8ulx16(a, b));
+        for (unsigned l = 0; l < 4; ++l) {
+            const s32 x = static_cast<s16>(halfLane(a, l));
+            const s32 y = static_cast<s16>(halfLane(b, l));
+            EXPECT_EQ(halfLane(sum, l),
+                      static_cast<u16>((x * y) >> 8))
+                << "lane " << l << " x " << x << " y " << y;
+        }
+    }
+}
+
+/** The muld pair: su + ul is the exact 32-bit product of lanes 0..1. */
+TEST(VisOps, Muld16ExactProduct)
+{
+    Rng rng(5);
+    for (int t = 0; t < 500; ++t) {
+        const u64 a = randomPacked(rng), b = randomPacked(rng);
+        const u64 sum = fpadd32(fmuld8sux16(a, b), fmuld8ulx16(a, b));
+        for (unsigned l = 0; l < 2; ++l) {
+            const s32 x = static_cast<s16>(halfLane(a, l));
+            const s32 y = static_cast<s16>(halfLane(b, l));
+            EXPECT_EQ(static_cast<s32>(wordLane(sum, l)), x * y);
+        }
+    }
+}
+
+TEST(VisOps, ExpandPackInverse)
+{
+    // fexpand followed by fpack16 at scale 3 is the identity on bytes.
+    const Gsr gsr = makeGsr(3, 0);
+    Rng rng(6);
+    for (int t = 0; t < 200; ++t) {
+        const u64 a = rng.next() & 0xffffffff;
+        const u64 packed = fpack16(fexpand(a), gsr);
+        for (unsigned l = 0; l < 4; ++l)
+            EXPECT_EQ(byteLane(packed, l), byteLane(a, l));
+    }
+}
+
+TEST(VisOps, Pack16Saturates)
+{
+    const Gsr gsr = makeGsr(7, 0); // identity extraction
+    u64 v = 0;
+    v = setHalfLane(v, 0, static_cast<u16>(s16{-100}));
+    v = setHalfLane(v, 1, 300);
+    v = setHalfLane(v, 2, 255);
+    v = setHalfLane(v, 3, 0);
+    const u64 p = fpack16(v, gsr);
+    EXPECT_EQ(byteLane(p, 0), 0);
+    EXPECT_EQ(byteLane(p, 1), 255);
+    EXPECT_EQ(byteLane(p, 2), 255);
+    EXPECT_EQ(byteLane(p, 3), 0);
+}
+
+TEST(VisOps, PackFixSaturatesTo16)
+{
+    const Gsr gsr = makeGsr(0, 0);
+    u64 v = setWordLane(0, 0, 0x40000000); // large positive
+    v = setWordLane(v, 1, static_cast<u32>(-0x40000000));
+    const u64 p = fpackfix(v, gsr);
+    EXPECT_EQ(static_cast<s16>(halfLane(p, 0)), 16384);
+    EXPECT_EQ(static_cast<s16>(halfLane(p, 1)), -16384);
+}
+
+TEST(VisOps, MergeInterleaves)
+{
+    u64 a = 0, b = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        a = setByteLane(a, i, static_cast<u8>(i));
+        b = setByteLane(b, i, static_cast<u8>(0x10 + i));
+    }
+    const u64 m = fpmerge(a, b);
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(byteLane(m, 2 * i), i);
+        EXPECT_EQ(byteLane(m, 2 * i + 1), 0x10 + i);
+    }
+}
+
+TEST(VisOps, AligndataExtractsWindow)
+{
+    u64 a = 0, b = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        a = setByteLane(a, i, static_cast<u8>(i));
+        b = setByteLane(b, i, static_cast<u8>(8 + i));
+    }
+    for (unsigned off = 0; off < 8; ++off) {
+        const Gsr gsr = makeGsr(0, off);
+        const u64 r = faligndata(a, b, gsr);
+        for (unsigned i = 0; i < 8; ++i)
+            EXPECT_EQ(byteLane(r, i), off + i);
+    }
+}
+
+TEST(VisOps, AlignaddrSetsGsr)
+{
+    Gsr gsr;
+    EXPECT_EQ(alignaddr(0x1003, gsr), 0x1000u);
+    EXPECT_EQ(gsr.align, 3u);
+    EXPECT_EQ(alignaddr(0x1008, gsr), 0x1008u);
+    EXPECT_EQ(gsr.align, 0u);
+}
+
+/** Composition property: two aligned loads + faligndata == unaligned load. */
+TEST(VisOps, AligndataComposesWithMemory)
+{
+    u8 mem[24];
+    for (unsigned i = 0; i < 24; ++i)
+        mem[i] = static_cast<u8>(100 + i);
+    for (unsigned off = 0; off < 8; ++off) {
+        Gsr gsr;
+        alignaddr(off, gsr);
+        u64 lo = 0, hi = 0;
+        for (unsigned i = 0; i < 8; ++i) {
+            lo = setByteLane(lo, i, mem[i]);
+            hi = setByteLane(hi, i, mem[8 + i]);
+        }
+        const u64 r = faligndata(lo, hi, gsr);
+        for (unsigned i = 0; i < 8; ++i)
+            EXPECT_EQ(byteLane(r, i), mem[off + i]);
+    }
+}
+
+TEST(VisOps, CompareMasks)
+{
+    u64 a = 0, b = 0;
+    a = setHalfLane(a, 0, 5);
+    b = setHalfLane(b, 0, 3);
+    a = setHalfLane(a, 1, static_cast<u16>(s16{-5}));
+    b = setHalfLane(b, 1, 3);
+    a = setHalfLane(a, 2, 7);
+    b = setHalfLane(b, 2, 7);
+    EXPECT_EQ(fcmpgt16(a, b) & 7u, 1u);
+    EXPECT_EQ(fcmple16(a, b) & 7u, 6u);
+    EXPECT_EQ(fcmpeq16(a, b) & 7u, 4u);
+}
+
+TEST(VisOps, Compare32)
+{
+    u64 a = setWordLane(setWordLane(0, 0, 100), 1,
+                        static_cast<u32>(-50));
+    u64 b = setWordLane(setWordLane(0, 0, 50), 1, 10);
+    EXPECT_EQ(fcmpgt32(a, b), 1u);
+    EXPECT_EQ(fcmple32(a, b), 2u);
+}
+
+TEST(VisOps, EdgeMasksLeftBoundary)
+{
+    // Aligned start, far end: all lanes valid.
+    EXPECT_EQ(edge8(0x1000, 0x10ff), 0xff);
+    // Start at offset 3: lanes 3..7.
+    EXPECT_EQ(edge8(0x1003, 0x10ff), 0xf8);
+}
+
+TEST(VisOps, EdgeMasksSameBlock)
+{
+    // Start offset 2, end offset 5 in the same 8-byte block.
+    EXPECT_EQ(edge8(0x1002, 0x1005), 0x3c);
+    EXPECT_EQ(edge16(0x1002, 0x1005), 0x06);
+    EXPECT_EQ(edge32(0x1000, 0x1003), 0x01);
+}
+
+TEST(VisOps, PdistMatchesScalarSad)
+{
+    Rng rng(8);
+    for (int t = 0; t < 300; ++t) {
+        const u64 a = rng.next(), b = rng.next();
+        const u64 acc = rng.nextBelow(1000);
+        u64 want = acc;
+        for (unsigned i = 0; i < 8; ++i)
+            want += static_cast<u64>(
+                std::abs(int(byteLane(a, i)) - int(byteLane(b, i))));
+        EXPECT_EQ(pdist(a, b, acc), want);
+    }
+}
+
+TEST(VisOps, Logicals)
+{
+    const u64 a = 0xff00ff00ff00ff00ull, b = 0x0ff00ff00ff00ff0ull;
+    EXPECT_EQ(fand(a, b), a & b);
+    EXPECT_EQ(forOp(a, b), a | b);
+    EXPECT_EQ(fxor(a, b), a ^ b);
+    EXPECT_EQ(fnot(a), ~a);
+    EXPECT_EQ(fandnot(a, b), ~a & b);
+}
+
+TEST(VisOps, MaskToLanes)
+{
+    const u64 m = maskToLanes16(0b0101);
+    EXPECT_EQ(halfLane(m, 0), 0xffff);
+    EXPECT_EQ(halfLane(m, 1), 0);
+    EXPECT_EQ(halfLane(m, 2), 0xffff);
+    EXPECT_EQ(halfLane(m, 3), 0);
+}
+
+/** Parameterized sweep: fpack16 equals the scalar saturation formula. */
+class PackScaleTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PackScaleTest, MatchesScalarFormula)
+{
+    const unsigned scale = GetParam();
+    const Gsr gsr = makeGsr(scale, 0);
+    Rng rng(100 + scale);
+    for (int t = 0; t < 100; ++t) {
+        const u64 a = rng.next();
+        const u64 p = fpack16(a, gsr);
+        for (unsigned l = 0; l < 4; ++l) {
+            const s32 v = static_cast<s16>(halfLane(a, l));
+            const s32 shifted = (v << scale) >> 7;
+            EXPECT_EQ(byteLane(p, l), satU8(shifted));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScales, PackScaleTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u, 6u,
+                                           7u));
+
+TEST(VisOps, Mul16MatchesEmulation)
+{
+    Rng rng(9);
+    for (int t = 0; t < 300; ++t) {
+        const u64 a = rng.next(), b = rng.next();
+        EXPECT_EQ(mul16(a, b),
+                  fpadd16(fmul8sux16(a, b), fmul8ulx16(a, b)));
+    }
+}
+
+TEST(VisOps, PmaddwdPairSums)
+{
+    Rng rng(10);
+    for (int t = 0; t < 300; ++t) {
+        const u64 a = rng.next(), b = rng.next();
+        const u64 r = pmaddwd(a, b);
+        for (unsigned p = 0; p < 2; ++p) {
+            const s32 want =
+                s32(s16(halfLane(a, 2 * p))) * s16(halfLane(b, 2 * p)) +
+                s32(s16(halfLane(a, 2 * p + 1))) *
+                    s16(halfLane(b, 2 * p + 1));
+            EXPECT_EQ(static_cast<s32>(wordLane(r, p)), want);
+        }
+    }
+}
+
+} // namespace
+} // namespace msim::vis
