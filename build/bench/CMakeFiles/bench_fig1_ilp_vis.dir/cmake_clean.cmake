@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ilp_vis.dir/bench_fig1_ilp_vis.cpp.o"
+  "CMakeFiles/bench_fig1_ilp_vis.dir/bench_fig1_ilp_vis.cpp.o.d"
+  "bench_fig1_ilp_vis"
+  "bench_fig1_ilp_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ilp_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_instmix.dir/bench_fig2_instmix.cpp.o"
+  "CMakeFiles/bench_fig2_instmix.dir/bench_fig2_instmix.cpp.o.d"
+  "bench_fig2_instmix"
+  "bench_fig2_instmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_instmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_branch.dir/bench_tab_branch.cpp.o"
+  "CMakeFiles/bench_tab_branch.dir/bench_tab_branch.cpp.o.d"
+  "bench_tab_branch"
+  "bench_tab_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_l1_sweep.dir/bench_tab_l1_sweep.cpp.o"
+  "CMakeFiles/bench_tab_l1_sweep.dir/bench_tab_l1_sweep.cpp.o.d"
+  "bench_tab_l1_sweep"
+  "bench_tab_l1_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_l1_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

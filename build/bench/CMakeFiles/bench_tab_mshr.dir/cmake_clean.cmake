@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_mshr.dir/bench_tab_mshr.cpp.o"
+  "CMakeFiles/bench_tab_mshr.dir/bench_tab_mshr.cpp.o.d"
+  "bench_tab_mshr"
+  "bench_tab_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_vis_overhead.dir/bench_tab_vis_overhead.cpp.o"
+  "CMakeFiles/bench_tab_vis_overhead.dir/bench_tab_vis_overhead.cpp.o.d"
+  "bench_tab_vis_overhead"
+  "bench_tab_vis_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_vis_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/msim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/msim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/msim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/msim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/msim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/msim.dir/common/table.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/msim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/msim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/msim.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/msim.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/msim.dir/core/report.cc.o" "gcc" "src/CMakeFiles/msim.dir/core/report.cc.o.d"
+  "/root/repo/src/cpu/accounting.cc" "src/CMakeFiles/msim.dir/cpu/accounting.cc.o" "gcc" "src/CMakeFiles/msim.dir/cpu/accounting.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/msim.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/msim.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/msim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/msim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/fu_pool.cc" "src/CMakeFiles/msim.dir/cpu/fu_pool.cc.o" "gcc" "src/CMakeFiles/msim.dir/cpu/fu_pool.cc.o.d"
+  "/root/repo/src/img/image.cc" "src/CMakeFiles/msim.dir/img/image.cc.o" "gcc" "src/CMakeFiles/msim.dir/img/image.cc.o.d"
+  "/root/repo/src/img/ppm.cc" "src/CMakeFiles/msim.dir/img/ppm.cc.o" "gcc" "src/CMakeFiles/msim.dir/img/ppm.cc.o.d"
+  "/root/repo/src/img/synth.cc" "src/CMakeFiles/msim.dir/img/synth.cc.o" "gcc" "src/CMakeFiles/msim.dir/img/synth.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/CMakeFiles/msim.dir/isa/inst.cc.o" "gcc" "src/CMakeFiles/msim.dir/isa/inst.cc.o.d"
+  "/root/repo/src/isa/timing.cc" "src/CMakeFiles/msim.dir/isa/timing.cc.o" "gcc" "src/CMakeFiles/msim.dir/isa/timing.cc.o.d"
+  "/root/repo/src/jpeg/codec.cc" "src/CMakeFiles/msim.dir/jpeg/codec.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/codec.cc.o.d"
+  "/root/repo/src/jpeg/color.cc" "src/CMakeFiles/msim.dir/jpeg/color.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/color.cc.o.d"
+  "/root/repo/src/jpeg/dct.cc" "src/CMakeFiles/msim.dir/jpeg/dct.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/dct.cc.o.d"
+  "/root/repo/src/jpeg/huffman.cc" "src/CMakeFiles/msim.dir/jpeg/huffman.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/huffman.cc.o.d"
+  "/root/repo/src/jpeg/quant.cc" "src/CMakeFiles/msim.dir/jpeg/quant.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/quant.cc.o.d"
+  "/root/repo/src/jpeg/traced.cc" "src/CMakeFiles/msim.dir/jpeg/traced.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/traced.cc.o.d"
+  "/root/repo/src/jpeg/traced_xform.cc" "src/CMakeFiles/msim.dir/jpeg/traced_xform.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/traced_xform.cc.o.d"
+  "/root/repo/src/jpeg/zigzag.cc" "src/CMakeFiles/msim.dir/jpeg/zigzag.cc.o" "gcc" "src/CMakeFiles/msim.dir/jpeg/zigzag.cc.o.d"
+  "/root/repo/src/kernels/addition.cc" "src/CMakeFiles/msim.dir/kernels/addition.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/addition.cc.o.d"
+  "/root/repo/src/kernels/blend.cc" "src/CMakeFiles/msim.dir/kernels/blend.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/blend.cc.o.d"
+  "/root/repo/src/kernels/common.cc" "src/CMakeFiles/msim.dir/kernels/common.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/common.cc.o.d"
+  "/root/repo/src/kernels/conv.cc" "src/CMakeFiles/msim.dir/kernels/conv.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/conv.cc.o.d"
+  "/root/repo/src/kernels/copy_invert.cc" "src/CMakeFiles/msim.dir/kernels/copy_invert.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/copy_invert.cc.o.d"
+  "/root/repo/src/kernels/dotprod.cc" "src/CMakeFiles/msim.dir/kernels/dotprod.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/dotprod.cc.o.d"
+  "/root/repo/src/kernels/erode.cc" "src/CMakeFiles/msim.dir/kernels/erode.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/erode.cc.o.d"
+  "/root/repo/src/kernels/lookup.cc" "src/CMakeFiles/msim.dir/kernels/lookup.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/lookup.cc.o.d"
+  "/root/repo/src/kernels/scaling.cc" "src/CMakeFiles/msim.dir/kernels/scaling.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/scaling.cc.o.d"
+  "/root/repo/src/kernels/sepconv.cc" "src/CMakeFiles/msim.dir/kernels/sepconv.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/sepconv.cc.o.d"
+  "/root/repo/src/kernels/thresh.cc" "src/CMakeFiles/msim.dir/kernels/thresh.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/thresh.cc.o.d"
+  "/root/repo/src/kernels/transpose.cc" "src/CMakeFiles/msim.dir/kernels/transpose.cc.o" "gcc" "src/CMakeFiles/msim.dir/kernels/transpose.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/msim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/msim.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/msim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/mpeg/codec.cc" "src/CMakeFiles/msim.dir/mpeg/codec.cc.o" "gcc" "src/CMakeFiles/msim.dir/mpeg/codec.cc.o.d"
+  "/root/repo/src/mpeg/motion.cc" "src/CMakeFiles/msim.dir/mpeg/motion.cc.o" "gcc" "src/CMakeFiles/msim.dir/mpeg/motion.cc.o.d"
+  "/root/repo/src/mpeg/traced.cc" "src/CMakeFiles/msim.dir/mpeg/traced.cc.o" "gcc" "src/CMakeFiles/msim.dir/mpeg/traced.cc.o.d"
+  "/root/repo/src/prog/arena.cc" "src/CMakeFiles/msim.dir/prog/arena.cc.o" "gcc" "src/CMakeFiles/msim.dir/prog/arena.cc.o.d"
+  "/root/repo/src/prog/trace_builder.cc" "src/CMakeFiles/msim.dir/prog/trace_builder.cc.o" "gcc" "src/CMakeFiles/msim.dir/prog/trace_builder.cc.o.d"
+  "/root/repo/src/prog/variant.cc" "src/CMakeFiles/msim.dir/prog/variant.cc.o" "gcc" "src/CMakeFiles/msim.dir/prog/variant.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/msim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/msim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "src/CMakeFiles/msim.dir/sim/multicore.cc.o" "gcc" "src/CMakeFiles/msim.dir/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/msim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/msim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/vis/gsr.cc" "src/CMakeFiles/msim.dir/vis/gsr.cc.o" "gcc" "src/CMakeFiles/msim.dir/vis/gsr.cc.o.d"
+  "/root/repo/src/vis/ops.cc" "src/CMakeFiles/msim.dir/vis/ops.cc.o" "gcc" "src/CMakeFiles/msim.dir/vis/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpeg.dir/test_mpeg.cc.o"
+  "CMakeFiles/test_mpeg.dir/test_mpeg.cc.o.d"
+  "test_mpeg"
+  "test_mpeg.pdb"
+  "test_mpeg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

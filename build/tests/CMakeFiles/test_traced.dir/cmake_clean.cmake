@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traced.dir/test_traced.cc.o"
+  "CMakeFiles/test_traced.dir/test_traced.cc.o.d"
+  "test_traced"
+  "test_traced.pdb"
+  "test_traced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

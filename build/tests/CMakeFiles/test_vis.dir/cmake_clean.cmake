@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vis.dir/test_vis.cc.o"
+  "CMakeFiles/test_vis.dir/test_vis.cc.o.d"
+  "test_vis"
+  "test_vis.pdb"
+  "test_vis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
