@@ -58,5 +58,22 @@ main()
                 "4K-16K L1s come within 3%% of 64K (small table\n"
                 "working sets: convolution/quantization/color-conversion"
                 "/clipping tables).\n");
+
+    // Self-measurement A/B: one benchmark's sweep, live (re-generate the
+    // trace per config) vs recorded (capture once, replay per config),
+    // single-threaded so the ratio is purely algorithmic.
+    std::vector<Job> ab;
+    for (u32 size : sizes)
+        ab.push_back({"djpeg", Variant::Vis, sim::withL1Size(size)});
+    bench::SelfMeasurement live, recorded;
+    bench::runTimed(ab, live, 1, core::JobMode::Live);
+    bench::runTimed(ab, recorded, 1, core::JobMode::Recorded);
+    bench::writeBenchJson(
+        "l1-sweep-djpeg-ab", recorded,
+        {{"live_seconds", live.hostSeconds},
+         {"recorded_seconds", recorded.hostSeconds},
+         {"speedup_x", recorded.hostSeconds > 0.0
+                           ? live.hostSeconds / recorded.hostSeconds
+                           : 0.0}});
     return 0;
 }

@@ -6,6 +6,7 @@
 #ifndef MSIM_BENCH_BENCH_UTIL_HH_
 #define MSIM_BENCH_BENCH_UTIL_HH_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -19,13 +20,84 @@
 namespace msim::bench
 {
 
-/** Run a batch with a stderr progress note. */
+/**
+ * Wall-clock self-measurement of one runJobs batch, so the repo's own
+ * simulation throughput is tracked across PRs (written as
+ * BENCH_<name>.json next to the binary's working directory).
+ */
+struct SelfMeasurement
+{
+    double hostSeconds = 0.0;
+    u64 jobs = 0;
+    u64 simInstructions = 0;
+
+    double
+    instructionsPerSecond() const
+    {
+        return hostSeconds > 0.0
+                   ? static_cast<double>(simInstructions) / hostSeconds
+                   : 0.0;
+    }
+};
+
+/** Run a batch under a wall-clock timer. */
+inline std::vector<sim::RunResult>
+runTimed(const std::vector<core::Job> &jobs, SelfMeasurement &meas,
+         unsigned threads = 0, core::JobMode mode = core::JobMode::Auto)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    auto results = core::runJobs(jobs, threads, mode);
+    const auto t1 = std::chrono::steady_clock::now();
+    meas.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    meas.jobs = jobs.size();
+    meas.simInstructions = 0;
+    for (const auto &r : results)
+        meas.simInstructions += r.tbInstrs;
+    return results;
+}
+
+/**
+ * Write BENCH_<name>.json: the standard self-measurement fields plus
+ * any caller-provided extras (e.g. an A/B comparison).
+ */
+inline void
+writeBenchJson(const std::string &name, const SelfMeasurement &meas,
+               const std::map<std::string, double> &extra = {})
+{
+    const std::string path = "BENCH_" + name + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "[%s] cannot write %s\n", name.c_str(),
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", name.c_str());
+    std::fprintf(f, "  \"host_seconds\": %.6f,\n", meas.hostSeconds);
+    std::fprintf(f, "  \"jobs\": %llu,\n",
+                 static_cast<unsigned long long>(meas.jobs));
+    std::fprintf(f, "  \"sim_instructions\": %llu,\n",
+                 static_cast<unsigned long long>(meas.simInstructions));
+    std::fprintf(f, "  \"instructions_per_host_second\": %.1f",
+                 meas.instructionsPerSecond());
+    for (const auto &[key, value] : extra)
+        std::fprintf(f, ",\n  \"%s\": %.6f", key.c_str(), value);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "[%s] %.2fs host, %.0f sim-instructions/s -> %s\n",
+                 name.c_str(), meas.hostSeconds,
+                 meas.instructionsPerSecond(), path.c_str());
+}
+
+/** Run a batch with a stderr progress note and self-measurement. */
 inline std::vector<sim::RunResult>
 runAll(const std::vector<core::Job> &jobs, const char *what)
 {
     std::fprintf(stderr, "[%s] running %zu simulations...\n", what,
                  jobs.size());
-    auto results = core::runJobs(jobs);
+    SelfMeasurement meas;
+    auto results = runTimed(jobs, meas);
+    writeBenchJson(what, meas);
     std::fprintf(stderr, "[%s] done\n", what);
     return results;
 }

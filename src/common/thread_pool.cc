@@ -1,0 +1,133 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+
+namespace msim
+{
+
+struct ThreadPool::Batch
+{
+    size_t count = 0;
+    unsigned poolSlots = 0; // pool workers allowed (caller not counted)
+    const std::function<void(size_t)> *fn = nullptr;
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error; // first failure, guarded by errorLock
+    std::mutex errorLock;
+    unsigned active = 0; // workers currently inside run(), under pool m_
+
+    /** Drain indices until exhausted or a failure is flagged. */
+    void
+    run()
+    {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard lock(errorLock);
+                if (!failed.exchange(true))
+                    error = std::current_exception();
+                return;
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(m_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock lock(m_);
+    for (;;) {
+        cv_.wait(lock, [this] {
+            return shutdown_ ||
+                   (batch_ != nullptr && batch_->active < batch_->poolSlots);
+        });
+        if (shutdown_)
+            return;
+        Batch *b = batch_;
+        ++b->active;
+        lock.unlock();
+        b->run();
+        lock.lock();
+        if (--b->active == 0 && batch_ == b)
+            batch_ = nullptr; // fully drained; let the next call start
+        cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn,
+                        unsigned maxThreads)
+{
+    if (count == 0)
+        return;
+
+    Batch b;
+    b.count = count;
+    b.fn = &fn;
+    b.poolSlots = maxThreads == 0 ? workerCount() : maxThreads - 1;
+    // No point waking more workers than there are items (the caller
+    // takes one item stream too).
+    if (count - 1 < b.poolSlots)
+        b.poolSlots = static_cast<unsigned>(count - 1);
+
+    {
+        std::unique_lock lock(m_);
+        // One batch at a time; a nested call (fn itself using the pool)
+        // would self-deadlock here, so run it inline instead.
+        if (batch_ != nullptr) {
+            lock.unlock();
+            b.run();
+            if (b.error)
+                std::rethrow_exception(b.error);
+            return;
+        }
+        batch_ = &b;
+    }
+    cv_.notify_all();
+
+    b.run(); // the caller is a worker too
+
+    {
+        std::unique_lock lock(m_);
+        if (batch_ == &b)
+            batch_ = nullptr; // stop idle workers from joining late
+        cv_.wait(lock, [&b] { return b.active == 0; });
+    }
+    if (b.error)
+        std::rethrow_exception(b.error);
+}
+
+ThreadPool &
+globalPool()
+{
+    static ThreadPool pool([] {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 1 ? hw - 1 : 1u; // the caller participates as well
+    }());
+    return pool;
+}
+
+} // namespace msim

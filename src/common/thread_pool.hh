@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Persistent worker pool for the experiment driver.
+ *
+ * The previous harness spawned a fresh batch of std::threads per
+ * runJobs call and let any worker exception reach std::terminate.  The
+ * pool here is created once per process (lazily, hardware_concurrency
+ * workers), hands out work through a shared atomic index, and captures
+ * the first exception a task throws so parallelFor can rethrow it on
+ * the calling thread.  The caller participates in draining the index,
+ * so parallelFor degrades gracefully to plain sequential execution on a
+ * single-CPU host or when the pool is busy.
+ */
+
+#ifndef MSIM_COMMON_THREAD_POOL_HH_
+#define MSIM_COMMON_THREAD_POOL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msim
+{
+
+/** See file comment. Use the process-wide instance from globalPool(). */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned workerCount() const { return static_cast<unsigned>(threads_.size()); }
+
+    /**
+     * Run fn(0) .. fn(count-1), distributing indices over the pool's
+     * workers plus the calling thread.  Blocks until every index has
+     * finished.  If any invocation throws, the remaining indices are
+     * abandoned (tasks already running complete) and the first captured
+     * exception is rethrown here, on the caller.
+     *
+     * Re-entrant calls (fn itself calling parallelFor) run inline on
+     * the calling thread rather than deadlocking the pool.
+     *
+     * @param maxThreads  Concurrency ceiling including the caller
+     *                    (0 = no limit beyond the pool size).
+     */
+    void parallelFor(size_t count, const std::function<void(size_t)> &fn,
+                     unsigned maxThreads = 0);
+
+  private:
+    struct Batch; // one parallelFor invocation's shared state
+
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    Batch *batch_ = nullptr; // the active invocation, if any
+    bool shutdown_ = false;
+};
+
+/** The lazily-created process-wide pool (hardware_concurrency workers). */
+ThreadPool &globalPool();
+
+} // namespace msim
+
+#endif // MSIM_COMMON_THREAD_POOL_HH_

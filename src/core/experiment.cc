@@ -1,10 +1,77 @@
 #include "core/experiment.hh"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <tuple>
+
+#include "common/thread_pool.hh"
 
 namespace msim::core
 {
+
+namespace
+{
+
+/** Everything the dynamic instruction stream depends on. */
+using TraceKey = std::tuple<std::string, int, bool, bool, bool, bool>;
+
+TraceKey
+keyOf(const Job &job)
+{
+    const prog::VisFeatures &f = job.machine.visFeatures;
+    return {job.benchmark, static_cast<int>(job.variant),
+            job.machine.skewArrays, f.direct16x16Mul, f.hasPmaddwd,
+            f.hasPdist};
+}
+
+/** One unique trace shared by all jobs with the same key. */
+struct TraceEntry
+{
+    std::mutex m;
+    size_t ordinal = 0; // group's position in key order (for sorting)
+    bool ready = false;
+    std::exception_ptr error; // recording failed
+    prog::RecordedTrace trace;
+    size_t remaining = 0; // jobs still needing the trace
+};
+
+sim::RunResult
+runReplayed(const Job &job, TraceEntry &entry)
+{
+    {
+        std::lock_guard lock(entry.m);
+        if (entry.error)
+            std::rethrow_exception(entry.error);
+        if (!entry.ready) {
+            try {
+                const Benchmark &bench = findBenchmark(job.benchmark);
+                const Variant variant = job.variant;
+                entry.trace = sim::recordTrace(
+                    [&bench, variant](prog::TraceBuilder &tb) {
+                        bench.generate(tb, variant);
+                    },
+                    job.machine.skewArrays, job.machine.visFeatures);
+                entry.ready = true;
+            } catch (...) {
+                entry.error = std::current_exception();
+                throw;
+            }
+        }
+    }
+    sim::RunResult r = sim::replayTrace(entry.trace, job.machine);
+    {
+        std::lock_guard lock(entry.m);
+        if (--entry.remaining == 0)
+            entry.trace = prog::RecordedTrace{}; // last user: drop buffers
+    }
+    return r;
+}
+
+} // namespace
 
 RunResult
 runBenchmark(const std::string &name, Variant variant,
@@ -19,32 +86,54 @@ runBenchmark(const std::string &name, Variant variant,
 }
 
 std::vector<RunResult>
-runJobs(const std::vector<Job> &jobs, unsigned threads)
+runJobs(const std::vector<Job> &jobs, unsigned threads, JobMode mode)
 {
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-        if (threads == 0)
-            threads = 4;
+    if (mode == JobMode::Auto) {
+        const char *live = std::getenv("MSIM_LIVE_JOBS");
+        mode = (live && *live && *live != '0') ? JobMode::Live
+                                               : JobMode::Recorded;
     }
-    threads = std::min<unsigned>(threads,
-                                 static_cast<unsigned>(jobs.size()));
 
     std::vector<RunResult> results(jobs.size());
-    std::atomic<size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
-                return;
-            results[i] = runBenchmark(jobs[i].benchmark,
-                                      jobs[i].variant, jobs[i].machine);
+
+    // Group jobs by trace key and order the work so each group's jobs
+    // are contiguous: at most #workers traces are ever live at once,
+    // and each is dropped after its group's last replay.
+    std::map<TraceKey, std::unique_ptr<TraceEntry>> traces;
+    std::vector<TraceEntry *> entryOf(jobs.size(), nullptr);
+    std::vector<size_t> order(jobs.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+
+    if (mode == JobMode::Recorded) {
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            auto &slot = traces[keyOf(jobs[i])];
+            if (!slot)
+                slot = std::make_unique<TraceEntry>();
+            ++slot->remaining;
+            entryOf[i] = slot.get();
         }
-    };
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+        size_t ord = 0;
+        for (auto &[key, entry] : traces)
+            entry->ordinal = ord++;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return entryOf[a]->ordinal <
+                                    entryOf[b]->ordinal;
+                         });
+    }
+
+    globalPool().parallelFor(
+        jobs.size(),
+        [&](size_t n) {
+            const size_t i = order[n];
+            const Job &job = jobs[i];
+            results[i] = mode == JobMode::Recorded
+                             ? runReplayed(job, *entryOf[i])
+                             : runBenchmark(job.benchmark, job.variant,
+                                            job.machine);
+        },
+        threads);
+
     return results;
 }
 

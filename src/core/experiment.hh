@@ -1,8 +1,15 @@
 /**
  * @file
  * The public experiment API: run a benchmark variant on a machine, and
- * run batches of independent simulations across host threads (each
- * simulation is fully self-contained).
+ * run batches of independent simulations across host threads.
+ *
+ * Batches are sweep-aware: jobs are grouped by trace key — (benchmark,
+ * variant, skewArrays, visFeatures), the full set of knobs the dynamic
+ * instruction stream depends on — and each unique stream is recorded
+ * once, then replayed against every machine config in the group
+ * (record-once / replay-many; see DESIGN.md).  Workers run on a
+ * persistent process-wide pool, and an exception thrown inside a worker
+ * (e.g. an unknown benchmark name) is rethrown on the calling thread.
  */
 
 #ifndef MSIM_CORE_EXPERIMENT_HH_
@@ -28,16 +35,26 @@ struct Job
     MachineConfig machine;
 };
 
-/** Run one benchmark variant on one machine. */
+/** How runJobs drives the timing model. */
+enum class JobMode
+{
+    Auto,     ///< Recorded, unless the MSIM_LIVE_JOBS env var is set
+    Recorded, ///< record each unique trace once, replay per config
+    Live      ///< re-run the functional benchmark for every job
+};
+
+/** Run one benchmark variant on one machine (always live). */
 RunResult runBenchmark(const std::string &name, Variant variant,
                        const MachineConfig &machine);
 
 /**
  * Run a batch of jobs, using up to @p threads host threads (0 = one
- * per hardware thread). Results are in job order.
+ * per hardware thread). Results are in job order. The first exception
+ * thrown by any job is rethrown here.
  */
 std::vector<RunResult> runJobs(const std::vector<Job> &jobs,
-                               unsigned threads = 0);
+                               unsigned threads = 0,
+                               JobMode mode = JobMode::Auto);
 
 } // namespace msim::core
 

@@ -1,5 +1,7 @@
 #include "core/registry.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 #include "jpeg/traced.hh"
 #include "kernels/addition.hh"
@@ -132,7 +134,9 @@ findBenchmark(const std::string &name)
     for (const Benchmark &b : allBenchmarks())
         if (b.name == name)
             return b;
-    fatal("unknown benchmark '%s'", name.c_str());
+    // Thrown (not fatal()) so batch drivers can surface a bad job name
+    // to their caller instead of killing the process from a worker.
+    throw std::invalid_argument("unknown benchmark '" + name + "'");
 }
 
 } // namespace msim::core

@@ -47,7 +47,7 @@ const std::vector<Benchmark> &allBenchmarks();
 /** The 12 Table-1 benchmarks only. */
 std::vector<const Benchmark *> paperBenchmarks();
 
-/** Lookup by name; calls fatal() if unknown. */
+/** Lookup by name; throws std::invalid_argument if unknown. */
 const Benchmark &findBenchmark(const std::string &name);
 
 } // namespace msim::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "cpu/replay_engine.hh"
 
 namespace msim::cpu
 {
@@ -59,14 +60,24 @@ PipelineCore::readyOf(ValId id) const
 }
 
 void
+PipelineCore::reserveValIds(size_t count)
+{
+    if (count > valReady.size()) {
+        valReady.resize(count, 0);
+        valClass.resize(count, static_cast<u8>(StallClass::FuStall));
+    }
+}
+
+void
 PipelineCore::setReady(ValId id, Cycle t)
 {
     if (id == kNoVal)
         return;
     if (id >= valReady.size()) {
-        valReady.resize(static_cast<size_t>(id) + 8192, 0);
-        valClass.resize(valReady.size(),
-                        static_cast<u8>(StallClass::FuStall));
+        // Grow geometrically so a long trace costs O(n) total copying.
+        size_t n = std::max<size_t>(valReady.size() * 2, 8192);
+        n = std::max<size_t>(n, static_cast<size_t>(id) + 1);
+        reserveValIds(n);
     }
     valReady[id] = t;
 }
@@ -106,6 +117,44 @@ PipelineCore::finish()
 {
     pump(true);
     stats_.cycles = now;
+}
+
+void
+PipelineCore::runRecorded(const prog::RecordedTrace &trace)
+{
+    if (cfg.outOfOrder) {
+        // Out-of-order replay runs in the dedicated compact engine
+        // (dependency-driven wakeup over a ring window); it produces
+        // stats bit-identical to feeding the trace live.
+        ReplayEngine engine(cfg, mem_);
+        stats_ = engine.run(trace);
+        now = stats_.cycles;
+        return;
+    }
+
+    replay_ = &trace;
+    cursor_.emplace(trace);
+    reserveValIds(static_cast<size_t>(trace.maxValId()) + 1);
+    storeDone_.assign(trace.numStores(), kNever);
+
+    while (!done())
+        step();
+    stats_.cycles = now;
+
+    // Retirement skipped the per-instruction mix tally in replay mode;
+    // the totals are a pure function of the trace's opcode counts.
+    for (unsigned i = 0; i < isa::kNumOps; ++i) {
+        const auto op = static_cast<isa::Op>(i);
+        const u64 n = trace.countOf(op);
+        if (n == 0)
+            continue;
+        switch (isa::mixClassOf(op)) {
+          case isa::MixClass::Fu: stats_.mixFu += n; break;
+          case isa::MixClass::Branch: stats_.mixBranch += n; break;
+          case isa::MixClass::Memory: stats_.mixMemory += n; break;
+          case isa::MixClass::Vis: stats_.mixVis += n; break;
+        }
+    }
 }
 
 void
@@ -152,6 +201,22 @@ PipelineCore::forwardingReady(const DynInst &load) const
     return best ? best->dataReady : kNever;
 }
 
+Cycle
+PipelineCore::replayForwardingReady(const DynInst &load) const
+{
+    // The reference scan picks the youngest older covering store still
+    // in the ring. The candidate is precomputed at record time; the
+    // ring holds the last kFwdRingSize dispatched stores, so residency
+    // is one comparison, and an unissued candidate's dataReady is
+    // kNever exactly like the reference ring entry's.
+    const u32 cand = load.fwdCand;
+    if (cand == prog::kNoFwdStore)
+        return kNever;
+    if (cand + kFwdRingSize < dispatchedStores_)
+        return kNever; // evicted before this load issued
+    return storeDone_[cand];
+}
+
 bool
 PipelineCore::canIssue(const DynInst &di) const
 {
@@ -170,7 +235,8 @@ PipelineCore::issue(DynInst &di)
 
     switch (di.inst.op) {
       case Op::Load: {
-        const Cycle fwd = forwardingReady(di);
+        const Cycle fwd =
+            replay_ ? replayForwardingReady(di) : forwardingReady(di);
         if (fwd != kNever) {
             di.readyTime = std::max(done, fwd);
             di.level = mem::HitLevel::L1;
@@ -201,7 +267,9 @@ PipelineCore::issue(DynInst &di)
         di.memFreeTime = res.ready;
         di.level = res.level;
         memqFrees.push(di.memFreeTime);
-        if (di.fwdRing >= 0)
+        if (replay_)
+            storeDone_[di.storeOrd] = done;
+        else if (di.fwdRing >= 0)
             fwdRing[di.fwdRing].dataReady = done;
         break;
       }
@@ -254,11 +322,15 @@ PipelineCore::tryRetire()
                                        : StallClass::MemL1Miss;
             pendingStores.emplace_back(head.memFreeTime, cls);
         }
-        switch (isa::mixClassOf(head.inst.op)) {
-          case isa::MixClass::Fu: ++stats_.mixFu; break;
-          case isa::MixClass::Branch: ++stats_.mixBranch; break;
-          case isa::MixClass::Memory: ++stats_.mixMemory; break;
-          case isa::MixClass::Vis: ++stats_.mixVis; break;
+        if (!replay_) {
+            // Replay derives the mix totals from the trace's opcode
+            // counts in one pass at the end (see runRecorded).
+            switch (isa::mixClassOf(head.inst.op)) {
+              case isa::MixClass::Fu: ++stats_.mixFu; break;
+              case isa::MixClass::Branch: ++stats_.mixBranch; break;
+              case isa::MixClass::Memory: ++stats_.mixMemory; break;
+              case isa::MixClass::Vis: ++stats_.mixVis; break;
+            }
         }
         ++stats_.retired;
         ++retired;
@@ -350,6 +422,61 @@ PipelineCore::tryDispatch()
     return dispatched;
 }
 
+unsigned
+PipelineCore::tryDispatchReplay()
+{
+    unsigned dispatched = 0;
+    unsigned taken_this_cycle = 0;
+    while (dispatched < cfg.issueWidth && !cursor_->atEnd()) {
+        if (awaitingRedirect || now < dispatchBlockedUntil)
+            break;
+        if (window.size() >= cfg.windowSize)
+            break;
+        if (specBranches >= cfg.maxSpecBranches)
+            break;
+        const isa::Op op = cursor_->peekOp();
+        const bool is_mem = op == isa::Op::Load || op == isa::Op::Store ||
+                            op == isa::Op::Prefetch;
+        if (is_mem && memqUsed >= cfg.memQueueSize)
+            break;
+
+        window.emplace_back();
+        DynInst &di = window.back();
+        cursor_->next(di.inst, di.fwdCand, di.storeOrd);
+        di.seq = nextSeq++;
+        if (di.inst.dst != kNoVal)
+            setReady(di.inst.dst, kNever);
+
+        if (di.inst.isBranch()) {
+            const bool correct =
+                predictor.predictAndUpdate(di.inst.pc, di.inst.taken());
+            ++stats_.branches;
+            ++specBranches;
+            if (!correct) {
+                ++stats_.mispredicts;
+                di.mispredicted = true;
+            }
+        }
+        if (di.inst.isStore())
+            ++dispatchedStores_;
+        if (is_mem)
+            ++memqUsed;
+
+        unissued.push_back(&di);
+        ++dispatched;
+
+        if (di.mispredicted) {
+            awaitingRedirect = true;
+            break; // no fetch past an unresolved mispredicted branch
+        }
+        if (di.inst.isBranch() && di.inst.taken() &&
+            ++taken_this_cycle >= cfg.takenBranchesPerCycle) {
+            break; // fetch limit: one taken branch per cycle
+        }
+    }
+    return dispatched;
+}
+
 StallClass
 PipelineCore::classifyBlock() const
 {
@@ -426,7 +553,8 @@ PipelineCore::step()
 
     const unsigned retired = tryRetire();
     const unsigned issued = tryExecute();
-    const unsigned dispatched = tryDispatch();
+    const unsigned dispatched =
+        replay_ ? tryDispatchReplay() : tryDispatch();
 
     const double r = static_cast<double>(retired) / cfg.retireWidth;
     stats_.charge(StallClass::Busy, r);
@@ -436,8 +564,7 @@ PipelineCore::step()
         stats_.charge(block, 1.0 - r);
     }
 
-    if (retired == 0 && issued == 0 && dispatched == 0 &&
-        !(window.empty() && fetchBuf.empty())) {
+    if (retired == 0 && issued == 0 && dispatched == 0 && !done()) {
         // Nothing happened this cycle: fast-forward to the next event
         // (computed against the *current* cycle so an event one cycle
         // out is found), charging the idle gap to the blocking class.

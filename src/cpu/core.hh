@@ -21,12 +21,28 @@
  * are never materialized. Idle stretches (e.g. the tail of an L2 miss)
  * are fast-forwarded in one step with their stall time charged to the
  * blocking instruction's component.
+ *
+ * Two drive modes share the cycle-level machinery:
+ *
+ *  - Live (feed()/finish()): the reference path. Issue selection scans
+ *    the window in program order each cycle, and store-to-load
+ *    forwarding scans the 64-entry store ring per load.
+ *  - Replay (runRecorded()): streams a prog::RecordedTrace through the
+ *    pipeline. In-order configurations replay here, with forwarding
+ *    from the trace's precomputed candidate store plus an O(1)
+ *    ring-residency check; out-of-order replay is delegated to the
+ *    compact dependency-driven ReplayEngine (cpu/replay_engine.hh).
+ *    Both are exact transliterations of the reference selection — same
+ *    candidates in the same program order each cycle — so replay
+ *    results are bit-identical to the live path (enforced by the
+ *    replay-fidelity test suite).
  */
 
 #ifndef MSIM_CPU_CORE_HH_
 #define MSIM_CPU_CORE_HH_
 
 #include <deque>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -35,6 +51,7 @@
 #include "cpu/fu_pool.hh"
 #include "isa/inst.hh"
 #include "mem/hierarchy.hh"
+#include "prog/recorded_trace.hh"
 
 namespace msim::cpu
 {
@@ -72,6 +89,19 @@ class PipelineCore : public isa::InstSink
     void finish() override;
 
     /**
+     * Replay drive: stream @p trace through the pipeline to completion
+     * (no feed()/finish() needed). Statistics end up in stats() exactly
+     * as if the trace had been fed live.
+     */
+    void runRecorded(const prog::RecordedTrace &trace);
+
+    /**
+     * Pre-size the value-readiness tables for @p count SSA ids, e.g.
+     * from a recorded trace's maxValId(); avoids growth during the run.
+     */
+    void reserveValIds(size_t count);
+
+    /**
      * Multi-core driving: when manual pumping is enabled, feed() only
      * buffers (the whole trace can be queued up front) and an external
      * scheduler advances each core's clock in quanta with runTo(), so
@@ -83,7 +113,7 @@ class PipelineCore : public isa::InstSink
     void runTo(Cycle target);
 
     /** True when every buffered instruction has retired. */
-    bool done() const { return window.empty() && fetchBuf.empty(); }
+    bool done() const { return window.empty() && fetchEmpty(); }
 
     Cycle nowCycle() const { return now; }
 
@@ -103,6 +133,11 @@ class PipelineCore : public isa::InstSink
         bool issued = false;
         bool mispredicted = false;
         mem::HitLevel level = mem::HitLevel::L1;
+
+        // Replay-mode state (in-order replay; see ReplayEngine for the
+        // out-of-order path).
+        u32 fwdCand = ~u32{0};     ///< load: candidate store ordinal
+        u32 storeOrd = ~u32{0};    ///< store: forwarding-ring ordinal
     };
 
     struct RingEntry
@@ -130,6 +165,10 @@ class PipelineCore : public isa::InstSink
     unsigned tryExecute();
     unsigned tryDispatch();
 
+    // Replay-mode counterparts (see file comment).
+    unsigned tryDispatchReplay();
+    Cycle replayForwardingReady(const DynInst &load) const;
+
     bool canIssue(const DynInst &di) const;
     void issue(DynInst &di);
 
@@ -148,6 +187,26 @@ class PipelineCore : public isa::InstSink
 
     /** Try store-to-load forwarding; returns kNever if no match. */
     Cycle forwardingReady(const DynInst &load) const;
+
+    /** Any instructions left to dispatch? */
+    bool
+    fetchEmpty() const
+    {
+        return replay_ ? cursor_->atEnd() : fetchBuf.empty();
+    }
+
+    /** Window entry for a dispatched-but-unretired sequence number. */
+    DynInst &
+    windowAt(u64 seq)
+    {
+        return window[static_cast<size_t>(seq - window.front().seq)];
+    }
+
+    const DynInst &
+    windowAt(u64 seq) const
+    {
+        return window[static_cast<size_t>(seq - window.front().seq)];
+    }
 
     CoreConfig cfg;
     mem::MemoryPort &mem_;
@@ -174,6 +233,13 @@ class PipelineCore : public isa::InstSink
     /// Stall classes of stores still holding memory-queue slots after
     /// retirement, with their release times (for attribution).
     std::vector<std::pair<Cycle, StallClass>> pendingStores;
+
+    // Replay state (in-order configurations only; the out-of-order
+    // path runs in ReplayEngine).
+    const prog::RecordedTrace *replay_ = nullptr;
+    std::optional<prog::RecordedTrace::Cursor> cursor_;
+    std::vector<Cycle> storeDone_; ///< store ordinal -> data-ready cycle
+    u32 dispatchedStores_ = 0;
 
     Cycle now = 0;
     bool manualPump = false;

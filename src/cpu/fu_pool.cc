@@ -52,4 +52,19 @@ FuPool::nextFree(isa::Op op, Cycle t) const
     return std::max(t, earliest);
 }
 
+bool
+FuPool::availableClass(isa::FuClass cls, Cycle t) const
+{
+    const auto &u = units[static_cast<unsigned>(cls)];
+    return std::any_of(u.begin(), u.end(),
+                       [t](Cycle busy) { return busy <= t; });
+}
+
+Cycle
+FuPool::nextFreeClass(isa::FuClass cls, Cycle t) const
+{
+    const auto &u = units[static_cast<unsigned>(cls)];
+    return std::max(t, *std::min_element(u.begin(), u.end()));
+}
+
 } // namespace msim::cpu

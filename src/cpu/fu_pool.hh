@@ -39,6 +39,10 @@ class FuPool
     /** Earliest cycle >= @p t at which a unit of @p op's class frees. */
     Cycle nextFree(isa::Op op, Cycle t) const;
 
+    /** Class-level variants: one check covers every op of the class. */
+    bool availableClass(isa::FuClass cls, Cycle t) const;
+    Cycle nextFreeClass(isa::FuClass cls, Cycle t) const;
+
   private:
     const std::vector<Cycle> &unitsFor(isa::Op op) const;
     std::vector<Cycle> &unitsFor(isa::Op op);

@@ -1,0 +1,480 @@
+#include "cpu/replay_engine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "cpu/core.hh"
+
+namespace msim::cpu
+{
+
+ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
+    : issueWidth_(config.issueWidth), windowSize_(config.windowSize),
+      memQueueSize_(config.memQueueSize),
+      maxSpecBranches_(config.maxSpecBranches),
+      takenBranchesPerCycle_(config.takenBranchesPerCycle),
+      mispredictPenalty_(config.mispredictPenalty),
+      retireWidth_(config.retireWidth ? config.retireWidth
+                                      : config.issueWidth),
+      mem_(memory), predictor_(config.predictorEntries)
+{
+    const u64 cap = std::bit_ceil<u64>(std::max(1u, windowSize_));
+    slots_.resize(cap);
+    slotMask_ = cap - 1;
+
+    for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+        const unsigned n = isa::defaultFuCount(
+            static_cast<isa::FuClass>(c), config.issueWidth);
+        units_[c].count = std::min<unsigned>(
+            n, sizeof(UnitClass::busy) / sizeof(Cycle));
+    }
+    for (unsigned n = 0; n < isa::kNumOps; ++n) {
+        const auto op = static_cast<isa::Op>(n);
+        const isa::OpTiming t = isa::timingOf(op);
+        opCls_[n] = static_cast<u8>(isa::fuClassOf(op));
+        opLat_[n] = static_cast<u8>(t.latency);
+        opPipe_[n] = t.pipelined;
+    }
+}
+
+Cycle
+ReplayEngine::forwardingReady(const Slot &load) const
+{
+    // The reference scan picks the youngest older covering store still
+    // in the forwarding ring. The candidate is precomputed at record
+    // time; the ring holds the last kFwdWindow dispatched stores, so
+    // residency is one comparison, and an unissued candidate's
+    // data-ready time is kNever exactly like the reference ring entry.
+    const u32 cand = load.fwdCand;
+    if (cand == prog::kNoFwdStore)
+        return kNever;
+    if (cand + prog::kFwdWindow < dispatchedStores_)
+        return kNever; // evicted before this load issued
+    return storeDone_[cand];
+}
+
+void
+ReplayEngine::issueSlot(Slot &s)
+{
+    using isa::Op;
+    s.issued = true;
+    const Cycle done = unitReserve(s.op, now_);
+
+    switch (s.op) {
+      case Op::Load: {
+        const Cycle fwd = forwardingReady(s);
+        if (fwd != kNever) {
+            s.readyTime = std::max(done, fwd);
+            s.level = mem::HitLevel::L1;
+            ++stats_.loadsL1;
+        } else {
+            const auto res = mem_.access(s.addr, mem::AccessKind::Load, done);
+            s.readyTime = res.ready;
+            s.level = res.level;
+            switch (res.level) {
+              case mem::HitLevel::L1: ++stats_.loadsL1; break;
+              case mem::HitLevel::L2: ++stats_.loadsL2; break;
+              case mem::HitLevel::Memory: ++stats_.loadsMem; break;
+            }
+        }
+        s.memFreeTime = s.readyTime;
+        memqFrees_.push(s.memFreeTime);
+        break;
+      }
+      case Op::Store: {
+        const auto res = mem_.access(s.addr, mem::AccessKind::Store, done);
+        s.readyTime = done; // retirement does not wait for stores
+        s.memFreeTime = res.ready;
+        s.level = res.level;
+        memqFrees_.push(s.memFreeTime);
+        storeDone_[s.storeOrd] = done;
+        break;
+      }
+      case Op::Prefetch: {
+        const auto res =
+            mem_.access(s.addr, mem::AccessKind::Prefetch, done);
+        s.readyTime = done;
+        s.memFreeTime = done;
+        memqFrees_.push(done);
+        ++stats_.prefetchesIssued;
+        if (res.dropped)
+            ++stats_.prefetchesDropped;
+        break;
+      }
+      case Op::Branch: {
+        s.readyTime = done; // the branch resolves when it executes
+        branchResolves_.push(done);
+        if (s.mispredicted) {
+            dispatchBlockedUntil_ = done + mispredictPenalty_;
+            awaitingRedirect_ = false;
+        }
+        break;
+      }
+      default: {
+        s.readyTime = done;
+        break;
+      }
+    }
+}
+
+void
+ReplayEngine::wakeWaiters(Slot &producer)
+{
+    // The producer's value becomes available at its readyTime (loads
+    // and ALU ops write that very cycle into valReady_), so folding it
+    // into each waiter's running depTime maximum reproduces the
+    // reference recomputation over all sources.
+    u32 link = producer.waiterHead;
+    producer.waiterHead = kNil;
+    const Cycle t = producer.readyTime;
+    while (link != kNil) {
+        Slot &w = slots_[link >> 2];
+        const unsigned si = link & 3;
+        link = w.waiterNext[si];
+        w.depTime = std::max(w.depTime, t);
+        if (--w.unknownSrcs == 0) {
+            readyHeap_.emplace_back(w.depTime, w.seq);
+            std::push_heap(readyHeap_.begin(), readyHeap_.end(),
+                           std::greater<>{});
+        }
+    }
+}
+
+unsigned
+ReplayEngine::tryRetire()
+{
+    unsigned retired = 0;
+    while (retired < retireWidth_ && windowCount_ != 0) {
+        Slot &head = at(headSeq_);
+        if (!head.issued)
+            break;
+        if (head.readyTime > now_)
+            break;
+        if (head.op == isa::Op::Store && head.memFreeTime > now_) {
+            // The store retires but keeps its memory-queue slot until
+            // the cache accepts it; remember what it is waiting on.
+            const StallClass cls = head.level == mem::HitLevel::L1
+                                       ? StallClass::MemL1Hit
+                                       : StallClass::MemL1Miss;
+            pendingStores_.emplace_back(head.memFreeTime, cls);
+        }
+        // The instruction-mix tally is folded from the trace's opcode
+        // counts in one pass at the end of run().
+        ++stats_.retired;
+        ++retired;
+        ++headSeq_;
+        --windowCount_;
+    }
+    return retired;
+}
+
+unsigned
+ReplayEngine::tryExecute()
+{
+    // Reference semantics: scan all unissued in program order and issue
+    // every source-ready instruction with a free unit, up to the issue
+    // width.  Only dep-ready instructions are tracked here, bucketed by
+    // FU class.  Within a cycle a class's availability only ever goes
+    // from free to busy (reservations never release mid-cycle), so a
+    // class that checks busy can be skipped wholesale, and merging the
+    // per-class buckets in ascending sequence order visits the same
+    // issuable instructions in the same order as the reference scan —
+    // hence the same FU reservations and cache accesses.
+    while (!readyHeap_.empty() && readyHeap_.front().first <= now_) {
+        const u64 seq = readyHeap_.front().second;
+        std::pop_heap(readyHeap_.begin(), readyHeap_.end(),
+                      std::greater<>{});
+        readyHeap_.pop_back();
+        auto &bucket = eligClass_[at(seq).cls];
+        bucket.insert(
+            std::lower_bound(bucket.begin(), bucket.end(), seq), seq);
+    }
+
+    size_t pos[isa::kNumFuClasses];
+    bool avail[isa::kNumFuClasses];
+    for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+        pos[c] = 0;
+        avail[c] = !eligClass_[c].empty() && unitAvailable(c, now_);
+    }
+
+    unsigned issued = 0;
+    while (issued < issueWidth_) {
+        unsigned best = isa::kNumFuClasses;
+        u64 bestSeq = 0;
+        for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+            if (!avail[c] || pos[c] >= eligClass_[c].size())
+                continue;
+            const u64 s = eligClass_[c][pos[c]];
+            if (best == isa::kNumFuClasses || s < bestSeq) {
+                best = c;
+                bestSeq = s;
+            }
+        }
+        if (best == isa::kNumFuClasses)
+            break;
+        Slot &s = at(bestSeq);
+        issueSlot(s);
+        if (s.waiterHead != kNil)
+            wakeWaiters(s);
+        auto &bucket = eligClass_[best];
+        bucket.erase(bucket.begin() +
+                     static_cast<std::ptrdiff_t>(pos[best]));
+        ++issued;
+        avail[best] =
+            pos[best] < bucket.size() && unitAvailable(best, now_);
+    }
+    return issued;
+}
+
+unsigned
+ReplayEngine::tryDispatch()
+{
+    using isa::Op;
+    unsigned dispatched = 0;
+    unsigned taken_this_cycle = 0;
+    while (dispatched < issueWidth_ && fetchPos_ < instCount_) {
+        if (awaitingRedirect_ || now_ < dispatchBlockedUntil_)
+            break;
+        if (windowCount_ >= windowSize_)
+            break;
+        if (specBranches_ >= maxSpecBranches_)
+            break;
+        const Op op = static_cast<Op>(ops_[fetchPos_]);
+        const bool is_mem =
+            op == Op::Load || op == Op::Store || op == Op::Prefetch;
+        if (is_mem && memqUsed_ >= memQueueSize_)
+            break;
+
+        const u64 seq = headSeq_ + windowCount_;
+        Slot &s = slots_[seq & slotMask_];
+        s.seq = seq;
+        s.op = op;
+        s.cls = static_cast<u8>(isa::fuClassOf(op));
+        s.readyTime = kNever;
+        s.depTime = 0;
+        s.memFreeTime = 0;
+        s.waiterHead = kNil;
+        s.issued = false;
+        s.mispredicted = false;
+
+        bool taken = false;
+        if (op == Op::Branch) {
+            taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
+            const bool correct =
+                predictor_.predictAndUpdate(branchPcs_[branchPos_++],
+                                            taken);
+            ++stats_.branches;
+            ++specBranches_;
+            if (!correct) {
+                ++stats_.mispredicts;
+                s.mispredicted = true;
+            }
+        }
+        if (is_mem) {
+            s.addr = memAddrs_[memPos_++];
+            ++memqUsed_;
+            if (op == Op::Load)
+                s.fwdCand = loadFwds_[loadPos_++];
+            else if (op == Op::Store)
+                s.storeOrd = dispatchedStores_++;
+        }
+
+        // A producer outside the window has retired, so its value is
+        // ready in the past and cannot affect the heap order or the
+        // fast-forward bound; only in-window producers matter.
+        Cycle dep = 0;
+        unsigned unknown = 0;
+        const unsigned ns = numSrcs_[fetchPos_];
+        for (unsigned i = 0; i < ns; ++i) {
+            const u32 prod = srcProds_[srcPos_ + i];
+            if (prod == prog::kNoProducer || prod < headSeq_)
+                continue; // produced before the window: always ready
+            Slot &p = slots_[prod & slotMask_];
+            if (!p.issued) {
+                s.waiterNext[i] = p.waiterHead;
+                p.waiterHead =
+                    static_cast<u32>((seq & slotMask_) << 2) | i;
+                ++unknown;
+            } else {
+                dep = std::max(dep, p.readyTime);
+            }
+        }
+        srcPos_ += ns;
+        s.unknownSrcs = static_cast<u8>(unknown);
+        s.depTime = dep;
+        if (unknown == 0) {
+            readyHeap_.emplace_back(dep, seq);
+            std::push_heap(readyHeap_.begin(), readyHeap_.end(),
+                           std::greater<>{});
+        }
+
+        ++fetchPos_;
+        ++windowCount_;
+        ++dispatched;
+
+        if (s.mispredicted) {
+            awaitingRedirect_ = true;
+            break; // no fetch past an unresolved mispredicted branch
+        }
+        if (taken && ++taken_this_cycle >= takenBranchesPerCycle_)
+            break; // fetch limit: one taken branch per cycle
+    }
+    return dispatched;
+}
+
+void
+ReplayEngine::expireEvents()
+{
+    while (!memqFrees_.empty() && memqFrees_.top() <= now_) {
+        memqFrees_.pop();
+        --memqUsed_;
+    }
+    while (!branchResolves_.empty() && branchResolves_.top() <= now_) {
+        branchResolves_.pop();
+        --specBranches_;
+    }
+    std::erase_if(pendingStores_,
+                  [this](const auto &p) { return p.first <= now_; });
+}
+
+StallClass
+ReplayEngine::classifyBlock() const
+{
+    if (windowCount_ != 0) {
+        const Slot &head = at(headSeq_);
+        if (head.issued && head.readyTime > now_ &&
+            head.op == isa::Op::Load) {
+            return head.level == mem::HitLevel::L1 ? StallClass::MemL1Hit
+                                                   : StallClass::MemL1Miss;
+        }
+        return StallClass::FuStall;
+    }
+    if (awaitingRedirect_ || now_ < dispatchBlockedUntil_)
+        return StallClass::FuStall;
+    // Dispatch blocked by a full memory queue: charge the earliest
+    // pending store's memory level.
+    const std::pair<Cycle, StallClass> *oldest = nullptr;
+    for (const auto &p : pendingStores_) {
+        if (p.first > now_ && (!oldest || p.first < oldest->first))
+            oldest = &p;
+    }
+    if (oldest)
+        return oldest->second;
+    return StallClass::FuStall;
+}
+
+Cycle
+ReplayEngine::nextEventTime() const
+{
+    // Same value as the reference nextEventTime(): instructions with an
+    // unissued producer contribute kNever there and are exactly the
+    // ones absent from eligClass_/readyHeap_ here.
+    Cycle next = kNever;
+    if (windowCount_ != 0) {
+        const Slot &head = at(headSeq_);
+        if (head.issued && head.readyTime > now_)
+            next = std::min(next, head.readyTime);
+    }
+    for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+        if (eligClass_[c].empty())
+            continue;
+        // Eligible instructions' sources are all ready (<= now), so
+        // only the unit's next free time can push them past now + 1.
+        const Cycle t = std::max(now_ + 1, unitNextFree(c, now_));
+        next = std::min(next, t);
+    }
+    for (const auto &[dep, seq] : readyHeap_) {
+        Cycle t = std::max(now_ + 1, dep);
+        t = std::max(t, unitNextFree(at(seq).cls, now_));
+        next = std::min(next, t);
+    }
+    if (!memqFrees_.empty())
+        next = std::min(next, memqFrees_.top());
+    if (!branchResolves_.empty())
+        next = std::min(next, branchResolves_.top());
+    if (dispatchBlockedUntil_ > now_)
+        next = std::min(next, dispatchBlockedUntil_);
+    return next;
+}
+
+ExecStats
+ReplayEngine::run(const prog::RecordedTrace &trace)
+{
+    ops_ = trace.opCol().data();
+    flags_ = trace.flagsCol().data();
+    numSrcs_ = trace.numSrcsCol().data();
+    srcProds_ = trace.srcProdCol().data();
+    memAddrs_ = trace.memAddrCol().data();
+    branchPcs_ = trace.branchPcCol().data();
+    loadFwds_ = trace.loadFwdCol().data();
+    instCount_ = trace.instCount();
+
+    storeDone_.assign(trace.numStores(), kNever);
+
+    while (windowCount_ != 0 || fetchPos_ < instCount_) {
+        expireEvents();
+
+        const unsigned retired = tryRetire();
+        const unsigned issued = tryExecute();
+        const unsigned dispatched = tryDispatch();
+
+        const double r = static_cast<double>(retired) / retireWidth_;
+        stats_.charge(StallClass::Busy, r);
+        StallClass block = StallClass::Busy;
+        if (retired < retireWidth_) {
+            block = classifyBlock();
+            stats_.charge(block, 1.0 - r);
+        }
+
+        if (retired == 0 && issued == 0 && dispatched == 0 &&
+            (windowCount_ != 0 || fetchPos_ < instCount_)) {
+            // Nothing happened this cycle: fast-forward to the next
+            // event (computed against the *current* cycle so an event
+            // one cycle out is found), charging the idle gap to the
+            // blocking class.
+            const Cycle next = nextEventTime();
+            if (next == kNever) {
+                if (windowCount_ != 0) {
+                    const Slot &head = at(headSeq_);
+                    panic("replay deadlock at cycle %llu: window=%llu "
+                          "head{op=%s issued=%d ready=%llu} memq=%u "
+                          "spec=%u",
+                          static_cast<unsigned long long>(now_),
+                          static_cast<unsigned long long>(windowCount_),
+                          isa::opName(head.op), head.issued,
+                          static_cast<unsigned long long>(head.readyTime),
+                          memqUsed_, specBranches_);
+                }
+                ++now_; // dispatch-only state; proceeds next cycle
+                continue;
+            }
+            if (next > now_ + 1) {
+                const Cycle dt = next - now_ - 1;
+                stats_.charge(block, static_cast<double>(dt));
+                now_ = next;
+                continue;
+            }
+        }
+        ++now_;
+    }
+    stats_.cycles = now_;
+
+    // Retirement skipped the per-instruction mix tally; the totals are
+    // a pure function of the trace's opcode counts.
+    for (unsigned i = 0; i < isa::kNumOps; ++i) {
+        const auto op = static_cast<isa::Op>(i);
+        const u64 n = trace.countOf(op);
+        if (n == 0)
+            continue;
+        switch (isa::mixClassOf(op)) {
+          case isa::MixClass::Fu: stats_.mixFu += n; break;
+          case isa::MixClass::Branch: stats_.mixBranch += n; break;
+          case isa::MixClass::Memory: stats_.mixMemory += n; break;
+          case isa::MixClass::Vis: stats_.mixVis += n; break;
+        }
+    }
+    return stats_;
+}
+
+} // namespace msim::cpu

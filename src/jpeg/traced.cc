@@ -195,9 +195,7 @@ emitColorInv(TraceBuilder &tb, Variant variant, const PlaneBuf &py,
 {
     const bool vis = variant != Variant::Scalar;
     const u32 loop_pc = tb.makePc("jpg.cci");
-    static thread_local u32 clamp_pc = 0;
-    if (!clamp_pc)
-        clamp_pc = tb.makePc("jpg.cciclamp");
+    const u32 clamp_pc = tb.sitePc("jpg.cciclamp");
 
     if (!vis) {
         // Scalar: interleaved 3-byte RGB output with clamp branches.

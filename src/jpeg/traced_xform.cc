@@ -58,8 +58,6 @@ TracedBitWriter::put(u32 code, unsigned len)
 {
     if (!len)
         return;
-    static u32 flush_pc_tag = 0;
-    (void)flush_pc_tag;
     accVal = tb.orOp(tb.shl(accVal, len), tb.imm(code));
     acc = (acc << len) | (code & ((u32{1} << len) - 1));
     nbits += len;
@@ -70,9 +68,7 @@ void
 TracedBitWriter::flushBytes()
 {
     // One flush-check branch per put (compiled bit-writer idiom).
-    static thread_local u32 pc = 0;
-    if (!pc)
-        pc = tb.makePc("bw.flush");
+    const u32 pc = tb.sitePc("bw.flush");
     tb.branch(pc, nbits >= 8, accVal);
     while (nbits >= 8) {
         nbits -= 8;
@@ -131,9 +127,7 @@ TracedBitReader::TracedBitReader(TraceBuilder &tb,
 void
 TracedBitReader::consumeBits(unsigned n)
 {
-    static thread_local u32 pc = 0;
-    if (!pc)
-        pc = tb.makePc("br.bit");
+    const u32 pc = tb.sitePc("br.bit");
     for (unsigned i = 0; i < n; ++i) {
         if (bits_consumed % 8 == 0) {
             Val byte = tb.load(base + bits_consumed / 8, 1);
@@ -147,9 +141,7 @@ TracedBitReader::consumeBits(unsigned n)
 unsigned
 TracedBitReader::decodeSym(const TracedHuff &huff)
 {
-    static thread_local u32 walk_pc = 0;
-    if (!walk_pc)
-        walk_pc = tb.makePc("br.walk");
+    const u32 walk_pc = tb.sitePc("br.walk");
     unsigned len = 0;
     const unsigned sym = huff.table().decode(reader, len);
     // Canonical walk: per level, accumulate one bit and compare against
@@ -260,11 +252,8 @@ fdctQuantImpl(TraceBuilder &tb, Variant variant,
 
     // --- Quantize (scalar in both variants; paper: VIS-inapplicable) --
     Val qv[64];
-    static thread_local u32 sign_pc = 0, sign2_pc = 0;
-    if (!sign_pc) {
-        sign_pc = tb.makePc("quant.sign");
-        sign2_pc = tb.makePc("quant.sign2");
-    }
+    const u32 sign_pc = tb.sitePc("quant.sign");
+    const u32 sign2_pc = tb.sitePc("quant.sign2");
     for (unsigned i = 0; i < 64; ++i) {
         Val c = tb.load(sb + 2 * i, 2, Val{}, true);
         Val recip = tb.load(tables.quantEntry(chroma, i), 4);
@@ -369,11 +358,8 @@ emitIdctBlock(TraceBuilder &tb, Variant variant,
     }
 
     // --- Inverse row pass (scalar) + output ----------------------------
-    static thread_local u32 clamp_lo_pc = 0, clamp_hi_pc = 0;
-    if (!clamp_lo_pc) {
-        clamp_lo_pc = tb.makePc("idct.lo");
-        clamp_hi_pc = tb.makePc("idct.hi");
-    }
+    const u32 clamp_lo_pc = tb.sitePc("idct.lo");
+    const u32 clamp_hi_pc = tb.sitePc("idct.hi");
     for (unsigned r = 0; r < 8; ++r) {
         Val row[8];
         for (unsigned k = 0; k < 8; ++k)
@@ -440,11 +426,8 @@ emitEncodeBlock(TraceBuilder &tb, TracedBitWriter &bw,
                 Addr block_addr, const s16 *zz, int &dc_pred,
                 unsigned ss_start, unsigned ss_end)
 {
-    static thread_local u32 zero_pc = 0, cat_pc = 0;
-    if (!zero_pc) {
-        zero_pc = tb.makePc("jent.zero");
-        cat_pc = tb.makePc("jent.cat");
-    }
+    const u32 zero_pc = tb.sitePc("jent.zero");
+    const u32 cat_pc = tb.sitePc("jent.cat");
 
     std::vector<Sym> syms;
     int pred = dc_pred;
@@ -482,9 +465,7 @@ emitStatsBlock(TraceBuilder &tb, Addr block_addr, const s16 *zz,
                int &dc_pred, unsigned ss_start, unsigned ss_end,
                Addr freq_table)
 {
-    static thread_local u32 zero_pc = 0;
-    if (!zero_pc)
-        zero_pc = tb.makePc("jent.stat");
+    const u32 zero_pc = tb.sitePc("jent.stat");
 
     std::vector<Sym> syms;
     blockToSymbols(zz, dc_pred, ss_start, ss_end, syms);
@@ -508,9 +489,7 @@ emitDecodeBlock(TraceBuilder &tb, TracedBitReader &br,
                 int &dc_pred, unsigned ss_start, unsigned ss_end,
                 Addr dst)
 {
-    static thread_local u32 sign_pc = 0;
-    if (!sign_pc)
-        sign_pc = tb.makePc("jdec.sign");
+    const u32 sign_pc = tb.sitePc("jdec.sign");
 
     unsigned i = ss_start;
     if (ss_start == 0) {

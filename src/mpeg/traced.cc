@@ -89,11 +89,8 @@ u32
 emitSad16(TraceBuilder &tb, Variant variant, Addr cur,
           unsigned cur_stride, Addr ref, unsigned ref_stride)
 {
-    static thread_local u32 abs_pc = 0, row_pc = 0;
-    if (!abs_pc) {
-        abs_pc = tb.makePc("me.abs");
-        row_pc = tb.makePc("me.row");
-    }
+    const u32 abs_pc = tb.sitePc("me.abs");
+    const u32 row_pc = tb.sitePc("me.row");
 
     // MVI-class ISAs have no pdist; their motion estimation stays scalar.
     if (variant == Variant::Scalar || !tb.features().hasPdist) {
@@ -138,9 +135,7 @@ MotionMatch
 emitFullSearch(TraceBuilder &tb, Variant variant, const FrameBufs &cur,
                unsigned mx, unsigned my, const FrameBufs &ref, int range)
 {
-    static thread_local u32 best_pc = 0;
-    if (!best_pc)
-        best_pc = tb.makePc("me.best");
+    const u32 best_pc = tb.sitePc("me.best");
 
     MotionMatch best;
     best.sad = ~u32{0};
@@ -287,9 +282,7 @@ emitReconAdd(TraceBuilder &tb, Variant variant, Addr pred,
              unsigned pred_stride, Addr resid, Addr dst,
              unsigned dst_stride, bool have_residual)
 {
-    static thread_local u32 clamp_pc = 0;
-    if (!clamp_pc)
-        clamp_pc = tb.makePc("mc.clamp");
+    const u32 clamp_pc = tb.sitePc("mc.clamp");
 
     if (variant == Variant::Scalar) {
         for (unsigned y = 0; y < 8; ++y)

@@ -1,0 +1,122 @@
+#include "prog/recorded_trace.hh"
+
+#include <algorithm>
+
+namespace msim::prog
+{
+
+using isa::Inst;
+using isa::Op;
+
+size_t
+RecordedTrace::byteSize() const
+{
+    return op_.size() * (sizeof(u8) * 3 + sizeof(ValId)) +
+           srcs_.size() * (sizeof(ValId) + sizeof(u32)) +
+           memAddr_.size() * (sizeof(Addr) + sizeof(u8)) +
+           branchPc_.size() * sizeof(u32) + loadFwd_.size() * sizeof(u32);
+}
+
+void
+RecordedTrace::Cursor::next(Inst &inst, u32 &fwd_store, u32 &store_ord)
+{
+    inst = Inst{};
+    inst.op = static_cast<Op>(t_.op_[pos_]);
+    inst.flags = t_.flags_[pos_];
+    inst.dst = t_.dst_[pos_];
+    inst.numSrcs = t_.numSrcs_[pos_];
+    for (unsigned i = 0; i < inst.numSrcs; ++i)
+        inst.src[i] = t_.srcs_[srcPos_ + i];
+    srcPos_ += inst.numSrcs;
+
+    fwd_store = kNoFwdStore;
+    store_ord = kNoFwdStore;
+    if (inst.isMem()) {
+        inst.addr = t_.memAddr_[memPos_];
+        inst.memSize = t_.memSize_[memPos_];
+        ++memPos_;
+        if (inst.isLoad())
+            fwd_store = t_.loadFwd_[loadPos_++];
+        else if (inst.isStore())
+            store_ord = storeOrd_++;
+    } else if (inst.isBranch()) {
+        inst.pc = t_.branchPc_[branchPos_++];
+    }
+    ++pos_;
+}
+
+void
+RecordedTrace::replayInto(isa::InstSink &sink) const
+{
+    Cursor cur(*this);
+    Inst inst;
+    u32 fwd, ord;
+    while (!cur.atEnd()) {
+        cur.next(inst, fwd, ord);
+        sink.feed(inst);
+    }
+    sink.finish();
+}
+
+u32
+TraceRecorder::forwardingCandidate(Addr lo, Addr hi) const
+{
+    // Youngest (max-ordinal) older store covering [lo, hi). The core's
+    // ring keeps the last kRingSize dispatched stores, so anything
+    // older than that can never match at replay time either.
+    const RingStore *best = nullptr;
+    for (const RingStore &s : ring_) {
+        if (s.ordinal == kNoFwdStore)
+            continue;
+        if (lo >= s.addr && hi <= s.addr + s.size) {
+            if (!best || s.ordinal > best->ordinal)
+                best = &s;
+        }
+    }
+    return best ? best->ordinal : kNoFwdStore;
+}
+
+void
+TraceRecorder::feed(const Inst &inst)
+{
+    RecordedTrace &t = trace_;
+    const u32 index = static_cast<u32>(t.op_.size());
+    t.op_.push_back(static_cast<u8>(inst.op));
+    t.flags_.push_back(inst.flags);
+    t.numSrcs_.push_back(inst.numSrcs);
+    t.dst_.push_back(inst.dst);
+    for (unsigned i = 0; i < inst.numSrcs; ++i) {
+        const ValId s = inst.src[i];
+        t.srcs_.push_back(s);
+        t.srcProd_.push_back(s < producer_.size() ? producer_[s]
+                                                  : kNoProducer);
+    }
+    if (inst.dst != kNoVal) {
+        if (inst.dst >= producer_.size()) {
+            size_t n = std::max<size_t>(producer_.size() * 2, 8192);
+            n = std::max<size_t>(n, static_cast<size_t>(inst.dst) + 1);
+            producer_.resize(n, kNoProducer);
+        }
+        producer_[inst.dst] = index;
+    }
+    t.maxValId_ = std::max(t.maxValId_, inst.dst);
+
+    if (inst.isMem()) {
+        t.memAddr_.push_back(inst.addr);
+        t.memSize_.push_back(inst.memSize);
+        if (inst.isLoad()) {
+            t.loadFwd_.push_back(forwardingCandidate(
+                inst.addr, inst.addr + inst.memSize));
+        } else if (inst.isStore()) {
+            ring_[ringNext_] = RingStore{t.numStores_, inst.addr,
+                                         inst.memSize};
+            ringNext_ = (ringNext_ + 1) % kRingSize;
+            ++t.numStores_;
+        }
+    } else if (inst.isBranch()) {
+        t.branchPc_.push_back(inst.pc);
+    }
+    ++t.opCount_[static_cast<unsigned>(inst.op)];
+}
+
+} // namespace msim::prog

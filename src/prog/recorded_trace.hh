@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Record-once / replay-many trace capture.
+ *
+ * A RecordedTrace stores one benchmark variant's complete dynamic
+ * instruction stream in structure-of-arrays form: one byte-wide column
+ * per hot field (opcode, flags, source count) plus side streams that
+ * only memory and branch instructions consume (address + access width,
+ * branch site + outcome).  Source operands are stored CSR-style — a
+ * flat ValId stream indexed by the running numSrcs sum — because replay
+ * is strictly sequential.
+ *
+ * The stream emitted by the trace-builder DSL depends only on
+ * (benchmark, variant, skewArrays, visFeatures); it never observes the
+ * machine's timing.  A trace captured once can therefore be replayed
+ * against every point of a cache/latency sweep and produce results
+ * bit-identical to re-running the benchmark live (see DESIGN.md,
+ * "Trace capture & replay").
+ *
+ * Recording also precomputes two timing-independent facts the replay
+ * engine exploits:
+ *  - For every load, the ordinal of the youngest older store whose
+ *    access fully covers the load (the store-to-load forwarding
+ *    candidate).  Whether that store is still in the 64-entry
+ *    forwarding ring at load-issue time *is* timing-dependent, but
+ *    reduces to an O(1) dispatched-store-count comparison at replay.
+ *  - For every source operand, the instruction index of its producer
+ *    (kNoProducer for pre-run values).  A retired producer's value is
+ *    always ready, so the replay engine resolves dependences entirely
+ *    within its fixed-size window instead of keeping a ready-time
+ *    table over the whole SSA id space.
+ *  - Per-opcode totals, so replay derives instruction-mix and VIS
+ *    overhead statistics without re-tallying per instruction.
+ */
+
+#ifndef MSIM_PROG_RECORDED_TRACE_HH_
+#define MSIM_PROG_RECORDED_TRACE_HH_
+
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace msim::prog
+{
+
+/** No forwarding candidate for a load. */
+constexpr u32 kNoFwdStore = ~u32{0};
+
+/** A source value produced before recording started (always ready). */
+constexpr u32 kNoProducer = ~u32{0};
+
+/**
+ * Size of the core's store-to-load forwarding ring, mirrored by the
+ * recorder: a load's candidate store is evicted from the ring exactly
+ * when more than this many stores have dispatched after it.
+ */
+constexpr unsigned kFwdWindow = 64;
+
+/** See file comment. Populated by TraceRecorder; immutable afterwards. */
+class RecordedTrace
+{
+  public:
+    /** Number of dynamic instructions. */
+    u64 instCount() const { return op_.size(); }
+
+    /** Dynamic count of one opcode. */
+    u64
+    countOf(isa::Op op) const
+    {
+        return opCount_[static_cast<unsigned>(op)];
+    }
+
+    /** Largest SSA value id assigned (0 if the trace is empty). */
+    ValId maxValId() const { return maxValId_; }
+
+    /** Number of store instructions (forwarding-ring ordinal space). */
+    u32 numStores() const { return numStores_; }
+
+    /** Approximate in-memory footprint, for cache accounting. */
+    size_t byteSize() const;
+
+    /**
+     * Reconstruct the stream and feed it to @p sink in program order,
+     * finishing with sink.finish().  Every isa::Inst field is rebuilt
+     * exactly as the trace builder emitted it.
+     */
+    void replayInto(isa::InstSink &sink) const;
+
+    /**
+     * Sequential read cursor over the structure-of-arrays columns.
+     * next() rebuilds one isa::Inst and exposes the side-stream
+     * ordinals the replay engine needs (load forwarding candidate,
+     * store ordinal).
+     */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const RecordedTrace &t) : t_(t) {}
+
+        bool atEnd() const { return pos_ == t_.op_.size(); }
+
+        /** Opcode of the next instruction without consuming it. */
+        isa::Op peekOp() const
+        {
+            return static_cast<isa::Op>(t_.op_[pos_]);
+        }
+
+        /**
+         * Consume the next instruction.
+         * @param inst      Rebuilt instruction (all fields).
+         * @param fwd_store Forwarding-candidate store ordinal for loads
+         *                  (kNoFwdStore otherwise).
+         * @param store_ord This store's ring ordinal (stores only).
+         */
+        void next(isa::Inst &inst, u32 &fwd_store, u32 &store_ord);
+
+      private:
+        const RecordedTrace &t_;
+        size_t pos_ = 0;
+        size_t srcPos_ = 0;
+        size_t memPos_ = 0;
+        size_t branchPos_ = 0;
+        size_t loadPos_ = 0;
+        u32 storeOrd_ = 0;
+    };
+
+    // Raw column access for the optimized replay engine (reads the
+    // structure-of-arrays streams directly, without materializing an
+    // isa::Inst per dynamic instruction).
+    const std::vector<u8> &opCol() const { return op_; }
+    const std::vector<u8> &flagsCol() const { return flags_; }
+    const std::vector<u8> &numSrcsCol() const { return numSrcs_; }
+    const std::vector<ValId> &dstCol() const { return dst_; }
+    const std::vector<ValId> &srcsCol() const { return srcs_; }
+    const std::vector<u32> &srcProdCol() const { return srcProd_; }
+    const std::vector<Addr> &memAddrCol() const { return memAddr_; }
+    const std::vector<u32> &branchPcCol() const { return branchPc_; }
+    const std::vector<u32> &loadFwdCol() const { return loadFwd_; }
+
+  private:
+    friend class TraceRecorder;
+
+    // Per-instruction columns.
+    std::vector<u8> op_;
+    std::vector<u8> flags_;
+    std::vector<u8> numSrcs_;
+    std::vector<ValId> dst_;
+    std::vector<ValId> srcs_; ///< CSR stream, numSrcs_ entries per inst
+    std::vector<u32> srcProd_; ///< per source: producer instruction index
+
+    // Side streams, consumed sequentially by the matching op classes.
+    std::vector<Addr> memAddr_;   ///< per memory op
+    std::vector<u8> memSize_;     ///< per memory op
+    std::vector<u32> branchPc_;   ///< per branch
+    std::vector<u32> loadFwd_;    ///< per load: candidate store ordinal
+
+    u64 opCount_[isa::kNumOps] = {};
+    ValId maxValId_ = 0;
+    u32 numStores_ = 0;
+};
+
+/**
+ * InstSink that captures a stream into a RecordedTrace.  Point the
+ * trace builder at one of these instead of a timing core; after
+ * finish() the trace is complete.
+ */
+class TraceRecorder : public isa::InstSink
+{
+  public:
+    void feed(const isa::Inst &inst) override;
+    void finish() override {}
+
+    /** The captured trace; valid once the generator has run. */
+    RecordedTrace take() { return std::move(trace_); }
+
+  private:
+    /** Mirror of the core's 64-entry store-forwarding ring. */
+    struct RingStore
+    {
+        u32 ordinal = kNoFwdStore;
+        Addr addr = 0;
+        unsigned size = 0;
+    };
+
+    static constexpr unsigned kRingSize = 64;
+
+    u32 forwardingCandidate(Addr lo, Addr hi) const;
+
+    RecordedTrace trace_;
+    RingStore ring_[kRingSize];
+    unsigned ringNext_ = 0;
+    std::vector<u32> producer_; ///< ValId -> producing instruction index
+};
+
+} // namespace msim::prog
+
+#endif // MSIM_PROG_RECORDED_TRACE_HH_

@@ -34,6 +34,15 @@ TraceBuilder::makePc(const char *tag)
     return nextPc++;
 }
 
+u32
+TraceBuilder::sitePc(const char *tag)
+{
+    auto [it, inserted] = sitePcs_.try_emplace(tag, 0);
+    if (inserted)
+        it->second = makePc(tag);
+    return it->second;
+}
+
 Val
 TraceBuilder::emit2(Op op, u64 result, Val a, Val b, Val c)
 {

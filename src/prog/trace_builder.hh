@@ -14,6 +14,7 @@
 #ifndef MSIM_PROG_TRACE_BUILDER_HH_
 #define MSIM_PROG_TRACE_BUILDER_HH_
 
+#include <map>
 #include <string>
 
 #include "isa/inst.hh"
@@ -66,6 +67,17 @@ class TraceBuilder
 
     /** Allocate a static branch-site id. */
     u32 makePc(const char *tag);
+
+    /**
+     * Memoized branch-site id: one id per distinct @p tag for the
+     * lifetime of this builder. Use for sites inside helpers called
+     * many times per run (a fresh makePc per call would give every
+     * dynamic branch its own predictor entry). Never cache the result
+     * in function-local statics — those outlive the builder and leak a
+     * stale id into the next run's independently-numbered pc space,
+     * making the emitted stream depend on run order.
+     */
+    u32 sitePc(const char *tag);
 
     /** Register-resident constant; emits no instruction. */
     Val imm(u64 v) { return Val{kNoVal, v}; }
@@ -230,6 +242,7 @@ class TraceBuilder
     vis::Gsr gsr_;
     ValId nextId = 1;
     u32 nextPc = 1;
+    std::map<std::string, u32> sitePcs_;
     u64 count_ = 0;
     u64 opCount[isa::kNumOps] = {};
 };

@@ -59,4 +59,38 @@ runTrace(const Generator &generate, const MachineConfig &machine)
     return r;
 }
 
+prog::RecordedTrace
+recordTrace(const Generator &generate, bool skewArrays,
+            prog::VisFeatures visFeatures)
+{
+    prog::TraceRecorder recorder;
+    prog::TraceBuilder tb(recorder, skewArrays, true, visFeatures);
+    generate(tb);
+    tb.finish();
+    return recorder.take();
+}
+
+RunResult
+replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
+{
+    mem::Hierarchy hierarchy(machine.mem);
+    cpu::PipelineCore core(machine.core, hierarchy);
+    core.runRecorded(trace);
+
+    RunResult r;
+    r.exec = core.stats();
+    r.l1 = snapOf(hierarchy.l1());
+    r.l2 = snapOf(hierarchy.l2());
+    r.tbInstrs = trace.instCount();
+
+    using isa::Op;
+    const u64 pack = trace.countOf(Op::VisPack);
+    const u64 align = trace.countOf(Op::VisAlign);
+    const u64 gsr = trace.countOf(Op::VisGsr);
+    r.visOverheadOps = pack + align + gsr;
+    r.visOps = r.visOverheadOps + trace.countOf(Op::VisAdd) +
+               trace.countOf(Op::VisMul) + trace.countOf(Op::VisPdist);
+    return r;
+}
+
 } // namespace msim::sim

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "cpu/accounting.hh"
+#include "prog/recorded_trace.hh"
 #include "prog/trace_builder.hh"
 #include "sim/machine.hh"
 
@@ -61,6 +62,26 @@ using Generator = std::function<void(prog::TraceBuilder &)>;
 /** Run @p generate on @p machine and collect the results. */
 RunResult runTrace(const Generator &generate,
                    const MachineConfig &machine);
+
+/**
+ * Run @p generate once with a recording sink instead of a timing core,
+ * capturing the dynamic instruction stream. The stream depends only on
+ * (generator, skewArrays, visFeatures) — never on core or memory
+ * timing — so one capture serves every machine config that shares
+ * those knobs (see DESIGN.md, "Trace capture & replay").
+ */
+prog::RecordedTrace recordTrace(const Generator &generate,
+                                bool skewArrays,
+                                prog::VisFeatures visFeatures);
+
+/**
+ * Replay a captured trace against @p machine without re-running the
+ * benchmark's functional computation. Bit-identical to runTrace() with
+ * the generator that produced @p trace, provided machine.skewArrays and
+ * machine.visFeatures match the capture (enforced by test_replay).
+ */
+RunResult replayTrace(const prog::RecordedTrace &trace,
+                      const MachineConfig &machine);
 
 } // namespace msim::sim
 

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Trace capture & replay: recorder reconstruction exactness, replay
+ * fidelity (bit-identical results vs the live path) across every
+ * registered benchmark, variant, and machine shape, and the batch
+ * driver's grouping/exception behavior.
+ */
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "kernels/addition.hh"
+#include "prog/recorded_trace.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace msim::core
+{
+namespace
+{
+
+using prog::Variant;
+
+/** Sink that captures the raw stream for field-by-field comparison. */
+struct CollectingSink : isa::InstSink
+{
+    std::vector<isa::Inst> insts;
+    bool finished = false;
+
+    void feed(const isa::Inst &inst) override { insts.push_back(inst); }
+    void finish() override { finished = true; }
+};
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const Benchmark &bench = findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+/** Assert every RunResult field matches exactly (doubles included:
+ *  replay must reproduce the same per-cycle charge sequence). */
+void
+expectIdentical(const sim::RunResult &live, const sim::RunResult &replay,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(live.exec.cycles, replay.exec.cycles);
+    EXPECT_EQ(live.exec.retired, replay.exec.retired);
+    EXPECT_EQ(live.exec.busy, replay.exec.busy);
+    EXPECT_EQ(live.exec.fuStall, replay.exec.fuStall);
+    EXPECT_EQ(live.exec.memL1Hit, replay.exec.memL1Hit);
+    EXPECT_EQ(live.exec.memL1Miss, replay.exec.memL1Miss);
+    EXPECT_EQ(live.exec.mixFu, replay.exec.mixFu);
+    EXPECT_EQ(live.exec.mixBranch, replay.exec.mixBranch);
+    EXPECT_EQ(live.exec.mixMemory, replay.exec.mixMemory);
+    EXPECT_EQ(live.exec.mixVis, replay.exec.mixVis);
+    EXPECT_EQ(live.exec.branches, replay.exec.branches);
+    EXPECT_EQ(live.exec.mispredicts, replay.exec.mispredicts);
+    EXPECT_EQ(live.exec.loadsL1, replay.exec.loadsL1);
+    EXPECT_EQ(live.exec.loadsL2, replay.exec.loadsL2);
+    EXPECT_EQ(live.exec.loadsMem, replay.exec.loadsMem);
+    EXPECT_EQ(live.exec.prefetchesIssued, replay.exec.prefetchesIssued);
+    EXPECT_EQ(live.exec.prefetchesDropped, replay.exec.prefetchesDropped);
+
+    EXPECT_EQ(live.l1.accesses, replay.l1.accesses);
+    EXPECT_EQ(live.l1.hits, replay.l1.hits);
+    EXPECT_EQ(live.l1.misses, replay.l1.misses);
+    EXPECT_EQ(live.l1.writebacks, replay.l1.writebacks);
+    EXPECT_EQ(live.l1.prefetchDrops, replay.l1.prefetchDrops);
+    EXPECT_EQ(live.l1.combined, replay.l1.combined);
+    EXPECT_EQ(live.l1.blocked, replay.l1.blocked);
+    EXPECT_EQ(live.l2.accesses, replay.l2.accesses);
+    EXPECT_EQ(live.l2.hits, replay.l2.hits);
+    EXPECT_EQ(live.l2.misses, replay.l2.misses);
+    EXPECT_EQ(live.l2.writebacks, replay.l2.writebacks);
+
+    EXPECT_EQ(live.tbInstrs, replay.tbInstrs);
+    EXPECT_EQ(live.visOps, replay.visOps);
+    EXPECT_EQ(live.visOverheadOps, replay.visOverheadOps);
+}
+
+void
+checkFidelity(const std::string &name, const sim::MachineConfig &machine)
+{
+    for (Variant variant :
+         {Variant::Scalar, Variant::Vis, Variant::VisPrefetch}) {
+        const auto gen = generatorFor(name, variant);
+        const auto live = sim::runTrace(gen, machine);
+        const auto trace = sim::recordTrace(gen, machine.skewArrays,
+                                            machine.visFeatures);
+        const auto replay = sim::replayTrace(trace, machine);
+        expectIdentical(live, replay,
+                        name + "/" + std::to_string(static_cast<int>(
+                                         variant)));
+    }
+}
+
+TEST(Recorder, ReconstructsTheExactStream)
+{
+    const auto gen = generatorFor("conv", Variant::Vis);
+    const sim::MachineConfig m = sim::outOfOrder4Way();
+
+    CollectingSink direct;
+    {
+        prog::TraceBuilder tb(direct, m.skewArrays, true, m.visFeatures);
+        gen(tb);
+        tb.finish();
+    }
+    const auto trace = sim::recordTrace(gen, m.skewArrays, m.visFeatures);
+    CollectingSink rebuilt;
+    trace.replayInto(rebuilt);
+
+    EXPECT_TRUE(direct.finished);
+    EXPECT_TRUE(rebuilt.finished);
+    ASSERT_EQ(direct.insts.size(), rebuilt.insts.size());
+    EXPECT_EQ(trace.instCount(), direct.insts.size());
+    for (size_t i = 0; i < direct.insts.size(); ++i) {
+        const isa::Inst &a = direct.insts[i];
+        const isa::Inst &b = rebuilt.insts[i];
+        SCOPED_TRACE(i);
+        ASSERT_EQ(a.op, b.op);
+        EXPECT_EQ(a.memSize, b.memSize);
+        EXPECT_EQ(a.flags, b.flags);
+        ASSERT_EQ(a.numSrcs, b.numSrcs);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.dst, b.dst);
+        for (unsigned s = 0; s < a.numSrcs; ++s)
+            EXPECT_EQ(a.src[s], b.src[s]);
+        EXPECT_EQ(a.addr, b.addr);
+    }
+}
+
+TEST(ReplayFidelity, ImageKernels)
+{
+    for (const char *name :
+         {"addition", "blend", "conv", "dotprod", "scaling", "thresh"})
+        checkFidelity(name, sim::outOfOrder4Way());
+}
+
+TEST(ReplayFidelity, ExtraKernels)
+{
+    for (const char *name :
+         {"copy", "invert", "sepconv", "lookup", "transpose", "erode"})
+        checkFidelity(name, sim::outOfOrder4Way());
+}
+
+TEST(ReplayFidelity, JpegCodecs)
+{
+    for (const char *name : {"cjpeg", "djpeg", "cjpeg-np", "djpeg-np"})
+        checkFidelity(name, sim::outOfOrder4Way());
+}
+
+TEST(ReplayFidelity, MpegCodecs)
+{
+    for (const char *name : {"mpeg-enc", "mpeg-dec"})
+        checkFidelity(name, sim::outOfOrder4Way());
+}
+
+/** One capture must replay faithfully on every machine shape the
+ *  sweeps use: both in-order cores, cache sizes, predictor sizes. */
+TEST(ReplayFidelity, MachineMatrix)
+{
+    const sim::Generator gen = [](prog::TraceBuilder &tb) {
+        kernels::runAddition(tb, Variant::Vis, 512, 64, 3);
+    };
+    std::vector<sim::MachineConfig> machines = {
+        sim::inOrder1Way(),  sim::inOrder4Way(),
+        sim::outOfOrder4Way(), sim::withL1Size(1 << 10),
+        sim::withL2Size(32 << 10)};
+    sim::MachineConfig tiny_predictor = sim::outOfOrder4Way();
+    tiny_predictor.core.predictorEntries = 16;
+    machines.push_back(tiny_predictor);
+
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+    const auto trace =
+        sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const auto live = sim::runTrace(gen, machines[i]);
+        const auto replay = sim::replayTrace(trace, machines[i]);
+        expectIdentical(live, replay, "machine #" + std::to_string(i));
+    }
+}
+
+TEST(RunJobs, RecordedMatchesLive)
+{
+    std::vector<Job> jobs;
+    for (u32 size : {1u << 10, 16u << 10})
+        for (Variant v : {Variant::Scalar, Variant::Vis})
+            jobs.push_back({"blend", v, sim::withL1Size(size)});
+
+    const auto recorded = runJobs(jobs, 0, JobMode::Recorded);
+    const auto live = runJobs(jobs, 0, JobMode::Live);
+    ASSERT_EQ(recorded.size(), jobs.size());
+    ASSERT_EQ(live.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectIdentical(live[i], recorded[i], "job #" + std::to_string(i));
+}
+
+TEST(RunJobs, WorkerExceptionPropagatesToCaller)
+{
+    // Regression: a bad job name used to fatal()/terminate from inside
+    // a worker thread; it must surface as an exception on the caller.
+    std::vector<Job> jobs = {
+        {"addition", Variant::Scalar, sim::outOfOrder4Way()},
+        {"no-such-benchmark", Variant::Scalar, sim::outOfOrder4Way()}};
+    EXPECT_THROW(runJobs(jobs, 0, JobMode::Recorded),
+                 std::invalid_argument);
+    EXPECT_THROW(runJobs(jobs, 0, JobMode::Live), std::invalid_argument);
+    EXPECT_THROW(runJobs(jobs, 1, JobMode::Recorded),
+                 std::invalid_argument);
+}
+
+TEST(FindBenchmark, ThrowsOnUnknownName)
+{
+    EXPECT_THROW(findBenchmark("definitely-not-registered"),
+                 std::invalid_argument);
+}
+
+/** The value tables must grow geometrically (not by a flat +8192) and
+ *  accept pre-sizing from a trace's ValId count; exercised with a
+ *  trace whose ValId space is far beyond the initial table size. */
+TEST(ValueTable, HandlesLargeValIdSpace)
+{
+    const sim::Generator gen = [](prog::TraceBuilder &tb) {
+        kernels::runAddition(tb, Variant::Scalar, 256, 128, 2);
+    };
+    const sim::MachineConfig m = sim::outOfOrder4Way();
+    const auto trace = sim::recordTrace(gen, m.skewArrays, m.visFeatures);
+    ASSERT_GT(trace.maxValId(), 100000u);
+    const auto live = sim::runTrace(gen, m);
+    const auto replay = sim::replayTrace(trace, m);
+    expectIdentical(live, replay, "large-valid-space");
+}
+
+} // namespace
+} // namespace msim::core
