@@ -7,6 +7,8 @@
  * simulated time.
  */
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
 #include "cpu/core.hh"
@@ -56,9 +58,11 @@ BM_VisPdist(benchmark::State &state)
 BENCHMARK(BM_VisPdist);
 
 void
-BM_CacheHitPath(benchmark::State &state)
+cacheHitLoop(benchmark::State &state, mem::CacheModel model)
 {
-    mem::Hierarchy h(mem::MemConfig{});
+    mem::MemConfig cfg;
+    cfg.model = model;
+    mem::Hierarchy h(cfg);
     Cycle t = h.access(0x10000, mem::AccessKind::Load, 0).ready;
     for (auto _ : state) {
         const auto r =
@@ -68,7 +72,89 @@ BM_CacheHitPath(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations());
 }
+
+void
+BM_CacheHitPath(benchmark::State &state)
+{
+    cacheHitLoop(state, mem::CacheModel::Fast);
+}
 BENCHMARK(BM_CacheHitPath);
+
+void
+BM_CacheHitPathRef(benchmark::State &state)
+{
+    cacheHitLoop(state, mem::CacheModel::Reference);
+}
+BENCHMARK(BM_CacheHitPathRef);
+
+/**
+ * Miss/MSHR churn: a strided load stream that misses every access,
+ * keeps several MSHRs in flight, and combines a second request onto
+ * each line — the paths the O(1) MSHR tracking rewrote (findMshr,
+ * findFreeMshr, busyMshrs, allocateMshr).
+ */
+void
+cacheMissLoop(benchmark::State &state, mem::CacheModel model)
+{
+    mem::MemConfig cfg;
+    cfg.model = model;
+    mem::Hierarchy h(cfg);
+    Cycle t = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        const auto miss = h.access(a, mem::AccessKind::Load, t);
+        const auto comb = h.access(a + 8, mem::AccessKind::Load, t + 1);
+        benchmark::DoNotOptimize(comb.ready);
+        a += 1 << 20; // new L1/L2 set each time: always a miss
+        t = std::max(t + 2, miss.ready > 40 ? miss.ready - 40 : t + 2);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void
+BM_CacheMissMshrChurn(benchmark::State &state)
+{
+    cacheMissLoop(state, mem::CacheModel::Fast);
+}
+BENCHMARK(BM_CacheMissMshrChurn);
+
+void
+BM_CacheMissMshrChurnRef(benchmark::State &state)
+{
+    cacheMissLoop(state, mem::CacheModel::Reference);
+}
+BENCHMARK(BM_CacheMissMshrChurnRef);
+
+/** Store hits: exercises the single tag scan that marks the way dirty. */
+void
+cacheStoreHitLoop(benchmark::State &state, mem::CacheModel model)
+{
+    mem::MemConfig cfg;
+    cfg.model = model;
+    mem::Hierarchy h(cfg);
+    Cycle t = h.access(0x20000, mem::AccessKind::Store, 0).ready;
+    for (auto _ : state) {
+        const auto r =
+            h.access(0x20000 + (t % 64), mem::AccessKind::Store, t);
+        t = r.ready;
+        benchmark::DoNotOptimize(r.ready);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheStoreHit(benchmark::State &state)
+{
+    cacheStoreHitLoop(state, mem::CacheModel::Fast);
+}
+BENCHMARK(BM_CacheStoreHit);
+
+void
+BM_CacheStoreHitRef(benchmark::State &state)
+{
+    cacheStoreHitLoop(state, mem::CacheModel::Reference);
+}
+BENCHMARK(BM_CacheStoreHitRef);
 
 void
 BM_CoreStepRate(benchmark::State &state)

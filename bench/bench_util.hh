@@ -38,6 +38,14 @@ struct SelfMeasurement
                    ? static_cast<double>(simInstructions) / hostSeconds
                    : 0.0;
     }
+
+    /** Sweep-point throughput: simulated geometry points per second. */
+    double
+    pointsPerSecond() const
+    {
+        return hostSeconds > 0.0 ? static_cast<double>(jobs) / hostSeconds
+                                 : 0.0;
+    }
 };
 
 /** Run a batch under a wall-clock timer. */
@@ -78,8 +86,10 @@ writeBenchJson(const std::string &name, const SelfMeasurement &meas,
                  static_cast<unsigned long long>(meas.jobs));
     std::fprintf(f, "  \"sim_instructions\": %llu,\n",
                  static_cast<unsigned long long>(meas.simInstructions));
-    std::fprintf(f, "  \"instructions_per_host_second\": %.1f",
+    std::fprintf(f, "  \"instructions_per_host_second\": %.1f,\n",
                  meas.instructionsPerSecond());
+    std::fprintf(f, "  \"points_per_second\": %.3f",
+                 meas.pointsPerSecond());
     for (const auto &[key, value] : extra)
         std::fprintf(f, ",\n  \"%s\": %.6f", key.c_str(), value);
     std::fprintf(f, "\n}\n");

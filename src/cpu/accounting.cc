@@ -2,31 +2,8 @@
 
 #include <cstdio>
 
-#include "common/logging.hh"
-
 namespace msim::cpu
 {
-
-void
-ExecStats::charge(StallClass cls, double amount)
-{
-    switch (cls) {
-      case StallClass::Busy:
-        busy += amount;
-        break;
-      case StallClass::FuStall:
-        fuStall += amount;
-        break;
-      case StallClass::MemL1Hit:
-        memL1Hit += amount;
-        break;
-      case StallClass::MemL1Miss:
-        memL1Miss += amount;
-        break;
-      default:
-        panic("bad stall class");
-    }
-}
 
 double
 ExecStats::mispredictRate() const

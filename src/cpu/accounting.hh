@@ -58,8 +58,28 @@ struct ExecStats
     u64 prefetchesIssued = 0;
     u64 prefetchesDropped = 0;
 
-    /** Charge @p amount cycles to a component. */
-    void charge(StallClass cls, double amount);
+    /**
+     * Charge @p amount cycles to a component. Inline: this runs twice
+     * per simulated cycle on the replay hot path.
+     */
+    void
+    charge(StallClass cls, double amount)
+    {
+        switch (cls) {
+          case StallClass::Busy:
+            busy += amount;
+            break;
+          case StallClass::FuStall:
+            fuStall += amount;
+            break;
+          case StallClass::MemL1Hit:
+            memL1Hit += amount;
+            break;
+          case StallClass::MemL1Miss:
+            memL1Miss += amount;
+            break;
+        }
+    }
 
     double mispredictRate() const;
 

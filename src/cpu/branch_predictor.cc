@@ -13,30 +13,6 @@ BranchPredictor::BranchPredictor(unsigned entries)
         fatal("branch predictor size %u not a power of two", entries);
 }
 
-unsigned
-BranchPredictor::indexOf(u32 pc) const
-{
-    // Fibonacci hash spreads the trace builder's small dense pc ids.
-    const u32 h = pc * 2654435761u;
-    return h & (static_cast<unsigned>(counters.size()) - 1);
-}
-
-bool
-BranchPredictor::predictAndUpdate(u32 pc, bool taken)
-{
-    ++lookups_;
-    u8 &ctr = counters[indexOf(pc)];
-    const bool predicted_taken = ctr >= 2;
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-    const bool correct = predicted_taken == taken;
-    if (!correct)
-        ++mispredicts_;
-    return correct;
-}
-
 ReturnAddressStack::ReturnAddressStack(unsigned depth)
     : stack(depth, 0), depth(depth)
 {}

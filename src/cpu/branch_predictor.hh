@@ -28,10 +28,25 @@ class BranchPredictor
 
     /**
      * Predict and train on one dynamic branch at static site @p pc with
-     * outcome @p taken.
+     * outcome @p taken.  Inline: this sits on the per-branch dispatch
+     * path of both replay engines.
      * @return true iff the prediction was correct.
      */
-    bool predictAndUpdate(u32 pc, bool taken);
+    bool
+    predictAndUpdate(u32 pc, bool taken)
+    {
+        ++lookups_;
+        u8 &ctr = counters[indexOf(pc)];
+        const bool predicted_taken = ctr >= 2;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        const bool correct = predicted_taken == taken;
+        if (!correct)
+            ++mispredicts_;
+        return correct;
+    }
 
     u64 lookups() const { return lookups_; }
     u64 mispredicts() const { return mispredicts_; }
@@ -43,7 +58,13 @@ class BranchPredictor
     }
 
   private:
-    unsigned indexOf(u32 pc) const;
+    unsigned
+    indexOf(u32 pc) const
+    {
+        // Fibonacci hash spreads the trace builder's small dense pc ids.
+        const u32 h = pc * 2654435761u;
+        return h & (static_cast<unsigned>(counters.size()) - 1);
+    }
 
     std::vector<u8> counters; ///< 2-bit, initialized weakly taken
     u64 lookups_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "cpu/ref_replay_engine.hh"
 #include "cpu/replay_engine.hh"
 
 namespace msim::cpu
@@ -126,8 +127,13 @@ PipelineCore::runRecorded(const prog::RecordedTrace &trace)
         // Out-of-order replay runs in the dedicated compact engine
         // (dependency-driven wakeup over a ring window); it produces
         // stats bit-identical to feeding the trace live.
-        ReplayEngine engine(cfg, mem_);
-        stats_ = engine.run(trace);
+        if (cfg.referenceEngine) {
+            RefReplayEngine engine(cfg, mem_);
+            stats_ = engine.run(trace);
+        } else {
+            ReplayEngine engine(cfg, mem_);
+            stats_ = engine.run(trace);
+        }
         now = stats_.cycles;
         return;
     }

@@ -69,6 +69,13 @@ struct CoreConfig
     unsigned retireWidth = 0; ///< 0 means issueWidth
     unsigned predictorEntries = 2048;
 
+    /**
+     * Replay out-of-order traces on the preserved pre-optimization
+     * RefReplayEngine instead of the fast ReplayEngine. Bit-identical
+     * results; used by the regression tests and A/B benchmarks.
+     */
+    bool referenceEngine = false;
+
     /** The three Figure-1 configurations. */
     static CoreConfig inOrder1Way();
     static CoreConfig inOrder4Way();

@@ -1,4 +1,4 @@
-#include "cpu/replay_engine.hh"
+#include "cpu/ref_replay_engine.hh"
 
 #include <algorithm>
 #include <bit>
@@ -9,7 +9,8 @@
 namespace msim::cpu
 {
 
-ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
+RefReplayEngine::RefReplayEngine(const CoreConfig &config,
+                                 mem::MemoryPort &memory)
     : issueWidth_(config.issueWidth), windowSize_(config.windowSize),
       memQueueSize_(config.memQueueSize),
       maxSpecBranches_(config.maxSpecBranches),
@@ -22,8 +23,6 @@ ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
     const u64 cap = std::bit_ceil<u64>(std::max(1u, windowSize_));
     slots_.resize(cap);
     slotMask_ = cap - 1;
-    for (auto &q : elig_)
-        q.seqs.reserve(cap);
 
     for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
         const unsigned n = isa::defaultFuCount(
@@ -34,36 +33,16 @@ ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
     for (unsigned n = 0; n < isa::kNumOps; ++n) {
         const auto op = static_cast<isa::Op>(n);
         const isa::OpTiming t = isa::timingOf(op);
-        OpInfo &info = opInfo_[n];
-        info.cls = static_cast<u8>(isa::fuClassOf(op));
-        info.latency = static_cast<u8>(t.latency);
-        info.pipelined = t.pipelined ? 1 : 0;
-        switch (op) {
-          case isa::Op::Load: info.memKind = prog::kMemLoad; break;
-          case isa::Op::Store: info.memKind = prog::kMemStore; break;
-          case isa::Op::Prefetch: info.memKind = prog::kMemPrefetch; break;
-          default: info.memKind = kNotMem; break;
-        }
+        opCls_[n] = static_cast<u8>(isa::fuClassOf(op));
+        opLat_[n] = static_cast<u8>(t.latency);
+        opPipe_[n] = t.pipelined;
     }
-
-    readyHeap_.reserve(cap);
-    readyNext_.reserve(cap);
-    // The rings hold at most one entry per held occupancy slot: both
-    // counters increment at dispatch and only drop in the drains that
-    // also pop the ring, so the occupancy gates bound the ring sizes.
-    memqFrees_.init(memQueueSize_);
-    branchResolves_.init(maxSpecBranches_);
 }
 
 Cycle
-ReplayEngine::forwardingReady(const Slot &load) const
+RefReplayEngine::forwardingReady(const Slot &load) const
 {
-    // The reference scan picks the youngest older covering store still
-    // in the forwarding ring. The candidate is precomputed at record
-    // time; the ring holds the last kFwdWindow dispatched stores, so
-    // residency is one comparison, and an unissued candidate's
-    // data-ready time is kNever exactly like the reference ring entry.
-    const u32 cand = load.aux;
+    const u32 cand = load.fwdCand;
     if (cand == prog::kNoFwdStore)
         return kNever;
     if (cand + prog::kFwdWindow < dispatchedStores_)
@@ -72,7 +51,7 @@ ReplayEngine::forwardingReady(const Slot &load) const
 }
 
 void
-ReplayEngine::issueSlot(Slot &s)
+RefReplayEngine::issueSlot(Slot &s)
 {
     using isa::Op;
     s.issued = true;
@@ -105,7 +84,7 @@ ReplayEngine::issueSlot(Slot &s)
         s.memFreeTime = res.ready;
         s.level = res.level;
         memqFrees_.push(s.memFreeTime);
-        storeDone_[s.aux] = done;
+        storeDone_[s.storeOrd] = done;
         break;
       }
       case Op::Prefetch: {
@@ -136,39 +115,26 @@ ReplayEngine::issueSlot(Slot &s)
 }
 
 void
-ReplayEngine::wakeWaiters(Slot &producer)
+RefReplayEngine::wakeWaiters(Slot &producer)
 {
-    // The producer's value becomes available at its readyTime (loads
-    // and ALU ops write that very cycle into valReady_), so folding it
-    // into each waiter's running depTime maximum reproduces the
-    // reference recomputation over all sources. Woken instructions go
-    // through the ready heap (never straight into the eligible list):
-    // the producer's result time is beyond the current cycle, so the
-    // reference could not issue them this cycle either.
     u32 link = producer.waiterHead;
     producer.waiterHead = kNil;
     const Cycle t = producer.readyTime;
     while (link != kNil) {
-        const u64 idx = link >> 2;
-        Slot &w = slots_[idx];
+        Slot &w = slots_[link >> 2];
         const unsigned si = link & 3;
         link = w.waiterNext[si];
         w.depTime = std::max(w.depTime, t);
         if (--w.unknownSrcs == 0) {
-            const u64 wseq = seqOf(idx);
-            if (w.depTime <= now_ + 1) {
-                readyNext_.push_back(wseq);
-            } else {
-                readyHeap_.emplace_back(w.depTime, wseq);
-                std::push_heap(readyHeap_.begin(), readyHeap_.end(),
-                               std::greater<>{});
-            }
+            readyHeap_.emplace_back(w.depTime, w.seq);
+            std::push_heap(readyHeap_.begin(), readyHeap_.end(),
+                           std::greater<>{});
         }
     }
 }
 
 unsigned
-ReplayEngine::tryRetire()
+RefReplayEngine::tryRetire()
 {
     unsigned retired = 0;
     while (retired < retireWidth_ && windowCount_ != 0) {
@@ -180,21 +146,11 @@ ReplayEngine::tryRetire()
         if (head.op == isa::Op::Store && head.memFreeTime > now_) {
             // The store retires but keeps its memory-queue slot until
             // the cache accepts it; remember what it is waiting on.
-            // Expired entries are filtered by the reader; compact the
-            // list only when it grows (outstanding stores are bounded
-            // by the memory queue, so this stays small).
-            if (pendingStores_.size() >= 64) {
-                std::erase_if(pendingStores_, [this](const auto &p) {
-                    return p.first <= now_;
-                });
-            }
             const StallClass cls = head.level == mem::HitLevel::L1
                                        ? StallClass::MemL1Hit
                                        : StallClass::MemL1Miss;
             pendingStores_.emplace_back(head.memFreeTime, cls);
         }
-        // The instruction-mix tally is folded from the trace's opcode
-        // counts in one pass at the end of run().
         ++stats_.retired;
         ++retired;
         ++headSeq_;
@@ -203,147 +159,88 @@ ReplayEngine::tryRetire()
     return retired;
 }
 
-void
-ReplayEngine::eligInsert(u64 seq)
-{
-    const unsigned c = at(seq).cls;
-    elig_[c].insert(seq);
-    eligMask_ |= static_cast<u8>(1u << c);
-}
-
 unsigned
-ReplayEngine::tryExecute()
+RefReplayEngine::tryExecute()
 {
-    // Reference semantics: scan all unissued in program order and issue
-    // every source-ready instruction with a free unit, up to the issue
-    // width.  Only dep-ready instructions are tracked here, queued per
-    // unit class in ascending sequence order; each step issues the
-    // minimum-sequence head among free classes, which is exactly the
-    // next instruction the reference scan would have issued (skipped
-    // busy-class entries do not consume issue width).  Availability is
-    // resolved lazily at the first touch of a class — before which no
-    // same-class issue can have happened — and re-resolved only after
-    // an issue from that class, since nothing else changes its units
-    // within a cycle; a class resolved busy stays busy for the rest of
-    // the cycle, parking its whole queue in O(1).
-    if (!readyNext_.empty()) {
-        // Staged at some cycle t with dep == t + 1; now_ > t here, so
-        // every entry is eligible — drain unconditionally.
-        for (const u64 seq : readyNext_)
-            eligInsert(seq);
-        readyNext_.clear();
-    }
     while (!readyHeap_.empty() && readyHeap_.front().first <= now_) {
         const u64 seq = readyHeap_.front().second;
         std::pop_heap(readyHeap_.begin(), readyHeap_.end(),
                       std::greater<>{});
         readyHeap_.pop_back();
-        eligInsert(seq);
+        auto &bucket = eligClass_[at(seq).cls];
+        bucket.insert(
+            std::lower_bound(bucket.begin(), bucket.end(), seq), seq);
     }
 
-    if (eligMask_ == 0)
-        return 0; // nothing dep-ready anywhere: the common stall cycle
+    size_t pos[isa::kNumFuClasses];
+    bool avail[isa::kNumFuClasses];
+    for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+        pos[c] = 0;
+        avail[c] = !eligClass_[c].empty() && unitAvailable(c, now_);
+    }
 
-    u8 busyCls = 0;     // classes resolved busy for the rest of the cycle
-    u8 resolvedCls = 0; // classes whose availability is currently known
     unsigned issued = 0;
     while (issued < issueWidth_) {
-        unsigned bestC = isa::kNumFuClasses;
-        u64 bestSeq = ~u64{0};
-        for (u8 m = eligMask_ & static_cast<u8>(~busyCls); m;
-             m &= static_cast<u8>(m - 1)) {
-            const auto c = static_cast<unsigned>(std::countr_zero(m));
-            if (!(resolvedCls & (1u << c))) {
-                if (!unitAvailable(c, now_)) {
-                    busyCls |= static_cast<u8>(1u << c);
-                    continue;
-                }
-                resolvedCls |= static_cast<u8>(1u << c);
-            }
-            const u64 seq = elig_[c].front();
-            if (seq < bestSeq) {
-                bestC = c;
-                bestSeq = seq;
+        unsigned best = isa::kNumFuClasses;
+        u64 bestSeq = 0;
+        for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+            if (!avail[c] || pos[c] >= eligClass_[c].size())
+                continue;
+            const u64 s = eligClass_[c][pos[c]];
+            if (best == isa::kNumFuClasses || s < bestSeq) {
+                best = c;
+                bestSeq = s;
             }
         }
-        if (bestC == isa::kNumFuClasses)
+        if (best == isa::kNumFuClasses)
             break;
-        elig_[bestC].popFront();
-        if (elig_[bestC].empty())
-            eligMask_ &= static_cast<u8>(~(1u << bestC));
-        resolvedCls &= static_cast<u8>(~(1u << bestC)); // units changed
         Slot &s = at(bestSeq);
         issueSlot(s);
         if (s.waiterHead != kNil)
             wakeWaiters(s);
+        auto &bucket = eligClass_[best];
+        bucket.erase(bucket.begin() +
+                     static_cast<std::ptrdiff_t>(pos[best]));
         ++issued;
+        avail[best] =
+            pos[best] < bucket.size() && unitAvailable(best, now_);
     }
     return issued;
 }
 
-void
-ReplayEngine::drainMemq()
-{
-    while (!memqFrees_.empty() && memqFrees_.front() <= now_) {
-        memqFrees_.popFront();
-        --memqUsed_;
-    }
-}
-
-void
-ReplayEngine::drainBranches()
-{
-    while (!branchResolves_.empty() && branchResolves_.front() <= now_) {
-        branchResolves_.popFront();
-        --specBranches_;
-    }
-}
-
 unsigned
-ReplayEngine::tryDispatch()
+RefReplayEngine::tryDispatch()
 {
     using isa::Op;
-    // Nothing inside the loop clears these gates mid-cycle (a resolving
-    // branch does so in issueSlot, not here), so check them once; the
-    // mispredict that *sets* awaitingRedirect_ also breaks the loop.
-    if (awaitingRedirect_ || now_ < dispatchBlockedUntil_)
-        return 0;
     unsigned dispatched = 0;
     unsigned taken_this_cycle = 0;
     while (dispatched < issueWidth_ && fetchPos_ < instCount_) {
+        if (awaitingRedirect_ || now_ < dispatchBlockedUntil_)
+            break;
         if (windowCount_ >= windowSize_)
             break;
-        // The occupancy gates drain their event queues lazily: the
-        // drained count equals what the reference's start-of-cycle
-        // expiry would have left, because the threshold is the same
-        // now_ and nothing else reads the counts.
-        if (specBranches_ >= maxSpecBranches_) {
-            drainBranches();
-            if (specBranches_ >= maxSpecBranches_)
-                break;
-        }
-        const unsigned opn = ops_[fetchPos_];
-        const OpInfo info = opInfo_[opn];
-        const u8 mk = info.memKind;
-        if (mk != kNotMem && memqUsed_ >= memQueueSize_) {
-            drainMemq();
-            if (memqUsed_ >= memQueueSize_)
-                break;
-        }
+        if (specBranches_ >= maxSpecBranches_)
+            break;
+        const Op op = static_cast<Op>(ops_[fetchPos_]);
+        const bool is_mem =
+            op == Op::Load || op == Op::Store || op == Op::Prefetch;
+        if (is_mem && memqUsed_ >= memQueueSize_)
+            break;
 
-        // readyTime, depTime and memFreeTime need no reset: readyTime
-        // and memFreeTime are only read once issueSlot assigned them,
-        // and depTime is written unconditionally below.
         const u64 seq = headSeq_ + windowCount_;
         Slot &s = slots_[seq & slotMask_];
-        s.op = static_cast<Op>(opn);
-        s.cls = info.cls;
+        s.seq = seq;
+        s.op = op;
+        s.cls = static_cast<u8>(isa::fuClassOf(op));
+        s.readyTime = kNever;
+        s.depTime = 0;
+        s.memFreeTime = 0;
         s.waiterHead = kNil;
         s.issued = false;
         s.mispredicted = false;
 
         bool taken = false;
-        if (s.op == Op::Branch) {
+        if (op == Op::Branch) {
             taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
             const bool correct =
                 predictor_.predictAndUpdate(branchPcs_[branchPos_++],
@@ -355,19 +252,14 @@ ReplayEngine::tryDispatch()
                 s.mispredicted = true;
             }
         }
-        if (mk != kNotMem) {
-            // One cursor over the dense memory lane: kind, address and
-            // the precomputed ordinal arrive together.
+        if (is_mem) {
             s.addr = memAddrs_[memPos_];
-            const u32 aux = memAux_[memPos_];
+            if (op == Op::Load)
+                s.fwdCand = memAux_[memPos_];
+            else if (op == Op::Store)
+                s.storeOrd = dispatchedStores_++;
             ++memPos_;
             ++memqUsed_;
-            s.aux = aux;
-            if (mk == prog::kMemStore) {
-                // Stores dispatch in order, so the recorded ordinal is
-                // exactly the running dispatched-store count.
-                dispatchedStores_ = aux + 1;
-            }
         }
 
         // A producer outside the window has retired, so its value is
@@ -394,20 +286,9 @@ ReplayEngine::tryDispatch()
         s.unknownSrcs = static_cast<u8>(unknown);
         s.depTime = dep;
         if (unknown == 0) {
-            if (dep <= now_) {
-                // Already source-ready: skip the heap round-trip. The
-                // new sequence number exceeds everything queued, and
-                // the earliest possible issue (next cycle's execute)
-                // matches the heap route exactly.
-                elig_[s.cls].pushBack(seq);
-                eligMask_ |= static_cast<u8>(1u << s.cls);
-            } else if (dep == now_ + 1) {
-                readyNext_.push_back(seq);
-            } else {
-                readyHeap_.emplace_back(dep, seq);
-                std::push_heap(readyHeap_.begin(), readyHeap_.end(),
-                               std::greater<>{});
-            }
+            readyHeap_.emplace_back(dep, seq);
+            std::push_heap(readyHeap_.begin(), readyHeap_.end(),
+                           std::greater<>{});
         }
 
         ++fetchPos_;
@@ -424,8 +305,23 @@ ReplayEngine::tryDispatch()
     return dispatched;
 }
 
+void
+RefReplayEngine::expireEvents()
+{
+    while (!memqFrees_.empty() && memqFrees_.top() <= now_) {
+        memqFrees_.pop();
+        --memqUsed_;
+    }
+    while (!branchResolves_.empty() && branchResolves_.top() <= now_) {
+        branchResolves_.pop();
+        --specBranches_;
+    }
+    std::erase_if(pendingStores_,
+                  [this](const auto &p) { return p.first <= now_; });
+}
+
 StallClass
-ReplayEngine::classifyBlock() const
+RefReplayEngine::classifyBlock() const
 {
     if (windowCount_ != 0) {
         const Slot &head = at(headSeq_);
@@ -439,8 +335,7 @@ ReplayEngine::classifyBlock() const
     if (awaitingRedirect_ || now_ < dispatchBlockedUntil_)
         return StallClass::FuStall;
     // Dispatch blocked by a full memory queue: charge the earliest
-    // pending store's memory level. Entries at or below now_ are
-    // skipped, so lazily compacted leftovers cannot change the answer.
+    // pending store's memory level.
     const std::pair<Cycle, StallClass> *oldest = nullptr;
     for (const auto &p : pendingStores_) {
         if (p.first > now_ && (!oldest || p.first < oldest->first))
@@ -452,15 +347,8 @@ ReplayEngine::classifyBlock() const
 }
 
 Cycle
-ReplayEngine::nextEventTime()
+RefReplayEngine::nextEventTime() const
 {
-    // Same value as the reference nextEventTime(): instructions with an
-    // unissued producer contribute kNever there and are exactly the
-    // ones absent from elig_/readyHeap_ here. The event queues are
-    // drained first so a stale released entry cannot shorten the
-    // fast-forward (the reference drained them at cycle start).
-    drainMemq();
-    drainBranches();
     Cycle next = kNever;
     if (windowCount_ != 0) {
         const Slot &head = at(headSeq_);
@@ -468,17 +356,10 @@ ReplayEngine::nextEventTime()
             next = std::min(next, head.readyTime);
     }
     for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
-        if (elig_[c].empty())
+        if (eligClass_[c].empty())
             continue;
-        // Eligible instructions' sources are all ready (<= now), so
-        // only the unit's next free time can push them past now + 1.
         const Cycle t = std::max(now_ + 1, unitNextFree(c, now_));
         next = std::min(next, t);
-    }
-    for (const u64 seq : readyNext_) {
-        // Staged entries have dep <= now_ + 1 by construction.
-        next = std::min(next,
-                        std::max(now_ + 1, unitNextFree(at(seq).cls, now_)));
     }
     for (const auto &[dep, seq] : readyHeap_) {
         Cycle t = std::max(now_ + 1, dep);
@@ -486,34 +367,31 @@ ReplayEngine::nextEventTime()
         next = std::min(next, t);
     }
     if (!memqFrees_.empty())
-        next = std::min(next, memqFrees_.front());
+        next = std::min(next, memqFrees_.top());
     if (!branchResolves_.empty())
-        next = std::min(next, branchResolves_.front());
+        next = std::min(next, branchResolves_.top());
     if (dispatchBlockedUntil_ > now_)
         next = std::min(next, dispatchBlockedUntil_);
     return next;
 }
 
-// Flattening the per-cycle step (retire / execute / dispatch and their
-// helpers) into the run loop keeps the cycle state in registers across
-// the phases instead of reloading members around three calls per
-// simulated cycle.
-[[gnu::flatten]] ExecStats
-ReplayEngine::run(const prog::RecordedTrace &trace)
+ExecStats
+RefReplayEngine::run(const prog::RecordedTrace &trace)
 {
     ops_ = trace.opCol().data();
     flags_ = trace.flagsCol().data();
     numSrcs_ = trace.numSrcsCol().data();
     srcProds_ = trace.srcProdCol().data();
     memAddrs_ = trace.memAddrCol().data();
-    memKinds_ = trace.memKindCol().data();
-    memAux_ = trace.memAuxCol().data();
     branchPcs_ = trace.branchPcCol().data();
+    memAux_ = trace.memAuxCol().data();
     instCount_ = trace.instCount();
 
     storeDone_.assign(trace.numStores(), kNever);
 
     while (windowCount_ != 0 || fetchPos_ < instCount_) {
+        expireEvents();
+
         const unsigned retired = tryRetire();
         const unsigned issued = tryExecute();
         const unsigned dispatched = tryDispatch();
@@ -528,10 +406,6 @@ ReplayEngine::run(const prog::RecordedTrace &trace)
 
         if (retired == 0 && issued == 0 && dispatched == 0 &&
             (windowCount_ != 0 || fetchPos_ < instCount_)) {
-            // Nothing happened this cycle: fast-forward to the next
-            // event (computed against the *current* cycle so an event
-            // one cycle out is found), charging the idle gap to the
-            // blocking class.
             const Cycle next = nextEventTime();
             if (next == kNever) {
                 if (windowCount_ != 0) {
@@ -559,8 +433,6 @@ ReplayEngine::run(const prog::RecordedTrace &trace)
     }
     stats_.cycles = now_;
 
-    // Retirement skipped the per-instruction mix tally; the totals are
-    // a pure function of the trace's opcode counts.
     for (unsigned i = 0; i < isa::kNumOps; ++i) {
         const auto op = static_cast<isa::Op>(i);
         const u64 n = trace.countOf(op);

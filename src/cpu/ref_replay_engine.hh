@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Reference out-of-order replay engine: the pre-optimization
+ * ReplayEngine, preserved as the in-binary baseline.
+ *
+ * ReplayEngine (replay_engine.hh) later replaced the per-class
+ * eligibility buckets with a single ordered list, moved the event
+ * expiry to the points that read the queues, and consumed the trace's
+ * precomputed memory lane. This class keeps the original scheduler
+ * verbatim so the bit-identity tests (tests/test_mem_fastpath.cc) and
+ * the before/after sweep benchmark (bench/bench_mem_fastpath.cpp)
+ * have a faithful pre-PR model to compare against. Selected with
+ * CoreConfig::referenceEngine. Do not optimize this file.
+ *
+ * The only mechanical adaptation: the per-load forwarding-candidate
+ * column became the per-memory-op aux lane, so loads read
+ * memAux_[memPos_] instead of loadFwds_[loadPos_++] — the identical
+ * values in a different layout.
+ */
+
+#ifndef MSIM_CPU_REF_REPLAY_ENGINE_HH_
+#define MSIM_CPU_REF_REPLAY_ENGINE_HH_
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "cpu/accounting.hh"
+#include "cpu/branch_predictor.hh"
+#include "isa/timing.hh"
+#include "mem/hierarchy.hh"
+#include "prog/recorded_trace.hh"
+
+namespace msim::cpu
+{
+
+struct CoreConfig;
+
+/** See file comment. One engine instance runs one trace once. */
+class RefReplayEngine
+{
+  public:
+    RefReplayEngine(const CoreConfig &config, mem::MemoryPort &memory);
+
+    /** Replay @p trace to completion and return the execution stats. */
+    ExecStats run(const prog::RecordedTrace &trace);
+
+  private:
+    static constexpr Cycle kNever = ~Cycle{0};
+    static constexpr u32 kNil = ~u32{0};
+
+    /** One window entry; fits the whole window in a few cache lines. */
+    struct Slot
+    {
+        u64 seq;
+        Addr addr;
+        Cycle readyTime;
+        Cycle depTime;     ///< max known source ready time
+        Cycle memFreeTime;
+        u32 fwdCand;       ///< load: candidate store ordinal
+        u32 storeOrd;      ///< store: forwarding-ring ordinal
+        u32 waiterHead;    ///< chain of (slot << 2 | src) waiting on dst
+        u32 waiterNext[3];
+        isa::Op op;
+        u8 cls;            ///< functional-unit class of op
+        u8 unknownSrcs;
+        mem::HitLevel level;
+        bool issued;
+        bool mispredicted;
+    };
+
+    using MinHeap =
+        std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>;
+
+    /** Inline mirror of FuPool (see ReplayEngine). */
+    struct UnitClass
+    {
+        Cycle busy[2] = {0, 0}; ///< per-unit busy-until (Table 2: <= 2)
+        unsigned count = 1;
+    };
+
+    Slot &at(u64 seq) { return slots_[seq & slotMask_]; }
+    const Slot &at(u64 seq) const { return slots_[seq & slotMask_]; }
+
+    bool
+    unitAvailable(unsigned cls, Cycle t) const
+    {
+        const UnitClass &u = units_[cls];
+        for (unsigned i = 0; i < u.count; ++i)
+            if (u.busy[i] <= t)
+                return true;
+        return false;
+    }
+
+    Cycle
+    unitNextFree(unsigned cls, Cycle t) const
+    {
+        const UnitClass &u = units_[cls];
+        Cycle m = u.busy[0];
+        for (unsigned i = 1; i < u.count; ++i)
+            m = std::min(m, u.busy[i]);
+        return std::max(t, m);
+    }
+
+    Cycle
+    unitReserve(isa::Op op, Cycle t)
+    {
+        const unsigned n = static_cast<unsigned>(op);
+        UnitClass &u = units_[opCls_[n]];
+        unsigned best = 0;
+        for (unsigned i = 1; i < u.count; ++i)
+            if (u.busy[i] < u.busy[best])
+                best = i;
+        const Cycle start = std::max(t, u.busy[best]);
+        u.busy[best] = start + (opPipe_[n] ? 1u : opLat_[n]);
+        return start + opLat_[n];
+    }
+
+    unsigned tryRetire();
+    unsigned tryExecute();
+    unsigned tryDispatch();
+    void issueSlot(Slot &s);
+    void wakeWaiters(Slot &producer);
+    void expireEvents();
+    StallClass classifyBlock() const;
+    Cycle nextEventTime() const;
+    Cycle forwardingReady(const Slot &load) const;
+
+    // Configuration (retireWidth resolved).
+    unsigned issueWidth_;
+    unsigned windowSize_;
+    unsigned memQueueSize_;
+    unsigned maxSpecBranches_;
+    unsigned takenBranchesPerCycle_;
+    unsigned mispredictPenalty_;
+    unsigned retireWidth_;
+
+    mem::MemoryPort &mem_;
+    BranchPredictor predictor_;
+
+    // Functional units and opcode timing, flattened for inlining.
+    UnitClass units_[isa::kNumFuClasses];
+    u8 opCls_[isa::kNumOps] = {};
+    u8 opLat_[isa::kNumOps] = {};
+    bool opPipe_[isa::kNumOps] = {};
+
+    // Trace columns (raw pointers into the RecordedTrace) and cursors.
+    const u8 *ops_ = nullptr;
+    const u8 *flags_ = nullptr;
+    const u8 *numSrcs_ = nullptr;
+    const u32 *srcProds_ = nullptr;
+    const Addr *memAddrs_ = nullptr;
+    const u32 *branchPcs_ = nullptr;
+    const u32 *memAux_ = nullptr;
+    u64 instCount_ = 0;
+    u64 fetchPos_ = 0;
+    u64 srcPos_ = 0;
+    u64 memPos_ = 0;
+    u64 branchPos_ = 0;
+
+    // Window ring (capacity = windowSize rounded up to a power of two).
+    std::vector<Slot> slots_;
+    u64 slotMask_ = 0;
+    u64 headSeq_ = 0;
+    u64 windowCount_ = 0;
+
+    // Store-to-load forwarding state (see ReplayEngine).
+    std::vector<Cycle> storeDone_;
+    u32 dispatchedStores_ = 0;
+
+    // Issue scheduling: (depTime, seq) min-heap of instructions whose
+    // sources all have known ready times, drained into per-unit-class
+    // sequence-ordered buckets once that time arrives.
+    std::vector<std::pair<Cycle, u64>> readyHeap_;
+    std::vector<u64> eligClass_[isa::kNumFuClasses];
+
+    /// Memory-queue occupancy: +1 at dispatch, -1 when the heap entry
+    /// pushed at issue time expires.
+    unsigned memqUsed_ = 0;
+    MinHeap memqFrees_;
+
+    /// Unresolved speculated branches: +1 at dispatch, -1 at resolution.
+    unsigned specBranches_ = 0;
+    MinHeap branchResolves_;
+
+    /// Stall classes of stores still holding memory-queue slots after
+    /// retirement, with their release times (for attribution).
+    std::vector<std::pair<Cycle, StallClass>> pendingStores_;
+
+    Cycle now_ = 0;
+    Cycle dispatchBlockedUntil_ = 0;
+    bool awaitingRedirect_ = false;
+
+    ExecStats stats_;
+};
+
+} // namespace msim::cpu
+
+#endif // MSIM_CPU_REF_REPLAY_ENGINE_HH_

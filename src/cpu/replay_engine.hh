@@ -16,30 +16,53 @@
  *    (the window can never exceed CoreConfig::windowSize), indexed by
  *    sequence number; no deque churn, the whole window stays cache-hot.
  *  - Operands are read straight from the trace's structure-of-arrays
- *    columns; no isa::Inst is materialized.
+ *    columns; no isa::Inst is materialized.  Memory operands come from
+ *    the trace's dense memory lane (kind, address, aux), advanced by a
+ *    single cursor.
  *  - Issue selection is dependency-driven: an instruction enters the
  *    ready set only when its last unknown source producer issues, via
- *    per-slot waiter chains.  Ready instructions are bucketed by
- *    functional-unit class and merged in ascending sequence order,
- *    which reproduces the reference program-order scan exactly (within
- *    a cycle a unit class only ever goes from free to busy, so a busy
- *    class can be skipped wholesale without reordering issues).
+ *    per-slot waiter chains.  The eligible set is one sequence-ordered
+ *    queue per unit class; each cycle issues the minimum-sequence head
+ *    among classes with a free unit, so a class whose only unit is
+ *    saturated parks its whole queue at O(1) per cycle instead of
+ *    being rescanned entry by entry.  This reproduces the reference
+ *    program-order scan exactly: availability is resolved lazily at
+ *    the first touch of a class each cycle (no same-class issue can
+ *    precede it), re-resolved only after an issue from that class
+ *    (nothing else changes its units within a cycle), and picking the
+ *    global minimum sequence among free-class heads yields the same
+ *    issue set in the same ascending order as scanning all eligible
+ *    instructions and skipping busy classes.
+ *  - Dispatch feeds already-ready instructions straight into their
+ *    class queue (their sequence number exceeds everything present),
+ *    bypassing the ready heap.  Instructions becoming ready exactly
+ *    next cycle — the dominant wake-up case — take a staging vector
+ *    drained unconditionally at the next execute step; only farther
+ *    futures pay for heap ordering.
+ *  - Event queues (memory-queue slots, speculative branches) are
+ *    sorted time rings instead of binary heaps (event times correlate
+ *    with the advancing cycle, so inserts land at the tail), drained
+ *    lazily at the points that read them — the dispatch gates and the
+ *    fast-forward bound — instead of every cycle.  The drained counts
+ *    at those points equal the reference's start-of-cycle values, so
+ *    every gate decision and fast-forward distance is unchanged.
  *  - Store-to-load forwarding uses the trace's precomputed candidate
  *    store plus an O(1) ring-residency comparison.
  *
  * Every cycle performs the same retire / execute / dispatch /
  * accounting sequence with the same fast-forward rule as
  * PipelineCore::step(), so results are bit-identical to feeding the
- * trace live (enforced by tests/test_replay.cc).  The in-order
- * configurations replay inside PipelineCore itself, where program-order
- * issue makes the reference scan already cheap.
+ * trace live (enforced by tests/test_replay.cc and
+ * tests/test_mem_fastpath.cc, the latter against the preserved
+ * pre-optimization RefReplayEngine).  The in-order configurations
+ * replay inside PipelineCore itself, where program-order issue makes
+ * the reference scan already cheap.
  */
 
 #ifndef MSIM_CPU_REPLAY_ENGINE_HH_
 #define MSIM_CPU_REPLAY_ENGINE_HH_
 
 #include <algorithm>
-#include <queue>
 #include <vector>
 
 #include "cpu/accounting.hh"
@@ -70,17 +93,21 @@ class ReplayEngine
   private:
     static constexpr Cycle kNever = ~Cycle{0};
     static constexpr u32 kNil = ~u32{0};
+    static constexpr u8 kNotMem = 0xff;
 
-    /** One window entry; fits the whole window in a few cache lines. */
-    struct Slot
+    /**
+     * One window entry, packed to exactly one cache line: the aux
+     * ordinal is a load's forwarding candidate or a store's ring
+     * ordinal (never both), and the sequence number is reconstructed
+     * from the ring index instead of stored (see seqOf()).
+     */
+    struct alignas(64) Slot
     {
-        u64 seq;
         Addr addr;
         Cycle readyTime;
         Cycle depTime;     ///< max known source ready time
         Cycle memFreeTime;
-        u32 fwdCand;       ///< load: candidate store ordinal
-        u32 storeOrd;      ///< store: forwarding-ring ordinal
+        u32 aux;           ///< load: candidate store; store: ring ordinal
         u32 waiterHead;    ///< chain of (slot << 2 | src) waiting on dst
         u32 waiterNext[3];
         isa::Op op;
@@ -91,8 +118,48 @@ class ReplayEngine
         bool mispredicted;
     };
 
-    using MinHeap =
-        std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>;
+    /**
+     * Sorted ring of event times (ascending, min at the head): the
+     * occupancy-bounded event sets (memory-queue releases, branch
+     * resolutions) need push, pop-all-below and peek-min.  A binary
+     * heap pays a sift per push; here event times correlate with the
+     * advancing cycle counter, so the backward-shift insert almost
+     * always lands at the tail, and both pop and peek are O(1).
+     * Indices grow monotonically and are masked on access (capacity is
+     * a power of two >= the occupancy bound, so they never collide).
+     */
+    struct TimeRing
+    {
+        std::vector<Cycle> buf;
+        u32 mask = 0;
+        u32 head = 0;
+        u32 tail = 0;
+
+        void
+        init(unsigned bound)
+        {
+            u32 cap = 1;
+            while (cap < bound + 1)
+                cap <<= 1;
+            buf.assign(cap, 0);
+            mask = cap - 1;
+        }
+
+        bool empty() const { return head == tail; }
+        Cycle front() const { return buf[head & mask]; }
+        void popFront() { ++head; }
+
+        void
+        push(Cycle t)
+        {
+            u32 i = tail++;
+            while (i != head && buf[(i - 1) & mask] > t) {
+                buf[i & mask] = buf[(i - 1) & mask];
+                --i;
+            }
+            buf[i & mask] = t;
+        }
+    };
 
     /**
      * Inline mirror of FuPool with the identical reservation policy
@@ -107,6 +174,17 @@ class ReplayEngine
 
     Slot &at(u64 seq) { return slots_[seq & slotMask_]; }
     const Slot &at(u64 seq) const { return slots_[seq & slotMask_]; }
+
+    /**
+     * Sequence number of the live instruction in ring slot @p idx: the
+     * window spans [headSeq_, headSeq_ + capacity), so the index's
+     * offset from the head (mod capacity) identifies it uniquely.
+     */
+    u64
+    seqOf(u64 idx) const
+    {
+        return headSeq_ + ((idx - headSeq_) & slotMask_);
+    }
 
     bool
     unitAvailable(unsigned cls, Cycle t) const
@@ -131,15 +209,15 @@ class ReplayEngine
     Cycle
     unitReserve(isa::Op op, Cycle t)
     {
-        const unsigned n = static_cast<unsigned>(op);
-        UnitClass &u = units_[opCls_[n]];
+        const OpInfo info = opInfo_[static_cast<unsigned>(op)];
+        UnitClass &u = units_[info.cls];
         unsigned best = 0;
         for (unsigned i = 1; i < u.count; ++i)
             if (u.busy[i] < u.busy[best])
                 best = i;
         const Cycle start = std::max(t, u.busy[best]);
-        u.busy[best] = start + (opPipe_[n] ? 1u : opLat_[n]);
-        return start + opLat_[n];
+        u.busy[best] = start + (info.pipelined ? 1u : info.latency);
+        return start + info.latency;
     }
 
     unsigned tryRetire();
@@ -147,10 +225,12 @@ class ReplayEngine
     unsigned tryDispatch();
     void issueSlot(Slot &s);
     void wakeWaiters(Slot &producer);
-    void expireEvents();
+    void drainMemq();
+    void drainBranches();
     StallClass classifyBlock() const;
-    Cycle nextEventTime() const;
+    Cycle nextEventTime();
     Cycle forwardingReady(const Slot &load) const;
+    void eligInsert(u64 seq);
 
     // Configuration (retireWidth resolved).
     unsigned issueWidth_;
@@ -164,26 +244,35 @@ class ReplayEngine
     mem::MemoryPort &mem_;
     BranchPredictor predictor_;
 
+    /** Per-opcode timing facts, packed so dispatch reads one word. */
+    struct OpInfo
+    {
+        u8 cls;       ///< functional-unit class
+        u8 latency;
+        u8 pipelined; ///< 0/1
+        u8 memKind;   ///< prog::MemKind or kNotMem
+    };
+
     // Functional units and opcode timing, flattened for inlining.
     UnitClass units_[isa::kNumFuClasses];
-    u8 opCls_[isa::kNumOps] = {};
-    u8 opLat_[isa::kNumOps] = {};
-    bool opPipe_[isa::kNumOps] = {};
+    OpInfo opInfo_[isa::kNumOps] = {};
 
     // Trace columns (raw pointers into the RecordedTrace) and cursors.
+    // The memory lane (memAddrs_/memKinds_/memAux_) advances with the
+    // single memPos_ cursor.
     const u8 *ops_ = nullptr;
     const u8 *flags_ = nullptr;
     const u8 *numSrcs_ = nullptr;
     const u32 *srcProds_ = nullptr;
     const Addr *memAddrs_ = nullptr;
+    const u8 *memKinds_ = nullptr;
+    const u32 *memAux_ = nullptr;
     const u32 *branchPcs_ = nullptr;
-    const u32 *loadFwds_ = nullptr;
     u64 instCount_ = 0;
     u64 fetchPos_ = 0;
     u64 srcPos_ = 0;
     u64 memPos_ = 0;
     u64 branchPos_ = 0;
-    u64 loadPos_ = 0;
 
     // Window ring (capacity = windowSize rounded up to a power of two).
     std::vector<Slot> slots_;
@@ -206,22 +295,84 @@ class ReplayEngine
     u32 dispatchedStores_ = 0;
 
     // Issue scheduling: (depTime, seq) min-heap of instructions whose
-    // sources all have known ready times, drained into per-unit-class
-    // sequence-ordered buckets once that time arrives.
+    // sources all have known ready times but lie in the future, drained
+    // into the per-class eligible queues once that time arrives.
+    // Dispatch inserts already-ready instructions into their queue
+    // directly.
     std::vector<std::pair<Cycle, u64>> readyHeap_;
-    std::vector<u64> eligClass_[isa::kNumFuClasses];
 
-    /// Memory-queue occupancy: +1 at dispatch, -1 when the heap entry
-    /// pushed at issue time expires.
+    // Staging lane for the dominant wake-up case, dep == now + 1
+    // (single-cycle producers): the cycle counter strictly increases
+    // between execute steps, so at the next drain every entry already
+    // satisfies dep <= now and the whole vector empties unconditionally
+    // — same issue cycle as the heap route, none of its sifting.
+    std::vector<u64> readyNext_;
+
+    /**
+     * Per-class eligible queue: sequence numbers ascending, live
+     * entries are [head, size). Issue pops the head; the consumed
+     * prefix is recycled when the queue drains or grows long.
+     */
+    struct EligQueue
+    {
+        std::vector<u64> seqs;
+        size_t head = 0;
+
+        bool empty() const { return head == seqs.size(); }
+        u64 front() const { return seqs[head]; }
+
+        void
+        popFront()
+        {
+            if (++head == seqs.size()) {
+                seqs.clear();
+                head = 0;
+            } else if (head >= 128) {
+                seqs.erase(seqs.begin(),
+                           seqs.begin() + static_cast<ptrdiff_t>(head));
+                head = 0;
+            }
+        }
+
+        /** Append a sequence number known to exceed every live entry. */
+        void pushBack(u64 seq) { seqs.push_back(seq); }
+
+        /**
+         * Sorted insert (drained entries arrive out of order, but
+         * mostly ascending): shift from the back, which is free in the
+         * common append case.
+         */
+        void
+        insert(u64 seq)
+        {
+            const size_t n = seqs.size();
+            seqs.push_back(seq);
+            u64 *base = seqs.data();
+            size_t i = n;
+            while (i > head && base[i - 1] > seq) {
+                base[i] = base[i - 1];
+                --i;
+            }
+            base[i] = seq;
+        }
+    };
+
+    EligQueue elig_[isa::kNumFuClasses];
+    u8 eligMask_ = 0; ///< bit c set iff elig_[c] is non-empty
+
+    /// Memory-queue occupancy: +1 at dispatch, -1 when the ring entry
+    /// pushed at issue time expires (drained lazily at the readers).
     unsigned memqUsed_ = 0;
-    MinHeap memqFrees_;
+    TimeRing memqFrees_;
 
     /// Unresolved speculated branches: +1 at dispatch, -1 at resolution.
     unsigned specBranches_ = 0;
-    MinHeap branchResolves_;
+    TimeRing branchResolves_;
 
     /// Stall classes of stores still holding memory-queue slots after
-    /// retirement, with their release times (for attribution).
+    /// retirement, with their release times (for attribution). Expired
+    /// entries are filtered by the reader and garbage-collected when
+    /// the list grows past a small bound.
     std::vector<std::pair<Cycle, StallClass>> pendingStores_;
 
     Cycle now_ = 0;

@@ -1,7 +1,6 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
@@ -9,82 +8,223 @@
 namespace msim::mem
 {
 
+namespace
+{
+
+/** Smallest power of two >= v (v >= 1). */
+u32
+pow2AtLeast(u32 v)
+{
+    u32 p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 Cache::Cache(const CacheConfig &config, Level &next, HitLevel level)
-    : cfg(config), next(next), level_(level),
+    : CacheLevel(config, next, level),
       numSets(config.sizeBytes / (config.lineBytes * config.assoc)),
-      sets(numSets, std::vector<Way>(config.assoc)),
-      portFree(config.ports, 0), mshrs(config.numMshrs),
-      mshrOcc(config.numMshrs), loadOverlap_(config.numMshrs)
+      assoc_(config.assoc)
 {
     if (!isPow2(config.lineBytes) || numSets == 0 || !isPow2(numSets))
         fatal("cache: bad geometry (size %u, assoc %u, line %u)",
               config.sizeBytes, config.assoc, config.lineBytes);
+    lineShift_ = log2i(config.lineBytes);
+    setMask_ = numSets - 1;
+
+    tags_.assign(static_cast<size_t>(numSets) * assoc_, kNoLine);
+    lastUse_.assign(tags_.size(), 0);
+    dirty_.assign(tags_.size(), 0);
+
+    portFree.assign(config.ports, 0);
+
+    mshrLine_.assign(config.numMshrs, kNoLine);
+    mshrFill_.assign(config.numMshrs, 0);
+    mshrCombines_.assign(config.numMshrs, 0);
+    mshrIsLoad_.assign(config.numMshrs, 0);
+    mshrLevel_.assign(config.numMshrs, HitLevel::L1);
+
+    sortedFill_.assign(config.numMshrs, 0);
+    sortedLoadFill_.clear();
+    sortedLoadFill_.reserve(config.numMshrs);
+
+    const u32 cap = pow2AtLeast(std::max<u32>(16, 4 * config.numMshrs));
+    mapKey_.assign(cap, kNoLine);
+    mapVal_.assign(cap, kNoMshr);
+    mapMask_ = cap - 1;
+}
+
+void
+Cache::sortedErase(std::vector<Cycle> &v, Cycle value)
+{
+    auto it = std::lower_bound(v.begin(), v.end(), value);
+    v.erase(it);
+}
+
+void
+Cache::sortedInsert(std::vector<Cycle> &v, Cycle value)
+{
+    auto it = std::upper_bound(v.begin(), v.end(), value);
+    v.insert(it, value);
+}
+
+u32
+Cache::hashSlot(Addr line) const
+{
+    return static_cast<u32>((line * 0x9e3779b97f4a7c15ull) >> 32) & mapMask_;
+}
+
+void
+Cache::mapInsert(Addr line, u32 idx)
+{
+    u32 i = hashSlot(line);
+    while (mapKey_[i] != line && mapKey_[i] != kNoLine)
+        i = (i + 1) & mapMask_;
+    mapKey_[i] = line;
+    mapVal_[i] = idx;
+}
+
+void
+Cache::mapErase(Addr line, u32 idx)
+{
+    u32 i = hashSlot(line);
+    while (mapKey_[i] != line) {
+        if (mapKey_[i] == kNoLine)
+            return;
+        i = (i + 1) & mapMask_;
+    }
+    if (mapVal_[i] != idx)
+        return; // a newer MSHR owns the entry now
+    // Backward-shift deletion keeps every surviving key reachable from
+    // its home slot without tombstones.
+    u32 j = i;
+    for (;;) {
+        j = (j + 1) & mapMask_;
+        if (mapKey_[j] == kNoLine)
+            break;
+        const u32 home = hashSlot(mapKey_[j]);
+        if (((j - home) & mapMask_) >= ((j - i) & mapMask_)) {
+            mapKey_[i] = mapKey_[j];
+            mapVal_[i] = mapVal_[j];
+            i = j;
+        }
+    }
+    mapKey_[i] = kNoLine;
+    mapVal_[i] = kNoMshr;
 }
 
 Cycle
 Cache::allocPort(Cycle t)
 {
-    auto it = std::min_element(portFree.begin(), portFree.end());
-    const Cycle start = std::max(t, *it);
-    *it = start + 1; // one request per port per cycle
+    // portFree is kept ascending, so [0] is the reference's
+    // min_element. Re-inserting the bumped value is a short shift
+    // (ports <= 2 in every paper configuration).
+    const Cycle start = std::max(t, portFree[0]);
+    const Cycle busy = start + 1; // one request per port per cycle
+    size_t i = 1;
+    for (; i < portFree.size() && portFree[i] < busy; ++i)
+        portFree[i - 1] = portFree[i];
+    portFree[i - 1] = busy;
     return start;
 }
 
 unsigned
 Cache::busyMshrs(Cycle t) const
 {
-    unsigned n = 0;
-    for (const auto &m : mshrs)
-        if (m.active(t))
-            ++n;
-    return n;
+    // Active means fillTime > t; sortedFill_ is ascending.
+    const auto it =
+        std::upper_bound(sortedFill_.begin(), sortedFill_.end(), t);
+    return static_cast<unsigned>(sortedFill_.end() - it);
 }
 
 unsigned
 Cache::busyLoadMshrs(Cycle t) const
 {
-    unsigned n = 0;
-    for (const auto &m : mshrs)
-        if (m.active(t) && m.isLoad)
-            ++n;
-    return n;
+    const auto it =
+        std::upper_bound(sortedLoadFill_.begin(), sortedLoadFill_.end(), t);
+    return static_cast<unsigned>(sortedLoadFill_.end() - it);
 }
 
-Cycle
-Cache::earliestMshrFree() const
+u32
+Cache::findMshrScan(Addr line, Cycle t) const
 {
-    Cycle best = std::numeric_limits<Cycle>::max();
-    for (const auto &m : mshrs)
-        best = std::min(best, m.fillTime);
-    return best;
+    for (u32 i = 0; i < mshrLine_.size(); ++i)
+        if (mshrFill_[i] > t && mshrLine_[i] == line)
+            return i;
+    return kNoMshr;
 }
 
-Cache::Mshr *
-Cache::findMshr(Addr line, Cycle t)
+u32
+Cache::findMshr(Addr line, Cycle t) const
 {
-    for (auto &m : mshrs)
-        if (m.active(t) && m.line == line)
-            return &m;
-    return nullptr;
+    if (t < dupUntil_)
+        return findMshrScan(line, t);
+    u32 i = hashSlot(line);
+    while (mapKey_[i] != line) {
+        if (mapKey_[i] == kNoLine)
+            return kNoMshr;
+        i = (i + 1) & mapMask_;
+    }
+    const u32 idx = mapVal_[i];
+    return mshrFill_[idx] > t ? idx : kNoMshr;
 }
 
-Cache::Mshr *
-Cache::findFreeMshr(Cycle t)
+u32
+Cache::findFreeMshr(Cycle t) const
 {
-    for (auto &m : mshrs)
-        if (!m.active(t))
-            return &m;
-    return nullptr;
+    // Cheap reject: if every fill time is in the future nothing is
+    // free; otherwise the reference picks the lowest free index, which
+    // the short scan reproduces.
+    if (sortedFill_.front() > t)
+        return kNoMshr;
+    for (u32 i = 0; i < mshrFill_.size(); ++i)
+        if (mshrFill_[i] <= t)
+            return i;
+    return kNoMshr;
 }
 
-int
+void
+Cache::allocateMshr(u32 idx, Addr line, Cycle fill_time, bool is_load,
+                    HitLevel level)
+{
+    const Cycle old_fill = mshrFill_[idx];
+    if (mshrLine_[idx] != kNoLine) {
+        mapErase(mshrLine_[idx], idx);
+        // A query that reaches back below the displaced fill time could
+        // still see the old binding in the reference scan.
+        dupUntil_ = std::max(dupUntil_, old_fill);
+    }
+    // An older MSHR for this same line (already expired at the current
+    // time, or findMshr would have combined) can still be live for
+    // earlier query times; remember how long.
+    for (u32 i = 0; i < mshrLine_.size(); ++i)
+        if (i != idx && mshrLine_[i] == line)
+            dupUntil_ = std::max(dupUntil_, mshrFill_[i]);
+
+    sortedErase(sortedFill_, old_fill);
+    sortedInsert(sortedFill_, fill_time);
+    if (mshrIsLoad_[idx])
+        sortedErase(sortedLoadFill_, old_fill);
+    if (is_load)
+        sortedInsert(sortedLoadFill_, fill_time);
+
+    mshrLine_[idx] = line;
+    mshrFill_[idx] = fill_time;
+    mshrIsLoad_[idx] = is_load;
+    mshrLevel_[idx] = level;
+    mapInsert(line, idx);
+}
+
+s64
 Cache::lookup(Addr line, u64 use_stamp)
 {
-    auto &set = sets[line & (numSets - 1)];
-    for (unsigned w = 0; w < set.size(); ++w) {
-        if (set[w].valid && set[w].tag == line) {
-            set[w].lastUse = use_stamp;
-            return static_cast<int>(w);
+    const size_t base = static_cast<size_t>(line & setMask_) * assoc_;
+    for (size_t s = base; s < base + assoc_; ++s) {
+        if (tags_[s] == line) {
+            lastUse_[s] = use_stamp;
+            return static_cast<s64>(s);
         }
     }
     return -1;
@@ -93,36 +233,23 @@ Cache::lookup(Addr line, u64 use_stamp)
 void
 Cache::insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp)
 {
-    auto &set = sets[line & (numSets - 1)];
-    Way *victim = &set[0];
-    for (auto &w : set) {
-        if (!w.valid) {
-            victim = &w;
+    const size_t base = static_cast<size_t>(line & setMask_) * assoc_;
+    size_t victim = base;
+    for (size_t s = base; s < base + assoc_; ++s) {
+        if (tags_[s] == kNoLine) {
+            victim = s;
             break;
         }
-        if (w.lastUse < victim->lastUse)
-            victim = &w;
+        if (lastUse_[s] < lastUse_[victim])
+            victim = s;
     }
-    if (victim->valid && victim->dirty) {
+    if (tags_[victim] != kNoLine && dirty_[victim]) {
         writebacks_.inc();
-        next.accessLine(victim->tag, AccessKind::Writeback, fill_time);
+        next.accessLine(tags_[victim], AccessKind::Writeback, fill_time);
     }
-    victim->tag = line;
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->lastUse = use_stamp;
-}
-
-AccessResult
-Cache::access(Addr addr, AccessKind kind, Cycle t)
-{
-    return accessImpl(addr / cfg.lineBytes, kind, t);
-}
-
-AccessResult
-Cache::accessLine(Addr line_addr, AccessKind kind, Cycle t)
-{
-    return accessImpl(line_addr, kind, t);
+    tags_[victim] = line;
+    dirty_[victim] = dirty;
+    lastUse_[victim] = use_stamp;
 }
 
 AccessResult
@@ -134,9 +261,9 @@ Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
     // Writebacks from an upper level: update in place on hit, otherwise
     // forward without allocating (a writeback buffer in spirit).
     if (kind == AccessKind::Writeback) {
-        const int way = lookup(line, ++useStamp);
-        if (way >= 0) {
-            sets[line & (numSets - 1)][way].dirty = true;
+        const s64 slot = lookup(line, ++useStamp);
+        if (slot >= 0) {
+            dirty_[slot] = 1;
             hits_.inc();
         } else {
             next.accessLine(line, AccessKind::Writeback, t);
@@ -154,21 +281,22 @@ Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
         result.contended = result.contended || start != t;
 
         // 1. Request to a line already in flight: combine onto its MSHR.
-        if (Mshr *m = findMshr(line, start)) {
-            if (m->combines < cfg.maxCombines) {
-                ++m->combines;
+        if (const u32 m = findMshr(line, start); m != kNoMshr) {
+            if (mshrCombines_[m] < cfg.maxCombines) {
+                ++mshrCombines_[m];
                 combined_.inc();
                 if (kind == AccessKind::Store) {
-                    const int way = lookup(line, ++useStamp);
-                    if (way >= 0)
-                        sets[line & (numSets - 1)][way].dirty = true;
+                    const s64 slot = lookup(line, ++useStamp);
+                    if (slot >= 0)
+                        dirty_[slot] = 1;
                 }
                 if (kind == AccessKind::Prefetch) {
                     result.ready = start;
                     return result;
                 }
-                result.ready = std::max(start + cfg.hitLatency, m->fillTime);
-                result.level = m->level;
+                result.ready =
+                    std::max(start + cfg.hitLatency, mshrFill_[m]);
+                result.level = mshrLevel_[m];
                 return result;
             }
             // Combine slots exhausted: the cache input backs up until the
@@ -180,29 +308,26 @@ Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
                 return result;
             }
             blocked_.inc();
-            inputBlockedUntil = std::max(inputBlockedUntil, m->fillTime);
-            arrival = m->fillTime;
+            inputBlockedUntil = std::max(inputBlockedUntil, mshrFill_[m]);
+            arrival = mshrFill_[m];
             result.contended = true;
             continue;
         }
 
-        // 2. Tag lookup.
-        if (lookup(line, ++useStamp) >= 0) {
+        // 2. Tag lookup. On a store hit the way lookup() matched is
+        // marked dirty directly — no second scan of the set.
+        if (const s64 slot = lookup(line, ++useStamp); slot >= 0) {
             hits_.inc();
-            if (kind == AccessKind::Store) {
-                auto &set = sets[line & (numSets - 1)];
-                for (auto &w : set)
-                    if (w.valid && w.tag == line)
-                        w.dirty = true;
-            }
+            if (kind == AccessKind::Store)
+                dirty_[slot] = 1;
             result.ready = start + cfg.hitLatency;
             result.level = level_;
             return result;
         }
 
         // 3. Miss: allocate an MSHR and fetch from below.
-        Mshr *m = findFreeMshr(start);
-        if (!m) {
+        const u32 m = findFreeMshr(start);
+        if (m == kNoMshr) {
             if (kind == AccessKind::Prefetch) {
                 prefetchDrops_.inc();
                 result.dropped = true;
@@ -225,11 +350,9 @@ Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
         const AccessResult below =
             next.accessLine(line, kind, start + cfg.hitLatency);
 
-        m->line = line;
-        m->fillTime = below.ready;
-        m->combines = 1;
-        m->isLoad = kind == AccessKind::Load;
-        m->level = below.level;
+        allocateMshr(m, line, below.ready, kind == AccessKind::Load,
+                     below.level);
+        mshrCombines_[m] = 1;
         if (kind == AccessKind::Load)
             loadOverlap_.sample(busyLoadMshrs(start));
 

@@ -16,6 +16,19 @@
  *    are unavailable.
  *  - Dirty victims are written back to the next level when the
  *    replacement line arrives.
+ *
+ * Two implementations share this contract through CacheLevel:
+ *
+ *  - Cache (this file) is the fast path: the tag store is one flat
+ *    structure-of-arrays block, the per-access MSHR scans are replaced
+ *    by incrementally maintained sorted fill-time arrays plus an
+ *    open-addressed line→MSHR map, and port scheduling keeps a small
+ *    sorted array instead of calling min_element. All of it is exact
+ *    for arbitrary (including non-monotonic) request times, so timing
+ *    and every counter stay bit-identical to the reference.
+ *  - RefCache (ref_cache.hh) is the original linear-scan model, kept
+ *    verbatim as the in-binary baseline for the bit-identity tests and
+ *    the before/after benchmarks.
  */
 
 #ifndef MSIM_MEM_CACHE_HH_
@@ -41,23 +54,21 @@ class Level
                                     Cycle t) = 0;
 };
 
-/** One cache level. */
-class Cache : public Level
+/**
+ * Common surface of the cache implementations: the byte-granularity
+ * core-side entry point plus every statistic the runners snapshot.
+ * Holds the counters so both models update the identical state.
+ */
+class CacheLevel : public Level
 {
   public:
-    /**
-     * @param config  Geometry and timing.
-     * @param next    Next level (deeper cache or DRAM).
-     * @param level   This level's HitLevel tag for classification.
-     */
-    Cache(const CacheConfig &config, Level &next, HitLevel level);
+    CacheLevel(const CacheConfig &config, Level &next_level, HitLevel level)
+        : cfg(config), next(next_level), level_(level),
+          mshrOcc(config.numMshrs), loadOverlap_(config.numMshrs)
+    {}
 
     /** Byte-granularity access from the core side. */
-    AccessResult access(Addr addr, AccessKind kind, Cycle t);
-
-    /** Line-granularity access from an upper cache. */
-    AccessResult accessLine(Addr line_addr, AccessKind kind,
-                            Cycle t) override;
+    virtual AccessResult access(Addr addr, AccessKind kind, Cycle t) = 0;
 
     // --- Statistics ---------------------------------------------------------
 
@@ -82,53 +93,10 @@ class Cache : public Level
     /** Distribution of concurrently outstanding *load* misses. */
     const Distribution &loadOverlap() const { return loadOverlap_; }
 
-  private:
-    struct Way
-    {
-        Addr tag = 0;
-        u64 lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
-
-    struct Mshr
-    {
-        Addr line = 0;
-        Cycle fillTime = 0;   ///< when the line arrives from below
-        u32 combines = 0;
-        bool isLoad = false;
-        HitLevel level = HitLevel::L1;
-
-        bool active(Cycle t) const { return fillTime > t; }
-    };
-
-    AccessResult accessImpl(Addr line_addr, AccessKind kind, Cycle t);
-
-    /** Reserve a request port at or after @p t; returns the start cycle. */
-    Cycle allocPort(Cycle t);
-
-    unsigned busyMshrs(Cycle t) const;
-    unsigned busyLoadMshrs(Cycle t) const;
-    Cycle earliestMshrFree() const;
-    Mshr *findMshr(Addr line, Cycle t);
-    Mshr *findFreeMshr(Cycle t);
-
-    /** Tag lookup; returns the way index or -1. */
-    int lookup(Addr line, u64 use_stamp);
-
-    /** Insert @p line, writing back a dirty victim at @p fill_time. */
-    void insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp);
-
+  protected:
     CacheConfig cfg;
     Level &next;
     HitLevel level_;
-
-    unsigned numSets;
-    std::vector<std::vector<Way>> sets;
-    std::vector<Cycle> portFree;
-    std::vector<Mshr> mshrs;
-    Cycle inputBlockedUntil = 0;
-    u64 useStamp = 0;
 
     Counter accesses_;
     Counter hits_;
@@ -140,6 +108,126 @@ class Cache : public Level
     Counter blocked_;
     OccupancyTracker mshrOcc;
     Distribution loadOverlap_;
+};
+
+/** One cache level (fast implementation; see file comment). */
+class Cache final : public CacheLevel
+{
+  public:
+    /**
+     * @param config  Geometry and timing.
+     * @param next    Next level (deeper cache or DRAM).
+     * @param level   This level's HitLevel tag for classification.
+     */
+    Cache(const CacheConfig &config, Level &next, HitLevel level);
+
+    AccessResult
+    access(Addr addr, AccessKind kind, Cycle t) override
+    {
+        return accessImpl(addr >> lineShift_, kind, t);
+    }
+
+    /** Line-granularity access from an upper cache. */
+    AccessResult
+    accessLine(Addr line_addr, AccessKind kind, Cycle t) override
+    {
+        return accessImpl(line_addr, kind, t);
+    }
+
+  private:
+    /// Sentinel for "no line": unreachable because real line numbers
+    /// are byte addresses divided by the line size.
+    static constexpr Addr kNoLine = ~Addr{0};
+    static constexpr u32 kNoMshr = ~u32{0};
+
+    AccessResult accessImpl(Addr line_addr, AccessKind kind, Cycle t);
+
+    /** Reserve a request port at or after @p t; returns the start cycle. */
+    Cycle allocPort(Cycle t);
+
+    unsigned busyMshrs(Cycle t) const;
+    unsigned busyLoadMshrs(Cycle t) const;
+    Cycle earliestMshrFree() const { return sortedFill_.front(); }
+
+    /** Index of the MSHR in flight for @p line at @p t, or kNoMshr. */
+    u32 findMshr(Addr line, Cycle t) const;
+
+    /** Reference-order linear scan used below the dupUntil_ watermark. */
+    u32 findMshrScan(Addr line, Cycle t) const;
+
+    /** Lowest-index MSHR free at @p t, or kNoMshr. */
+    u32 findFreeMshr(Cycle t) const;
+
+    /** Point MSHR @p idx at @p line with the given fill time. */
+    void allocateMshr(u32 idx, Addr line, Cycle fill_time, bool is_load,
+                      HitLevel level);
+
+    /** Tag lookup; returns the flat way slot or -1. */
+    s64 lookup(Addr line, u64 use_stamp);
+
+    /** Insert @p line, writing back a dirty victim at @p fill_time. */
+    void insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp);
+
+    // Sorted-array bookkeeping (all arrays stay tiny: <= numMshrs and
+    // <= ports entries, so shifting beats any tree).
+    static void sortedErase(std::vector<Cycle> &v, Cycle value);
+    static void sortedInsert(std::vector<Cycle> &v, Cycle value);
+
+    u32 hashSlot(Addr line) const;
+    void mapInsert(Addr line, u32 idx);
+    void mapErase(Addr line, u32 idx);
+
+    unsigned numSets;
+    unsigned assoc_;
+    unsigned lineShift_;
+    Addr setMask_;
+
+    // Flat tag store: slot = set * assoc + way. tags_[slot] == kNoLine
+    // marks an invalid way.
+    std::vector<Addr> tags_;
+    std::vector<u64> lastUse_;
+    std::vector<u8> dirty_;
+
+    /// Port free times, ascending; [0] is always the next-free port.
+    std::vector<Cycle> portFree;
+
+    // MSHR state as parallel columns.
+    std::vector<Addr> mshrLine_;
+    std::vector<Cycle> mshrFill_;
+    std::vector<u32> mshrCombines_;
+    std::vector<u8> mshrIsLoad_;
+    std::vector<HitLevel> mshrLevel_;
+
+    /// All MSHR fill times, ascending: busyMshrs(t) and
+    /// earliestMshrFree() read it directly instead of scanning MSHRs.
+    std::vector<Cycle> sortedFill_;
+    /// Fill times of load MSHRs only, ascending (for busyLoadMshrs).
+    std::vector<Cycle> sortedLoadFill_;
+
+    // Open-addressed line → MSHR-index map (linear probing with
+    // backward-shift deletion; capacity >= 4x numMshrs keeps probe
+    // chains short). An entry always points at the most recent MSHR
+    // allocated for its line, and is erased when that MSHR is
+    // re-pointed; findMshr re-checks the fill time, so stale entries
+    // for expired fills are harmless.
+    std::vector<Addr> mapKey_;
+    std::vector<u32> mapVal_;
+    u32 mapMask_ = 0;
+
+    // Exactness guard for the map. Request times are not globally
+    // monotone (an L1 writes back dirty victims at future fill times
+    // while later demands arrive at earlier cycles), so a query can
+    // reach back to a moment when an *older* MSHR for the same line was
+    // still filling — the reference scan would return the older,
+    // lower-index one, while the map knows only the newest. Every MSHR
+    // (re)allocation therefore raises dupUntil_ to the fill time of any
+    // state it displaces; queries strictly below the watermark take the
+    // reference scan, queries at or above it provably have at most one
+    // live candidate per line and use the map.
+    Cycle dupUntil_ = 0;
+
+    Cycle inputBlockedUntil = 0;
+    u64 useStamp = 0;
 };
 
 } // namespace msim::mem

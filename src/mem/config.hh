@@ -32,12 +32,24 @@ struct DramConfig
     u32 lineBytes = 64;
 };
 
+/**
+ * Which cache implementation the hierarchy instantiates. Both produce
+ * bit-identical timing; Reference is the original linear-scan model
+ * kept for regression tests and before/after benchmarks.
+ */
+enum class CacheModel : u8
+{
+    Fast,
+    Reference,
+};
+
 /** The full two-level hierarchy configuration. */
 struct MemConfig
 {
     CacheConfig l1{64 * 1024, 2, 64, 2, 2, 12, 8};
     CacheConfig l2{128 * 1024, 4, 64, 1, 20, 12, 8};
     DramConfig dram{};
+    CacheModel model = CacheModel::Fast;
 };
 
 } // namespace msim::mem

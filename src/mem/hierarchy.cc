@@ -4,9 +4,17 @@ namespace msim::mem
 {
 
 Hierarchy::Hierarchy(const MemConfig &config)
-    : dram_(std::make_unique<Dram>(config.dram)),
-      l2_(std::make_unique<Cache>(config.l2, *dram_, HitLevel::L2)),
-      l1_(std::make_unique<Cache>(config.l1, *l2_, HitLevel::L1))
-{}
+    : dram_(std::make_unique<Dram>(config.dram))
+{
+    if (config.model == CacheModel::Fast) {
+        l2Fast_ = std::make_unique<Cache>(config.l2, *dram_, HitLevel::L2);
+        l1Fast_ = std::make_unique<Cache>(config.l1, *l2Fast_, HitLevel::L1);
+    } else {
+        l2Ref_ =
+            std::make_unique<RefCache>(config.l2, *dram_, HitLevel::L2);
+        l1Ref_ =
+            std::make_unique<RefCache>(config.l1, *l2Ref_, HitLevel::L1);
+    }
+}
 
 } // namespace msim::mem

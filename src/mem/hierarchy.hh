@@ -12,6 +12,7 @@
 #include "mem/cache.hh"
 #include "mem/config.hh"
 #include "mem/dram.hh"
+#include "mem/ref_cache.hh"
 
 namespace msim::mem
 {
@@ -30,7 +31,13 @@ class MemoryPort
     virtual AccessResult access(Addr addr, AccessKind kind, Cycle t) = 0;
 };
 
-/** Owns and wires L1 -> L2 -> DRAM. */
+/**
+ * Owns and wires L1 -> L2 -> DRAM. MemConfig::model selects the cache
+ * implementation (fast by default; the reference model backs the
+ * bit-identity tests and A/B benchmarks). The hot entry point branches
+ * once and then calls the concrete type, so the fast path keeps its
+ * devirtualized inner calls.
+ */
 class Hierarchy : public MemoryPort
 {
   public:
@@ -39,17 +46,34 @@ class Hierarchy : public MemoryPort
     AccessResult
     access(Addr addr, AccessKind kind, Cycle t) override
     {
-        return l1_->access(addr, kind, t);
+        if (l1Fast_)
+            return l1Fast_->access(addr, kind, t);
+        return l1Ref_->access(addr, kind, t);
     }
 
-    const Cache &l1() const { return *l1_; }
-    const Cache &l2() const { return *l2_; }
+    const CacheLevel &
+    l1() const
+    {
+        if (l1Fast_)
+            return *l1Fast_;
+        return *l1Ref_;
+    }
+
+    const CacheLevel &
+    l2() const
+    {
+        if (l2Fast_)
+            return *l2Fast_;
+        return *l2Ref_;
+    }
     const Dram &dram() const { return *dram_; }
 
   private:
     std::unique_ptr<Dram> dram_;
-    std::unique_ptr<Cache> l2_;
-    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<Cache> l2Fast_;
+    std::unique_ptr<Cache> l1Fast_;
+    std::unique_ptr<RefCache> l2Ref_;
+    std::unique_ptr<RefCache> l1Ref_;
 };
 
 } // namespace msim::mem

@@ -1,0 +1,243 @@
+#include "mem/ref_cache.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace msim::mem
+{
+
+RefCache::RefCache(const CacheConfig &config, Level &next, HitLevel level)
+    : CacheLevel(config, next, level),
+      numSets(config.sizeBytes / (config.lineBytes * config.assoc)),
+      sets(numSets, std::vector<Way>(config.assoc)),
+      portFree(config.ports, 0), mshrs(config.numMshrs)
+{
+    if (!isPow2(config.lineBytes) || numSets == 0 || !isPow2(numSets))
+        fatal("cache: bad geometry (size %u, assoc %u, line %u)",
+              config.sizeBytes, config.assoc, config.lineBytes);
+}
+
+Cycle
+RefCache::allocPort(Cycle t)
+{
+    auto it = std::min_element(portFree.begin(), portFree.end());
+    const Cycle start = std::max(t, *it);
+    *it = start + 1; // one request per port per cycle
+    return start;
+}
+
+unsigned
+RefCache::busyMshrs(Cycle t) const
+{
+    unsigned n = 0;
+    for (const auto &m : mshrs)
+        if (m.active(t))
+            ++n;
+    return n;
+}
+
+unsigned
+RefCache::busyLoadMshrs(Cycle t) const
+{
+    unsigned n = 0;
+    for (const auto &m : mshrs)
+        if (m.active(t) && m.isLoad)
+            ++n;
+    return n;
+}
+
+Cycle
+RefCache::earliestMshrFree() const
+{
+    Cycle best = std::numeric_limits<Cycle>::max();
+    for (const auto &m : mshrs)
+        best = std::min(best, m.fillTime);
+    return best;
+}
+
+RefCache::Mshr *
+RefCache::findMshr(Addr line, Cycle t)
+{
+    for (auto &m : mshrs)
+        if (m.active(t) && m.line == line)
+            return &m;
+    return nullptr;
+}
+
+RefCache::Mshr *
+RefCache::findFreeMshr(Cycle t)
+{
+    for (auto &m : mshrs)
+        if (!m.active(t))
+            return &m;
+    return nullptr;
+}
+
+int
+RefCache::lookup(Addr line, u64 use_stamp)
+{
+    auto &set = sets[line & (numSets - 1)];
+    for (unsigned w = 0; w < set.size(); ++w) {
+        if (set[w].valid && set[w].tag == line) {
+            set[w].lastUse = use_stamp;
+            return static_cast<int>(w);
+        }
+    }
+    return -1;
+}
+
+void
+RefCache::insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp)
+{
+    auto &set = sets[line & (numSets - 1)];
+    Way *victim = &set[0];
+    for (auto &w : set) {
+        if (!w.valid) {
+            victim = &w;
+            break;
+        }
+        if (w.lastUse < victim->lastUse)
+            victim = &w;
+    }
+    if (victim->valid && victim->dirty) {
+        writebacks_.inc();
+        next.accessLine(victim->tag, AccessKind::Writeback, fill_time);
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lastUse = use_stamp;
+}
+
+AccessResult
+RefCache::access(Addr addr, AccessKind kind, Cycle t)
+{
+    return accessImpl(addr / cfg.lineBytes, kind, t);
+}
+
+AccessResult
+RefCache::accessLine(Addr line_addr, AccessKind kind, Cycle t)
+{
+    return accessImpl(line_addr, kind, t);
+}
+
+AccessResult
+RefCache::accessImpl(Addr line, AccessKind kind, Cycle t)
+{
+    accesses_.inc();
+    AccessResult result;
+
+    // Writebacks from an upper level: update in place on hit, otherwise
+    // forward without allocating (a writeback buffer in spirit).
+    if (kind == AccessKind::Writeback) {
+        const int way = lookup(line, ++useStamp);
+        if (way >= 0) {
+            sets[line & (numSets - 1)][way].dirty = true;
+            hits_.inc();
+        } else {
+            next.accessLine(line, AccessKind::Writeback, t);
+            misses_.inc();
+        }
+        result.ready = t + cfg.hitLatency;
+        result.level = level_;
+        return result;
+    }
+
+    Cycle arrival = std::max(t, inputBlockedUntil);
+    for (;;) {
+        const Cycle start = allocPort(arrival);
+        mshrOcc.advance(start, busyMshrs(start));
+        result.contended = result.contended || start != t;
+
+        // 1. Request to a line already in flight: combine onto its MSHR.
+        if (Mshr *m = findMshr(line, start)) {
+            if (m->combines < cfg.maxCombines) {
+                ++m->combines;
+                combined_.inc();
+                if (kind == AccessKind::Store) {
+                    const int way = lookup(line, ++useStamp);
+                    if (way >= 0)
+                        sets[line & (numSets - 1)][way].dirty = true;
+                }
+                if (kind == AccessKind::Prefetch) {
+                    result.ready = start;
+                    return result;
+                }
+                result.ready = std::max(start + cfg.hitLatency, m->fillTime);
+                result.level = m->level;
+                return result;
+            }
+            // Combine slots exhausted: the cache input backs up until the
+            // fill returns; the retried request then hits.
+            if (kind == AccessKind::Prefetch) {
+                prefetchDrops_.inc();
+                result.dropped = true;
+                result.ready = start;
+                return result;
+            }
+            blocked_.inc();
+            inputBlockedUntil = std::max(inputBlockedUntil, m->fillTime);
+            arrival = m->fillTime;
+            result.contended = true;
+            continue;
+        }
+
+        // 2. Tag lookup.
+        if (lookup(line, ++useStamp) >= 0) {
+            hits_.inc();
+            if (kind == AccessKind::Store) {
+                auto &set = sets[line & (numSets - 1)];
+                for (auto &w : set)
+                    if (w.valid && w.tag == line)
+                        w.dirty = true;
+            }
+            result.ready = start + cfg.hitLatency;
+            result.level = level_;
+            return result;
+        }
+
+        // 3. Miss: allocate an MSHR and fetch from below.
+        Mshr *m = findFreeMshr(start);
+        if (!m) {
+            if (kind == AccessKind::Prefetch) {
+                prefetchDrops_.inc();
+                result.dropped = true;
+                result.ready = start;
+                return result;
+            }
+            // All MSHRs busy: the cache stops accepting requests.
+            blocked_.inc();
+            const Cycle free_at = earliestMshrFree();
+            inputBlockedUntil = std::max(inputBlockedUntil, free_at);
+            arrival = free_at;
+            result.contended = true;
+            continue;
+        }
+
+        misses_.inc();
+        if (kind == AccessKind::Load)
+            loadMisses_.inc();
+
+        const AccessResult below =
+            next.accessLine(line, kind, start + cfg.hitLatency);
+
+        m->line = line;
+        m->fillTime = below.ready;
+        m->combines = 1;
+        m->isLoad = kind == AccessKind::Load;
+        m->level = below.level;
+        if (kind == AccessKind::Load)
+            loadOverlap_.sample(busyLoadMshrs(start));
+
+        insert(line, kind == AccessKind::Store, below.ready, useStamp);
+
+        result.ready = kind == AccessKind::Prefetch ? start : below.ready;
+        result.level = below.level;
+        return result;
+    }
+}
+
+} // namespace msim::mem

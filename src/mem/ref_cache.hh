@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reference cache model: the original linear-scan implementation,
+ * preserved verbatim as the pre-optimization baseline.
+ *
+ * Cache (cache.hh) replaced the per-access MSHR scans, min_element
+ * port pick, and vector<vector<Way>> tag store with incrementally
+ * maintained structures. RefCache keeps the straightforward code so
+ * that (a) the bit-identity regression tests can run every benchmark
+ * through both models and compare all counters and timings, and
+ * (b) the before/after benchmarks (bench_mem_fastpath) measure the
+ * real pre-PR cost inside the same binary. Do not optimize this file;
+ * its value is being obviously equivalent to the seed model.
+ */
+
+#ifndef MSIM_MEM_REF_CACHE_HH_
+#define MSIM_MEM_REF_CACHE_HH_
+
+#include <vector>
+
+#include "mem/cache.hh"
+
+namespace msim::mem
+{
+
+/** One cache level (reference implementation; see file comment). */
+class RefCache final : public CacheLevel
+{
+  public:
+    RefCache(const CacheConfig &config, Level &next, HitLevel level);
+
+    AccessResult access(Addr addr, AccessKind kind, Cycle t) override;
+
+    AccessResult accessLine(Addr line_addr, AccessKind kind,
+                            Cycle t) override;
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        u64 lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    struct Mshr
+    {
+        Addr line = 0;
+        Cycle fillTime = 0;   ///< when the line arrives from below
+        u32 combines = 0;
+        bool isLoad = false;
+        HitLevel level = HitLevel::L1;
+
+        bool active(Cycle t) const { return fillTime > t; }
+    };
+
+    AccessResult accessImpl(Addr line_addr, AccessKind kind, Cycle t);
+
+    /** Reserve a request port at or after @p t; returns the start cycle. */
+    Cycle allocPort(Cycle t);
+
+    unsigned busyMshrs(Cycle t) const;
+    unsigned busyLoadMshrs(Cycle t) const;
+    Cycle earliestMshrFree() const;
+    Mshr *findMshr(Addr line, Cycle t);
+    Mshr *findFreeMshr(Cycle t);
+
+    /** Tag lookup; returns the way index or -1. */
+    int lookup(Addr line, u64 use_stamp);
+
+    /** Insert @p line, writing back a dirty victim at @p fill_time. */
+    void insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp);
+
+    unsigned numSets;
+    std::vector<std::vector<Way>> sets;
+    std::vector<Cycle> portFree;
+    std::vector<Mshr> mshrs;
+    Cycle inputBlockedUntil = 0;
+    u64 useStamp = 0;
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_REF_CACHE_HH_

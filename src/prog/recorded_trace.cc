@@ -13,8 +13,9 @@ RecordedTrace::byteSize() const
 {
     return op_.size() * (sizeof(u8) * 3 + sizeof(ValId)) +
            srcs_.size() * (sizeof(ValId) + sizeof(u32)) +
-           memAddr_.size() * (sizeof(Addr) + sizeof(u8)) +
-           branchPc_.size() * sizeof(u32) + loadFwd_.size() * sizeof(u32);
+           memAddr_.size() *
+               (sizeof(Addr) + sizeof(u8) * 2 + sizeof(u32)) +
+           branchPc_.size() * sizeof(u32);
 }
 
 void
@@ -34,11 +35,12 @@ RecordedTrace::Cursor::next(Inst &inst, u32 &fwd_store, u32 &store_ord)
     if (inst.isMem()) {
         inst.addr = t_.memAddr_[memPos_];
         inst.memSize = t_.memSize_[memPos_];
+        const u8 mk = t_.memKind_[memPos_];
+        if (mk == kMemLoad)
+            fwd_store = t_.memAux_[memPos_];
+        else if (mk == kMemStore)
+            store_ord = t_.memAux_[memPos_];
         ++memPos_;
-        if (inst.isLoad())
-            fwd_store = t_.loadFwd_[loadPos_++];
-        else if (inst.isStore())
-            store_ord = storeOrd_++;
     } else if (inst.isBranch()) {
         inst.pc = t_.branchPc_[branchPos_++];
     }
@@ -64,16 +66,24 @@ TraceRecorder::forwardingCandidate(Addr lo, Addr hi) const
     // Youngest (max-ordinal) older store covering [lo, hi). The core's
     // ring keeps the last kRingSize dispatched stores, so anything
     // older than that can never match at replay time either.
-    const RingStore *best = nullptr;
-    for (const RingStore &s : ring_) {
+    //
+    // Fast reject: a covering store wrote the load's first 8-byte
+    // block, so its filter bit is set (the filters never miss a
+    // ring-resident store; see the field comment).
+    if (((fwdFilterCur_ | fwdFilterPrev_) &
+         (u64{1} << ((lo >> 3) & 63))) == 0)
+        return kNoFwdStore;
+    // The ring is ordinal-ordered, so scanning from the most recent
+    // entry backwards returns the youngest cover at the first hit.
+    for (unsigned back = 1; back <= kRingSize; ++back) {
+        const RingStore &s =
+            ring_[(ringNext_ + kRingSize - back) % kRingSize];
         if (s.ordinal == kNoFwdStore)
-            continue;
-        if (lo >= s.addr && hi <= s.addr + s.size) {
-            if (!best || s.ordinal > best->ordinal)
-                best = &s;
-        }
+            break; // older entries are unfilled too
+        if (lo >= s.addr && hi <= s.addr + s.size)
+            return s.ordinal;
     }
-    return best ? best->ordinal : kNoFwdStore;
+    return kNoFwdStore;
 }
 
 void
@@ -105,13 +115,28 @@ TraceRecorder::feed(const Inst &inst)
         t.memAddr_.push_back(inst.addr);
         t.memSize_.push_back(inst.memSize);
         if (inst.isLoad()) {
-            t.loadFwd_.push_back(forwardingCandidate(
+            t.memKind_.push_back(kMemLoad);
+            t.memAux_.push_back(forwardingCandidate(
                 inst.addr, inst.addr + inst.memSize));
         } else if (inst.isStore()) {
+            t.memKind_.push_back(kMemStore);
+            t.memAux_.push_back(t.numStores_);
             ring_[ringNext_] = RingStore{t.numStores_, inst.addr,
                                          inst.memSize};
             ringNext_ = (ringNext_ + 1) % kRingSize;
             ++t.numStores_;
+            const Addr last =
+                inst.addr + std::max<unsigned>(inst.memSize, 1) - 1;
+            for (Addr b = inst.addr >> 3; b <= last >> 3; ++b)
+                fwdFilterCur_ |= u64{1} << (b & 63);
+            if (++fwdEpochStores_ == kRingSize) {
+                fwdFilterPrev_ = fwdFilterCur_;
+                fwdFilterCur_ = 0;
+                fwdEpochStores_ = 0;
+            }
+        } else {
+            t.memKind_.push_back(kMemPrefetch);
+            t.memAux_.push_back(kNoFwdStore);
         }
     } else if (inst.isBranch()) {
         t.branchPc_.push_back(inst.pc);

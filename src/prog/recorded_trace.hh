@@ -31,6 +31,13 @@
  *    table over the whole SSA id space.
  *  - Per-opcode totals, so replay derives instruction-mix and VIS
  *    overhead statistics without re-tallying per instruction.
+ *  - A memory-side lane: per memory op, the access kind and the
+ *    already-resolved auxiliary ordinal (a load's forwarding candidate,
+ *    a store's ring ordinal). The replay inner loop walks this dense
+ *    (kind, address, aux) stream with a single cursor instead of
+ *    re-classifying opcodes and splitting per-kind side streams, and
+ *    core::runJobs shares one copy across every geometry point of a
+ *    sweep group.
  */
 
 #ifndef MSIM_PROG_RECORDED_TRACE_HH_
@@ -56,6 +63,14 @@ constexpr u32 kNoProducer = ~u32{0};
  */
 constexpr unsigned kFwdWindow = 64;
 
+/** Memory-lane access kinds (values of the memKind column). */
+enum MemKind : u8
+{
+    kMemLoad = 0,
+    kMemStore = 1,
+    kMemPrefetch = 2,
+};
+
 /** See file comment. Populated by TraceRecorder; immutable afterwards. */
 class RecordedTrace
 {
@@ -75,6 +90,9 @@ class RecordedTrace
 
     /** Number of store instructions (forwarding-ring ordinal space). */
     u32 numStores() const { return numStores_; }
+
+    /** Number of memory operations (length of the memory lane). */
+    u64 numMemOps() const { return memAddr_.size(); }
 
     /** Approximate in-memory footprint, for cache accounting. */
     size_t byteSize() const;
@@ -120,8 +138,6 @@ class RecordedTrace
         size_t srcPos_ = 0;
         size_t memPos_ = 0;
         size_t branchPos_ = 0;
-        size_t loadPos_ = 0;
-        u32 storeOrd_ = 0;
     };
 
     // Raw column access for the optimized replay engine (reads the
@@ -135,7 +151,8 @@ class RecordedTrace
     const std::vector<u32> &srcProdCol() const { return srcProd_; }
     const std::vector<Addr> &memAddrCol() const { return memAddr_; }
     const std::vector<u32> &branchPcCol() const { return branchPc_; }
-    const std::vector<u32> &loadFwdCol() const { return loadFwd_; }
+    const std::vector<u8> &memKindCol() const { return memKind_; }
+    const std::vector<u32> &memAuxCol() const { return memAux_; }
 
   private:
     friend class TraceRecorder;
@@ -149,10 +166,13 @@ class RecordedTrace
     std::vector<u32> srcProd_; ///< per source: producer instruction index
 
     // Side streams, consumed sequentially by the matching op classes.
+    // memAddr/memKind/memAux form the dense memory lane (one entry per
+    // Load/Store/Prefetch in program order).
     std::vector<Addr> memAddr_;   ///< per memory op
     std::vector<u8> memSize_;     ///< per memory op
+    std::vector<u8> memKind_;     ///< per memory op: MemKind
+    std::vector<u32> memAux_;     ///< load: fwd candidate; store: ordinal
     std::vector<u32> branchPc_;   ///< per branch
-    std::vector<u32> loadFwd_;    ///< per load: candidate store ordinal
 
     u64 opCount_[isa::kNumOps] = {};
     ValId maxValId_ = 0;
@@ -190,6 +210,17 @@ class TraceRecorder : public isa::InstSink
     RingStore ring_[kRingSize];
     unsigned ringNext_ = 0;
     std::vector<u32> producer_; ///< ValId -> producing instruction index
+
+    // Coverage filter over the ring, so streaming loads (the common
+    // case: no covering store) skip the scan.  Each store sets the bits
+    // of the 8-byte blocks it touches; a covering store necessarily
+    // touches the load's first block.  Bits cannot be cleared per
+    // eviction, so two epoch filters rotate every kRingSize stores —
+    // their union always covers at least the last 2*kRingSize stores, a
+    // superset of the ring, hence no false negatives.
+    u64 fwdFilterCur_ = 0;
+    u64 fwdFilterPrev_ = 0;
+    unsigned fwdEpochStores_ = 0;
 };
 
 } // namespace msim::prog

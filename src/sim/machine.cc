@@ -54,4 +54,12 @@ withL1Size(u32 bytes)
     return m;
 }
 
+MachineConfig
+asReference(MachineConfig m)
+{
+    m.mem.model = mem::CacheModel::Reference;
+    m.core.referenceEngine = true;
+    return m;
+}
+
 } // namespace msim::sim

@@ -43,6 +43,13 @@ MachineConfig withL2Size(u32 bytes);
 /** Default machine with the L1 size overridden (Section 4.1 sweep). */
 MachineConfig withL1Size(u32 bytes);
 
+/**
+ * The same machine, switched onto the preserved pre-optimization models
+ * (RefCache + RefReplayEngine). Bit-identical results by construction;
+ * used as the baseline in regression tests and A/B benchmarks.
+ */
+MachineConfig asReference(MachineConfig m);
+
 } // namespace msim::sim
 
 #endif // MSIM_SIM_MACHINE_HH_

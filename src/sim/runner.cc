@@ -11,7 +11,7 @@ namespace
 {
 
 CacheSnap
-snapOf(const mem::Cache &c)
+snapOf(const mem::CacheLevel &c)
 {
     CacheSnap s;
     s.accesses = c.accesses();

@@ -8,6 +8,7 @@
 #include "mem/config.hh"
 #include "mem/dram.hh"
 #include "mem/hierarchy.hh"
+#include "mem/ref_cache.hh"
 
 namespace msim::mem
 {
@@ -229,6 +230,131 @@ TEST(Cache, BadGeometryRejected)
                       HitLevel::L1);
         },
         "");
+}
+
+/**
+ * Exact-value MSHR scenarios, typed over both the fast Cache and the
+ * preserved RefCache so any divergence between the two models fails
+ * loudly with the precise counter or timestamp that moved.
+ *
+ * All timings below are hand-derived from the model: DRAM total
+ * latency 100, bank busy 25, 4-way interleave; L1 hit latency 2.
+ */
+template <typename C>
+class MshrExactTest : public ::testing::Test
+{
+};
+
+using CacheImpls = ::testing::Types<Cache, RefCache>;
+TYPED_TEST_SUITE(MshrExactTest, CacheImpls);
+
+TYPED_TEST(MshrExactTest, CombineSlotExhaustionExact)
+{
+    // maxCombines 2: the miss takes the first slot, one load combines,
+    // the third request finds the slots full, blocks until the fill at
+    // 102, retries, and hits at 102+2.
+    Dram dram(DramConfig{});
+    TypeParam l1(CacheConfig{1024, 2, 64, 2, 2, 12, 2}, dram, HitLevel::L1);
+    const auto r1 = l1.access(0, AccessKind::Load, 0);
+    EXPECT_EQ(r1.ready, 102u); // port at 0, DRAM bank 0 from 2
+    EXPECT_EQ(r1.level, HitLevel::Memory);
+    const auto r2 = l1.access(8, AccessKind::Load, 1);
+    EXPECT_EQ(r2.ready, 102u); // combined onto the in-flight fill
+    EXPECT_EQ(r2.level, HitLevel::Memory);
+    const auto r3 = l1.access(16, AccessKind::Load, 2);
+    EXPECT_EQ(r3.ready, 104u); // blocked until 102, retried, hit
+    EXPECT_EQ(r3.level, HitLevel::L1);
+    EXPECT_TRUE(r3.contended);
+    EXPECT_EQ(l1.accesses(), 3u);
+    EXPECT_EQ(l1.hits(), 1u);
+    EXPECT_EQ(l1.misses(), 1u);
+    EXPECT_EQ(l1.loadMisses(), 1u);
+    EXPECT_EQ(l1.combinedRequests(), 1u);
+    EXPECT_EQ(l1.blockedRequests(), 1u);
+    EXPECT_EQ(dram.reads(), 1u);
+}
+
+TYPED_TEST(MshrExactTest, FullMshrInputBlockingExact)
+{
+    // 2 MSHRs fill at 102 and 103; the third miss blocks the input
+    // until the earliest fill (102) and then allocates, and even a hit
+    // to a resident line issued at 3 is held until 102.
+    Dram dram(DramConfig{});
+    TypeParam l1(CacheConfig{1024, 2, 64, 2, 2, 2, 8}, dram, HitLevel::L1);
+    const auto r1 = l1.access(64, AccessKind::Load, 0);
+    EXPECT_EQ(r1.ready, 102u); // DRAM bank 1 from 2
+    const auto r2 = l1.access(128, AccessKind::Load, 1);
+    EXPECT_EQ(r2.ready, 103u); // DRAM bank 2 from 3
+    const auto r3 = l1.access(192, AccessKind::Load, 2);
+    EXPECT_TRUE(r3.contended);
+    EXPECT_EQ(r3.ready, 204u); // retried at 102, DRAM bank 3 from 104
+    EXPECT_EQ(r3.level, HitLevel::Memory);
+    const auto hit = l1.access(64, AccessKind::Load, 3);
+    EXPECT_TRUE(hit.contended);
+    EXPECT_EQ(hit.ready, 104u); // started at 102 behind the block
+    EXPECT_EQ(hit.level, HitLevel::L1);
+    EXPECT_EQ(l1.accesses(), 4u);
+    EXPECT_EQ(l1.hits(), 1u);
+    EXPECT_EQ(l1.misses(), 3u);
+    EXPECT_EQ(l1.loadMisses(), 3u);
+    EXPECT_EQ(l1.blockedRequests(), 1u);
+    EXPECT_EQ(l1.writebacks(), 0u);
+}
+
+TYPED_TEST(MshrExactTest, PrefetchDropsExact)
+{
+    // Miss-path drop: with both MSHRs busy a prefetch is discarded
+    // immediately (non-binding), completing at its port start cycle.
+    Dram dram(DramConfig{});
+    TypeParam l1(CacheConfig{1024, 2, 64, 2, 2, 2, 8}, dram, HitLevel::L1);
+    const auto r1 = l1.access(4096, AccessKind::Load, 0);
+    EXPECT_EQ(r1.ready, 102u);
+    const auto r2 = l1.access(8192, AccessKind::Load, 1);
+    EXPECT_EQ(r2.ready, 127u); // same DRAM bank: fill waits for 27
+    const auto p = l1.access(16384, AccessKind::Prefetch, 2);
+    EXPECT_TRUE(p.dropped);
+    EXPECT_EQ(p.ready, 2u);
+    EXPECT_EQ(l1.prefetchDrops(), 1u);
+    EXPECT_EQ(l1.misses(), 2u); // dropped prefetch is not a miss
+    EXPECT_EQ(l1.blockedRequests(), 0u);
+    EXPECT_EQ(dram.reads(), 2u);
+
+    // Combine-path drop: a prefetch to an in-flight line whose combine
+    // slots are exhausted is also discarded, not blocked.
+    Dram dram2(DramConfig{});
+    TypeParam l1b(CacheConfig{1024, 2, 64, 2, 2, 12, 1}, dram2,
+                  HitLevel::L1);
+    l1b.access(0, AccessKind::Load, 0);
+    const auto p2 = l1b.access(8, AccessKind::Prefetch, 1);
+    EXPECT_TRUE(p2.dropped);
+    EXPECT_EQ(p2.ready, 1u);
+    EXPECT_EQ(l1b.prefetchDrops(), 1u);
+    EXPECT_EQ(l1b.combinedRequests(), 0u);
+    EXPECT_EQ(l1b.blockedRequests(), 0u);
+}
+
+TYPED_TEST(MshrExactTest, DirtyVictimWritebackOrderingExact)
+{
+    // The dirty victim's writeback is issued to the next level at the
+    // incoming line's fill time, not at the access time — observable as
+    // DRAM bank-0 occupancy [306, 331) delaying a later read.
+    Dram dram(DramConfig{});
+    TypeParam l1(CacheConfig{1024, 2, 64, 2, 2, 12, 8}, dram, HitLevel::L1);
+    const auto s = l1.access(0, AccessKind::Store, 0); // set 0, dirty
+    EXPECT_EQ(s.ready, 102u);
+    const auto r2 = l1.access(512, AccessKind::Load, 102); // set 0
+    EXPECT_EQ(r2.ready, 204u); // bank 0 again: starts at 104
+    const auto r3 = l1.access(1024, AccessKind::Load, 204); // evicts 0
+    EXPECT_EQ(r3.ready, 306u);
+    EXPECT_EQ(l1.writebacks(), 1u);
+    EXPECT_EQ(dram.writes(), 1u);
+    // A read mapping to bank 0 issued after the eviction waits behind
+    // the writeback that started at the fill (306 + 25 bank busy).
+    const auto probe = l1.access(256, AccessKind::Load, 320);
+    EXPECT_EQ(probe.ready, 431u); // bank free at 331, +100 latency
+    EXPECT_EQ(dram.reads(), 4u);
+    EXPECT_EQ(l1.misses(), 4u);
+    EXPECT_EQ(l1.hits(), 0u);
 }
 
 /** Streaming sweep: miss rate matches 1/(accesses-per-line). */

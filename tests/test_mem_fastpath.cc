@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Memory fast-path regression: the optimized models (Cache with O(1)
+ * MSHR/port tracking + flat tags, ReplayEngine with the dense memory
+ * lane) must be bit-identical to the preserved pre-optimization models
+ * (RefCache + RefReplayEngine) — same cycles, same stall breakdown
+ * doubles, every cache counter — across all benchmarks × variants, all
+ * machine shapes, and adversarial access streams with non-monotonic
+ * timestamps (the case the dupUntil_ watermark exists for).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "kernels/addition.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/ref_cache.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace msim::core
+{
+namespace
+{
+
+using prog::Variant;
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const Benchmark &bench = findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+/** Every RunResult field exactly equal, doubles included: the fast
+ *  path must reproduce the same per-cycle charge sequence. */
+void
+expectIdentical(const sim::RunResult &ref, const sim::RunResult &fast,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(ref.exec.cycles, fast.exec.cycles);
+    EXPECT_EQ(ref.exec.retired, fast.exec.retired);
+    EXPECT_EQ(ref.exec.busy, fast.exec.busy);
+    EXPECT_EQ(ref.exec.fuStall, fast.exec.fuStall);
+    EXPECT_EQ(ref.exec.memL1Hit, fast.exec.memL1Hit);
+    EXPECT_EQ(ref.exec.memL1Miss, fast.exec.memL1Miss);
+    EXPECT_EQ(ref.exec.mixFu, fast.exec.mixFu);
+    EXPECT_EQ(ref.exec.mixBranch, fast.exec.mixBranch);
+    EXPECT_EQ(ref.exec.mixMemory, fast.exec.mixMemory);
+    EXPECT_EQ(ref.exec.mixVis, fast.exec.mixVis);
+    EXPECT_EQ(ref.exec.branches, fast.exec.branches);
+    EXPECT_EQ(ref.exec.mispredicts, fast.exec.mispredicts);
+    EXPECT_EQ(ref.exec.loadsL1, fast.exec.loadsL1);
+    EXPECT_EQ(ref.exec.loadsL2, fast.exec.loadsL2);
+    EXPECT_EQ(ref.exec.loadsMem, fast.exec.loadsMem);
+    EXPECT_EQ(ref.exec.prefetchesIssued, fast.exec.prefetchesIssued);
+    EXPECT_EQ(ref.exec.prefetchesDropped, fast.exec.prefetchesDropped);
+
+    EXPECT_EQ(ref.l1.accesses, fast.l1.accesses);
+    EXPECT_EQ(ref.l1.hits, fast.l1.hits);
+    EXPECT_EQ(ref.l1.misses, fast.l1.misses);
+    EXPECT_EQ(ref.l1.writebacks, fast.l1.writebacks);
+    EXPECT_EQ(ref.l1.prefetchDrops, fast.l1.prefetchDrops);
+    EXPECT_EQ(ref.l1.combined, fast.l1.combined);
+    EXPECT_EQ(ref.l1.blocked, fast.l1.blocked);
+    EXPECT_EQ(ref.l2.accesses, fast.l2.accesses);
+    EXPECT_EQ(ref.l2.hits, fast.l2.hits);
+    EXPECT_EQ(ref.l2.misses, fast.l2.misses);
+    EXPECT_EQ(ref.l2.writebacks, fast.l2.writebacks);
+    EXPECT_EQ(ref.l2.prefetchDrops, fast.l2.prefetchDrops);
+    EXPECT_EQ(ref.l2.combined, fast.l2.combined);
+    EXPECT_EQ(ref.l2.blocked, fast.l2.blocked);
+
+    EXPECT_EQ(ref.tbInstrs, fast.tbInstrs);
+    EXPECT_EQ(ref.visOps, fast.visOps);
+    EXPECT_EQ(ref.visOverheadOps, fast.visOverheadOps);
+}
+
+/**
+ * One benchmark, all variants: the old-equivalent live path (RefCache
+ * feeding the reference issue logic) against the new fast replay path
+ * (flat-tag Cache + lane-driven ReplayEngine), and the reference
+ * replay engine against the fast one on the same trace.
+ */
+void
+checkFastpath(const std::string &name, const sim::MachineConfig &machine)
+{
+    const sim::MachineConfig reference = sim::asReference(machine);
+    for (Variant variant :
+         {Variant::Scalar, Variant::Vis, Variant::VisPrefetch}) {
+        const auto gen = generatorFor(name, variant);
+        const std::string label =
+            name + "/" + std::to_string(static_cast<int>(variant));
+        const auto refLive = sim::runTrace(gen, reference);
+        const auto trace = sim::recordTrace(gen, machine.skewArrays,
+                                            machine.visFeatures);
+        const auto fastReplay = sim::replayTrace(trace, machine);
+        expectIdentical(refLive, fastReplay, label + " live-ref vs fast");
+        const auto refReplay = sim::replayTrace(trace, reference);
+        expectIdentical(refReplay, fastReplay,
+                        label + " replay-ref vs fast");
+    }
+}
+
+TEST(MemFastpath, ImageKernels)
+{
+    for (const char *name :
+         {"addition", "blend", "conv", "dotprod", "scaling", "thresh"})
+        checkFastpath(name, sim::outOfOrder4Way());
+}
+
+TEST(MemFastpath, ExtraKernels)
+{
+    for (const char *name :
+         {"copy", "invert", "sepconv", "lookup", "transpose", "erode"})
+        checkFastpath(name, sim::outOfOrder4Way());
+}
+
+TEST(MemFastpath, JpegCodecs)
+{
+    for (const char *name : {"cjpeg", "djpeg", "cjpeg-np", "djpeg-np"})
+        checkFastpath(name, sim::outOfOrder4Way());
+}
+
+TEST(MemFastpath, MpegCodecs)
+{
+    for (const char *name : {"mpeg-enc", "mpeg-dec"})
+        checkFastpath(name, sim::outOfOrder4Way());
+}
+
+/** The fast models must also match on every machine shape the sweeps
+ *  use: in-order cores (cursor replay), tiny caches, small predictor. */
+TEST(MemFastpath, MachineMatrix)
+{
+    std::vector<sim::MachineConfig> machines = {
+        sim::inOrder1Way(), sim::inOrder4Way(), sim::withL1Size(1 << 10),
+        sim::withL2Size(32 << 10)};
+    sim::MachineConfig tiny_predictor = sim::outOfOrder4Way();
+    tiny_predictor.core.predictorEntries = 16;
+    machines.push_back(tiny_predictor);
+
+    const sim::Generator gen = [](prog::TraceBuilder &tb) {
+        kernels::runAddition(tb, Variant::Vis, 512, 64, 3);
+    };
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+    const auto trace =
+        sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const auto ref =
+            sim::replayTrace(trace, sim::asReference(machines[i]));
+        const auto fast = sim::replayTrace(trace, machines[i]);
+        expectIdentical(ref, fast, "machine #" + std::to_string(i));
+    }
+}
+
+/** Deterministic xorshift-free LCG; only the top bits are used. */
+struct Lcg
+{
+    u64 state;
+
+    explicit Lcg(u64 seed) : state(seed) {}
+
+    u64
+    next()
+    {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    }
+};
+
+/**
+ * Drive a Cache and a RefCache (each with its own DRAM) through the
+ * same access stream and demand identical per-access results and final
+ * counters. The stream concentrates on a handful of sets (conflicts,
+ * combines, MSHR churn) and issues queries at non-monotonic times —
+ * the regime where a naive line->MSHR map diverges from the reference
+ * linear scan and the dupUntil_ watermark must kick in.
+ */
+void
+fuzzAgainstReference(const mem::CacheConfig &cfg, u64 seed, int accesses)
+{
+    using namespace msim::mem;
+    Dram dramFast{DramConfig{}};
+    Dram dramRef{DramConfig{}};
+    Cache fast(cfg, dramFast, HitLevel::L1);
+    RefCache ref(cfg, dramRef, HitLevel::L1);
+
+    Lcg rng(seed);
+    Cycle base = 0;
+    for (int i = 0; i < accesses; ++i) {
+        base += rng.next() % 6;
+        // Jittered query time: successive queries regress by up to 31
+        // cycles relative to each other (and far more relative to
+        // in-flight fills), exercising the scan-fallback window.
+        const Cycle t = base + rng.next() % 32;
+        const Addr addr = (rng.next() % 24) * 64;
+        const u64 k = rng.next() % 20;
+        const AccessKind kind = k < 10  ? AccessKind::Load
+                                : k < 16 ? AccessKind::Store
+                                : k < 19 ? AccessKind::Prefetch
+                                         : AccessKind::Writeback;
+
+        const AccessResult a = fast.access(addr, kind, t);
+        const AccessResult b = ref.access(addr, kind, t);
+        SCOPED_TRACE("access #" + std::to_string(i));
+        ASSERT_EQ(a.ready, b.ready);
+        ASSERT_EQ(a.level, b.level);
+        ASSERT_EQ(a.contended, b.contended);
+        ASSERT_EQ(a.dropped, b.dropped);
+    }
+
+    EXPECT_EQ(fast.accesses(), ref.accesses());
+    EXPECT_EQ(fast.hits(), ref.hits());
+    EXPECT_EQ(fast.misses(), ref.misses());
+    EXPECT_EQ(fast.loadMisses(), ref.loadMisses());
+    EXPECT_EQ(fast.writebacks(), ref.writebacks());
+    EXPECT_EQ(fast.prefetchDrops(), ref.prefetchDrops());
+    EXPECT_EQ(fast.combinedRequests(), ref.combinedRequests());
+    EXPECT_EQ(fast.blockedRequests(), ref.blockedRequests());
+    EXPECT_EQ(fast.mshrOccupancy().peakOccupancy(),
+              ref.mshrOccupancy().peakOccupancy());
+    EXPECT_EQ(fast.loadOverlap().samples(), ref.loadOverlap().samples());
+    EXPECT_EQ(dramFast.reads(), dramRef.reads());
+    EXPECT_EQ(dramFast.writes(), dramRef.writes());
+}
+
+TEST(MemFastpath, FuzzDefaultGeometry)
+{
+    fuzzAgainstReference(mem::CacheConfig{1024, 2, 64, 2, 2, 12, 8},
+                         0x1234u, 6000);
+}
+
+TEST(MemFastpath, FuzzDirectMappedSinglePort)
+{
+    fuzzAgainstReference(mem::CacheConfig{1024, 1, 64, 1, 1, 2, 1},
+                         0xbeefu, 6000);
+}
+
+TEST(MemFastpath, FuzzSingleMshr)
+{
+    fuzzAgainstReference(mem::CacheConfig{1024, 2, 64, 1, 2, 1, 8},
+                         0xc0ffeeu, 6000);
+}
+
+TEST(MemFastpath, FuzzMshrSweep)
+{
+    for (u32 mshrs : {2u, 4u, 6u, 12u})
+        fuzzAgainstReference(mem::CacheConfig{2048, 4, 64, 2, 2, mshrs, 2},
+                             0x9999u + mshrs, 4000);
+}
+
+} // namespace
+} // namespace msim::core
