@@ -1,0 +1,119 @@
+#include "audit/invariants.hh"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "cpu/accounting.hh"
+
+namespace msim::audit
+{
+
+namespace
+{
+
+thread_local InvariantSink *tl_sink = nullptr;
+
+/**
+ * Built-in invariant table: every cycle-level check wired into the
+ * timing components, with the argument for why each must hold. Kept
+ * here (not scattered as static registrars) so the list survives
+ * static-library link-time TU pruning and has no init-order hazards.
+ */
+std::vector<InvariantInfo> &
+table()
+{
+    static std::vector<InvariantInfo> t = {
+        {"mshr-conservation", "mem/cache",
+         "sorted fill-time arrays are incrementally maintained mirrors of "
+         "the MSHR columns; any drift means busyMshrs()/findFreeMshr() "
+         "answer from state the reference model does not see"},
+        {"mshr-combine-bound", "mem/cache",
+         "each MSHR combines at most max(1, maxCombines) requests (paper "
+         "section 2.2: 12 MSHRs x 8 combining slots); the counter is set "
+         "to 1 on allocation and bumped only below the cap"},
+        {"tag-store-consistency", "mem/cache",
+         "a line's tag must map to the set slice it is stored in and "
+         "appear in at most one way; a duplicate or misplaced tag makes "
+         "the flat SoA store diverge from set semantics"},
+        {"port-occupancy", "mem/cache",
+         "the port free-time array must stay sorted ascending with "
+         "exactly `ports` entries, or [0] is no longer the min_element "
+         "the reference computes"},
+        {"retire-order-monotonicity", "cpu/replay_engine",
+         "instructions retire in program order at non-decreasing cycles; "
+         "the head slot must have issued and be ready by the retire "
+         "cycle, or the window ring has corrupted in-flight state"},
+        {"window-occupancy", "cpu/replay_engine",
+         "in-flight count <= windowSize, memory-queue count <= "
+         "memQueueSize, speculative branches <= maxSpecBranches: the "
+         "structural limits dispatch stalls on can never be exceeded"},
+        {"accounting-identity", "sim/runner",
+         "section 2.3.4: Busy + FUstall + L1hit + L1miss == total cycles "
+         "per run (to FP tolerance); every simulated cycle is charged to "
+         "exactly one component"},
+    };
+    return t;
+}
+
+} // namespace
+
+InvariantSink *
+currentSink()
+{
+    return tl_sink;
+}
+
+ScopedSink::ScopedSink(InvariantSink &sink) : prev_(tl_sink)
+{
+    tl_sink = &sink;
+}
+
+ScopedSink::~ScopedSink()
+{
+    tl_sink = prev_;
+}
+
+void
+fail(const char *check, const char *file, int line, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+
+    if (tl_sink) {
+        tl_sink->report(check, file, line, buf);
+        return;
+    }
+    panic("audit: invariant failed at %s:%d: %s (%s)", file, line, check,
+          buf);
+}
+
+void
+registerInvariant(const InvariantInfo &info)
+{
+    table().push_back(info);
+}
+
+const std::vector<InvariantInfo> &
+invariants()
+{
+    return table();
+}
+
+bool
+accountingIdentityHolds(const cpu::ExecStats &stats, double *err)
+{
+    const double sum =
+        stats.busy + stats.fuStall + stats.memL1Hit + stats.memL1Miss;
+    const double cycles = static_cast<double>(stats.cycles);
+    const double e = std::fabs(sum - cycles);
+    if (err)
+        *err = e;
+    return e <= 1e-6 * cycles + 1e-6;
+}
+
+} // namespace msim::audit

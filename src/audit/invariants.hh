@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Differential-audit invariant layer.
+ *
+ * Cheap cycle-level assertions compiled in under MSIM_AUDIT (and
+ * always-on in Debug builds, so CI Debug jobs get them for free).
+ * Default RelWithDebInfo/Release builds compile every check to nothing:
+ * the fast paths added in PRs 1–2 pay zero cost.
+ *
+ * Usage inside a timing component:
+ *
+ *     MSIM_AUDIT_CHECK(count <= cap, "occupancy %u > cap %u", count, cap);
+ *
+ * When no InvariantSink is installed a failing check panic()s — a run
+ * that trips an invariant is a simulator bug, not a recoverable
+ * condition. The audit_fuzz driver installs a ScopedSink so it can
+ * collect violations across thousands of randomized configs, shrink
+ * the failing case, and print a repro instead of dying on the first.
+ *
+ * Every invariant is also registered (name, component, and the
+ * argument for why it must hold) in a global table; `audit_fuzz
+ * --list` prints it, and ROADMAP.md requires new timing components to
+ * add their invariants here.
+ */
+
+#ifndef MSIM_AUDIT_INVARIANTS_HH_
+#define MSIM_AUDIT_INVARIANTS_HH_
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+#if defined(MSIM_AUDIT) || !defined(NDEBUG)
+#define MSIM_AUDIT_ENABLED 1
+#else
+#define MSIM_AUDIT_ENABLED 0
+#endif
+
+namespace msim::cpu
+{
+struct ExecStats;
+} // namespace msim::cpu
+
+namespace msim::audit
+{
+
+/** True when MSIM_AUDIT_CHECK compiles to a real check. */
+inline constexpr bool kEnabled = MSIM_AUDIT_ENABLED != 0;
+
+/** One recorded invariant failure. */
+struct Violation
+{
+    std::string check;   ///< stringized condition
+    std::string message; ///< formatted detail
+    const char *file;
+    int line;
+};
+
+/**
+ * Collector for invariant violations. Install with ScopedSink; while
+ * installed, failing checks record here instead of panicking. The
+ * record list is capped so a hot-loop invariant going bad on every
+ * cycle cannot eat all memory; the violation *count* is exact.
+ */
+class InvariantSink
+{
+  public:
+    static constexpr size_t kMaxRecords = 32;
+
+    void
+    report(const char *check, const char *file, int line, std::string msg)
+    {
+        ++count_;
+        if (records_.size() < kMaxRecords)
+            records_.push_back({check, std::move(msg), file, line});
+    }
+
+    u64 violations() const { return count_; }
+    const std::vector<Violation> &records() const { return records_; }
+
+    void
+    clear()
+    {
+        count_ = 0;
+        records_.clear();
+    }
+
+  private:
+    u64 count_ = 0;
+    std::vector<Violation> records_;
+};
+
+/** The sink installed on this thread, or nullptr (checks panic). */
+InvariantSink *currentSink();
+
+/** RAII installer for a thread-local InvariantSink. */
+class ScopedSink
+{
+  public:
+    explicit ScopedSink(InvariantSink &sink);
+    ~ScopedSink();
+
+    ScopedSink(const ScopedSink &) = delete;
+    ScopedSink &operator=(const ScopedSink &) = delete;
+
+  private:
+    InvariantSink *prev_;
+};
+
+/**
+ * Invariant-check failure entry point (called by MSIM_AUDIT_CHECK).
+ * Records into the installed sink, or panics when none is installed.
+ */
+void fail(const char *check, const char *file, int line, const char *fmt,
+          ...) __attribute__((format(printf, 4, 5)));
+
+/** Registry entry: what is checked, where, and why it must hold. */
+struct InvariantInfo
+{
+    const char *name;      ///< short kebab-case id
+    const char *component; ///< e.g. "mem/cache", "cpu/replay_engine"
+    const char *argument;  ///< one-line reason the invariant holds
+};
+
+/**
+ * Append to the global invariant table. The built-in invariants are
+ * seeded in invariants.cc; new timing components register theirs there
+ * (or call this at startup) so `audit_fuzz --list` stays complete.
+ */
+void registerInvariant(const InvariantInfo &info);
+
+/** All registered invariants, in registration order. */
+const std::vector<InvariantInfo> &invariants();
+
+/**
+ * §2.3.4 accounting identity: Busy + FUstall + L1hit + L1miss must
+ * equal total cycles. Charges are accumulated in doubles (fractions of
+ * a cycle per retire slot), so the comparison uses a tolerance of
+ * 1e-6 * cycles + 1e-6 — generous against rounding drift across ~1e8
+ * additions, tight enough that any systematic misaccounting (a cycle
+ * charged twice or not at all on a code path) trips it. Always
+ * compiled, regardless of MSIM_AUDIT, so audit_fuzz and tests can call
+ * it in any build type.
+ *
+ * @param[out] err  If non-null, receives |sum - cycles|.
+ */
+bool accountingIdentityHolds(const cpu::ExecStats &stats,
+                             double *err = nullptr);
+
+} // namespace msim::audit
+
+namespace msim::sim
+{
+// The audit layer is surfaced to simulator users under sim:: as well.
+using InvariantSink = audit::InvariantSink;
+using ScopedAuditSink = audit::ScopedSink;
+} // namespace msim::sim
+
+#if MSIM_AUDIT_ENABLED
+#define MSIM_AUDIT_CHECK(cond, ...)                                          \
+    do {                                                                     \
+        if (!(cond)) [[unlikely]]                                            \
+            ::msim::audit::fail(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
+    } while (0)
+#else
+#define MSIM_AUDIT_CHECK(cond, ...)                                          \
+    do {                                                                     \
+    } while (0)
+#endif
+
+#endif // MSIM_AUDIT_INVARIANTS_HH_

@@ -14,8 +14,13 @@ Distribution::fracAtLeast(u64 v) const
 {
     if (!samples_)
         return 0.0;
+    // sample() saturates values beyond the last bucket into it, so the
+    // top bucket means "at least maxBucket". Clamp the query the same
+    // way: without it, fracAtLeast(maxBucket + 1) returned 0 even when
+    // saturated samples were present.
+    const u64 start = v < buckets.size() ? v : buckets.size() - 1;
     u64 n = 0;
-    for (u64 i = v; i < buckets.size(); ++i)
+    for (u64 i = start; i < buckets.size(); ++i)
         n += buckets[i];
     return static_cast<double>(n) / samples_;
 }
@@ -25,9 +30,13 @@ OccupancyTracker::fracAtLeast(unsigned n) const
 {
     if (!elapsed)
         return 0.0;
-    u64 t = 0;
     const auto &w = histogram.weights();
-    for (unsigned i = n; i < w.size(); ++i)
+    // Same top-bucket saturation/clamp convention as
+    // Distribution::fracAtLeast above.
+    const unsigned start =
+        n < w.size() ? n : static_cast<unsigned>(w.size() - 1);
+    u64 t = 0;
+    for (unsigned i = start; i < w.size(); ++i)
         t += w[i];
     return static_cast<double>(t) / elapsed;
 }

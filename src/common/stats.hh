@@ -53,7 +53,12 @@ class Distribution
     u64 bucket(unsigned i) const { return buckets[i]; }
     unsigned numBuckets() const { return static_cast<unsigned>(buckets.size()); }
 
-    /** Fraction of samples with value >= @p v. */
+    /**
+     * Fraction of samples with value >= @p v. The top bucket holds all
+     * saturated samples (see sample()), so queries beyond the last
+     * bucket clamp to it and report the saturated fraction rather
+     * than 0.
+     */
     double fracAtLeast(u64 v) const;
 
   private:
@@ -100,7 +105,11 @@ class OccupancyTracker
 
     unsigned peakOccupancy() const { return peak; }
 
-    /** Fraction of elapsed time with occupancy >= @p n. */
+    /**
+     * Fraction of elapsed time with occupancy >= @p n. Occupancy
+     * levels beyond the capacity saturate into the top histogram
+     * bucket, and queries beyond it clamp to the top bucket likewise.
+     */
     double fracAtLeast(unsigned n) const;
 
   private:

@@ -320,6 +320,22 @@ PipelineCore::tryRetire()
         // written back, so only stall-on-use (at issue) delays it.
         if (cfg.outOfOrder && head.readyTime > now)
             break;
+        // retire-order-monotonicity (live-path mirror of the replay
+        // engine's check): commits are in program order at
+        // non-decreasing cycles, and out-of-order commit waits for the
+        // head's result.
+        MSIM_AUDIT_CHECK(now >= auditLastRetire_,
+                         "retire time regressed: %llu < %llu",
+                         static_cast<unsigned long long>(now),
+                         static_cast<unsigned long long>(auditLastRetire_));
+        MSIM_AUDIT_CHECK(!cfg.outOfOrder || head.readyTime <= now,
+                         "retiring head seq %llu ready=%llu at %llu",
+                         static_cast<unsigned long long>(head.seq),
+                         static_cast<unsigned long long>(head.readyTime),
+                         static_cast<unsigned long long>(now));
+#if MSIM_AUDIT_ENABLED
+        auditLastRetire_ = now;
+#endif
         if (head.inst.isStore() && head.memFreeTime > now) {
             // The store retires but keeps its memory-queue slot until the
             // cache accepts it; remember what it is waiting on.
@@ -425,6 +441,16 @@ PipelineCore::tryDispatch()
             break; // fetch limit: one taken branch per cycle
         }
     }
+    // window-occupancy: the structural limits dispatch stalls on can
+    // never be exceeded.
+    MSIM_AUDIT_CHECK(window.size() <= cfg.windowSize,
+                     "window %zu > size %u", window.size(),
+                     cfg.windowSize);
+    MSIM_AUDIT_CHECK(memqUsed <= cfg.memQueueSize, "memq %u > size %u",
+                     memqUsed, cfg.memQueueSize);
+    MSIM_AUDIT_CHECK(specBranches <= cfg.maxSpecBranches,
+                     "spec branches %u > max %u", specBranches,
+                     cfg.maxSpecBranches);
     return dispatched;
 }
 
@@ -480,6 +506,15 @@ PipelineCore::tryDispatchReplay()
             break; // fetch limit: one taken branch per cycle
         }
     }
+    // window-occupancy, as in tryDispatch().
+    MSIM_AUDIT_CHECK(window.size() <= cfg.windowSize,
+                     "window %zu > size %u", window.size(),
+                     cfg.windowSize);
+    MSIM_AUDIT_CHECK(memqUsed <= cfg.memQueueSize, "memq %u > size %u",
+                     memqUsed, cfg.memQueueSize);
+    MSIM_AUDIT_CHECK(specBranches <= cfg.maxSpecBranches,
+                     "spec branches %u > max %u", specBranches,
+                     cfg.maxSpecBranches);
     return dispatched;
 }
 

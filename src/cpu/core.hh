@@ -46,6 +46,7 @@
 #include <queue>
 #include <vector>
 
+#include "audit/invariants.hh"
 #include "cpu/accounting.hh"
 #include "cpu/branch_predictor.hh"
 #include "cpu/fu_pool.hh"
@@ -247,6 +248,11 @@ class PipelineCore : public isa::InstSink
     std::optional<prog::RecordedTrace::Cursor> cursor_;
     std::vector<Cycle> storeDone_; ///< store ordinal -> data-ready cycle
     u32 dispatchedStores_ = 0;
+
+#if MSIM_AUDIT_ENABLED
+    /// Cycle of the most recent retirement (retire-order audit).
+    Cycle auditLastRetire_ = 0;
+#endif
 
     Cycle now = 0;
     bool manualPump = false;

@@ -177,6 +177,25 @@ ReplayEngine::tryRetire()
             break;
         if (head.readyTime > now_)
             break;
+        // retire-order-monotonicity: retirement happens in program
+        // order (headSeq_ is the ring head) at non-decreasing cycles,
+        // and only for issued instructions whose result is ready. The
+        // loop conditions above enforce this today; the checks pin the
+        // contract against future reorderings of the retire path.
+        MSIM_AUDIT_CHECK(now_ >= auditLastRetire_,
+                         "retire time regressed: %llu < %llu",
+                         static_cast<unsigned long long>(now_),
+                         static_cast<unsigned long long>(auditLastRetire_));
+        MSIM_AUDIT_CHECK(head.issued && head.readyTime <= now_,
+                         "retiring head seq %llu issued=%d ready=%llu "
+                         "at %llu",
+                         static_cast<unsigned long long>(headSeq_),
+                         head.issued,
+                         static_cast<unsigned long long>(head.readyTime),
+                         static_cast<unsigned long long>(now_));
+#if MSIM_AUDIT_ENABLED
+        auditLastRetire_ = now_;
+#endif
         if (head.op == isa::Op::Store && head.memFreeTime > now_) {
             // The store retires but keeps its memory-queue slot until
             // the cache accepts it; remember what it is waiting on.
@@ -421,6 +440,17 @@ ReplayEngine::tryDispatch()
         if (taken && ++taken_this_cycle >= takenBranchesPerCycle_)
             break; // fetch limit: one taken branch per cycle
     }
+    // window-occupancy: dispatch may never exceed the structural
+    // limits its admission tests stall on.
+    MSIM_AUDIT_CHECK(windowCount_ <= windowSize_,
+                     "window %llu > size %u",
+                     static_cast<unsigned long long>(windowCount_),
+                     windowSize_);
+    MSIM_AUDIT_CHECK(memqUsed_ <= memQueueSize_, "memq %u > size %u",
+                     memqUsed_, memQueueSize_);
+    MSIM_AUDIT_CHECK(specBranches_ <= maxSpecBranches_,
+                     "spec branches %u > max %u", specBranches_,
+                     maxSpecBranches_);
     return dispatched;
 }
 

@@ -65,6 +65,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "audit/invariants.hh"
 #include "cpu/accounting.hh"
 #include "cpu/branch_predictor.hh"
 #include "isa/timing.hh"
@@ -378,6 +379,11 @@ class ReplayEngine
     Cycle now_ = 0;
     Cycle dispatchBlockedUntil_ = 0;
     bool awaitingRedirect_ = false;
+
+#if MSIM_AUDIT_ENABLED
+    /// Cycle of the most recent retirement (retire-order audit).
+    Cycle auditLastRetire_ = 0;
+#endif
 
     ExecStats stats_;
 };

@@ -31,12 +31,17 @@ skipSeparators(std::istream &in)
 }
 
 unsigned
-readHeaderInt(std::istream &in)
+readHeaderInt(std::istream &in, const char *field)
 {
     skipSeparators(in);
+    // Detect end-of-stream inside the header explicitly: a '#' comment
+    // at EOF (or a plain truncated header) otherwise surfaces as a
+    // generic extraction failure with no hint of what was missing.
+    if (in.peek() == std::istream::traits_type::eof())
+        fatal("ppm: end of stream inside header (reading %s)", field);
     unsigned v = 0;
     if (!(in >> v))
-        fatal("ppm: malformed header integer");
+        fatal("ppm: malformed header integer (reading %s)", field);
     return v;
 }
 
@@ -46,7 +51,8 @@ Image
 readPpm(std::istream &in)
 {
     char magic[2] = {0, 0};
-    in.read(magic, 2);
+    if (!in.read(magic, 2))
+        fatal("ppm: end of stream reading magic");
     unsigned bands = 0;
     if (magic[0] == 'P' && magic[1] == '6')
         bands = 3;
@@ -55,9 +61,21 @@ readPpm(std::istream &in)
     else
         fatal("ppm: unsupported magic '%c%c'", magic[0], magic[1]);
 
-    const unsigned width = readHeaderInt(in);
-    const unsigned height = readHeaderInt(in);
-    const unsigned maxval = readHeaderInt(in);
+    const unsigned width = readHeaderInt(in, "width");
+    const unsigned height = readHeaderInt(in, "height");
+    const unsigned maxval = readHeaderInt(in, "maxval");
+    if (width == 0 || height == 0)
+        fatal("ppm: zero image dimension (%ux%u)", width, height);
+    // The payload size must be computed in 64 bits: width * height *
+    // bands in unsigned arithmetic wraps for dimensions as small as
+    // 65536x65536, constructing a tiny allocation with giant
+    // dimensions that kernels would then index out of bounds.
+    const u64 payload =
+        static_cast<u64>(width) * static_cast<u64>(height) * bands;
+    constexpr u64 kMaxPayload = u64{1} << 30; // 1 GiB sanity cap
+    if (payload > kMaxPayload)
+        fatal("ppm: image too large (%ux%ux%u = %llu bytes)", width,
+              height, bands, static_cast<unsigned long long>(payload));
     if (maxval != 255)
         fatal("ppm: only maxval 255 supported, got %u", maxval);
     in.get(); // the single whitespace byte after maxval

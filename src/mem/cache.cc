@@ -23,9 +23,23 @@ pow2AtLeast(u32 v)
 
 } // namespace
 
+unsigned
+checkedNumSets(const CacheConfig &config)
+{
+    // Validate before the set count is computed: a zero assoc or line
+    // size would divide by zero in the initializer, and zero ports or
+    // MSHRs would index empty arrays on the first access.
+    if (config.assoc == 0 || config.lineBytes == 0 || config.ports == 0 ||
+        config.numMshrs == 0)
+        fatal("cache: bad config (assoc %u, line %u, ports %u, mshrs %u):"
+              " all must be nonzero",
+              config.assoc, config.lineBytes, config.ports,
+              config.numMshrs);
+    return config.sizeBytes / (config.lineBytes * config.assoc);
+}
+
 Cache::Cache(const CacheConfig &config, Level &next, HitLevel level)
-    : CacheLevel(config, next, level),
-      numSets(config.sizeBytes / (config.lineBytes * config.assoc)),
+    : CacheLevel(config, next, level), numSets(checkedNumSets(config)),
       assoc_(config.assoc)
 {
     if (!isPow2(config.lineBytes) || numSets == 0 || !isPow2(numSets))
@@ -115,6 +129,67 @@ Cache::mapErase(Addr line, u32 idx)
     mapVal_[i] = kNoMshr;
 }
 
+#if MSIM_AUDIT_ENABLED
+
+void
+Cache::auditMshrState() const
+{
+    // mshr-conservation: every MSHR's fill time appears in sortedFill_
+    // exactly once (multiset equality via sorted compare), and the
+    // load-only mirror matches the load MSHRs the same way.
+    std::vector<Cycle> fills(mshrFill_.begin(), mshrFill_.end());
+    std::sort(fills.begin(), fills.end());
+    MSIM_AUDIT_CHECK(fills == sortedFill_,
+                     "sortedFill_ is not a permutation of mshrFill_ "
+                     "(%zu mshrs)",
+                     mshrFill_.size());
+
+    std::vector<Cycle> load_fills;
+    for (u32 i = 0; i < mshrFill_.size(); ++i)
+        if (mshrIsLoad_[i])
+            load_fills.push_back(mshrFill_[i]);
+    std::sort(load_fills.begin(), load_fills.end());
+    MSIM_AUDIT_CHECK(load_fills == sortedLoadFill_,
+                     "sortedLoadFill_ mismatch (%zu load mshrs vs %zu "
+                     "tracked)",
+                     load_fills.size(), sortedLoadFill_.size());
+}
+
+void
+Cache::auditTagSet(Addr line) const
+{
+    const Addr set = line & setMask_;
+    const size_t base = static_cast<size_t>(set) * assoc_;
+    for (size_t s = base; s < base + assoc_; ++s) {
+        if (tags_[s] == kNoLine)
+            continue;
+        MSIM_AUDIT_CHECK((tags_[s] & setMask_) == set,
+                         "tag %llu stored in set %llu maps to set %llu",
+                         static_cast<unsigned long long>(tags_[s]),
+                         static_cast<unsigned long long>(set),
+                         static_cast<unsigned long long>(tags_[s] &
+                                                         setMask_));
+        for (size_t r = s + 1; r < base + assoc_; ++r)
+            MSIM_AUDIT_CHECK(tags_[r] != tags_[s],
+                             "tag %llu duplicated in ways %zu and %zu",
+                             static_cast<unsigned long long>(tags_[s]),
+                             s - base, r - base);
+    }
+}
+
+void
+Cache::auditPorts() const
+{
+    MSIM_AUDIT_CHECK(portFree.size() == cfg.ports,
+                     "portFree has %zu entries, config has %u ports",
+                     portFree.size(), cfg.ports);
+    for (size_t i = 1; i < portFree.size(); ++i)
+        MSIM_AUDIT_CHECK(portFree[i - 1] <= portFree[i],
+                         "portFree not sorted at [%zu]", i);
+}
+
+#endif // MSIM_AUDIT_ENABLED
+
 Cycle
 Cache::allocPort(Cycle t)
 {
@@ -127,6 +202,9 @@ Cache::allocPort(Cycle t)
     for (; i < portFree.size() && portFree[i] < busy; ++i)
         portFree[i - 1] = portFree[i];
     portFree[i - 1] = busy;
+#if MSIM_AUDIT_ENABLED
+    auditPorts();
+#endif
     return start;
 }
 
@@ -215,6 +293,9 @@ Cache::allocateMshr(u32 idx, Addr line, Cycle fill_time, bool is_load,
     mshrIsLoad_[idx] = is_load;
     mshrLevel_[idx] = level;
     mapInsert(line, idx);
+#if MSIM_AUDIT_ENABLED
+    auditMshrState();
+#endif
 }
 
 s64
@@ -250,6 +331,9 @@ Cache::insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp)
     tags_[victim] = line;
     dirty_[victim] = dirty;
     lastUse_[victim] = use_stamp;
+#if MSIM_AUDIT_ENABLED
+    auditTagSet(line);
+#endif
 }
 
 AccessResult
@@ -284,6 +368,9 @@ Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
         if (const u32 m = findMshr(line, start); m != kNoMshr) {
             if (mshrCombines_[m] < cfg.maxCombines) {
                 ++mshrCombines_[m];
+                MSIM_AUDIT_CHECK(mshrCombines_[m] <= cfg.maxCombines,
+                                 "mshr %u combined %u > cap %u", m,
+                                 mshrCombines_[m], cfg.maxCombines);
                 combined_.inc();
                 if (kind == AccessKind::Store) {
                     const s64 slot = lookup(line, ++useStamp);

@@ -36,12 +36,20 @@
 
 #include <vector>
 
+#include "audit/invariants.hh"
 #include "common/stats.hh"
 #include "mem/access.hh"
 #include "mem/config.hh"
 
 namespace msim::mem
 {
+
+/**
+ * Validate a CacheConfig's structural fields (nonzero assoc, line
+ * size, ports, MSHRs) with fatal() and return its set count. Shared by
+ * the fast and reference models so both reject the same configs.
+ */
+unsigned checkedNumSets(const CacheConfig &config);
 
 /** Anything a cache can forward misses to. */
 class Level
@@ -176,6 +184,15 @@ class Cache final : public CacheLevel
     u32 hashSlot(Addr line) const;
     void mapInsert(Addr line, u32 idx);
     void mapErase(Addr line, u32 idx);
+
+#if MSIM_AUDIT_ENABLED
+    /// mshr-conservation: sorted fill arrays mirror the MSHR columns.
+    void auditMshrState() const;
+    /// tag-store-consistency: the set slice holding @p line is sane.
+    void auditTagSet(Addr line) const;
+    /// port-occupancy: portFree stays sorted with `ports` entries.
+    void auditPorts() const;
+#endif
 
     unsigned numSets;
     unsigned assoc_;

@@ -3,13 +3,18 @@
 #include <algorithm>
 
 #include "common/bits.hh"
+#include "common/logging.hh"
 
 namespace msim::mem
 {
 
 Dram::Dram(const DramConfig &config)
     : cfg(config), bankFree(config.interleave, 0)
-{}
+{
+    // interleave == 0 would make every access divide by zero below.
+    if (config.interleave == 0)
+        fatal("dram: interleave must be nonzero");
+}
 
 AccessResult
 Dram::accessLine(Addr line_addr, AccessKind kind, Cycle t)

@@ -10,8 +10,7 @@ namespace msim::mem
 {
 
 RefCache::RefCache(const CacheConfig &config, Level &next, HitLevel level)
-    : CacheLevel(config, next, level),
-      numSets(config.sizeBytes / (config.lineBytes * config.assoc)),
+    : CacheLevel(config, next, level), numSets(checkedNumSets(config)),
       sets(numSets, std::vector<Way>(config.assoc)),
       portFree(config.ports, 0), mshrs(config.numMshrs)
 {

@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include "audit/invariants.hh"
 #include "cpu/core.hh"
 #include "isa/inst.hh"
 #include "mem/hierarchy.hh"
@@ -9,6 +10,25 @@ namespace msim::sim
 
 namespace
 {
+
+/**
+ * accounting-identity (§2.3.4): every simulated cycle must be charged
+ * to exactly one of Busy / FUstall / L1hit / L1miss. Checked once per
+ * run, on both the live and replay paths.
+ */
+void
+auditAccounting([[maybe_unused]] const cpu::ExecStats &stats)
+{
+#if MSIM_AUDIT_ENABLED
+    double err = 0.0;
+    MSIM_AUDIT_CHECK(audit::accountingIdentityHolds(stats, &err),
+                     "busy %.6f + fu %.6f + l1hit %.6f + l1miss %.6f != "
+                     "cycles %llu (err %.6f)",
+                     stats.busy, stats.fuStall, stats.memL1Hit,
+                     stats.memL1Miss,
+                     static_cast<unsigned long long>(stats.cycles), err);
+#endif
+}
 
 CacheSnap
 snapOf(const mem::CacheLevel &c)
@@ -45,6 +65,7 @@ runTrace(const Generator &generate, const MachineConfig &machine)
 
     RunResult r;
     r.exec = core.stats();
+    auditAccounting(r.exec);
     r.l1 = snapOf(hierarchy.l1());
     r.l2 = snapOf(hierarchy.l2());
     r.tbInstrs = tb.instCount();
@@ -79,6 +100,7 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
 
     RunResult r;
     r.exec = core.stats();
+    auditAccounting(r.exec);
     r.l1 = snapOf(hierarchy.l1());
     r.l2 = snapOf(hierarchy.l2());
     r.tbInstrs = trace.instCount();

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the differential audit subsystem (src/audit) and the
+ * regression pins from the config-fuzz burn-down.
+ *
+ * The burn-down bugs pinned here are the degenerate-config crashes the
+ * fuzzer's config sampler surfaced while it was being written: before
+ * this PR, a CacheConfig with assoc == 0 divided by zero computing the
+ * set count, ports == 0 indexed an empty port array, numMshrs == 0
+ * indexed an empty fill array, and a DramConfig with interleave == 0
+ * divided by zero on every access. All are now rejected with fatal()
+ * by the constructors (so the fast and reference models reject the
+ * same configs), and MinimalResourceConfig pins differential identity
+ * at the valid resource floor the sampler now respects. The PPM-header
+ * overflow repro from the same burn-down is pinned in test_img.cc
+ * (PpmMalformed.DimensionProductOverflows).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "audit/invariants.hh"
+#include "core/registry.hh"
+#include "mem/hierarchy.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace msim
+{
+namespace
+{
+
+// --- InvariantSink / ScopedSink -----------------------------------------
+
+TEST(InvariantSink, RecordsInsteadOfPanicking)
+{
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        audit::fail("x == y", "test.cc", 42, "x %d y %d", 1, 2);
+    }
+    EXPECT_EQ(sink.violations(), 1u);
+    ASSERT_EQ(sink.records().size(), 1u);
+    EXPECT_EQ(sink.records()[0].check, "x == y");
+    EXPECT_EQ(sink.records()[0].message, "x 1 y 2");
+    EXPECT_EQ(sink.records()[0].line, 42);
+}
+
+TEST(InvariantSink, RecordListIsCappedButCountIsExact)
+{
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        for (int i = 0; i < 100; ++i)
+            audit::fail("c", "t.cc", i, "violation %d", i);
+    }
+    EXPECT_EQ(sink.violations(), 100u);
+    EXPECT_EQ(sink.records().size(), audit::InvariantSink::kMaxRecords);
+}
+
+TEST(InvariantSink, ClearResets)
+{
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        audit::fail("c", "t.cc", 1, "boom");
+    }
+    sink.clear();
+    EXPECT_EQ(sink.violations(), 0u);
+    EXPECT_TRUE(sink.records().empty());
+}
+
+TEST(InvariantSink, ScopedSinkRestoresPrevious)
+{
+    audit::InvariantSink outer;
+    audit::InvariantSink inner;
+    audit::ScopedSink outer_guard(outer);
+    {
+        audit::ScopedSink inner_guard(inner);
+        audit::fail("c", "t.cc", 1, "inner");
+    }
+    audit::fail("c", "t.cc", 2, "outer");
+    EXPECT_EQ(inner.violations(), 1u);
+    EXPECT_EQ(outer.violations(), 1u);
+}
+
+TEST(InvariantRegistry, BuiltinInvariantsRegistered)
+{
+    const auto &table = audit::invariants();
+    ASSERT_GE(table.size(), 7u);
+    auto has = [&](const std::string &name) {
+        for (const auto &inv : table)
+            if (name == inv.name)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("mshr-conservation"));
+    EXPECT_TRUE(has("mshr-combine-bound"));
+    EXPECT_TRUE(has("tag-store-consistency"));
+    EXPECT_TRUE(has("port-occupancy"));
+    EXPECT_TRUE(has("retire-order-monotonicity"));
+    EXPECT_TRUE(has("window-occupancy"));
+    EXPECT_TRUE(has("accounting-identity"));
+}
+
+// --- Accounting identity -------------------------------------------------
+
+TEST(AccountingIdentity, HoldsForExactSum)
+{
+    cpu::ExecStats s;
+    s.cycles = 1000;
+    s.busy = 400.0;
+    s.fuStall = 100.0;
+    s.memL1Hit = 250.0;
+    s.memL1Miss = 250.0;
+    double err = 1.0;
+    EXPECT_TRUE(audit::accountingIdentityHolds(s, &err));
+    EXPECT_EQ(err, 0.0);
+}
+
+TEST(AccountingIdentity, ToleratesRoundingButNotWholeCycles)
+{
+    cpu::ExecStats s;
+    s.cycles = 1000;
+    s.busy = 400.0 + 1e-7; // accumulated double rounding
+    s.fuStall = 100.0;
+    s.memL1Hit = 250.0;
+    s.memL1Miss = 250.0;
+    EXPECT_TRUE(audit::accountingIdentityHolds(s));
+
+    s.busy = 401.0; // a misaccounted whole cycle
+    double err = 0.0;
+    EXPECT_FALSE(audit::accountingIdentityHolds(s, &err));
+    EXPECT_NEAR(err, 1.0, 1e-9);
+}
+
+TEST(AccountingIdentity, HoldsOnRealRuns)
+{
+    using core::findBenchmark;
+    const core::Benchmark &bench = findBenchmark("addition");
+    for (const auto &machine :
+         {sim::inOrder1Way(), sim::inOrder4Way(), sim::outOfOrder4Way()}) {
+        const sim::RunResult r = sim::runTrace(
+            [&](prog::TraceBuilder &tb) {
+                bench.generate(tb, prog::Variant::Vis);
+            },
+            machine);
+        double err = 0.0;
+        EXPECT_TRUE(audit::accountingIdentityHolds(r.exec, &err))
+            << machine.label << ": err " << err;
+    }
+}
+
+// --- Config-fuzz burn-down regressions -----------------------------------
+
+TEST(AuditFuzzRegression, CacheZeroAssocRejected)
+{
+    sim::MachineConfig m;
+    m.mem.l1.assoc = 0; // used to divide by zero computing numSets
+    EXPECT_EXIT(mem::Hierarchy h(m.mem), testing::ExitedWithCode(1),
+                "cache: bad config");
+}
+
+TEST(AuditFuzzRegression, CacheZeroPortsRejected)
+{
+    sim::MachineConfig m;
+    m.mem.l2.ports = 0; // used to index an empty port array
+    EXPECT_EXIT(mem::Hierarchy h(m.mem), testing::ExitedWithCode(1),
+                "cache: bad config");
+}
+
+TEST(AuditFuzzRegression, CacheZeroMshrsRejected)
+{
+    sim::MachineConfig m;
+    m.mem.l1.numMshrs = 0; // used to index an empty sorted-fill array
+    EXPECT_EXIT(mem::Hierarchy h(m.mem), testing::ExitedWithCode(1),
+                "cache: bad config");
+}
+
+TEST(AuditFuzzRegression, CacheZeroLineBytesRejected)
+{
+    sim::MachineConfig m;
+    m.mem.l1.lineBytes = 0; // used to divide by zero computing numSets
+    EXPECT_EXIT(mem::Hierarchy h(m.mem), testing::ExitedWithCode(1),
+                "cache: bad config");
+}
+
+TEST(AuditFuzzRegression, ReferenceModelRejectsSameConfigs)
+{
+    sim::MachineConfig m = sim::asReference(sim::outOfOrder4Way());
+    m.mem.l1.assoc = 0;
+    EXPECT_EXIT(mem::Hierarchy h(m.mem), testing::ExitedWithCode(1),
+                "cache: bad config");
+}
+
+TEST(AuditFuzzRegression, DramZeroInterleaveRejected)
+{
+    mem::DramConfig cfg;
+    cfg.interleave = 0; // used to divide by zero on every access
+    EXPECT_EXIT(mem::Dram d(cfg), testing::ExitedWithCode(1),
+                "dram: interleave must be nonzero");
+}
+
+/**
+ * Run one benchmark variant on @p machine through the fast and
+ * reference models (recorded or live) and require exact equality of
+ * the headline counters. The audit_fuzz shrinker prints repros
+ * against this helper.
+ */
+void
+expectFastMatchesReference(const std::string &benchmark,
+                           prog::Variant variant, bool live,
+                           const sim::MachineConfig &machine)
+{
+    SCOPED_TRACE(benchmark);
+    const core::Benchmark &bench = core::findBenchmark(benchmark);
+    const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+
+    sim::RunResult fast, ref;
+    if (live) {
+        fast = sim::runTrace(gen, machine);
+        ref = sim::runTrace(gen, sim::asReference(machine));
+    } else {
+        const prog::RecordedTrace trace = sim::recordTrace(
+            gen, machine.skewArrays, machine.visFeatures);
+        fast = sim::replayTrace(trace, machine);
+        ref = sim::replayTrace(trace, sim::asReference(machine));
+    }
+
+    EXPECT_EQ(ref.exec.cycles, fast.exec.cycles);
+    EXPECT_EQ(ref.exec.retired, fast.exec.retired);
+    EXPECT_EQ(ref.exec.busy, fast.exec.busy);
+    EXPECT_EQ(ref.exec.fuStall, fast.exec.fuStall);
+    EXPECT_EQ(ref.exec.memL1Hit, fast.exec.memL1Hit);
+    EXPECT_EQ(ref.exec.memL1Miss, fast.exec.memL1Miss);
+    EXPECT_EQ(ref.l1.accesses, fast.l1.accesses);
+    EXPECT_EQ(ref.l1.hits, fast.l1.hits);
+    EXPECT_EQ(ref.l1.misses, fast.l1.misses);
+    EXPECT_EQ(ref.l1.writebacks, fast.l1.writebacks);
+    EXPECT_EQ(ref.l1.combined, fast.l1.combined);
+    EXPECT_EQ(ref.l1.blocked, fast.l1.blocked);
+    EXPECT_EQ(ref.l2.accesses, fast.l2.accesses);
+    EXPECT_EQ(ref.l2.misses, fast.l2.misses);
+    EXPECT_EQ(ref.l2.writebacks, fast.l2.writebacks);
+}
+
+TEST(AuditFuzzRegression, MinimalResourceConfig)
+{
+    // The valid resource floor of the fuzzer's config space: one MSHR
+    // with one combine slot, one port per level, a 2-entry memory
+    // queue. Every access serializes through the blocking paths
+    // (inputBlockedUntil, combine-exhausted retries), the states where
+    // the fast path's incremental MSHR tracking diverges first if it
+    // ever drifts.
+    sim::MachineConfig m;
+    m.mem.l1 = {1024, 1, 16, 1, 1, 1, 1};
+    m.mem.l2 = {4096, 1, 16, 1, 5, 1, 1};
+    m.mem.dram.interleave = 1;
+    m.core.memQueueSize = 2;
+    m.core.maxSpecBranches = 1;
+    m.core.windowSize = 4;
+    expectFastMatchesReference("addition", prog::Variant::Vis,
+                               /*live=*/false, m);
+    expectFastMatchesReference("thresh", prog::Variant::Scalar,
+                               /*live=*/true, m);
+}
+
+} // namespace
+} // namespace msim

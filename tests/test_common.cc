@@ -1,5 +1,9 @@
 /** @file Unit tests for the common utility layer. */
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/bits.hh"
@@ -7,6 +11,7 @@
 #include "common/saturate.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 
 namespace msim
 {
@@ -131,6 +136,120 @@ TEST(Stats, OccupancyTimeWeighted)
     EXPECT_EQ(t.peakOccupancy(), 4u);
     EXPECT_DOUBLE_EQ(t.fracAtLeast(2), 30.0 / 40.0);
     EXPECT_DOUBLE_EQ(t.fracAtLeast(4), 20.0 / 40.0);
+}
+
+TEST(Stats, DistributionFracAtLeastBoundaries)
+{
+    Distribution d(4); // buckets 0..4, values >= 4 saturate into [4]
+    d.sample(0);
+    d.sample(2);
+    d.sample(4);
+    d.sample(9); // saturates into the top bucket
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(4), 0.5);
+    // Queries beyond the last bucket clamp to it: the top bucket means
+    // "at least maxBucket", so the saturated fraction is reported
+    // rather than 0.
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(5), 0.5);
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(1000), 0.5);
+}
+
+TEST(Stats, DistributionFracAtLeastEmpty)
+{
+    const Distribution d(4);
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.fracAtLeast(100), 0.0);
+}
+
+TEST(Stats, OccupancyFracAtLeastBoundaries)
+{
+    OccupancyTracker t(2); // histogram buckets 0..2
+    t.advance(10, 0); // [0,10) empty
+    t.advance(20, 2); // [10,20) full
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(2), 0.5);
+    // Beyond-capacity queries clamp to the top (saturated) bucket.
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(3), 0.5);
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(100), 0.5);
+    // An untouched tracker divides by zero elapsed time nowhere.
+    const OccupancyTracker empty(2);
+    EXPECT_DOUBLE_EQ(empty.fracAtLeast(0), 0.0);
+    EXPECT_DOUBLE_EQ(empty.fracAtLeast(5), 0.0);
+}
+
+TEST(ThreadPool, ParallelForZeroCount)
+{
+    std::atomic<unsigned> calls{0};
+    globalPool().parallelFor(0, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPool, ParallelForSingleIndex)
+{
+    std::atomic<unsigned> calls{0};
+    std::atomic<size_t> seen{~size_t{0}};
+    globalPool().parallelFor(1, [&](size_t i) {
+        ++calls;
+        seen = i;
+    });
+    EXPECT_EQ(calls.load(), 1u);
+    EXPECT_EQ(seen.load(), 0u);
+}
+
+TEST(ThreadPool, CallerInlineShareExceptionPropagates)
+{
+    // The caller participates in draining the index space, so the
+    // throwing index may execute on the calling thread itself; the
+    // exception must still surface from parallelFor, not unwind
+    // through the harness.
+    EXPECT_THROW(
+        globalPool().parallelFor(
+            8,
+            [](size_t i) {
+                if (i == 0) // index 0: claimed by the caller first
+                    throw std::runtime_error("inline share");
+            }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingIndices)
+{
+    std::atomic<unsigned> ran{0};
+    try {
+        globalPool().parallelFor(1000, [&](size_t i) {
+            if (i == 0)
+                throw std::logic_error("stop");
+            ++ran;
+        });
+        FAIL() << "exception did not propagate";
+    } catch (const std::logic_error &) {
+    }
+    // Tasks already claimed may finish, but the batch stops early.
+    EXPECT_LT(ran.load(), 1000u);
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsInline)
+{
+    // parallelFor from inside a task must not deadlock the pool; the
+    // nested call degrades to inline execution on the worker.
+    std::atomic<unsigned> inner{0};
+    globalPool().parallelFor(4, [&](size_t) {
+        globalPool().parallelFor(4, [&](size_t) { ++inner; });
+    });
+    EXPECT_EQ(inner.load(), 16u);
+}
+
+TEST(ThreadPool, ReentrantExceptionPropagatesToOuterCaller)
+{
+    EXPECT_THROW(globalPool().parallelFor(2,
+                                          [&](size_t) {
+                                              globalPool().parallelFor(
+                                                  2, [&](size_t) {
+                                                      throw std::
+                                                          runtime_error(
+                                                              "nested");
+                                                  });
+                                          }),
+                 std::runtime_error);
 }
 
 TEST(Table, RendersAlignedRows)

@@ -74,6 +74,79 @@ TEST(Ppm, CommentsSkipped)
     EXPECT_EQ(im.at(1, 1, 0), 4);
 }
 
+// fatal() exits with status 1, so malformed inputs are death tests.
+
+TEST(PpmMalformed, EmptyStream)
+{
+    std::stringstream ss;
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "end of stream reading magic");
+}
+
+TEST(PpmMalformed, BadMagic)
+{
+    std::stringstream ss("P7\n2 2\n255\n");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "unsupported magic");
+}
+
+TEST(PpmMalformed, ZeroWidth)
+{
+    std::stringstream ss("P5\n0 4\n255\n");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "zero image dimension");
+}
+
+TEST(PpmMalformed, ZeroHeight)
+{
+    std::stringstream ss("P6\n4 0\n255\n");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "zero image dimension");
+}
+
+TEST(PpmMalformed, DimensionProductOverflows)
+{
+    // 65536 * 65536 * 1 wraps to 0 in 32-bit arithmetic; the reader
+    // must reject it before sizing the allocation from the wrapped
+    // value (the satellite repro pinned per ISSUE 3's acceptance
+    // criteria).
+    std::stringstream ss("P5\n65536 65536\n255\n");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "image too large");
+}
+
+TEST(PpmMalformed, CommentAtEndOfStream)
+{
+    // A '#' comment that runs to EOF used to fall through to a generic
+    // extraction failure; the reader now reports the missing field.
+    std::stringstream ss("P5\n2 # truncated here");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "end of stream inside header \\(reading height\\)");
+}
+
+TEST(PpmMalformed, HeaderEndsAfterMagic)
+{
+    std::stringstream ss("P6\n");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "end of stream inside header \\(reading width\\)");
+}
+
+TEST(PpmMalformed, NonNumericDimension)
+{
+    std::stringstream ss("P5\nabc 4\n255\n");
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "malformed header integer \\(reading width\\)");
+}
+
+TEST(PpmMalformed, TruncatedPixelData)
+{
+    std::stringstream ss;
+    ss << "P5\n4 4\n255\n";
+    ss.write("\x01\x02", 2); // 2 of the 16 payload bytes
+    EXPECT_EXIT(readPpm(ss), testing::ExitedWithCode(1),
+                "truncated pixel data");
+}
+
 TEST(Synth, Deterministic)
 {
     const Image a = makeTestImage(40, 30, 3, 7);

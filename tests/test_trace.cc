@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Coverage for the MSIM_LIVE_JOBS escape hatch: runJobs' live path
+ * (re-running the functional benchmark per job) must stay bit-identical
+ * to the default recorded path (record once, replay per config), for
+ * one benchmark per workload family. The env var forces the live path
+ * in production sweeps; without a standing equivalence test it could
+ * silently rot while every other test exercises only replay.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "sim/machine.hh"
+
+namespace msim::core
+{
+namespace
+{
+
+/** Every RunResult field exactly equal, doubles included. */
+void
+expectIdentical(const sim::RunResult &a, const sim::RunResult &b,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.exec.cycles, b.exec.cycles);
+    EXPECT_EQ(a.exec.retired, b.exec.retired);
+    EXPECT_EQ(a.exec.busy, b.exec.busy);
+    EXPECT_EQ(a.exec.fuStall, b.exec.fuStall);
+    EXPECT_EQ(a.exec.memL1Hit, b.exec.memL1Hit);
+    EXPECT_EQ(a.exec.memL1Miss, b.exec.memL1Miss);
+    EXPECT_EQ(a.exec.mixFu, b.exec.mixFu);
+    EXPECT_EQ(a.exec.mixBranch, b.exec.mixBranch);
+    EXPECT_EQ(a.exec.mixMemory, b.exec.mixMemory);
+    EXPECT_EQ(a.exec.mixVis, b.exec.mixVis);
+    EXPECT_EQ(a.exec.branches, b.exec.branches);
+    EXPECT_EQ(a.exec.mispredicts, b.exec.mispredicts);
+    EXPECT_EQ(a.exec.loadsL1, b.exec.loadsL1);
+    EXPECT_EQ(a.exec.loadsL2, b.exec.loadsL2);
+    EXPECT_EQ(a.exec.loadsMem, b.exec.loadsMem);
+    EXPECT_EQ(a.exec.prefetchesIssued, b.exec.prefetchesIssued);
+    EXPECT_EQ(a.exec.prefetchesDropped, b.exec.prefetchesDropped);
+
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.writebacks, b.l1.writebacks);
+    EXPECT_EQ(a.l1.prefetchDrops, b.l1.prefetchDrops);
+    EXPECT_EQ(a.l1.combined, b.l1.combined);
+    EXPECT_EQ(a.l1.blocked, b.l1.blocked);
+    EXPECT_EQ(a.l1.missRate, b.l1.missRate);
+    EXPECT_EQ(a.l1.mshrMeanOccupancy, b.l1.mshrMeanOccupancy);
+    EXPECT_EQ(a.l1.mshrPeakOccupancy, b.l1.mshrPeakOccupancy);
+    EXPECT_EQ(a.l1.mshrFracAtLeast2, b.l1.mshrFracAtLeast2);
+    EXPECT_EQ(a.l1.mshrFracAtLeast5, b.l1.mshrFracAtLeast5);
+    EXPECT_EQ(a.l1.loadOverlapMean, b.l1.loadOverlapMean);
+
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.hits, b.l2.hits);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.l2.writebacks, b.l2.writebacks);
+    EXPECT_EQ(a.l2.prefetchDrops, b.l2.prefetchDrops);
+    EXPECT_EQ(a.l2.combined, b.l2.combined);
+    EXPECT_EQ(a.l2.blocked, b.l2.blocked);
+    EXPECT_EQ(a.l2.missRate, b.l2.missRate);
+    EXPECT_EQ(a.l2.mshrMeanOccupancy, b.l2.mshrMeanOccupancy);
+    EXPECT_EQ(a.l2.mshrPeakOccupancy, b.l2.mshrPeakOccupancy);
+    EXPECT_EQ(a.l2.mshrFracAtLeast2, b.l2.mshrFracAtLeast2);
+    EXPECT_EQ(a.l2.mshrFracAtLeast5, b.l2.mshrFracAtLeast5);
+    EXPECT_EQ(a.l2.loadOverlapMean, b.l2.loadOverlapMean);
+
+    EXPECT_EQ(a.tbInstrs, b.tbInstrs);
+    EXPECT_EQ(a.visOps, b.visOps);
+    EXPECT_EQ(a.visOverheadOps, b.visOverheadOps);
+}
+
+/** RAII setter for MSIM_LIVE_JOBS so a failing test cannot leak it. */
+class ScopedLiveJobs
+{
+  public:
+    explicit ScopedLiveJobs(const char *value)
+    {
+        if (value)
+            setenv("MSIM_LIVE_JOBS", value, 1);
+        else
+            unsetenv("MSIM_LIVE_JOBS");
+    }
+
+    ~ScopedLiveJobs() { unsetenv("MSIM_LIVE_JOBS"); }
+};
+
+/**
+ * One benchmark per family (kernel / jpeg / mpeg): the live path, the
+ * recorded path, and the env-var-selected Auto path must all produce
+ * the same bits.
+ */
+void
+checkLiveRecordedIdentity(const std::string &benchmark, Variant variant)
+{
+    const std::vector<Job> jobs = {
+        {benchmark, variant, sim::outOfOrder4Way()},
+        {benchmark, variant, sim::inOrder4Way()},
+    };
+
+    const std::vector<RunResult> recorded =
+        runJobs(jobs, 1, JobMode::Recorded);
+    const std::vector<RunResult> live = runJobs(jobs, 1, JobMode::Live);
+    ASSERT_EQ(recorded.size(), jobs.size());
+    ASSERT_EQ(live.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        expectIdentical(recorded[i], live[i],
+                        benchmark + " live vs recorded, job " +
+                            std::to_string(i));
+    }
+
+    // MSIM_LIVE_JOBS=1 routes Auto onto the live path; it must agree
+    // with both explicit modes.
+    {
+        ScopedLiveJobs env("1");
+        const std::vector<RunResult> auto_live =
+            runJobs(jobs, 1, JobMode::Auto);
+        ASSERT_EQ(auto_live.size(), jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            expectIdentical(recorded[i], auto_live[i],
+                            benchmark + " MSIM_LIVE_JOBS=1 auto, job " +
+                                std::to_string(i));
+        }
+    }
+
+    // MSIM_LIVE_JOBS=0 (and unset) leave Auto on the recorded path.
+    {
+        ScopedLiveJobs env("0");
+        const std::vector<RunResult> auto_rec =
+            runJobs(jobs, 1, JobMode::Auto);
+        ASSERT_EQ(auto_rec.size(), jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            expectIdentical(recorded[i], auto_rec[i],
+                            benchmark + " MSIM_LIVE_JOBS=0 auto, job " +
+                                std::to_string(i));
+        }
+    }
+}
+
+TEST(LiveJobs, KernelFamily)
+{
+    checkLiveRecordedIdentity("addition", Variant::Vis);
+}
+
+TEST(LiveJobs, JpegFamily)
+{
+    checkLiveRecordedIdentity("djpeg-np", Variant::Vis);
+}
+
+TEST(LiveJobs, MpegFamily)
+{
+    checkLiveRecordedIdentity("mpeg-dec", Variant::Scalar);
+}
+
+} // namespace
+} // namespace msim::core

@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Seeded config-fuzzer for the differential audit subsystem.
+ *
+ * Samples randomized MachineConfigs (cache geometry, MSHR/port counts,
+ * core queue sizes, issue widths, DRAM interleave/latency) crossed with
+ * the paper's 12 benchmarks x {scalar, VIS, VIS+PF} x {live, recorded},
+ * and cross-checks the fast path (mem::Cache + cpu::ReplayEngine)
+ * against the preserved reference models (sim::asReference) for exact
+ * counter/timestamp equality — every integer and double in RunResult
+ * must match bit-for-bit. Cycle-level invariant violations (MSIM_AUDIT
+ * builds) are collected through an installed InvariantSink.
+ *
+ * Any failing case is shrunk to a minimal repro by greedily resetting
+ * config dimensions toward the defaults while the failure reproduces,
+ * then printed as a ready-to-paste regression test for
+ * tests/test_audit.cc.
+ *
+ * Cases are derived deterministically from (--seed, case index), so a
+ * repro needs only the seed and index, independent of scheduling.
+ *
+ *   audit_fuzz --seed 1 --cases 200        # the CI gate
+ *   audit_fuzz --list                      # registered invariants
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "audit/invariants.hh"
+#include "core/registry.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace
+{
+
+using namespace msim;
+
+/** Deterministic 64-bit generator (same LCG family as the test fuzz). */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed) : state_(seed ^ 0x9e3779b97f4a7c15ull)
+    {
+        next();
+        next();
+    }
+
+    u64
+    next()
+    {
+        state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+        return state_ >> 33;
+    }
+
+    u32 below(u32 n) { return static_cast<u32>(next() % n); }
+    bool chance(u32 percent) { return below(100) < percent; }
+
+  private:
+    u64 state_;
+};
+
+/** One sampled fuzz case. */
+struct CaseConfig
+{
+    const core::Benchmark *bench = nullptr;
+    prog::Variant variant = prog::Variant::Scalar;
+    bool live = false; ///< drive both paths live instead of via replay
+    sim::MachineConfig machine;
+};
+
+/** What happened when a case ran. */
+struct Outcome
+{
+    std::string divergence; ///< first mismatching field, empty if none
+    u64 violations = 0;
+    std::vector<audit::Violation> violationRecords;
+
+    bool failed() const { return !divergence.empty() || violations != 0; }
+};
+
+u64
+mixSeed(u64 seed, u64 index)
+{
+    u64 h = seed ^ (index * 0xbf58476d1ce4e5b9ull);
+    h ^= h >> 31;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 29;
+    return h;
+}
+
+sim::MachineConfig
+sampleMachine(Rng &rng)
+{
+    sim::MachineConfig m;
+    switch (rng.below(3)) {
+      case 0: m = sim::inOrder1Way(); break;
+      case 1: m = sim::inOrder4Way(); break;
+      default: m = sim::outOfOrder4Way(); break;
+    }
+    m.label = "fuzz";
+
+    m.core.issueWidth = 1 + rng.below(4);
+    m.core.windowSize = 1u << (2 + rng.below(6));    // 4 .. 128
+    m.core.memQueueSize = 1u << (1 + rng.below(5));  // 2 .. 32
+    m.core.maxSpecBranches = 1u << rng.below(5);     // 1 .. 16
+    m.core.takenBranchesPerCycle = 1 + rng.below(2);
+    m.core.mispredictPenalty = 1 + rng.below(8);
+    m.core.retireWidth = rng.chance(30) ? 1 + rng.below(4) : 0;
+    m.core.predictorEntries = 1u << (6 + rng.below(6)); // 64 .. 2048
+
+    auto &l1 = m.mem.l1;
+    l1.lineBytes = 16u << rng.below(3); // 16, 32, 64
+    l1.assoc = 1u << rng.below(3);      // 1, 2, 4
+    l1.sizeBytes = l1.lineBytes * l1.assoc * (1u << (3 + rng.below(7)));
+    l1.ports = 1 + rng.below(2);
+    l1.hitLatency = 1 + rng.below(4);
+    l1.numMshrs = 1 + rng.below(16);
+    l1.maxCombines = 1 + rng.below(8);
+
+    auto &l2 = m.mem.l2;
+    // The L2 is indexed with L1 line numbers (see Hierarchy), so its
+    // line size matches the L1's.
+    l2.lineBytes = l1.lineBytes;
+    l2.assoc = 1u << rng.below(4); // 1 .. 8
+    l2.sizeBytes = l2.lineBytes * l2.assoc * (1u << (5 + rng.below(7)));
+    l2.ports = 1 + rng.below(2);
+    l2.hitLatency = 5 + rng.below(26);
+    l2.numMshrs = 1 + rng.below(16);
+    l2.maxCombines = 1 + rng.below(8);
+
+    m.mem.dram.interleave = 1u << rng.below(4); // 1 .. 8
+    m.mem.dram.bankBusy = 1 + rng.below(50);
+    m.mem.dram.totalLatency = 20 + rng.below(181);
+
+    m.skewArrays = rng.chance(70);
+    m.visFeatures.direct16x16Mul = rng.chance(25);
+    m.visFeatures.hasPmaddwd =
+        m.visFeatures.direct16x16Mul || rng.chance(15);
+    m.visFeatures.hasPdist = rng.chance(75);
+    return m;
+}
+
+CaseConfig
+sampleCase(const std::vector<const core::Benchmark *> &benches, u64 seed,
+           unsigned index, u32 live_percent)
+{
+    Rng rng(mixSeed(seed, index));
+    CaseConfig c;
+    // The image kernels are weighted up: a kernel case costs
+    // milliseconds where a jpeg/mpeg case costs seconds, so this buys
+    // config-space coverage while the codecs still appear throughout a
+    // 200-case run (~4 cases each).
+    const u32 pick = rng.below(100);
+    size_t idx;
+    if (pick < 76) {
+        idx = rng.below(6); // the 6 VSDK kernels
+    } else {
+        idx = 6 + rng.below(static_cast<u32>(benches.size()) - 6);
+    }
+    c.bench = benches[idx];
+
+    const u32 nvar = c.bench->hasPrefetchVariant ? 3 : 2;
+    c.variant = static_cast<prog::Variant>(rng.below(nvar));
+    c.live = rng.below(100) < live_percent;
+    c.machine = sampleMachine(rng);
+    return c;
+}
+
+/**
+ * Exact comparison of every field in two RunResults. Doubles are
+ * compared with == on purpose: both models execute the same arithmetic
+ * in the same order, so even the accumulated floating-point statistics
+ * must agree bit-for-bit.
+ */
+std::string
+compareResults(const sim::RunResult &ref, const sim::RunResult &fast)
+{
+    char buf[256];
+#define MSIM_CMP(field)                                                      \
+    do {                                                                     \
+        if (!(ref.field == fast.field)) {                                    \
+            std::snprintf(buf, sizeof(buf), #field ": ref %s != fast %s",    \
+                          std::to_string(ref.field).c_str(),                 \
+                          std::to_string(fast.field).c_str());               \
+            return buf;                                                      \
+        }                                                                    \
+    } while (0)
+
+    MSIM_CMP(exec.cycles);
+    MSIM_CMP(exec.retired);
+    MSIM_CMP(exec.busy);
+    MSIM_CMP(exec.fuStall);
+    MSIM_CMP(exec.memL1Hit);
+    MSIM_CMP(exec.memL1Miss);
+    MSIM_CMP(exec.mixFu);
+    MSIM_CMP(exec.mixBranch);
+    MSIM_CMP(exec.mixMemory);
+    MSIM_CMP(exec.mixVis);
+    MSIM_CMP(exec.branches);
+    MSIM_CMP(exec.mispredicts);
+    MSIM_CMP(exec.loadsL1);
+    MSIM_CMP(exec.loadsL2);
+    MSIM_CMP(exec.loadsMem);
+    MSIM_CMP(exec.prefetchesIssued);
+    MSIM_CMP(exec.prefetchesDropped);
+
+    MSIM_CMP(l1.accesses);
+    MSIM_CMP(l1.hits);
+    MSIM_CMP(l1.misses);
+    MSIM_CMP(l1.writebacks);
+    MSIM_CMP(l1.prefetchDrops);
+    MSIM_CMP(l1.combined);
+    MSIM_CMP(l1.blocked);
+    MSIM_CMP(l1.missRate);
+    MSIM_CMP(l1.mshrMeanOccupancy);
+    MSIM_CMP(l1.mshrPeakOccupancy);
+    MSIM_CMP(l1.mshrFracAtLeast2);
+    MSIM_CMP(l1.mshrFracAtLeast5);
+    MSIM_CMP(l1.loadOverlapMean);
+
+    MSIM_CMP(l2.accesses);
+    MSIM_CMP(l2.hits);
+    MSIM_CMP(l2.misses);
+    MSIM_CMP(l2.writebacks);
+    MSIM_CMP(l2.prefetchDrops);
+    MSIM_CMP(l2.combined);
+    MSIM_CMP(l2.blocked);
+    MSIM_CMP(l2.missRate);
+    MSIM_CMP(l2.mshrMeanOccupancy);
+    MSIM_CMP(l2.mshrPeakOccupancy);
+    MSIM_CMP(l2.mshrFracAtLeast2);
+    MSIM_CMP(l2.mshrFracAtLeast5);
+    MSIM_CMP(l2.loadOverlapMean);
+
+    MSIM_CMP(tbInstrs);
+    MSIM_CMP(visOps);
+    MSIM_CMP(visOverheadOps);
+#undef MSIM_CMP
+    return {};
+}
+
+Outcome
+runCase(const CaseConfig &c)
+{
+    Outcome out;
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        sim::RunResult fast, ref;
+        if (c.live) {
+            fast = sim::runTrace(gen, c.machine);
+            ref = sim::runTrace(gen, sim::asReference(c.machine));
+        } else {
+            const prog::RecordedTrace trace = sim::recordTrace(
+                gen, c.machine.skewArrays, c.machine.visFeatures);
+            fast = sim::replayTrace(trace, c.machine);
+            ref = sim::replayTrace(trace, sim::asReference(c.machine));
+        }
+        // The accounting identity is checked here explicitly as well,
+        // so non-MSIM_AUDIT builds of this tool still enforce it.
+        double err = 0.0;
+        if (!audit::accountingIdentityHolds(fast.exec, &err)) {
+            sink.report("accountingIdentityHolds(fast)", __FILE__,
+                        __LINE__, "err " + std::to_string(err));
+        }
+        if (!audit::accountingIdentityHolds(ref.exec, &err)) {
+            sink.report("accountingIdentityHolds(ref)", __FILE__,
+                        __LINE__, "err " + std::to_string(err));
+        }
+        out.divergence = compareResults(ref, fast);
+    }
+    out.violations = sink.violations();
+    out.violationRecords = sink.records();
+    return out;
+}
+
+/**
+ * Greedy shrink: repeatedly try resetting one dimension of the failing
+ * case toward the default configuration, keeping any reduction that
+ * still fails, until a full pass makes no progress. The result is the
+ * minimal repro under this reduction set.
+ */
+CaseConfig
+shrinkCase(const CaseConfig &failing)
+{
+    CaseConfig best = failing;
+    const sim::MachineConfig def; // all-default machine (4-way ooo)
+    const core::Benchmark &addition = core::findBenchmark("addition");
+
+    using Reduction = std::function<bool(CaseConfig &)>; // false: no-op
+    std::vector<Reduction> reductions;
+
+    reductions.push_back([&](CaseConfig &c) {
+        if (c.bench == &addition)
+            return false;
+        c.bench = &addition;
+        return true;
+    });
+    reductions.push_back([](CaseConfig &c) {
+        if (!c.live)
+            return false;
+        c.live = false;
+        return true;
+    });
+    reductions.push_back([](CaseConfig &c) {
+        if (c.variant == prog::Variant::Scalar)
+            return false;
+        c.variant = prog::Variant::Scalar;
+        return true;
+    });
+
+#define MSIM_REDUCE(field)                                                   \
+    reductions.push_back([&](CaseConfig &c) {                                \
+        if (c.machine.field == def.field)                                    \
+            return false;                                                    \
+        c.machine.field = def.field;                                         \
+        return true;                                                         \
+    })
+    MSIM_REDUCE(core.outOfOrder);
+    MSIM_REDUCE(core.issueWidth);
+    MSIM_REDUCE(core.windowSize);
+    MSIM_REDUCE(core.memQueueSize);
+    MSIM_REDUCE(core.maxSpecBranches);
+    MSIM_REDUCE(core.takenBranchesPerCycle);
+    MSIM_REDUCE(core.mispredictPenalty);
+    MSIM_REDUCE(core.retireWidth);
+    MSIM_REDUCE(core.predictorEntries);
+    MSIM_REDUCE(mem.l1.sizeBytes);
+    MSIM_REDUCE(mem.l1.assoc);
+    MSIM_REDUCE(mem.l1.lineBytes);
+    MSIM_REDUCE(mem.l1.ports);
+    MSIM_REDUCE(mem.l1.hitLatency);
+    MSIM_REDUCE(mem.l1.numMshrs);
+    MSIM_REDUCE(mem.l1.maxCombines);
+    MSIM_REDUCE(mem.l2.sizeBytes);
+    MSIM_REDUCE(mem.l2.assoc);
+    MSIM_REDUCE(mem.l2.lineBytes);
+    MSIM_REDUCE(mem.l2.ports);
+    MSIM_REDUCE(mem.l2.hitLatency);
+    MSIM_REDUCE(mem.l2.numMshrs);
+    MSIM_REDUCE(mem.l2.maxCombines);
+    MSIM_REDUCE(mem.dram.totalLatency);
+    MSIM_REDUCE(mem.dram.interleave);
+    MSIM_REDUCE(mem.dram.bankBusy);
+    MSIM_REDUCE(skewArrays);
+    MSIM_REDUCE(visFeatures.direct16x16Mul);
+    MSIM_REDUCE(visFeatures.hasPmaddwd);
+    MSIM_REDUCE(visFeatures.hasPdist);
+#undef MSIM_REDUCE
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (const auto &reduce : reductions) {
+            CaseConfig candidate = best;
+            if (!reduce(candidate))
+                continue;
+            if (runCase(candidate).failed()) {
+                best = candidate;
+                progressed = true;
+            }
+        }
+    }
+    best.machine.label = "shrunk";
+    return best;
+}
+
+/** Emit `m.<field> = <value>;` lines for every non-default field. */
+void
+printMachineDelta(const sim::MachineConfig &m)
+{
+    const sim::MachineConfig def;
+#define MSIM_EMIT(field, fmt)                                                \
+    do {                                                                     \
+        if (!(m.field == def.field))                                         \
+            std::printf("    m." #field " = " fmt ";\n",                     \
+                        m.field);                                            \
+    } while (0)
+    MSIM_EMIT(core.outOfOrder, "%d");
+    MSIM_EMIT(core.issueWidth, "%u");
+    MSIM_EMIT(core.windowSize, "%u");
+    MSIM_EMIT(core.memQueueSize, "%u");
+    MSIM_EMIT(core.maxSpecBranches, "%u");
+    MSIM_EMIT(core.takenBranchesPerCycle, "%u");
+    MSIM_EMIT(core.mispredictPenalty, "%u");
+    MSIM_EMIT(core.retireWidth, "%u");
+    MSIM_EMIT(core.predictorEntries, "%u");
+    MSIM_EMIT(mem.l1.sizeBytes, "%u");
+    MSIM_EMIT(mem.l1.assoc, "%u");
+    MSIM_EMIT(mem.l1.lineBytes, "%u");
+    MSIM_EMIT(mem.l1.ports, "%u");
+    MSIM_EMIT(mem.l1.hitLatency, "%" PRIu64);
+    MSIM_EMIT(mem.l1.numMshrs, "%u");
+    MSIM_EMIT(mem.l1.maxCombines, "%u");
+    MSIM_EMIT(mem.l2.sizeBytes, "%u");
+    MSIM_EMIT(mem.l2.assoc, "%u");
+    MSIM_EMIT(mem.l2.lineBytes, "%u");
+    MSIM_EMIT(mem.l2.ports, "%u");
+    MSIM_EMIT(mem.l2.hitLatency, "%" PRIu64);
+    MSIM_EMIT(mem.l2.numMshrs, "%u");
+    MSIM_EMIT(mem.l2.maxCombines, "%u");
+    MSIM_EMIT(mem.dram.totalLatency, "%" PRIu64);
+    MSIM_EMIT(mem.dram.interleave, "%u");
+    MSIM_EMIT(mem.dram.bankBusy, "%" PRIu64);
+    MSIM_EMIT(skewArrays, "%d");
+    MSIM_EMIT(visFeatures.direct16x16Mul, "%d");
+    MSIM_EMIT(visFeatures.hasPmaddwd, "%d");
+    MSIM_EMIT(visFeatures.hasPdist, "%d");
+#undef MSIM_EMIT
+}
+
+const char *
+variantExpr(prog::Variant v)
+{
+    switch (v) {
+      case prog::Variant::Scalar: return "prog::Variant::Scalar";
+      case prog::Variant::Vis: return "prog::Variant::Vis";
+      case prog::Variant::VisPrefetch: return "prog::Variant::VisPrefetch";
+    }
+    return "prog::Variant::Scalar";
+}
+
+/** Print the shrunk case as a ready-to-paste regression test. */
+void
+printRepro(const CaseConfig &c, const Outcome &out, u64 seed,
+           unsigned index)
+{
+    std::printf("\n// ---- ready-to-paste regression test "
+                "(tests/test_audit.cc) ----\n");
+    std::printf("TEST(AuditFuzzRegression, Seed%" PRIu64 "Case%u)\n{\n",
+                seed, index);
+    std::printf("    sim::MachineConfig m;\n");
+    printMachineDelta(c.machine);
+    std::printf("    expectFastMatchesReference(\"%s\", %s, "
+                "/*live=*/%s, m);\n",
+                c.bench->name.c_str(), variantExpr(c.variant),
+                c.live ? "true" : "false");
+    std::printf("}\n");
+    if (!out.divergence.empty())
+        std::printf("// divergence: %s\n", out.divergence.c_str());
+    for (const auto &v : out.violationRecords)
+        std::printf("// violation: %s at %s:%d: %s\n", v.check.c_str(),
+                    v.file, v.line, v.message.c_str());
+    std::printf("// ----------------------------------------------------"
+                "----------\n\n");
+}
+
+void
+printInvariants()
+{
+    for (const auto &inv : audit::invariants())
+        std::printf("%-28s %-20s %s\n", inv.name, inv.component,
+                    inv.argument);
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--seed N] [--cases N] [--live-frac PCT] [--verbose]\n"
+        "          [--list] [--help]\n"
+        "\n"
+        "Differential config fuzzer: random MachineConfigs x benchmarks\n"
+        "x variants x {live, recorded}, fast path vs reference models,\n"
+        "exact-equality cross-check plus cycle-level invariant audit.\n"
+        "\n"
+        "  --seed N        base seed (default 1); case i derives from\n"
+        "                  (seed, i), so repros only need the pair\n"
+        "  --cases N       number of cases (default 200)\n"
+        "  --live-frac P   percent of cases driven live (default 17)\n"
+        "  --verbose       print every case as it runs\n"
+        "  --list          print the registered invariant table\n",
+        argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    u64 seed = 1;
+    unsigned cases = 200;
+    u32 live_percent = 17;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](const char *name) {
+            return std::strcmp(argv[i], name) == 0;
+        };
+        if (arg("--seed") && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg("--cases") && i + 1 < argc) {
+            cases = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg("--live-frac") && i + 1 < argc) {
+            live_percent = static_cast<u32>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg("--verbose")) {
+            verbose = true;
+        } else if (arg("--list")) {
+            printInvariants();
+            return 0;
+        } else if (arg("--help")) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    const std::vector<const core::Benchmark *> benches =
+        core::paperBenchmarks();
+
+    std::printf("audit_fuzz: seed %" PRIu64 ", %u cases, %u%% live, "
+                "audit checks %s\n",
+                seed, cases, live_percent,
+                audit::kEnabled ? "compiled in" : "compiled out");
+
+    unsigned failures = 0;
+    unsigned live_cases = 0;
+    for (unsigned i = 0; i < cases; ++i) {
+        const CaseConfig c = sampleCase(benches, seed, i, live_percent);
+        live_cases += c.live;
+        if (verbose)
+            std::printf("  case %u: %s/%s %s mshrs %u/%u ports %u/%u "
+                        "iw %u\n",
+                        i, c.bench->name.c_str(),
+                        prog::variantName(c.variant),
+                        c.live ? "live" : "recorded",
+                        c.machine.mem.l1.numMshrs,
+                        c.machine.mem.l2.numMshrs,
+                        c.machine.mem.l1.ports, c.machine.mem.l2.ports,
+                        c.machine.core.issueWidth);
+        const Outcome out = runCase(c);
+        if (!out.failed())
+            continue;
+        ++failures;
+        std::printf("FAIL case %u (%s/%s %s): %s%s\n", i,
+                    c.bench->name.c_str(), prog::variantName(c.variant),
+                    c.live ? "live" : "recorded",
+                    out.divergence.empty() ? "" : out.divergence.c_str(),
+                    out.violations
+                        ? (" [" + std::to_string(out.violations) +
+                           " invariant violations]")
+                              .c_str()
+                        : "");
+        std::printf("shrinking...\n");
+        const CaseConfig minimal = shrinkCase(c);
+        const Outcome minimal_out = runCase(minimal);
+        printRepro(minimal, minimal_out, seed, i);
+    }
+
+    std::printf("audit_fuzz: %u cases (%u live, %u recorded): "
+                "%u failing\n",
+                cases, live_cases, cases - live_cases, failures);
+    return failures ? 1 : 0;
+}
