@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Before/after A/B of batched multi-config replay on the djpeg L1
+ * sweep: the same recorded trace replayed once per point through
+ * sequential sim::replayTrace (the PR 2 fast path) and once as a
+ * single batched traversal through sim::replayTraceBatch. Both sides
+ * include the one-time recording and run single-threaded, matching the
+ * protocol of BENCH_mem_fastpath.json, so the ratio is purely the
+ * traversal/decode amortization. Writes BENCH_batch_replay.json with a
+ * per-benchmark breakdown (conv, dotprod, mpeg-dec ride along); the PR
+ * target is speedup_x >= 1.5 on the djpeg aggregate with bit-identical
+ * results (asserted here).
+ *
+ * `--smoke`: one tiny sweep, single repeat, identity assert only, no
+ * JSON — a seconds-long CI leg that catches perf-path build/runtime
+ * breaks without regenerating the committed numbers.
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "kernels/addition.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace
+{
+
+using namespace msim;
+using prog::Variant;
+
+std::vector<sim::MachineConfig>
+l1Sweep()
+{
+    std::vector<sim::MachineConfig> machines;
+    for (u32 size : {1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10,
+                     32u << 10, 64u << 10})
+        machines.push_back(sim::withL1Size(size));
+    return machines;
+}
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+struct AbResult
+{
+    bench::SelfMeasurement seq;
+    bench::SelfMeasurement batch;
+    bool identical = true;
+
+    double
+    speedup() const
+    {
+        return batch.hostSeconds > 0.0
+                   ? seq.hostSeconds / batch.hostSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * One full A/B: per repeat, each side performs its complete measured
+ * pass (record once + replay every point) and the fastest wall time
+ * per side wins; both sides' kept results are compared counter-exactly.
+ */
+AbResult
+runAb(const sim::Generator &gen,
+      const std::vector<sim::MachineConfig> &machines, int repeats)
+{
+    AbResult ab;
+    std::vector<sim::RunResult> seqResults, batchResults;
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto trace =
+            sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+        std::vector<sim::RunResult> rs;
+        rs.reserve(machines.size());
+        for (const auto &m : machines)
+            rs.push_back(sim::replayTrace(trace, m));
+        const auto t1 = std::chrono::steady_clock::now();
+        bench::SelfMeasurement m;
+        m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+        m.jobs = machines.size();
+        for (const auto &r : rs)
+            m.simInstructions += r.tbInstrs;
+        if (rep == 0 || m.hostSeconds < ab.seq.hostSeconds) {
+            ab.seq = m;
+            seqResults = std::move(rs);
+        }
+    }
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto trace =
+            sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+        auto rs = sim::replayTraceBatch(trace, machines);
+        const auto t1 = std::chrono::steady_clock::now();
+        bench::SelfMeasurement m;
+        m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+        m.jobs = machines.size();
+        for (const auto &r : rs)
+            m.simInstructions += r.tbInstrs;
+        if (rep == 0 || m.hostSeconds < ab.batch.hostSeconds) {
+            ab.batch = m;
+            batchResults = std::move(rs);
+        }
+    }
+
+    for (size_t i = 0; i < machines.size(); ++i) {
+        if (seqResults[i].exec.cycles != batchResults[i].exec.cycles ||
+            seqResults[i].exec.busy != batchResults[i].exec.busy ||
+            seqResults[i].exec.mispredicts !=
+                batchResults[i].exec.mispredicts ||
+            seqResults[i].l1.misses != batchResults[i].l1.misses ||
+            seqResults[i].l2.misses != batchResults[i].l2.misses) {
+            std::fprintf(stderr,
+                         "[batch-replay] MISMATCH at point %zu: seq %llu "
+                         "cycles vs batch %llu cycles\n",
+                         i,
+                         static_cast<unsigned long long>(
+                             seqResults[i].exec.cycles),
+                         static_cast<unsigned long long>(
+                             batchResults[i].exec.cycles));
+            ab.identical = false;
+        }
+    }
+    return ab;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    if (smoke) {
+        // Tiny sweep, one repeat: proves the batch path still builds,
+        // runs, and matches sequential replay, in seconds.
+        const sim::Generator gen = [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 256, 32, 2);
+        };
+        std::vector<sim::MachineConfig> machines = {
+            sim::outOfOrder4Way(), sim::withL1Size(1 << 10),
+            sim::withL1Size(4 << 10)};
+        const AbResult ab = runAb(gen, machines, 1);
+        if (!ab.identical)
+            return EXIT_FAILURE;
+        std::printf("[batch-replay] smoke ok: %zu points, batch %.3fs, "
+                    "seq %.3fs\n",
+                    machines.size(), ab.batch.hostSeconds,
+                    ab.seq.hostSeconds);
+        return 0;
+    }
+
+    constexpr int kRepeats = 3;
+    const auto machines = l1Sweep();
+
+    std::fprintf(stderr,
+                 "[batch-replay] djpeg L1 sweep, %zu points, 1 thread, "
+                 "best of %d\n",
+                 machines.size(), kRepeats);
+    const AbResult main_ab =
+        runAb(generatorFor("djpeg", Variant::Vis), machines, kRepeats);
+
+    // Per-benchmark breakdown: the ride-along workloads cover a short
+    // kernel, a long kernel, and the other codec family.
+    std::map<std::string, double> extra = {
+        {"seq_seconds", main_ab.seq.hostSeconds},
+        {"batch_seconds", main_ab.batch.hostSeconds},
+        {"seq_points_per_second", main_ab.seq.pointsPerSecond()},
+        {"batch_points_per_second", main_ab.batch.pointsPerSecond()},
+        {"speedup_x", main_ab.speedup()}};
+    bool all_identical = main_ab.identical;
+    for (const char *name : {"conv", "dotprod", "mpeg-dec"}) {
+        std::fprintf(stderr, "[batch-replay] breakdown: %s\n", name);
+        const AbResult ab =
+            runAb(generatorFor(name, Variant::Vis), machines, kRepeats);
+        all_identical = all_identical && ab.identical;
+        std::string key(name);
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        extra[key + "_seq_pps"] = ab.seq.pointsPerSecond();
+        extra[key + "_batch_pps"] = ab.batch.pointsPerSecond();
+        extra[key + "_speedup_x"] = ab.speedup();
+    }
+
+    if (!all_identical)
+        return EXIT_FAILURE;
+
+    bench::writeBenchJson("batch_replay", main_ab.batch, extra);
+    std::printf("=== Batched replay A/B (djpeg L1 sweep, recorded, "
+                "1 thread) ===\n");
+    std::printf("sequential: %6.2fs  (%.2f points/s)\n",
+                main_ab.seq.hostSeconds, main_ab.seq.pointsPerSecond());
+    std::printf("batched:    %6.2fs  (%.2f points/s)\n",
+                main_ab.batch.hostSeconds,
+                main_ab.batch.pointsPerSecond());
+    std::printf("speedup:    %6.2fx  (target >= 1.5x)\n",
+                main_ab.speedup());
+    std::printf("results bit-identical across all %zu points\n",
+                machines.size());
+    return 0;
+}

@@ -53,6 +53,20 @@ table()
          "section 2.3.4: Busy + FUstall + L1hit + L1miss == total cycles "
          "per run (to FP tolerance); every simulated cycle is charged to "
          "exactly one component"},
+        {"batch-chunk-monotonicity", "cpu/batch_replay_engine",
+         "chunk boundaries strictly increase and never pass the trace "
+         "length; a stalled or reversed boundary would re-decode or skip "
+         "instructions for every lane at once"},
+        {"batch-lane-cursor-agreement", "cpu/batch_replay_engine",
+         "after each chunk every unfinished lane's fetch cursor sits in "
+         "[chunkEnd, chunkEnd + issueWidth): all lanes agree on the trace "
+         "index up to the one-cycle dispatch overrun, so each decoded "
+         "window covers every read any lane performs"},
+        {"batch-lane-occupancy", "cpu/batch_replay_engine",
+         "per lane, in-flight instructions never exceed that lane's "
+         "windowSize at a chunk boundary, and a finished lane has fully "
+         "drained (cursor at instCount, empty window); lockstep pausing "
+         "must not leak window occupancy across chunks"},
     };
     return t;
 }

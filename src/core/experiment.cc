@@ -5,7 +5,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <numeric>
 #include <tuple>
 
 #include "common/thread_pool.hh"
@@ -39,36 +38,62 @@ struct TraceEntry
     size_t remaining = 0; // jobs still needing the trace
 };
 
-sim::RunResult
-runReplayed(const Job &job, TraceEntry &entry)
+/** Record the group's trace if nobody has yet (first worker wins). */
+void
+ensureRecorded(const Job &job, TraceEntry &entry)
 {
-    {
-        std::lock_guard lock(entry.m);
-        if (entry.error)
-            std::rethrow_exception(entry.error);
-        if (!entry.ready) {
-            try {
-                const Benchmark &bench = findBenchmark(job.benchmark);
-                const Variant variant = job.variant;
-                entry.trace = sim::recordTrace(
-                    [&bench, variant](prog::TraceBuilder &tb) {
-                        bench.generate(tb, variant);
-                    },
-                    job.machine.skewArrays, job.machine.visFeatures);
-                entry.ready = true;
-            } catch (...) {
-                entry.error = std::current_exception();
-                throw;
-            }
+    std::lock_guard lock(entry.m);
+    if (entry.error)
+        std::rethrow_exception(entry.error);
+    if (!entry.ready) {
+        try {
+            const Benchmark &bench = findBenchmark(job.benchmark);
+            const Variant variant = job.variant;
+            entry.trace = sim::recordTrace(
+                [&bench, variant](prog::TraceBuilder &tb) {
+                    bench.generate(tb, variant);
+                },
+                job.machine.skewArrays, job.machine.visFeatures);
+            entry.ready = true;
+        } catch (...) {
+            entry.error = std::current_exception();
+            throw;
         }
     }
-    sim::RunResult r = sim::replayTrace(entry.trace, job.machine);
-    {
-        std::lock_guard lock(entry.m);
-        if (--entry.remaining == 0)
-            entry.trace = prog::RecordedTrace{}; // last user: drop buffers
-    }
-    return r;
+}
+
+/**
+ * One recorded-mode work unit: a contiguous slice of one trace group's
+ * jobs, replayed in a single batched trace traversal
+ * (sim::replayTraceBatch).  Oversized groups are split across several
+ * items so a sweep dominated by one trace still uses every thread.
+ */
+struct BatchItem
+{
+    TraceEntry *entry = nullptr;
+    std::vector<size_t> jobIdx; ///< original job indices, in job order
+};
+
+void
+runBatchItem(const std::vector<Job> &jobs, const BatchItem &item,
+             std::vector<sim::RunResult> &results)
+{
+    ensureRecorded(jobs[item.jobIdx.front()], *item.entry);
+
+    std::vector<sim::MachineConfig> machines;
+    machines.reserve(item.jobIdx.size());
+    for (const size_t i : item.jobIdx)
+        machines.push_back(jobs[i].machine);
+
+    std::vector<sim::RunResult> rs =
+        sim::replayTraceBatch(item.entry->trace, machines);
+    for (size_t k = 0; k < item.jobIdx.size(); ++k)
+        results[item.jobIdx[k]] = rs[k];
+
+    std::lock_guard lock(item.entry->m);
+    item.entry->remaining -= item.jobIdx.size();
+    if (item.entry->remaining == 0)
+        item.entry->trace = prog::RecordedTrace{}; // last user: drop buffers
 }
 
 } // namespace
@@ -96,15 +121,13 @@ runJobs(const std::vector<Job> &jobs, unsigned threads, JobMode mode)
 
     std::vector<RunResult> results(jobs.size());
 
-    // Group jobs by trace key and order the work so each group's jobs
-    // are contiguous: at most #workers traces are ever live at once,
-    // and each is dropped after its group's last replay.
-    std::map<TraceKey, std::unique_ptr<TraceEntry>> traces;
-    std::vector<TraceEntry *> entryOf(jobs.size(), nullptr);
-    std::vector<size_t> order(jobs.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-
     if (mode == JobMode::Recorded) {
+        // Group jobs by trace key: each unique stream is recorded once
+        // and its whole group replayed in batched trace traversals.  At
+        // most #workers traces are ever live at once, and each is
+        // dropped after its group's last slice.
+        std::map<TraceKey, std::unique_ptr<TraceEntry>> traces;
+        std::vector<TraceEntry *> entryOf(jobs.size(), nullptr);
         for (size_t i = 0; i < jobs.size(); ++i) {
             auto &slot = traces[keyOf(jobs[i])];
             if (!slot)
@@ -115,22 +138,54 @@ runJobs(const std::vector<Job> &jobs, unsigned threads, JobMode mode)
         size_t ord = 0;
         for (auto &[key, entry] : traces)
             entry->ordinal = ord++;
-        std::stable_sort(order.begin(), order.end(),
-                         [&](size_t a, size_t b) {
-                             return entryOf[a]->ordinal <
-                                    entryOf[b]->ordinal;
-                         });
+
+        std::vector<std::vector<size_t>> groupJobs(traces.size());
+        for (size_t i = 0; i < jobs.size(); ++i)
+            groupJobs[entryOf[i]->ordinal].push_back(i);
+        std::vector<TraceEntry *> entryByOrd(traces.size());
+        for (auto &[key, entry] : traces)
+            entryByOrd[entry->ordinal] = entry.get();
+
+        // One batch per group keeps the whole-sweep traversal savings;
+        // groups larger than their proportional share of the thread
+        // budget are split into contiguous slices so a sweep dominated
+        // by one trace still occupies every thread.
+        const unsigned hw = globalPool().workerCount() + 1;
+        const unsigned threadsEff =
+            threads == 0 ? hw : std::min(threads, hw);
+        std::vector<BatchItem> items;
+        items.reserve(traces.size());
+        for (size_t g = 0; g < groupJobs.size(); ++g) {
+            const std::vector<size_t> &members = groupJobs[g];
+            const size_t gs = members.size();
+            size_t sub = (gs * threadsEff + jobs.size() - 1) / jobs.size();
+            sub = std::clamp<size_t>(sub, 1, gs);
+            for (size_t s = 0; s < sub; ++s) {
+                const size_t begin = gs * s / sub;
+                const size_t end = gs * (s + 1) / sub;
+                BatchItem item;
+                item.entry = entryByOrd[g];
+                item.jobIdx.assign(members.begin() +
+                                       static_cast<ptrdiff_t>(begin),
+                                   members.begin() +
+                                       static_cast<ptrdiff_t>(end));
+                items.push_back(std::move(item));
+            }
+        }
+
+        globalPool().parallelFor(
+            items.size(),
+            [&](size_t n) { runBatchItem(jobs, items[n], results); },
+            threads);
+        return results;
     }
 
     globalPool().parallelFor(
         jobs.size(),
-        [&](size_t n) {
-            const size_t i = order[n];
+        [&](size_t i) {
             const Job &job = jobs[i];
-            results[i] = mode == JobMode::Recorded
-                             ? runReplayed(job, *entryOf[i])
-                             : runBenchmark(job.benchmark, job.variant,
-                                            job.machine);
+            results[i] =
+                runBenchmark(job.benchmark, job.variant, job.machine);
         },
         threads);
 

@@ -1,0 +1,199 @@
+#include "cpu/batch_replay_engine.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "audit/invariants.hh"
+#include "common/logging.hh"
+#include "cpu/core.hh"
+
+namespace msim::cpu
+{
+
+bool
+BatchReplayEngine::supports(const CoreConfig &config)
+{
+    // In-order configurations replay inside PipelineCore, and the
+    // reference engine exists precisely to be driven sequentially.
+    // The fused decoded cycle loop (ReplayEngine::advanceDecoded)
+    // additionally needs the window ring to fit one 64-bit eligibility
+    // bitmap per unit class — which also keeps every live producer
+    // within u16 source-delta range — and a power-of-two retire width
+    // so its reassociated stall accounting stays exact (see the proof
+    // on advanceDecoded).
+    const unsigned rw =
+        config.retireWidth ? config.retireWidth : config.issueWidth;
+    return config.outOfOrder && !config.referenceEngine &&
+           config.windowSize <= 64 && std::has_single_bit(rw);
+}
+
+BatchReplayEngine::BatchReplayEngine(const prog::RecordedTrace &trace,
+                                     std::span<const Lane> lanes,
+                                     u64 chunkInstructions)
+    : trace_(trace), chunk_(std::max<u64>(1, chunkInstructions)),
+      lanes_(lanes.begin(), lanes.end())
+{
+    for (unsigned n = 0; n < isa::kNumOps; ++n) {
+        const auto op = static_cast<isa::Op>(n);
+        unsigned mkBits;
+        switch (op) {
+          case isa::Op::Load: mkBits = prog::kMemLoad; break;
+          case isa::Op::Store: mkBits = prog::kMemStore; break;
+          case isa::Op::Prefetch: mkBits = prog::kMemPrefetch; break;
+          default: mkBits = ReplayEngine::kDecMemNone; break;
+        }
+        metaTable_[n] = static_cast<u8>(
+            static_cast<unsigned>(isa::fuClassOf(op)) |
+            (mkBits << ReplayEngine::kDecMemShift));
+    }
+
+    // One taken-bit extraction pass over the op/flags columns feeds the
+    // shared predictor passes and the per-chunk decode.
+    const u8 *ops = trace_.opCol().data();
+    const u8 *flags = trace_.flagsCol().data();
+    const u64 n = trace_.instCount();
+    branchTaken_.reserve(trace_.branchPcCol().size());
+    for (u64 i = 0; i < n; ++i) {
+        if (static_cast<isa::Op>(ops[i]) == isa::Op::Branch)
+            branchTaken_.push_back((flags[i] & isa::kFlagTaken) ? 1 : 0);
+    }
+
+    engines_.reserve(lanes_.size());
+    for (const Lane &lane : lanes_) {
+        if (!supports(*lane.config))
+            panic("batch replay lane config not supported");
+        margin_ = std::max(margin_, lane.config->issueWidth);
+        engines_.emplace_back(*lane.config, *lane.memory);
+        engines_.back().bind(trace_);
+
+        // The prediction sequence is a pure function of the dynamic
+        // branch stream and the table size, so one predictor pass per
+        // distinct predictorEntries serves every lane with that size.
+        const unsigned entries = lane.config->predictorEntries;
+        auto it = std::find_if(
+            mispredicts_.begin(), mispredicts_.end(),
+            [entries](const auto &p) { return p.first == entries; });
+        if (it == mispredicts_.end()) {
+            const u32 *pcs = trace_.branchPcCol().data();
+            const u64 nb = branchTaken_.size();
+            std::vector<u8> mis(nb);
+            BranchPredictor pred(entries);
+            for (u64 j = 0; j < nb; ++j) {
+                mis[j] =
+                    pred.predictAndUpdate(pcs[j], branchTaken_[j] != 0)
+                        ? 0
+                        : 1;
+            }
+            mispredicts_.emplace_back(entries, std::move(mis));
+            it = mispredicts_.end() - 1;
+        }
+        engines_.back().setSharedMispredicts(it->second.data());
+    }
+
+    decoded_.reserve(std::min<u64>(n, chunk_ + margin_));
+}
+
+void
+BatchReplayEngine::decodeChunk(u64 start, u64 end, u64 limit)
+{
+    const u8 *ops = trace_.opCol().data();
+    const u8 *flags = trace_.flagsCol().data();
+    const u8 *numSrcs = trace_.numSrcsCol().data();
+    const u32 *srcProds = trace_.srcProdCol().data();
+
+    decoded_.resize(limit - start);
+    ReplayEngine::DecodedInst *out = decoded_.data();
+    u64 sc = srcCursorNext_; // CSR offset of instruction `start`
+    for (u64 i = start; i < limit; ++i) {
+        ReplayEngine::DecodedInst &d = out[i - start];
+        const unsigned opn = ops[i];
+        u8 meta = metaTable_[opn];
+        if (static_cast<isa::Op>(opn) == isa::Op::Branch &&
+            (flags[i] & isa::kFlagTaken))
+            meta |= ReplayEngine::kDecTakenBit;
+        const unsigned ns = numSrcs[i];
+        d.op = static_cast<u8>(opn);
+        d.meta = meta | static_cast<u8>(ns << ReplayEngine::kDecSrcShift);
+        for (unsigned k = 0; k < ns; ++k) {
+            const u32 prod = srcProds[sc + k];
+            // Distance 0 encodes both "no producer" and producers too
+            // far back for u16 — outside every supported window either
+            // way, so dispatch treats them identically (always ready).
+            u64 delta = 0;
+            if (prod != prog::kNoProducer) {
+                delta = i - prod;
+                if (delta > 0xffff)
+                    delta = 0;
+            }
+            d.srcDelta[k] = static_cast<u16>(delta);
+        }
+        sc += ns;
+        if (i + 1 == end)
+            srcCursorNext_ = sc; // next chunk decodes from `end`
+    }
+}
+
+void
+BatchReplayEngine::run()
+{
+    const u64 n = trace_.instCount();
+    std::vector<u8> running(engines_.size(), 1);
+#if MSIM_AUDIT_ENABLED
+    u64 prevEnd = 0;
+    bool firstChunk = true;
+#endif
+    u64 start = 0;
+    for (;;) {
+        const u64 end = std::min(start + chunk_, n);
+        const u64 limit = std::min(end + margin_, n);
+        MSIM_AUDIT_CHECK((end > prevEnd || (firstChunk && end == 0)) &&
+                             end <= n,
+                         "chunk boundary %llu after %llu (trace %llu)",
+                         static_cast<unsigned long long>(end),
+                         static_cast<unsigned long long>(prevEnd),
+                         static_cast<unsigned long long>(n));
+#if MSIM_AUDIT_ENABLED
+        prevEnd = end;
+        firstChunk = false;
+#endif
+        decodeChunk(start, end, limit);
+        for (size_t k = 0; k < engines_.size(); ++k) {
+            if (!running[k])
+                continue;
+            engines_[k].setDecodedWindow(decoded_.data(), start);
+            const bool finished = engines_[k].advanceTo(end);
+            if (finished)
+                running[k] = 0;
+            MSIM_AUDIT_CHECK(
+                finished
+                    ? (engines_[k].fetchPos() == n &&
+                       engines_[k].windowInFlight() == 0)
+                    : (engines_[k].fetchPos() >= end &&
+                       engines_[k].fetchPos() <
+                           end + lanes_[k].config->issueWidth),
+                "lane %zu cursor %llu window %llu at chunk end %llu",
+                k, static_cast<unsigned long long>(engines_[k].fetchPos()),
+                static_cast<unsigned long long>(
+                    engines_[k].windowInFlight()),
+                static_cast<unsigned long long>(end));
+            MSIM_AUDIT_CHECK(
+                engines_[k].windowInFlight() <=
+                    lanes_[k].config->windowSize,
+                "lane %zu in-flight %llu > window %u", k,
+                static_cast<unsigned long long>(
+                    engines_[k].windowInFlight()),
+                lanes_[k].config->windowSize);
+        }
+        if (end == n)
+            break;
+        start = end;
+    }
+}
+
+ExecStats
+BatchReplayEngine::takeStats(size_t lane)
+{
+    return engines_[lane].takeStats();
+}
+
+} // namespace msim::cpu

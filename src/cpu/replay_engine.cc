@@ -9,6 +9,7 @@
 namespace msim::cpu
 {
 
+
 ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
     : issueWidth_(config.issueWidth), windowSize_(config.windowSize),
       memQueueSize_(config.memQueueSize),
@@ -318,8 +319,9 @@ ReplayEngine::drainBranches()
     }
 }
 
+template <bool Decoded>
 unsigned
-ReplayEngine::tryDispatch()
+ReplayEngine::dispatchImpl()
 {
     using isa::Op;
     // Nothing inside the loop clears these gates mid-cycle (a resolving
@@ -341,9 +343,26 @@ ReplayEngine::tryDispatch()
             if (specBranches_ >= maxSpecBranches_)
                 break;
         }
-        const unsigned opn = ops_[fetchPos_];
-        const OpInfo info = opInfo_[opn];
-        const u8 mk = info.memKind;
+        // The decoded path reads one 8-byte record per instruction (the
+        // batch driver resolved op class, memory kind, branch outcome
+        // and source distances once per chunk for all lanes); the raw
+        // path resolves them from the trace columns here.
+        DecodedInst d{};
+        unsigned opn;
+        u8 cls;
+        u8 mk;
+        if constexpr (Decoded) {
+            d = decoded_[fetchPos_ - decodedBase_];
+            opn = d.op;
+            cls = static_cast<u8>(d.meta & kDecClsMask);
+            const unsigned mkBits = (d.meta >> kDecMemShift) & 3u;
+            mk = mkBits == kDecMemNone ? kNotMem : static_cast<u8>(mkBits);
+        } else {
+            opn = ops_[fetchPos_];
+            const OpInfo info = opInfo_[opn];
+            cls = info.cls;
+            mk = info.memKind;
+        }
         if (mk != kNotMem && memqUsed_ >= memQueueSize_) {
             drainMemq();
             if (memqUsed_ >= memQueueSize_)
@@ -356,20 +375,25 @@ ReplayEngine::tryDispatch()
         const u64 seq = headSeq_ + windowCount_;
         Slot &s = slots_[seq & slotMask_];
         s.op = static_cast<Op>(opn);
-        s.cls = info.cls;
+        s.cls = cls;
         s.waiterHead = kNil;
         s.issued = false;
         s.mispredicted = false;
 
         bool taken = false;
         if (s.op == Op::Branch) {
-            taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
-            const bool correct =
-                predictor_.predictAndUpdate(branchPcs_[branchPos_++],
-                                            taken);
+            bool mispredicted;
+            if constexpr (Decoded) {
+                taken = (d.meta & kDecTakenBit) != 0;
+                mispredicted = mispredictCol_[branchPos_++] != 0;
+            } else {
+                taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
+                mispredicted = !predictor_.predictAndUpdate(
+                    branchPcs_[branchPos_++], taken);
+            }
             ++stats_.branches;
             ++specBranches_;
-            if (!correct) {
+            if (mispredicted) {
                 ++stats_.mispredicts;
                 s.mispredicted = true;
             }
@@ -391,14 +415,33 @@ ReplayEngine::tryDispatch()
 
         // A producer outside the window has retired, so its value is
         // ready in the past and cannot affect the heap order or the
-        // fast-forward bound; only in-window producers matter.
+        // fast-forward bound; only in-window producers matter.  Decoded
+        // sources arrive as backward distances off this instruction's
+        // own sequence number (seq == fetchPos_ at dispatch); distance 0
+        // covers both "no producer" and clamped far producers, which
+        // the window test would reject anyway.
         Cycle dep = 0;
         unsigned unknown = 0;
-        const unsigned ns = numSrcs_[fetchPos_];
+        unsigned ns;
+        if constexpr (Decoded)
+            ns = d.meta >> kDecSrcShift;
+        else
+            ns = numSrcs_[fetchPos_];
         for (unsigned i = 0; i < ns; ++i) {
-            const u32 prod = srcProds_[srcPos_ + i];
-            if (prod == prog::kNoProducer || prod < headSeq_)
-                continue; // produced before the window: always ready
+            u64 prod;
+            if constexpr (Decoded) {
+                const u16 delta = d.srcDelta[i];
+                if (delta == 0)
+                    continue;
+                prod = seq - delta;
+                if (prod < headSeq_)
+                    continue; // produced before the window: always ready
+            } else {
+                const u32 p32 = srcProds_[srcPos_ + i];
+                if (p32 == prog::kNoProducer || p32 < headSeq_)
+                    continue; // produced before the window: always ready
+                prod = p32;
+            }
             Slot &p = slots_[prod & slotMask_];
             if (!p.issued) {
                 s.waiterNext[i] = p.waiterHead;
@@ -409,7 +452,8 @@ ReplayEngine::tryDispatch()
                 dep = std::max(dep, p.readyTime);
             }
         }
-        srcPos_ += ns;
+        if constexpr (!Decoded)
+            srcPos_ += ns;
         s.unknownSrcs = static_cast<u8>(unknown);
         s.depTime = dep;
         if (unknown == 0) {
@@ -452,6 +496,12 @@ ReplayEngine::tryDispatch()
                      "spec branches %u > max %u", specBranches_,
                      maxSpecBranches_);
     return dispatched;
+}
+
+unsigned
+ReplayEngine::tryDispatch()
+{
+    return decoded_ ? dispatchImpl<true>() : dispatchImpl<false>();
 }
 
 StallClass
@@ -524,13 +574,10 @@ ReplayEngine::nextEventTime()
     return next;
 }
 
-// Flattening the per-cycle step (retire / execute / dispatch and their
-// helpers) into the run loop keeps the cycle state in registers across
-// the phases instead of reloading members around three calls per
-// simulated cycle.
-[[gnu::flatten]] ExecStats
-ReplayEngine::run(const prog::RecordedTrace &trace)
+void
+ReplayEngine::bind(const prog::RecordedTrace &trace)
 {
+    trace_ = &trace;
     ops_ = trace.opCol().data();
     flags_ = trace.flagsCol().data();
     numSrcs_ = trace.numSrcsCol().data();
@@ -542,8 +589,29 @@ ReplayEngine::run(const prog::RecordedTrace &trace)
     instCount_ = trace.instCount();
 
     storeDone_.assign(trace.numStores(), kNever);
+}
 
+bool
+ReplayEngine::advanceTo(u64 fetchLimit)
+{
+    return decoded_ ? advanceDecoded(fetchLimit) : advanceRaw(fetchLimit);
+}
+
+// Flattening the per-cycle step (retire / execute / dispatch and their
+// helpers) into the run loop keeps the cycle state in registers across
+// the phases instead of reloading members around three calls per
+// simulated cycle.
+[[gnu::flatten]] bool
+ReplayEngine::advanceRaw(u64 fetchLimit)
+{
+    const bool final = fetchLimit >= instCount_;
     while (windowCount_ != 0 || fetchPos_ < instCount_) {
+        // Pause only between whole cycles: dispatch inside the cycle is
+        // bounded by instCount_ alone, so the fetch cursor may overrun
+        // the limit by less than one issue width, and resuming from
+        // here continues bit-identically to an uninterrupted run.
+        if (!final && fetchPos_ >= fetchLimit)
+            return false;
         const unsigned retired = tryRetire();
         const unsigned issued = tryExecute();
         const unsigned dispatched = tryDispatch();
@@ -587,13 +655,526 @@ ReplayEngine::run(const prog::RecordedTrace &trace)
         }
         ++now_;
     }
+    return true;
+}
+
+/**
+ * Decoded-mode twin of advanceRaw: one fused cycle loop with every
+ * per-cycle helper inlined by hand and the hot cursors mirrored into
+ * locals, so they live in registers across the virtual memory-port
+ * calls that would otherwise force member reloads.  Scheduling state
+ * is the per-class slot bitmaps (eligBits_): the issue scan picks the
+ * minimum-sequence eligible instruction with a rotate and a trailing-
+ * zero count instead of walking per-class sorted queues.  The
+ * program-order equivalence proof on tryExecute applies unchanged —
+ * availability caching has no side effects, so discovering a class
+ * busy only when one of its entries is the minimum excludes the same
+ * entries the eager per-head resolution would have, and each pick is
+ * still the global minimum sequence among free classes.
+ *
+ * Accounting uses local accumulators and a multiplication by the
+ * exact reciprocal of the retire width.  Both are bit-identical to
+ * the sequential per-cycle member updates because the batch gate
+ * (BatchReplayEngine::supports) requires a power-of-two retire width:
+ * every charge is then a multiple of 2^-k (k <= 6) and every partial
+ * sum stays far below 2^52, so all the additions are exact, the order
+ * of association cannot change the result, and the reciprocal product
+ * equals the quotient.
+ */
+bool
+ReplayEngine::advanceDecoded(u64 fetchLimit)
+{
+    using isa::Op;
+    const bool final = fetchLimit >= instCount_;
+    const u64 cap = slotMask_ + 1;
+    const u64 capMask = cap == 64 ? ~u64{0} : (u64{1} << cap) - 1;
+    const double invRw = 1.0 / retireWidth_; // exact: power of two
+
+    // Hot members mirrored into locals for the duration of the call;
+    // every exit path goes through flush().
+    Cycle now = now_;
+    u64 headSeq = headSeq_;
+    u64 wcount = windowCount_;
+    u64 fetchPos = fetchPos_;
+    u64 memPos = memPos_;
+    u64 branchPos = branchPos_;
+    unsigned memqUsed = memqUsed_;
+    unsigned specBranches = specBranches_;
+    u32 dispStores = dispatchedStores_;
+    Cycle dispBlocked = dispatchBlockedUntil_;
+    bool awaitingRedirect = awaitingRedirect_;
+    u64 eligAll = eligAll_;
+    u64 retiredTotal = 0;
+    double accBusy = 0.0, accFu = 0.0, accHit = 0.0, accMiss = 0.0;
+
+    const auto flush = [&] {
+        now_ = now;
+        headSeq_ = headSeq;
+        windowCount_ = wcount;
+        fetchPos_ = fetchPos;
+        memPos_ = memPos;
+        branchPos_ = branchPos;
+        memqUsed_ = memqUsed;
+        specBranches_ = specBranches;
+        dispatchedStores_ = dispStores;
+        dispatchBlockedUntil_ = dispBlocked;
+        awaitingRedirect_ = awaitingRedirect;
+        eligAll_ = eligAll;
+        stats_.retired += retiredTotal;
+        stats_.busy += accBusy;
+        stats_.fuStall += accFu;
+        stats_.memL1Hit += accHit;
+        stats_.memL1Miss += accMiss;
+    };
+
+    const auto chargeAcc = [&](StallClass cls, double amount) {
+        switch (cls) {
+          case StallClass::Busy: accBusy += amount; break;
+          case StallClass::FuStall: accFu += amount; break;
+          case StallClass::MemL1Hit: accHit += amount; break;
+          case StallClass::MemL1Miss: accMiss += amount; break;
+        }
+    };
+
+    /** Relative position (= seq - headSeq) of the minimum-sequence
+     *  entry of @p candMask, via a ring rotation to head-relative
+     *  order; the caller guarantees candMask != 0. */
+    const auto minRel = [&](u64 candMask) {
+        const auto h =
+            static_cast<unsigned>(headSeq & slotMask_);
+        const u64 rot =
+            cap == 64 ? std::rotr(candMask, h)
+                      : ((candMask >> h) | (candMask << (cap - h))) &
+                            capMask;
+        return static_cast<unsigned>(std::countr_zero(rot));
+    };
+
+    const auto wake = [&](Slot &producer) {
+        u32 link = producer.waiterHead;
+        producer.waiterHead = kNil;
+        const Cycle t = producer.readyTime;
+        while (link != kNil) {
+            const u64 idx = link >> 2;
+            Slot &w = slots_[idx];
+            const unsigned si = link & 3;
+            link = w.waiterNext[si];
+            w.depTime = std::max(w.depTime, t);
+            if (--w.unknownSrcs == 0) {
+                const u64 wseq = headSeq + ((idx - headSeq) & slotMask_);
+                if (w.depTime <= now + 1) {
+                    readyNext_.push_back(wseq);
+                } else {
+                    readyHeap_.emplace_back(w.depTime, wseq);
+                    std::push_heap(readyHeap_.begin(), readyHeap_.end(),
+                                   std::greater<>{});
+                }
+            }
+        }
+    };
+
+    const auto issue = [&](Slot &s) {
+        s.issued = true;
+        const OpInfo info = opInfo_[static_cast<unsigned>(s.op)];
+        UnitClass &u = units_[info.cls];
+        unsigned best = 0;
+        for (unsigned i = 1; i < u.count; ++i)
+            if (u.busy[i] < u.busy[best])
+                best = i;
+        const Cycle start = std::max(now, u.busy[best]);
+        u.busy[best] = start + (info.pipelined ? 1u : info.latency);
+        const Cycle done = start + info.latency;
+
+        switch (s.op) {
+          case Op::Load: {
+            const u32 cand = s.aux;
+            Cycle fwd = kNever;
+            if (cand != prog::kNoFwdStore &&
+                cand + prog::kFwdWindow >= dispStores)
+                fwd = storeDone_[cand];
+            if (fwd != kNever) {
+                s.readyTime = std::max(done, fwd);
+                s.level = mem::HitLevel::L1;
+                ++stats_.loadsL1;
+            } else {
+                const auto res =
+                    mem_.access(s.addr, mem::AccessKind::Load, done);
+                s.readyTime = res.ready;
+                s.level = res.level;
+                switch (res.level) {
+                  case mem::HitLevel::L1: ++stats_.loadsL1; break;
+                  case mem::HitLevel::L2: ++stats_.loadsL2; break;
+                  case mem::HitLevel::Memory: ++stats_.loadsMem; break;
+                }
+            }
+            s.memFreeTime = s.readyTime;
+            memqFrees_.push(s.memFreeTime);
+            break;
+          }
+          case Op::Store: {
+            const auto res =
+                mem_.access(s.addr, mem::AccessKind::Store, done);
+            s.readyTime = done; // retirement does not wait for stores
+            s.memFreeTime = res.ready;
+            s.level = res.level;
+            memqFrees_.push(s.memFreeTime);
+            storeDone_[s.aux] = done;
+            break;
+          }
+          case Op::Prefetch: {
+            const auto res =
+                mem_.access(s.addr, mem::AccessKind::Prefetch, done);
+            s.readyTime = done;
+            s.memFreeTime = done;
+            memqFrees_.push(done);
+            ++stats_.prefetchesIssued;
+            if (res.dropped)
+                ++stats_.prefetchesDropped;
+            break;
+          }
+          case Op::Branch: {
+            s.readyTime = done; // the branch resolves when it executes
+            branchResolves_.push(done);
+            if (s.mispredicted) {
+                dispBlocked = done + mispredictPenalty_;
+                awaitingRedirect = false;
+            }
+            break;
+          }
+          default: {
+            s.readyTime = done;
+            break;
+          }
+        }
+    };
+
+    while (wcount != 0 || fetchPos < instCount_) {
+        if (!final && fetchPos >= fetchLimit) {
+            flush();
+            return false;
+        }
+
+        // --- retire (mirror of tryRetire) -----------------------------
+        unsigned retired = 0;
+        while (retired < retireWidth_ && wcount != 0) {
+            Slot &head = slots_[headSeq & slotMask_];
+            if (!head.issued || head.readyTime > now)
+                break;
+            MSIM_AUDIT_CHECK(now >= auditLastRetire_,
+                             "retire time regressed: %llu < %llu",
+                             static_cast<unsigned long long>(now),
+                             static_cast<unsigned long long>(
+                                 auditLastRetire_));
+            MSIM_AUDIT_CHECK(head.issued && head.readyTime <= now,
+                             "retiring head seq %llu issued=%d "
+                             "ready=%llu at %llu",
+                             static_cast<unsigned long long>(headSeq),
+                             head.issued,
+                             static_cast<unsigned long long>(
+                                 head.readyTime),
+                             static_cast<unsigned long long>(now));
+#if MSIM_AUDIT_ENABLED
+            auditLastRetire_ = now;
+#endif
+            if (head.op == Op::Store && head.memFreeTime > now) {
+                if (pendingStores_.size() >= 64) {
+                    std::erase_if(pendingStores_, [&](const auto &p) {
+                        return p.first <= now;
+                    });
+                }
+                const StallClass cls = head.level == mem::HitLevel::L1
+                                           ? StallClass::MemL1Hit
+                                           : StallClass::MemL1Miss;
+                pendingStores_.emplace_back(head.memFreeTime, cls);
+            }
+            ++retiredTotal;
+            ++retired;
+            ++headSeq;
+            --wcount;
+        }
+
+        // --- execute (mirror of tryExecute, bitmap form) --------------
+        if (!readyNext_.empty()) {
+            for (const u64 seq : readyNext_) {
+                const u64 bit = u64{1} << (seq & slotMask_);
+                eligBits_[slots_[seq & slotMask_].cls] |= bit;
+                eligAll |= bit;
+            }
+            readyNext_.clear();
+        }
+        while (!readyHeap_.empty() && readyHeap_.front().first <= now) {
+            const u64 seq = readyHeap_.front().second;
+            std::pop_heap(readyHeap_.begin(), readyHeap_.end(),
+                          std::greater<>{});
+            readyHeap_.pop_back();
+            const u64 bit = u64{1} << (seq & slotMask_);
+            eligBits_[slots_[seq & slotMask_].cls] |= bit;
+            eligAll |= bit;
+        }
+
+        // Availability is re-resolved at every pick: unitAvailable is
+        // pure, unit state only changes at an issue, and a class found
+        // busy is excluded for the rest of the cycle by masking its
+        // entries out of the candidate set — the same entries the
+        // EligQueue path's lazy busy-class parking removes.
+        unsigned issued = 0;
+        for (u64 cand = eligAll; issued < issueWidth_ && cand != 0;) {
+            const unsigned rel = minRel(cand);
+            const u64 idx = (headSeq + rel) & slotMask_;
+            Slot &s = slots_[idx];
+            const unsigned c = s.cls;
+            if (!unitAvailable(c, now)) {
+                cand &= ~eligBits_[c]; // busy for the rest of the cycle
+                continue;
+            }
+            const u64 bit = u64{1} << idx;
+            eligBits_[c] &= ~bit;
+            eligAll &= ~bit;
+            cand &= ~bit;
+            issue(s);
+            if (s.waiterHead != kNil) {
+                wake(s);
+            }
+            ++issued;
+        }
+
+        // --- dispatch (mirror of dispatchImpl<true>) ------------------
+        unsigned dispatched = 0;
+        if (!awaitingRedirect && now >= dispBlocked) {
+            unsigned takenThisCycle = 0;
+            while (dispatched < issueWidth_ && fetchPos < instCount_) {
+                if (wcount >= windowSize_)
+                    break;
+                if (specBranches >= maxSpecBranches_) {
+                    while (!branchResolves_.empty() &&
+                           branchResolves_.front() <= now) {
+                        branchResolves_.popFront();
+                        --specBranches;
+                    }
+                    if (specBranches >= maxSpecBranches_)
+                        break;
+                }
+                const DecodedInst d = decoded_[fetchPos - decodedBase_];
+                const unsigned mkBits = (d.meta >> kDecMemShift) & 3u;
+                if (mkBits != kDecMemNone && memqUsed >= memQueueSize_) {
+                    while (!memqFrees_.empty() &&
+                           memqFrees_.front() <= now) {
+                        memqFrees_.popFront();
+                        --memqUsed;
+                    }
+                    if (memqUsed >= memQueueSize_)
+                        break;
+                }
+
+                const u64 seq = fetchPos; // == headSeq + wcount
+                MSIM_AUDIT_CHECK(seq == headSeq + wcount,
+                                 "dispatch cursor skew: %llu != %llu",
+                                 static_cast<unsigned long long>(seq),
+                                 static_cast<unsigned long long>(
+                                     headSeq + wcount));
+                const u64 idx = seq & slotMask_;
+                Slot &s = slots_[idx];
+                s.op = static_cast<Op>(d.op);
+                s.cls = static_cast<u8>(d.meta & kDecClsMask);
+                s.waiterHead = kNil;
+                s.issued = false;
+                s.mispredicted = false;
+
+                bool taken = false;
+                if (s.op == Op::Branch) {
+                    taken = (d.meta & kDecTakenBit) != 0;
+                    ++stats_.branches;
+                    ++specBranches;
+                    if (mispredictCol_[branchPos++] != 0) {
+                        ++stats_.mispredicts;
+                        s.mispredicted = true;
+                    }
+                }
+                if (mkBits != kDecMemNone) {
+                    s.addr = memAddrs_[memPos];
+                    const u32 aux = memAux_[memPos];
+                    ++memPos;
+                    ++memqUsed;
+                    s.aux = aux;
+                    if (mkBits == prog::kMemStore)
+                        dispStores = aux + 1;
+                }
+
+                Cycle dep = 0;
+                unsigned unknown = 0;
+                const unsigned ns = d.meta >> kDecSrcShift;
+                for (unsigned i = 0; i < ns; ++i) {
+                    const u16 delta = d.srcDelta[i];
+                    if (delta == 0)
+                        continue;
+                    const u64 prod = seq - delta;
+                    if (prod < headSeq)
+                        continue; // produced before the window
+                    Slot &p = slots_[prod & slotMask_];
+                    if (!p.issued) {
+                        s.waiterNext[i] = p.waiterHead;
+                        p.waiterHead =
+                            static_cast<u32>(idx << 2) | i;
+                        ++unknown;
+                    } else {
+                        dep = std::max(dep, p.readyTime);
+                    }
+                }
+                s.unknownSrcs = static_cast<u8>(unknown);
+                s.depTime = dep;
+                if (unknown == 0) {
+                    if (dep <= now) {
+                        const u64 bit = u64{1} << idx;
+                        eligBits_[s.cls] |= bit;
+                        eligAll |= bit;
+                    } else if (dep == now + 1) {
+                        readyNext_.push_back(seq);
+                    } else {
+                        readyHeap_.emplace_back(dep, seq);
+                        std::push_heap(readyHeap_.begin(),
+                                       readyHeap_.end(),
+                                       std::greater<>{});
+                    }
+                }
+
+                ++fetchPos;
+                ++wcount;
+                ++dispatched;
+
+                if (s.mispredicted) {
+                    awaitingRedirect = true;
+                    break; // no fetch past an unresolved mispredict
+                }
+                if (taken &&
+                    ++takenThisCycle >= takenBranchesPerCycle_)
+                    break; // fetch limit: one taken branch per cycle
+            }
+            MSIM_AUDIT_CHECK(wcount <= windowSize_,
+                             "window %llu > size %u",
+                             static_cast<unsigned long long>(wcount),
+                             windowSize_);
+            MSIM_AUDIT_CHECK(memqUsed <= memQueueSize_,
+                             "memq %u > size %u", memqUsed,
+                             memQueueSize_);
+            MSIM_AUDIT_CHECK(specBranches <= maxSpecBranches_,
+                             "spec branches %u > max %u", specBranches,
+                             maxSpecBranches_);
+        }
+
+        // --- accounting (mirror of advanceRaw) ------------------------
+        const double r = static_cast<double>(retired) * invRw;
+        accBusy += r;
+        StallClass block = StallClass::Busy;
+        if (retired < retireWidth_) {
+            // Inline classifyBlock() over the local mirrors.
+            if (wcount != 0) {
+                const Slot &head = slots_[headSeq & slotMask_];
+                block = StallClass::FuStall;
+                if (head.issued && head.readyTime > now &&
+                    head.op == Op::Load) {
+                    block = head.level == mem::HitLevel::L1
+                                ? StallClass::MemL1Hit
+                                : StallClass::MemL1Miss;
+                }
+            } else if (awaitingRedirect || now < dispBlocked) {
+                block = StallClass::FuStall;
+            } else {
+                const std::pair<Cycle, StallClass> *oldest = nullptr;
+                for (const auto &p : pendingStores_) {
+                    if (p.first > now &&
+                        (!oldest || p.first < oldest->first))
+                        oldest = &p;
+                }
+                block = oldest ? oldest->second : StallClass::FuStall;
+            }
+            chargeAcc(block, 1.0 - r);
+        }
+
+        if (retired == 0 && issued == 0 && dispatched == 0 &&
+            (wcount != 0 || fetchPos < instCount_)) {
+            // Fast-forward: inline nextEventTime() over the local
+            // mirrors, event queues drained first exactly like the
+            // member version.
+            while (!memqFrees_.empty() && memqFrees_.front() <= now) {
+                memqFrees_.popFront();
+                --memqUsed;
+            }
+            while (!branchResolves_.empty() &&
+                   branchResolves_.front() <= now) {
+                branchResolves_.popFront();
+                --specBranches;
+            }
+            Cycle next = kNever;
+            if (wcount != 0) {
+                const Slot &head = slots_[headSeq & slotMask_];
+                if (head.issued && head.readyTime > now)
+                    next = std::min(next, head.readyTime);
+            }
+            for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+                if (eligBits_[c] == 0)
+                    continue;
+                next = std::min(next,
+                                std::max(now + 1, unitNextFree(c, now)));
+            }
+            for (const u64 seq : readyNext_) {
+                next = std::min(
+                    next,
+                    std::max(now + 1,
+                             unitNextFree(slots_[seq & slotMask_].cls,
+                                          now)));
+            }
+            for (const auto &[depT, seq] : readyHeap_) {
+                Cycle t = std::max(now + 1, depT);
+                t = std::max(t,
+                             unitNextFree(slots_[seq & slotMask_].cls,
+                                          now));
+                next = std::min(next, t);
+            }
+            if (!memqFrees_.empty())
+                next = std::min(next, memqFrees_.front());
+            if (!branchResolves_.empty())
+                next = std::min(next, branchResolves_.front());
+            if (dispBlocked > now)
+                next = std::min(next, dispBlocked);
+
+            if (next == kNever) {
+                if (wcount != 0) {
+                    const Slot &head = slots_[headSeq & slotMask_];
+                    panic("replay deadlock at cycle %llu: window=%llu "
+                          "head{op=%s issued=%d ready=%llu} memq=%u "
+                          "spec=%u",
+                          static_cast<unsigned long long>(now),
+                          static_cast<unsigned long long>(wcount),
+                          isa::opName(head.op), head.issued,
+                          static_cast<unsigned long long>(
+                              head.readyTime),
+                          memqUsed, specBranches);
+                }
+                ++now; // dispatch-only state; proceeds next cycle
+                continue;
+            }
+            if (next > now + 1) {
+                const Cycle dt = next - now - 1;
+                chargeAcc(block, static_cast<double>(dt));
+                now = next;
+                continue;
+            }
+        }
+        ++now;
+    }
+    flush();
+    return true;
+}
+
+ExecStats
+ReplayEngine::takeStats()
+{
     stats_.cycles = now_;
 
     // Retirement skipped the per-instruction mix tally; the totals are
     // a pure function of the trace's opcode counts.
     for (unsigned i = 0; i < isa::kNumOps; ++i) {
         const auto op = static_cast<isa::Op>(i);
-        const u64 n = trace.countOf(op);
+        const u64 n = trace_->countOf(op);
         if (n == 0)
             continue;
         switch (isa::mixClassOf(op)) {
@@ -604,6 +1185,14 @@ ReplayEngine::run(const prog::RecordedTrace &trace)
         }
     }
     return stats_;
+}
+
+ExecStats
+ReplayEngine::run(const prog::RecordedTrace &trace)
+{
+    bind(trace);
+    advanceTo(instCount_);
+    return takeStats();
 }
 
 } // namespace msim::cpu

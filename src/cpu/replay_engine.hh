@@ -91,6 +91,80 @@ class ReplayEngine
     /** Replay @p trace to completion and return the execution stats. */
     ExecStats run(const prog::RecordedTrace &trace);
 
+    // --- Batched lockstep driving (cpu::BatchReplayEngine) -------------
+    //
+    // The batch engine replays one trace against many machine configs by
+    // streaming it in chunks: bind() once, then advanceTo() per chunk
+    // boundary, then takeStats() after the final chunk.  run() is
+    // exactly bind + advanceTo(instCount) + takeStats, so the paused
+    // path cannot drift from the sequential one.
+
+    /**
+     * One instruction's dispatch facts, decoded once per chunk by the
+     * batch driver and shared by every lane (see BatchReplayEngine):
+     * resolved unit class and memory kind, the branch outcome, and the
+     * source producers as backward distances.  A delta of 0 means "no
+     * producer in any legal window": real producers closer than 2^16
+     * instructions are stored exactly, farther ones are clamped to 0,
+     * which is equivalent because windowSize < 2^16 - 1 (enforced by
+     * BatchReplayEngine::supports) keeps them outside every window.
+     */
+    struct DecodedInst
+    {
+        u8 op;           ///< isa::Op
+        u8 meta;         ///< cls | memKind<<3 (3 = none) | taken | nsrcs<<6
+        u16 srcDelta[3]; ///< per source: own index minus producer index
+    };
+
+    static constexpr unsigned kDecClsMask = 0x7;
+    static constexpr unsigned kDecMemShift = 3;
+    static constexpr unsigned kDecMemNone = 3;
+    static constexpr u8 kDecTakenBit = 1u << 5;
+    static constexpr unsigned kDecSrcShift = 6;
+
+    /** Attach @p trace's columns; resets nothing else (call once). */
+    void bind(const prog::RecordedTrace &trace);
+
+    /**
+     * Point dispatch at decoded metadata for instructions [base, ...):
+     * decoded[i - base] describes instruction i. While a decoded window
+     * is set, dispatch reads it instead of the raw op/flags/source
+     * columns and takes branch outcomes from the shared mispredict
+     * column instead of running a private predictor.
+     */
+    void
+    setDecodedWindow(const DecodedInst *decoded, u64 base)
+    {
+        decoded_ = decoded;
+        decodedBase_ = base;
+    }
+
+    /**
+     * Shared per-branch outcome column (1 = mispredicted), indexed by
+     * dynamic branch ordinal; computed once per predictor size by the
+     * batch driver (the predictor's update sequence depends only on the
+     * trace, never on machine timing).
+     */
+    void setSharedMispredicts(const u8 *col) { mispredictCol_ = col; }
+
+    /**
+     * Run whole cycles until the fetch cursor reaches @p fetchLimit (or
+     * the trace is complete).  A pause happens only between cycles, so
+     * resuming continues bit-identically to an uninterrupted run; with
+     * fetchLimit >= instCount the window is also drained.
+     * @return true when the trace has fully retired.
+     */
+    bool advanceTo(u64 fetchLimit);
+
+    /** Finalize cycles + instruction-mix totals; call exactly once. */
+    ExecStats takeStats();
+
+    /** Dispatch cursor: dynamic index of the next instruction. */
+    u64 fetchPos() const { return fetchPos_; }
+
+    /** Instructions currently in flight in the window. */
+    u64 windowInFlight() const { return windowCount_; }
+
   private:
     static constexpr Cycle kNever = ~Cycle{0};
     static constexpr u32 kNil = ~u32{0};
@@ -223,7 +297,10 @@ class ReplayEngine
 
     unsigned tryRetire();
     unsigned tryExecute();
+    template <bool Decoded> unsigned dispatchImpl();
     unsigned tryDispatch();
+    bool advanceRaw(u64 fetchLimit);
+    bool advanceDecoded(u64 fetchLimit);
     void issueSlot(Slot &s);
     void wakeWaiters(Slot &producer);
     void drainMemq();
@@ -274,6 +351,16 @@ class ReplayEngine
     u64 srcPos_ = 0;
     u64 memPos_ = 0;
     u64 branchPos_ = 0;
+
+    // Batched-replay inputs (see setDecodedWindow / setSharedMispredicts):
+    // when decoded_ is set, dispatch reads DecodedInst records indexed
+    // by fetchPos_ - decodedBase_ and branch outcomes from
+    // mispredictCol_[branchPos_]; the raw columns above still feed the
+    // memory lane and the end-of-run mix tally.
+    const DecodedInst *decoded_ = nullptr;
+    u64 decodedBase_ = 0;
+    const u8 *mispredictCol_ = nullptr;
+    const prog::RecordedTrace *trace_ = nullptr;
 
     // Window ring (capacity = windowSize rounded up to a power of two).
     std::vector<Slot> slots_;
@@ -360,6 +447,16 @@ class ReplayEngine
 
     EligQueue elig_[isa::kNumFuClasses];
     u8 eligMask_ = 0; ///< bit c set iff elig_[c] is non-empty
+
+    // Decoded-mode eligible set: one bit per ring slot, per class, plus
+    // the union. The batch gate (BatchReplayEngine::supports) keeps the
+    // ring capacity <= 64, so the whole scheduling state is three dozen
+    // bytes and the min-sequence scan is a rotate + count-trailing-zeros
+    // instead of a per-class sorted queue (see advanceDecoded()). The
+    // raw path never touches these; the decoded path never touches
+    // elig_/eligMask_.
+    u64 eligBits_[isa::kNumFuClasses] = {};
+    u64 eligAll_ = 0; ///< union of eligBits_
 
     /// Memory-queue occupancy: +1 at dispatch, -1 when the ring entry
     /// pushed at issue time expires (drained lazily at the readers).

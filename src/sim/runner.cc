@@ -1,6 +1,7 @@
 #include "sim/runner.hh"
 
 #include "audit/invariants.hh"
+#include "cpu/batch_replay_engine.hh"
 #include "cpu/core.hh"
 #include "isa/inst.hh"
 #include "mem/hierarchy.hh"
@@ -10,6 +11,25 @@ namespace msim::sim
 
 namespace
 {
+
+/**
+ * VIS instruction tally (paper §3.2.3): total dynamic VIS ops and the
+ * rearrangement/alignment overhead subset. @p counts is anything with
+ * countOf(isa::Op) — the trace builder on the live path, the recorded
+ * trace on the replay paths.
+ */
+template <typename Counts>
+void
+tallyVisOps(RunResult &r, const Counts &counts)
+{
+    using isa::Op;
+    const u64 pack = counts.countOf(Op::VisPack);
+    const u64 align = counts.countOf(Op::VisAlign);
+    const u64 gsr = counts.countOf(Op::VisGsr);
+    r.visOverheadOps = pack + align + gsr;
+    r.visOps = r.visOverheadOps + counts.countOf(Op::VisAdd) +
+               counts.countOf(Op::VisMul) + counts.countOf(Op::VisPdist);
+}
 
 /**
  * accounting-identity (§2.3.4): every simulated cycle must be charged
@@ -69,14 +89,7 @@ runTrace(const Generator &generate, const MachineConfig &machine)
     r.l1 = snapOf(hierarchy.l1());
     r.l2 = snapOf(hierarchy.l2());
     r.tbInstrs = tb.instCount();
-
-    using isa::Op;
-    const u64 pack = tb.countOf(Op::VisPack);
-    const u64 align = tb.countOf(Op::VisAlign);
-    const u64 gsr = tb.countOf(Op::VisGsr);
-    r.visOverheadOps = pack + align + gsr;
-    r.visOps = r.visOverheadOps + tb.countOf(Op::VisAdd) +
-               tb.countOf(Op::VisMul) + tb.countOf(Op::VisPdist);
+    tallyVisOps(r, tb);
     return r;
 }
 
@@ -104,15 +117,59 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
     r.l1 = snapOf(hierarchy.l1());
     r.l2 = snapOf(hierarchy.l2());
     r.tbInstrs = trace.instCount();
-
-    using isa::Op;
-    const u64 pack = trace.countOf(Op::VisPack);
-    const u64 align = trace.countOf(Op::VisAlign);
-    const u64 gsr = trace.countOf(Op::VisGsr);
-    r.visOverheadOps = pack + align + gsr;
-    r.visOps = r.visOverheadOps + trace.countOf(Op::VisAdd) +
-               trace.countOf(Op::VisMul) + trace.countOf(Op::VisPdist);
+    tallyVisOps(r, trace);
     return r;
+}
+
+std::vector<RunResult>
+replayTraceBatch(const prog::RecordedTrace &trace,
+                 std::span<const MachineConfig> machines,
+                 u64 chunkInstructions)
+{
+    std::vector<RunResult> results(machines.size());
+
+    // Group the lockstep-capable configs into one batch; everything the
+    // batch engine cannot drive bit-identically (in-order cores, the
+    // preserved reference engine, oversized windows) replays
+    // sequentially into its result slot.
+    std::vector<size_t> batched;
+    batched.reserve(machines.size());
+    for (size_t i = 0; i < machines.size(); ++i) {
+        if (cpu::BatchReplayEngine::supports(machines[i].core))
+            batched.push_back(i);
+        else
+            results[i] = replayTrace(trace, machines[i]);
+    }
+
+    if (!batched.empty()) {
+        // One hierarchy per lane; Hierarchy is movable, so the vector
+        // can be built without pointer indirection.
+        std::vector<mem::Hierarchy> hierarchies;
+        hierarchies.reserve(batched.size());
+        std::vector<cpu::BatchReplayEngine::Lane> lanes;
+        lanes.reserve(batched.size());
+        for (const size_t i : batched)
+            hierarchies.emplace_back(machines[i].mem);
+        for (size_t k = 0; k < batched.size(); ++k)
+            lanes.push_back({&machines[batched[k]].core, &hierarchies[k]});
+
+        cpu::BatchReplayEngine engine(
+            trace, lanes,
+            chunkInstructions ? chunkInstructions
+                              : cpu::BatchReplayEngine::kDefaultChunk);
+        engine.run();
+
+        for (size_t k = 0; k < batched.size(); ++k) {
+            RunResult &r = results[batched[k]];
+            r.exec = engine.takeStats(k);
+            auditAccounting(r.exec);
+            r.l1 = snapOf(hierarchies[k].l1());
+            r.l2 = snapOf(hierarchies[k].l2());
+            r.tbInstrs = trace.instCount();
+            tallyVisOps(r, trace);
+        }
+    }
+    return results;
 }
 
 } // namespace msim::sim

@@ -8,6 +8,8 @@
 #define MSIM_SIM_RUNNER_HH_
 
 #include <functional>
+#include <span>
+#include <vector>
 
 #include "cpu/accounting.hh"
 #include "prog/recorded_trace.hh"
@@ -82,6 +84,23 @@ prog::RecordedTrace recordTrace(const Generator &generate,
  */
 RunResult replayTrace(const prog::RecordedTrace &trace,
                       const MachineConfig &machine);
+
+/**
+ * Replay one captured trace against a whole sweep group in a single
+ * trace traversal (cpu::BatchReplayEngine): the trace streams in
+ * chunks, each chunk is decoded once, and every machine steps through
+ * it before the traversal advances.  Results are bit-identical to
+ * calling replayTrace() per machine, in the same order (enforced by
+ * test_batch_replay and `audit_fuzz --mode batch`); machines the
+ * lockstep engine cannot drive (in-order cores, the reference engine)
+ * transparently fall back to sequential replayTrace().
+ *
+ * @param chunkInstructions  Lockstep granularity; 0 means the engine
+ *                           default.
+ */
+std::vector<RunResult> replayTraceBatch(
+    const prog::RecordedTrace &trace,
+    std::span<const MachineConfig> machines, u64 chunkInstructions = 0);
 
 } // namespace msim::sim
 

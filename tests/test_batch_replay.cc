@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Batched multi-config replay: sim::replayTraceBatch must be counter-
+ * and timestamp-exact against sequential sim::replayTrace for every
+ * benchmark × variant × sweep config, including the edge cases the
+ * chunked lockstep driver could plausibly get wrong (empty and
+ * one-instruction traces, one-config batches, duplicate configs,
+ * fallback configs mixed into a group, chunk-boundary trace lengths)
+ * and the runJobs group-splitting path.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "kernels/addition.hh"
+#include "prog/recorded_trace.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace msim::sim
+{
+namespace
+{
+
+using core::Job;
+using prog::Variant;
+
+/** Assert every RunResult field matches exactly (doubles included: the
+ *  lockstep path must reproduce the same per-cycle charge sequence). */
+void
+expectIdentical(const RunResult &seq, const RunResult &batch,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(seq.exec.cycles, batch.exec.cycles);
+    EXPECT_EQ(seq.exec.retired, batch.exec.retired);
+    EXPECT_EQ(seq.exec.busy, batch.exec.busy);
+    EXPECT_EQ(seq.exec.fuStall, batch.exec.fuStall);
+    EXPECT_EQ(seq.exec.memL1Hit, batch.exec.memL1Hit);
+    EXPECT_EQ(seq.exec.memL1Miss, batch.exec.memL1Miss);
+    EXPECT_EQ(seq.exec.mixFu, batch.exec.mixFu);
+    EXPECT_EQ(seq.exec.mixBranch, batch.exec.mixBranch);
+    EXPECT_EQ(seq.exec.mixMemory, batch.exec.mixMemory);
+    EXPECT_EQ(seq.exec.mixVis, batch.exec.mixVis);
+    EXPECT_EQ(seq.exec.branches, batch.exec.branches);
+    EXPECT_EQ(seq.exec.mispredicts, batch.exec.mispredicts);
+    EXPECT_EQ(seq.exec.loadsL1, batch.exec.loadsL1);
+    EXPECT_EQ(seq.exec.loadsL2, batch.exec.loadsL2);
+    EXPECT_EQ(seq.exec.loadsMem, batch.exec.loadsMem);
+    EXPECT_EQ(seq.exec.prefetchesIssued, batch.exec.prefetchesIssued);
+    EXPECT_EQ(seq.exec.prefetchesDropped, batch.exec.prefetchesDropped);
+
+    EXPECT_EQ(seq.l1.accesses, batch.l1.accesses);
+    EXPECT_EQ(seq.l1.hits, batch.l1.hits);
+    EXPECT_EQ(seq.l1.misses, batch.l1.misses);
+    EXPECT_EQ(seq.l1.writebacks, batch.l1.writebacks);
+    EXPECT_EQ(seq.l1.prefetchDrops, batch.l1.prefetchDrops);
+    EXPECT_EQ(seq.l1.combined, batch.l1.combined);
+    EXPECT_EQ(seq.l1.blocked, batch.l1.blocked);
+    EXPECT_EQ(seq.l2.accesses, batch.l2.accesses);
+    EXPECT_EQ(seq.l2.hits, batch.l2.hits);
+    EXPECT_EQ(seq.l2.misses, batch.l2.misses);
+    EXPECT_EQ(seq.l2.writebacks, batch.l2.writebacks);
+
+    EXPECT_EQ(seq.tbInstrs, batch.tbInstrs);
+    EXPECT_EQ(seq.visOps, batch.visOps);
+    EXPECT_EQ(seq.visOverheadOps, batch.visOverheadOps);
+}
+
+/** Batched replay vs one sequential replay per machine, same order. */
+void
+expectBatchMatchesSequential(const prog::RecordedTrace &trace,
+                             const std::vector<MachineConfig> &machines,
+                             u64 chunkInstructions = 0)
+{
+    const auto batch = replayTraceBatch(trace, machines, chunkInstructions);
+    ASSERT_EQ(batch.size(), machines.size());
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const auto seq = replayTrace(trace, machines[i]);
+        expectIdentical(seq, batch[i],
+                        "machine #" + std::to_string(i) + " chunk " +
+                            std::to_string(chunkInstructions));
+    }
+}
+
+Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+/** The sweep shapes the paper tables use: cache sizes, MSHR counts,
+ *  issue widths, predictor sizes — all batched into one group. */
+std::vector<MachineConfig>
+sweepConfigs()
+{
+    std::vector<MachineConfig> machines = {
+        outOfOrder4Way(), withL1Size(1 << 10), withL1Size(4 << 10),
+        withL2Size(128 << 10)};
+    MachineConfig mshr_limited = outOfOrder4Way();
+    mshr_limited.mem.l1.numMshrs = 1;
+    mshr_limited.mem.l2.numMshrs = 2;
+    machines.push_back(mshr_limited);
+    MachineConfig narrow = outOfOrder4Way();
+    narrow.core.issueWidth = 2;
+    narrow.core.windowSize = 16;
+    machines.push_back(narrow);
+    MachineConfig tiny_predictor = outOfOrder4Way();
+    tiny_predictor.core.predictorEntries = 16;
+    machines.push_back(tiny_predictor);
+    return machines;
+}
+
+void
+checkBenchmark(const std::string &name,
+               const std::vector<MachineConfig> &machines)
+{
+    for (Variant variant :
+         {Variant::Scalar, Variant::Vis, Variant::VisPrefetch}) {
+        SCOPED_TRACE(name + "/" +
+                     std::to_string(static_cast<int>(variant)));
+        const MachineConfig base = outOfOrder4Way();
+        const auto trace = recordTrace(generatorFor(name, variant),
+                                       base.skewArrays, base.visFeatures);
+        expectBatchMatchesSequential(trace, machines);
+    }
+}
+
+TEST(BatchReplay, ImageKernelsFullSweep)
+{
+    for (const char *name : {"addition", "blend", "conv", "dotprod",
+                             "scaling", "thresh"})
+        checkBenchmark(name, sweepConfigs());
+}
+
+TEST(BatchReplay, ExtraKernelsFullSweep)
+{
+    for (const char *name :
+         {"copy", "invert", "sepconv", "lookup", "transpose", "erode"})
+        checkBenchmark(name, sweepConfigs());
+}
+
+/** Codecs are the expensive traces; a compact config set keeps the
+ *  suite fast while still crossing cache size and issue width. */
+TEST(BatchReplay, JpegCodecs)
+{
+    std::vector<MachineConfig> machines = {outOfOrder4Way(),
+                                           withL1Size(4 << 10)};
+    MachineConfig narrow = outOfOrder4Way();
+    narrow.core.issueWidth = 2;
+    machines.push_back(narrow);
+    for (const char *name : {"cjpeg", "djpeg", "cjpeg-np", "djpeg-np"})
+        checkBenchmark(name, machines);
+}
+
+TEST(BatchReplay, MpegCodecs)
+{
+    std::vector<MachineConfig> machines = {outOfOrder4Way(),
+                                           withL1Size(4 << 10)};
+    MachineConfig narrow = outOfOrder4Way();
+    narrow.core.issueWidth = 2;
+    machines.push_back(narrow);
+    for (const char *name : {"mpeg-enc", "mpeg-dec"})
+        checkBenchmark(name, machines);
+}
+
+TEST(BatchReplay, EmptyTrace)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace([](prog::TraceBuilder &) {},
+                                   base.skewArrays, base.visFeatures);
+    ASSERT_EQ(trace.instCount(), 0u);
+    expectBatchMatchesSequential(trace, sweepConfigs());
+}
+
+TEST(BatchReplay, SingleInstructionTrace)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(
+        [](prog::TraceBuilder &tb) { tb.add(tb.imm(1), tb.imm(2)); },
+        base.skewArrays, base.visFeatures);
+    ASSERT_EQ(trace.instCount(), 1u);
+    expectBatchMatchesSequential(trace, sweepConfigs());
+    expectBatchMatchesSequential(trace, sweepConfigs(), 1);
+}
+
+TEST(BatchReplay, SingleConfigBatch)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(
+        [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 256, 32, 2);
+        },
+        base.skewArrays, base.visFeatures);
+    expectBatchMatchesSequential(trace, {withL1Size(1 << 10)});
+}
+
+/** Duplicate configs must not share any lane state: every copy gets
+ *  its own engine and hierarchy and reports identical numbers. */
+TEST(BatchReplay, DuplicateConfigs)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(
+        [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 256, 32, 2);
+        },
+        base.skewArrays, base.visFeatures);
+    const std::vector<MachineConfig> machines = {
+        withL1Size(1 << 10), withL1Size(1 << 10), outOfOrder4Way(),
+        withL1Size(1 << 10)};
+    const auto batch = replayTraceBatch(trace, machines);
+    expectBatchMatchesSequential(trace, machines);
+    expectIdentical(batch[0], batch[1], "duplicate 0 vs 1");
+    expectIdentical(batch[0], batch[3], "duplicate 0 vs 3");
+}
+
+/** In-order and reference-engine configs fall back to sequential
+ *  replay inside the same call, interleaved with batched lanes, and
+ *  the result order must still match the input order. */
+TEST(BatchReplay, MixedFallbackConfigs)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(
+        [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Scalar, 256, 32, 2);
+        },
+        base.skewArrays, base.visFeatures);
+    const std::vector<MachineConfig> machines = {
+        inOrder1Way(), outOfOrder4Way(), asReference(outOfOrder4Way()),
+        inOrder4Way(), withL1Size(1 << 10)};
+    expectBatchMatchesSequential(trace, machines);
+}
+
+/** Chunk boundaries falling before, on, and after the trace length,
+ *  plus degenerate one- and two-instruction chunks. */
+TEST(BatchReplay, ChunkBoundarySizes)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(
+        [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 64, 8, 1);
+        },
+        base.skewArrays, base.visFeatures);
+    const u64 n = trace.instCount();
+    ASSERT_GT(n, 2u);
+    const std::vector<MachineConfig> machines = {outOfOrder4Way(),
+                                                 withL1Size(1 << 10)};
+    for (const u64 chunk : {u64{1}, u64{2}, n - 1, n, n + 1, u64{0}})
+        expectBatchMatchesSequential(trace, machines, chunk);
+}
+
+/** A single trace group bigger than the thread count must split into
+ *  slices whose results are indistinguishable from sequential replay. */
+TEST(BatchReplay, RunJobsGroupLargerThanThreads)
+{
+    std::vector<Job> jobs;
+    for (u32 size : {1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10,
+                     32u << 10, 64u << 10})
+        jobs.push_back({"conv", Variant::Vis, withL1Size(size)});
+
+    const auto batched = core::runJobs(jobs, 2, core::JobMode::Recorded);
+    ASSERT_EQ(batched.size(), jobs.size());
+
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(generatorFor("conv", Variant::Vis),
+                                   base.skewArrays, base.visFeatures);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const auto seq = replayTrace(trace, jobs[i].machine);
+        expectIdentical(seq, batched[i], "job #" + std::to_string(i));
+    }
+}
+
+} // namespace
+} // namespace msim::sim

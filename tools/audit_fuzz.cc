@@ -16,11 +16,22 @@
  * then printed as a ready-to-paste regression test for
  * tests/test_audit.cc.
  *
+ * `--mode batch` fuzzes the batched replay path instead: a randomized
+ * config *set* (sizes 1..7, duplicates and unsupported in-order /
+ * reference configs included to exercise the sequential fallback) is
+ * replayed in lockstep through sim::replayTraceBatch at a randomized
+ * chunk size crossing the interesting boundaries (1, 2, 7, 64, 1024,
+ * 8192, engine default) and every lane is cross-checked against
+ * sequential sim::replayTrace of the same trace, field-exact. Failing
+ * sets shrink by dropping lanes and resetting config dimensions, and
+ * print as a ready-to-paste test for tests/test_batch_replay.cc.
+ *
  * Cases are derived deterministically from (--seed, case index), so a
  * repro needs only the seed and index, independent of scheduling.
  *
- *   audit_fuzz --seed 1 --cases 200        # the CI gate
- *   audit_fuzz --list                      # registered invariants
+ *   audit_fuzz --seed 1 --cases 200               # the CI gate
+ *   audit_fuzz --mode batch --seed 1 --cases 80   # the batch CI gate
+ *   audit_fuzz --list                             # registered invariants
  */
 
 #include <cinttypes>
@@ -386,6 +397,7 @@ printMachineDelta(const sim::MachineConfig &m)
                         m.field);                                            \
     } while (0)
     MSIM_EMIT(core.outOfOrder, "%d");
+    MSIM_EMIT(core.referenceEngine, "%d");
     MSIM_EMIT(core.issueWidth, "%u");
     MSIM_EMIT(core.windowSize, "%u");
     MSIM_EMIT(core.memQueueSize, "%u");
@@ -454,6 +466,241 @@ printRepro(const CaseConfig &c, const Outcome &out, u64 seed,
                 "----------\n\n");
 }
 
+// ---- batch mode -----------------------------------------------------
+
+/** One sampled batch-mode case: a config set replayed in lockstep. */
+struct BatchCase
+{
+    const core::Benchmark *bench = nullptr;
+    prog::Variant variant = prog::Variant::Scalar;
+    u64 chunk = 0; ///< 0 = engine default
+    std::vector<sim::MachineConfig> machines;
+};
+
+BatchCase
+sampleBatchCase(const std::vector<const core::Benchmark *> &benches,
+                u64 seed, unsigned index)
+{
+    Rng rng(mixSeed(seed, index));
+    BatchCase c;
+    const u32 pick = rng.below(100);
+    if (pick < 76)
+        c.bench = benches[rng.below(6)];
+    else
+        c.bench =
+            benches[6 + rng.below(static_cast<u32>(benches.size()) - 6)];
+    const u32 nvar = c.bench->hasPrefetchVariant ? 3 : 2;
+    c.variant = static_cast<prog::Variant>(rng.below(nvar));
+
+    // Chunk sizes cross the interesting boundaries: one-instruction
+    // lockstep, sub-issue-width, odd, exactly one window, production
+    // sizes, and 0 for the engine default.
+    static constexpr u64 kChunks[] = {1, 2, 7, 64, 1024, 8192, 0};
+    c.chunk = kChunks[rng.below(7)];
+
+    // Size-1 sets are sampled on purpose (degenerate batch), and the
+    // set may contain unsupported (in-order, reference) configs that
+    // must take the sequential fallback inside replayTraceBatch, plus
+    // an exact duplicate of an earlier lane.
+    const u32 setSize = 1 + rng.below(6);
+    c.machines.reserve(setSize + 1);
+    for (u32 i = 0; i < setSize; ++i) {
+        sim::MachineConfig m = sampleMachine(rng);
+        if (rng.chance(12))
+            m = sim::asReference(m);
+        c.machines.push_back(std::move(m));
+    }
+    if (rng.chance(25))
+        c.machines.push_back(c.machines[rng.below(setSize)]);
+    return c;
+}
+
+Outcome
+runBatchCase(const BatchCase &c)
+{
+    Outcome out;
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        // All lanes replay one shared trace whose layout/ISA knobs come
+        // from the first config, matching how core::runJobs groups.
+        const sim::MachineConfig &base = c.machines.front();
+        const prog::RecordedTrace trace =
+            sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+        const auto batch =
+            sim::replayTraceBatch(trace, c.machines, c.chunk);
+        for (size_t i = 0; i < c.machines.size(); ++i) {
+            const sim::RunResult seq =
+                sim::replayTrace(trace, c.machines[i]);
+            const std::string d = compareResults(seq, batch[i]);
+            if (!d.empty()) {
+                out.divergence =
+                    "lane " + std::to_string(i) + ": " + d;
+                break;
+            }
+        }
+    }
+    out.violations = sink.violations();
+    out.violationRecords = sink.records();
+    return out;
+}
+
+/** Per-config field resets toward the default machine, for shrinking. */
+const std::vector<std::function<bool(sim::MachineConfig &)>> &
+configReductions()
+{
+    static const std::vector<std::function<bool(sim::MachineConfig &)>>
+        reductions = [] {
+            std::vector<std::function<bool(sim::MachineConfig &)>> r;
+            const sim::MachineConfig def;
+#define MSIM_REDUCE(field)                                                   \
+    r.push_back([def](sim::MachineConfig &m) {                               \
+        if (m.field == def.field)                                            \
+            return false;                                                    \
+        m.field = def.field;                                                 \
+        return true;                                                         \
+    })
+            MSIM_REDUCE(core.outOfOrder);
+            MSIM_REDUCE(core.referenceEngine);
+            MSIM_REDUCE(core.issueWidth);
+            MSIM_REDUCE(core.windowSize);
+            MSIM_REDUCE(core.memQueueSize);
+            MSIM_REDUCE(core.maxSpecBranches);
+            MSIM_REDUCE(core.takenBranchesPerCycle);
+            MSIM_REDUCE(core.mispredictPenalty);
+            MSIM_REDUCE(core.retireWidth);
+            MSIM_REDUCE(core.predictorEntries);
+            MSIM_REDUCE(mem.l1.sizeBytes);
+            MSIM_REDUCE(mem.l1.assoc);
+            MSIM_REDUCE(mem.l1.lineBytes);
+            MSIM_REDUCE(mem.l1.ports);
+            MSIM_REDUCE(mem.l1.hitLatency);
+            MSIM_REDUCE(mem.l1.numMshrs);
+            MSIM_REDUCE(mem.l1.maxCombines);
+            MSIM_REDUCE(mem.l2.sizeBytes);
+            MSIM_REDUCE(mem.l2.assoc);
+            MSIM_REDUCE(mem.l2.lineBytes);
+            MSIM_REDUCE(mem.l2.ports);
+            MSIM_REDUCE(mem.l2.hitLatency);
+            MSIM_REDUCE(mem.l2.numMshrs);
+            MSIM_REDUCE(mem.l2.maxCombines);
+            MSIM_REDUCE(mem.dram.totalLatency);
+            MSIM_REDUCE(mem.dram.interleave);
+            MSIM_REDUCE(mem.dram.bankBusy);
+            MSIM_REDUCE(skewArrays);
+            MSIM_REDUCE(visFeatures.direct16x16Mul);
+            MSIM_REDUCE(visFeatures.hasPmaddwd);
+            MSIM_REDUCE(visFeatures.hasPdist);
+#undef MSIM_REDUCE
+            return r;
+        }();
+    return reductions;
+}
+
+/**
+ * Greedy batch shrink: benchmark and variant toward the cheapest, then
+ * repeatedly drop lanes, reset the chunk, and reset per-lane config
+ * dimensions while the failure still reproduces.
+ */
+BatchCase
+shrinkBatchCase(const BatchCase &failing)
+{
+    BatchCase best = failing;
+    const core::Benchmark &addition = core::findBenchmark("addition");
+    const auto fails = [](const BatchCase &c) {
+        return runBatchCase(c).failed();
+    };
+
+    if (best.bench != &addition) {
+        BatchCase cand = best;
+        cand.bench = &addition;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+    if (best.variant != prog::Variant::Scalar) {
+        BatchCase cand = best;
+        cand.variant = prog::Variant::Scalar;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (size_t i = 0;
+             best.machines.size() > 1 && i < best.machines.size();) {
+            BatchCase cand = best;
+            cand.machines.erase(cand.machines.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            } else {
+                ++i;
+            }
+        }
+        if (best.chunk != 0) {
+            BatchCase cand = best;
+            cand.chunk = 0;
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            }
+        }
+        for (size_t i = 0; i < best.machines.size(); ++i) {
+            for (const auto &reduce : configReductions()) {
+                BatchCase cand = best;
+                if (!reduce(cand.machines[i]))
+                    continue;
+                if (fails(cand)) {
+                    best = std::move(cand);
+                    progressed = true;
+                }
+            }
+        }
+    }
+    for (auto &m : best.machines)
+        m.label = "shrunk";
+    return best;
+}
+
+/** Print the shrunk batch case as a ready-to-paste regression test. */
+void
+printBatchRepro(const BatchCase &c, const Outcome &out, u64 seed,
+                unsigned index)
+{
+    std::printf("\n// ---- ready-to-paste regression test "
+                "(tests/test_batch_replay.cc) ----\n");
+    std::printf("TEST(BatchReplay, FuzzSeed%" PRIu64 "Case%u)\n{\n", seed,
+                index);
+    std::printf("    std::vector<MachineConfig> ms;\n");
+    for (const auto &m : c.machines) {
+        std::printf("    {\n");
+        std::printf("    sim::MachineConfig m;\n");
+        printMachineDelta(m);
+        std::printf("    ms.push_back(m);\n");
+        std::printf("    }\n");
+    }
+    std::printf("    const auto trace =\n"
+                "        recordTrace(generatorFor(\"%s\", %s),\n"
+                "                    ms[0].skewArrays, "
+                "ms[0].visFeatures);\n",
+                c.bench->name.c_str(), variantExpr(c.variant));
+    std::printf("    expectBatchMatchesSequential(trace, ms, "
+                "/*chunk=*/%" PRIu64 ");\n}\n",
+                c.chunk);
+    if (!out.divergence.empty())
+        std::printf("// divergence: %s\n", out.divergence.c_str());
+    for (const auto &v : out.violationRecords)
+        std::printf("// violation: %s at %s:%d: %s\n", v.check.c_str(),
+                    v.file, v.line, v.message.c_str());
+    std::printf("// ----------------------------------------------------"
+                "----------\n\n");
+}
+
 void
 printInvariants()
 {
@@ -466,17 +713,21 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [--seed N] [--cases N] [--live-frac PCT] [--verbose]\n"
-        "          [--list] [--help]\n"
+        "usage: %s [--mode diff|batch] [--seed N] [--cases N]\n"
+        "          [--live-frac PCT] [--verbose] [--list] [--help]\n"
         "\n"
         "Differential config fuzzer: random MachineConfigs x benchmarks\n"
         "x variants x {live, recorded}, fast path vs reference models,\n"
         "exact-equality cross-check plus cycle-level invariant audit.\n"
         "\n"
+        "  --mode M        diff (default): fast path vs reference;\n"
+        "                  batch: randomized config sets through\n"
+        "                  replayTraceBatch vs sequential replayTrace\n"
         "  --seed N        base seed (default 1); case i derives from\n"
         "                  (seed, i), so repros only need the pair\n"
         "  --cases N       number of cases (default 200)\n"
-        "  --live-frac P   percent of cases driven live (default 17)\n"
+        "  --live-frac P   percent of cases driven live (default 17,\n"
+        "                  diff mode only)\n"
         "  --verbose       print every case as it runs\n"
         "  --list          print the registered invariant table\n",
         argv0);
@@ -491,12 +742,15 @@ main(int argc, char **argv)
     unsigned cases = 200;
     u32 live_percent = 17;
     bool verbose = false;
+    const char *mode = "diff";
 
     for (int i = 1; i < argc; ++i) {
         const auto arg = [&](const char *name) {
             return std::strcmp(argv[i], name) == 0;
         };
-        if (arg("--seed") && i + 1 < argc) {
+        if (arg("--mode") && i + 1 < argc) {
+            mode = argv[++i];
+        } else if (arg("--seed") && i + 1 < argc) {
             seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (arg("--cases") && i + 1 < argc) {
             cases = static_cast<unsigned>(
@@ -519,13 +773,55 @@ main(int argc, char **argv)
         }
     }
 
+    const bool batch_mode = std::strcmp(mode, "batch") == 0;
+    if (!batch_mode && std::strcmp(mode, "diff") != 0) {
+        std::fprintf(stderr, "unknown --mode: %s\n", mode);
+        usage(argv[0]);
+        return 2;
+    }
+
     const std::vector<const core::Benchmark *> benches =
         core::paperBenchmarks();
 
-    std::printf("audit_fuzz: seed %" PRIu64 ", %u cases, %u%% live, "
-                "audit checks %s\n",
-                seed, cases, live_percent,
+    std::printf("audit_fuzz: mode %s, seed %" PRIu64 ", %u cases, "
+                "%u%% live, audit checks %s\n",
+                mode, seed, cases, live_percent,
                 audit::kEnabled ? "compiled in" : "compiled out");
+
+    if (batch_mode) {
+        unsigned failures = 0;
+        for (unsigned i = 0; i < cases; ++i) {
+            const BatchCase c = sampleBatchCase(benches, seed, i);
+            if (verbose)
+                std::printf("  case %u: %s/%s %zu lanes chunk %" PRIu64
+                            "\n",
+                            i, c.bench->name.c_str(),
+                            prog::variantName(c.variant),
+                            c.machines.size(), c.chunk);
+            const Outcome out = runBatchCase(c);
+            if (!out.failed())
+                continue;
+            ++failures;
+            std::printf("FAIL case %u (%s/%s, %zu lanes, chunk %" PRIu64
+                        "): %s%s\n",
+                        i, c.bench->name.c_str(),
+                        prog::variantName(c.variant), c.machines.size(),
+                        c.chunk,
+                        out.divergence.empty() ? ""
+                                               : out.divergence.c_str(),
+                        out.violations
+                            ? (" [" + std::to_string(out.violations) +
+                               " invariant violations]")
+                                  .c_str()
+                            : "");
+            std::printf("shrinking...\n");
+            const BatchCase minimal = shrinkBatchCase(c);
+            printBatchRepro(minimal, runBatchCase(minimal), seed, i);
+        }
+        std::printf("audit_fuzz: %u batch cases: %u failing\n", cases,
+                    failures);
+        return failures ? 1 : 0;
+    }
 
     unsigned failures = 0;
     unsigned live_cases = 0;
