@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Observability overhead A/B: the recorded djpeg L1 sweep run twice —
+ * once without a telemetry session, once with one actively sampling —
+ * verifying that every RunResult field is bit-identical between the
+ * two passes and measuring the enabled-sampling overhead (the ISSUE
+ * budget is <5%; zero when no session is started; exactly zero
+ * instructions when MSIM_OBS is compiled out).
+ *
+ * Also the generator for the repo's example telemetry artifacts:
+ *
+ *   bench_obs --obs-out=examples/obs/djpeg-l1 --obs-period=65536
+ *
+ * writes djpeg-l1.ndjson (for tools/msim_report) and
+ * djpeg-l1.trace.json (load in https://ui.perfetto.dev). `--smoke`
+ * shrinks the sweep for the CI obs leg.
+ */
+
+#include <cstring>
+
+#include "bench_util.hh"
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace msim;
+
+/** Exact comparison; both passes must agree on every field. */
+unsigned
+compareAll(const std::vector<sim::RunResult> &off,
+           const std::vector<sim::RunResult> &on)
+{
+    unsigned mismatches = 0;
+    for (size_t i = 0; i < off.size(); ++i) {
+        const sim::RunResult &a = off[i];
+        const sim::RunResult &b = on[i];
+#define MSIM_CMP(field)                                                      \
+    do {                                                                     \
+        if (!(a.field == b.field)) {                                         \
+            std::fprintf(stderr,                                             \
+                         "[obs] MISMATCH job %zu " #field                    \
+                         ": off %s != on %s\n",                              \
+                         i, std::to_string(a.field).c_str(),                 \
+                         std::to_string(b.field).c_str());                   \
+            ++mismatches;                                                    \
+        }                                                                    \
+    } while (0)
+        MSIM_CMP(exec.cycles);
+        MSIM_CMP(exec.retired);
+        MSIM_CMP(exec.busy);
+        MSIM_CMP(exec.fuStall);
+        MSIM_CMP(exec.memL1Hit);
+        MSIM_CMP(exec.memL1Miss);
+        MSIM_CMP(exec.branches);
+        MSIM_CMP(exec.mispredicts);
+        MSIM_CMP(l1.accesses);
+        MSIM_CMP(l1.misses);
+        MSIM_CMP(l1.missRate);
+        MSIM_CMP(l1.mshrMeanOccupancy);
+        MSIM_CMP(l1.mshrFracAtLeast2);
+        MSIM_CMP(l2.accesses);
+        MSIM_CMP(l2.misses);
+        MSIM_CMP(l2.missRate);
+        MSIM_CMP(l2.mshrMeanOccupancy);
+        MSIM_CMP(tbInstrs);
+        MSIM_CMP(visOps);
+#undef MSIM_CMP
+    }
+    return mismatches;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using core::Job;
+    using prog::Variant;
+
+    bool smoke = false;
+    bool haveObsOut = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strncmp(argv[i], "--obs-", 6) == 0) {
+            // No-op (but still accepted) when MSIM_OBS is compiled out.
+            obs::handleObsArg(argv[i]);
+            haveObsOut = haveObsOut ||
+                         std::strncmp(argv[i], "--obs-out=", 10) == 0;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--smoke] [--obs-out=BASE]\n"
+                         "          [--obs-period=N] [--obs-capacity=N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (!haveObsOut) {
+        // Self-contained A/B by default: capture next to the BENCH json.
+        obs::handleObsArg("--obs-out=BENCH_obs_capture");
+    }
+
+    const std::vector<u32> sizes =
+        smoke ? std::vector<u32>{1 << 10, 64 << 10}
+              : std::vector<u32>{1 << 10, 4 << 10, 16 << 10, 64 << 10};
+    std::vector<Job> jobs;
+    for (u32 size : sizes)
+        jobs.push_back({"djpeg", Variant::Vis, sim::withL1Size(size)});
+
+    // Warmup — untimed: without it the first timed pass absorbs page
+    // faults and allocator growth and the A/B reads ~10% backwards.
+    {
+        bench::SelfMeasurement warm;
+        bench::runTimed(jobs, warm, 1, core::JobMode::Recorded);
+    }
+
+    // Pass 1 — no session: the baseline results and wall-clock.
+    // Single-threaded recorded mode so the A/B is purely the sampling
+    // hooks, not scheduling noise.
+    bench::SelfMeasurement off;
+    const auto baseline =
+        bench::runTimed(jobs, off, 1, core::JobMode::Recorded);
+
+    // Pass 2 — session active, every engine loop sampling timelines.
+    const bool started = obs::startFromArgs();
+    bench::SelfMeasurement on;
+    const auto sampled =
+        bench::runTimed(jobs, on, 1, core::JobMode::Recorded);
+    obs::Session::finish();
+
+#if MSIM_OBS_ENABLED
+    if (!started) {
+        std::fprintf(stderr, "[obs] session failed to start\n");
+        return 1;
+    }
+#else
+    (void)started;
+    std::fprintf(stderr, "[obs] MSIM_OBS compiled out; A/B measures "
+                         "two identical passes\n");
+#endif
+
+    const unsigned mismatches = compareAll(baseline, sampled);
+    const double overheadPct =
+        off.hostSeconds > 0.0
+            ? 100.0 * (on.hostSeconds - off.hostSeconds) / off.hostSeconds
+            : 0.0;
+
+    std::printf("=== obs sampling overhead (recorded djpeg L1 sweep, "
+                "%zu configs) ===\n",
+                jobs.size());
+    std::printf("obs off: %.3fs    obs on: %.3fs    overhead: %+.2f%%    "
+                "bit-identical: %s\n",
+                off.hostSeconds, on.hostSeconds, overheadPct,
+                mismatches ? "NO" : "yes");
+
+    bench::writeBenchJson("obs", on,
+                          {{"off_seconds", off.hostSeconds},
+                           {"on_seconds", on.hostSeconds},
+                           {"overhead_pct", overheadPct},
+                           {"mismatched_fields", double(mismatches)}});
+    return mismatches ? 1 : 0;
+}

@@ -16,6 +16,8 @@
 #include "core/experiment.hh"
 #include "core/registry.hh"
 #include "core/report.hh"
+#include "obs/json.hh"
+#include "obs/session.hh"
 
 namespace msim::bench
 {
@@ -79,20 +81,21 @@ writeBenchJson(const std::string &name, const SelfMeasurement &meas,
                      path.c_str());
         return;
     }
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"bench\": \"%s\",\n", name.c_str());
-    std::fprintf(f, "  \"host_seconds\": %.6f,\n", meas.hostSeconds);
-    std::fprintf(f, "  \"jobs\": %llu,\n",
-                 static_cast<unsigned long long>(meas.jobs));
-    std::fprintf(f, "  \"sim_instructions\": %llu,\n",
-                 static_cast<unsigned long long>(meas.simInstructions));
-    std::fprintf(f, "  \"instructions_per_host_second\": %.1f,\n",
-                 meas.instructionsPerSecond());
-    std::fprintf(f, "  \"points_per_second\": %.3f",
-                 meas.pointsPerSecond());
+    // All BENCH_*.json go through the shared obs serializer; consumers
+    // key off schema_version (obs::kSchemaVersion).
+    obs::JsonWriter w(f);
+    w.beginObject();
+    w.field("schema_version", obs::kSchemaVersion);
+    w.field("bench", name);
+    w.field("host_seconds", meas.hostSeconds);
+    w.field("jobs", meas.jobs);
+    w.field("sim_instructions", meas.simInstructions);
+    w.field("instructions_per_host_second", meas.instructionsPerSecond());
+    w.field("points_per_second", meas.pointsPerSecond());
     for (const auto &[key, value] : extra)
-        std::fprintf(f, ",\n  \"%s\": %.6f", key.c_str(), value);
-    std::fprintf(f, "\n}\n");
+        w.field(key, value);
+    w.endObject();
+    w.newline();
     std::fclose(f);
     std::fprintf(stderr, "[%s] %.2fs host, %.0f sim-instructions/s -> %s\n",
                  name.c_str(), meas.hostSeconds,

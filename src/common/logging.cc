@@ -1,7 +1,10 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace msim
 {
@@ -9,16 +12,61 @@ namespace msim
 namespace
 {
 
+std::mutex &
+sinkMutex()
+{
+    // Leaked so reports from threads exiting after main() stay safe.
+    static std::mutex *mu = new std::mutex;
+    return *mu;
+}
+
+std::atomic<unsigned long long> droppedLines{0};
+
+/**
+ * Format the whole line into one buffer and emit it with a single
+ * write under the sink mutex, so concurrent reports from pool workers
+ * and audit sinks cannot interleave mid-line. Messages longer than the
+ * buffer are truncated (marked "...") and counted as dropped.
+ */
 void
 vreport(const char *tag, const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    char buf[1024];
+    int off = std::snprintf(buf, sizeof(buf), "%s: ", tag);
+    if (off < 0)
+        off = 0;
+    bool truncated = false;
+    if (static_cast<size_t>(off) < sizeof(buf)) {
+        const int n =
+            std::vsnprintf(buf + off, sizeof(buf) - off, fmt, args);
+        if (n >= 0 && static_cast<size_t>(n) < sizeof(buf) - off) {
+            off += n;
+        } else {
+            truncated = true;
+            off = static_cast<int>(sizeof(buf)) - 1;
+        }
+    } else {
+        truncated = true;
+        off = static_cast<int>(sizeof(buf)) - 1;
+    }
+    if (truncated) {
+        droppedLines.fetch_add(1, std::memory_order_relaxed);
+        std::memcpy(buf + off - 3, "...", 3);
+    }
+    buf[off] = '\n';
+
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fwrite(buf, 1, static_cast<size_t>(off) + 1, stderr);
     std::fflush(stderr);
 }
 
 } // namespace
+
+unsigned long long
+droppedLogLines()
+{
+    return droppedLines.load(std::memory_order_relaxed);
+}
 
 void
 panic(const char *fmt, ...)

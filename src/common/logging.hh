@@ -29,6 +29,13 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Informational message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Number of log lines dropped (truncated or lost) because a message
+ * overflowed the formatting buffer. Surfaced as the obs metric
+ * "log.dropped_lines" when a telemetry session flushes.
+ */
+unsigned long long droppedLogLines();
+
 } // namespace msim
 
 #endif // MSIM_COMMON_LOGGING_HH_

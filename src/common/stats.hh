@@ -95,7 +95,16 @@ class OccupancyTracker
         }
         if (occupied > peak)
             peak = occupied;
+        lastOcc = occupied;
     }
+
+    /**
+     * The @p occupied value from the most recent advance() call, i.e.
+     * the pool's occupancy as of the last access to the resource. Used
+     * by the obs timeline to sample MSHR occupancy without touching
+     * the timing path.
+     */
+    unsigned lastOccupancy() const { return lastOcc; }
 
     double
     meanOccupancy() const
@@ -140,6 +149,7 @@ class OccupancyTracker
     u64 weighted = 0;
     u64 elapsed = 0;
     unsigned peak = 0;
+    unsigned lastOcc = 0;
 };
 
 } // namespace msim

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/span.hh"
+
 namespace msim
 {
 
@@ -41,7 +43,12 @@ ThreadPool::ThreadPool(unsigned workers)
 {
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i)
-        threads_.emplace_back([this] { workerLoop(); });
+        threads_.emplace_back([this, i] {
+#if MSIM_OBS_ENABLED
+            obs::setObsThreadLabel("pool-worker-" + std::to_string(i));
+#endif
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -69,7 +76,12 @@ ThreadPool::workerLoop()
         Batch *b = batch_;
         ++b->active;
         lock.unlock();
-        b->run();
+        {
+            // One span per drained batch: worker-utilization tracks in
+            // the trace come from these (busy vs. idle gaps per tid).
+            MSIM_OBS_SPAN(span, "pool.work");
+            b->run();
+        }
         lock.lock();
         if (--b->active == 0 && batch_ == b)
             batch_ = nullptr; // fully drained; let the next call start
@@ -108,7 +120,10 @@ ThreadPool::parallelFor(size_t count, const std::function<void(size_t)> &fn,
     }
     cv_.notify_all();
 
-    b.run(); // the caller is a worker too
+    {
+        MSIM_OBS_SPAN(span, "pool.work", "caller");
+        b.run(); // the caller is a worker too
+    }
 
     {
         std::unique_lock lock(m_);

@@ -8,12 +8,46 @@
 #include <tuple>
 
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/session.hh"
+#include "obs/span.hh"
 
 namespace msim::core
 {
 
 namespace
 {
+
+#if MSIM_OBS_ENABLED
+
+/** Experiment-level metrics (registered once, updated per work unit). */
+struct ExperimentMetrics
+{
+    obs::MetricId jobs = obs::metricId("experiment.jobs",
+                                       obs::MetricKind::Counter);
+    obs::MetricId traces = obs::metricId("experiment.traces_recorded",
+                                         obs::MetricKind::Counter);
+    obs::MetricId batchItems = obs::metricId("experiment.batch_items",
+                                             obs::MetricKind::Counter);
+    obs::MetricId traceInsts = obs::metricId("experiment.trace_instructions",
+                                             obs::MetricKind::Dist);
+};
+
+const ExperimentMetrics &
+experimentMetrics()
+{
+    static const ExperimentMetrics m;
+    return m;
+}
+
+/** "benchmark/variant" run label for a job (names obs timelines). */
+std::string
+labelOf(const Job &job)
+{
+    return job.benchmark + "/" + prog::variantName(job.variant);
+}
+
+#endif // MSIM_OBS_ENABLED
 
 /** Everything the dynamic instruction stream depends on. */
 using TraceKey = std::tuple<std::string, int, bool, bool, bool, bool>;
@@ -55,6 +89,11 @@ ensureRecorded(const Job &job, TraceEntry &entry)
                 },
                 job.machine.skewArrays, job.machine.visFeatures);
             entry.ready = true;
+#if MSIM_OBS_ENABLED
+            obs::count(experimentMetrics().traces);
+            obs::observe(experimentMetrics().traceInsts,
+                         static_cast<double>(entry.trace.instCount()));
+#endif
         } catch (...) {
             entry.error = std::current_exception();
             throw;
@@ -78,6 +117,12 @@ void
 runBatchItem(const std::vector<Job> &jobs, const BatchItem &item,
              std::vector<sim::RunResult> &results)
 {
+#if MSIM_OBS_ENABLED
+    obs::ScopedRunLabel runLabel(labelOf(jobs[item.jobIdx.front()]));
+    obs::count(experimentMetrics().batchItems);
+    obs::count(experimentMetrics().jobs, item.jobIdx.size());
+    MSIM_OBS_SPAN(span, "batch.item", obs::runLabel());
+#endif
     ensureRecorded(jobs[item.jobIdx.front()], *item.entry);
 
     std::vector<sim::MachineConfig> machines;
@@ -103,6 +148,11 @@ runBenchmark(const std::string &name, Variant variant,
              const MachineConfig &machine)
 {
     const Benchmark &bench = findBenchmark(name);
+#if MSIM_OBS_ENABLED
+    obs::ScopedRunLabel runLabel(name + "/" +
+                                 prog::variantName(variant));
+    obs::count(experimentMetrics().jobs);
+#endif
     return sim::runTrace(
         [&bench, variant](prog::TraceBuilder &tb) {
             bench.generate(tb, variant);

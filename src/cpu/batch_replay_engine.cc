@@ -6,6 +6,7 @@
 #include "audit/invariants.hh"
 #include "common/logging.hh"
 #include "cpu/core.hh"
+#include "obs/span.hh"
 
 namespace msim::cpu
 {
@@ -156,7 +157,11 @@ BatchReplayEngine::run()
         prevEnd = end;
         firstChunk = false;
 #endif
-        decodeChunk(start, end, limit);
+        {
+            MSIM_OBS_SPAN(span, "batch.decode");
+            decodeChunk(start, end, limit);
+        }
+        MSIM_OBS_SPAN(span, "batch.chunk");
         for (size_t k = 0; k < engines_.size(); ++k) {
             if (!running[k])
                 continue;

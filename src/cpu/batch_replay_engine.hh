@@ -96,6 +96,18 @@ class BatchReplayEngine
     /** Final stats for @p lane; call once per lane, after run(). */
     ExecStats takeStats(size_t lane);
 
+#if MSIM_OBS_ENABLED
+    /**
+     * Attach a timeline recorder to lane @p k's engine ("one track per
+     * sweep lane"); call before run().
+     */
+    void
+    setLaneTimeline(size_t k, obs::TimelineRecorder *tl)
+    {
+        engines_[k].setTimeline(tl);
+    }
+#endif
+
   private:
     void decodeChunk(u64 start, u64 end, u64 limit);
 

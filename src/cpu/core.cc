@@ -132,6 +132,9 @@ PipelineCore::runRecorded(const prog::RecordedTrace &trace)
             stats_ = engine.run(trace);
         } else {
             ReplayEngine engine(cfg, mem_);
+#if MSIM_OBS_ENABLED
+            engine.setTimeline(timeline_);
+#endif
             stats_ = engine.run(trace);
         }
         now = stats_.cycles;
@@ -590,6 +593,14 @@ PipelineCore::nextEventTime() const
 void
 PipelineCore::step()
 {
+#if MSIM_OBS_ENABLED
+    if (now >= obsNextAt_) [[unlikely]] {
+        obsNextAt_ = timeline_->sample(
+            now, stats_.retired, stats_.busy, stats_.fuStall,
+            stats_.memL1Hit, stats_.memL1Miss,
+            static_cast<u32>(window.size()), memqUsed);
+    }
+#endif
     expireEvents();
 
     const unsigned retired = tryRetire();

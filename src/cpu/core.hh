@@ -52,6 +52,7 @@
 #include "cpu/fu_pool.hh"
 #include "isa/inst.hh"
 #include "mem/hierarchy.hh"
+#include "obs/timeline.hh"
 #include "prog/recorded_trace.hh"
 
 namespace msim::cpu
@@ -127,6 +128,21 @@ class PipelineCore : public isa::InstSink
 
     /** Results; valid after finish(). */
     const ExecStats &stats() const { return stats_; }
+
+#if MSIM_OBS_ENABLED
+    /**
+     * Attach a per-run timeline recorder (nullptr detaches). Live and
+     * in-order-replay cycles sample in step(); out-of-order replay
+     * forwards the recorder to the inner fast ReplayEngine (the
+     * preserved reference engine stays hook-free).
+     */
+    void
+    setTimeline(obs::TimelineRecorder *tl)
+    {
+        timeline_ = tl;
+        obsNextAt_ = tl ? now + tl->period() : obs::kNeverCycle;
+    }
+#endif
 
   private:
     static constexpr Cycle kNever = ~Cycle{0};
@@ -252,6 +268,11 @@ class PipelineCore : public isa::InstSink
 #if MSIM_AUDIT_ENABLED
     /// Cycle of the most recent retirement (retire-order audit).
     Cycle auditLastRetire_ = 0;
+#endif
+
+#if MSIM_OBS_ENABLED
+    obs::TimelineRecorder *timeline_ = nullptr;
+    Cycle obsNextAt_ = obs::kNeverCycle;
 #endif
 
     Cycle now = 0;

@@ -612,6 +612,14 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
         // here continues bit-identically to an uninterrupted run.
         if (!final && fetchPos_ >= fetchLimit)
             return false;
+#if MSIM_OBS_ENABLED
+        if (now_ >= obsNextAt_) [[unlikely]] {
+            obsNextAt_ = timeline_->sample(
+                now_, stats_.retired, stats_.busy, stats_.fuStall,
+                stats_.memL1Hit, stats_.memL1Miss,
+                static_cast<u32>(windowCount_), memqUsed_);
+        }
+#endif
         const unsigned retired = tryRetire();
         const unsigned issued = tryExecute();
         const unsigned dispatched = tryDispatch();
@@ -852,6 +860,17 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             flush();
             return false;
         }
+#if MSIM_OBS_ENABLED
+        if (now >= obsNextAt_) [[unlikely]] {
+            // Cumulative values are the flushed members plus the local
+            // accumulators; the mirrors themselves stay untouched.
+            obsNextAt_ = timeline_->sample(
+                now, stats_.retired + retiredTotal, stats_.busy + accBusy,
+                stats_.fuStall + accFu, stats_.memL1Hit + accHit,
+                stats_.memL1Miss + accMiss, static_cast<u32>(wcount),
+                memqUsed);
+        }
+#endif
 
         // --- retire (mirror of tryRetire) -----------------------------
         unsigned retired = 0;

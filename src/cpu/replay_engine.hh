@@ -70,6 +70,7 @@
 #include "cpu/branch_predictor.hh"
 #include "isa/timing.hh"
 #include "mem/hierarchy.hh"
+#include "obs/timeline.hh"
 #include "prog/recorded_trace.hh"
 
 namespace msim::cpu
@@ -164,6 +165,21 @@ class ReplayEngine
 
     /** Instructions currently in flight in the window. */
     u64 windowInFlight() const { return windowCount_; }
+
+#if MSIM_OBS_ENABLED
+    /**
+     * Attach a per-run timeline recorder (nullptr detaches). The cycle
+     * loops then sample cumulative stats and occupancies every
+     * recorder period; with no recorder the per-cycle cost is one
+     * always-false compare against kNeverCycle.
+     */
+    void
+    setTimeline(obs::TimelineRecorder *tl)
+    {
+        timeline_ = tl;
+        obsNextAt_ = tl ? now_ + tl->period() : obs::kNeverCycle;
+    }
+#endif
 
   private:
     static constexpr Cycle kNever = ~Cycle{0};
@@ -480,6 +496,11 @@ class ReplayEngine
 #if MSIM_AUDIT_ENABLED
     /// Cycle of the most recent retirement (retire-order audit).
     Cycle auditLastRetire_ = 0;
+#endif
+
+#if MSIM_OBS_ENABLED
+    obs::TimelineRecorder *timeline_ = nullptr;
+    Cycle obsNextAt_ = obs::kNeverCycle;
 #endif
 
     ExecStats stats_;

@@ -1,0 +1,414 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace msim::obs
+{
+
+// --- JsonWriter ------------------------------------------------------
+
+void
+JsonWriter::separate()
+{
+    if (stack_.empty())
+        return;
+    char &top = stack_.back();
+    switch (top) {
+      case 'o':
+      case 'a':
+        top = static_cast<char>(std::toupper(top));
+        break;
+      case 'O':
+      case 'A':
+        std::fputc(',', f_);
+        break;
+      case 'k':
+        // The keyed value: key() already wrote the separator.
+        top = 'O';
+        break;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate();
+    std::fputc('{', f_);
+    stack_.push_back('o');
+}
+
+void
+JsonWriter::endObject()
+{
+    stack_.pop_back();
+    std::fputc('}', f_);
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate();
+    std::fputc('[', f_);
+    stack_.push_back('a');
+}
+
+void
+JsonWriter::endArray()
+{
+    stack_.pop_back();
+    std::fputc(']', f_);
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    separate();
+    writeEscaped(k);
+    std::fputc(':', f_);
+    stack_.back() = 'k';
+}
+
+void
+JsonWriter::writeEscaped(std::string_view s)
+{
+    std::fputc('"', f_);
+    for (const char c : s) {
+        switch (c) {
+          case '"': std::fputs("\\\"", f_); break;
+          case '\\': std::fputs("\\\\", f_); break;
+          case '\n': std::fputs("\\n", f_); break;
+          case '\r': std::fputs("\\r", f_); break;
+          case '\t': std::fputs("\\t", f_); break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                std::fprintf(f_, "\\u%04x", c);
+            else
+                std::fputc(c, f_);
+        }
+    }
+    std::fputc('"', f_);
+}
+
+void
+JsonWriter::value(std::string_view s)
+{
+    separate();
+    writeEscaped(s);
+}
+
+void
+JsonWriter::value(double d)
+{
+    separate();
+    if (!std::isfinite(d))
+        d = 0.0;
+    // %.17g round-trips any double but decorates simple values
+    // ("0.10000000000000001"); try the short form first.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", d);
+    if (std::strtod(buf, nullptr) != d)
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+    std::fputs(buf, f_);
+}
+
+void
+JsonWriter::valueFixed(double d, int precision)
+{
+    separate();
+    if (!std::isfinite(d))
+        d = 0.0;
+    std::fprintf(f_, "%.*f", precision, d);
+}
+
+void
+JsonWriter::value(u64 v)
+{
+    separate();
+    std::fprintf(f_, "%" PRIu64, v);
+}
+
+void
+JsonWriter::value(s64 v)
+{
+    separate();
+    std::fprintf(f_, "%" PRId64, v);
+}
+
+void
+JsonWriter::value(bool b)
+{
+    separate();
+    std::fputs(b ? "true" : "false", f_);
+}
+
+void
+JsonWriter::newline()
+{
+    std::fputc('\n', f_);
+}
+
+// --- json::parse -----------------------------------------------------
+
+namespace json
+{
+
+const Value *
+Value::find(const std::string &k) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    const auto it = object.find(k);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+double
+Value::numberOr(const std::string &k, double dflt) const
+{
+    const Value *v = find(k);
+    return v && v->isNumber() ? v->number : dflt;
+}
+
+std::string
+Value::stringOr(const std::string &k, std::string dflt) const
+{
+    const Value *v = find(k);
+    return v && v->isString() ? v->string : std::move(dflt);
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : s_(text), err_(err)
+    {}
+
+    bool
+    document(Value &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos_ != s_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (err_ && err_->empty())
+            *err_ = "json error at offset " + std::to_string(pos_) +
+                    ": " + why;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, size_t n)
+    {
+        if (s_.size() - pos_ < n || s_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= s_.size())
+                break;
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (s_.size() - pos_ < 4)
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs are not recombined;
+                // the emitter only escapes control characters).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(Value &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        const std::string tok(s_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.number = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size() || tok.empty())
+            return fail("malformed number");
+        out.type = Value::Type::Number;
+        return true;
+    }
+
+    bool
+    value(Value &out)
+    {
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        switch (s_[pos_]) {
+          case '{': {
+            out.type = Value::Type::Object;
+            ++pos_;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != '"')
+                    return fail("expected object key");
+                std::string k;
+                if (!string(k))
+                    return false;
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_++] != ':')
+                    return fail("expected ':'");
+                skipWs();
+                Value v;
+                if (!value(v))
+                    return false;
+                out.object.emplace(std::move(k), std::move(v));
+                skipWs();
+                if (pos_ >= s_.size())
+                    return fail("unterminated object");
+                const char c = s_[pos_++];
+                if (c == '}')
+                    return true;
+                if (c != ',')
+                    return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            out.type = Value::Type::Array;
+            ++pos_;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                Value v;
+                if (!value(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                skipWs();
+                if (pos_ >= s_.size())
+                    return fail("unterminated array");
+                const char c = s_[pos_++];
+                if (c == ']')
+                    return true;
+                if (c != ',')
+                    return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.type = Value::Type::String;
+            return string(out.string);
+          case 't':
+            out.type = Value::Type::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.type = Value::Type::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.type = Value::Type::Null;
+            return literal("null", 4);
+          default:
+            return number(out);
+        }
+    }
+
+    std::string_view s_;
+    size_t pos_ = 0;
+    std::string *err_;
+};
+
+} // namespace
+
+bool
+parse(std::string_view text, Value &out, std::string *err)
+{
+    out = Value{};
+    if (err)
+        err->clear();
+    return Parser(text, err).document(out);
+}
+
+} // namespace json
+
+} // namespace msim::obs

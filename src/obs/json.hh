@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared JSON emission and parsing for the observability layer.
+ *
+ * JsonWriter is the one serializer every JSON the repo emits goes
+ * through — the obs session's NDJSON and Chrome-trace exports, and the
+ * BENCH_*.json files from bench/bench_util.hh — so escaping and comma
+ * management live in exactly one place. json::Value is the matching
+ * minimal recursive-descent parser used by tools/msim_report and the
+ * obs tests to read those files back; it supports the full JSON value
+ * grammar (objects, arrays, strings with escapes, numbers, booleans,
+ * null) but none of the extensions (comments, trailing commas).
+ *
+ * Always compiled, independent of the MSIM_OBS gate: the bench JSON
+ * path needs it even in obs-disabled builds.
+ */
+
+#ifndef MSIM_OBS_JSON_HH_
+#define MSIM_OBS_JSON_HH_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace msim::obs
+{
+
+/**
+ * Streaming JSON writer over a std::FILE. Nesting and element commas
+ * are tracked internally: call beginObject/beginArray, then key()
+ * before each member value inside an object, then value(); the writer
+ * inserts separators. Doubles are emitted with enough digits to
+ * round-trip; non-finite doubles are emitted as 0 (JSON has no NaN).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::FILE *f) : f_(f) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Member key; must be inside an object, before its value. */
+    void key(std::string_view k);
+
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(double d);
+    void value(u64 v);
+    void value(s64 v);
+    void value(int v) { value(static_cast<s64>(v)); }
+    void value(unsigned v) { value(static_cast<u64>(v)); }
+    void value(bool b);
+
+    /** Fixed-point double (e.g. the bench files' %.6f convention). */
+    void valueFixed(double d, int precision);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Raw newline between top-level values (NDJSON framing). */
+    void newline();
+
+  private:
+    void separate();
+    void writeEscaped(std::string_view s);
+
+    std::FILE *f_;
+    /** One char per open container: 'o'/'O' object (first/rest),
+     *  'a'/'A' array, 'k' object awaiting the keyed value. */
+    std::vector<char> stack_;
+};
+
+namespace json
+{
+
+/** Parsed JSON value (see file comment). */
+struct Value
+{
+    enum class Type : u8
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &k) const;
+
+    /** Convenience accessors with defaults for absent members. */
+    double numberOr(const std::string &k, double dflt) const;
+    std::string stringOr(const std::string &k, std::string dflt) const;
+};
+
+/**
+ * Parse one JSON document from @p text. Returns false (and fills
+ * @p err with position + reason, if non-null) on malformed input or
+ * trailing garbage.
+ */
+bool parse(std::string_view text, Value &out, std::string *err = nullptr);
+
+} // namespace json
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_JSON_HH_

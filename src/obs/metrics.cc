@@ -1,0 +1,258 @@
+#include "obs/metrics.hh"
+
+#if MSIM_OBS_ENABLED
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+namespace msim::obs
+{
+
+namespace
+{
+
+/**
+ * Per-thread storage for one metric. Single writer (the owning
+ * thread); snapshots read concurrently, so fields are relaxed atomics
+ * — the merge tolerates a snapshot landing between two updates, it
+ * only needs each field individually untorn.
+ */
+struct Slot
+{
+    std::atomic<u64> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::atomic<u64> gaugeSeq{0};
+    std::atomic<double> gauge{0.0};
+};
+
+/** Plain (merged / retained) form of a Slot. */
+struct Folded
+{
+    u64 count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    u64 gaugeSeq = 0;
+    double gauge = 0.0;
+
+    void
+    merge(const Folded &o)
+    {
+        count += o.count;
+        sum += o.sum;
+        if (o.min < min)
+            min = o.min;
+        if (o.max > max)
+            max = o.max;
+        if (o.gaugeSeq > gaugeSeq) {
+            gaugeSeq = o.gaugeSeq;
+            gauge = o.gauge;
+        }
+    }
+};
+
+struct Sheet
+{
+    Slot slots[kMaxMetrics];
+
+    Folded
+    fold(MetricId id) const
+    {
+        const Slot &s = slots[id];
+        Folded f;
+        f.count = s.count.load(std::memory_order_relaxed);
+        f.sum = s.sum.load(std::memory_order_relaxed);
+        f.min = s.min.load(std::memory_order_relaxed);
+        f.max = s.max.load(std::memory_order_relaxed);
+        f.gaugeSeq = s.gaugeSeq.load(std::memory_order_relaxed);
+        f.gauge = s.gauge.load(std::memory_order_relaxed);
+        return f;
+    }
+
+    void
+    zero()
+    {
+        for (Slot &s : slots) {
+            s.count.store(0, std::memory_order_relaxed);
+            s.sum.store(0.0, std::memory_order_relaxed);
+            s.min.store(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+            s.max.store(-std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+            s.gaugeSeq.store(0, std::memory_order_relaxed);
+            s.gauge.store(0.0, std::memory_order_relaxed);
+        }
+    }
+};
+
+struct MetricInfo
+{
+    std::string name;
+    MetricKind kind;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<MetricInfo> metrics;
+    std::unordered_map<std::string, MetricId> byName;
+    std::vector<Sheet *> liveSheets;
+    std::vector<Folded> retained{kMaxMetrics};
+    /** Total order over gauge writes so "latest wins" is well defined
+     *  across threads. Incremented on every gaugeSet. */
+    std::atomic<u64> gaugeClock{0};
+};
+
+Registry &
+registry()
+{
+    // Leaked intentionally: thread-exit hooks of detached/pool threads
+    // may run after main() returns and must still find the registry.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+/** Registers this thread's sheet on first use, folds it into the
+ *  retained totals on thread exit. */
+struct SheetHolder
+{
+    Sheet sheet;
+
+    SheetHolder()
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.liveSheets.push_back(&sheet);
+    }
+
+    ~SheetHolder()
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (MetricId id = 0; id < r.metrics.size() && id < kMaxMetrics; ++id)
+            r.retained[id].merge(sheet.fold(id));
+        for (auto it = r.liveSheets.begin(); it != r.liveSheets.end(); ++it) {
+            if (*it == &sheet) {
+                r.liveSheets.erase(it);
+                break;
+            }
+        }
+    }
+};
+
+Sheet &
+mySheet()
+{
+    thread_local SheetHolder holder;
+    return holder.sheet;
+}
+
+} // namespace
+
+MetricId
+metricId(const char *name, MetricKind kind)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.byName.find(name);
+    if (it != r.byName.end())
+        return r.metrics[it->second].kind == kind ? it->second : kNoMetric;
+    if (r.metrics.size() >= kMaxMetrics)
+        return kNoMetric;
+    const MetricId id = static_cast<MetricId>(r.metrics.size());
+    r.metrics.push_back({name, kind});
+    r.byName.emplace(name, id);
+    return id;
+}
+
+void
+count(MetricId id, u64 by)
+{
+    if (id >= kMaxMetrics)
+        return;
+    Slot &s = mySheet().slots[id];
+    s.count.store(s.count.load(std::memory_order_relaxed) + by,
+                  std::memory_order_relaxed);
+}
+
+void
+gaugeSet(MetricId id, double v)
+{
+    if (id >= kMaxMetrics)
+        return;
+    const u64 seq =
+        registry().gaugeClock.fetch_add(1, std::memory_order_relaxed) + 1;
+    Slot &s = mySheet().slots[id];
+    s.gauge.store(v, std::memory_order_relaxed);
+    s.gaugeSeq.store(seq, std::memory_order_relaxed);
+}
+
+void
+observe(MetricId id, double v)
+{
+    if (id >= kMaxMetrics)
+        return;
+    Slot &s = mySheet().slots[id];
+    s.count.store(s.count.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    s.sum.store(s.sum.load(std::memory_order_relaxed) + v,
+                std::memory_order_relaxed);
+    if (v < s.min.load(std::memory_order_relaxed))
+        s.min.store(v, std::memory_order_relaxed);
+    if (v > s.max.load(std::memory_order_relaxed))
+        s.max.store(v, std::memory_order_relaxed);
+}
+
+std::vector<MetricValue>
+snapshotMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<MetricValue> out;
+    out.reserve(r.metrics.size());
+    for (MetricId id = 0; id < r.metrics.size(); ++id) {
+        Folded f = r.retained[id];
+        for (const Sheet *sheet : r.liveSheets)
+            f.merge(sheet->fold(id));
+        MetricValue v;
+        v.name = r.metrics[id].name;
+        v.kind = r.metrics[id].kind;
+        switch (v.kind) {
+          case MetricKind::Counter:
+            v.count = f.count;
+            break;
+          case MetricKind::Gauge:
+            v.sum = f.gaugeSeq ? f.gauge : 0.0;
+            v.count = f.gaugeSeq ? 1 : 0;
+            break;
+          case MetricKind::Dist:
+            v.count = f.count;
+            v.sum = f.sum;
+            v.min = f.count ? f.min : 0.0;
+            v.max = f.count ? f.max : 0.0;
+            break;
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+void
+resetMetricsForTest()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (Folded &f : r.retained)
+        f = Folded{};
+    for (Sheet *sheet : r.liveSheets)
+        sheet->zero();
+    r.gaugeClock.store(0, std::memory_order_relaxed);
+}
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hierarchical metrics registry: named counters, gauges, and
+ * distributions that harness components (core/experiment,
+ * cpu/replay_engine, mem/cache snapshots, common/logging, the audit
+ * fuzzer) register into and update from any thread.
+ *
+ * Updates are lock-free: each thread owns a fixed-size sheet of slots
+ * (thread_local), indexed by MetricId, and increments touch only its
+ * own slot through relaxed atomics — no shared cache line, no lock.
+ * Registration (rare) and snapshotting (once per export) take a
+ * mutex; a snapshot merges every live thread's sheet with the totals
+ * retained from exited threads, so values are never lost when a pool
+ * worker terminates.
+ *
+ * Names are dot-hierarchical by convention ("experiment.jobs",
+ * "replay.cycles", "log.dropped_lines"); the registry itself treats
+ * them as opaque. Registering the same name twice returns the same id
+ * (the kind must match). The slot table is fixed at kMaxMetrics
+ * entries; registration past that returns kNoMetric, whose updates
+ * are silently dropped — telemetry must never take the process down.
+ *
+ * With MSIM_OBS off the whole API collapses to no-op inlines.
+ */
+
+#ifndef MSIM_OBS_METRICS_HH_
+#define MSIM_OBS_METRICS_HH_
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/obs.hh"
+
+namespace msim::obs
+{
+
+enum class MetricKind : u8
+{
+    Counter, ///< monotonically accumulating u64
+    Gauge,   ///< last-set double (latest write across threads wins)
+    Dist     ///< double distribution: count / sum / min / max
+};
+
+using MetricId = u32;
+inline constexpr MetricId kNoMetric = ~MetricId{0};
+inline constexpr size_t kMaxMetrics = 256;
+
+/** One metric's merged value in a snapshot. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    u64 count = 0;     ///< counter value, or dist sample count
+    double sum = 0.0;  ///< gauge last value, or dist sum
+    double min = 0.0;  ///< dist minimum (0 when count == 0)
+    double max = 0.0;  ///< dist maximum (0 when count == 0)
+
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+#if MSIM_OBS_ENABLED
+
+/** Register (or look up) @p name; see file comment. */
+MetricId metricId(const char *name, MetricKind kind);
+
+/** Counter add. Invalid ids are ignored. */
+void count(MetricId id, u64 by = 1);
+
+/** Gauge set (latest write wins across threads). */
+void gaugeSet(MetricId id, double v);
+
+/** Distribution sample. */
+void observe(MetricId id, double v);
+
+/** Merged view of every registered metric, in registration order. */
+std::vector<MetricValue> snapshotMetrics();
+
+/** Zero every slot and retained total (registrations persist). Test use. */
+void resetMetricsForTest();
+
+#else
+
+inline MetricId metricId(const char *, MetricKind) { return kNoMetric; }
+inline void count(MetricId, u64 = 1) {}
+inline void gaugeSet(MetricId, double) {}
+inline void observe(MetricId, double) {}
+inline std::vector<MetricValue> snapshotMetrics() { return {}; }
+inline void resetMetricsForTest() {}
+
+#endif // MSIM_OBS_ENABLED
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_METRICS_HH_

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Observability compile gate.
+ *
+ * The telemetry layer (metrics registry, cycle-sampled timelines,
+ * host-time spans, session export) compiles in when the MSIM_OBS CMake
+ * option is ON (the default). With -DMSIM_OBS=OFF every hook in the
+ * simulation and harness code compiles to nothing: the engine loop
+ * members and checks are preprocessed away, the API surface collapses
+ * to constexpr no-op inlines, and the binary carries exactly zero
+ * added instructions on the simulation paths.
+ *
+ * Runtime gating is separate (see obs/session.hh): even in an
+ * obs-enabled build nothing is recorded until a session is configured
+ * (--obs-out=... / MSIM_OBS_OUT), and the per-cycle sampling check is
+ * a single always-false compare while no timeline is attached.
+ */
+
+#ifndef MSIM_OBS_OBS_HH_
+#define MSIM_OBS_OBS_HH_
+
+#ifdef MSIM_OBS_DISABLE
+#define MSIM_OBS_ENABLED 0
+#else
+#define MSIM_OBS_ENABLED 1
+#endif
+
+#endif // MSIM_OBS_OBS_HH_

@@ -1,0 +1,432 @@
+#include "obs/session.hh"
+
+#if MSIM_OBS_ENABLED
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "obs/timeline.hh"
+
+namespace msim::obs
+{
+
+namespace
+{
+
+std::mutex gSessionMu;
+Session *gSession = nullptr;
+
+thread_local std::string tRunLabel;
+
+const char *
+kindStr(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Dist: return "dist";
+    }
+    return "counter";
+}
+
+} // namespace
+
+struct Session::Impl
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<TimelineRecorder>> timelines;
+    u64 startUs = 0;
+};
+
+Session::Session(SessionConfig cfg)
+    : impl_(new Impl), cfg_(std::move(cfg))
+{
+    if (cfg_.samplePeriod == 0)
+        cfg_.samplePeriod = 1;
+    if (cfg_.timelineCapacity == 0)
+        cfg_.timelineCapacity = 1;
+    impl_->startUs = hostNowUs();
+}
+
+Session::~Session()
+{
+    delete impl_;
+}
+
+Session *
+Session::active()
+{
+    std::lock_guard<std::mutex> lock(gSessionMu);
+    return gSession;
+}
+
+bool
+Session::start(SessionConfig cfg)
+{
+    std::lock_guard<std::mutex> lock(gSessionMu);
+    if (gSession)
+        return false;
+    gSession = new Session(std::move(cfg));
+    detail::setSpansActive(true);
+    return true;
+}
+
+void
+Session::finish()
+{
+    Session *s = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(gSessionMu);
+        s = gSession;
+        gSession = nullptr;
+    }
+    if (!s)
+        return;
+    detail::setSpansActive(false);
+    s->flush();
+    delete s;
+}
+
+TimelineRecorder *
+Session::newTimeline(std::string label)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const u32 id = static_cast<u32>(impl_->timelines.size());
+    if (label.empty())
+        label = runLabel();
+    if (label.empty())
+        label = "run" + std::to_string(id);
+    impl_->timelines.push_back(std::make_unique<TimelineRecorder>(
+        id, std::move(label), cfg_.samplePeriod, cfg_.timelineCapacity));
+    return impl_->timelines.back().get();
+}
+
+namespace
+{
+
+void
+writeNdjson(std::FILE *f, const SessionConfig &cfg,
+            const std::vector<std::unique_ptr<TimelineRecorder>> &timelines,
+            const std::vector<SpanRecord> &spans,
+            const std::vector<MetricValue> &metrics)
+{
+    JsonWriter w(f);
+
+    w.beginObject();
+    w.field("type", "meta");
+    w.field("schema_version", kSchemaVersion);
+    w.field("tool", "msim");
+    w.field("sample_period", static_cast<u64>(cfg.samplePeriod));
+    w.field("timeline_capacity", static_cast<u64>(cfg.timelineCapacity));
+    w.endObject();
+    w.newline();
+
+    for (const auto &tl : timelines) {
+        const RunSummary &s = tl->summary();
+        w.beginObject();
+        w.field("type", "run");
+        w.field("run_id", tl->id());
+        w.field("label", tl->label());
+        w.field("finished", tl->finished());
+        w.field("cycles", s.cycles);
+        w.field("instructions", s.instructions);
+        w.field("busy", s.busy);
+        w.field("fu_stall", s.fuStall);
+        w.field("mem_l1_hit", s.memL1Hit);
+        w.field("mem_l1_miss", s.memL1Miss);
+        w.field("branches", s.branches);
+        w.field("mispredicts", s.mispredicts);
+        w.field("l1_accesses", s.l1Accesses);
+        w.field("l1_misses", s.l1Misses);
+        w.field("l2_accesses", s.l2Accesses);
+        w.field("l2_misses", s.l2Misses);
+        w.field("l1_mshr_mean", s.l1MshrMean);
+        w.field("l2_mshr_mean", s.l2MshrMean);
+        w.field("samples", tl->totalSamples());
+        w.field("dropped_samples", tl->droppedSamples());
+        w.endObject();
+        w.newline();
+
+        for (size_t i = 0; i < tl->size(); ++i) {
+            const TimelineRow r = tl->row(i);
+            w.beginObject();
+            w.field("type", "sample");
+            w.field("run_id", tl->id());
+            w.field("cycle", static_cast<u64>(r.cycle));
+            w.field("retired", r.retired);
+            w.field("busy", r.busy);
+            w.field("fu_stall", r.fuStall);
+            w.field("mem_l1_hit", r.memL1Hit);
+            w.field("mem_l1_miss", r.memL1Miss);
+            w.field("window", r.window);
+            w.field("memq", r.memq);
+            w.field("mshr_l1", r.mshrL1);
+            w.field("mshr_l2", r.mshrL2);
+            w.endObject();
+            w.newline();
+        }
+    }
+
+    for (const SpanRecord &sp : spans) {
+        w.beginObject();
+        w.field("type", "span");
+        w.field("name", sp.name);
+        if (!sp.detail.empty())
+            w.field("detail", sp.detail);
+        w.field("tid", sp.tid);
+        w.field("begin_us", sp.beginUs);
+        w.field("dur_us", sp.durUs);
+        w.endObject();
+        w.newline();
+    }
+
+    for (const MetricValue &m : metrics) {
+        w.beginObject();
+        w.field("type", "metric");
+        w.field("name", m.name);
+        w.field("kind", kindStr(m.kind));
+        switch (m.kind) {
+          case MetricKind::Counter:
+            w.field("count", m.count);
+            break;
+          case MetricKind::Gauge:
+            w.field("value", m.sum);
+            break;
+          case MetricKind::Dist:
+            w.field("count", m.count);
+            w.field("sum", m.sum);
+            w.field("min", m.min);
+            w.field("max", m.max);
+            break;
+        }
+        w.endObject();
+        w.newline();
+    }
+}
+
+/** pid of a run's process group in the trace; pid 0 is the host. */
+u32
+tracePid(const TimelineRecorder &tl)
+{
+    return 1 + tl.id();
+}
+
+void
+traceMeta(JsonWriter &w, const char *what, u32 pid, u32 tid,
+          std::string_view name)
+{
+    w.beginObject();
+    w.field("name", what);
+    w.field("ph", "M");
+    w.field("pid", static_cast<u64>(pid));
+    w.field("tid", static_cast<u64>(tid));
+    w.key("args");
+    w.beginObject();
+    w.field("name", name);
+    w.endObject();
+    w.endObject();
+}
+
+void
+beginCounter(JsonWriter &w, u32 pid, const char *name, u64 ts)
+{
+    w.beginObject();
+    w.field("name", name);
+    w.field("ph", "C");
+    w.field("pid", static_cast<u64>(pid));
+    w.field("tid", static_cast<u64>(0));
+    w.field("ts", ts);
+    w.key("args");
+    w.beginObject();
+}
+
+void
+endCounter(JsonWriter &w)
+{
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeTrace(std::FILE *f,
+           const std::vector<std::unique_ptr<TimelineRecorder>> &timelines,
+           const std::vector<SpanRecord> &spans,
+           const std::vector<std::pair<u32, std::string>> &threadLabels)
+{
+    JsonWriter w(f);
+    w.beginObject();
+    w.field("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+
+    traceMeta(w, "process_name", 0, 0, "msim host");
+    for (const auto &[tid, label] : threadLabels)
+        traceMeta(w, "thread_name", 0, tid, label);
+
+    for (const SpanRecord &sp : spans) {
+        w.beginObject();
+        w.field("name", sp.name);
+        w.field("cat", "host");
+        w.field("ph", "X");
+        w.field("ts", sp.beginUs);
+        w.field("dur", sp.durUs);
+        w.field("pid", static_cast<u64>(0));
+        w.field("tid", static_cast<u64>(sp.tid));
+        if (!sp.detail.empty()) {
+            w.key("args");
+            w.beginObject();
+            w.field("detail", sp.detail);
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    // Simulated-time tracks: one trace process per run; 1 trace µs ==
+    // 1 simulated cycle. Stall counters are per-interval cycle counts,
+    // occupancies are instantaneous at the sample cycle.
+    for (const auto &tl : timelines) {
+        const u32 pid = tracePid(*tl);
+        traceMeta(w, "process_name", pid, 0, "sim " + tl->label());
+
+        // After wraparound the row preceding the oldest retained one is
+        // gone, so start differencing from the second retained row.
+        const size_t start = tl->droppedSamples() ? 1 : 0;
+        TimelineRow prev{};
+        if (start)
+            prev = tl->row(0);
+        for (size_t i = start; i < tl->size(); ++i) {
+            const TimelineRow r = tl->row(i);
+            const u64 ts = r.cycle;
+            const u64 dCycle = r.cycle - prev.cycle;
+            const u64 dRetired = r.retired - prev.retired;
+
+            beginCounter(w, pid, "ipc", ts);
+            w.field("ipc",
+                    dCycle ? static_cast<double>(dRetired) / dCycle : 0.0);
+            endCounter(w);
+
+            beginCounter(w, pid, "stall mix", ts);
+            w.field("busy", r.busy - prev.busy);
+            w.field("fu_stall", r.fuStall - prev.fuStall);
+            w.field("mem_l1_hit", r.memL1Hit - prev.memL1Hit);
+            w.field("mem_l1_miss", r.memL1Miss - prev.memL1Miss);
+            endCounter(w);
+
+            beginCounter(w, pid, "occupancy", ts);
+            w.field("window", r.window);
+            w.field("memq", r.memq);
+            endCounter(w);
+
+            beginCounter(w, pid, "mshr", ts);
+            w.field("l1", r.mshrL1);
+            w.field("l2", r.mshrL2);
+            endCounter(w);
+
+            prev = r;
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    w.newline();
+}
+
+} // namespace
+
+void
+Session::flush()
+{
+    // Surface the logging drop counter before snapshotting metrics.
+    static const MetricId droppedId =
+        metricId("log.dropped_lines", MetricKind::Gauge);
+    gaugeSet(droppedId, static_cast<double>(droppedLogLines()));
+
+    const std::vector<SpanRecord> spans = detail::drainSpans();
+    const std::vector<MetricValue> metrics = snapshotMetrics();
+    const auto labels = detail::threadLabels();
+
+    std::lock_guard<std::mutex> lock(impl_->mu);
+
+    const std::string ndPath = cfg_.outBase + ".ndjson";
+    if (std::FILE *f = std::fopen(ndPath.c_str(), "w")) {
+        writeNdjson(f, cfg_, impl_->timelines, spans, metrics);
+        std::fclose(f);
+    } else {
+        warn("obs: cannot write %s", ndPath.c_str());
+    }
+
+    const std::string trPath = cfg_.outBase + ".trace.json";
+    if (std::FILE *f = std::fopen(trPath.c_str(), "w")) {
+        writeTrace(f, impl_->timelines, spans, labels);
+        std::fclose(f);
+    } else {
+        warn("obs: cannot write %s", trPath.c_str());
+    }
+}
+
+const std::string &
+runLabel()
+{
+    return tRunLabel;
+}
+
+ScopedRunLabel::ScopedRunLabel(std::string label)
+    : prev_(std::move(tRunLabel))
+{
+    tRunLabel = std::move(label);
+}
+
+ScopedRunLabel::~ScopedRunLabel()
+{
+    tRunLabel = std::move(prev_);
+}
+
+namespace
+{
+
+SessionConfig gPending;
+bool gHavePending = false;
+
+} // namespace
+
+bool
+handleObsArg(const char *arg)
+{
+    if (std::strncmp(arg, "--obs-out=", 10) == 0) {
+        gPending.outBase = arg + 10;
+        gHavePending = true;
+        return true;
+    }
+    if (std::strncmp(arg, "--obs-period=", 13) == 0) {
+        const unsigned long long v = std::strtoull(arg + 13, nullptr, 10);
+        gPending.samplePeriod = v ? static_cast<Cycle>(v) : 1;
+        return true;
+    }
+    if (std::strncmp(arg, "--obs-capacity=", 15) == 0) {
+        const unsigned long long v = std::strtoull(arg + 15, nullptr, 10);
+        gPending.timelineCapacity = v ? static_cast<size_t>(v) : 1;
+        return true;
+    }
+    return false;
+}
+
+bool
+startFromArgs()
+{
+    if (!gHavePending)
+        return false;
+    gHavePending = false;
+    return Session::start(gPending);
+}
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED

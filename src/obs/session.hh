@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Telemetry session: the runtime gate and export point for the obs
+ * layer. Nothing is recorded — spans are inert, engines get no
+ * timeline, metrics still accumulate but go nowhere — until a session
+ * is started, normally via `--obs-out=BASE` on a tool or bench command
+ * line. While active, the session hands out one TimelineRecorder per
+ * simulated run (per sweep lane under batched replay), and on finish()
+ * writes two files:
+ *
+ *   BASE.ndjson      one JSON object per line: a `meta` header, then
+ *                    `run` / `sample` / `span` / `metric` records
+ *                    (schema: tools/obs_schema.json; consumed by
+ *                    tools/msim_report).
+ *   BASE.trace.json  Chrome trace-event JSON loadable in Perfetto:
+ *                    counter tracks per run over simulated time (IPC,
+ *                    stall mix, window/memq/MSHR occupancy; 1 trace µs
+ *                    = 1 simulated cycle) plus host-time duration
+ *                    events for the harness phases, one track per
+ *                    thread.
+ *
+ * Only compiled when MSIM_OBS is on; inert inline stubs otherwise so
+ * tools can keep their CLI plumbing unconditional.
+ */
+
+#ifndef MSIM_OBS_SESSION_HH_
+#define MSIM_OBS_SESSION_HH_
+
+#include <string>
+#include <utility>
+
+#include "common/types.hh"
+#include "obs/obs.hh"
+
+namespace msim::obs
+{
+
+/** Version stamped into every JSON artifact this repo emits. */
+inline constexpr int kSchemaVersion = 1;
+
+struct SessionConfig
+{
+    std::string outBase;          ///< writes outBase.ndjson / .trace.json
+    Cycle samplePeriod = 8192;    ///< cycles between timeline samples
+    size_t timelineCapacity = 4096; ///< ring rows retained per run
+};
+
+#if MSIM_OBS_ENABLED
+
+class TimelineRecorder;
+
+class Session
+{
+  public:
+    /** The active session, or nullptr. */
+    static Session *active();
+
+    /** Start recording; false if a session is already active. */
+    static bool start(SessionConfig cfg);
+
+    /**
+     * Flush both output files and end the session. Idempotent. Must
+     * only be called after in-flight runs complete: engines hold raw
+     * pointers into the session's timelines.
+     */
+    static void finish();
+
+    /**
+     * New per-run recorder named @p label (falls back to the thread's
+     * run label, then "run<N>"). Owned by the session; valid until
+     * finish(). Thread-safe. Returns nullptr if capacity is exhausted.
+     */
+    TimelineRecorder *newTimeline(std::string label);
+
+    const SessionConfig &config() const { return cfg_; }
+
+  private:
+    explicit Session(SessionConfig cfg);
+    ~Session();
+
+    void flush();
+
+    struct Impl;
+    Impl *impl_;
+    SessionConfig cfg_;
+};
+
+/**
+ * Thread-local label ("benchmark/variant@machine") naming the run the
+ * calling thread is currently simulating; runner uses it to name
+ * timelines when pool workers execute jobs.
+ */
+const std::string &runLabel();
+
+class ScopedRunLabel
+{
+  public:
+    explicit ScopedRunLabel(std::string label);
+    ~ScopedRunLabel();
+
+    ScopedRunLabel(const ScopedRunLabel &) = delete;
+    ScopedRunLabel &operator=(const ScopedRunLabel &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+/**
+ * CLI plumbing: recognizes and consumes --obs-out=BASE,
+ * --obs-period=N, --obs-capacity=N. Call startFromArgs() once parsing
+ * is done; it starts a session iff --obs-out was seen.
+ */
+bool handleObsArg(const char *arg);
+bool startFromArgs();
+
+#else // MSIM_OBS_ENABLED
+
+class TimelineRecorder;
+
+class Session
+{
+  public:
+    static Session *active() { return nullptr; }
+    static bool start(const SessionConfig &) { return false; }
+    static void finish() {}
+    TimelineRecorder *newTimeline(const std::string &) { return nullptr; }
+};
+
+inline const std::string &
+runLabel()
+{
+    static const std::string empty;
+    return empty;
+}
+
+class ScopedRunLabel
+{
+  public:
+    explicit ScopedRunLabel(std::string) {}
+};
+
+inline bool handleObsArg(const char *) { return false; }
+inline bool startFromArgs() { return false; }
+
+#endif // MSIM_OBS_ENABLED
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_SESSION_HH_

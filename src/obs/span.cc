@@ -1,0 +1,126 @@
+#include "obs/span.hh"
+
+#if MSIM_OBS_ENABLED
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace msim::obs
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point
+processEpoch()
+{
+    static const SteadyClock::time_point epoch = SteadyClock::now();
+    return epoch;
+}
+
+/**
+ * Process-wide span buffer. Deliberately never destroyed (leaked
+ * singleton) so pool threads exiting after main() can still reach it.
+ * Spans are rare (per phase, not per cycle), so one mutex is fine.
+ */
+struct SpanStore
+{
+    std::mutex mu;
+    std::vector<SpanRecord> records;
+    std::map<u32, std::string> labels;
+    std::atomic<bool> active{false};
+    std::atomic<u32> nextTid{0};
+};
+
+SpanStore &
+store()
+{
+    static SpanStore *s = new SpanStore;
+    return *s;
+}
+
+} // namespace
+
+u64
+hostNowUs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            SteadyClock::now() - processEpoch())
+            .count());
+}
+
+u32
+obsThreadId()
+{
+    thread_local const u32 tid =
+        store().nextTid.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+void
+setObsThreadLabel(std::string label)
+{
+    SpanStore &s = store();
+    const u32 tid = obsThreadId();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.labels[tid] = std::move(label);
+}
+
+Span::Span(const char *name, std::string detail)
+    : name_(name), detail_(std::move(detail))
+{
+    if (!store().active.load(std::memory_order_relaxed))
+        return;
+    live_ = true;
+    t0_ = hostNowUs();
+}
+
+Span::~Span()
+{
+    if (!live_)
+        return;
+    const u64 t1 = hostNowUs();
+    SpanStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.records.push_back(
+        {name_, std::move(detail_), t0_, t1 - t0_, obsThreadId()});
+}
+
+namespace detail
+{
+
+void
+setSpansActive(bool active)
+{
+    store().active.store(active, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord>
+drainSpans()
+{
+    SpanStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::vector<SpanRecord> out = std::move(s.records);
+    s.records.clear();
+    return out;
+}
+
+std::vector<std::pair<u32, std::string>>
+threadLabels()
+{
+    SpanStore &s = store();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return {s.labels.begin(), s.labels.end()};
+}
+
+} // namespace detail
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED

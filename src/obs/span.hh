@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Harness self-profiling spans: scoped host-time timers around the
+ * phases the harness spends wall-clock in (trace record, decode,
+ * replay, batch chunks, fuzz cases, thread-pool work items). Completed
+ * spans are buffered process-wide and drained by the obs session into
+ * the Chrome trace export, where they appear as duration events on
+ * their thread's track — side by side with the simulated-time tracks.
+ *
+ * A Span is inert (no clock read, no allocation) unless an obs session
+ * is active when it is constructed. Use the MSIM_OBS_SPAN macro at
+ * call sites: it compiles to nothing when MSIM_OBS is off, so even the
+ * argument expressions vanish from disabled builds.
+ */
+
+#ifndef MSIM_OBS_SPAN_HH_
+#define MSIM_OBS_SPAN_HH_
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/obs.hh"
+
+#if MSIM_OBS_ENABLED
+
+#define MSIM_OBS_SPAN(var, ...) ::msim::obs::Span var(__VA_ARGS__)
+
+namespace msim::obs
+{
+
+/** One completed span, as drained by the session for export. */
+struct SpanRecord
+{
+    const char *name;   ///< static phase name ("record", "batch.chunk", ...)
+    std::string detail; ///< free-form qualifier ("djpeg/media", lane id, ...)
+    u64 beginUs;        ///< host time, µs since process epoch
+    u64 durUs;
+    u32 tid; ///< dense obs thread id (0 = first thread seen)
+};
+
+/**
+ * RAII phase timer. Captures the start time at construction and
+ * appends a SpanRecord at destruction; both ends no-op when no session
+ * is active at construction time.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, std::string detail = {});
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_;
+    std::string detail_;
+    u64 t0_ = 0;
+    bool live_ = false;
+};
+
+/** Host time in µs since a fixed process-wide epoch (steady clock). */
+u64 hostNowUs();
+
+/** Dense id of the calling thread (assigned on first use). */
+u32 obsThreadId();
+
+/** Label the calling thread's track in the trace ("pool-worker-2"). */
+void setObsThreadLabel(std::string label);
+
+namespace detail
+{
+
+/** Session lifecycle hook: spans record only while active. */
+void setSpansActive(bool active);
+
+/** Move out all buffered spans (session export). */
+std::vector<SpanRecord> drainSpans();
+
+/** Snapshot of (tid, label) pairs set via setObsThreadLabel. */
+std::vector<std::pair<u32, std::string>> threadLabels();
+
+} // namespace detail
+
+} // namespace msim::obs
+
+#else // MSIM_OBS_ENABLED
+
+#define MSIM_OBS_SPAN(var, ...) \
+    do {                        \
+    } while (false)
+
+namespace msim::obs
+{
+
+inline void setObsThreadLabel(const std::string &) {}
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED
+
+#endif // MSIM_OBS_SPAN_HH_

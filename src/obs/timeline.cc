@@ -1,0 +1,43 @@
+#include "obs/timeline.hh"
+
+#if MSIM_OBS_ENABLED
+
+#include <utility>
+
+namespace msim::obs
+{
+
+TimelineRecorder::TimelineRecorder(u32 id, std::string label, Cycle period,
+                                   size_t capacity)
+    : id_(id),
+      label_(std::move(label)),
+      period_(period ? period : 1),
+      rows_(capacity ? capacity : 1)
+{}
+
+void
+TimelineRecorder::attachMem(const OccupancyTracker *l1,
+                            const OccupancyTracker *l2)
+{
+    l1_ = l1;
+    l2_ = l2;
+}
+
+void
+TimelineRecorder::finish(const RunSummary &summary)
+{
+    summary_ = summary;
+    finished_ = true;
+}
+
+TimelineRow
+TimelineRecorder::row(size_t i) const
+{
+    const size_t n = size();
+    const size_t oldest = count_ > rows_.size() ? count_ % rows_.size() : 0;
+    return rows_[(oldest + (i < n ? i : n - 1)) % rows_.size()];
+}
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Cycle-sampled timeline recorder. Every N simulated cycles the engine
+ * loop hands the recorder its cumulative retired/StallClass counters
+ * and instantaneous window/memory-queue occupancy; the recorder reads
+ * the L1/L2 MSHR occupancy off the attached trackers and appends one
+ * row to a columnar ring buffer. The session serializes the rows as
+ * NDJSON `sample` records and as Chrome trace-event counter tracks
+ * (IPC, stall mix, occupancies — one track per resource, one recorder
+ * per run or per sweep lane in batched replay).
+ *
+ * The ring holds the most recent `capacity` rows; older rows are
+ * overwritten and counted as dropped. All stored stall/retired values
+ * are cumulative since cycle 0 — consumers difference adjacent rows to
+ * get per-interval rates, which keeps the hot-path hook to plain
+ * copies (no divides, no derived state).
+ *
+ * Recorders are created by the session (one per run) and driven by a
+ * single engine thread; no locking. The engine keeps the returned
+ * next-sample threshold in a member, so the per-cycle cost while a
+ * timeline is attached is one compare, and kNeverCycle makes the same
+ * compare permanently false when none is.
+ */
+
+#ifndef MSIM_OBS_TIMELINE_HH_
+#define MSIM_OBS_TIMELINE_HH_
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/obs.hh"
+
+#if MSIM_OBS_ENABLED
+
+#include "common/stats.hh"
+
+namespace msim::obs
+{
+
+/** Sample threshold meaning "never sample" (no timeline attached). */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/** End-of-run aggregates attached to a timeline when its run ends. */
+struct RunSummary
+{
+    u64 cycles = 0;
+    u64 instructions = 0;  ///< retired
+    double busy = 0.0;     ///< StallClass cycle split, fractional (§2.3.4)
+    double fuStall = 0.0;
+    double memL1Hit = 0.0;
+    double memL1Miss = 0.0;
+    u64 branches = 0;
+    u64 mispredicts = 0;
+    u64 l1Accesses = 0;
+    u64 l1Misses = 0;
+    u64 l2Accesses = 0;
+    u64 l2Misses = 0;
+    double l1MshrMean = 0.0;
+    double l2MshrMean = 0.0;
+};
+
+/** One exported row, in chronological order. */
+struct TimelineRow
+{
+    Cycle cycle;
+    u64 retired; ///< cumulative
+    double busy; ///< cumulative (fractional) StallClass cycles
+    double fuStall;
+    double memL1Hit;
+    double memL1Miss;
+    u32 window; ///< instantaneous occupancies at the sample cycle
+    u32 memq;
+    u32 mshrL1;
+    u32 mshrL2;
+};
+
+class TimelineRecorder
+{
+  public:
+    TimelineRecorder(u32 id, std::string label, Cycle period,
+                     size_t capacity);
+
+    /** Point MSHR sampling at the run's hierarchy (may stay null). */
+    void attachMem(const OccupancyTracker *l1, const OccupancyTracker *l2);
+
+    /**
+     * Record one row; called by the engine when now >= the previously
+     * returned threshold. Returns the next threshold.
+     */
+    Cycle
+    sample(Cycle now, u64 retired, double busy, double fuStall,
+           double memL1Hit, double memL1Miss, u32 window, u32 memq)
+    {
+        const size_t at = count_ % rows_.size();
+        TimelineRow &r = rows_[at];
+        r.cycle = now;
+        r.retired = retired;
+        r.busy = busy;
+        r.fuStall = fuStall;
+        r.memL1Hit = memL1Hit;
+        r.memL1Miss = memL1Miss;
+        r.window = window;
+        r.memq = memq;
+        r.mshrL1 = l1_ ? l1_->lastOccupancy() : 0;
+        r.mshrL2 = l2_ ? l2_->lastOccupancy() : 0;
+        ++count_;
+        return now + period_;
+    }
+
+    /** Attach end-of-run aggregates (idempotent; last call wins). */
+    void finish(const RunSummary &summary);
+
+    u32 id() const { return id_; }
+    const std::string &label() const { return label_; }
+    Cycle period() const { return period_; }
+    bool finished() const { return finished_; }
+    const RunSummary &summary() const { return summary_; }
+
+    /** Rows ever sampled (including since-overwritten ones). */
+    u64 totalSamples() const { return count_; }
+    /** Rows lost to ring wraparound. */
+    u64 droppedSamples() const
+    {
+        return count_ > rows_.size() ? count_ - rows_.size() : 0;
+    }
+    /** Retained row count. */
+    size_t size() const
+    {
+        return count_ < rows_.size() ? static_cast<size_t>(count_)
+                                     : rows_.size();
+    }
+    /** Retained rows, oldest first. */
+    TimelineRow row(size_t i) const;
+
+  private:
+    u32 id_;
+    std::string label_;
+    Cycle period_;
+    std::vector<TimelineRow> rows_;
+    u64 count_ = 0;
+    const OccupancyTracker *l1_ = nullptr;
+    const OccupancyTracker *l2_ = nullptr;
+    RunSummary summary_;
+    bool finished_ = false;
+};
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED
+
+#endif // MSIM_OBS_TIMELINE_HH_

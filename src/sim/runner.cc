@@ -5,6 +5,10 @@
 #include "cpu/core.hh"
 #include "isa/inst.hh"
 #include "mem/hierarchy.hh"
+#include "obs/metrics.hh"
+#include "obs/session.hh"
+#include "obs/span.hh"
+#include "obs/timeline.hh"
 
 namespace msim::sim
 {
@@ -70,6 +74,93 @@ snapOf(const mem::CacheLevel &c)
     return s;
 }
 
+#if MSIM_OBS_ENABLED
+
+/**
+ * New per-run timeline when a session is active: named by the thread's
+ * run label (set by core/experiment) or the machine label, with MSHR
+ * sampling attached to the run's own hierarchy.
+ */
+obs::TimelineRecorder *
+newRunTimeline(const MachineConfig &machine, const mem::Hierarchy &h)
+{
+    obs::Session *s = obs::Session::active();
+    if (!s)
+        return nullptr;
+    std::string label = obs::runLabel();
+    if (label.empty())
+        label = machine.label;
+    else
+        label += "@" + machine.label;
+    obs::TimelineRecorder *tl = s->newTimeline(std::move(label));
+    if (tl)
+        tl->attachMem(&h.l1().mshrOccupancy(), &h.l2().mshrOccupancy());
+    return tl;
+}
+
+/** Per-run metrics: simulation totals, §2.3.4 stall split, cache/MSHR
+ *  behaviour. Registered once; updated once per completed run. */
+struct RunMetrics
+{
+    obs::MetricId cycles =
+        obs::metricId("sim.cycles", obs::MetricKind::Counter);
+    obs::MetricId instructions =
+        obs::metricId("sim.instructions", obs::MetricKind::Counter);
+    obs::MetricId fracBusy =
+        obs::metricId("stall.frac_busy", obs::MetricKind::Dist);
+    obs::MetricId fracFu =
+        obs::metricId("stall.frac_fu", obs::MetricKind::Dist);
+    obs::MetricId fracL1Hit =
+        obs::metricId("stall.frac_mem_l1_hit", obs::MetricKind::Dist);
+    obs::MetricId fracL1Miss =
+        obs::metricId("stall.frac_mem_l1_miss", obs::MetricKind::Dist);
+    obs::MetricId l1MissRate =
+        obs::metricId("cache.l1.miss_rate", obs::MetricKind::Dist);
+    obs::MetricId l2MissRate =
+        obs::metricId("cache.l2.miss_rate", obs::MetricKind::Dist);
+    obs::MetricId l1MshrMean =
+        obs::metricId("cache.l1.mshr_mean", obs::MetricKind::Dist);
+    obs::MetricId l2MshrMean =
+        obs::metricId("cache.l2.mshr_mean", obs::MetricKind::Dist);
+};
+
+/** Close @p tl with the run's final aggregates. */
+void
+finishTimeline(obs::TimelineRecorder *tl, const RunResult &r)
+{
+    if (!tl)
+        return;
+    static const RunMetrics m;
+    obs::count(m.cycles, r.exec.cycles);
+    obs::count(m.instructions, r.exec.retired);
+    obs::observe(m.fracBusy, r.exec.fracBusy());
+    obs::observe(m.fracFu, r.exec.fracFuStall());
+    obs::observe(m.fracL1Hit, r.exec.fracMemL1Hit());
+    obs::observe(m.fracL1Miss, r.exec.fracMemL1Miss());
+    obs::observe(m.l1MissRate, r.l1.missRate);
+    obs::observe(m.l2MissRate, r.l2.missRate);
+    obs::observe(m.l1MshrMean, r.l1.mshrMeanOccupancy);
+    obs::observe(m.l2MshrMean, r.l2.mshrMeanOccupancy);
+    obs::RunSummary s;
+    s.cycles = r.exec.cycles;
+    s.instructions = r.exec.retired;
+    s.busy = r.exec.busy;
+    s.fuStall = r.exec.fuStall;
+    s.memL1Hit = r.exec.memL1Hit;
+    s.memL1Miss = r.exec.memL1Miss;
+    s.branches = r.exec.branches;
+    s.mispredicts = r.exec.mispredicts;
+    s.l1Accesses = r.l1.accesses;
+    s.l1Misses = r.l1.misses;
+    s.l2Accesses = r.l2.accesses;
+    s.l2Misses = r.l2.misses;
+    s.l1MshrMean = r.l1.mshrMeanOccupancy;
+    s.l2MshrMean = r.l2.mshrMeanOccupancy;
+    tl->finish(s);
+}
+
+#endif // MSIM_OBS_ENABLED
+
 } // namespace
 
 RunResult
@@ -80,6 +171,11 @@ runTrace(const Generator &generate, const MachineConfig &machine)
     prog::TraceBuilder tb(core, machine.skewArrays, true,
                           machine.visFeatures);
 
+#if MSIM_OBS_ENABLED
+    obs::TimelineRecorder *tl = newRunTimeline(machine, hierarchy);
+    core.setTimeline(tl);
+    MSIM_OBS_SPAN(span, "live", machine.label);
+#endif
     generate(tb);
     tb.finish();
 
@@ -90,6 +186,9 @@ runTrace(const Generator &generate, const MachineConfig &machine)
     r.l2 = snapOf(hierarchy.l2());
     r.tbInstrs = tb.instCount();
     tallyVisOps(r, tb);
+#if MSIM_OBS_ENABLED
+    finishTimeline(tl, r);
+#endif
     return r;
 }
 
@@ -97,6 +196,7 @@ prog::RecordedTrace
 recordTrace(const Generator &generate, bool skewArrays,
             prog::VisFeatures visFeatures)
 {
+    MSIM_OBS_SPAN(span, "record");
     prog::TraceRecorder recorder;
     prog::TraceBuilder tb(recorder, skewArrays, true, visFeatures);
     generate(tb);
@@ -109,6 +209,11 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
 {
     mem::Hierarchy hierarchy(machine.mem);
     cpu::PipelineCore core(machine.core, hierarchy);
+#if MSIM_OBS_ENABLED
+    obs::TimelineRecorder *tl = newRunTimeline(machine, hierarchy);
+    core.setTimeline(tl);
+    MSIM_OBS_SPAN(span, "replay", machine.label);
+#endif
     core.runRecorded(trace);
 
     RunResult r;
@@ -118,6 +223,9 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
     r.l2 = snapOf(hierarchy.l2());
     r.tbInstrs = trace.instCount();
     tallyVisOps(r, trace);
+#if MSIM_OBS_ENABLED
+    finishTimeline(tl, r);
+#endif
     return r;
 }
 
@@ -157,6 +265,17 @@ replayTraceBatch(const prog::RecordedTrace &trace,
             trace, lanes,
             chunkInstructions ? chunkInstructions
                               : cpu::BatchReplayEngine::kDefaultChunk);
+#if MSIM_OBS_ENABLED
+        // One timeline track per sweep lane.
+        std::vector<obs::TimelineRecorder *> laneTl(batched.size(),
+                                                    nullptr);
+        for (size_t k = 0; k < batched.size(); ++k) {
+            laneTl[k] =
+                newRunTimeline(machines[batched[k]], hierarchies[k]);
+            engine.setLaneTimeline(k, laneTl[k]);
+        }
+        MSIM_OBS_SPAN(span, "batch.run");
+#endif
         engine.run();
 
         for (size_t k = 0; k < batched.size(); ++k) {
@@ -167,6 +286,9 @@ replayTraceBatch(const prog::RecordedTrace &trace,
             r.l2 = snapOf(hierarchies[k].l2());
             r.tbInstrs = trace.instCount();
             tallyVisOps(r, trace);
+#if MSIM_OBS_ENABLED
+            finishTimeline(laneTl[k], r);
+#endif
         }
     }
     return results;

@@ -176,6 +176,59 @@ TEST(Stats, OccupancyFracAtLeastBoundaries)
     EXPECT_DOUBLE_EQ(empty.fracAtLeast(5), 0.0);
 }
 
+TEST(Stats, OccupancyZeroElapsedAdvance)
+{
+    OccupancyTracker t(4);
+    // Time has not moved: no weight is accumulated, but peak and the
+    // instantaneous occupancy still update.
+    t.advance(0, 3);
+    EXPECT_DOUBLE_EQ(t.meanOccupancy(), 0.0);
+    EXPECT_EQ(t.peakOccupancy(), 3u);
+    EXPECT_EQ(t.lastOccupancy(), 3u);
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(0), 0.0); // zero elapsed, no division
+    t.advance(5, 1); // [0,5) at occupancy 1
+    t.advance(5, 4); // same-cycle re-advance: weightless again
+    EXPECT_DOUBLE_EQ(t.meanOccupancy(), 1.0);
+    EXPECT_EQ(t.peakOccupancy(), 4u);
+    EXPECT_EQ(t.lastOccupancy(), 4u);
+}
+
+TEST(Stats, OccupancySaturatedTopBucket)
+{
+    OccupancyTracker t(2); // histogram buckets 0..2
+    t.advance(10, 5);      // occupancy above capacity saturates into [2]
+    t.advance(20, 1);
+    EXPECT_EQ(t.peakOccupancy(), 5u); // peak keeps the true level
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(2), 0.5);
+    EXPECT_DOUBLE_EQ(t.fracAtLeast(5), 0.5); // clamps to the top bucket
+    EXPECT_DOUBLE_EQ(t.meanOccupancy(), (10 * 5 + 10 * 1) / 20.0);
+}
+
+TEST(Stats, OccupancyOutOfOrderAdvance)
+{
+    OccupancyTracker t(4);
+    t.advance(30, 2);
+    // A stale timestamp must not go backwards: no elapsed time or
+    // weight is added, but peak/lastOccupancy still track the sample.
+    t.advance(10, 4);
+    EXPECT_DOUBLE_EQ(t.meanOccupancy(), 2.0);
+    EXPECT_EQ(t.peakOccupancy(), 4u);
+    EXPECT_EQ(t.lastOccupancy(), 4u);
+    // Time resumes from the furthest point seen.
+    t.advance(60, 0);
+    EXPECT_DOUBLE_EQ(t.meanOccupancy(), (30 * 2 + 30 * 0) / 60.0);
+}
+
+TEST(Stats, OccupancyLastOccupancyTracksEveryAdvance)
+{
+    OccupancyTracker t(8);
+    EXPECT_EQ(t.lastOccupancy(), 0u);
+    t.advance(5, 7);
+    EXPECT_EQ(t.lastOccupancy(), 7u);
+    t.advance(9, 0);
+    EXPECT_EQ(t.lastOccupancy(), 0u);
+}
+
 TEST(ThreadPool, ParallelForZeroCount)
 {
     std::atomic<unsigned> calls{0};

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Observability layer: shared JSON writer/parser round trips, metrics
+ * registry merging across threads, timeline ring-buffer wraparound,
+ * session NDJSON/trace export, and — the property everything else
+ * rests on — bit-identity of simulation results with a session active
+ * vs. absent, across every paper benchmark and variant.
+ *
+ * The JSON tests run in every build; the rest compile only when
+ * MSIM_OBS is on (the default).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/session.hh"
+#include "obs/span.hh"
+#include "obs/timeline.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace
+{
+
+using namespace msim;
+
+std::string
+writeToString(const std::function<void(obs::JsonWriter &)> &fn)
+{
+    std::FILE *f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    {
+        obs::JsonWriter w(f);
+        fn(w);
+    }
+    std::fflush(f);
+    std::rewind(f);
+    std::string out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+TEST(ObsJson, WriterParserRoundTrip)
+{
+    const std::string text = writeToString([](obs::JsonWriter &w) {
+        w.beginObject();
+        w.field("name", "he said \"hi\"\n\t\\");
+        w.field("third", 1.0 / 3.0);
+        w.field("big", u64{1} << 53);
+        w.field("neg", s64{-42});
+        w.field("yes", true);
+        w.key("arr");
+        w.beginArray();
+        w.value(1);
+        w.value("two");
+        w.beginObject();
+        w.field("k", 3.5);
+        w.endObject();
+        w.endArray();
+        w.endObject();
+    });
+
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(text, v, &err)) << err << "\n" << text;
+    EXPECT_EQ(v.stringOr("name", ""), "he said \"hi\"\n\t\\");
+    EXPECT_EQ(v.numberOr("third", 0), 1.0 / 3.0); // round-trip exact
+    EXPECT_EQ(v.numberOr("big", 0), static_cast<double>(u64{1} << 53));
+    EXPECT_EQ(v.numberOr("neg", 0), -42.0);
+    const obs::json::Value *yes = v.find("yes");
+    ASSERT_NE(yes, nullptr);
+    EXPECT_TRUE(yes->isBool() && yes->boolean);
+    const obs::json::Value *arr = v.find("arr");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_TRUE(arr->isArray());
+    ASSERT_EQ(arr->array.size(), 3u);
+    EXPECT_EQ(arr->array[0].number, 1.0);
+    EXPECT_EQ(arr->array[1].string, "two");
+    EXPECT_EQ(arr->array[2].numberOr("k", 0), 3.5);
+}
+
+TEST(ObsJson, NonFiniteDoublesBecomeZero)
+{
+    const std::string text = writeToString([](obs::JsonWriter &w) {
+        w.beginObject();
+        w.field("nan", std::nan(""));
+        w.field("inf", 1.0 / 0.0);
+        w.endObject();
+    });
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(text, v));
+    EXPECT_EQ(v.numberOr("nan", -1), 0.0);
+    EXPECT_EQ(v.numberOr("inf", -1), 0.0);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput)
+{
+    obs::json::Value v;
+    EXPECT_FALSE(obs::json::parse("{\"a\": 1,}", v));
+    EXPECT_FALSE(obs::json::parse("{\"a\" 1}", v));
+    EXPECT_FALSE(obs::json::parse("{} trailing", v));
+    EXPECT_FALSE(obs::json::parse("", v));
+    EXPECT_FALSE(obs::json::parse("\"unterminated", v));
+    std::string err;
+    EXPECT_FALSE(obs::json::parse("[1, 2", v, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(ObsJson, ParserHandlesEscapes)
+{
+    obs::json::Value v;
+    ASSERT_TRUE(
+        obs::json::parse(R"({"s": "aA\n\t\"\\é"})", v));
+    EXPECT_EQ(v.stringOr("s", ""), "aA\n\t\"\\\xc3\xa9");
+}
+
+#if MSIM_OBS_ENABLED
+
+TEST(ObsMetrics, RegistrationIsIdempotentAndKindChecked)
+{
+    obs::resetMetricsForTest();
+    const obs::MetricId a =
+        obs::metricId("test.reg.counter", obs::MetricKind::Counter);
+    ASSERT_NE(a, obs::kNoMetric);
+    EXPECT_EQ(obs::metricId("test.reg.counter", obs::MetricKind::Counter),
+              a);
+    // Same name, different kind: refused.
+    EXPECT_EQ(obs::metricId("test.reg.counter", obs::MetricKind::Gauge),
+              obs::kNoMetric);
+    // Updates through kNoMetric are silently dropped.
+    obs::count(obs::kNoMetric, 7);
+    obs::observe(obs::kNoMetric, 1.0);
+}
+
+TEST(ObsMetrics, MultiThreadMergeAndThreadExitRetention)
+{
+    obs::resetMetricsForTest();
+    const obs::MetricId ctr =
+        obs::metricId("test.merge.counter", obs::MetricKind::Counter);
+    const obs::MetricId dist =
+        obs::metricId("test.merge.dist", obs::MetricKind::Dist);
+    const obs::MetricId gauge =
+        obs::metricId("test.merge.gauge", obs::MetricKind::Gauge);
+
+    constexpr unsigned kThreads = 4, kPer = 1000;
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < kThreads; ++t)
+        ts.emplace_back([=] {
+            for (unsigned i = 0; i < kPer; ++i) {
+                obs::count(ctr);
+                obs::observe(dist, static_cast<double>(i % 10));
+            }
+        });
+    for (auto &t : ts)
+        t.join();
+    // Workers have exited: their sheets must have folded into the
+    // retained totals. The gauge is set after the joins so the winner
+    // is deterministic.
+    obs::gaugeSet(gauge, 12.5);
+
+    bool sawCtr = false, sawDist = false, sawGauge = false;
+    for (const obs::MetricValue &m : obs::snapshotMetrics()) {
+        if (m.name == "test.merge.counter") {
+            sawCtr = true;
+            EXPECT_EQ(m.count, u64{kThreads} * kPer);
+        } else if (m.name == "test.merge.dist") {
+            sawDist = true;
+            EXPECT_EQ(m.count, u64{kThreads} * kPer);
+            EXPECT_EQ(m.min, 0.0);
+            EXPECT_EQ(m.max, 9.0);
+            EXPECT_EQ(m.sum, kThreads * kPer * 4.5);
+        } else if (m.name == "test.merge.gauge") {
+            sawGauge = true;
+            EXPECT_EQ(m.sum, 12.5);
+        }
+    }
+    EXPECT_TRUE(sawCtr && sawDist && sawGauge);
+}
+
+TEST(ObsTimeline, RingBufferWraparound)
+{
+    obs::TimelineRecorder tl(0, "t", /*period=*/10, /*capacity=*/4);
+    EXPECT_EQ(tl.period(), 10u);
+    for (u64 i = 0; i < 7; ++i) {
+        const Cycle now = 10 * (i + 1);
+        EXPECT_EQ(tl.sample(now, /*retired=*/i, 1.0 * i, 0, 0, 0,
+                            static_cast<u32>(i), 0),
+                  now + 10);
+    }
+    EXPECT_EQ(tl.totalSamples(), 7u);
+    EXPECT_EQ(tl.droppedSamples(), 3u);
+    ASSERT_EQ(tl.size(), 4u);
+    // Oldest retained row is sample index 3 (cycle 40), newest 6.
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(tl.row(i).cycle, 10 * (i + 4));
+        EXPECT_EQ(tl.row(i).retired, i + 3);
+    }
+}
+
+TEST(ObsTimeline, NoWraparoundKeepsAllRows)
+{
+    obs::TimelineRecorder tl(1, "t", 5, 8);
+    for (u64 i = 0; i < 3; ++i)
+        tl.sample(5 * (i + 1), i, 0, 0, 0, 0, 0, 0);
+    EXPECT_EQ(tl.droppedSamples(), 0u);
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl.row(0).cycle, 5u);
+    EXPECT_EQ(tl.row(2).cycle, 15u);
+}
+
+// ---- session export and bit identity --------------------------------
+
+void
+expectSameResult(const sim::RunResult &a, const sim::RunResult &b,
+                 const std::string &what)
+{
+#define MSIM_SAME(field) EXPECT_EQ(a.field, b.field) << what << ": " #field
+    MSIM_SAME(exec.cycles);
+    MSIM_SAME(exec.retired);
+    MSIM_SAME(exec.busy);
+    MSIM_SAME(exec.fuStall);
+    MSIM_SAME(exec.memL1Hit);
+    MSIM_SAME(exec.memL1Miss);
+    MSIM_SAME(exec.mixFu);
+    MSIM_SAME(exec.mixBranch);
+    MSIM_SAME(exec.mixMemory);
+    MSIM_SAME(exec.mixVis);
+    MSIM_SAME(exec.branches);
+    MSIM_SAME(exec.mispredicts);
+    MSIM_SAME(exec.loadsL1);
+    MSIM_SAME(exec.loadsL2);
+    MSIM_SAME(exec.loadsMem);
+    MSIM_SAME(exec.prefetchesIssued);
+    MSIM_SAME(exec.prefetchesDropped);
+    MSIM_SAME(l1.accesses);
+    MSIM_SAME(l1.hits);
+    MSIM_SAME(l1.misses);
+    MSIM_SAME(l1.writebacks);
+    MSIM_SAME(l1.missRate);
+    MSIM_SAME(l1.mshrMeanOccupancy);
+    MSIM_SAME(l1.mshrPeakOccupancy);
+    MSIM_SAME(l1.mshrFracAtLeast2);
+    MSIM_SAME(l1.mshrFracAtLeast5);
+    MSIM_SAME(l1.loadOverlapMean);
+    MSIM_SAME(l2.accesses);
+    MSIM_SAME(l2.hits);
+    MSIM_SAME(l2.misses);
+    MSIM_SAME(l2.writebacks);
+    MSIM_SAME(l2.missRate);
+    MSIM_SAME(l2.mshrMeanOccupancy);
+    MSIM_SAME(l2.mshrPeakOccupancy);
+    MSIM_SAME(l2.mshrFracAtLeast2);
+    MSIM_SAME(l2.mshrFracAtLeast5);
+    MSIM_SAME(l2.loadOverlapMean);
+    MSIM_SAME(tbInstrs);
+    MSIM_SAME(visOps);
+    MSIM_SAME(visOverheadOps);
+#undef MSIM_SAME
+}
+
+/**
+ * The load-bearing property: an active session (with an aggressive
+ * 64-cycle sample period to maximize hook traffic) must not change a
+ * single counter or double in any run, across every paper benchmark
+ * and variant, on both the replay and live paths.
+ */
+TEST(ObsBitIdentity, SessionDoesNotPerturbAnyBenchmark)
+{
+    obs::Session::finish(); // in case an earlier test leaked one
+    const sim::MachineConfig machine = sim::outOfOrder4Way();
+
+    struct Case
+    {
+        const core::Benchmark *bench;
+        prog::Variant variant;
+        sim::RunResult replayOff, liveOff;
+    };
+    std::vector<Case> cases;
+    for (const core::Benchmark *b : core::paperBenchmarks()) {
+        const unsigned nvar = b->hasPrefetchVariant ? 3 : 2;
+        for (unsigned v = 0; v < nvar; ++v)
+            cases.push_back({b, static_cast<prog::Variant>(v), {}, {}});
+    }
+
+    // The six image kernels also run the live path; codecs would make
+    // the doubled live pass too slow for tier 1.
+    const auto liveCase = [](const Case &c) {
+        return c.bench->name.find("jpeg") == std::string::npos &&
+               c.bench->name.find("peg2") == std::string::npos;
+    };
+
+    for (Case &c : cases) {
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        const prog::RecordedTrace trace = sim::recordTrace(
+            gen, machine.skewArrays, machine.visFeatures);
+        c.replayOff = sim::replayTrace(trace, machine);
+        if (liveCase(c))
+            c.liveOff = sim::runTrace(gen, machine);
+    }
+
+    obs::SessionConfig cfg;
+    cfg.outBase = testing::TempDir() + "obs_bit_identity";
+    cfg.samplePeriod = 64;
+    cfg.timelineCapacity = 128; // small: wraparound happens constantly
+    ASSERT_TRUE(obs::Session::start(cfg));
+
+    for (const Case &c : cases) {
+        const std::string what =
+            c.bench->name + "/" + prog::variantName(c.variant);
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        const prog::RecordedTrace trace = sim::recordTrace(
+            gen, machine.skewArrays, machine.visFeatures);
+        expectSameResult(c.replayOff, sim::replayTrace(trace, machine),
+                         what + " (replay)");
+        if (liveCase(c))
+            expectSameResult(c.liveOff, sim::runTrace(gen, machine),
+                             what + " (live)");
+    }
+    obs::Session::finish();
+}
+
+TEST(ObsSession, ExportsParseableNdjsonAndTrace)
+{
+    obs::Session::finish();
+    const std::string base = testing::TempDir() + "obs_export";
+    obs::SessionConfig cfg;
+    cfg.outBase = base;
+    cfg.samplePeriod = 128;
+    ASSERT_TRUE(obs::Session::start(cfg));
+    EXPECT_FALSE(obs::Session::start(cfg)) << "double start must fail";
+
+    {
+        MSIM_OBS_SPAN(span, "test.span", "detail text");
+        core::runBenchmark("addition", prog::Variant::Vis,
+                           sim::outOfOrder4Way());
+    }
+    obs::Session::finish();
+    obs::Session::finish(); // idempotent
+
+    // Every NDJSON line parses; the first is the meta record with the
+    // current schema version; a run record carries our label.
+    std::ifstream nd(base + ".ndjson");
+    ASSERT_TRUE(nd.is_open());
+    std::string line;
+    size_t lineno = 0;
+    bool sawRun = false, sawSample = false, sawSpan = false,
+         sawMetric = false;
+    while (std::getline(nd, line)) {
+        ++lineno;
+        obs::json::Value v;
+        std::string err;
+        ASSERT_TRUE(obs::json::parse(line, v, &err))
+            << "line " << lineno << ": " << err;
+        const std::string type = v.stringOr("type", "");
+        if (lineno == 1) {
+            EXPECT_EQ(type, "meta");
+            EXPECT_EQ(v.numberOr("schema_version", 0),
+                      obs::kSchemaVersion);
+        }
+        if (type == "run") {
+            sawRun = true;
+            EXPECT_EQ(v.stringOr("label", ""), "addition/VIS@4-way ooo");
+            EXPECT_GT(v.numberOr("cycles", 0), 0.0);
+            const double cycles = v.numberOr("cycles", 0);
+            const double accounted =
+                v.numberOr("busy", 0) + v.numberOr("fu_stall", 0) +
+                v.numberOr("mem_l1_hit", 0) + v.numberOr("mem_l1_miss", 0);
+            EXPECT_NEAR(accounted, cycles, 1e-6 * cycles);
+        }
+        sawSample = sawSample || type == "sample";
+        if (type == "span" && v.stringOr("name", "") == "test.span") {
+            sawSpan = true;
+            EXPECT_EQ(v.stringOr("detail", ""), "detail text");
+        }
+        if (type == "metric" && v.stringOr("name", "") == "sim.cycles") {
+            sawMetric = true;
+            EXPECT_EQ(v.stringOr("kind", ""), "counter");
+            EXPECT_GT(v.numberOr("count", 0), 0.0);
+        }
+    }
+    EXPECT_TRUE(sawRun);
+    EXPECT_TRUE(sawSample);
+    EXPECT_TRUE(sawSpan);
+    EXPECT_TRUE(sawMetric);
+
+    // The trace file is one JSON document with a traceEvents array
+    // containing our span and at least one counter event.
+    std::ifstream tr(base + ".trace.json");
+    ASSERT_TRUE(tr.is_open());
+    std::stringstream ss;
+    ss << tr.rdbuf();
+    obs::json::Value v;
+    std::string err;
+    ASSERT_TRUE(obs::json::parse(ss.str(), v, &err)) << err;
+    const obs::json::Value *events = v.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    bool sawX = false, sawC = false;
+    for (const obs::json::Value &e : events->array) {
+        const std::string ph = e.stringOr("ph", "");
+        sawX = sawX || (ph == "X" && e.stringOr("name", "") == "test.span");
+        sawC = sawC || ph == "C";
+    }
+    EXPECT_TRUE(sawX);
+    EXPECT_TRUE(sawC);
+}
+
+#endif // MSIM_OBS_ENABLED
+
+} // namespace

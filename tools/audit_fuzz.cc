@@ -34,6 +34,7 @@
  *   audit_fuzz --list                             # registered invariants
  */
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +45,8 @@
 
 #include "audit/invariants.hh"
 #include "core/registry.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "sim/machine.hh"
 #include "sim/runner.hh"
 
@@ -93,6 +96,68 @@ struct Outcome
     std::vector<audit::Violation> violationRecords;
 
     bool failed() const { return !divergence.empty() || violations != 0; }
+};
+
+#if MSIM_OBS_ENABLED
+/** Fuzzer totals, visible in any --obs-out session capture. */
+struct FuzzMetrics
+{
+    obs::MetricId cases =
+        obs::metricId("fuzz.cases", obs::MetricKind::Counter);
+    obs::MetricId failures =
+        obs::metricId("fuzz.failures", obs::MetricKind::Counter);
+};
+
+const FuzzMetrics &
+fuzzMetrics()
+{
+    static const FuzzMetrics m;
+    return m;
+}
+#endif // MSIM_OBS_ENABLED
+
+/**
+ * --progress: periodic stderr lines (cases/sec, ETA, running bug
+ * count) so long CI fuzz legs are diagnosable from their logs while
+ * they run. Throttled to one line every ~2 s, plus a final line.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(bool enabled, unsigned total)
+        : enabled_(enabled), total_(total),
+          start_(std::chrono::steady_clock::now()), lastPrint_(start_)
+    {
+    }
+
+    void
+    caseDone(unsigned done, unsigned bugs)
+    {
+        if (!enabled_)
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        const double sinceLast =
+            std::chrono::duration<double>(now - lastPrint_).count();
+        if (sinceLast < 2.0 && done != total_)
+            return;
+        lastPrint_ = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - start_).count();
+        const double rate =
+            elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+        std::fprintf(stderr,
+                     "[audit_fuzz] %u/%u cases, %.2f cases/s, "
+                     "eta %.0fs, %u bugs\n",
+                     done, total_, rate, eta, bugs);
+    }
+
+  private:
+    bool enabled_;
+    unsigned total_;
+    std::chrono::steady_clock::time_point start_;
+    std::chrono::steady_clock::time_point lastPrint_;
 };
 
 u64
@@ -714,7 +779,8 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [--mode diff|batch] [--seed N] [--cases N]\n"
-        "          [--live-frac PCT] [--verbose] [--list] [--help]\n"
+        "          [--live-frac PCT] [--progress] [--verbose] [--list]\n"
+        "          [--help]\n"
         "\n"
         "Differential config fuzzer: random MachineConfigs x benchmarks\n"
         "x variants x {live, recorded}, fast path vs reference models,\n"
@@ -728,6 +794,8 @@ usage(const char *argv0)
         "  --cases N       number of cases (default 200)\n"
         "  --live-frac P   percent of cases driven live (default 17,\n"
         "                  diff mode only)\n"
+        "  --progress      periodic stderr progress (cases/sec, ETA,\n"
+        "                  running bug count)\n"
         "  --verbose       print every case as it runs\n"
         "  --list          print the registered invariant table\n",
         argv0);
@@ -742,6 +810,7 @@ main(int argc, char **argv)
     unsigned cases = 200;
     u32 live_percent = 17;
     bool verbose = false;
+    bool progress = false;
     const char *mode = "diff";
 
     for (int i = 1; i < argc; ++i) {
@@ -758,6 +827,8 @@ main(int argc, char **argv)
         } else if (arg("--live-frac") && i + 1 < argc) {
             live_percent = static_cast<u32>(
                 std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg("--progress")) {
+            progress = true;
         } else if (arg("--verbose")) {
             verbose = true;
         } else if (arg("--list")) {
@@ -790,6 +861,7 @@ main(int argc, char **argv)
 
     if (batch_mode) {
         unsigned failures = 0;
+        ProgressMeter meter(progress, cases);
         for (unsigned i = 0; i < cases; ++i) {
             const BatchCase c = sampleBatchCase(benches, seed, i);
             if (verbose)
@@ -798,9 +870,20 @@ main(int argc, char **argv)
                             i, c.bench->name.c_str(),
                             prog::variantName(c.variant),
                             c.machines.size(), c.chunk);
-            const Outcome out = runBatchCase(c);
-            if (!out.failed())
+            Outcome out;
+            {
+                MSIM_OBS_SPAN(span, "fuzz.case", c.bench->name);
+                out = runBatchCase(c);
+            }
+#if MSIM_OBS_ENABLED
+            obs::count(fuzzMetrics().cases);
+            if (out.failed())
+                obs::count(fuzzMetrics().failures);
+#endif
+            if (!out.failed()) {
+                meter.caseDone(i + 1, failures);
                 continue;
+            }
             ++failures;
             std::printf("FAIL case %u (%s/%s, %zu lanes, chunk %" PRIu64
                         "): %s%s\n",
@@ -817,6 +900,7 @@ main(int argc, char **argv)
             std::printf("shrinking...\n");
             const BatchCase minimal = shrinkBatchCase(c);
             printBatchRepro(minimal, runBatchCase(minimal), seed, i);
+            meter.caseDone(i + 1, failures);
         }
         std::printf("audit_fuzz: %u batch cases: %u failing\n", cases,
                     failures);
@@ -825,6 +909,7 @@ main(int argc, char **argv)
 
     unsigned failures = 0;
     unsigned live_cases = 0;
+    ProgressMeter meter(progress, cases);
     for (unsigned i = 0; i < cases; ++i) {
         const CaseConfig c = sampleCase(benches, seed, i, live_percent);
         live_cases += c.live;
@@ -838,9 +923,20 @@ main(int argc, char **argv)
                         c.machine.mem.l2.numMshrs,
                         c.machine.mem.l1.ports, c.machine.mem.l2.ports,
                         c.machine.core.issueWidth);
-        const Outcome out = runCase(c);
-        if (!out.failed())
+        Outcome out;
+        {
+            MSIM_OBS_SPAN(span, "fuzz.case", c.bench->name);
+            out = runCase(c);
+        }
+#if MSIM_OBS_ENABLED
+        obs::count(fuzzMetrics().cases);
+        if (out.failed())
+            obs::count(fuzzMetrics().failures);
+#endif
+        if (!out.failed()) {
+            meter.caseDone(i + 1, failures);
             continue;
+        }
         ++failures;
         std::printf("FAIL case %u (%s/%s %s): %s%s\n", i,
                     c.bench->name.c_str(), prog::variantName(c.variant),
@@ -855,6 +951,7 @@ main(int argc, char **argv)
         const CaseConfig minimal = shrinkCase(c);
         const Outcome minimal_out = runCase(minimal);
         printRepro(minimal, minimal_out, seed, i);
+        meter.caseDone(i + 1, failures);
     }
 
     std::printf("audit_fuzz: %u cases (%u live, %u recorded): "

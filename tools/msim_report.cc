@@ -1,0 +1,556 @@
+/**
+ * @file
+ * Offline reader for the observability layer's NDJSON captures.
+ *
+ * Consumes the `<base>.ndjson` file written by an --obs-out session
+ * (see src/obs/session.cc) and reconstructs the paper-facing views
+ * without rerunning any simulation: the §2.3.4 stall breakdown per
+ * run, cache/MSHR behaviour, timeline occupancy summaries, harness
+ * span totals, and the metric registry snapshot. `--diff` compares
+ * two captures run-by-run (matched on label), and `--validate` checks
+ * NDJSON and Chrome-trace files against the checked-in schema in
+ * tools/obs_schema.json, which is what the CI obs leg gates on.
+ *
+ *   msim_report out.ndjson                  summary report
+ *   msim_report --diff a.ndjson b.ndjson    compare two captures
+ *   msim_report --validate out.ndjson out.trace.json
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/session.hh"
+
+namespace
+{
+
+using namespace msim;
+using obs::json::Value;
+
+// ---- NDJSON capture model -------------------------------------------
+
+struct RunRecord
+{
+    u32 id = 0;
+    std::string label;
+    double cycles = 0, instructions = 0;
+    double busy = 0, fuStall = 0, memL1Hit = 0, memL1Miss = 0;
+    double branches = 0, mispredicts = 0;
+    double l1Accesses = 0, l1Misses = 0, l2Accesses = 0, l2Misses = 0;
+    double l1MshrMean = 0, l2MshrMean = 0;
+    double samples = 0, dropped = 0;
+
+    double ipc() const { return cycles > 0 ? instructions / cycles : 0; }
+    double frac(double x) const { return cycles > 0 ? x / cycles : 0; }
+};
+
+struct SampleRecord
+{
+    u32 runId = 0;
+    double window = 0, memq = 0, mshrL1 = 0, mshrL2 = 0;
+};
+
+struct SpanAgg
+{
+    u64 count = 0;
+    double totalUs = 0, maxUs = 0;
+};
+
+struct Capture
+{
+    double schemaVersion = 0;
+    std::vector<RunRecord> runs;
+    std::vector<SampleRecord> samples;
+    std::map<std::string, SpanAgg> spans;
+    std::vector<Value> metrics; // metric records, in file order
+};
+
+bool
+loadCapture(const std::string &path, Capture &cap)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "msim_report: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        Value v;
+        std::string err;
+        if (!obs::json::parse(line, v, &err)) {
+            std::fprintf(stderr, "msim_report: %s:%zu: %s\n", path.c_str(),
+                         lineno, err.c_str());
+            return false;
+        }
+        const std::string type = v.stringOr("type", "");
+        if (type == "meta") {
+            cap.schemaVersion = v.numberOr("schema_version", 0);
+        } else if (type == "run") {
+            RunRecord r;
+            r.id = static_cast<u32>(v.numberOr("run_id", 0));
+            r.label = v.stringOr("label", "");
+            r.cycles = v.numberOr("cycles", 0);
+            r.instructions = v.numberOr("instructions", 0);
+            r.busy = v.numberOr("busy", 0);
+            r.fuStall = v.numberOr("fu_stall", 0);
+            r.memL1Hit = v.numberOr("mem_l1_hit", 0);
+            r.memL1Miss = v.numberOr("mem_l1_miss", 0);
+            r.branches = v.numberOr("branches", 0);
+            r.mispredicts = v.numberOr("mispredicts", 0);
+            r.l1Accesses = v.numberOr("l1_accesses", 0);
+            r.l1Misses = v.numberOr("l1_misses", 0);
+            r.l2Accesses = v.numberOr("l2_accesses", 0);
+            r.l2Misses = v.numberOr("l2_misses", 0);
+            r.l1MshrMean = v.numberOr("l1_mshr_mean", 0);
+            r.l2MshrMean = v.numberOr("l2_mshr_mean", 0);
+            r.samples = v.numberOr("samples", 0);
+            r.dropped = v.numberOr("dropped_samples", 0);
+            cap.runs.push_back(std::move(r));
+        } else if (type == "sample") {
+            SampleRecord s;
+            s.runId = static_cast<u32>(v.numberOr("run_id", 0));
+            s.window = v.numberOr("window", 0);
+            s.memq = v.numberOr("memq", 0);
+            s.mshrL1 = v.numberOr("mshr_l1", 0);
+            s.mshrL2 = v.numberOr("mshr_l2", 0);
+            cap.samples.push_back(s);
+        } else if (type == "span") {
+            SpanAgg &a = cap.spans[v.stringOr("name", "?")];
+            const double d = v.numberOr("dur_us", 0);
+            ++a.count;
+            a.totalUs += d;
+            a.maxUs = std::max(a.maxUs, d);
+        } else if (type == "metric") {
+            cap.metrics.push_back(std::move(v));
+        }
+    }
+    return true;
+}
+
+// ---- summary report -------------------------------------------------
+
+void
+printRun(const Capture &cap, const RunRecord &r)
+{
+    std::printf("run %u: %s\n", r.id, r.label.c_str());
+    std::printf("  cycles %.0f  instructions %.0f  ipc %.3f\n", r.cycles,
+                r.instructions, r.ipc());
+    std::printf("  stall breakdown: busy %5.1f%%  fu %5.1f%%  "
+                "l1hit %5.1f%%  l1miss %5.1f%%\n",
+                100 * r.frac(r.busy), 100 * r.frac(r.fuStall),
+                100 * r.frac(r.memL1Hit), 100 * r.frac(r.memL1Miss));
+    std::printf("  branches %.0f (%.2f%% mispredict)  "
+                "L1 miss %.2f%%  L2 miss %.2f%%  "
+                "mshr mean L1 %.2f L2 %.2f\n",
+                r.branches,
+                r.branches > 0 ? 100 * r.mispredicts / r.branches : 0.0,
+                r.l1Accesses > 0 ? 100 * r.l1Misses / r.l1Accesses : 0.0,
+                r.l2Accesses > 0 ? 100 * r.l2Misses / r.l2Accesses : 0.0,
+                r.l1MshrMean, r.l2MshrMean);
+
+    double n = 0, wSum = 0, wMax = 0, qSum = 0, qMax = 0, mSum = 0,
+           mMax = 0;
+    for (const SampleRecord &s : cap.samples) {
+        if (s.runId != r.id)
+            continue;
+        ++n;
+        wSum += s.window;
+        wMax = std::max(wMax, s.window);
+        qSum += s.memq;
+        qMax = std::max(qMax, s.memq);
+        mSum += s.mshrL1;
+        mMax = std::max(mMax, s.mshrL1);
+    }
+    if (n > 0)
+        std::printf("  occupancy (%.0f samples%s): window mean %.1f "
+                    "max %.0f, memq mean %.1f max %.0f, "
+                    "mshr L1 mean %.1f max %.0f\n",
+                    n, r.dropped > 0 ? ", ring wrapped" : "", wSum / n,
+                    wMax, qSum / n, qMax, mSum / n, mMax);
+}
+
+int
+report(const std::string &path)
+{
+    Capture cap;
+    if (!loadCapture(path, cap))
+        return 1;
+    std::printf("%s: schema %.0f, %zu runs, %zu samples, %zu span kinds, "
+                "%zu metrics\n\n",
+                path.c_str(), cap.schemaVersion, cap.runs.size(),
+                cap.samples.size(), cap.spans.size(), cap.metrics.size());
+    for (const RunRecord &r : cap.runs)
+        printRun(cap, r);
+
+    if (!cap.spans.empty()) {
+        std::printf("\nhost spans:\n  %-16s %8s %12s %12s\n", "name",
+                    "count", "total ms", "max ms");
+        for (const auto &[name, a] : cap.spans)
+            std::printf("  %-16s %8llu %12.3f %12.3f\n", name.c_str(),
+                        static_cast<unsigned long long>(a.count),
+                        a.totalUs / 1000.0, a.maxUs / 1000.0);
+    }
+
+    if (!cap.metrics.empty()) {
+        std::printf("\nmetrics:\n");
+        for (const Value &m : cap.metrics) {
+            const std::string kind = m.stringOr("kind", "?");
+            if (kind == "counter")
+                std::printf("  %-32s counter %14.0f\n",
+                            m.stringOr("name", "?").c_str(),
+                            m.numberOr("count", 0));
+            else if (kind == "gauge")
+                std::printf("  %-32s gauge   %14.6g\n",
+                            m.stringOr("name", "?").c_str(),
+                            m.numberOr("value", 0));
+            else
+                std::printf("  %-32s dist    n %.0f mean %.6g "
+                            "min %.6g max %.6g\n",
+                            m.stringOr("name", "?").c_str(),
+                            m.numberOr("count", 0),
+                            m.numberOr("count", 0) > 0
+                                ? m.numberOr("sum", 0) /
+                                      m.numberOr("count", 1)
+                                : 0.0,
+                            m.numberOr("min", 0), m.numberOr("max", 0));
+        }
+    }
+    return 0;
+}
+
+// ---- diff -----------------------------------------------------------
+
+const char *
+pct(double base, double now, char *buf, size_t len)
+{
+    if (base == 0) {
+        std::snprintf(buf, len, "%s", now == 0 ? "  =" : "new");
+        return buf;
+    }
+    std::snprintf(buf, len, "%+.2f%%", 100 * (now - base) / base);
+    return buf;
+}
+
+int
+diff(const std::string &pathA, const std::string &pathB)
+{
+    Capture a, b;
+    if (!loadCapture(pathA, a) || !loadCapture(pathB, b))
+        return 1;
+
+    std::map<std::string, const RunRecord *> byLabel;
+    for (const RunRecord &r : a.runs)
+        byLabel.emplace(r.label, &r); // first wins on duplicate labels
+
+    std::printf("diff: A=%s  B=%s\n\n", pathA.c_str(), pathB.c_str());
+    std::printf("%-36s %14s %14s %9s %7s\n", "run", "cycles A",
+                "cycles B", "delta", "d-ipc");
+    unsigned matched = 0;
+    char buf[32];
+    for (const RunRecord &rb : b.runs) {
+        const auto it = byLabel.find(rb.label);
+        if (it == byLabel.end()) {
+            std::printf("%-36s %14s %14.0f %9s\n", rb.label.c_str(),
+                        "-", rb.cycles, "new");
+            continue;
+        }
+        const RunRecord &ra = *it->second;
+        ++matched;
+        std::printf("%-36s %14.0f %14.0f %9s %+7.3f\n", rb.label.c_str(),
+                    ra.cycles, rb.cycles,
+                    pct(ra.cycles, rb.cycles, buf, sizeof(buf)),
+                    rb.ipc() - ra.ipc());
+        const double dBusy = rb.frac(rb.busy) - ra.frac(ra.busy);
+        const double dFu = rb.frac(rb.fuStall) - ra.frac(ra.fuStall);
+        const double dHit = rb.frac(rb.memL1Hit) - ra.frac(ra.memL1Hit);
+        const double dMiss = rb.frac(rb.memL1Miss) - ra.frac(ra.memL1Miss);
+        if (std::fabs(dBusy) + std::fabs(dFu) + std::fabs(dHit) +
+                std::fabs(dMiss) >
+            1e-9)
+            std::printf("%-36s   stall pp: busy %+.2f fu %+.2f "
+                        "l1hit %+.2f l1miss %+.2f\n",
+                        "", 100 * dBusy, 100 * dFu, 100 * dHit,
+                        100 * dMiss);
+    }
+    for (const RunRecord &ra : a.runs) {
+        bool present = false;
+        for (const RunRecord &rb : b.runs)
+            present = present || rb.label == ra.label;
+        if (!present)
+            std::printf("%-36s %14.0f %14s %9s\n", ra.label.c_str(),
+                        ra.cycles, "-", "gone");
+    }
+    std::printf("\n%u matched, %zu runs in A, %zu in B\n", matched,
+                a.runs.size(), b.runs.size());
+    return 0;
+}
+
+// ---- schema validation ----------------------------------------------
+
+bool
+kindMatches(const Value &v, const std::string &kind)
+{
+    if (kind == "number")
+        return v.isNumber();
+    if (kind == "string")
+        return v.isString();
+    if (kind == "bool")
+        return v.isBool();
+    if (kind == "object")
+        return v.isObject();
+    if (kind == "array")
+        return v.isArray();
+    return false;
+}
+
+/** Check @p rec against a schema {"required": {...}, "optional": {...}}. */
+bool
+checkFields(const Value &rec, const Value &spec, const std::string &where,
+            unsigned &errors)
+{
+    bool ok = true;
+    const Value *req = spec.find("required");
+    if (req && req->isObject()) {
+        for (const auto &[name, kind] : req->object) {
+            const Value *f = rec.find(name);
+            if (!f) {
+                std::fprintf(stderr, "%s: missing field \"%s\"\n",
+                             where.c_str(), name.c_str());
+                ok = false;
+            } else if (!kindMatches(*f, kind.string)) {
+                std::fprintf(stderr, "%s: field \"%s\" is not a %s\n",
+                             where.c_str(), name.c_str(),
+                             kind.string.c_str());
+                ok = false;
+            }
+        }
+    }
+    const Value *opt = spec.find("optional");
+    if (opt && opt->isObject()) {
+        for (const auto &[name, kind] : opt->object) {
+            const Value *f = rec.find(name);
+            if (f && !kindMatches(*f, kind.string)) {
+                std::fprintf(stderr, "%s: field \"%s\" is not a %s\n",
+                             where.c_str(), name.c_str(),
+                             kind.string.c_str());
+                ok = false;
+            }
+        }
+    }
+    if (!ok)
+        ++errors;
+    return ok;
+}
+
+unsigned
+validateNdjson(const std::string &path, const Value &schema)
+{
+    const Value *records = schema.find("records");
+    if (!records || !records->isObject()) {
+        std::fprintf(stderr, "schema has no \"records\" object\n");
+        return 1;
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    unsigned errors = 0;
+    bool sawMeta = false;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        const std::string where = path + ":" + std::to_string(lineno);
+        Value v;
+        std::string err;
+        if (!obs::json::parse(line, v, &err)) {
+            std::fprintf(stderr, "%s: %s\n", where.c_str(), err.c_str());
+            ++errors;
+            continue;
+        }
+        const std::string type = v.stringOr("type", "");
+        const Value *spec = records->find(type);
+        if (!spec) {
+            std::fprintf(stderr, "%s: unknown record type \"%s\"\n",
+                         where.c_str(), type.c_str());
+            ++errors;
+            continue;
+        }
+        if (type == "meta") {
+            sawMeta = true;
+            if (lineno != 1) {
+                std::fprintf(stderr, "%s: meta record is not line 1\n",
+                             where.c_str());
+                ++errors;
+            }
+            if (checkFields(v, *spec, where, errors) &&
+                v.numberOr("schema_version", 0) != obs::kSchemaVersion) {
+                std::fprintf(stderr,
+                             "%s: schema_version %.0f != expected %d\n",
+                             where.c_str(), v.numberOr("schema_version", 0),
+                             obs::kSchemaVersion);
+                ++errors;
+            }
+            continue;
+        }
+        checkFields(v, *spec, where, errors);
+    }
+    if (!sawMeta) {
+        std::fprintf(stderr, "%s: no meta record\n", path.c_str());
+        ++errors;
+    }
+    return errors;
+}
+
+unsigned
+validateTrace(const std::string &path, const Value &schema)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    Value v;
+    std::string err;
+    if (!obs::json::parse(text, v, &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return 1;
+    }
+    const Value *events = v.find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr, "%s: no traceEvents array\n", path.c_str());
+        return 1;
+    }
+    const Value *trace = schema.find("trace");
+    const Value *req = trace ? trace->find("event_required") : nullptr;
+    unsigned errors = 0;
+    for (size_t i = 0; i < events->array.size(); ++i) {
+        const Value &e = events->array[i];
+        const std::string where =
+            path + ": traceEvents[" + std::to_string(i) + "]";
+        if (!e.isObject()) {
+            std::fprintf(stderr, "%s: not an object\n", where.c_str());
+            ++errors;
+            continue;
+        }
+        if (req && req->isObject()) {
+            for (const auto &[name, kind] : req->object) {
+                const Value *f = e.find(name);
+                if (!f || !kindMatches(*f, kind.string)) {
+                    std::fprintf(stderr,
+                                 "%s: field \"%s\" missing or not a %s\n",
+                                 where.c_str(), name.c_str(),
+                                 kind.string.c_str());
+                    ++errors;
+                }
+            }
+        }
+    }
+    return errors;
+}
+
+int
+validate(const std::vector<std::string> &paths,
+         const std::string &schemaPath)
+{
+    std::ifstream in(schemaPath);
+    if (!in) {
+        std::fprintf(stderr, "msim_report: cannot open schema %s\n",
+                     schemaPath.c_str());
+        return 1;
+    }
+    const std::string text{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    Value schema;
+    std::string err;
+    if (!obs::json::parse(text, schema, &err)) {
+        std::fprintf(stderr, "msim_report: %s: %s\n", schemaPath.c_str(),
+                     err.c_str());
+        return 1;
+    }
+
+    unsigned errors = 0;
+    for (const std::string &p : paths) {
+        const bool isTrace =
+            p.size() >= 11 && p.rfind(".trace.json") == p.size() - 11;
+        const unsigned e = isTrace ? validateTrace(p, schema)
+                                   : validateNdjson(p, schema);
+        std::printf("%s: %s (%u errors)\n", p.c_str(),
+                    e ? "FAIL" : "ok", e);
+        errors += e;
+    }
+    return errors ? 1 : 0;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s <capture.ndjson>                 summary report\n"
+        "       %s --diff <a.ndjson> <b.ndjson>     compare two captures\n"
+        "       %s --validate [--schema P] FILE...  schema-check files\n"
+        "\n"
+        "Reads the NDJSON written by any msim binary run with\n"
+        "--obs-out=<base> and prints per-run stall breakdowns (the\n"
+        "paper's Busy/FUstall/L1hit/L1miss split), cache and MSHR\n"
+        "summaries, timeline occupancy, host span totals, and metric\n"
+        "values — no simulation rerun needed. Files ending in\n"
+        ".trace.json validate as Chrome trace-event JSON; everything\n"
+        "else as NDJSON. Default schema: tools/obs_schema.json.\n",
+        argv0, argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool doDiff = false, doValidate = false;
+    std::string schemaPath = "tools/obs_schema.json";
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--diff") == 0) {
+            doDiff = true;
+        } else if (std::strcmp(argv[i], "--validate") == 0) {
+            doValidate = true;
+        } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
+            schemaPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+
+    if (doValidate && !paths.empty())
+        return validate(paths, schemaPath);
+    if (doDiff && paths.size() == 2)
+        return diff(paths[0], paths[1]);
+    if (!doDiff && !doValidate && paths.size() == 1)
+        return report(paths[0]);
+
+    usage(argv[0]);
+    return 2;
+}
