@@ -1,0 +1,215 @@
+/**
+ * @file
+ * In-binary A/B of event-driven cycle skipping on the djpeg L1 sweep:
+ * the same recorded trace replayed through sim::replayTraceBatch twice,
+ * once with skipping forced off (sim::withEventSkip(m, false) — the
+ * per-cycle loop with the PR 4 witness fast-forward) and once with it
+ * forced on. Single-threaded, recording included, best-of-N per side —
+ * the exact protocol of BENCH_batch_replay.json — so skip-on
+ * points_per_second is directly comparable with the committed batch
+ * numbers. Results must be bit-identical across the two sides before
+ * anything is reported; any divergence fails the binary.
+ *
+ * Writes BENCH_event_skip.json (full mode) or
+ * BENCH_event_skip_smoke.json (`--smoke`: a tiny addition-kernel sweep,
+ * seconds long). CI runs the smoke leg and diffs the fresh JSON against
+ * the committed baseline with tools/bench_compare.py, failing on >20%
+ * points_per_second regression.
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "kernels/addition.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace
+{
+
+using namespace msim;
+using prog::Variant;
+
+std::vector<sim::MachineConfig>
+l1Sweep()
+{
+    std::vector<sim::MachineConfig> machines;
+    for (u32 size : {1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10,
+                     32u << 10, 64u << 10})
+        machines.push_back(sim::withL1Size(size));
+    return machines;
+}
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+struct AbResult
+{
+    bench::SelfMeasurement off; ///< skip forced off
+    bench::SelfMeasurement on;  ///< skip forced on
+    bool identical = true;
+
+    double
+    speedup() const
+    {
+        return on.hostSeconds > 0.0 ? off.hostSeconds / on.hostSeconds
+                                    : 0.0;
+    }
+};
+
+/** One measured pass: record the trace, batch-replay every point. */
+bench::SelfMeasurement
+measureOnce(const sim::Generator &gen,
+            const std::vector<sim::MachineConfig> &machines,
+            std::vector<sim::RunResult> &results)
+{
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto trace =
+        sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+    results = sim::replayTraceBatch(trace, machines);
+    const auto t1 = std::chrono::steady_clock::now();
+    bench::SelfMeasurement m;
+    m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.jobs = machines.size();
+    for (const auto &r : results)
+        m.simInstructions += r.tbInstrs;
+    return m;
+}
+
+AbResult
+runAb(const sim::Generator &gen,
+      const std::vector<sim::MachineConfig> &machines, int repeats)
+{
+    AbResult ab;
+    std::vector<sim::MachineConfig> offMachines, onMachines;
+    for (const auto &m : machines) {
+        offMachines.push_back(sim::withEventSkip(m, false));
+        onMachines.push_back(sim::withEventSkip(m, true));
+    }
+
+    std::vector<sim::RunResult> offResults, onResults;
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<sim::RunResult> rs;
+        const auto m = measureOnce(gen, offMachines, rs);
+        if (rep == 0 || m.hostSeconds < ab.off.hostSeconds) {
+            ab.off = m;
+            offResults = std::move(rs);
+        }
+    }
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<sim::RunResult> rs;
+        const auto m = measureOnce(gen, onMachines, rs);
+        if (rep == 0 || m.hostSeconds < ab.on.hostSeconds) {
+            ab.on = m;
+            onResults = std::move(rs);
+        }
+    }
+
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const auto &a = offResults[i];
+        const auto &b = onResults[i];
+        if (a.exec.cycles != b.exec.cycles ||
+            a.exec.busy != b.exec.busy ||
+            a.exec.fuStall != b.exec.fuStall ||
+            a.exec.memL1Hit != b.exec.memL1Hit ||
+            a.exec.memL1Miss != b.exec.memL1Miss ||
+            a.exec.mispredicts != b.exec.mispredicts ||
+            a.l1.misses != b.l1.misses || a.l2.misses != b.l2.misses) {
+            std::fprintf(
+                stderr,
+                "[event-skip] MISMATCH at point %zu: off %llu cycles "
+                "(busy %.2f) vs on %llu cycles (busy %.2f)\n",
+                i, static_cast<unsigned long long>(a.exec.cycles),
+                a.exec.busy, static_cast<unsigned long long>(b.exec.cycles),
+                b.exec.busy);
+            ab.identical = false;
+        }
+    }
+    return ab;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+    if (smoke) {
+        // A sweep big enough that each measured pass takes a sizable
+        // fraction of a second: the committed smoke baseline has to be
+        // stable under the 20% CI comparison gate, and best-of-3 on a
+        // tens-of-milliseconds run is not.
+        const sim::Generator gen = [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 1024, 256, 3);
+        };
+        const auto machines = l1Sweep();
+        const AbResult ab = runAb(gen, machines, 3);
+        if (!ab.identical)
+            return EXIT_FAILURE;
+        bench::writeBenchJson(
+            "event_skip_smoke", ab.on,
+            {{"skip_off_seconds", ab.off.hostSeconds},
+             {"skip_on_seconds", ab.on.hostSeconds},
+             {"speedup_x", ab.speedup()}});
+        std::printf("[event-skip] smoke ok: %zu points, on %.3fs, "
+                    "off %.3fs, identical\n",
+                    machines.size(), ab.on.hostSeconds,
+                    ab.off.hostSeconds);
+        return 0;
+    }
+
+    constexpr int kRepeats = 3;
+    const auto machines = l1Sweep();
+
+    std::fprintf(stderr,
+                 "[event-skip] djpeg L1 sweep, %zu points, 1 thread, "
+                 "best of %d\n",
+                 machines.size(), kRepeats);
+    const AbResult main_ab =
+        runAb(generatorFor("djpeg", Variant::Vis), machines, kRepeats);
+
+    std::map<std::string, double> extra = {
+        {"skip_off_seconds", main_ab.off.hostSeconds},
+        {"skip_on_seconds", main_ab.on.hostSeconds},
+        {"skip_off_points_per_second", main_ab.off.pointsPerSecond()},
+        {"skip_on_points_per_second", main_ab.on.pointsPerSecond()},
+        {"speedup_x", main_ab.speedup()}};
+    bool all_identical = main_ab.identical;
+    for (const char *name : {"conv", "dotprod", "mpeg-dec"}) {
+        std::fprintf(stderr, "[event-skip] breakdown: %s\n", name);
+        const AbResult ab =
+            runAb(generatorFor(name, Variant::Vis), machines, kRepeats);
+        all_identical = all_identical && ab.identical;
+        std::string key(name);
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        extra[key + "_off_pps"] = ab.off.pointsPerSecond();
+        extra[key + "_on_pps"] = ab.on.pointsPerSecond();
+        extra[key + "_speedup_x"] = ab.speedup();
+    }
+
+    if (!all_identical)
+        return EXIT_FAILURE;
+
+    bench::writeBenchJson("event_skip", main_ab.on, extra);
+    std::printf("=== Event-skip A/B (djpeg L1 sweep, batched, "
+                "1 thread) ===\n");
+    std::printf("skip off: %6.2fs  (%.2f points/s)\n",
+                main_ab.off.hostSeconds, main_ab.off.pointsPerSecond());
+    std::printf("skip on:  %6.2fs  (%.2f points/s)\n",
+                main_ab.on.hostSeconds, main_ab.on.pointsPerSecond());
+    std::printf("speedup:  %6.2fx\n", main_ab.speedup());
+    std::printf("results bit-identical across all %zu points\n",
+                machines.size());
+    return 0;
+}

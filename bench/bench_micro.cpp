@@ -8,9 +8,11 @@
  */
 
 #include <algorithm>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "cpu/batch_replay_engine.hh"
 #include "cpu/core.hh"
 #include "img/synth.hh"
 #include "jpeg/codec.hh"
@@ -174,6 +176,33 @@ BM_CoreStepRate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * chunk);
 }
 BENCHMARK(BM_CoreStepRate);
+
+/**
+ * Cross-lane min reduction over the batch engine's SoA progress
+ * columns (cursor audit, per-lane horizon sweeps).  Run at small /
+ * sweep-sized / absurd lane counts to justify the scalar SoA loop: the
+ * decision documented on BatchReplayEngine::minActiveLane is that a
+ * hand-vectorized reduction buys nothing at realistic lane counts.
+ */
+void
+BM_LaneHorizonMinReduction(benchmark::State &state)
+{
+    const size_t lanes = static_cast<size_t>(state.range(0));
+    std::vector<u8> running(lanes);
+    std::vector<u64> values(lanes);
+    u64 x = 0x9e3779b97f4a7c15ull;
+    for (size_t k = 0; k < lanes; ++k) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        running[k] = (x >> 33) % 8 != 0; // ~1/8 lanes finished
+        values[k] = x >> 16;
+    }
+    for (auto _ : state) {
+        const u64 m = cpu::BatchReplayEngine::minActiveLane(running, values);
+        benchmark::DoNotOptimize(m);
+    }
+    state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_LaneHorizonMinReduction)->Arg(8)->Arg(64)->Arg(512);
 
 void
 BM_NativeDct(benchmark::State &state)

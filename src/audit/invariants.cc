@@ -62,6 +62,12 @@ table()
          "[chunkEnd, chunkEnd + issueWidth): all lanes agree on the trace "
          "index up to the one-cycle dispatch overrun, so each decoded "
          "window covers every read any lane performs"},
+        {"skip-horizon-soundness", "cpu/replay_engine",
+         "an event-skip jump from t to h may only cross cycles where no "
+         "retire, issue or dispatch can occur: ready-heap entries, staged "
+         "wakeups and the head's completion must all lie at or beyond h, "
+         "or the skipped region was not dead and the bulk stall charge "
+         "diverges from per-cycle accounting"},
         {"batch-lane-occupancy", "cpu/batch_replay_engine",
          "per lane, in-flight instructions never exceed that lane's "
          "windowSize at a chunk boundary, and a finished lane has fully "

@@ -92,6 +92,21 @@ BatchReplayEngine::BatchReplayEngine(const prog::RecordedTrace &trace,
     }
 
     decoded_.reserve(std::min<u64>(n, chunk_ + margin_));
+    laneRunning_.assign(lanes_.size(), 1);
+    laneCursor_.assign(lanes_.size(), 0);
+    laneWindow_.assign(lanes_.size(), 0);
+}
+
+u64
+BatchReplayEngine::minActiveLane(std::span<const u8> running,
+                                 std::span<const u64> values)
+{
+    u64 m = ~u64{0};
+    for (size_t k = 0; k < running.size(); ++k) {
+        const u64 v = running[k] ? values[k] : ~u64{0};
+        m = std::min(m, v);
+    }
+    return m;
 }
 
 void
@@ -138,7 +153,6 @@ void
 BatchReplayEngine::run()
 {
     const u64 n = trace_.instCount();
-    std::vector<u8> running(engines_.size(), 1);
 #if MSIM_AUDIT_ENABLED
     u64 prevEnd = 0;
     bool firstChunk = true;
@@ -163,12 +177,14 @@ BatchReplayEngine::run()
         }
         MSIM_OBS_SPAN(span, "batch.chunk");
         for (size_t k = 0; k < engines_.size(); ++k) {
-            if (!running[k])
+            if (!laneRunning_[k])
                 continue;
             engines_[k].setDecodedWindow(decoded_.data(), start);
             const bool finished = engines_[k].advanceTo(end);
             if (finished)
-                running[k] = 0;
+                laneRunning_[k] = 0;
+            laneCursor_[k] = engines_[k].fetchPos();
+            laneWindow_[k] = engines_[k].windowInFlight();
             MSIM_AUDIT_CHECK(
                 finished
                     ? (engines_[k].fetchPos() == n &&
@@ -189,6 +205,13 @@ BatchReplayEngine::run()
                     engines_[k].windowInFlight()),
                 lanes_[k].config->windowSize);
         }
+        // Lockstep invariant over the whole group: no running lane's
+        // cursor is behind the chunk boundary just driven.
+        MSIM_AUDIT_CHECK(minActiveLane(laneRunning_, laneCursor_) >= end,
+                         "running lane cursor %llu behind chunk end %llu",
+                         static_cast<unsigned long long>(
+                             minActiveLane(laneRunning_, laneCursor_)),
+                         static_cast<unsigned long long>(end));
         if (end == n)
             break;
         start = end;

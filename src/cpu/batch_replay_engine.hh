@@ -96,6 +96,19 @@ class BatchReplayEngine
     /** Final stats for @p lane; call once per lane, after run(). */
     ExecStats takeStats(size_t lane);
 
+    /**
+     * Minimum of values[k] over lanes with running[k] != 0, or ~u64{0}
+     * when every lane has finished.  Cross-lane sweeps (the min-cursor
+     * audit, per-lane horizon reductions) read the dense SoA progress
+     * columns below; the loop is written branch-free so it compiles to
+     * a straight select-and-min the vectorizer handles.  A scalar SoA
+     * sweep is deliberate: at sweep-sized lane counts it is within
+     * noise of a hand-vectorized reduction (bench_micro
+     * BM_LaneHorizonMinReduction) without an ISA dependency.
+     */
+    static u64 minActiveLane(std::span<const u8> running,
+                             std::span<const u64> values);
+
 #if MSIM_OBS_ENABLED
     /**
      * Attach a timeline recorder to lane @p k's engine ("one track per
@@ -117,6 +130,14 @@ class BatchReplayEngine
 
     std::vector<Lane> lanes_;
     std::vector<ReplayEngine> engines_;
+
+    // Per-lane progress as structure-of-arrays columns (one entry per
+    // lane): run()'s lockstep loop and the cross-lane reductions
+    // (minActiveLane) sweep dense parallel arrays instead of chasing
+    // per-lane objects.
+    std::vector<u8> laneRunning_;
+    std::vector<u64> laneCursor_;
+    std::vector<u64> laneWindow_;
 
     /** Per-opcode cls | memKind bits of DecodedInst::meta. */
     u8 metaTable_[isa::kNumOps] = {};

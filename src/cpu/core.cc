@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "cpu/ref_replay_engine.hh"
@@ -16,6 +17,16 @@ constexpr unsigned kFetchBufCap = 512;
 constexpr unsigned kFwdRingSize = 64;
 
 } // namespace
+
+bool
+CoreConfig::defaultEventSkip()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("MSIM_EVENT_SKIP");
+        return !(v && *v && *v == '0');
+    }();
+    return on;
+}
 
 CoreConfig
 CoreConfig::inOrder1Way()

@@ -78,6 +78,19 @@ struct CoreConfig
      */
     bool referenceEngine = false;
 
+    /**
+     * Event-driven cycle skipping in ReplayEngine: jump the clock to
+     * the next-event horizon instead of ticking through provably dead
+     * cycles (bit-identical results; see DESIGN.md "Event-driven cycle
+     * skipping").  Defaults from the MSIM_EVENT_SKIP environment
+     * variable (unset or nonzero = on, "0" = off) so one binary can
+     * A/B both scheduling loops; tests and benches set it directly.
+     */
+    bool eventSkip = defaultEventSkip();
+
+    /** Process-wide MSIM_EVENT_SKIP default (read once). */
+    static bool defaultEventSkip();
+
     /** The three Figure-1 configurations. */
     static CoreConfig inOrder1Way();
     static CoreConfig inOrder4Way();

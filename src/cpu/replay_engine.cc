@@ -18,7 +18,8 @@ ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
       mispredictPenalty_(config.mispredictPenalty),
       retireWidth_(config.retireWidth ? config.retireWidth
                                       : config.issueWidth),
-      mem_(memory), predictor_(config.predictorEntries)
+      eventSkip_(config.eventSkip), mem_(memory),
+      predictor_(config.predictorEntries)
 {
     const u64 cap = std::bit_ceil<u64>(std::max(1u, windowSize_));
     slots_.resize(cap);
@@ -574,6 +575,152 @@ ReplayEngine::nextEventTime()
     return next;
 }
 
+/**
+ * Event-driven cycle skipping (see the theory note in DESIGN.md): after
+ * every cycle — no dead-witness cycle required — bound the earliest
+ * future cycle at which any phase can act.  Unlike nextEventTime(),
+ * which folds per-entry unit free times over a full ready-heap walk,
+ * every component here is O(1): the heap is ordered by dependence time,
+ * so its front is the minimum, and unit contention is left out of the
+ * bound entirely (landing at a cycle where the unit is still busy makes
+ * the instruction eligible, which forces plain ticking from there).
+ *
+ * The bound additionally stops at every cycle where classifyBlock()
+ * could change its answer — the head's completion, the end of a
+ * redirect penalty, each pending store's release — so the stall class
+ * of the whole skipped span equals the class at its first cycle and the
+ * one bulk charge is bit-identical to per-cycle accounting.
+ */
+Cycle
+ReplayEngine::skipHorizon(u64 fetchLimit, bool final) const
+{
+    // Events already staged for the next cycle: just tick.
+    if (!readyNext_.empty())
+        return 0;
+    if (decoded_ ? eligAll_ != 0 : eligMask_ != 0)
+        return 0;
+    if (!readyHeap_.empty() && readyHeap_.front().first <= now_ + 1)
+        return 0;
+    // A lane at its chunk limit pauses on the next whole-cycle
+    // boundary; the next chunk's dispatches may land at now_ + 1.
+    if (!final && fetchPos_ >= fetchLimit)
+        return 0;
+
+    Cycle h = kNever;
+    if (windowCount_ != 0) {
+        const Slot &head = at(headSeq_);
+        if (head.issued) {
+            if (head.readyTime <= now_ + 1)
+                return 0; // retire event next cycle
+            h = head.readyTime;
+        }
+    }
+    if (!readyHeap_.empty())
+        h = std::min(h, readyHeap_.front().first);
+
+    // Dispatch: the gates only drain their event rings lazily, so the
+    // occupancy counters can exceed the rings' live prefixes; the ring
+    // fronts still lower-bound when a gate can open, and a counter at
+    // its limit with an empty ring (dispatched but unissued occupants)
+    // can only open after an issue event, which is covered above.
+    if (!awaitingRedirect_ && fetchPos_ < instCount_ &&
+        windowCount_ < windowSize_) {
+        Cycle t = std::max(now_ + 1, dispatchBlockedUntil_);
+        bool gated = false;
+        unsigned opn;
+        u8 mk;
+        if (decoded_) {
+            const DecodedInst &d = decoded_[fetchPos_ - decodedBase_];
+            opn = d.op;
+            const unsigned mkBits = (d.meta >> kDecMemShift) & 3u;
+            mk = mkBits == kDecMemNone ? kNotMem : static_cast<u8>(mkBits);
+        } else {
+            opn = ops_[fetchPos_];
+            mk = opInfo_[opn].memKind;
+        }
+        if (static_cast<isa::Op>(opn) == isa::Op::Branch &&
+            specBranches_ >= maxSpecBranches_) {
+            if (branchResolves_.empty())
+                gated = true;
+            else
+                t = std::max(t, branchResolves_.front());
+        }
+        if (!gated && mk != kNotMem && memqUsed_ >= memQueueSize_) {
+            if (memqFrees_.empty())
+                gated = true;
+            else
+                t = std::max(t, memqFrees_.front());
+        }
+        if (!gated) {
+            if (t <= now_ + 1)
+                return 0; // dispatch may proceed next cycle
+            h = std::min(h, t);
+        }
+    }
+
+    // Drained-window classification stops: with nothing in flight,
+    // classifyBlock() switches answers at the end of the redirect
+    // penalty and at each pending store's release time (all release
+    // times are memqFrees_ entries, pushed at issue).
+    if (windowCount_ == 0) {
+        if (dispatchBlockedUntil_ > now_)
+            h = std::min(h, dispatchBlockedUntil_);
+        if (!memqFrees_.empty())
+            h = std::min(h, std::max(now_ + 1, memqFrees_.front()));
+    }
+
+    if (h == kNever) {
+        // An unissued instruction's minimal-sequence representative has
+        // every producer issued and therefore sits in the ready
+        // structures checked above, so an unbounded horizon with work
+        // in flight is a real deadlock, exactly like the legacy path.
+        if (windowCount_ != 0) {
+            const Slot &head = at(headSeq_);
+            panic("replay deadlock at cycle %llu: window=%llu "
+                  "head{op=%s issued=%d ready=%llu} memq=%u spec=%u "
+                  "next fill=%llu",
+                  static_cast<unsigned long long>(now_),
+                  static_cast<unsigned long long>(windowCount_),
+                  isa::opName(head.op), head.issued,
+                  static_cast<unsigned long long>(head.readyTime),
+                  memqUsed_, specBranches_,
+                  static_cast<unsigned long long>(mem_.nextFillTime(now_)));
+        }
+        return 0;
+    }
+    return h;
+}
+
+#if MSIM_AUDIT_ENABLED
+void
+ReplayEngine::auditSkipSpan(Cycle now, Cycle h, u64 headSeq, u64 wcount,
+                            bool eligEmpty) const
+{
+    MSIM_AUDIT_CHECK(h > now + 1 && eligEmpty && readyNext_.empty(),
+                     "skip span [%llu, %llu) with staged work",
+                     static_cast<unsigned long long>(now + 1),
+                     static_cast<unsigned long long>(h));
+    for (const auto &[dep, seq] : readyHeap_) {
+        MSIM_AUDIT_CHECK(dep >= h,
+                         "ready event (seq %llu, dep %llu) inside skip "
+                         "span [%llu, %llu)",
+                         static_cast<unsigned long long>(seq),
+                         static_cast<unsigned long long>(dep),
+                         static_cast<unsigned long long>(now + 1),
+                         static_cast<unsigned long long>(h));
+    }
+    if (wcount != 0) {
+        const Slot &head = slots_[headSeq & slotMask_];
+        MSIM_AUDIT_CHECK(!head.issued || head.readyTime >= h,
+                         "head retire at %llu inside skip span "
+                         "[%llu, %llu)",
+                         static_cast<unsigned long long>(head.readyTime),
+                         static_cast<unsigned long long>(now + 1),
+                         static_cast<unsigned long long>(h));
+    }
+}
+#endif
+
 void
 ReplayEngine::bind(const prog::RecordedTrace &trace)
 {
@@ -614,6 +761,11 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
             return false;
 #if MSIM_OBS_ENABLED
         if (now_ >= obsNextAt_) [[unlikely]] {
+            // Normalize the lazily-drained occupancy before sampling so
+            // the row is identical whether the clock ticked or jumped
+            // to this cycle (the drain history differs, the true
+            // occupancy does not).
+            drainMemq();
             obsNextAt_ = timeline_->sample(
                 now_, stats_.retired, stats_.busy, stats_.fuStall,
                 stats_.memL1Hit, stats_.memL1Miss,
@@ -632,13 +784,37 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
             stats_.charge(block, 1.0 - r);
         }
 
-        if (retired == 0 && issued == 0 && dispatched == 0 &&
-            (windowCount_ != 0 || fetchPos_ < instCount_)) {
-            // Nothing happened this cycle: fast-forward to the next
-            // event (computed against the *current* cycle so an event
-            // one cycle out is found), charging the idle gap to the
-            // blocking class.
-            const Cycle next = nextEventTime();
+        if (eventSkip_) {
+            // Event-driven scheduling: bound the next event after
+            // *every* cycle — no dead-witness cycle needed — and jump
+            // straight to it, charging the span to the blocking class
+            // (constant across the span; see skipHorizon()).
+            if (windowCount_ != 0 || fetchPos_ < instCount_) {
+                Cycle h = skipHorizon(fetchLimit, final);
+#if MSIM_OBS_ENABLED
+                if (h > obsNextAt_)
+                    h = obsNextAt_; // land exactly on the sample cycle
+#endif
+                if (h > now_ + 1) {
+#if MSIM_AUDIT_ENABLED
+                    auditSkipSpan(now_, h, headSeq_, windowCount_,
+                                  eligMask_ == 0);
+#endif
+                    const Cycle dt = h - now_ - 1;
+                    const StallClass spanCls =
+                        retired < retireWidth_ ? block : classifyBlock();
+                    stats_.charge(spanCls, static_cast<double>(dt));
+                    now_ = h;
+                    continue;
+                }
+            }
+        } else if (retired == 0 && issued == 0 && dispatched == 0 &&
+                   (windowCount_ != 0 || fetchPos_ < instCount_)) {
+            // Legacy fast-forward, kept for in-binary A/B: after a
+            // witnessed dead cycle, jump to the next event (computed
+            // against the *current* cycle so an event one cycle out is
+            // found), charging the idle gap to the blocking class.
+            Cycle next = nextEventTime();
             if (next == kNever) {
                 if (windowCount_ != 0) {
                     const Slot &head = at(headSeq_);
@@ -654,6 +830,10 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
                 ++now_; // dispatch-only state; proceeds next cycle
                 continue;
             }
+#if MSIM_OBS_ENABLED
+            if (next > obsNextAt_)
+                next = obsNextAt_; // land exactly on the sample cycle
+#endif
             if (next > now_ + 1) {
                 const Cycle dt = next - now_ - 1;
                 stats_.charge(block, static_cast<double>(dt));
@@ -697,6 +877,7 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
     const u64 cap = slotMask_ + 1;
     const u64 capMask = cap == 64 ? ~u64{0} : (u64{1} << cap) - 1;
     const double invRw = 1.0 / retireWidth_; // exact: power of two
+    const bool eventSkip = eventSkip_;
 
     // Hot members mirrored into locals for the duration of the call;
     // every exit path goes through flush().
@@ -855,6 +1036,105 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
         }
     };
 
+    /// classifyBlock() over the local mirrors.
+    const auto classifyLocal = [&]() -> StallClass {
+        if (wcount != 0) {
+            const Slot &head = slots_[headSeq & slotMask_];
+            if (head.issued && head.readyTime > now &&
+                head.op == Op::Load) {
+                return head.level == mem::HitLevel::L1
+                           ? StallClass::MemL1Hit
+                           : StallClass::MemL1Miss;
+            }
+            return StallClass::FuStall;
+        }
+        if (awaitingRedirect || now < dispBlocked)
+            return StallClass::FuStall;
+        const std::pair<Cycle, StallClass> *oldest = nullptr;
+        for (const auto &p : pendingStores_) {
+            if (p.first > now && (!oldest || p.first < oldest->first))
+                oldest = &p;
+        }
+        return oldest ? oldest->second : StallClass::FuStall;
+    };
+
+    /// skipHorizon() over the local mirrors; see the member version
+    /// for the soundness and classify-constancy arguments.
+    const auto skipHorizonLocal = [&]() -> Cycle {
+        if (!readyNext_.empty())
+            return 0;
+        if (eligAll != 0)
+            return 0;
+        if (!readyHeap_.empty() && readyHeap_.front().first <= now + 1)
+            return 0;
+        if (!final && fetchPos >= fetchLimit)
+            return 0;
+
+        Cycle h = kNever;
+        if (wcount != 0) {
+            const Slot &head = slots_[headSeq & slotMask_];
+            if (head.issued) {
+                if (head.readyTime <= now + 1)
+                    return 0;
+                h = head.readyTime;
+            }
+        }
+        if (!readyHeap_.empty())
+            h = std::min(h, readyHeap_.front().first);
+
+        if (!awaitingRedirect && fetchPos < instCount_ &&
+            wcount < windowSize_) {
+            Cycle t = std::max(now + 1, dispBlocked);
+            bool gated = false;
+            const DecodedInst d = decoded_[fetchPos - decodedBase_];
+            if (static_cast<Op>(d.op) == Op::Branch &&
+                specBranches >= maxSpecBranches_) {
+                if (branchResolves_.empty())
+                    gated = true;
+                else
+                    t = std::max(t, branchResolves_.front());
+            }
+            const unsigned mkBits = (d.meta >> kDecMemShift) & 3u;
+            if (!gated && mkBits != kDecMemNone &&
+                memqUsed >= memQueueSize_) {
+                if (memqFrees_.empty())
+                    gated = true;
+                else
+                    t = std::max(t, memqFrees_.front());
+            }
+            if (!gated) {
+                if (t <= now + 1)
+                    return 0;
+                h = std::min(h, t);
+            }
+        }
+
+        if (wcount == 0) {
+            if (dispBlocked > now)
+                h = std::min(h, dispBlocked);
+            if (!memqFrees_.empty())
+                h = std::min(h, std::max(now + 1, memqFrees_.front()));
+        }
+
+        if (h == kNever) {
+            if (wcount != 0) {
+                const Slot &head = slots_[headSeq & slotMask_];
+                panic("replay deadlock at cycle %llu: window=%llu "
+                      "head{op=%s issued=%d ready=%llu} memq=%u "
+                      "spec=%u next fill=%llu",
+                      static_cast<unsigned long long>(now),
+                      static_cast<unsigned long long>(wcount),
+                      isa::opName(head.op), head.issued,
+                      static_cast<unsigned long long>(head.readyTime),
+                      memqUsed, specBranches,
+                      static_cast<unsigned long long>(
+                          mem_.nextFillTime(now)));
+            }
+            return 0;
+        }
+        return h;
+    };
+
     while (wcount != 0 || fetchPos < instCount_) {
         if (!final && fetchPos >= fetchLimit) {
             flush();
@@ -862,8 +1142,14 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
         }
 #if MSIM_OBS_ENABLED
         if (now >= obsNextAt_) [[unlikely]] {
-            // Cumulative values are the flushed members plus the local
-            // accumulators; the mirrors themselves stay untouched.
+            // Normalize the lazily-drained occupancy before sampling
+            // (see advanceRaw). Cumulative values are the flushed
+            // members plus the local accumulators; the mirrors
+            // themselves stay untouched.
+            while (!memqFrees_.empty() && memqFrees_.front() <= now) {
+                memqFrees_.popFront();
+                --memqUsed;
+            }
             obsNextAt_ = timeline_->sample(
                 now, stats_.retired + retiredTotal, stats_.busy + accBusy,
                 stats_.fuStall + accFu, stats_.memL1Hit + accHit,
@@ -1084,32 +1370,35 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
         accBusy += r;
         StallClass block = StallClass::Busy;
         if (retired < retireWidth_) {
-            // Inline classifyBlock() over the local mirrors.
-            if (wcount != 0) {
-                const Slot &head = slots_[headSeq & slotMask_];
-                block = StallClass::FuStall;
-                if (head.issued && head.readyTime > now &&
-                    head.op == Op::Load) {
-                    block = head.level == mem::HitLevel::L1
-                                ? StallClass::MemL1Hit
-                                : StallClass::MemL1Miss;
-                }
-            } else if (awaitingRedirect || now < dispBlocked) {
-                block = StallClass::FuStall;
-            } else {
-                const std::pair<Cycle, StallClass> *oldest = nullptr;
-                for (const auto &p : pendingStores_) {
-                    if (p.first > now &&
-                        (!oldest || p.first < oldest->first))
-                        oldest = &p;
-                }
-                block = oldest ? oldest->second : StallClass::FuStall;
-            }
+            block = classifyLocal();
             chargeAcc(block, 1.0 - r);
         }
 
-        if (retired == 0 && issued == 0 && dispatched == 0 &&
-            (wcount != 0 || fetchPos < instCount_)) {
+        if (eventSkip) {
+            // Event-driven scheduling (see advanceRaw): evaluate the
+            // horizon after every cycle and jump, charging the span to
+            // its constant blocking class.
+            if (wcount != 0 || fetchPos < instCount_) {
+                Cycle h = skipHorizonLocal();
+#if MSIM_OBS_ENABLED
+                if (h > obsNextAt_)
+                    h = obsNextAt_; // land exactly on the sample cycle
+#endif
+                if (h > now + 1) {
+#if MSIM_AUDIT_ENABLED
+                    auditSkipSpan(now, h, headSeq, wcount, eligAll == 0);
+#endif
+                    const Cycle dt = h - now - 1;
+                    const StallClass spanCls = retired < retireWidth_
+                                                   ? block
+                                                   : classifyLocal();
+                    chargeAcc(spanCls, static_cast<double>(dt));
+                    now = h;
+                    continue;
+                }
+            }
+        } else if (retired == 0 && issued == 0 && dispatched == 0 &&
+                   (wcount != 0 || fetchPos < instCount_)) {
             // Fast-forward: inline nextEventTime() over the local
             // mirrors, event queues drained first exactly like the
             // member version.
@@ -1171,6 +1460,10 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                 ++now; // dispatch-only state; proceeds next cycle
                 continue;
             }
+#if MSIM_OBS_ENABLED
+            if (next > obsNextAt_)
+                next = obsNextAt_; // land exactly on the sample cycle
+#endif
             if (next > now + 1) {
                 const Cycle dt = next - now - 1;
                 chargeAcc(block, static_cast<double>(dt));

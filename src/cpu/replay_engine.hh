@@ -317,6 +317,26 @@ class ReplayEngine
     unsigned tryDispatch();
     bool advanceRaw(u64 fetchLimit);
     bool advanceDecoded(u64 fetchLimit);
+
+    /**
+     * Event-skip horizon for the member-state (raw) cycle loop: the
+     * earliest future cycle at which any retire, issue or dispatch can
+     * occur, evaluated after this cycle's phases.  Returns 0 when an
+     * event may land as soon as now_ + 1 (the caller just ticks) —
+     * including at a batched-replay chunk boundary, where the next
+     * chunk's dispatch times are unknowable and the lane must pause on
+     * a plain tick.  Every component is a sound lower bound: landing on
+     * a still-dead cycle re-evaluates and skips again, with the charges
+     * splitting exactly (see DESIGN.md "Event-driven cycle skipping").
+     * Panics on a true deadlock (in-flight window, horizon at infinity).
+     */
+    Cycle skipHorizon(u64 fetchLimit, bool final) const;
+
+#if MSIM_AUDIT_ENABLED
+    /// skip-horizon-soundness: no ready event strictly inside [now+1, h).
+    void auditSkipSpan(Cycle now, Cycle h, u64 headSeq, u64 wcount,
+                       bool eligEmpty) const;
+#endif
     void issueSlot(Slot &s);
     void wakeWaiters(Slot &producer);
     void drainMemq();
@@ -334,6 +354,7 @@ class ReplayEngine
     unsigned takenBranchesPerCycle_;
     unsigned mispredictPenalty_;
     unsigned retireWidth_;
+    bool eventSkip_; ///< CoreConfig::eventSkip (see skipHorizon())
 
     mem::MemoryPort &mem_;
     BranchPredictor predictor_;

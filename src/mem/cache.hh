@@ -34,6 +34,7 @@
 #ifndef MSIM_MEM_CACHE_HH_
 #define MSIM_MEM_CACHE_HH_
 
+#include <algorithm>
 #include <vector>
 
 #include "audit/invariants.hh"
@@ -101,6 +102,14 @@ class CacheLevel : public Level
     /** Distribution of concurrently outstanding *load* misses. */
     const Distribution &loadOverlap() const { return loadOverlap_; }
 
+    /**
+     * Earliest MSHR fill time strictly after @p t, or ~Cycle{0} when
+     * nothing is in flight.  Cheap (no tag-store walk); used by the
+     * event-skip scheduler's deadlock diagnostics and the
+     * skip-horizon-soundness audit.
+     */
+    virtual Cycle nextFillTime(Cycle t) const = 0;
+
   protected:
     CacheConfig cfg;
     Level &next;
@@ -140,6 +149,17 @@ class Cache final : public CacheLevel
     accessLine(Addr line_addr, AccessKind kind, Cycle t) override
     {
         return accessImpl(line_addr, kind, t);
+    }
+
+    Cycle
+    nextFillTime(Cycle t) const override
+    {
+        // sortedFill_ holds every MSHR's fill time in ascending order
+        // (expired entries included), so the first entry beyond t is
+        // the answer.
+        const auto it =
+            std::upper_bound(sortedFill_.begin(), sortedFill_.end(), t);
+        return it == sortedFill_.end() ? ~Cycle{0} : *it;
     }
 
   private:

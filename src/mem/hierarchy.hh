@@ -7,6 +7,7 @@
 #ifndef MSIM_MEM_HIERARCHY_HH_
 #define MSIM_MEM_HIERARCHY_HH_
 
+#include <algorithm>
 #include <memory>
 
 #include "mem/cache.hh"
@@ -29,6 +30,16 @@ class MemoryPort
 
     /** Core-side access; @p addr is a byte address. */
     virtual AccessResult access(Addr addr, AccessKind kind, Cycle t) = 0;
+
+    /**
+     * Earliest cache fill strictly after @p t anywhere behind this
+     * port, or ~Cycle{0} when none is in flight.  Diagnostic surface
+     * for the event-skip scheduler (fills are not scheduler events —
+     * memory timing resolves at access() time — so this only feeds
+     * deadlock messages and audits); ports that cannot answer cheaply
+     * report "nothing pending".
+     */
+    virtual Cycle nextFillTime(Cycle) const { return ~Cycle{0}; }
 };
 
 /**
@@ -67,6 +78,12 @@ class Hierarchy : public MemoryPort
         return *l2Ref_;
     }
     const Dram &dram() const { return *dram_; }
+
+    Cycle
+    nextFillTime(Cycle t) const override
+    {
+        return std::min(l1().nextFillTime(t), l2().nextFillTime(t));
+    }
 
   private:
     std::unique_ptr<Dram> dram_;

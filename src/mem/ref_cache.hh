@@ -34,6 +34,16 @@ class RefCache final : public CacheLevel
     AccessResult accessLine(Addr line_addr, AccessKind kind,
                             Cycle t) override;
 
+    Cycle
+    nextFillTime(Cycle t) const override
+    {
+        Cycle next = ~Cycle{0};
+        for (const Mshr &m : mshrs)
+            if (m.fillTime > t && m.fillTime < next)
+                next = m.fillTime;
+        return next;
+    }
+
   private:
     struct Way
     {

@@ -18,6 +18,43 @@ RecordedTrace::byteSize() const
            branchPc_.size() * sizeof(u32);
 }
 
+RecordedTrace
+RecordedTrace::prefix(u64 n) const
+{
+    n = std::min(n, instCount());
+    RecordedTrace p;
+    p.op_.assign(op_.begin(), op_.begin() + n);
+    p.flags_.assign(flags_.begin(), flags_.begin() + n);
+    p.numSrcs_.assign(numSrcs_.begin(), numSrcs_.begin() + n);
+    p.dst_.assign(dst_.begin(), dst_.begin() + n);
+
+    // One pass over the kept instructions rebuilds the side-stream
+    // lengths and the derived totals the recorder maintained online.
+    u64 srcs = 0, memOps = 0, branches = 0;
+    for (u64 i = 0; i < n; ++i) {
+        srcs += numSrcs_[i];
+        const auto op = static_cast<Op>(op_[i]);
+        if (op == Op::Load || op == Op::Store || op == Op::Prefetch)
+            ++memOps;
+        else if (op == Op::Branch)
+            ++branches;
+        ++p.opCount_[op_[i]];
+        p.maxValId_ = std::max(p.maxValId_, dst_[i]);
+    }
+    p.srcs_.assign(srcs_.begin(), srcs_.begin() + srcs);
+    p.srcProd_.assign(srcProd_.begin(), srcProd_.begin() + srcs);
+    p.memAddr_.assign(memAddr_.begin(), memAddr_.begin() + memOps);
+    p.memSize_.assign(memSize_.begin(), memSize_.begin() + memOps);
+    p.memKind_.assign(memKind_.begin(), memKind_.begin() + memOps);
+    p.memAux_.assign(memAux_.begin(), memAux_.begin() + memOps);
+    p.branchPc_.assign(branchPc_.begin(), branchPc_.begin() + branches);
+    for (u64 m = 0; m < memOps; ++m) {
+        if (memKind_[m] == kMemStore)
+            ++p.numStores_;
+    }
+    return p;
+}
+
 void
 RecordedTrace::Cursor::next(Inst &inst, u32 &fwd_store, u32 &store_ord)
 {

@@ -98,6 +98,18 @@ class RecordedTrace
     size_t byteSize() const;
 
     /**
+     * The first @p n dynamic instructions as a self-contained trace
+     * (clamped to instCount()).  Every cross-column reference points
+     * backwards — source producers, store ordinals, a load's forwarding
+     * candidate — so truncating all columns at the instruction boundary
+     * and recomputing the totals yields a trace indistinguishable from
+     * one recorded by stopping the generator after @p n instructions.
+     * Used by the audit fuzzer to shrink a diverging replay to a
+     * minimal trace prefix.
+     */
+    RecordedTrace prefix(u64 n) const;
+
+    /**
      * Reconstruct the stream and feed it to @p sink in program order,
      * finishing with sink.finish().  Every isa::Inst field is rebuilt
      * exactly as the trace builder emitted it.

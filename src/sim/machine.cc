@@ -62,4 +62,11 @@ asReference(MachineConfig m)
     return m;
 }
 
+MachineConfig
+withEventSkip(MachineConfig m, bool on)
+{
+    m.core.eventSkip = on;
+    return m;
+}
+
 } // namespace msim::sim

@@ -50,6 +50,13 @@ MachineConfig withL1Size(u32 bytes);
  */
 MachineConfig asReference(MachineConfig m);
 
+/**
+ * The same machine with event-driven cycle skipping forced on or off
+ * (overriding the MSIM_EVENT_SKIP default). Bit-identical results by
+ * construction; used by the skip-mode fuzzer and A/B benchmarks.
+ */
+MachineConfig withEventSkip(MachineConfig m, bool on);
+
 } // namespace msim::sim
 
 #endif // MSIM_SIM_MACHINE_HH_

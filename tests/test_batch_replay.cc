@@ -87,6 +87,32 @@ expectBatchMatchesSequential(const prog::RecordedTrace &trace,
     }
 }
 
+/**
+ * Event-skip on vs off, sequential and batched, counter-exact.  The
+ * clock-jumping scheduler must be bit-identical to the per-cycle loop
+ * on the same trace and machine — and a batch pairing a skipping lane
+ * with its per-cycle twin must pause both at the same chunk limits and
+ * still agree.  tools/audit_fuzz --mode skip emits repro tests calling
+ * this helper; keep the signature stable.
+ */
+void
+expectSkipOnOffIdentical(const prog::RecordedTrace &trace,
+                         const MachineConfig &machine, u64 chunk = 0)
+{
+    const MachineConfig off = withEventSkip(machine, false);
+    const MachineConfig on = withEventSkip(machine, true);
+    const auto seqOff = replayTrace(trace, off);
+    const auto seqOn = replayTrace(trace, on);
+    expectIdentical(seqOff, seqOn, "sequential skip-on vs skip-off");
+    const std::vector<MachineConfig> lanes = {off, on};
+    const auto batch = replayTraceBatch(trace, lanes, chunk);
+    ASSERT_EQ(batch.size(), 2u);
+    expectIdentical(seqOff, batch[0],
+                    "batch skip-off lane, chunk " + std::to_string(chunk));
+    expectIdentical(seqOff, batch[1],
+                    "batch skip-on lane, chunk " + std::to_string(chunk));
+}
+
 Generator
 generatorFor(const std::string &name, Variant variant)
 {
@@ -275,6 +301,86 @@ TEST(BatchReplay, RunJobsGroupLargerThanThreads)
         const auto seq = replayTrace(trace, jobs[i].machine);
         expectIdentical(seq, batched[i], "job #" + std::to_string(i));
     }
+}
+
+/** Every paper sweep shape, with the clock allowed to jump: skip-on
+ *  must match skip-off bit-exactly on a miss-heavy kernel trace. */
+TEST(EventSkip, SweepConfigsIdentical)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace(generatorFor("conv", Variant::Vis),
+                                   base.skewArrays, base.visFeatures);
+    for (const MachineConfig &m : sweepConfigs())
+        expectSkipOnOffIdentical(trace, m);
+}
+
+/** Variants stress different horizon sources (scalar: FU latency
+ *  chains; VIS: partitioned ops; prefetch: MSHR pressure), and tiny
+ *  chunks force jump/pause interleavings at every alignment. */
+TEST(EventSkip, VariantsAndChunkSizes)
+{
+    const MachineConfig small = withL1Size(1 << 10);
+    for (Variant variant :
+         {Variant::Scalar, Variant::Vis, Variant::VisPrefetch}) {
+        SCOPED_TRACE(std::to_string(static_cast<int>(variant)));
+        const auto trace =
+            recordTrace(generatorFor("addition", variant),
+                        small.skewArrays, small.visFeatures);
+        for (const u64 chunk : {u64{1}, u64{7}, u64{0}})
+            expectSkipOnOffIdentical(trace, small, chunk);
+    }
+}
+
+/** Degenerate traces: no instruction ever dispatches, or a single
+ *  instruction drains the machine — the horizon must terminate the
+ *  run, not deadlock or overshoot. */
+TEST(EventSkip, DegenerateTraces)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto empty = recordTrace([](prog::TraceBuilder &) {},
+                                   base.skewArrays, base.visFeatures);
+    expectSkipOnOffIdentical(empty, base);
+
+    const auto one = recordTrace(
+        [](prog::TraceBuilder &tb) { tb.add(tb.imm(1), tb.imm(2)); },
+        base.skewArrays, base.visFeatures);
+    expectSkipOnOffIdentical(one, base);
+    expectSkipOnOffIdentical(one, base, 1);
+}
+
+/** Trace prefixes are what the fuzzer's shrinker replays; the skip
+ *  bit-identity must hold on them too (prefix() must produce a
+ *  self-consistent trace, not just a shorter one). */
+TEST(EventSkip, TracePrefixesIdentical)
+{
+    const MachineConfig small = withL1Size(1 << 10);
+    const auto trace =
+        recordTrace(generatorFor("dotprod", Variant::Vis),
+                    small.skewArrays, small.visFeatures);
+    const u64 n = trace.instCount();
+    ASSERT_GT(n, 16u);
+    for (const u64 len : {u64{1}, u64{2}, n / 3, n / 2, n - 1, n})
+        expectSkipOnOffIdentical(trace.prefix(len), small);
+}
+
+/** MSHR-starved and narrow-window machines have the densest gating
+ *  (memq frees and branch resolves dominate the horizon); jumps must
+ *  stay sound under both. */
+TEST(EventSkip, GatedMachinesIdentical)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace =
+        recordTrace(generatorFor("mpeg-dec", Variant::Vis),
+                    base.skewArrays, base.visFeatures);
+    MachineConfig mshr_limited = withL1Size(1 << 10);
+    mshr_limited.mem.l1.numMshrs = 1;
+    mshr_limited.mem.l2.numMshrs = 2;
+    expectSkipOnOffIdentical(trace, mshr_limited);
+
+    MachineConfig narrow = outOfOrder4Way();
+    narrow.core.issueWidth = 2;
+    narrow.core.windowSize = 16;
+    expectSkipOnOffIdentical(trace, narrow);
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -23,6 +24,10 @@
 
 #include "core/experiment.hh"
 #include "core/registry.hh"
+#include "cpu/batch_replay_engine.hh"
+#include "cpu/core.hh"
+#include "kernels/addition.hh"
+#include "mem/hierarchy.hh"
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/session.hh"
@@ -222,6 +227,181 @@ TEST(ObsTimeline, NoWraparoundKeepsAllRows)
     ASSERT_EQ(tl.size(), 3u);
     EXPECT_EQ(tl.row(0).cycle, 5u);
     EXPECT_EQ(tl.row(2).cycle, 15u);
+}
+
+// ---- timeline rows across event-skip clock jumps ---------------------
+
+/**
+ * Replay @p trace sequentially with a directly attached recorder and
+ * return the retained rows (capacity sized so nothing drops).
+ */
+std::vector<obs::TimelineRow>
+replayRows(const prog::RecordedTrace &trace, const sim::MachineConfig &m,
+           Cycle period, cpu::ExecStats *stats = nullptr)
+{
+    mem::Hierarchy h(m.mem);
+    cpu::PipelineCore core(m.core, h);
+    obs::TimelineRecorder tl(0, "rows", period, size_t{1} << 18);
+    tl.attachMem(&h.l1().mshrOccupancy(), &h.l2().mshrOccupancy());
+    core.setTimeline(&tl);
+    core.runRecorded(trace);
+    if (stats)
+        *stats = core.stats();
+    EXPECT_EQ(tl.droppedSamples(), 0u);
+    std::vector<obs::TimelineRow> rows;
+    rows.reserve(tl.size());
+    for (size_t i = 0; i < tl.size(); ++i)
+        rows.push_back(tl.row(i));
+    return rows;
+}
+
+/** Same rows through a single-lane batched replay. */
+std::vector<obs::TimelineRow>
+batchRows(const prog::RecordedTrace &trace, const sim::MachineConfig &m,
+          Cycle period)
+{
+    mem::Hierarchy h(m.mem);
+    const cpu::BatchReplayEngine::Lane lane{&m.core, &h};
+    cpu::BatchReplayEngine engine(trace, std::span(&lane, 1));
+    obs::TimelineRecorder tl(0, "rows", period, size_t{1} << 18);
+    tl.attachMem(&h.l1().mshrOccupancy(), &h.l2().mshrOccupancy());
+    engine.setLaneTimeline(0, &tl);
+    engine.run();
+    EXPECT_EQ(tl.droppedSamples(), 0u);
+    std::vector<obs::TimelineRow> rows;
+    rows.reserve(tl.size());
+    for (size_t i = 0; i < tl.size(); ++i)
+        rows.push_back(tl.row(i));
+    return rows;
+}
+
+void
+expectSameRows(const std::vector<obs::TimelineRow> &a,
+               const std::vector<obs::TimelineRow> &b,
+               const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const std::string at = what + " row " + std::to_string(i);
+#define MSIM_SAMEROW(field)                                                  \
+    EXPECT_EQ(a[i].field, b[i].field) << at << ": " #field
+        MSIM_SAMEROW(cycle);
+        MSIM_SAMEROW(retired);
+        MSIM_SAMEROW(busy);
+        MSIM_SAMEROW(fuStall);
+        MSIM_SAMEROW(memL1Hit);
+        MSIM_SAMEROW(memL1Miss);
+        MSIM_SAMEROW(window);
+        MSIM_SAMEROW(memq);
+        MSIM_SAMEROW(mshrL1);
+        MSIM_SAMEROW(mshrL2);
+#undef MSIM_SAMEROW
+    }
+}
+
+/** Miss-heavy recorded workload: long dead spans the skipper can jump. */
+prog::RecordedTrace
+missHeavyTrace(const sim::MachineConfig &m)
+{
+    const sim::Generator gen = [](prog::TraceBuilder &tb) {
+        kernels::runAddition(tb, prog::Variant::Vis, 512, 64, 2);
+    };
+    return sim::recordTrace(gen, m.skewArrays, m.visFeatures);
+}
+
+/**
+ * The satellite property for event skipping: every TimelineRecorder row
+ * is identical whether the clock ticked through a sample boundary or
+ * jumped across it (the jump is clamped to land exactly on the
+ * boundary), sequentially and through the batched lane path, across
+ * periods that land boundaries both inside and outside skipped spans.
+ */
+TEST(ObsEventSkip, RowsIdenticalWhetherClockTicksOrJumps)
+{
+    const sim::MachineConfig base = sim::withL1Size(1 << 10);
+    const sim::MachineConfig off = sim::withEventSkip(base, false);
+    const sim::MachineConfig on = sim::withEventSkip(base, true);
+    const prog::RecordedTrace trace = missHeavyTrace(base);
+
+    for (const Cycle period : {Cycle{7}, Cycle{64}, Cycle{1024}}) {
+        const std::string what =
+            "period " + std::to_string(period);
+        const auto offRows = replayRows(trace, off, period);
+        ASSERT_FALSE(offRows.empty()) << what;
+        expectSameRows(offRows, replayRows(trace, on, period),
+                       what + " (seq on vs off)");
+        expectSameRows(offRows, batchRows(trace, on, period),
+                       what + " (batch on vs seq off)");
+    }
+}
+
+/** Rows land on exact period multiples even when jumps cross them. */
+TEST(ObsEventSkip, RowsLandOnExactPeriodBoundaries)
+{
+    const sim::MachineConfig on =
+        sim::withEventSkip(sim::withL1Size(1 << 10), true);
+    const prog::RecordedTrace trace = missHeavyTrace(on);
+    constexpr Cycle kPeriod = 13; // prime: lands mid-span constantly
+    const auto rows = replayRows(trace, on, kPeriod);
+    ASSERT_FALSE(rows.empty());
+    for (size_t i = 0; i < rows.size(); ++i)
+        EXPECT_EQ(rows[i].cycle, kPeriod * (i + 1)) << "row " << i;
+}
+
+/**
+ * Cumulative-column conservation, the property tools/msim_report's
+ * per-interval stall summaries difference on: at every sampled cycle
+ * the four cumulative stall classes sum to the cycle count exactly
+ * (sampling happens before the cycle's own charge), so adjacent-row
+ * deltas are non-negative and conserve the interval length even when
+ * the interval was crossed by one bulk-charged clock jump.
+ */
+TEST(ObsEventSkip, CumulativeDeltasConserveCycles)
+{
+    const sim::MachineConfig on =
+        sim::withEventSkip(sim::withL1Size(1 << 10), true);
+    const prog::RecordedTrace trace = missHeavyTrace(on);
+    const auto rows = replayRows(trace, on, 64);
+    ASSERT_GT(rows.size(), 2u);
+    double prevSum = 0.0;
+    u64 prevCycle = 0, prevRetired = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const obs::TimelineRow &r = rows[i];
+        const double sum =
+            r.busy + r.fuStall + r.memL1Hit + r.memL1Miss;
+        const double cycles = static_cast<double>(r.cycle);
+        EXPECT_NEAR(sum, cycles, 1e-6 * cycles + 1e-6) << "row " << i;
+        EXPECT_GE(r.cycle, prevCycle) << "row " << i;
+        EXPECT_GE(r.retired, prevRetired) << "row " << i;
+        EXPECT_GE(r.busy + 1e-9, 0.0);
+        EXPECT_GE(sum + 1e-9, prevSum) << "row " << i;
+        prevSum = sum;
+        prevCycle = r.cycle;
+        prevRetired = r.retired;
+    }
+}
+
+/** An attached recorder must not perturb results while skipping. */
+TEST(ObsEventSkip, TimelineDoesNotPerturbResults)
+{
+    const sim::MachineConfig on =
+        sim::withEventSkip(sim::withL1Size(1 << 10), true);
+    const prog::RecordedTrace trace = missHeavyTrace(on);
+
+    mem::Hierarchy h(on.mem);
+    cpu::PipelineCore core(on.core, h);
+    core.runRecorded(trace);
+    const cpu::ExecStats plain = core.stats();
+
+    cpu::ExecStats observed;
+    replayRows(trace, on, 13, &observed);
+    EXPECT_EQ(plain.cycles, observed.cycles);
+    EXPECT_EQ(plain.retired, observed.retired);
+    EXPECT_EQ(plain.busy, observed.busy);
+    EXPECT_EQ(plain.fuStall, observed.fuStall);
+    EXPECT_EQ(plain.memL1Hit, observed.memL1Hit);
+    EXPECT_EQ(plain.memL1Miss, observed.memL1Miss);
+    EXPECT_EQ(plain.mispredicts, observed.mispredicts);
 }
 
 // ---- session export and bit identity --------------------------------

@@ -26,11 +26,22 @@
  * sets shrink by dropping lanes and resetting config dimensions, and
  * print as a ready-to-paste test for tests/test_batch_replay.cc.
  *
+ * `--mode skip` fuzzes event-driven cycle skipping: each case replays
+ * one randomized out-of-order config's trace four ways — sequential and
+ * batched, each with skipping forced off and on (the batched run drives
+ * a mixed off/on lane pair through one lockstep traversal, the hardest
+ * pause-alignment case) — and requires all four RunResults to match
+ * field-exact. Failing cases shrink through the config reductions and
+ * then bisect the recorded trace to a minimal failing prefix
+ * (prog::RecordedTrace::prefix), printing a ready-to-paste test for
+ * tests/test_batch_replay.cc.
+ *
  * Cases are derived deterministically from (--seed, case index), so a
  * repro needs only the seed and index, independent of scheduling.
  *
  *   audit_fuzz --seed 1 --cases 200               # the CI gate
  *   audit_fuzz --mode batch --seed 1 --cases 80   # the batch CI gate
+ *   audit_fuzz --mode skip --seed 1 --cases 200   # the skip CI gate
  *   audit_fuzz --list                             # registered invariants
  */
 
@@ -766,6 +777,204 @@ printBatchRepro(const BatchCase &c, const Outcome &out, u64 seed,
                 "----------\n\n");
 }
 
+// ---- skip mode ------------------------------------------------------
+
+/**
+ * One sampled skip-mode case: a single out-of-order config whose trace
+ * is replayed with event skipping off and on, sequentially and batched.
+ * prefixLen < instCount truncates the trace (shrink only).
+ */
+struct SkipCase
+{
+    const core::Benchmark *bench = nullptr;
+    prog::Variant variant = prog::Variant::Scalar;
+    u64 chunk = 0;          ///< 0 = engine default
+    u64 prefixLen = ~u64{0}; ///< trace prefix to replay (clamped)
+    sim::MachineConfig machine;
+};
+
+SkipCase
+sampleSkipCase(const std::vector<const core::Benchmark *> &benches,
+               u64 seed, unsigned index)
+{
+    Rng rng(mixSeed(seed, index));
+    SkipCase c;
+    const u32 pick = rng.below(100);
+    if (pick < 76)
+        c.bench = benches[rng.below(6)];
+    else
+        c.bench =
+            benches[6 + rng.below(static_cast<u32>(benches.size()) - 6)];
+    const u32 nvar = c.bench->hasPrefetchVariant ? 3 : 2;
+    c.variant = static_cast<prog::Variant>(rng.below(nvar));
+
+    static constexpr u64 kChunks[] = {1, 2, 7, 64, 1024, 8192, 0};
+    c.chunk = kChunks[rng.below(7)];
+
+    // Skipping only exists in the out-of-order replay engine; in-order
+    // configs take PipelineCore and ignore the toggle, so force the
+    // sampled machine onto the path under test.  Window sizes above 64
+    // are still sampled: those lanes take replayTraceBatch's sequential
+    // fallback, which must skip identically too.
+    c.machine = sampleMachine(rng);
+    c.machine.core.outOfOrder = true;
+    c.machine.core.referenceEngine = false;
+    return c;
+}
+
+Outcome
+runSkipCase(const SkipCase &c)
+{
+    Outcome out;
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        prog::RecordedTrace trace = sim::recordTrace(
+            gen, c.machine.skewArrays, c.machine.visFeatures);
+        if (c.prefixLen < trace.instCount())
+            trace = trace.prefix(c.prefixLen);
+
+        const sim::MachineConfig off = sim::withEventSkip(c.machine, false);
+        const sim::MachineConfig on = sim::withEventSkip(c.machine, true);
+        const sim::RunResult seqOff = sim::replayTrace(trace, off);
+        const sim::RunResult seqOn = sim::replayTrace(trace, on);
+        // One lockstep traversal drives an off lane and an on lane: the
+        // skipping lane must pause at exactly the same advanceTo chunk
+        // limits as its per-cycle twin.
+        const std::vector<sim::MachineConfig> lanes = {off, on};
+        const auto batch = sim::replayTraceBatch(trace, lanes, c.chunk);
+
+        std::string d = compareResults(seqOff, seqOn);
+        if (!d.empty()) {
+            out.divergence = "seq skip-on: " + d;
+        } else if (!(d = compareResults(seqOff, batch[0])).empty()) {
+            out.divergence = "batch skip-off: " + d;
+        } else if (!(d = compareResults(seqOff, batch[1])).empty()) {
+            out.divergence = "batch skip-on: " + d;
+        }
+        double err = 0.0;
+        if (!audit::accountingIdentityHolds(seqOn.exec, &err)) {
+            sink.report("accountingIdentityHolds(skip-on)", __FILE__,
+                        __LINE__, "err " + std::to_string(err));
+        }
+    }
+    out.violations = sink.violations();
+    out.violationRecords = sink.records();
+    return out;
+}
+
+/**
+ * Greedy skip shrink: benchmark, variant, chunk and config dimensions
+ * toward the defaults while the failure reproduces, then bisect the
+ * recorded trace to a minimal failing prefix.
+ */
+SkipCase
+shrinkSkipCase(const SkipCase &failing)
+{
+    SkipCase best = failing;
+    const core::Benchmark &addition = core::findBenchmark("addition");
+    const auto fails = [](const SkipCase &c) {
+        return runSkipCase(c).failed();
+    };
+
+    if (best.bench != &addition) {
+        SkipCase cand = best;
+        cand.bench = &addition;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+    if (best.variant != prog::Variant::Scalar) {
+        SkipCase cand = best;
+        cand.variant = prog::Variant::Scalar;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        if (best.chunk != 0) {
+            SkipCase cand = best;
+            cand.chunk = 0;
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            }
+        }
+        for (const auto &reduce : configReductions()) {
+            SkipCase cand = best;
+            if (!reduce(cand.machine))
+                continue;
+            // The skip path requires an out-of-order, non-reference
+            // engine; never reduce off it.
+            cand.machine.core.outOfOrder = true;
+            cand.machine.core.referenceEngine = false;
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            }
+        }
+    }
+
+    // Trace-prefix bisection on the shrunk (cheap) configuration: find
+    // a short failing prefix.  Divergence need not be monotone in the
+    // prefix length, so this is a heuristic minimum, but the result is
+    // re-verified failing before printing.
+    {
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            best.bench->generate(tb, best.variant);
+        };
+        const prog::RecordedTrace full = sim::recordTrace(
+            gen, best.machine.skewArrays, best.machine.visFeatures);
+        u64 hi = std::min(best.prefixLen, full.instCount());
+        u64 lo = 0;
+        while (lo + 1 < hi) {
+            const u64 mid = lo + (hi - lo) / 2;
+            SkipCase cand = best;
+            cand.prefixLen = mid;
+            if (fails(cand))
+                hi = mid;
+            else
+                lo = mid;
+        }
+        best.prefixLen = hi;
+    }
+    best.machine.label = "shrunk";
+    return best;
+}
+
+/** Print the shrunk skip case as a ready-to-paste regression test. */
+void
+printSkipRepro(const SkipCase &c, const Outcome &out, u64 seed,
+               unsigned index)
+{
+    std::printf("\n// ---- ready-to-paste regression test "
+                "(tests/test_batch_replay.cc) ----\n");
+    std::printf("TEST(EventSkip, FuzzSeed%" PRIu64 "Case%u)\n{\n", seed,
+                index);
+    std::printf("    sim::MachineConfig m;\n");
+    printMachineDelta(c.machine);
+    std::printf("    const auto trace =\n"
+                "        recordTrace(generatorFor(\"%s\", %s),\n"
+                "                    m.skewArrays, m.visFeatures)\n"
+                "            .prefix(%" PRIu64 ");\n",
+                c.bench->name.c_str(), variantExpr(c.variant),
+                c.prefixLen);
+    std::printf("    expectSkipOnOffIdentical(trace, m, "
+                "/*chunk=*/%" PRIu64 ");\n}\n",
+                c.chunk);
+    if (!out.divergence.empty())
+        std::printf("// divergence: %s\n", out.divergence.c_str());
+    for (const auto &v : out.violationRecords)
+        std::printf("// violation: %s at %s:%d: %s\n", v.check.c_str(),
+                    v.file, v.line, v.message.c_str());
+    std::printf("// ----------------------------------------------------"
+                "----------\n\n");
+}
+
 void
 printInvariants()
 {
@@ -778,7 +987,7 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [--mode diff|batch] [--seed N] [--cases N]\n"
+        "usage: %s [--mode diff|batch|skip] [--seed N] [--cases N]\n"
         "          [--live-frac PCT] [--progress] [--verbose] [--list]\n"
         "          [--help]\n"
         "\n"
@@ -788,7 +997,9 @@ usage(const char *argv0)
         "\n"
         "  --mode M        diff (default): fast path vs reference;\n"
         "                  batch: randomized config sets through\n"
-        "                  replayTraceBatch vs sequential replayTrace\n"
+        "                  replayTraceBatch vs sequential replayTrace;\n"
+        "                  skip: event-skip on vs off, sequential and\n"
+        "                  batched, counter-exact\n"
         "  --seed N        base seed (default 1); case i derives from\n"
         "                  (seed, i), so repros only need the pair\n"
         "  --cases N       number of cases (default 200)\n"
@@ -845,7 +1056,8 @@ main(int argc, char **argv)
     }
 
     const bool batch_mode = std::strcmp(mode, "batch") == 0;
-    if (!batch_mode && std::strcmp(mode, "diff") != 0) {
+    const bool skip_mode = std::strcmp(mode, "skip") == 0;
+    if (!batch_mode && !skip_mode && std::strcmp(mode, "diff") != 0) {
         std::fprintf(stderr, "unknown --mode: %s\n", mode);
         usage(argv[0]);
         return 2;
@@ -858,6 +1070,53 @@ main(int argc, char **argv)
                 "%u%% live, audit checks %s\n",
                 mode, seed, cases, live_percent,
                 audit::kEnabled ? "compiled in" : "compiled out");
+
+    if (skip_mode) {
+        unsigned failures = 0;
+        ProgressMeter meter(progress, cases);
+        for (unsigned i = 0; i < cases; ++i) {
+            const SkipCase c = sampleSkipCase(benches, seed, i);
+            if (verbose)
+                std::printf("  case %u: %s/%s chunk %" PRIu64
+                            " ws %u iw %u\n",
+                            i, c.bench->name.c_str(),
+                            prog::variantName(c.variant), c.chunk,
+                            c.machine.core.windowSize,
+                            c.machine.core.issueWidth);
+            Outcome out;
+            {
+                MSIM_OBS_SPAN(span, "fuzz.case", c.bench->name);
+                out = runSkipCase(c);
+            }
+#if MSIM_OBS_ENABLED
+            obs::count(fuzzMetrics().cases);
+            if (out.failed())
+                obs::count(fuzzMetrics().failures);
+#endif
+            if (!out.failed()) {
+                meter.caseDone(i + 1, failures);
+                continue;
+            }
+            ++failures;
+            std::printf("FAIL case %u (%s/%s, chunk %" PRIu64 "): %s%s\n",
+                        i, c.bench->name.c_str(),
+                        prog::variantName(c.variant), c.chunk,
+                        out.divergence.empty() ? ""
+                                               : out.divergence.c_str(),
+                        out.violations
+                            ? (" [" + std::to_string(out.violations) +
+                               " invariant violations]")
+                                  .c_str()
+                            : "");
+            std::printf("shrinking...\n");
+            const SkipCase minimal = shrinkSkipCase(c);
+            printSkipRepro(minimal, runSkipCase(minimal), seed, i);
+            meter.caseDone(i + 1, failures);
+        }
+        std::printf("audit_fuzz: %u skip cases: %u failing\n", cases,
+                    failures);
+        return failures ? 1 : 0;
+    }
 
     if (batch_mode) {
         unsigned failures = 0;

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Every BENCH_*.json is a single flat JSON object of numeric (and a few
+string) fields written by bench::writeBenchJson.  This tool diffs the
+numeric fields of a fresh capture against the committed baseline and
+fails when a throughput-like key regresses by more than the threshold,
+so CI catches perf-path regressions without regenerating the committed
+numbers on every run.
+
+Keys are classified by direction: for names ending in per_second, _pps,
+or speedup_x, higher is better and only a *drop* beyond the threshold
+fails; for *_seconds keys, lower is better and only a *rise* beyond the
+threshold fails.  Other numeric keys are reported but never fail.
+
+    bench_compare.py [--threshold 0.2] [--keys k1,k2] FRESH BASELINE
+
+--keys restricts the failing comparison to the named keys (comma
+separated); everything else is informational.  Exit status: 0 ok,
+1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+HIGHER_IS_BETTER = ("per_second", "_pps", "speedup_x")
+LOWER_IS_BETTER = ("_seconds",)
+
+
+def direction(key):
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    if key.endswith(HIGHER_IS_BETTER):
+        return 1
+    if key.endswith(LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_compare: {path}: expected a JSON object")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff a fresh BENCH_*.json against a baseline.")
+    ap.add_argument("fresh", help="freshly generated BENCH_*.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.2,
+                    help="allowed relative regression (default 0.2)")
+    ap.add_argument("--keys", default="",
+                    help="comma-separated keys that may fail the "
+                         "comparison (default: every directional key)")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+    gate_keys = {k for k in args.keys.split(",") if k} or None
+
+    failures = []
+    for key in sorted(set(fresh) & set(base)):
+        fv, bv = fresh[key], base[key]
+        if not (isinstance(fv, (int, float)) and
+                isinstance(bv, (int, float))):
+            continue
+        if isinstance(fv, bool) or isinstance(bv, bool):
+            continue
+        delta = (fv - bv) / bv if bv else 0.0
+        sign = direction(key)
+        gated = sign != 0 and (gate_keys is None or key in gate_keys)
+        regressed = gated and (sign * delta) < -args.threshold
+        marker = "FAIL" if regressed else ("    " if sign else "info")
+        print(f"{marker} {key}: {bv:g} -> {fv:g} ({delta:+.1%})")
+        if regressed:
+            failures.append(key)
+
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print("bench_compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,8 @@ struct RunRecord
 struct SampleRecord
 {
     u32 runId = 0;
+    double cycle = 0, retired = 0; ///< cumulative since cycle 0
+    double busy = 0, fuStall = 0, memL1Hit = 0, memL1Miss = 0;
     double window = 0, memq = 0, mshrL1 = 0, mshrL2 = 0;
 };
 
@@ -120,6 +122,12 @@ loadCapture(const std::string &path, Capture &cap)
         } else if (type == "sample") {
             SampleRecord s;
             s.runId = static_cast<u32>(v.numberOr("run_id", 0));
+            s.cycle = v.numberOr("cycle", 0);
+            s.retired = v.numberOr("retired", 0);
+            s.busy = v.numberOr("busy", 0);
+            s.fuStall = v.numberOr("fu_stall", 0);
+            s.memL1Hit = v.numberOr("mem_l1_hit", 0);
+            s.memL1Miss = v.numberOr("mem_l1_miss", 0);
             s.window = v.numberOr("window", 0);
             s.memq = v.numberOr("memq", 0);
             s.mshrL1 = v.numberOr("mshr_l1", 0);
@@ -178,6 +186,53 @@ printRun(const Capture &cap, const RunRecord &r)
                     "mshr L1 mean %.1f max %.0f\n",
                     n, r.dropped > 0 ? ", ring wrapped" : "", wSum / n,
                     wMax, qSum / n, qMax, mSum / n, mMax);
+
+    // Per-interval stall rates, differenced from the cumulative sample
+    // columns.  Cumulative storage is what makes this safe under
+    // event-driven cycle skipping: a clock jump's bulk stall charge
+    // lands entirely inside one interval's delta, so intervals spanning
+    // skipped regions still conserve (d busy + d fu + d l1hit + d l1miss
+    // == d cycle).  Any conservation error or negative delta means the
+    // capture is inconsistent and is flagged rather than averaged away.
+    const SampleRecord *prev = nullptr;
+    double intervals = 0, ipcMin = 0, ipcMax = 0, maxErr = 0;
+    bool negative = false;
+    for (const SampleRecord &s : cap.samples) {
+        if (s.runId != r.id)
+            continue;
+        if (prev) {
+            const double dc = s.cycle - prev->cycle;
+            const double dr2 = s.retired - prev->retired;
+            const double db = s.busy - prev->busy;
+            const double df = s.fuStall - prev->fuStall;
+            const double dh = s.memL1Hit - prev->memL1Hit;
+            const double dm = s.memL1Miss - prev->memL1Miss;
+            if (dc < 0 || dr2 < 0 || db < 0 || df < 0 || dh < 0 || dm < 0)
+                negative = true;
+            if (dc > 0) {
+                const double ipc = dr2 / dc;
+                if (intervals == 0) {
+                    ipcMin = ipcMax = ipc;
+                } else {
+                    ipcMin = std::min(ipcMin, ipc);
+                    ipcMax = std::max(ipcMax, ipc);
+                }
+                ++intervals;
+                maxErr = std::max(maxErr,
+                                  std::fabs(db + df + dh + dm - dc));
+            }
+        }
+        prev = &s;
+    }
+    if (intervals > 0) {
+        std::printf("  intervals (%.0f): ipc min %.3f max %.3f, "
+                    "conservation max err %.3g%s\n",
+                    intervals, ipcMin, ipcMax, maxErr,
+                    negative ? "  [WARN: negative deltas]" : "");
+        if (maxErr > 0.5 || negative)
+            std::printf("  WARNING: cumulative sample columns do not "
+                        "conserve cycles; capture may be corrupt\n");
+    }
 }
 
 int
