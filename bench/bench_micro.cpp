@@ -8,10 +8,12 @@
  */
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "common/simd.hh"
 #include "cpu/batch_replay_engine.hh"
 #include "cpu/core.hh"
 #include "img/synth.hh"
@@ -179,10 +181,10 @@ BENCHMARK(BM_CoreStepRate);
 
 /**
  * Cross-lane min reduction over the batch engine's SoA progress
- * columns (cursor audit, per-lane horizon sweeps).  Run at small /
- * sweep-sized / absurd lane counts to justify the scalar SoA loop: the
- * decision documented on BatchReplayEngine::minActiveLane is that a
- * hand-vectorized reduction buys nothing at realistic lane counts.
+ * columns (cursor audit, per-lane horizon sweeps), through the
+ * runtime-dispatched simd kernel.  Run at small / sweep-sized / absurd
+ * lane counts; the BM_Simd* entries below isolate each kernel's
+ * scalar-vs-dispatched cost on the engine's fixed 64-slot shapes.
  */
 void
 BM_LaneHorizonMinReduction(benchmark::State &state)
@@ -203,6 +205,178 @@ BM_LaneHorizonMinReduction(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * lanes);
 }
 BENCHMARK(BM_LaneHorizonMinReduction)->Arg(8)->Arg(64)->Arg(512);
+
+// ---- host-SIMD kernel layer (common/simd.hh) ------------------------
+//
+// Each kernel measured once through the scalar reference table and
+// once through the host's detected table, on the exact shapes the
+// replay engines use (64-slot columns; chunk-length byte columns).
+// These localize where BENCH_simd_lanes.json's aggregate win comes
+// from — and what the residual scalar floor costs.
+
+/** 64-slot u64 column + mask fixtures shared by the kernel benches. */
+struct SimdFixture
+{
+    alignas(64) u64 values[64];
+    alignas(64) u8 counts[64];
+    u64 mask;
+
+    SimdFixture()
+    {
+        u64 x = 0x9e3779b97f4a7c15ull;
+        for (int i = 0; i < 64; ++i) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            values[i] = x >> 8;
+            counts[i] = static_cast<u8>(1 + ((x >> 5) & 3));
+        }
+        mask = x | 0x8000000000000001ull;
+    }
+};
+
+const simd::Ops &
+tableFor(const benchmark::State &state)
+{
+    return state.range(0) ? simd::opsFor(simd::detectedLevel())
+                          : simd::opsFor(simd::Level::Scalar);
+}
+
+void
+BM_SimdLeBitmap64(benchmark::State &state)
+{
+    const SimdFixture fx;
+    const simd::Ops &t = tableFor(state);
+    const u64 threshold = fx.values[17];
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.leBitmap64(fx.values, threshold));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimdLeBitmap64)->Arg(0)->Arg(1);
+
+void
+BM_SimdMinMaskedU64(benchmark::State &state)
+{
+    const SimdFixture fx;
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.minMaskedU64(fx.values, fx.mask));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimdMinMaskedU64)->Arg(0)->Arg(1);
+
+void
+BM_SimdMaxBroadcastU64(benchmark::State &state)
+{
+    SimdFixture fx;
+    const simd::Ops &t = tableFor(state);
+    u64 tick = 0;
+    for (auto _ : state) {
+        t.maxBroadcastU64(fx.values, fx.mask, ++tick);
+        benchmark::DoNotOptimize(fx.values[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimdMaxBroadcastU64)->Arg(0)->Arg(1);
+
+void
+BM_SimdWakeDecU8(benchmark::State &state)
+{
+    SimdFixture fx;
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state) {
+        // Saturate back up so counts never stay at zero across iters.
+        const u64 zeroed = t.wakeDecU8(fx.counts, fx.mask);
+        benchmark::DoNotOptimize(zeroed);
+        for (u64 z = zeroed; z != 0; z &= z - 1)
+            fx.counts[std::countr_zero(z)] = 3;
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimdWakeDecU8)->Arg(0)->Arg(1);
+
+void
+BM_SimdEqByteBitmap(benchmark::State &state)
+{
+    // Chunk-length op column, as in the batch constructor's branch
+    // extraction (16 Ki default chunk).
+    const size_t n = 16384;
+    std::vector<u8> bytes(n);
+    std::vector<u64> out((n + 63) / 64);
+    u64 x = 0x2545f4914f6cdd1dull;
+    for (size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        bytes[i] = static_cast<u8>(x & 7);
+    }
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state) {
+        t.eqByteBitmap(bytes.data(), n, 3, out.data());
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdEqByteBitmap)->Arg(0)->Arg(1);
+
+void
+BM_SimdTestBitBitmap(benchmark::State &state)
+{
+    const size_t n = 16384;
+    std::vector<u8> bytes(n);
+    std::vector<u64> out((n + 63) / 64);
+    u64 x = 0x2545f4914f6cdd1dull;
+    for (size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        bytes[i] = static_cast<u8>(x);
+    }
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state) {
+        t.testBitBitmap(bytes.data(), n, 0x10, out.data());
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdTestBitBitmap)->Arg(0)->Arg(1);
+
+void
+BM_SimdPopcountWords(benchmark::State &state)
+{
+    const size_t n = 256;
+    std::vector<u64> words(n);
+    u64 x = 0x2545f4914f6cdd1dull;
+    for (size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        words[i] = x;
+    }
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(t.popcountWords(words.data(), n));
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdPopcountWords)->Arg(0)->Arg(1);
+
+void
+BM_SimdMinActiveU64(benchmark::State &state)
+{
+    const size_t lanes = 64;
+    std::vector<u8> running(lanes);
+    std::vector<u64> values(lanes);
+    u64 x = 0x9e3779b97f4a7c15ull;
+    for (size_t k = 0; k < lanes; ++k) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        running[k] = (x >> 33) % 8 != 0;
+        values[k] = x >> 16;
+    }
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            t.minActiveU64(running.data(), values.data(), lanes));
+    state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_SimdMinActiveU64)->Arg(0)->Arg(1);
 
 void
 BM_NativeDct(benchmark::State &state)

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Three-way A/B of host-SIMD lane stepping on the djpeg L1 sweep: the
+ * same recorded trace replayed (a) sequentially — one sim::replayTrace
+ * per point, the pre-batching protocol — (b) through
+ * sim::replayTraceBatch with host-SIMD dispatch forced to scalar
+ * (sim::withSimd(false)), and (c) batched with native dispatch.
+ * Single-threaded, recording included, best-of-N per side — the exact
+ * protocol of BENCH_event_skip.json — so all three sides are directly
+ * comparable with the committed batch numbers. Results must be
+ * bit-identical across the three sides before anything is reported;
+ * any divergence fails the binary.
+ *
+ * Writes BENCH_simd_lanes.json (full mode) or
+ * BENCH_simd_lanes_smoke.json (`--smoke`: a tiny addition-kernel
+ * sweep, seconds long). CI runs the smoke leg and diffs the fresh JSON
+ * against the committed baseline with tools/bench_compare.py. The
+ * per-kernel contributions behind the aggregate are measured in
+ * bench_micro (BM_Simd* entries).
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "kernels/addition.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace
+{
+
+using namespace msim;
+using prog::Variant;
+
+std::vector<sim::MachineConfig>
+l1Sweep()
+{
+    std::vector<sim::MachineConfig> machines;
+    for (u32 size : {1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10,
+                     32u << 10, 64u << 10})
+        machines.push_back(sim::withL1Size(size));
+    return machines;
+}
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+/** How one measured pass drives the sweep. */
+enum class Side
+{
+    Sequential,  ///< one replayTrace per point
+    BatchScalar, ///< replayTraceBatch, forced-scalar dispatch
+    BatchSimd,   ///< replayTraceBatch, native dispatch
+};
+
+struct AbResult
+{
+    bench::SelfMeasurement seq;
+    bench::SelfMeasurement scalar;
+    bench::SelfMeasurement simd;
+    bool identical = true;
+
+    double
+    simdOverSeq() const
+    {
+        return simd.hostSeconds > 0.0
+                   ? seq.hostSeconds / simd.hostSeconds
+                   : 0.0;
+    }
+
+    double
+    simdOverScalar() const
+    {
+        return simd.hostSeconds > 0.0
+                   ? scalar.hostSeconds / simd.hostSeconds
+                   : 0.0;
+    }
+};
+
+/** One measured pass: record the trace, replay every point one way. */
+bench::SelfMeasurement
+measureOnce(const sim::Generator &gen,
+            const std::vector<sim::MachineConfig> &machines, Side side,
+            std::vector<sim::RunResult> &results)
+{
+    const auto guard = sim::withSimd(side == Side::BatchSimd);
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto trace =
+        sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+    if (side == Side::Sequential) {
+        results.clear();
+        results.reserve(machines.size());
+        for (const auto &m : machines)
+            results.push_back(sim::replayTrace(trace, m));
+    } else {
+        results = sim::replayTraceBatch(trace, machines);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    bench::SelfMeasurement m;
+    m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.jobs = machines.size();
+    for (const auto &r : results)
+        m.simInstructions += r.tbInstrs;
+    return m;
+}
+
+bench::SelfMeasurement
+bestOf(const sim::Generator &gen,
+       const std::vector<sim::MachineConfig> &machines, Side side,
+       int repeats, std::vector<sim::RunResult> &best)
+{
+    bench::SelfMeasurement out;
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<sim::RunResult> rs;
+        const auto m = measureOnce(gen, machines, side, rs);
+        if (rep == 0 || m.hostSeconds < out.hostSeconds) {
+            out = m;
+            best = std::move(rs);
+        }
+    }
+    return out;
+}
+
+bool
+identicalResults(const sim::RunResult &a, const sim::RunResult &b)
+{
+    return a.exec.cycles == b.exec.cycles && a.exec.busy == b.exec.busy &&
+           a.exec.fuStall == b.exec.fuStall &&
+           a.exec.memL1Hit == b.exec.memL1Hit &&
+           a.exec.memL1Miss == b.exec.memL1Miss &&
+           a.exec.mispredicts == b.exec.mispredicts &&
+           a.l1.misses == b.l1.misses && a.l2.misses == b.l2.misses;
+}
+
+AbResult
+runAb(const sim::Generator &gen,
+      const std::vector<sim::MachineConfig> &machines, int repeats)
+{
+    AbResult ab;
+    std::vector<sim::RunResult> seqR, scalarR, simdR;
+    ab.seq = bestOf(gen, machines, Side::Sequential, repeats, seqR);
+    ab.scalar = bestOf(gen, machines, Side::BatchScalar, repeats, scalarR);
+    ab.simd = bestOf(gen, machines, Side::BatchSimd, repeats, simdR);
+
+    for (size_t i = 0; i < machines.size(); ++i) {
+        if (!identicalResults(seqR[i], scalarR[i]) ||
+            !identicalResults(seqR[i], simdR[i])) {
+            std::fprintf(
+                stderr,
+                "[simd-lanes] MISMATCH at point %zu: seq %llu cycles vs "
+                "scalar %llu vs simd %llu\n",
+                i, static_cast<unsigned long long>(seqR[i].exec.cycles),
+                static_cast<unsigned long long>(scalarR[i].exec.cycles),
+                static_cast<unsigned long long>(simdR[i].exec.cycles));
+            ab.identical = false;
+        }
+    }
+    return ab;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    std::fprintf(stderr, "[simd-lanes] host simd: detected %s\n",
+                 simd::levelName(simd::detectedLevel()));
+
+    if (smoke) {
+        // Big enough that each measured pass takes a sizable fraction
+        // of a second: the committed smoke baseline has to be stable
+        // under the 20% CI comparison gate.
+        const sim::Generator gen = [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 1024, 256, 3);
+        };
+        const auto machines = l1Sweep();
+        const AbResult ab = runAb(gen, machines, 3);
+        if (!ab.identical)
+            return EXIT_FAILURE;
+        bench::writeBenchJson(
+            "simd_lanes_smoke", ab.simd,
+            {{"seq_seconds", ab.seq.hostSeconds},
+             {"scalar_seconds", ab.scalar.hostSeconds},
+             {"simd_seconds", ab.simd.hostSeconds},
+             {"simd_over_seq_speedup_x", ab.simdOverSeq()},
+             {"simd_over_scalar_speedup_x", ab.simdOverScalar()}});
+        std::printf("[simd-lanes] smoke ok: %zu points, seq %.3fs, "
+                    "scalar %.3fs, simd %.3fs, identical\n",
+                    machines.size(), ab.seq.hostSeconds,
+                    ab.scalar.hostSeconds, ab.simd.hostSeconds);
+        return 0;
+    }
+
+    constexpr int kRepeats = 3;
+    const auto machines = l1Sweep();
+
+    std::fprintf(stderr,
+                 "[simd-lanes] djpeg L1 sweep, %zu points, 1 thread, "
+                 "best of %d\n",
+                 machines.size(), kRepeats);
+    const AbResult main_ab =
+        runAb(generatorFor("djpeg", Variant::Vis), machines, kRepeats);
+
+    std::map<std::string, double> extra = {
+        {"seq_seconds", main_ab.seq.hostSeconds},
+        {"scalar_seconds", main_ab.scalar.hostSeconds},
+        {"simd_seconds", main_ab.simd.hostSeconds},
+        {"seq_points_per_second", main_ab.seq.pointsPerSecond()},
+        {"scalar_points_per_second", main_ab.scalar.pointsPerSecond()},
+        {"simd_points_per_second", main_ab.simd.pointsPerSecond()},
+        {"simd_over_seq_speedup_x", main_ab.simdOverSeq()},
+        {"simd_over_scalar_speedup_x", main_ab.simdOverScalar()}};
+    bool all_identical = main_ab.identical;
+    for (const char *name : {"conv", "dotprod", "mpeg-dec"}) {
+        std::fprintf(stderr, "[simd-lanes] breakdown: %s\n", name);
+        const AbResult ab =
+            runAb(generatorFor(name, Variant::Vis), machines, kRepeats);
+        all_identical = all_identical && ab.identical;
+        std::string key(name);
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        extra[key + "_seq_pps"] = ab.seq.pointsPerSecond();
+        extra[key + "_simd_pps"] = ab.simd.pointsPerSecond();
+        extra[key + "_simd_over_seq_speedup_x"] = ab.simdOverSeq();
+        extra[key + "_simd_over_scalar_speedup_x"] = ab.simdOverScalar();
+    }
+
+    if (!all_identical)
+        return EXIT_FAILURE;
+
+    bench::writeBenchJson("simd_lanes", main_ab.simd, extra);
+    std::printf("=== Host-SIMD lane stepping A/B (djpeg L1 sweep, "
+                "1 thread) ===\n");
+    std::printf("sequential:     %6.2fs  (%.2f points/s)\n",
+                main_ab.seq.hostSeconds, main_ab.seq.pointsPerSecond());
+    std::printf("batch scalar:   %6.2fs  (%.2f points/s)\n",
+                main_ab.scalar.hostSeconds,
+                main_ab.scalar.pointsPerSecond());
+    std::printf("batch simd:     %6.2fs  (%.2f points/s)\n",
+                main_ab.simd.hostSeconds, main_ab.simd.pointsPerSecond());
+    std::printf("simd over seq:    %6.2fx\n", main_ab.simdOverSeq());
+    std::printf("simd over scalar: %6.2fx\n", main_ab.simdOverScalar());
+    std::printf("results bit-identical across all %zu points x 3 "
+                "sides\n",
+                machines.size());
+    return 0;
+}

@@ -9,10 +9,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/simd.hh"
 #include "core/experiment.hh"
 #include "core/registry.hh"
 #include "core/report.hh"
@@ -67,8 +69,42 @@ runTimed(const std::vector<core::Job> &jobs, SelfMeasurement &meas,
 }
 
 /**
- * Write BENCH_<name>.json: the standard self-measurement fields plus
- * any caller-provided extras (e.g. an A/B comparison).
+ * Host CPU model string ("model name" from /proc/cpuinfo on Linux,
+ * "unknown" elsewhere) — recorded in every BENCH_*.json meta block so
+ * committed throughput numbers carry the hardware they came from.
+ */
+inline std::string
+hostCpuModel()
+{
+    std::string model = "unknown";
+    if (std::FILE *f = std::fopen("/proc/cpuinfo", "r")) {
+        char line[512];
+        while (std::fgets(line, sizeof(line), f)) {
+            const char *key = "model name";
+            if (std::strncmp(line, key, std::strlen(key)) != 0)
+                continue;
+            const char *colon = std::strchr(line, ':');
+            if (!colon)
+                continue;
+            model = colon + 1;
+            while (!model.empty() &&
+                   (model.front() == ' ' || model.front() == '\t'))
+                model.erase(model.begin());
+            while (!model.empty() &&
+                   (model.back() == '\n' || model.back() == '\r'))
+                model.pop_back();
+            break;
+        }
+        std::fclose(f);
+    }
+    return model;
+}
+
+/**
+ * Write BENCH_<name>.json: the standard self-measurement fields, a
+ * meta block identifying the host (CPU model, detected and dispatched
+ * host-SIMD level) plus any caller-provided extras (e.g. an A/B
+ * comparison).
  */
 inline void
 writeBenchJson(const std::string &name, const SelfMeasurement &meas,
@@ -92,6 +128,12 @@ writeBenchJson(const std::string &name, const SelfMeasurement &meas,
     w.field("sim_instructions", meas.simInstructions);
     w.field("instructions_per_host_second", meas.instructionsPerSecond());
     w.field("points_per_second", meas.pointsPerSecond());
+    w.key("meta");
+    w.beginObject();
+    w.field("host_cpu", hostCpuModel());
+    w.field("simd_detected", simd::levelName(simd::detectedLevel()));
+    w.field("simd_dispatched", simd::levelName(simd::activeLevel()));
+    w.endObject();
     for (const auto &[key, value] : extra)
         w.field(key, value);
     w.endObject();

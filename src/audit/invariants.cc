@@ -73,6 +73,14 @@ table()
          "windowSize at a chunk boundary, and a finished lane has fully "
          "drained (cursor at instCount, empty window); lockstep pausing "
          "must not leak window occupancy across chunks"},
+        {"simd-kernel-identity", "common/simd",
+         "every dispatched vector kernel must return exactly what its "
+         "scalar twin returns on the same inputs (all kernels are exact "
+         "integer min/max/compare/popcount); under audit builds the "
+         "dispatch table wraps each vector entry in a checker that "
+         "re-runs the scalar reference and compares, so any divergence "
+         "between MSIM_SIMD=0 and native dispatch is caught at the "
+         "first differing call, not at end-of-run stat comparison"},
     };
     return t;
 }

@@ -1,0 +1,806 @@
+#include "common/simd.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "audit/invariants.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MSIM_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define MSIM_SIMD_NEON_ARCH 1
+#include <arm_neon.h>
+#endif
+
+namespace msim::simd
+{
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These define the semantics; every vector
+// form below must be bit-identical to these on all inputs.
+// ---------------------------------------------------------------------------
+
+namespace scalar
+{
+
+u64
+minActiveU64(const u8 *running, const u64 *values, size_t n)
+{
+    u64 m = ~u64{0};
+    for (size_t k = 0; k < n; ++k) {
+        const u64 v = running[k] ? values[k] : ~u64{0};
+        m = std::min(m, v);
+    }
+    return m;
+}
+
+u64
+leBitmap64(const u64 *values, u64 threshold)
+{
+    u64 bits = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        bits |= static_cast<u64>(values[i] <= threshold) << i;
+    return bits;
+}
+
+u64
+minMaskedU64(const u64 *values, u64 mask)
+{
+    u64 m = ~u64{0};
+    while (mask) {
+        const unsigned i = std::countr_zero(mask);
+        mask &= mask - 1;
+        m = std::min(m, values[i]);
+    }
+    return m;
+}
+
+void
+maxBroadcastU64(u64 *values, u64 mask, u64 t)
+{
+    while (mask) {
+        const unsigned i = std::countr_zero(mask);
+        mask &= mask - 1;
+        values[i] = std::max(values[i], t);
+    }
+}
+
+u64
+wakeDecU8(u8 *counts, u64 mask)
+{
+    u64 zero = 0;
+    u64 m = mask;
+    while (m) {
+        const unsigned i = std::countr_zero(m);
+        m &= m - 1;
+        if (static_cast<u8>(--counts[i]) == 0)
+            zero |= u64{1} << i;
+    }
+    return zero;
+}
+
+void
+eqByteBitmap(const u8 *bytes, size_t n, u8 value, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (bytes[i] == value)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+void
+testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    for (size_t i = 0; i < n; ++i)
+        if ((bytes[i] & bit) != 0)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+u64
+popcountWords(const u64 *words, size_t n)
+{
+    u64 total = 0;
+    for (size_t i = 0; i < n; ++i)
+        total += static_cast<u64>(std::popcount(words[i]));
+    return total;
+}
+
+} // namespace scalar
+
+// ---------------------------------------------------------------------------
+// x86-64 kernels.
+// ---------------------------------------------------------------------------
+
+#if MSIM_SIMD_X86
+
+namespace sse2
+{
+
+// SSE2 has byte compares + movemask but no 64-bit compares (pcmpgtq is
+// SSE4.2) and no pshufb (SSSE3), so this tier vectorizes only the
+// byte->bitmap kernels; the 64-bit-lane kernels stay on the scalar
+// entries in its table.
+
+void
+eqByteBitmap(const u8 *bytes, size_t n, u8 value, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const __m128i vv = _mm_set1_epi8(static_cast<char>(value));
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(bytes + i));
+        const u32 m =
+            static_cast<u32>(_mm_movemask_epi8(_mm_cmpeq_epi8(b, vv)));
+        // i is a multiple of 16, so the 16 bits never straddle a word.
+        outWords[i >> 6] |= static_cast<u64>(m) << (i & 63);
+    }
+    for (; i < n; ++i)
+        if (bytes[i] == value)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+void
+testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const __m128i bv = _mm_set1_epi8(static_cast<char>(bit));
+    const __m128i zero = _mm_setzero_si128();
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(bytes + i));
+        const u32 eqz = static_cast<u32>(
+            _mm_movemask_epi8(_mm_cmpeq_epi8(_mm_and_si128(b, bv), zero)));
+        outWords[i >> 6] |= static_cast<u64>(~eqz & 0xffffu) << (i & 63);
+    }
+    for (; i < n; ++i)
+        if ((bytes[i] & bit) != 0)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+} // namespace sse2
+
+namespace avx2
+{
+
+// AVX2 has no unsigned 64-bit compare/min/max; all order comparisons
+// below flip the sign bit and use the signed compare, which is the
+// standard exact mapping (a <u b  <=>  (a ^ MSB) <s (b ^ MSB)).
+
+namespace
+{
+constexpr long long kSignBit = static_cast<long long>(0x8000000000000000ULL);
+} // namespace
+
+[[gnu::target("avx2")]] static inline u64
+hmin4(__m256i acc)
+{
+    alignas(32) u64 lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    return std::min(std::min(lanes[0], lanes[1]),
+                    std::min(lanes[2], lanes[3]));
+}
+
+/** Per-4-lane selector: lane j active iff bit j of m4. */
+[[gnu::target("avx2")]] static inline __m256i
+laneSelect4(u64 m4)
+{
+    const __m256i laneBits = _mm256_set_epi64x(8, 4, 2, 1);
+    const __m256i mv = _mm256_set1_epi64x(static_cast<long long>(m4));
+    return _mm256_cmpeq_epi64(_mm256_and_si256(mv, laneBits), laneBits);
+}
+
+[[gnu::target("avx2")]] u64
+minActiveU64(const u8 *running, const u64 *values, size_t n)
+{
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i sign = _mm256_set1_epi64x(kSignBit);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = ones;
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        u32 r4;
+        std::memcpy(&r4, running + k, sizeof r4);
+        const __m256i rb =
+            _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(r4)));
+        const __m256i dead = _mm256_cmpeq_epi64(rb, zero);
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + k));
+        v = _mm256_or_si256(v, dead); // inactive lanes -> ~0
+        const __m256i accGt = _mm256_cmpgt_epi64(
+            _mm256_xor_si256(acc, sign), _mm256_xor_si256(v, sign));
+        acc = _mm256_blendv_epi8(acc, v, accGt);
+    }
+    u64 m = hmin4(acc);
+    for (; k < n; ++k)
+        m = std::min(m, running[k] ? values[k] : ~u64{0});
+    return m;
+}
+
+[[gnu::target("avx2")]] u64
+leBitmap64(const u64 *values, u64 threshold)
+{
+    const __m256i sign = _mm256_set1_epi64x(kSignBit);
+    const __m256i tv = _mm256_xor_si256(
+        _mm256_set1_epi64x(static_cast<long long>(threshold)), sign);
+    u64 gt = 0;
+    for (unsigned g = 0; g < 16; ++g) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + 4 * g));
+        const __m256i cmp =
+            _mm256_cmpgt_epi64(_mm256_xor_si256(v, sign), tv); // v > t
+        const u64 m4 = static_cast<u64>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(cmp)));
+        gt |= m4 << (4 * g);
+    }
+    return ~gt;
+}
+
+[[gnu::target("avx2")]] u64
+minMaskedU64(const u64 *values, u64 mask)
+{
+    if (mask == 0)
+        return ~u64{0};
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i sign = _mm256_set1_epi64x(kSignBit);
+    __m256i acc = ones;
+    for (unsigned g = 0; g < 16; ++g) {
+        const u64 m4 = (mask >> (4 * g)) & 0xf;
+        if (m4 == 0)
+            continue;
+        const __m256i sel = laneSelect4(m4);
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + 4 * g));
+        v = _mm256_blendv_epi8(ones, v, sel); // unselected -> ~0
+        const __m256i accGt = _mm256_cmpgt_epi64(
+            _mm256_xor_si256(acc, sign), _mm256_xor_si256(v, sign));
+        acc = _mm256_blendv_epi8(acc, v, accGt);
+    }
+    return hmin4(acc);
+}
+
+[[gnu::target("avx2")]] void
+maxBroadcastU64(u64 *values, u64 mask, u64 t)
+{
+    if (mask == 0)
+        return;
+    const __m256i sign = _mm256_set1_epi64x(kSignBit);
+    const __m256i tv = _mm256_set1_epi64x(static_cast<long long>(t));
+    const __m256i tvS = _mm256_xor_si256(tv, sign);
+    for (unsigned g = 0; g < 16; ++g) {
+        const u64 m4 = (mask >> (4 * g)) & 0xf;
+        if (m4 == 0)
+            continue;
+        const __m256i sel = laneSelect4(m4);
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + 4 * g));
+        const __m256i vGt =
+            _mm256_cmpgt_epi64(_mm256_xor_si256(v, sign), tvS); // v > t
+        const __m256i mx = _mm256_blendv_epi8(tv, v, vGt);      // max(v, t)
+        const __m256i out = _mm256_blendv_epi8(v, mx, sel);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(values + 4 * g),
+                            out);
+    }
+}
+
+[[gnu::target("avx2")]] u64
+wakeDecU8(u8 *counts, u64 mask)
+{
+    if (mask == 0)
+        return 0;
+    // Expand 32 mask bits to 32 byte lanes: replicate each mask byte
+    // across its 8-byte group (pshufb), then test the per-lane bit.
+    const __m256i bitSel =
+        _mm256_set1_epi64x(static_cast<long long>(0x8040201008040201ULL));
+    const __m256i byteIdx = _mm256_setr_epi8(
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, //
+        2, 2, 2, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 3, 3);
+    const __m256i one = _mm256_set1_epi8(1);
+    const __m256i zero = _mm256_setzero_si256();
+    u64 newly = 0;
+    for (unsigned h = 0; h < 2; ++h) {
+        const u32 m32 = static_cast<u32>(mask >> (32 * h));
+        if (m32 == 0)
+            continue;
+        const __m256i mv = _mm256_set1_epi32(static_cast<int>(m32));
+        const __m256i mb = _mm256_shuffle_epi8(mv, byteIdx);
+        const __m256i sel = _mm256_cmpeq_epi8(
+            _mm256_and_si256(mb, bitSel), bitSel);
+        __m256i c = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(counts + 32 * h));
+        c = _mm256_sub_epi8(c, _mm256_and_si256(sel, one));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(counts + 32 * h),
+                            c);
+        const __m256i z = _mm256_cmpeq_epi8(c, zero);
+        const u32 zm = static_cast<u32>(
+            _mm256_movemask_epi8(_mm256_and_si256(z, sel)));
+        newly |= static_cast<u64>(zm) << (32 * h);
+    }
+    return newly;
+}
+
+[[gnu::target("avx2")]] void
+eqByteBitmap(const u8 *bytes, size_t n, u8 value, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const __m256i vv = _mm256_set1_epi8(static_cast<char>(value));
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bytes + i));
+        const u32 m = static_cast<u32>(
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(b, vv)));
+        outWords[i >> 6] |= static_cast<u64>(m) << (i & 63);
+    }
+    for (; i < n; ++i)
+        if (bytes[i] == value)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+[[gnu::target("avx2")]] void
+testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const __m256i bv = _mm256_set1_epi8(static_cast<char>(bit));
+    const __m256i zero = _mm256_setzero_si256();
+    size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(bytes + i));
+        const u32 eqz = static_cast<u32>(_mm256_movemask_epi8(
+            _mm256_cmpeq_epi8(_mm256_and_si256(b, bv), zero)));
+        outWords[i >> 6] |= static_cast<u64>(~eqz) << (i & 63);
+    }
+    for (; i < n; ++i)
+        if ((bytes[i] & bit) != 0)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+[[gnu::target("avx2")]] u64
+popcountWords(const u64 *words, size_t n)
+{
+    // pshufb nibble-LUT popcount + psadbw accumulate.
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i acc = zero;
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        const __m256i lo = _mm256_and_si256(v, low);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+        const __m256i cnt = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+    }
+    alignas(32) u64 lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    u64 total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for (; i < n; ++i)
+        total += static_cast<u64>(std::popcount(words[i]));
+    return total;
+}
+
+} // namespace avx2
+
+#endif // MSIM_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// aarch64 NEON kernels (byte-bitmap + popcount + 64-bit compare tiers;
+// the masked 64-bit update kernels stay scalar — NEON's 2-wide u64
+// lanes with manual blends measured no better than the scalar loop).
+// ---------------------------------------------------------------------------
+
+#if MSIM_SIMD_NEON_ARCH
+
+namespace neon
+{
+
+static inline u64
+bitmap16(uint8x16_t cmp)
+{
+    const uint8x16_t bits = vreinterpretq_u8_u64(
+        vdupq_n_u64(0x8040201008040201ULL));
+    const uint8x16_t sel = vandq_u8(cmp, bits);
+    const u64 lo = vaddv_u8(vget_low_u8(sel));
+    const u64 hi = vaddv_u8(vget_high_u8(sel));
+    return lo | (hi << 8);
+}
+
+void
+eqByteBitmap(const u8 *bytes, size_t n, u8 value, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const uint8x16_t vv = vdupq_n_u8(value);
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t b = vld1q_u8(bytes + i);
+        outWords[i >> 6] |= bitmap16(vceqq_u8(b, vv)) << (i & 63);
+    }
+    for (; i < n; ++i)
+        if (bytes[i] == value)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+void
+testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const uint8x16_t bv = vdupq_n_u8(bit);
+    size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const uint8x16_t b = vld1q_u8(bytes + i);
+        const uint8x16_t hasBit =
+            vtstq_u8(b, bv); // 0xff where (b & bit) != 0
+        outWords[i >> 6] |= bitmap16(hasBit) << (i & 63);
+    }
+    for (; i < n; ++i)
+        if ((bytes[i] & bit) != 0)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
+u64
+leBitmap64(const u64 *values, u64 threshold)
+{
+    const uint64x2_t tv = vdupq_n_u64(threshold);
+    u64 bits = 0;
+    for (unsigned g = 0; g < 32; ++g) {
+        const uint64x2_t v = vld1q_u64(values + 2 * g);
+        const uint64x2_t le = vcleq_u64(v, tv);
+        bits |= (vgetq_lane_u64(le, 0) & 1) << (2 * g);
+        bits |= (vgetq_lane_u64(le, 1) & 1) << (2 * g + 1);
+    }
+    return bits;
+}
+
+u64
+popcountWords(const u64 *words, size_t n)
+{
+    u64 total = 0;
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint8x16_t v =
+            vreinterpretq_u8_u64(vld1q_u64(words + i));
+        total += vaddvq_u8(vcntq_u8(v));
+    }
+    for (; i < n; ++i)
+        total += static_cast<u64>(std::popcount(words[i]));
+    return total;
+}
+
+} // namespace neon
+
+#endif // MSIM_SIMD_NEON_ARCH
+
+// ---------------------------------------------------------------------------
+// Audit wrappers: in audit builds the dispatched tables route every
+// vector kernel through a checker that re-runs the scalar twin on the
+// same inputs and asserts exact equality ("simd-kernel-identity").
+// ---------------------------------------------------------------------------
+
+#if MSIM_AUDIT_ENABLED
+
+namespace
+{
+
+template <u64 (*Fn)(const u8 *, const u64 *, size_t)>
+u64
+checkedMinActive(const u8 *running, const u64 *values, size_t n)
+{
+    const u64 got = Fn(running, values, n);
+    const u64 ref = scalar::minActiveU64(running, values, n);
+    MSIM_AUDIT_CHECK(got == ref,
+                     "simd minActiveU64 %llx != scalar %llx (n=%zu)",
+                     (unsigned long long)got, (unsigned long long)ref, n);
+    return got;
+}
+
+template <u64 (*Fn)(const u64 *, u64)>
+u64
+checkedLeBitmap(const u64 *values, u64 threshold)
+{
+    const u64 got = Fn(values, threshold);
+    const u64 ref = scalar::leBitmap64(values, threshold);
+    MSIM_AUDIT_CHECK(got == ref, "simd leBitmap64 %llx != scalar %llx",
+                     (unsigned long long)got, (unsigned long long)ref);
+    return got;
+}
+
+template <u64 (*Fn)(const u64 *, u64)>
+u64
+checkedMinMasked(const u64 *values, u64 mask)
+{
+    const u64 got = Fn(values, mask);
+    const u64 ref = scalar::minMaskedU64(values, mask);
+    MSIM_AUDIT_CHECK(got == ref,
+                     "simd minMaskedU64 %llx != scalar %llx (mask %llx)",
+                     (unsigned long long)got, (unsigned long long)ref,
+                     (unsigned long long)mask);
+    return got;
+}
+
+template <void (*Fn)(u64 *, u64, u64)>
+void
+checkedMaxBroadcast(u64 *values, u64 mask, u64 t)
+{
+    u64 ref[64];
+    std::memcpy(ref, values, sizeof ref);
+    Fn(values, mask, t);
+    scalar::maxBroadcastU64(ref, mask, t);
+    MSIM_AUDIT_CHECK(std::memcmp(ref, values, sizeof ref) == 0,
+                     "simd maxBroadcastU64 diverged (mask %llx t %llx)",
+                     (unsigned long long)mask, (unsigned long long)t);
+}
+
+template <u64 (*Fn)(u8 *, u64)>
+u64
+checkedWakeDec(u8 *counts, u64 mask)
+{
+    u8 ref[64];
+    std::memcpy(ref, counts, sizeof ref);
+    const u64 got = Fn(counts, mask);
+    const u64 refZero = scalar::wakeDecU8(ref, mask);
+    MSIM_AUDIT_CHECK(got == refZero &&
+                         std::memcmp(ref, counts, sizeof ref) == 0,
+                     "simd wakeDecU8 diverged (mask %llx: %llx vs %llx)",
+                     (unsigned long long)mask, (unsigned long long)got,
+                     (unsigned long long)refZero);
+    return got;
+}
+
+template <void (*Fn)(const u8 *, size_t, u8, u64 *)>
+void
+checkedEqByte(const u8 *bytes, size_t n, u8 value, u64 *outWords)
+{
+    Fn(bytes, n, value, outWords);
+    std::vector<u64> ref((n + 63) / 64);
+    scalar::eqByteBitmap(bytes, n, value, ref.data());
+    MSIM_AUDIT_CHECK(
+        std::memcmp(ref.data(), outWords, ref.size() * sizeof(u64)) == 0,
+        "simd eqByteBitmap diverged (n=%zu value=%u)", n, (unsigned)value);
+}
+
+template <void (*Fn)(const u8 *, size_t, u8, u64 *)>
+void
+checkedTestBit(const u8 *bytes, size_t n, u8 bit, u64 *outWords)
+{
+    Fn(bytes, n, bit, outWords);
+    std::vector<u64> ref((n + 63) / 64);
+    scalar::testBitBitmap(bytes, n, bit, ref.data());
+    MSIM_AUDIT_CHECK(
+        std::memcmp(ref.data(), outWords, ref.size() * sizeof(u64)) == 0,
+        "simd testBitBitmap diverged (n=%zu bit=%u)", n, (unsigned)bit);
+}
+
+template <u64 (*Fn)(const u64 *, size_t)>
+u64
+checkedPopcount(const u64 *words, size_t n)
+{
+    const u64 got = Fn(words, n);
+    const u64 ref = scalar::popcountWords(words, n);
+    MSIM_AUDIT_CHECK(got == ref,
+                     "simd popcountWords %llu != scalar %llu (n=%zu)",
+                     (unsigned long long)got, (unsigned long long)ref, n);
+    return got;
+}
+
+} // namespace
+
+#define MSIM_SIMD_KERNEL(checker, fn) checker<fn>
+#else
+#define MSIM_SIMD_KERNEL(checker, fn) fn
+#endif // MSIM_AUDIT_ENABLED
+
+// ---------------------------------------------------------------------------
+// Dispatch tables, detection, override.
+// ---------------------------------------------------------------------------
+
+namespace
+{
+
+const Ops kScalarOps = {
+    Level::Scalar,        scalar::minActiveU64,  scalar::leBitmap64,
+    scalar::minMaskedU64, scalar::maxBroadcastU64, scalar::wakeDecU8,
+    scalar::eqByteBitmap, scalar::testBitBitmap, scalar::popcountWords,
+};
+
+#if MSIM_SIMD_X86
+const Ops kSse2Ops = {
+    Level::SSE2,
+    scalar::minActiveU64,
+    scalar::leBitmap64,
+    scalar::minMaskedU64,
+    scalar::maxBroadcastU64,
+    scalar::wakeDecU8,
+    MSIM_SIMD_KERNEL(checkedEqByte, sse2::eqByteBitmap),
+    MSIM_SIMD_KERNEL(checkedTestBit, sse2::testBitBitmap),
+    scalar::popcountWords,
+};
+
+const Ops kAvx2Ops = {
+    Level::AVX2,
+    MSIM_SIMD_KERNEL(checkedMinActive, avx2::minActiveU64),
+    MSIM_SIMD_KERNEL(checkedLeBitmap, avx2::leBitmap64),
+    MSIM_SIMD_KERNEL(checkedMinMasked, avx2::minMaskedU64),
+    MSIM_SIMD_KERNEL(checkedMaxBroadcast, avx2::maxBroadcastU64),
+    MSIM_SIMD_KERNEL(checkedWakeDec, avx2::wakeDecU8),
+    MSIM_SIMD_KERNEL(checkedEqByte, avx2::eqByteBitmap),
+    MSIM_SIMD_KERNEL(checkedTestBit, avx2::testBitBitmap),
+    MSIM_SIMD_KERNEL(checkedPopcount, avx2::popcountWords),
+};
+#endif
+
+#if MSIM_SIMD_NEON_ARCH
+const Ops kNeonOps = {
+    Level::NEON,
+    scalar::minActiveU64,
+    MSIM_SIMD_KERNEL(checkedLeBitmap, neon::leBitmap64),
+    scalar::minMaskedU64,
+    scalar::maxBroadcastU64,
+    scalar::wakeDecU8,
+    MSIM_SIMD_KERNEL(checkedEqByte, neon::eqByteBitmap),
+    MSIM_SIMD_KERNEL(checkedTestBit, neon::testBitBitmap),
+    MSIM_SIMD_KERNEL(checkedPopcount, neon::popcountWords),
+};
+#endif
+
+constexpr u8 kNoOverride = 0xff;
+std::atomic<u8> g_override{kNoOverride};
+
+Level
+clampToHost(Level req)
+{
+    const Level det = detectedLevel();
+    switch (req) {
+    case Level::Scalar:
+        return Level::Scalar;
+#if MSIM_SIMD_X86
+    case Level::SSE2:
+        return Level::SSE2;
+    case Level::AVX2:
+        return det == Level::AVX2 ? Level::AVX2 : Level::SSE2;
+#endif
+#if MSIM_SIMD_NEON_ARCH
+    case Level::NEON:
+        return Level::NEON;
+#endif
+    default:
+        // Requested family the host does not have: no vector form is
+        // usable, run scalar rather than guessing at a substitute.
+        (void)det;
+        return Level::Scalar;
+    }
+}
+
+Level
+envLevel()
+{
+    static const Level level = [] {
+        const char *v = std::getenv("MSIM_SIMD");
+        if (!v || !*v)
+            return detectedLevel();
+        std::string s(v);
+        for (char &c : s)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (s == "0" || s == "off" || s == "scalar")
+            return Level::Scalar;
+        if (s == "1" || s == "auto" || s == "native")
+            return detectedLevel();
+        if (s == "sse2")
+            return clampToHost(Level::SSE2);
+        if (s == "avx2")
+            return clampToHost(Level::AVX2);
+        if (s == "neon")
+            return clampToHost(Level::NEON);
+        return detectedLevel();
+    }();
+    return level;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::SSE2:
+        return "sse2";
+    case Level::AVX2:
+        return "avx2";
+    case Level::NEON:
+        return "neon";
+    }
+    return "unknown";
+}
+
+Level
+detectedLevel()
+{
+#if MSIM_SIMD_X86
+    static const Level level =
+        __builtin_cpu_supports("avx2") ? Level::AVX2 : Level::SSE2;
+    return level;
+#elif MSIM_SIMD_NEON_ARCH
+    return Level::NEON;
+#else
+    return Level::Scalar;
+#endif
+}
+
+Level
+activeLevel()
+{
+    const u8 ov = g_override.load(std::memory_order_relaxed);
+    if (ov != kNoOverride)
+        return clampToHost(static_cast<Level>(ov));
+    return envLevel();
+}
+
+const Ops &
+opsFor(Level level)
+{
+    switch (clampToHost(level)) {
+#if MSIM_SIMD_X86
+    case Level::SSE2:
+        return kSse2Ops;
+    case Level::AVX2:
+        return kAvx2Ops;
+#endif
+#if MSIM_SIMD_NEON_ARCH
+    case Level::NEON:
+        return kNeonOps;
+#endif
+    default:
+        return kScalarOps;
+    }
+}
+
+const Ops &
+ops()
+{
+    return opsFor(activeLevel());
+}
+
+ScopedLevel::ScopedLevel(Level level)
+    : prev_(g_override.exchange(static_cast<u8>(level),
+                                std::memory_order_relaxed))
+{
+}
+
+ScopedLevel::~ScopedLevel()
+{
+    g_override.store(prev_, std::memory_order_relaxed);
+}
+
+} // namespace msim::simd

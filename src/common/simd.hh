@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Portable host-SIMD kernel layer for the replay engines.
+ *
+ * A small fixed set of data-parallel kernels (min-reductions, masked
+ * column updates, compare->bitmap builds, popcount tallies) behind a
+ * runtime-dispatched function table. Each kernel exists in a scalar
+ * reference form (namespace simd::scalar, always compiled) plus
+ * whichever vector forms the target architecture offers:
+ *
+ *   x86-64:  SSE2 (baseline, byte-bitmap kernels) and AVX2 (all
+ *            kernels; compiled with [[gnu::target("avx2")]] so the
+ *            translation unit builds for generic x86-64 and the AVX2
+ *            bodies are only ever executed after a cpuid check).
+ *   aarch64: NEON (byte-bitmap + popcount kernels).
+ *   others:  scalar only.
+ *
+ * Dispatch policy: the host's best level is detected once (cpuid) and
+ * combined with the MSIM_SIMD environment variable, parsed once at
+ * first use. A process-wide override (ScopedLevel / sim::withSimd) can
+ * force any level at or below the detected one — that is the A/B lever
+ * the differential tests, audit_fuzz and the benches use. Engines read
+ * ops() once per run; the table pointer for a level never changes.
+ *
+ * Bit-identity contract: every vector kernel computes exactly the
+ * function its scalar twin computes — same results, same tail handling,
+ * no reordering-sensitive arithmetic (all kernels are integer min/max/
+ * compare/popcount, which are associative and exact). Under audit
+ * builds (MSIM_AUDIT_ENABLED) the dispatched table wraps each vector
+ * kernel in a checker that re-runs the scalar twin on the same inputs
+ * and MSIM_AUDIT_CHECKs equality, so audit_fuzz exercises the identity
+ * on every call, not just in test_simd.
+ *
+ * MSIM_SIMD values: "0" / "off" / "scalar" force scalar; unset / "1" /
+ * "auto" / "native" use the detected level; "sse2" / "avx2" / "neon"
+ * request a specific level (clamped to what the host supports).
+ */
+
+#ifndef MSIM_COMMON_SIMD_HH_
+#define MSIM_COMMON_SIMD_HH_
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace msim::simd
+{
+
+/** Dispatch levels, ordered weakest-first within each architecture. */
+enum class Level : u8
+{
+    Scalar = 0,
+    SSE2 = 1,
+    AVX2 = 2,
+    NEON = 3,
+};
+
+/** Human-readable level name ("scalar", "sse2", ...). */
+const char *levelName(Level level);
+
+/** Best level the host CPU supports (cpuid; cached). */
+Level detectedLevel();
+
+/**
+ * Level the next ops() call dispatches to: the ScopedLevel override if
+ * one is active, else the MSIM_SIMD-filtered detected level.
+ */
+Level activeLevel();
+
+/**
+ * The kernel table. All fixed-size kernels operate on exactly 64
+ * entries — the replay engine's window columns are padded to 64 slots —
+ * with a u64 bitmap selecting the live lanes. Sized kernels take an
+ * explicit element count and make no alignment assumptions.
+ */
+struct Ops
+{
+    Level level;
+
+    /**
+     * Min over values[k] for k in [0, n) where running[k] != 0;
+     * ~0ull when no lane is active (including n == 0).
+     */
+    u64 (*minActiveU64)(const u8 *running, const u64 *values, size_t n);
+
+    /** Bit i set iff values[i] <= threshold (unsigned), i in [0, 64). */
+    u64 (*leBitmap64)(const u64 *values, u64 threshold);
+
+    /** Min over values[i] for set bits of mask; ~0ull when mask == 0. */
+    u64 (*minMaskedU64)(const u64 *values, u64 mask);
+
+    /** values[i] = max(values[i], t) for every set bit of mask. */
+    void (*maxBroadcastU64)(u64 *values, u64 mask, u64 t);
+
+    /**
+     * counts[i] -= 1 for every set bit of mask; returns the set bits
+     * whose count reached exactly zero. Masked lanes must hold a
+     * nonzero count (they wrap to 255 otherwise, same as the scalar
+     * twin, and are then not reported as newly zero).
+     */
+    u64 (*wakeDecU8)(u8 *counts, u64 mask);
+
+    /**
+     * outWords[i/64] bit i%64 set iff bytes[i] == value, i in [0, n).
+     * Writes ceil(n/64) words; tail bits above n are zero.
+     */
+    void (*eqByteBitmap)(const u8 *bytes, size_t n, u8 value,
+                         u64 *outWords);
+
+    /** Same layout; bit set iff (bytes[i] & bit) != 0. */
+    void (*testBitBitmap)(const u8 *bytes, size_t n, u8 bit,
+                          u64 *outWords);
+
+    /** Total population count of words[0..n). */
+    u64 (*popcountWords)(const u64 *words, size_t n);
+};
+
+/** Table for the currently active level (override / env / detected). */
+const Ops &ops();
+
+/** Table for a specific level, clamped to what the host supports. */
+const Ops &opsFor(Level level);
+
+/**
+ * Scalar reference implementations. Always compiled; the dispatched
+ * tables fall back to these entries per-kernel where a level has no
+ * vector form, and tests/audit wrappers compare against them.
+ */
+namespace scalar
+{
+u64 minActiveU64(const u8 *running, const u64 *values, size_t n);
+u64 leBitmap64(const u64 *values, u64 threshold);
+u64 minMaskedU64(const u64 *values, u64 mask);
+void maxBroadcastU64(u64 *values, u64 mask, u64 t);
+u64 wakeDecU8(u8 *counts, u64 mask);
+void eqByteBitmap(const u8 *bytes, size_t n, u8 value, u64 *outWords);
+void testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords);
+u64 popcountWords(const u64 *words, size_t n);
+} // namespace scalar
+
+/**
+ * RAII process-wide dispatch override for A/B runs: while alive, ops()
+ * returns the table for `level` (clamped to the detected level).
+ * Nests; restores the previous override on destruction. Engines cache
+ * the table pointer at construction, so install the override before
+ * building the engine (sim::replayTrace* constructs engines per call,
+ * which is what the tests and benches use).
+ */
+class ScopedLevel
+{
+  public:
+    explicit ScopedLevel(Level level);
+    ~ScopedLevel();
+
+    ScopedLevel(const ScopedLevel &) = delete;
+    ScopedLevel &operator=(const ScopedLevel &) = delete;
+
+  private:
+    u8 prev_;
+};
+
+} // namespace msim::simd
+
+#endif // MSIM_COMMON_SIMD_HH_

@@ -5,11 +5,39 @@
 
 #include "audit/invariants.hh"
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "cpu/core.hh"
+#include "obs/metrics.hh"
 #include "obs/span.hh"
 
 namespace msim::cpu
 {
+
+#if MSIM_OBS_ENABLED
+namespace
+{
+
+/** Batch-engine SIMD instrumentation: dispatch level + kernel calls. */
+struct BatchSimdMetrics
+{
+    obs::MetricId level, minActive, eqByte, testBit, popcount;
+};
+
+const BatchSimdMetrics &
+batchSimdMetrics()
+{
+    static const BatchSimdMetrics m = {
+        obs::metricId("batch.simd_level", obs::MetricKind::Gauge),
+        obs::metricId("simd.min_active_lane", obs::MetricKind::Counter),
+        obs::metricId("simd.eq_byte_bitmap", obs::MetricKind::Counter),
+        obs::metricId("simd.testbit_bitmap", obs::MetricKind::Counter),
+        obs::metricId("simd.popcount_words", obs::MetricKind::Counter),
+    };
+    return m;
+}
+
+} // namespace
+#endif
 
 bool
 BatchReplayEngine::supports(const CoreConfig &config)
@@ -49,14 +77,44 @@ BatchReplayEngine::BatchReplayEngine(const prog::RecordedTrace &trace,
     }
 
     // One taken-bit extraction pass over the op/flags columns feeds the
-    // shared predictor passes and the per-chunk decode.
+    // shared predictor passes and the per-chunk decode.  Both columns
+    // are compressed to bitmaps with one compare->movemask sweep each
+    // (16-32 bytes per vector op instead of a per-instruction branch),
+    // then the branch-ordered taken vector is filled by iterating only
+    // the set bits of the branch bitmap — ascending word/bit order
+    // preserves program order exactly as the scalar loop did.
     const u8 *ops = trace_.opCol().data();
     const u8 *flags = trace_.flagsCol().data();
     const u64 n = trace_.instCount();
-    branchTaken_.reserve(trace_.branchPcCol().size());
-    for (u64 i = 0; i < n; ++i) {
-        if (static_cast<isa::Op>(ops[i]) == isa::Op::Branch)
-            branchTaken_.push_back((flags[i] & isa::kFlagTaken) ? 1 : 0);
+    const simd::Ops &sv = simd::ops();
+    const u64 nw = (n + 63) / 64;
+    std::vector<u64> brWords(nw), takenWords(nw);
+    if (n != 0) {
+        sv.eqByteBitmap(ops, n, static_cast<u8>(isa::Op::Branch),
+                        brWords.data());
+        sv.testBitBitmap(flags, n, isa::kFlagTaken, takenWords.data());
+    }
+    const u64 nb = sv.popcountWords(brWords.data(), nw);
+    MSIM_AUDIT_CHECK(nb == trace_.branchPcCol().size(),
+                     "branch bitmap count %llu != branch PC column %zu",
+                     static_cast<unsigned long long>(nb),
+                     trace_.branchPcCol().size());
+#if MSIM_OBS_ENABLED
+    const BatchSimdMetrics &bsm = batchSimdMetrics();
+    obs::gaugeSet(bsm.level,
+                  static_cast<double>(static_cast<u8>(sv.level)));
+    obs::count(bsm.eqByte);
+    obs::count(bsm.testBit);
+    obs::count(bsm.popcount);
+#endif
+    branchTaken_.resize(nb);
+    u64 j = 0;
+    for (u64 w = 0; w < nw; ++w) {
+        const u64 tw = takenWords[w];
+        for (u64 b = brWords[w]; b != 0; b &= b - 1) {
+            const unsigned bit = std::countr_zero(b);
+            branchTaken_[j++] = static_cast<u8>((tw >> bit) & 1);
+        }
     }
 
     engines_.reserve(lanes_.size());
@@ -101,12 +159,14 @@ u64
 BatchReplayEngine::minActiveLane(std::span<const u8> running,
                                  std::span<const u64> values)
 {
-    u64 m = ~u64{0};
-    for (size_t k = 0; k < running.size(); ++k) {
-        const u64 v = running[k] ? values[k] : ~u64{0};
-        m = std::min(m, v);
-    }
-    return m;
+    // Tolerate mismatched spans defensively: sweep only the shorter
+    // prefix so a caller slicing the progress columns can never read
+    // out of bounds through the kernel.
+    const size_t k = std::min(running.size(), values.size());
+#if MSIM_OBS_ENABLED
+    obs::count(batchSimdMetrics().minActive);
+#endif
+    return simd::ops().minActiveU64(running.data(), values.data(), k);
 }
 
 void

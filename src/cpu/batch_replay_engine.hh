@@ -98,13 +98,14 @@ class BatchReplayEngine
 
     /**
      * Minimum of values[k] over lanes with running[k] != 0, or ~u64{0}
-     * when every lane has finished.  Cross-lane sweeps (the min-cursor
-     * audit, per-lane horizon reductions) read the dense SoA progress
-     * columns below; the loop is written branch-free so it compiles to
-     * a straight select-and-min the vectorizer handles.  A scalar SoA
-     * sweep is deliberate: at sweep-sized lane counts it is within
-     * noise of a hand-vectorized reduction (bench_micro
-     * BM_LaneHorizonMinReduction) without an ISA dependency.
+     * when every lane has finished (including empty spans; mismatched
+     * span lengths sweep the common prefix).  Cross-lane sweeps (the
+     * min-cursor audit, per-lane horizon reductions) read the dense SoA
+     * progress columns below through the runtime-dispatched
+     * simd::Ops::minActiveU64 kernel — select-and-min over 4 lanes per
+     * AVX2 step, scalar twin bit-identical by construction (integer
+     * min is exact and order-insensitive; see common/simd.hh).
+     * bench_micro BM_LaneHorizonMinReduction measures both paths.
      */
     static u64 minActiveLane(std::span<const u8> running,
                              std::span<const u64> values);

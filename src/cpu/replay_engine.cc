@@ -5,10 +5,49 @@
 
 #include "common/logging.hh"
 #include "cpu/core.hh"
+#include "obs/metrics.hh"
 
 namespace msim::cpu
 {
 
+namespace
+{
+
+// Adaptive width cutover for the decoded-mode column scheduler: below
+// these occupancies a bit-walk of the sparse set is cheaper than one
+// full 64-lane kernel call; at or above them the one-shot vector form
+// wins.  Perf knobs only — both forms compute the identical function
+// (pinned by tests/test_simd.cc and the audit-build kernel checkers),
+// so the crossover cannot affect simulation output.
+constexpr int kWideWaiters = 16;  ///< wait-set / waiter-mask popcount
+constexpr unsigned kWideRetire = 16; ///< retire width (power of two)
+
+} // namespace
+
+#if MSIM_OBS_ENABLED
+namespace
+{
+
+/** Per-kernel invocation counters for the decoded-path SIMD calls. */
+struct SimdKernelMetrics
+{
+    obs::MetricId le, minMasked, maxBroadcast, wakeDec;
+};
+
+const SimdKernelMetrics &
+simdKernelMetrics()
+{
+    static const SimdKernelMetrics m = {
+        obs::metricId("simd.le_bitmap64", obs::MetricKind::Counter),
+        obs::metricId("simd.min_masked_u64", obs::MetricKind::Counter),
+        obs::metricId("simd.max_broadcast_u64", obs::MetricKind::Counter),
+        obs::metricId("simd.wake_dec_u8", obs::MetricKind::Counter),
+    };
+    return m;
+}
+
+} // namespace
+#endif
 
 ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
     : issueWidth_(config.issueWidth), windowSize_(config.windowSize),
@@ -50,6 +89,10 @@ ReplayEngine::ReplayEngine(const CoreConfig &config, mem::MemoryPort &memory)
 
     readyHeap_.reserve(cap);
     readyNext_.reserve(cap);
+    // SIMD dispatch is resolved once per engine: a run never mixes
+    // levels, and the batch benches install their forced-scalar
+    // override before constructing engines.
+    simd_ = &simd::ops();
     // The rings hold at most one entry per held occupancy slot: both
     // counters increment at dispatch and only drop in the drains that
     // also pop the ring, so the occupancy gates bound the ring sizes.
@@ -320,9 +363,8 @@ ReplayEngine::drainBranches()
     }
 }
 
-template <bool Decoded>
 unsigned
-ReplayEngine::dispatchImpl()
+ReplayEngine::tryDispatch()
 {
     using isa::Op;
     // Nothing inside the loop clears these gates mid-cycle (a resolving
@@ -344,26 +386,15 @@ ReplayEngine::dispatchImpl()
             if (specBranches_ >= maxSpecBranches_)
                 break;
         }
-        // The decoded path reads one 8-byte record per instruction (the
-        // batch driver resolved op class, memory kind, branch outcome
-        // and source distances once per chunk for all lanes); the raw
-        // path resolves them from the trace columns here.
-        DecodedInst d{};
-        unsigned opn;
-        u8 cls;
-        u8 mk;
-        if constexpr (Decoded) {
-            d = decoded_[fetchPos_ - decodedBase_];
-            opn = d.op;
-            cls = static_cast<u8>(d.meta & kDecClsMask);
-            const unsigned mkBits = (d.meta >> kDecMemShift) & 3u;
-            mk = mkBits == kDecMemNone ? kNotMem : static_cast<u8>(mkBits);
-        } else {
-            opn = ops_[fetchPos_];
-            const OpInfo info = opInfo_[opn];
-            cls = info.cls;
-            mk = info.memKind;
-        }
+        // Decoded-mode runs never reach this dispatcher: advanceTo
+        // routes them to advanceDecoded, whose fused loop reads the
+        // batch driver's DecodedInst records and drives the column
+        // scheduler.  This member-state path resolves everything from
+        // the raw trace columns.
+        const unsigned opn = ops_[fetchPos_];
+        const OpInfo info = opInfo_[opn];
+        const u8 cls = info.cls;
+        const u8 mk = info.memKind;
         if (mk != kNotMem && memqUsed_ >= memQueueSize_) {
             drainMemq();
             if (memqUsed_ >= memQueueSize_)
@@ -383,15 +414,9 @@ ReplayEngine::dispatchImpl()
 
         bool taken = false;
         if (s.op == Op::Branch) {
-            bool mispredicted;
-            if constexpr (Decoded) {
-                taken = (d.meta & kDecTakenBit) != 0;
-                mispredicted = mispredictCol_[branchPos_++] != 0;
-            } else {
-                taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
-                mispredicted = !predictor_.predictAndUpdate(
-                    branchPcs_[branchPos_++], taken);
-            }
+            taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
+            const bool mispredicted = !predictor_.predictAndUpdate(
+                branchPcs_[branchPos_++], taken);
             ++stats_.branches;
             ++specBranches_;
             if (mispredicted) {
@@ -416,34 +441,15 @@ ReplayEngine::dispatchImpl()
 
         // A producer outside the window has retired, so its value is
         // ready in the past and cannot affect the heap order or the
-        // fast-forward bound; only in-window producers matter.  Decoded
-        // sources arrive as backward distances off this instruction's
-        // own sequence number (seq == fetchPos_ at dispatch); distance 0
-        // covers both "no producer" and clamped far producers, which
-        // the window test would reject anyway.
+        // fast-forward bound; only in-window producers matter.
         Cycle dep = 0;
         unsigned unknown = 0;
-        unsigned ns;
-        if constexpr (Decoded)
-            ns = d.meta >> kDecSrcShift;
-        else
-            ns = numSrcs_[fetchPos_];
+        const unsigned ns = numSrcs_[fetchPos_];
         for (unsigned i = 0; i < ns; ++i) {
-            u64 prod;
-            if constexpr (Decoded) {
-                const u16 delta = d.srcDelta[i];
-                if (delta == 0)
-                    continue;
-                prod = seq - delta;
-                if (prod < headSeq_)
-                    continue; // produced before the window: always ready
-            } else {
-                const u32 p32 = srcProds_[srcPos_ + i];
-                if (p32 == prog::kNoProducer || p32 < headSeq_)
-                    continue; // produced before the window: always ready
-                prod = p32;
-            }
-            Slot &p = slots_[prod & slotMask_];
+            const u32 p32 = srcProds_[srcPos_ + i];
+            if (p32 == prog::kNoProducer || p32 < headSeq_)
+                continue; // produced before the window: always ready
+            Slot &p = slots_[p32 & slotMask_];
             if (!p.issued) {
                 s.waiterNext[i] = p.waiterHead;
                 p.waiterHead =
@@ -453,8 +459,7 @@ ReplayEngine::dispatchImpl()
                 dep = std::max(dep, p.readyTime);
             }
         }
-        if constexpr (!Decoded)
-            srcPos_ += ns;
+        srcPos_ += ns;
         s.unknownSrcs = static_cast<u8>(unknown);
         s.depTime = dep;
         if (unknown == 0) {
@@ -497,12 +502,6 @@ ReplayEngine::dispatchImpl()
                      "spec branches %u > max %u", specBranches_,
                      maxSpecBranches_);
     return dispatched;
-}
-
-unsigned
-ReplayEngine::tryDispatch()
-{
-    return decoded_ ? dispatchImpl<true>() : dispatchImpl<false>();
 }
 
 StallClass
@@ -597,7 +596,7 @@ ReplayEngine::skipHorizon(u64 fetchLimit, bool final) const
     // Events already staged for the next cycle: just tick.
     if (!readyNext_.empty())
         return 0;
-    if (decoded_ ? eligAll_ != 0 : eligMask_ != 0)
+    if (eligMask_ != 0)
         return 0;
     if (!readyHeap_.empty() && readyHeap_.front().first <= now_ + 1)
         return 0;
@@ -627,17 +626,8 @@ ReplayEngine::skipHorizon(u64 fetchLimit, bool final) const
         windowCount_ < windowSize_) {
         Cycle t = std::max(now_ + 1, dispatchBlockedUntil_);
         bool gated = false;
-        unsigned opn;
-        u8 mk;
-        if (decoded_) {
-            const DecodedInst &d = decoded_[fetchPos_ - decodedBase_];
-            opn = d.op;
-            const unsigned mkBits = (d.meta >> kDecMemShift) & 3u;
-            mk = mkBits == kDecMemNone ? kNotMem : static_cast<u8>(mkBits);
-        } else {
-            opn = ops_[fetchPos_];
-            mk = opInfo_[opn].memKind;
-        }
+        const unsigned opn = ops_[fetchPos_];
+        const u8 mk = opInfo_[opn].memKind;
         if (static_cast<isa::Op>(opn) == isa::Op::Branch &&
             specBranches_ >= maxSpecBranches_) {
             if (branchResolves_.empty())
@@ -694,12 +684,22 @@ ReplayEngine::skipHorizon(u64 fetchLimit, bool final) const
 #if MSIM_AUDIT_ENABLED
 void
 ReplayEngine::auditSkipSpan(Cycle now, Cycle h, u64 headSeq, u64 wcount,
-                            bool eligEmpty) const
+                            bool eligEmpty, u64 waitBits) const
 {
     MSIM_AUDIT_CHECK(h > now + 1 && eligEmpty && readyNext_.empty(),
                      "skip span [%llu, %llu) with staged work",
                      static_cast<unsigned long long>(now + 1),
                      static_cast<unsigned long long>(h));
+    for (u64 wb = waitBits; wb != 0; wb &= wb - 1) {
+        const unsigned idx = std::countr_zero(wb);
+        MSIM_AUDIT_CHECK(depCol_[idx] >= h,
+                         "wait event (slot %u, dep %llu) inside skip "
+                         "span [%llu, %llu)",
+                         idx,
+                         static_cast<unsigned long long>(depCol_[idx]),
+                         static_cast<unsigned long long>(now + 1),
+                         static_cast<unsigned long long>(h));
+    }
     for (const auto &[dep, seq] : readyHeap_) {
         MSIM_AUDIT_CHECK(dep >= h,
                          "ready event (seq %llu, dep %llu) inside skip "
@@ -798,7 +798,7 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
                 if (h > now_ + 1) {
 #if MSIM_AUDIT_ENABLED
                     auditSkipSpan(now_, h, headSeq_, windowCount_,
-                                  eligMask_ == 0);
+                                  eligMask_ == 0, 0);
 #endif
                     const Cycle dt = h - now_ - 1;
                     const StallClass spanCls =
@@ -893,8 +893,16 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
     Cycle dispBlocked = dispatchBlockedUntil_;
     bool awaitingRedirect = awaitingRedirect_;
     u64 eligAll = eligAll_;
+    u64 waitBits = waitBits_;
+    u64 issuedBits = issuedBits_;
+    u64 storeBits = storeBits_;
+    Cycle minWait = minWaitDep_;
     u64 retiredTotal = 0;
     double accBusy = 0.0, accFu = 0.0, accHit = 0.0, accMiss = 0.0;
+    const simd::Ops &sv = *simd_;
+#if MSIM_OBS_ENABLED
+    u64 nLe = 0, nMinMasked = 0, nMaxBroadcast = 0, nWakeDec = 0;
+#endif
 
     const auto flush = [&] {
         now_ = now;
@@ -909,11 +917,27 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
         dispatchBlockedUntil_ = dispBlocked;
         awaitingRedirect_ = awaitingRedirect;
         eligAll_ = eligAll;
+        waitBits_ = waitBits;
+        issuedBits_ = issuedBits;
+        storeBits_ = storeBits;
+        minWaitDep_ = minWait;
         stats_.retired += retiredTotal;
         stats_.busy += accBusy;
         stats_.fuStall += accFu;
         stats_.memL1Hit += accHit;
         stats_.memL1Miss += accMiss;
+#if MSIM_OBS_ENABLED
+        const SimdKernelMetrics &skm = simdKernelMetrics();
+        if (nLe)
+            obs::count(skm.le, nLe);
+        if (nMinMasked)
+            obs::count(skm.minMasked, nMinMasked);
+        if (nMaxBroadcast)
+            obs::count(skm.maxBroadcast, nMaxBroadcast);
+        if (nWakeDec)
+            obs::count(skm.wakeDec, nWakeDec);
+        nLe = nMinMasked = nMaxBroadcast = nWakeDec = 0;
+#endif
     };
 
     const auto chargeAcc = [&](StallClass cls, double amount) {
@@ -925,43 +949,21 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
         }
     };
 
+    /** Slot bitmap rotated to head-relative order (bit r = the entry
+     *  at sequence headSeq + r). */
+    const auto rotHead = [&](u64 mask) {
+        const auto h = static_cast<unsigned>(headSeq & slotMask_);
+        return cap == 64 ? std::rotr(mask, h)
+                         : ((mask >> h) | (mask << (cap - h))) & capMask;
+    };
+
     /** Relative position (= seq - headSeq) of the minimum-sequence
-     *  entry of @p candMask, via a ring rotation to head-relative
-     *  order; the caller guarantees candMask != 0. */
+     *  entry of @p candMask; the caller guarantees candMask != 0. */
     const auto minRel = [&](u64 candMask) {
-        const auto h =
-            static_cast<unsigned>(headSeq & slotMask_);
-        const u64 rot =
-            cap == 64 ? std::rotr(candMask, h)
-                      : ((candMask >> h) | (candMask << (cap - h))) &
-                            capMask;
-        return static_cast<unsigned>(std::countr_zero(rot));
+        return static_cast<unsigned>(std::countr_zero(rotHead(candMask)));
     };
 
-    const auto wake = [&](Slot &producer) {
-        u32 link = producer.waiterHead;
-        producer.waiterHead = kNil;
-        const Cycle t = producer.readyTime;
-        while (link != kNil) {
-            const u64 idx = link >> 2;
-            Slot &w = slots_[idx];
-            const unsigned si = link & 3;
-            link = w.waiterNext[si];
-            w.depTime = std::max(w.depTime, t);
-            if (--w.unknownSrcs == 0) {
-                const u64 wseq = headSeq + ((idx - headSeq) & slotMask_);
-                if (w.depTime <= now + 1) {
-                    readyNext_.push_back(wseq);
-                } else {
-                    readyHeap_.emplace_back(w.depTime, wseq);
-                    std::push_heap(readyHeap_.begin(), readyHeap_.end(),
-                                   std::greater<>{});
-                }
-            }
-        }
-    };
-
-    const auto issue = [&](Slot &s) {
+    const auto issue = [&](Slot &s, u64 idx) {
         s.issued = true;
         const OpInfo info = opInfo_[static_cast<unsigned>(s.op)];
         UnitClass &u = units_[info.cls];
@@ -1034,6 +1036,8 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             break;
           }
         }
+        readyCol_[idx] = s.readyTime;
+        issuedBits |= u64{1} << idx;
     };
 
     /// classifyBlock() over the local mirrors.
@@ -1061,11 +1065,12 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
     /// skipHorizon() over the local mirrors; see the member version
     /// for the soundness and classify-constancy arguments.
     const auto skipHorizonLocal = [&]() -> Cycle {
-        if (!readyNext_.empty())
-            return 0;
         if (eligAll != 0)
             return 0;
-        if (!readyHeap_.empty() && readyHeap_.front().first <= now + 1)
+        // minWait is the exact minimum dependence time over the wait
+        // set (recomputed at every drain), so it subsumes the raw
+        // path's readyNext_ staging check and ready-heap front.
+        if (waitBits != 0 && minWait <= now + 1)
             return 0;
         if (!final && fetchPos >= fetchLimit)
             return 0;
@@ -1079,8 +1084,8 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                 h = head.readyTime;
             }
         }
-        if (!readyHeap_.empty())
-            h = std::min(h, readyHeap_.front().first);
+        if (waitBits != 0)
+            h = std::min(h, minWait);
 
         if (!awaitingRedirect && fetchPos < instCount_ &&
             wcount < windowSize_) {
@@ -1158,62 +1163,150 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
         }
 #endif
 
-        // --- retire (mirror of tryRetire) -----------------------------
+        // --- retire (mirror of tryRetire, bitmap form) ----------------
+        // One compare->bitmap over the result-time column gives every
+        // issued slot whose result is due; rotating to head-relative
+        // order turns the retire scan into a count of leading ones,
+        // capped by the retire width and the window occupancy.  Bits
+        // of retired-but-not-recycled slots are stale but sit at
+        // relative positions >= wcount, which the cap excludes.  The
+        // scalar head-slot probe in front costs one load on the (most
+        // common) nothing-retires cycle, and the full-column scan only
+        // pays when the window is wide enough that one vector compare
+        // beats walking the retire run slot-by-slot (see kWideWindow);
+        // both forms compute the identical leading-ones count.
         unsigned retired = 0;
-        while (retired < retireWidth_ && wcount != 0) {
-            Slot &head = slots_[headSeq & slotMask_];
-            if (!head.issued || head.readyTime > now)
-                break;
-            MSIM_AUDIT_CHECK(now >= auditLastRetire_,
-                             "retire time regressed: %llu < %llu",
-                             static_cast<unsigned long long>(now),
-                             static_cast<unsigned long long>(
-                                 auditLastRetire_));
-            MSIM_AUDIT_CHECK(head.issued && head.readyTime <= now,
-                             "retiring head seq %llu issued=%d "
-                             "ready=%llu at %llu",
-                             static_cast<unsigned long long>(headSeq),
-                             head.issued,
-                             static_cast<unsigned long long>(
-                                 head.readyTime),
-                             static_cast<unsigned long long>(now));
-#if MSIM_AUDIT_ENABLED
-            auditLastRetire_ = now;
+        const u64 headIdx = headSeq & slotMask_;
+        if (wcount != 0 && ((issuedBits >> headIdx) & 1) != 0 &&
+            readyCol_[headIdx] <= now) {
+            if (retireWidth_ >= kWideRetire) {
+                const u64 due =
+                    sv.leBitmap64(readyCol_, now) & issuedBits;
+#if MSIM_OBS_ENABLED
+                ++nLe;
 #endif
-            if (head.op == Op::Store && head.memFreeTime > now) {
-                if (pendingStores_.size() >= 64) {
-                    std::erase_if(pendingStores_, [&](const auto &p) {
-                        return p.first <= now;
-                    });
+                const u64 run =
+                    static_cast<u64>(std::countr_one(rotHead(due)));
+                retired = static_cast<unsigned>(std::min(
+                    {run, static_cast<u64>(retireWidth_), wcount}));
+            } else {
+                const unsigned lim = static_cast<unsigned>(
+                    std::min<u64>(retireWidth_, wcount));
+                while (retired < lim) {
+                    const u64 idx = (headSeq + retired) & slotMask_;
+                    if (((issuedBits >> idx) & 1) == 0 ||
+                        readyCol_[idx] > now)
+                        break;
+                    ++retired;
                 }
-                const StallClass cls = head.level == mem::HitLevel::L1
-                                           ? StallClass::MemL1Hit
-                                           : StallClass::MemL1Miss;
-                pendingStores_.emplace_back(head.memFreeTime, cls);
             }
-            ++retiredTotal;
-            ++retired;
-            ++headSeq;
-            --wcount;
+        }
+        if (retired != 0) {
+#if MSIM_AUDIT_ENABLED
+            // Scalar recheck of the bitmap count, plus the raw path's
+            // retire-order-monotonicity contract.
+            {
+                unsigned nref = 0;
+                u64 hs = headSeq;
+                u64 wc = wcount;
+                while (nref < retireWidth_ && wc != 0) {
+                    const Slot &head = slots_[hs & slotMask_];
+                    if (!head.issued || head.readyTime > now)
+                        break;
+                    ++nref;
+                    ++hs;
+                    --wc;
+                }
+                MSIM_AUDIT_CHECK(retired == nref,
+                                 "bitmap retire count %u != scalar %u",
+                                 retired, nref);
+                MSIM_AUDIT_CHECK(now >= auditLastRetire_,
+                                 "retire time regressed: %llu < %llu",
+                                 static_cast<unsigned long long>(now),
+                                 static_cast<unsigned long long>(
+                                     auditLastRetire_));
+                auditLastRetire_ = now;
+            }
+#endif
+            // Stores retiring with their memory-queue slot still held:
+            // walk just the store bits of the retired prefix, in
+            // program order (same pendingStores_ append/compact
+            // sequence as the per-entry loop).
+            const u64 retiredRel =
+                retired == 64 ? ~u64{0} : (u64{1} << retired) - 1;
+            u64 stRel = rotHead(storeBits) & retiredRel;
+            while (stRel != 0) {
+                const unsigned rel = std::countr_zero(stRel);
+                stRel &= stRel - 1;
+                const Slot &head = slots_[(headSeq + rel) & slotMask_];
+                if (head.memFreeTime > now) {
+                    if (pendingStores_.size() >= 64) {
+                        std::erase_if(pendingStores_, [&](const auto &p) {
+                            return p.first <= now;
+                        });
+                    }
+                    const StallClass cls =
+                        head.level == mem::HitLevel::L1
+                            ? StallClass::MemL1Hit
+                            : StallClass::MemL1Miss;
+                    pendingStores_.emplace_back(head.memFreeTime, cls);
+                }
+            }
+            retiredTotal += retired;
+            headSeq += retired;
+            wcount -= retired;
         }
 
         // --- execute (mirror of tryExecute, bitmap form) --------------
-        if (!readyNext_.empty()) {
-            for (const u64 seq : readyNext_) {
-                const u64 bit = u64{1} << (seq & slotMask_);
-                eligBits_[slots_[seq & slotMask_].cls] |= bit;
-                eligAll |= bit;
+        // Drain the wait set in one shot: every waiting slot whose
+        // dependence time fell due becomes eligible.  The raw path's
+        // readyNext_ staging lane and ready heap pop the same set —
+        // entries staged with dep == stage-cycle + 1 satisfy dep <= now
+        // here, heap pops stop at dep > now — and the bitmap OR is
+        // order-insensitive, so the eligible sets match exactly.  The
+        // minWait gate keeps quiet cycles at one compare.  A dense wait
+        // set takes one compare->bitmap plus one masked min-reduction;
+        // a sparse one (the common case at sweep-default windows) walks
+        // its set bits, fusing the ready scan with the min recompute —
+        // identical ready set and minimum either way.
+        if (waitBits != 0 && minWait <= now) {
+            u64 ready;
+            if (std::popcount(waitBits) >= kWideWaiters) {
+                ready = sv.leBitmap64(depCol_, now) & waitBits;
+#if MSIM_OBS_ENABLED
+                ++nLe;
+#endif
+                waitBits &= ~ready;
+                if (waitBits != 0) {
+                    minWait = sv.minMaskedU64(depCol_, waitBits);
+#if MSIM_OBS_ENABLED
+                    ++nMinMasked;
+#endif
+                } else {
+                    minWait = kNever;
+                }
+            } else {
+                ready = 0;
+                Cycle nextMin = kNever;
+                for (u64 wb = waitBits; wb != 0; wb &= wb - 1) {
+                    const unsigned idx = std::countr_zero(wb);
+                    const Cycle d = depCol_[idx];
+                    if (d <= now)
+                        ready |= u64{1} << idx;
+                    else
+                        nextMin = std::min(nextMin, d);
+                }
+                waitBits &= ~ready;
+                minWait = nextMin;
             }
-            readyNext_.clear();
-        }
-        while (!readyHeap_.empty() && readyHeap_.front().first <= now) {
-            const u64 seq = readyHeap_.front().second;
-            std::pop_heap(readyHeap_.begin(), readyHeap_.end(),
-                          std::greater<>{});
-            readyHeap_.pop_back();
-            const u64 bit = u64{1} << (seq & slotMask_);
-            eligBits_[slots_[seq & slotMask_].cls] |= bit;
-            eligAll |= bit;
+            for (unsigned c = 0; c < isa::kNumFuClasses; ++c) {
+                const u64 m = waitCls_[c] & ready;
+                if (m != 0) {
+                    eligBits_[c] |= m;
+                    waitCls_[c] &= ~m;
+                }
+            }
+            eligAll |= ready;
         }
 
         // Availability is re-resolved at every pick: unitAvailable is
@@ -1235,9 +1328,44 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             eligBits_[c] &= ~bit;
             eligAll &= ~bit;
             cand &= ~bit;
-            issue(s);
-            if (s.waiterHead != kNil) {
-                wake(s);
+            issue(s, idx);
+            // Wake every waiter of this producer at once: max-broadcast
+            // the result time into their dependence column, decrement
+            // their unissued-producer counts, and move the newly
+            // complete ones into the wait set.  The result time is
+            // always >= now + 1 (latencies are >= 1), so a woken entry
+            // never becomes eligible this same cycle — exactly the raw
+            // path's readyNext_/heap routing.
+            const u64 wm = waiterMask_[idx];
+            if (wm != 0) {
+                waiterMask_[idx] = 0;
+                u64 newly;
+                if (std::popcount(wm) >= kWideWaiters) {
+                    sv.maxBroadcastU64(depCol_, wm, s.readyTime);
+                    newly = sv.wakeDecU8(unknownCol_, wm);
+#if MSIM_OBS_ENABLED
+                    ++nMaxBroadcast;
+                    ++nWakeDec;
+#endif
+                } else {
+                    // Sparse waiter set: walk the bits — same max
+                    // broadcast and newly-zero result as the kernels.
+                    newly = 0;
+                    for (u64 m = wm; m != 0; m &= m - 1) {
+                        const unsigned w = std::countr_zero(m);
+                        depCol_[w] = std::max(depCol_[w], s.readyTime);
+                        if (--unknownCol_[w] == 0)
+                            newly |= u64{1} << w;
+                    }
+                }
+                if (newly != 0) {
+                    waitBits |= newly;
+                    for (u64 nn = newly; nn != 0; nn &= nn - 1) {
+                        const unsigned widx = std::countr_zero(nn);
+                        waitCls_[slots_[widx].cls] |= u64{1} << widx;
+                        minWait = std::min(minWait, depCol_[widx]);
+                    }
+                }
             }
             ++issued;
         }
@@ -1277,12 +1405,19 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                                  static_cast<unsigned long long>(
                                      headSeq + wcount));
                 const u64 idx = seq & slotMask_;
+                const u64 bit = u64{1} << idx;
                 Slot &s = slots_[idx];
                 s.op = static_cast<Op>(d.op);
                 s.cls = static_cast<u8>(d.meta & kDecClsMask);
-                s.waiterHead = kNil;
                 s.issued = false;
                 s.mispredicted = false;
+                // Recycle the slot's column state (the previous
+                // occupant retired): stale issued/store bits would
+                // otherwise leak into the retire bitmaps, and the
+                // waiter bitmap is this instruction's future waiters.
+                issuedBits &= ~bit;
+                storeBits &= ~bit;
+                waiterMask_[idx] = 0;
 
                 bool taken = false;
                 if (s.op == Op::Branch) {
@@ -1300,10 +1435,18 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                     ++memPos;
                     ++memqUsed;
                     s.aux = aux;
-                    if (mkBits == prog::kMemStore)
+                    if (mkBits == prog::kMemStore) {
                         dispStores = aux + 1;
+                        storeBits |= bit;
+                    }
                 }
 
+                // Producer registration is a bitmap per producer slot
+                // instead of the raw path's intrusive chains, so the
+                // unissued-producer count is over *distinct* producers
+                // (the chains decrement once per source edge, the
+                // bitmap once per producer — both reach zero at the
+                // same wake, with the same dependence maximum).
                 Cycle dep = 0;
                 unsigned unknown = 0;
                 const unsigned ns = d.meta >> kDecSrcShift;
@@ -1314,30 +1457,31 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                     const u64 prod = seq - delta;
                     if (prod < headSeq)
                         continue; // produced before the window
-                    Slot &p = slots_[prod & slotMask_];
+                    const u64 pIdx = prod & slotMask_;
+                    Slot &p = slots_[pIdx];
                     if (!p.issued) {
-                        s.waiterNext[i] = p.waiterHead;
-                        p.waiterHead =
-                            static_cast<u32>(idx << 2) | i;
-                        ++unknown;
+                        if ((waiterMask_[pIdx] & bit) == 0) {
+                            waiterMask_[pIdx] |= bit;
+                            ++unknown;
+                        }
                     } else {
                         dep = std::max(dep, p.readyTime);
                     }
                 }
-                s.unknownSrcs = static_cast<u8>(unknown);
-                s.depTime = dep;
+                unknownCol_[idx] = static_cast<u8>(unknown);
+                depCol_[idx] = dep;
                 if (unknown == 0) {
                     if (dep <= now) {
-                        const u64 bit = u64{1} << idx;
                         eligBits_[s.cls] |= bit;
                         eligAll |= bit;
-                    } else if (dep == now + 1) {
-                        readyNext_.push_back(seq);
                     } else {
-                        readyHeap_.emplace_back(dep, seq);
-                        std::push_heap(readyHeap_.begin(),
-                                       readyHeap_.end(),
-                                       std::greater<>{});
+                        // Known future dependence: one wait set covers
+                        // the raw path's readyNext_ staging lane
+                        // (dep == now + 1) and its ready heap; the
+                        // drain gate is the exact minimum either way.
+                        waitBits |= bit;
+                        waitCls_[s.cls] |= bit;
+                        minWait = std::min(minWait, dep);
                     }
                 }
 
@@ -1386,7 +1530,8 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
 #endif
                 if (h > now + 1) {
 #if MSIM_AUDIT_ENABLED
-                    auditSkipSpan(now, h, headSeq, wcount, eligAll == 0);
+                    auditSkipSpan(now, h, headSeq, wcount, eligAll == 0,
+                                  waitBits);
 #endif
                     const Cycle dt = h - now - 1;
                     const StallClass spanCls = retired < retireWidth_
@@ -1423,18 +1568,13 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                 next = std::min(next,
                                 std::max(now + 1, unitNextFree(c, now)));
             }
-            for (const u64 seq : readyNext_) {
-                next = std::min(
-                    next,
-                    std::max(now + 1,
-                             unitNextFree(slots_[seq & slotMask_].cls,
-                                          now)));
-            }
-            for (const auto &[depT, seq] : readyHeap_) {
-                Cycle t = std::max(now + 1, depT);
-                t = std::max(t,
-                             unitNextFree(slots_[seq & slotMask_].cls,
-                                          now));
+            // Wait-set entries subsume the raw path's readyNext_
+            // (dep <= now + 1, so the dep max is a no-op there) and
+            // ready-heap walks.
+            for (u64 wb = waitBits; wb != 0; wb &= wb - 1) {
+                const unsigned idx = std::countr_zero(wb);
+                Cycle t = std::max(now + 1, depCol_[idx]);
+                t = std::max(t, unitNextFree(slots_[idx].cls, now));
                 next = std::min(next, t);
             }
             if (!memqFrees_.empty())

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "audit/invariants.hh"
+#include "common/simd.hh"
 #include "cpu/accounting.hh"
 #include "cpu/branch_predictor.hh"
 #include "isa/timing.hh"
@@ -313,7 +314,6 @@ class ReplayEngine
 
     unsigned tryRetire();
     unsigned tryExecute();
-    template <bool Decoded> unsigned dispatchImpl();
     unsigned tryDispatch();
     bool advanceRaw(u64 fetchLimit);
     bool advanceDecoded(u64 fetchLimit);
@@ -334,8 +334,10 @@ class ReplayEngine
 
 #if MSIM_AUDIT_ENABLED
     /// skip-horizon-soundness: no ready event strictly inside [now+1, h).
+    /// @p waitBits is the decoded-mode wait set (0 on the raw path,
+    /// whose future-dep entries live in readyHeap_ instead).
     void auditSkipSpan(Cycle now, Cycle h, u64 headSeq, u64 wcount,
-                       bool eligEmpty) const;
+                       bool eligEmpty, u64 waitBits) const;
 #endif
     void issueSlot(Slot &s);
     void wakeWaiters(Slot &producer);
@@ -494,6 +496,28 @@ class ReplayEngine
     // elig_/eligMask_.
     u64 eligBits_[isa::kNumFuClasses] = {};
     u64 eligAll_ = 0; ///< union of eligBits_
+
+    // Decoded-mode scheduler columns (see advanceDecoded): fixed
+    // 64-entry SoA mirrors of the per-slot fields the scheduling scans
+    // touch, indexed by ring slot, sized for the simd::Ops 64-lane
+    // kernels.  They subsume readyNext_/readyHeap_ and the intrusive
+    // waiter chains on the decoded path: an instruction whose sources
+    // all have known future ready times sits in waitBits_ with its
+    // dependence time in depCol_, drained by one compare->bitmap when
+    // minWaitDep_ falls due; a producer's waiters are a bitmap in
+    // waiterMask_, woken by one masked max-broadcast plus a masked
+    // decrement of unknownCol_.  The raw path never touches any of
+    // these (its structural twin stays the heap + chain scheduler).
+    alignas(64) Cycle depCol_[64] = {};   ///< max known source ready time
+    alignas(64) Cycle readyCol_[64] = {}; ///< result time once issued
+    alignas(64) u64 waiterMask_[64] = {}; ///< waiters per producer slot
+    alignas(64) u8 unknownCol_[64] = {};  ///< unissued-producer count
+    u64 waitBits_ = 0;                    ///< dep known, in the future
+    u64 waitCls_[isa::kNumFuClasses] = {}; ///< waitBits_ split by class
+    u64 issuedBits_ = 0;                  ///< issued, not yet recycled
+    u64 storeBits_ = 0;                   ///< dispatched stores in window
+    Cycle minWaitDep_ = kNever;           ///< exact min depCol_ | waitBits_
+    const simd::Ops *simd_ = nullptr;     ///< dispatch table, cached
 
     /// Memory-queue occupancy: +1 at dispatch, -1 when the ring entry
     /// pushed at issue time expires (drained lazily at the readers).

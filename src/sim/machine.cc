@@ -69,4 +69,11 @@ withEventSkip(MachineConfig m, bool on)
     return m;
 }
 
+simd::ScopedLevel
+withSimd(bool on)
+{
+    return simd::ScopedLevel(on ? simd::detectedLevel()
+                                : simd::Level::Scalar);
+}
+
 } // namespace msim::sim

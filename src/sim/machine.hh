@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "common/simd.hh"
 #include "cpu/core.hh"
 #include "mem/config.hh"
 #include "prog/variant.hh"
@@ -56,6 +57,18 @@ MachineConfig asReference(MachineConfig m);
  * construction; used by the skip-mode fuzzer and A/B benchmarks.
  */
 MachineConfig withEventSkip(MachineConfig m, bool on);
+
+/**
+ * Scoped process-wide host-SIMD dispatch override for A/B runs: while
+ * the returned guard is alive, every engine constructed dispatches the
+ * kernel table at the host's detected level (on) or forced scalar
+ * (off), overriding the MSIM_SIMD default. Bit-identical results by
+ * construction (see common/simd.hh); used by the batch fuzzer, the
+ * differential tests and the lane-stepping A/B benchmarks. Install the
+ * guard before constructing engines — replayTrace/replayTraceBatch
+ * construct per call, so wrapping the call is sufficient.
+ */
+simd::ScopedLevel withSimd(bool on);
 
 } // namespace msim::sim
 

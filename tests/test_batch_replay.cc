@@ -16,6 +16,7 @@
 
 #include "core/experiment.hh"
 #include "core/registry.hh"
+#include "cpu/batch_replay_engine.hh"
 #include "kernels/addition.hh"
 #include "prog/recorded_trace.hh"
 #include "sim/machine.hh"
@@ -381,6 +382,111 @@ TEST(EventSkip, GatedMachinesIdentical)
     narrow.core.issueWidth = 2;
     narrow.core.windowSize = 16;
     expectSkipOnOffIdentical(trace, narrow);
+}
+
+/** Naive reference for minActiveLane, deliberately branchy. */
+u64
+naiveMinActiveLane(const std::vector<u8> &running,
+                   const std::vector<u64> &values)
+{
+    u64 m = ~u64{0};
+    for (size_t k = 0; k < running.size(); ++k) {
+        if (running[k] && values[k] < m)
+            m = values[k];
+    }
+    return m;
+}
+
+/** Deterministic xorshift for the property tests. */
+u64
+nextRand(u64 &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+/** The edge cases the SIMD min-reduction could plausibly get wrong:
+ *  no lanes, a single lane, all-lanes-inactive, lane counts straddling
+ *  every vector-width boundary — checked against the naive loop on
+ *  both the dispatched and the forced-scalar table. */
+TEST(MinActiveLane, EdgeCasesMatchNaiveLoop)
+{
+    using cpu::BatchReplayEngine;
+
+    // Empty spans: no active lane.
+    EXPECT_EQ(BatchReplayEngine::minActiveLane({}, {}), ~u64{0});
+
+    // Single-lane batch, running and finished.
+    EXPECT_EQ(BatchReplayEngine::minActiveLane(std::vector<u8>{1},
+                                               std::vector<u64>{42}),
+              42u);
+    EXPECT_EQ(BatchReplayEngine::minActiveLane(std::vector<u8>{0},
+                                               std::vector<u64>{42}),
+              ~u64{0});
+
+    u64 rng = 0x9e3779b97f4a7c15ull;
+    for (size_t n = 0; n <= 257; ++n) {
+        std::vector<u8> running(n);
+        std::vector<u64> values(n);
+
+        // All lanes inactive: must be ~0 regardless of values.
+        for (size_t k = 0; k < n; ++k)
+            values[k] = nextRand(rng);
+        EXPECT_EQ(BatchReplayEngine::minActiveLane(running, values),
+                  ~u64{0})
+            << "all-inactive n=" << n;
+
+        // Random running masks at every width (covers non-multiples of
+        // each vector width and extreme values including ~0 and 0).
+        for (int rep = 0; rep < 8; ++rep) {
+            for (size_t k = 0; k < n; ++k) {
+                running[k] = static_cast<u8>(nextRand(rng) & 1);
+                const u64 r = nextRand(rng);
+                values[k] = (r & 7) == 0   ? ~u64{0}
+                            : (r & 7) == 1 ? 0
+                                           : r;
+            }
+            const u64 expect = naiveMinActiveLane(running, values);
+            EXPECT_EQ(BatchReplayEngine::minActiveLane(running, values),
+                      expect)
+                << "dispatched n=" << n << " rep=" << rep;
+            const auto guard = withSimd(false);
+            EXPECT_EQ(BatchReplayEngine::minActiveLane(running, values),
+                      expect)
+                << "forced-scalar n=" << n << " rep=" << rep;
+        }
+    }
+}
+
+/** Whole-batch A/B: native dispatch vs forced scalar, field-exact on a
+ *  full sweep group. Any divergence localizes to a vector kernel. */
+TEST(BatchReplay, SimdVsScalarDispatchIdentical)
+{
+    if (simd::detectedLevel() == simd::Level::Scalar)
+        GTEST_SKIP() << "host has no vector ISA to compare against";
+    const MachineConfig base = outOfOrder4Way();
+    const auto machines = sweepConfigs();
+    for (const char *name : {"addition", "conv", "mpeg-dec"}) {
+        const auto trace =
+            recordTrace(generatorFor(name, Variant::Vis),
+                        base.skewArrays, base.visFeatures);
+        std::vector<RunResult> native, scalar;
+        {
+            const auto guard = withSimd(true);
+            native = replayTraceBatch(trace, machines, 0);
+        }
+        {
+            const auto guard = withSimd(false);
+            scalar = replayTraceBatch(trace, machines, 0);
+        }
+        ASSERT_EQ(native.size(), scalar.size());
+        for (size_t i = 0; i < native.size(); ++i)
+            expectIdentical(native[i], scalar[i],
+                            std::string(name) + " lane " +
+                                std::to_string(i));
+    }
 }
 
 } // namespace

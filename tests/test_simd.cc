@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The host-SIMD kernel layer (common/simd.hh): every dispatched kernel
+ * must be bit-identical to its scalar reference over randomized inputs,
+ * on the host's detected table, the forced-scalar table, and every
+ * intermediate level opsFor() can resolve.  Sized kernels run at widths
+ * 1..257 so each vector width's main-loop/tail split is crossed many
+ * times; fixed-64 kernels run under random masks including the empty,
+ * single-bit and full masks.  Also pins the dispatch plumbing itself:
+ * level parsing, clamping, and ScopedLevel nesting.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd.hh"
+
+namespace msim::simd
+{
+namespace
+{
+
+u64
+nextRand(u64 &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+/** Random u64 biased toward the compare-sensitive extremes. */
+u64
+skewedValue(u64 &rng)
+{
+    const u64 r = nextRand(rng);
+    switch (r & 7) {
+      case 0: return 0;
+      case 1: return ~u64{0};
+      case 2: return static_cast<u64>(1) << 63; // sign-bit boundary
+      case 3: return (static_cast<u64>(1) << 63) - 1;
+      default: return r;
+    }
+}
+
+/** Random 64-bit mask including empty / single-bit / full shapes. */
+u64
+skewedMask(u64 &rng)
+{
+    const u64 r = nextRand(rng);
+    switch (r & 7) {
+      case 0: return 0;
+      case 1: return u64{1} << (nextRand(rng) & 63);
+      case 2: return ~u64{0};
+      default: return nextRand(rng) & nextRand(rng); // sparse
+    }
+}
+
+/** The tables under test: the active one plus every resolvable level.
+ *  Duplicates are fine (scalar hosts test scalar repeatedly). */
+std::vector<const Ops *>
+tablesUnderTest()
+{
+    std::vector<const Ops *> tables = {&ops()};
+    for (Level l : {Level::Scalar, Level::SSE2, Level::AVX2, Level::NEON})
+        tables.push_back(&opsFor(l));
+    return tables;
+}
+
+TEST(SimdDispatch, LevelsResolveAndClamp)
+{
+    // The detected level's table reports itself, and every opsFor()
+    // result is something the host actually supports.
+    EXPECT_EQ(opsFor(detectedLevel()).level, detectedLevel());
+    EXPECT_EQ(opsFor(Level::Scalar).level, Level::Scalar);
+    for (Level l : {Level::SSE2, Level::AVX2, Level::NEON}) {
+        const Level got = opsFor(l).level;
+        EXPECT_TRUE(got == l || got == Level::Scalar ||
+                    (l == Level::AVX2 && got == Level::SSE2))
+            << "unexpected clamp " << levelName(l) << " -> "
+            << levelName(got);
+    }
+    for (const char *name :
+         {"scalar", "sse2", "avx2", "neon", "unknown"})
+        EXPECT_NE(levelName(opsFor(detectedLevel()).level), nullptr)
+            << name;
+}
+
+TEST(SimdDispatch, ScopedLevelNestsAndRestores)
+{
+    const Level base = activeLevel();
+    {
+        ScopedLevel outer(Level::Scalar);
+        EXPECT_EQ(activeLevel(), Level::Scalar);
+        EXPECT_EQ(ops().level, Level::Scalar);
+        {
+            ScopedLevel inner(detectedLevel());
+            EXPECT_EQ(activeLevel(), detectedLevel());
+        }
+        EXPECT_EQ(activeLevel(), Level::Scalar);
+    }
+    EXPECT_EQ(activeLevel(), base);
+}
+
+TEST(SimdKernels, MinActiveU64MatchesScalar)
+{
+    u64 rng = 0x123456789abcdef1ull;
+    for (size_t n = 0; n <= 257; ++n) {
+        std::vector<u8> running(n + 1);
+        std::vector<u64> values(n + 1);
+        for (int rep = 0; rep < 6; ++rep) {
+            for (size_t i = 0; i < n; ++i) {
+                running[i] = static_cast<u8>(nextRand(rng) & 1);
+                values[i] = skewedValue(rng);
+            }
+            const u64 expect =
+                scalar::minActiveU64(running.data(), values.data(), n);
+            for (const Ops *t : tablesUnderTest())
+                EXPECT_EQ(t->minActiveU64(running.data(), values.data(),
+                                          n),
+                          expect)
+                    << levelName(t->level) << " n=" << n;
+        }
+        // All-inactive at this width.
+        std::memset(running.data(), 0, n);
+        for (const Ops *t : tablesUnderTest())
+            EXPECT_EQ(t->minActiveU64(running.data(), values.data(), n),
+                      ~u64{0})
+                << levelName(t->level) << " all-inactive n=" << n;
+    }
+}
+
+TEST(SimdKernels, LeBitmap64MatchesScalar)
+{
+    u64 rng = 0x2222222222222221ull;
+    u64 values[64];
+    for (int rep = 0; rep < 400; ++rep) {
+        for (u64 &v : values)
+            v = skewedValue(rng);
+        const u64 threshold = skewedValue(rng);
+        const u64 expect = scalar::leBitmap64(values, threshold);
+        for (const Ops *t : tablesUnderTest())
+            EXPECT_EQ(t->leBitmap64(values, threshold), expect)
+                << levelName(t->level) << " rep=" << rep;
+    }
+}
+
+TEST(SimdKernels, MinMaskedU64MatchesScalar)
+{
+    u64 rng = 0x3333333333333331ull;
+    u64 values[64];
+    for (int rep = 0; rep < 400; ++rep) {
+        for (u64 &v : values)
+            v = skewedValue(rng);
+        const u64 mask = skewedMask(rng);
+        const u64 expect = scalar::minMaskedU64(values, mask);
+        for (const Ops *t : tablesUnderTest())
+            EXPECT_EQ(t->minMaskedU64(values, mask), expect)
+                << levelName(t->level) << " rep=" << rep;
+    }
+}
+
+TEST(SimdKernels, MaxBroadcastU64MatchesScalar)
+{
+    u64 rng = 0x4444444444444441ull;
+    u64 base[64];
+    for (int rep = 0; rep < 400; ++rep) {
+        for (u64 &v : base)
+            v = skewedValue(rng);
+        const u64 mask = skewedMask(rng);
+        const u64 t64 = skewedValue(rng);
+        u64 expect[64];
+        std::memcpy(expect, base, sizeof(base));
+        scalar::maxBroadcastU64(expect, mask, t64);
+        for (const Ops *t : tablesUnderTest()) {
+            u64 got[64];
+            std::memcpy(got, base, sizeof(base));
+            t->maxBroadcastU64(got, mask, t64);
+            EXPECT_EQ(std::memcmp(got, expect, sizeof(expect)), 0)
+                << levelName(t->level) << " rep=" << rep;
+        }
+    }
+}
+
+TEST(SimdKernels, WakeDecU8MatchesScalar)
+{
+    u64 rng = 0x5555555555555551ull;
+    u8 base[64];
+    for (int rep = 0; rep < 400; ++rep) {
+        const u64 mask = skewedMask(rng);
+        for (size_t i = 0; i < 64; ++i) {
+            // Masked lanes carry small nonzero counts (the engine's
+            // contract); some are 1 so the newly-zero path is hot.
+            const u64 r = nextRand(rng);
+            base[i] = static_cast<u8>(1 + (r & 3));
+        }
+        u8 expect[64];
+        std::memcpy(expect, base, sizeof(base));
+        const u64 expectZero = scalar::wakeDecU8(expect, mask);
+        for (const Ops *t : tablesUnderTest()) {
+            u8 got[64];
+            std::memcpy(got, base, sizeof(base));
+            EXPECT_EQ(t->wakeDecU8(got, mask), expectZero)
+                << levelName(t->level) << " rep=" << rep;
+            EXPECT_EQ(std::memcmp(got, expect, sizeof(expect)), 0)
+                << levelName(t->level) << " rep=" << rep;
+        }
+    }
+}
+
+TEST(SimdKernels, EqByteBitmapMatchesScalar)
+{
+    u64 rng = 0x6666666666666661ull;
+    for (size_t n = 1; n <= 257; ++n) {
+        std::vector<u8> bytes(n);
+        const size_t nw = (n + 63) / 64;
+        std::vector<u64> expect(nw), got(nw);
+        for (int rep = 0; rep < 4; ++rep) {
+            // Few distinct byte values so matches are dense.
+            const u8 needle = static_cast<u8>(nextRand(rng) & 3);
+            for (size_t i = 0; i < n; ++i)
+                bytes[i] = static_cast<u8>(nextRand(rng) & 3);
+            scalar::eqByteBitmap(bytes.data(), n, needle, expect.data());
+            for (const Ops *t : tablesUnderTest()) {
+                std::fill(got.begin(), got.end(), ~u64{0});
+                t->eqByteBitmap(bytes.data(), n, needle, got.data());
+                EXPECT_EQ(got, expect)
+                    << levelName(t->level) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, TestBitBitmapMatchesScalar)
+{
+    u64 rng = 0x7777777777777771ull;
+    for (size_t n = 1; n <= 257; ++n) {
+        std::vector<u8> bytes(n);
+        const size_t nw = (n + 63) / 64;
+        std::vector<u64> expect(nw), got(nw);
+        for (int rep = 0; rep < 4; ++rep) {
+            const u8 bit =
+                static_cast<u8>(u64{1} << (nextRand(rng) & 7));
+            for (size_t i = 0; i < n; ++i)
+                bytes[i] = static_cast<u8>(nextRand(rng));
+            scalar::testBitBitmap(bytes.data(), n, bit, expect.data());
+            for (const Ops *t : tablesUnderTest()) {
+                std::fill(got.begin(), got.end(), ~u64{0});
+                t->testBitBitmap(bytes.data(), n, bit, got.data());
+                EXPECT_EQ(got, expect)
+                    << levelName(t->level) << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, PopcountWordsMatchesScalar)
+{
+    u64 rng = 0x8888888888888881ull;
+    for (size_t n = 0; n <= 257; ++n) {
+        std::vector<u64> words(n + 1);
+        for (size_t i = 0; i < n; ++i)
+            words[i] = skewedMask(rng);
+        const u64 expect = scalar::popcountWords(words.data(), n);
+        for (const Ops *t : tablesUnderTest())
+            EXPECT_EQ(t->popcountWords(words.data(), n), expect)
+                << levelName(t->level) << " n=" << n;
+    }
+}
+
+/** Forced-scalar dispatch must actually hand out the scalar table —
+ *  the CI MSIM_SIMD=0 leg depends on this being the real thing. */
+TEST(SimdDispatch, ForcedScalarServesScalarEntries)
+{
+    ScopedLevel guard(Level::Scalar);
+    const Ops &t = ops();
+    EXPECT_EQ(t.level, Level::Scalar);
+    u64 values[64];
+    for (size_t i = 0; i < 64; ++i)
+        values[i] = i;
+    EXPECT_EQ(t.leBitmap64(values, 31),
+              scalar::leBitmap64(values, 31));
+}
+
+} // namespace
+} // namespace msim::simd

@@ -618,6 +618,29 @@ runBatchCase(const BatchCase &c)
                 break;
             }
         }
+        // The same batch under the opposite host-SIMD dispatch must be
+        // lane-for-lane identical: a divergence here localizes to a
+        // vector kernel, not to the lockstep machinery the sequential
+        // comparison above covers.  Flipping (rather than always
+        // forcing scalar) keeps the A/B meaningful when the harness
+        // itself runs under MSIM_SIMD=0 — the rerun then takes the
+        // native-dispatch side.  Vacuous only on scalar-only hosts.
+        if (out.divergence.empty()) {
+            const bool nativeFirst =
+                simd::activeLevel() != simd::Level::Scalar;
+            const auto guard = sim::withSimd(!nativeFirst);
+            const auto flipped =
+                sim::replayTraceBatch(trace, c.machines, c.chunk);
+            for (size_t i = 0; i < c.machines.size(); ++i) {
+                const std::string d =
+                    compareResults(batch[i], flipped[i]);
+                if (!d.empty()) {
+                    out.divergence = "simd-vs-scalar lane " +
+                                     std::to_string(i) + ": " + d;
+                    break;
+                }
+            }
+        }
     }
     out.violations = sink.violations();
     out.violationRecords = sink.records();

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_*.json against a committed baseline.
+"""Compare fresh BENCH_*.json captures against committed baselines.
 
-Every BENCH_*.json is a single flat JSON object of numeric (and a few
+Every BENCH_*.json is a single JSON object of numeric (and a few
 string) fields written by bench::writeBenchJson.  This tool diffs the
-numeric fields of a fresh capture against the committed baseline and
+numeric fields of each fresh capture against its committed baseline and
 fails when a throughput-like key regresses by more than the threshold,
 so CI catches perf-path regressions without regenerating the committed
 numbers on every run.
@@ -12,12 +12,18 @@ Keys are classified by direction: for names ending in per_second, _pps,
 or speedup_x, higher is better and only a *drop* beyond the threshold
 fails; for *_seconds keys, lower is better and only a *rise* beyond the
 threshold fails.  Other numeric keys are reported but never fail.
+Non-numeric members (e.g. the "meta" host-identification block) are
+ignored.
 
-    bench_compare.py [--threshold 0.2] [--keys k1,k2] FRESH BASELINE
+    bench_compare.py [--threshold 0.2] [--keys k1,k2] \\
+        FRESH BASELINE [FRESH BASELINE ...]
 
---keys restricts the failing comparison to the named keys (comma
-separated); everything else is informational.  Exit status: 0 ok,
-1 regression, 2 usage/IO error.
+Any even-length list of FRESH BASELINE pairs is accepted; each pair is
+compared independently and labelled by its "bench" field (falling back
+to the fresh file name).  On failure the summary is a per-benchmark
+table of every regressed key.  --keys restricts the failing comparison
+to the named keys (comma separated); everything else is informational.
+Exit status: 0 ok, 1 regression, 2 usage/IO error.
 """
 
 import argparse
@@ -49,21 +55,11 @@ def load(path):
     return doc
 
 
-def main():
-    ap = argparse.ArgumentParser(
-        description="Diff a fresh BENCH_*.json against a baseline.")
-    ap.add_argument("fresh", help="freshly generated BENCH_*.json")
-    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
-    ap.add_argument("--threshold", type=float, default=0.2,
-                    help="allowed relative regression (default 0.2)")
-    ap.add_argument("--keys", default="",
-                    help="comma-separated keys that may fail the "
-                         "comparison (default: every directional key)")
-    args = ap.parse_args()
-
-    fresh = load(args.fresh)
-    base = load(args.baseline)
-    gate_keys = {k for k in args.keys.split(",") if k} or None
+def compare_pair(fresh_path, base_path, threshold, gate_keys):
+    """Diff one fresh/baseline pair; returns (bench_name, failures)."""
+    fresh = load(fresh_path)
+    base = load(base_path)
+    name = fresh.get("bench") or base.get("bench") or fresh_path
 
     failures = []
     for key in sorted(set(fresh) & set(base)):
@@ -76,15 +72,46 @@ def main():
         delta = (fv - bv) / bv if bv else 0.0
         sign = direction(key)
         gated = sign != 0 and (gate_keys is None or key in gate_keys)
-        regressed = gated and (sign * delta) < -args.threshold
+        regressed = gated and (sign * delta) < -threshold
         marker = "FAIL" if regressed else ("    " if sign else "info")
-        print(f"{marker} {key}: {bv:g} -> {fv:g} ({delta:+.1%})")
+        print(f"{marker} [{name}] {key}: {bv:g} -> {fv:g} ({delta:+.1%})")
         if regressed:
-            failures.append(key)
+            failures.append((key, bv, fv, delta))
+    return name, failures
 
-    if failures:
-        print(f"bench_compare: {len(failures)} regression(s) beyond "
-              f"{args.threshold:.0%}: {', '.join(failures)}")
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json files against baselines.")
+    ap.add_argument("files", nargs="+", metavar="FRESH BASELINE",
+                    help="one or more fresh/baseline file pairs")
+    ap.add_argument("--threshold", type=float, default=0.2,
+                    help="allowed relative regression (default 0.2)")
+    ap.add_argument("--keys", default="",
+                    help="comma-separated keys that may fail the "
+                         "comparison (default: every directional key)")
+    args = ap.parse_args()
+
+    if len(args.files) % 2 != 0:
+        sys.exit("bench_compare: expected an even number of files "
+                 "(FRESH BASELINE pairs), got %d" % len(args.files))
+    gate_keys = {k for k in args.keys.split(",") if k} or None
+
+    table = []
+    for i in range(0, len(args.files), 2):
+        name, failures = compare_pair(args.files[i], args.files[i + 1],
+                                      args.threshold, gate_keys)
+        table.extend((name, key, bv, fv, delta)
+                     for key, bv, fv, delta in failures)
+
+    if table:
+        print(f"\nbench_compare: {len(table)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        wb = max(len(name) for name, *_ in table)
+        wk = max(len(key) for _, key, *_ in table)
+        for name, key, bv, fv, delta in table:
+            print(f"  {name:<{wb}}  {key:<{wk}}  "
+                  f"{bv:>12g} -> {fv:<12g} {delta:+.1%}")
         return 1
     print("bench_compare: ok")
     return 0
