@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Validation harness for the sampled replay estimator
+ * (sim::replayTraceSampled): regenerates the committed accuracy report
+ * and the djpeg L1-sweep throughput A/B, and fails the binary if either
+ * acceptance bound breaks.
+ *
+ * Accuracy leg: every paper benchmark x {base, VIS} replayed exactly
+ * and estimated at the default SampledParams; each cell's CPI error
+ * must stay within +/-2%.  The prefetch variants are *not* part of the
+ * validated envelope (djpeg VIS+PF sits near +3.7% at the default
+ * rate) — see DESIGN.md section 12.
+ *
+ * Throughput leg: the djpeg L1 sweep (7 sizes, 1KB..64KB), exact
+ * sequential replayTrace per point versus prepareSampled once plus
+ * replayTraceSampled per point, best-of-3 per side, replay time only
+ * (the trace is recorded before the timers start — both sides need it
+ * and recording throughput is tracked by BENCH_trace_replay.json).
+ * The sampled sweep must clear 10x the exact sweep's points/second.
+ *
+ * Writes BENCH_sampled.json (full mode) or BENCH_sampled_smoke.json
+ * (`--smoke`: an addition-kernel sweep, seconds long, plus a loose 5%
+ * accuracy sanity check). CI runs the smoke leg and diffs the fresh
+ * JSON against the committed baseline with tools/bench_compare.py.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "kernels/addition.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+#include "sim/sampled.hh"
+
+namespace
+{
+
+using namespace msim;
+using prog::Variant;
+
+std::vector<sim::MachineConfig>
+l1Sweep()
+{
+    std::vector<sim::MachineConfig> machines;
+    for (u32 size : {1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10,
+                     32u << 10, 64u << 10})
+        machines.push_back(sim::withL1Size(size));
+    return machines;
+}
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+/** JSON-safe key fragment: '-' becomes '_'. */
+std::string
+keyOf(const std::string &name)
+{
+    std::string key = name;
+    for (char &c : key)
+        if (c == '-')
+            c = '_';
+    return key;
+}
+
+struct SweepAb
+{
+    bench::SelfMeasurement exact;
+    bench::SelfMeasurement sampled;
+
+    double
+    speedup() const
+    {
+        return sampled.hostSeconds > 0.0
+                   ? exact.hostSeconds / sampled.hostSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Replay-only A/B over one trace and machine set: exact sequential
+ * replayTrace per point versus one prepareSampled plus sampled replay
+ * per point, best-of-`repeats` wall time per side.
+ */
+SweepAb
+runSweepAb(const prog::RecordedTrace &trace,
+           const std::vector<sim::MachineConfig> &machines, int repeats)
+{
+    SweepAb ab;
+    for (int rep = 0; rep < repeats; ++rep) {
+        bench::SelfMeasurement m;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto &mc : machines) {
+            const sim::RunResult r = sim::replayTrace(trace, mc);
+            m.simInstructions += r.tbInstrs;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+        m.jobs = machines.size();
+        if (rep == 0 || m.hostSeconds < ab.exact.hostSeconds)
+            ab.exact = m;
+    }
+    for (int rep = 0; rep < repeats; ++rep) {
+        bench::SelfMeasurement m;
+        const auto t0 = std::chrono::steady_clock::now();
+        const sim::SampledPlan plan = sim::prepareSampled(trace, {});
+        for (const auto &mc : machines) {
+            const sim::SampledResult r = sim::replayTraceSampled(plan, mc);
+            m.simInstructions += r.instructions;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+        m.jobs = machines.size();
+        if (rep == 0 || m.hostSeconds < ab.sampled.hostSeconds)
+            ab.sampled = m;
+    }
+    return ab;
+}
+
+struct AccuracyCell
+{
+    std::string key;     ///< JSON key fragment, e.g. "djpeg_vis"
+    double errPct = 0.0; ///< signed CPI error, percent
+    double measuredFrac = 0.0;
+};
+
+/** Exact vs sampled CPI for one benchmark x variant at the defaults. */
+AccuracyCell
+measureCell(const core::Benchmark &bench, Variant variant,
+            const sim::MachineConfig &m)
+{
+    const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+    const prog::RecordedTrace trace =
+        sim::recordTrace(gen, m.skewArrays, m.visFeatures);
+    const sim::RunResult full = sim::replayTrace(trace, m);
+    const double exactCpi = static_cast<double>(full.exec.cycles) /
+                            static_cast<double>(full.exec.retired);
+    const sim::SampledResult est = sim::replayTraceSampled(trace, m, {});
+
+    AccuracyCell cell;
+    cell.key = keyOf(bench.name) +
+               (variant == Variant::Scalar ? "_base" : "_vis");
+    cell.errPct = 100.0 * (est.cpi.mean - exactCpi) / exactCpi;
+    cell.measuredFrac = static_cast<double>(est.measuredInstructions) /
+                        static_cast<double>(est.instructions);
+    return cell;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+
+    if (smoke) {
+        // Accuracy sanity on a small kernel (loose 5% bound: the smoke
+        // trace is short, so per-chunk variance matters more than on
+        // the paper-sized runs the 2% claim is made for), then the
+        // sweep throughput number the CI gate tracks.  The geometry is
+        // sized so the sampled sweep takes a few hundred milliseconds:
+        // the committed smoke baseline has to be stable under the 20%
+        // comparison gate, and best-of-3 on a tens-of-milliseconds run
+        // is not.
+        const sim::Generator gen = [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 2048, 512, 3);
+        };
+        const prog::RecordedTrace trace =
+            sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+        const sim::RunResult full = sim::replayTrace(trace, base);
+        const double exactCpi = static_cast<double>(full.exec.cycles) /
+                                static_cast<double>(full.exec.retired);
+        const sim::SampledResult est =
+            sim::replayTraceSampled(trace, base, {});
+        const double errPct =
+            100.0 * (est.cpi.mean - exactCpi) / exactCpi;
+        if (est.exact || std::abs(errPct) > 5.0) {
+            std::fprintf(stderr,
+                         "[sampled] smoke accuracy FAILED: err %+.2f%% "
+                         "(exact fallback: %d)\n",
+                         errPct, est.exact ? 1 : 0);
+            return EXIT_FAILURE;
+        }
+
+        const SweepAb ab = runSweepAb(trace, l1Sweep(), 3);
+        bench::writeBenchJson(
+            "sampled_smoke", ab.sampled,
+            {{"exact_seconds", ab.exact.hostSeconds},
+             {"sampled_seconds", ab.sampled.hostSeconds},
+             {"speedup_x", ab.speedup()},
+             {"cpi_err_pct", errPct}});
+        std::printf("[sampled] smoke ok: err %+.2f%%, sweep speedup "
+                    "%.1fx (%.3fs -> %.3fs)\n",
+                    errPct, ab.speedup(), ab.exact.hostSeconds,
+                    ab.sampled.hostSeconds);
+        return 0;
+    }
+
+    // ---- accuracy report: 12 paper benchmarks x {base, VIS} ----------
+    std::fprintf(stderr, "[sampled] accuracy report, 24 cells at "
+                 "defaults {%llu, %llu, %llu}\n",
+                 static_cast<unsigned long long>(
+                     sim::SampledParams{}.chunkInstructions),
+                 static_cast<unsigned long long>(
+                     sim::SampledParams{}.intervalChunks),
+                 static_cast<unsigned long long>(
+                     sim::SampledParams{}.warmupMemOps));
+    std::map<std::string, double> extra;
+    double worst = 0.0, meanAbs = 0.0, fracSum = 0.0;
+    std::string worstKey;
+    int cells = 0;
+    bool accuracyOk = true;
+    for (const auto *bench : core::paperBenchmarks()) {
+        for (Variant v : {Variant::Scalar, Variant::Vis}) {
+            const AccuracyCell cell = measureCell(*bench, v, base);
+            extra["err_pct_" + cell.key] = cell.errPct;
+            meanAbs += std::abs(cell.errPct);
+            fracSum += cell.measuredFrac;
+            ++cells;
+            if (std::abs(cell.errPct) > std::abs(worst)) {
+                worst = cell.errPct;
+                worstKey = cell.key;
+            }
+            const bool ok = std::abs(cell.errPct) <= 2.0;
+            accuracyOk = accuracyOk && ok;
+            std::fprintf(stderr, "[sampled]   %-16s %+6.2f%%%s\n",
+                         cell.key.c_str(), cell.errPct,
+                         ok ? "" : "  ** OVER 2% **");
+        }
+    }
+    meanAbs /= cells;
+    fracSum /= cells;
+    extra["worst_err_pct"] = worst;
+    extra["mean_abs_err_pct"] = meanAbs;
+    extra["measured_frac"] = fracSum;
+
+    // ---- throughput: djpeg L1 sweep, exact vs sampled ---------------
+    constexpr int kRepeats = 3;
+    const auto machines = l1Sweep();
+    std::fprintf(stderr,
+                 "[sampled] djpeg L1 sweep, %zu points, 1 thread, "
+                 "best of %d\n",
+                 machines.size(), kRepeats);
+    const prog::RecordedTrace djpeg = sim::recordTrace(
+        generatorFor("djpeg", Variant::Vis), base.skewArrays,
+        base.visFeatures);
+    const SweepAb ab = runSweepAb(djpeg, machines, kRepeats);
+    extra["exact_seconds"] = ab.exact.hostSeconds;
+    extra["sampled_seconds"] = ab.sampled.hostSeconds;
+    extra["exact_pps"] = ab.exact.pointsPerSecond();
+    extra["speedup_x"] = ab.speedup();
+
+    bench::writeBenchJson("sampled", ab.sampled, extra);
+    std::printf("=== Sampled replay validation ===\n");
+    std::printf("accuracy: worst %+0.2f%% (%s), mean |err| %.2f%%, "
+                "measured %.1f%% of the trace\n",
+                worst, worstKey.c_str(), meanAbs, 100.0 * fracSum);
+    std::printf("djpeg L1 sweep: exact %.2fs (%.2f pts/s), sampled "
+                "%.2fs (%.2f pts/s), speedup %.1fx\n",
+                ab.exact.hostSeconds, ab.exact.pointsPerSecond(),
+                ab.sampled.hostSeconds, ab.sampled.pointsPerSecond(),
+                ab.speedup());
+
+    if (!accuracyOk) {
+        std::fprintf(stderr, "[sampled] FAILED: a cell exceeds 2%%\n");
+        return EXIT_FAILURE;
+    }
+    if (ab.speedup() < 10.0) {
+        std::fprintf(stderr,
+                     "[sampled] FAILED: sweep speedup %.1fx < 10x\n",
+                     ab.speedup());
+        return EXIT_FAILURE;
+    }
+    return 0;
+}

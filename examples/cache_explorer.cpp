@@ -5,7 +5,16 @@
  * execution time, miss rates, and where the time goes — the paper's
  * Section 4.1 methodology applied to any workload in the registry.
  *
- * Usage: cache_explorer [benchmark] [base|vis|pf]
+ * Usage: cache_explorer [benchmark] [base|vis|pf] [--sampled]
+ *                       [--json=PATH]
+ *
+ * By default every point is simulated exactly (bit-exact cycle
+ * counts).  --sampled opts into statistical sampling (sim/sampled.hh):
+ * each point reports an estimated cycle count with a 95% confidence
+ * half-width, at a fraction of the exact cost — the estimates are
+ * clearly printed as "est ± ci" and never replace the exact default.
+ * --json=PATH (requires --sampled) additionally writes the sweep as a
+ * results-JSON document with the error bars included.
  */
 
 #include <cstdio>
@@ -13,27 +22,31 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
 
-int
-main(int argc, char **argv)
+namespace
 {
-    using namespace msim;
-    using prog::Variant;
 
-    const std::string bench = argc > 1 ? argv[1] : "cjpeg";
-    Variant variant = Variant::Vis;
-    if (argc > 2) {
-        if (std::strcmp(argv[2], "base") == 0)
-            variant = Variant::Scalar;
-        else if (std::strcmp(argv[2], "pf") == 0)
-            variant = Variant::VisPrefetch;
-    }
+using namespace msim;
+using prog::Variant;
 
-    std::printf("cache exploration: %s (%s), 4-way out-of-order core\n\n",
-                bench.c_str(), prog::variantName(variant));
+/** The swept machine configs, L2 sweep first (order matters for base). */
+std::vector<core::Job>
+sweepJobs(const std::string &bench, Variant variant)
+{
+    std::vector<core::Job> jobs;
+    for (u32 size : {32u << 10, 128u << 10, 512u << 10, 2u << 20})
+        jobs.push_back({bench, variant, sim::withL2Size(size)});
+    for (u32 size : {1u << 10, 4u << 10, 16u << 10, 64u << 10})
+        jobs.push_back({bench, variant, sim::withL1Size(size)});
+    return jobs;
+}
 
+void
+runExact(const std::string &bench, Variant variant)
+{
     {
         std::printf("L2 size sweep (L1 fixed at 64K):\n");
         Table t({"L2", "cycles", "norm", "l1-miss%", "l2-miss%",
@@ -75,5 +88,99 @@ main(int argc, char **argv)
         }
         std::printf("%s\n", t.render().c_str());
     }
+}
+
+void
+addSampledRow(Table &t, const std::string &label,
+              const sim::SampledResult &r, double base)
+{
+    t.addRow({label,
+              std::to_string(static_cast<u64>(r.cycles.mean)) + " ± " +
+                  std::to_string(static_cast<u64>(r.cycles.ci95)),
+              Table::num(100.0 * r.cycles.mean / base),
+              Table::num(100.0 * r.loadL1MissRate.mean),
+              Table::num(100.0 * (r.fracMemL1Hit.mean +
+                                  r.fracMemL1Miss.mean)),
+              r.exact ? "exact" : "est"});
+}
+
+void
+runSampled(const std::string &bench, Variant variant,
+           const std::string &jsonPath)
+{
+    const std::vector<core::Job> jobs = sweepJobs(bench, variant);
+    const sim::SampledParams params;
+    const std::vector<sim::SampledResult> results =
+        core::runJobsSampled(jobs, params);
+
+    std::printf("L2 size sweep (L1 fixed at 64K), sampled estimates:\n");
+    Table t2({"L2", "cycles (est ± 95%ci)", "norm", "ld-l1-miss%",
+              "mem-stall%", "mode"});
+    const double base2 = results[0].cycles.mean;
+    for (size_t i = 0; i < 4; ++i)
+        addSampledRow(t2, jobs[i].machine.label, results[i], base2);
+    std::printf("%s\n", t2.render().c_str());
+
+    std::printf("L1 size sweep (L2 fixed at 128K), sampled estimates:\n");
+    Table t1({"L1", "cycles (est ± 95%ci)", "norm", "ld-l1-miss%",
+              "mem-stall%", "mode"});
+    const double base1 = results[4].cycles.mean;
+    for (size_t i = 4; i < 8; ++i)
+        addSampledRow(t1, jobs[i].machine.label, results[i], base1);
+    std::printf("%s\n", t1.render().c_str());
+
+    if (!jsonPath.empty()) {
+        std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", jsonPath.c_str());
+        core::writeSampledResultsJson(f, jobs, results, params);
+        std::fclose(f);
+        std::printf("results (with error bars): %s\n", jsonPath.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "cjpeg";
+    Variant variant = Variant::Vis;
+    bool sampled = false;
+    std::string jsonPath;
+
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--sampled")
+            sampled = true;
+        else if (arg.rfind("--json=", 0) == 0)
+            jsonPath = arg.substr(7);
+        else if (arg.rfind("--", 0) == 0)
+            fatal("unknown option %s (accepted: --sampled, --json=PATH)",
+                  arg.c_str());
+        else
+            positional.push_back(arg);
+    }
+    if (!positional.empty())
+        bench = positional[0];
+    if (positional.size() > 1) {
+        if (positional[1] == "base")
+            variant = Variant::Scalar;
+        else if (positional[1] == "pf")
+            variant = Variant::VisPrefetch;
+    }
+    if (!jsonPath.empty() && !sampled)
+        fatal("--json requires --sampled (exact sweeps print tables "
+              "only)");
+
+    std::printf("cache exploration: %s (%s), 4-way out-of-order core%s\n\n",
+                bench.c_str(), prog::variantName(variant),
+                sampled ? ", sampled" : "");
+
+    if (sampled)
+        runSampled(bench, variant, jsonPath);
+    else
+        runExact(bench, variant);
     return 0;
 }

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Strict environment-toggle parsing.
+ *
+ * Every MSIM_* boolean toggle goes through envBool so a typo fails
+ * loudly instead of silently taking the default path: a user who set
+ * MSIM_EVENT_SKIP=of believes skipping is off, and any measurement
+ * made under that belief is garbage.  Unset or empty means "use the
+ * default"; anything else must be one of the accepted spellings.
+ */
+
+#ifndef MSIM_COMMON_ENV_HH_
+#define MSIM_COMMON_ENV_HH_
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace msim
+{
+
+/**
+ * Parse boolean env toggle @p name: unset/empty returns @p def;
+ * 0|off|false and 1|on|true (case-insensitive) parse; anything else
+ * is fatal with the accepted spellings.
+ */
+inline bool
+envBool(const char *name, bool def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    std::string s(v);
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (s == "0" || s == "off" || s == "false")
+        return false;
+    if (s == "1" || s == "on" || s == "true")
+        return true;
+    fatal("%s=\"%s\" is not recognized; accepted values: "
+          "0|off|false, 1|on|true (or unset for the default)",
+          name, v);
+}
+
+} // namespace msim
+
+#endif // MSIM_COMMON_ENV_HH_

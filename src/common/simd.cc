@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "audit/invariants.hh"
+#include "common/logging.hh"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #define MSIM_SIMD_X86 1
@@ -721,7 +722,10 @@ envLevel()
             return clampToHost(Level::AVX2);
         if (s == "neon")
             return clampToHost(Level::NEON);
-        return detectedLevel();
+        // A typo here must not silently run the native path: the whole
+        // point of the toggle is a believed-forced dispatch tier.
+        fatal("MSIM_SIMD=\"%s\" is not recognized; accepted values: "
+              "0|off|scalar, 1|auto|native, sse2, avx2, neon", v);
     }();
     return level;
 }

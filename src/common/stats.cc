@@ -1,7 +1,22 @@
 #include "common/stats.hh"
 
+#include <cmath>
+
 namespace msim
 {
+
+double
+MeanVar::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+MeanVar::ci95() const
+{
+    return n_ > 1 ? 1.96 * stddev() / std::sqrt(static_cast<double>(n_))
+                  : 0.0;
+}
 
 double
 Distribution::mean() const

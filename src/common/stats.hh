@@ -69,6 +69,50 @@ class Distribution
 };
 
 /**
+ * Streaming mean/variance accumulator (Welford's algorithm) with a
+ * normal-theory 95% confidence half-width.  Used by sampled replay to
+ * turn per-chunk measurements into an estimate with error bars; the
+ * update order is fixed by the caller's sample order, so estimates are
+ * bit-reproducible for a given sample sequence.
+ */
+class MeanVar
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+    }
+
+    u64 samples() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+    /**
+     * Half-width of the normal-theory 95% confidence interval for the
+     * mean: 1.96 * stddev / sqrt(n).  0 with fewer than two samples
+     * (no spread information — the caller decides how to present it).
+     */
+    double ci95() const;
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
  * Tracks the time-weighted occupancy of a resource pool (e.g. how many
  * MSHRs are in use, integrated over cycles).
  */

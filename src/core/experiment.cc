@@ -7,7 +7,9 @@
 #include <mutex>
 #include <tuple>
 
+#include "common/env.hh"
 #include "common/thread_pool.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/session.hh"
 #include "obs/span.hh"
@@ -164,9 +166,8 @@ std::vector<RunResult>
 runJobs(const std::vector<Job> &jobs, unsigned threads, JobMode mode)
 {
     if (mode == JobMode::Auto) {
-        const char *live = std::getenv("MSIM_LIVE_JOBS");
-        mode = (live && *live && *live != '0') ? JobMode::Live
-                                               : JobMode::Recorded;
+        mode = envBool("MSIM_LIVE_JOBS", false) ? JobMode::Live
+                                                : JobMode::Recorded;
     }
 
     std::vector<RunResult> results(jobs.size());
@@ -240,6 +241,141 @@ runJobs(const std::vector<Job> &jobs, unsigned threads, JobMode mode)
         threads);
 
     return results;
+}
+
+namespace
+{
+
+/**
+ * One trace group's shared sampling state: the recorded trace plus the
+ * machine-independent plan, prepared by the first worker to need it.
+ * The plan references the trace, so both live for the whole batch.
+ */
+struct SampledEntry
+{
+    std::mutex m;
+    bool ready = false;
+    std::exception_ptr error;
+    prog::RecordedTrace trace;
+    sim::SampledPlan plan;
+};
+
+void
+ensurePrepared(const Job &job, SampledEntry &entry,
+               const sim::SampledParams &params)
+{
+    std::lock_guard lock(entry.m);
+    if (entry.error)
+        std::rethrow_exception(entry.error);
+    if (!entry.ready) {
+        try {
+            const Benchmark &bench = findBenchmark(job.benchmark);
+            const Variant variant = job.variant;
+            entry.trace = sim::recordTrace(
+                [&bench, variant](prog::TraceBuilder &tb) {
+                    bench.generate(tb, variant);
+                },
+                job.machine.skewArrays, job.machine.visFeatures);
+            entry.plan = sim::prepareSampled(entry.trace, params);
+            entry.ready = true;
+#if MSIM_OBS_ENABLED
+            obs::count(experimentMetrics().traces);
+            obs::observe(experimentMetrics().traceInsts,
+                         static_cast<double>(entry.trace.instCount()));
+#endif
+        } catch (...) {
+            entry.error = std::current_exception();
+            throw;
+        }
+    }
+}
+
+/** Write one {"mean": ..., "ci95": ...} estimate member. */
+void
+estField(obs::JsonWriter &w, std::string_view name,
+         const sim::Estimate &e)
+{
+    w.key(name);
+    w.beginObject();
+    w.field("mean", e.mean);
+    w.field("ci95", e.ci95);
+    w.endObject();
+}
+
+} // namespace
+
+std::vector<sim::SampledResult>
+runJobsSampled(const std::vector<Job> &jobs,
+               const sim::SampledParams &params, unsigned threads)
+{
+    // Same trace-key grouping as recorded mode: one capture and one
+    // plan per unique dynamic stream, shared by every sweep point.
+    std::map<TraceKey, std::unique_ptr<SampledEntry>> groups;
+    std::vector<SampledEntry *> entryOf(jobs.size(), nullptr);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto &slot = groups[keyOf(jobs[i])];
+        if (!slot)
+            slot = std::make_unique<SampledEntry>();
+        entryOf[i] = slot.get();
+    }
+
+    std::vector<sim::SampledResult> results(jobs.size());
+    globalPool().parallelFor(
+        jobs.size(),
+        [&](size_t i) {
+            const Job &job = jobs[i];
+#if MSIM_OBS_ENABLED
+            obs::ScopedRunLabel runLabel(labelOf(job));
+            obs::count(experimentMetrics().jobs);
+#endif
+            ensurePrepared(job, *entryOf[i], params);
+            results[i] =
+                sim::replayTraceSampled(entryOf[i]->plan, job.machine);
+        },
+        threads);
+    return results;
+}
+
+void
+writeSampledResultsJson(std::FILE *f, const std::vector<Job> &jobs,
+                        const std::vector<sim::SampledResult> &results,
+                        const sim::SampledParams &params)
+{
+    obs::JsonWriter w(f);
+    w.beginObject();
+    w.field("schema_version", obs::kSchemaVersion);
+    w.field("mode", "sampled");
+    w.key("params");
+    w.beginObject();
+    w.field("chunk_instructions", params.chunkInstructions);
+    w.field("interval_chunks", params.intervalChunks);
+    w.field("warmup_mem_ops", params.warmupMemOps);
+    w.endObject();
+    w.key("results");
+    w.beginArray();
+    for (size_t i = 0; i < results.size() && i < jobs.size(); ++i) {
+        const sim::SampledResult &r = results[i];
+        w.beginObject();
+        w.field("benchmark", jobs[i].benchmark);
+        w.field("variant", prog::variantName(jobs[i].variant));
+        w.field("machine", jobs[i].machine.label);
+        w.field("exact", r.exact);
+        w.field("instructions", r.instructions);
+        w.field("measured_instructions", r.measuredInstructions);
+        w.field("measured_chunks", r.measuredChunks);
+        estField(w, "cpi", r.cpi);
+        estField(w, "cycles", r.cycles);
+        estField(w, "frac_busy", r.fracBusy);
+        estField(w, "frac_fu_stall", r.fracFuStall);
+        estField(w, "frac_mem_l1_hit", r.fracMemL1Hit);
+        estField(w, "frac_mem_l1_miss", r.fracMemL1Miss);
+        estField(w, "mispredict_rate", r.mispredictRate);
+        estField(w, "load_l1_miss_rate", r.loadL1MissRate);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    w.newline();
 }
 
 } // namespace msim::core

@@ -18,8 +18,11 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
 #include "core/registry.hh"
 #include "sim/runner.hh"
+#include "sim/sampled.hh"
 
 namespace msim::core
 {
@@ -55,6 +58,31 @@ RunResult runBenchmark(const std::string &name, Variant variant,
 std::vector<RunResult> runJobs(const std::vector<Job> &jobs,
                                unsigned threads = 0,
                                JobMode mode = JobMode::Auto);
+
+/**
+ * Statistically sampled variant of runJobs (sim/sampled.hh): each
+ * unique trace is recorded once, its machine-independent SampledPlan
+ * is prepared once, and every machine config in the group replays the
+ * plan's measured chunks only.  Estimates carry 95% confidence
+ * half-widths; jobs the sampler cannot drive fall back to exact replay
+ * per result (SampledResult::exact).
+ *
+ * Strictly opt-in: this is a separate entry point — runJobs and every
+ * default path stay bit-exact, and nothing routes here implicitly
+ * (drivers expose it behind an explicit --sampled flag).
+ */
+std::vector<sim::SampledResult> runJobsSampled(
+    const std::vector<Job> &jobs,
+    const sim::SampledParams &params = {}, unsigned threads = 0);
+
+/**
+ * Serialize a sampled batch as one results-JSON document (error bars
+ * included: every estimate is a {"mean", "ci95"} pair, and exact
+ * fallbacks are flagged per result).
+ */
+void writeSampledResultsJson(std::FILE *f, const std::vector<Job> &jobs,
+                             const std::vector<sim::SampledResult> &results,
+                             const sim::SampledParams &params);
 
 } // namespace msim::core
 

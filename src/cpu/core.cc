@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "cpu/ref_replay_engine.hh"
 #include "cpu/replay_engine.hh"
@@ -21,10 +22,7 @@ constexpr unsigned kFwdRingSize = 64;
 bool
 CoreConfig::defaultEventSkip()
 {
-    static const bool on = [] {
-        const char *v = std::getenv("MSIM_EVENT_SKIP");
-        return !(v && *v && *v == '0');
-    }();
+    static const bool on = envBool("MSIM_EVENT_SKIP", true);
     return on;
 }
 

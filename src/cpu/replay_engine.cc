@@ -415,8 +415,15 @@ ReplayEngine::tryDispatch()
         bool taken = false;
         if (s.op == Op::Branch) {
             taken = (flags_[fetchPos_] & isa::kFlagTaken) != 0;
-            const bool mispredicted = !predictor_.predictAndUpdate(
-                branchPcs_[branchPos_++], taken);
+            // Sampled replay binds a mid-trace slice and supplies the
+            // whole-trace prediction sequence through the shared
+            // column, rebased to the slice's first branch; without a
+            // column this path trains a private predictor from cold.
+            const bool mispredicted =
+                mispredictCol_ != nullptr
+                    ? mispredictCol_[branchPos_++] != 0
+                    : !predictor_.predictAndUpdate(
+                          branchPcs_[branchPos_++], taken);
             ++stats_.branches;
             ++specBranches_;
             if (mispredicted) {
@@ -736,6 +743,26 @@ ReplayEngine::bind(const prog::RecordedTrace &trace)
     instCount_ = trace.instCount();
 
     storeDone_.assign(trace.numStores(), kNever);
+}
+
+void
+ReplayEngine::warmMemory(const prog::RecordedTrace &trace, u64 memBegin,
+                         u64 memEnd, mem::Hierarchy &memory)
+{
+    // prog's memory-lane kinds and mem's request kinds agree on the
+    // three core-issued values, so the cast below is the mapping.
+    static_assert(prog::kMemLoad ==
+                  static_cast<u8>(mem::AccessKind::Load));
+    static_assert(prog::kMemStore ==
+                  static_cast<u8>(mem::AccessKind::Store));
+    static_assert(prog::kMemPrefetch ==
+                  static_cast<u8>(mem::AccessKind::Prefetch));
+    const Addr *addrs = trace.memAddrCol().data();
+    const u8 *kinds = trace.memKindCol().data();
+    memEnd = std::min<u64>(memEnd, trace.memAddrCol().size());
+    for (u64 m = memBegin; m < memEnd; ++m)
+        memory.warmAccess(addrs[m],
+                          static_cast<mem::AccessKind>(kinds[m]));
 }
 
 bool

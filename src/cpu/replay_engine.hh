@@ -150,6 +150,16 @@ class ReplayEngine
     void setSharedMispredicts(const u8 *col) { mispredictCol_ = col; }
 
     /**
+     * Functional warming for sampled replay: stream entries
+     * [memBegin, memEnd) of @p trace's dense memory lane into
+     * @p memory as warm accesses (tag/LRU/dirty updates only — see
+     * Level::warmLine).  Static because it touches no engine state:
+     * warming happens between engines, on the shared hierarchy.
+     */
+    static void warmMemory(const prog::RecordedTrace &trace, u64 memBegin,
+                           u64 memEnd, mem::Hierarchy &memory);
+
+    /**
      * Run whole cycles until the fetch cursor reaches @p fetchLimit (or
      * the trace is complete).  A pause happens only between cycles, so
      * resuming continues bit-identically to an uninterrupted run; with

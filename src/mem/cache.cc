@@ -336,6 +336,79 @@ Cache::insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp)
 #endif
 }
 
+void
+Cache::warmInsert(Addr line, bool dirty)
+{
+    const size_t base = static_cast<size_t>(line & setMask_) * assoc_;
+    size_t victim = base;
+    for (size_t s = base; s < base + assoc_; ++s) {
+        if (tags_[s] == kNoLine) {
+            victim = s;
+            break;
+        }
+        if (lastUse_[s] < lastUse_[victim])
+            victim = s;
+    }
+    if (tags_[victim] != kNoLine && dirty_[victim])
+        next.warmLine(tags_[victim], AccessKind::Writeback);
+    tags_[victim] = line;
+    dirty_[victim] = dirty;
+    lastUse_[victim] = useStamp;
+#if MSIM_AUDIT_ENABLED
+    auditTagSet(line);
+#endif
+}
+
+void
+Cache::warmLine(Addr line, AccessKind kind)
+{
+    // Mirror of accessImpl's tag-state effects with no ports, MSHRs,
+    // latencies, or counters: what a request does to tags, LRU order
+    // and dirty bits is independent of when it happens, so functional
+    // warming replays exactly those updates.  Prefetches always
+    // install (a timed prefetch may be dropped by resource pressure,
+    // which warming cannot see) — that is the documented approximation
+    // of sampled replay, not a divergence bug.
+    if (kind == AccessKind::Writeback) {
+        const s64 slot = lookup(line, ++useStamp);
+        if (slot >= 0)
+            dirty_[slot] = 1;
+        else
+            next.warmLine(line, AccessKind::Writeback);
+        return;
+    }
+
+    if (const s64 slot = lookup(line, ++useStamp); slot >= 0) {
+        if (kind == AccessKind::Store)
+            dirty_[slot] = 1;
+        return;
+    }
+
+    next.warmLine(line, kind);
+    warmInsert(line, kind == AccessKind::Store);
+}
+
+void
+Cache::quiesce()
+{
+    std::fill(portFree.begin(), portFree.end(), 0);
+    std::fill(mshrLine_.begin(), mshrLine_.end(), kNoLine);
+    std::fill(mshrFill_.begin(), mshrFill_.end(), 0);
+    std::fill(mshrCombines_.begin(), mshrCombines_.end(), 0);
+    std::fill(mshrIsLoad_.begin(), mshrIsLoad_.end(), 0);
+    std::fill(mshrLevel_.begin(), mshrLevel_.end(), HitLevel::L1);
+    std::fill(sortedFill_.begin(), sortedFill_.end(), 0);
+    sortedLoadFill_.clear();
+    std::fill(mapKey_.begin(), mapKey_.end(), kNoLine);
+    std::fill(mapVal_.begin(), mapVal_.end(), kNoMshr);
+    dupUntil_ = 0;
+    inputBlockedUntil = 0;
+#if MSIM_AUDIT_ENABLED
+    auditMshrState();
+    auditPorts();
+#endif
+}
+
 AccessResult
 Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
 {

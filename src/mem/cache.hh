@@ -61,6 +61,14 @@ class Level
     /** Issue a whole-line request at time @p t. */
     virtual AccessResult accessLine(Addr line_addr, AccessKind kind,
                                     Cycle t) = 0;
+
+    /**
+     * Functional warming: advance tag/LRU/dirty state exactly as a
+     * timed request would move it, with no ports, MSHRs, latencies, or
+     * statistics.  Used by the sampled-replay fast-forward (DESIGN.md
+     * §12).  Default no-op: DRAM holds no state worth warming.
+     */
+    virtual void warmLine(Addr /*line_addr*/, AccessKind /*kind*/) {}
 };
 
 /**
@@ -151,6 +159,22 @@ class Cache final : public CacheLevel
         return accessImpl(line_addr, kind, t);
     }
 
+    /** Byte-granularity functional warming from the core side. */
+    void warm(Addr addr, AccessKind kind) { warmLine(addr >> lineShift_, kind); }
+
+    void warmLine(Addr line_addr, AccessKind kind) override;
+
+    /**
+     * Reset every timing-coupled structure (ports, MSHRs, the
+     * fill-time mirrors, the blocked-input watermark) to its
+     * just-constructed state while keeping the tag store, LRU stamps,
+     * dirty bits and all statistics.  Sampled replay calls this between
+     * measured chunks: each chunk runs a fresh engine whose clock
+     * restarts at cycle 0, so timestamps left over from the previous
+     * chunk's future would otherwise read as busy resources.
+     */
+    void quiesce();
+
     Cycle
     nextFillTime(Cycle t) const override
     {
@@ -195,6 +219,9 @@ class Cache final : public CacheLevel
 
     /** Insert @p line, writing back a dirty victim at @p fill_time. */
     void insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp);
+
+    /** insert() for the warming path: victim writebacks warm downward. */
+    void warmInsert(Addr line, bool dirty);
 
     // Sorted-array bookkeeping (all arrays stay tiny: <= numMshrs and
     // <= ports entries, so shifting beats any tree).

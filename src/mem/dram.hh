@@ -12,6 +12,7 @@
 #ifndef MSIM_MEM_DRAM_HH_
 #define MSIM_MEM_DRAM_HH_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/stats.hh"
@@ -34,6 +35,13 @@ class Dram : public Level
 
     u64 reads() const { return reads_.value(); }
     u64 writes() const { return writes_.value(); }
+
+    /** Forget bank-busy times (see Cache::quiesce); keeps counters. */
+    void
+    quiesce()
+    {
+        std::fill(bankFree.begin(), bankFree.end(), Cycle{0});
+    }
 
   private:
     DramConfig cfg;

@@ -85,6 +85,30 @@ class Hierarchy : public MemoryPort
         return std::min(l1().nextFillTime(t), l2().nextFillTime(t));
     }
 
+    /**
+     * Whether this hierarchy supports the sampled-replay warm/quiesce
+     * protocol.  Only the fast cache model does; the reference model is
+     * kept verbatim from the original linear-scan implementation and
+     * deliberately grows no new entry points.
+     */
+    bool supportsWarmup() const { return l1Fast_ != nullptr; }
+
+    /** Functional warming of the whole stack; @p addr is a byte address. */
+    void
+    warmAccess(Addr addr, AccessKind kind)
+    {
+        l1Fast_->warm(addr, kind);
+    }
+
+    /** Reset all timing-coupled state between measured sample chunks. */
+    void
+    quiesce()
+    {
+        l1Fast_->quiesce();
+        l2Fast_->quiesce();
+        dram_->quiesce();
+    }
+
   private:
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<Cache> l2Fast_;

@@ -136,6 +136,11 @@ writeNdjson(std::FILE *f, const SessionConfig &cfg,
         w.field("run_id", tl->id());
         w.field("label", tl->label());
         w.field("finished", tl->finished());
+        // Sampled-replay runs: cycles/stall columns are statistical
+        // estimates, not exact counts; consumers must not diff them
+        // against bit-exact captures.
+        if (tl->approximate())
+            w.field("approximate", true);
         w.field("cycles", s.cycles);
         w.field("instructions", s.instructions);
         w.field("busy", s.busy);
@@ -294,7 +299,10 @@ writeTrace(std::FILE *f,
     // occupancies are instantaneous at the sample cycle.
     for (const auto &tl : timelines) {
         const u32 pid = tracePid(*tl);
-        traceMeta(w, "process_name", pid, 0, "sim " + tl->label());
+        // The "~" prefix flags estimated (sampled-replay) trajectories
+        // in trace viewers, mirroring the run record's approximate flag.
+        traceMeta(w, "process_name", pid, 0,
+                  (tl->approximate() ? "sim ~" : "sim ") + tl->label());
 
         // After wraparound the row preceding the oldest retained one is
         // gone, so start differencing from the second retained row.

@@ -27,6 +27,22 @@ void
 TimelineRecorder::finish(const RunSummary &summary)
 {
     summary_ = summary;
+    // Flush the final partial sampling interval: a run whose length is
+    // not a multiple of the period would otherwise lose its tail, and
+    // the cumulative retired/stall columns would stop short of the run
+    // totals.  The flush row lands at the run's final cycle with the
+    // end-of-run cumulative counters; occupancies are zero because the
+    // machine has drained.  Guarded so a second finish() (idempotent,
+    // last summary wins) does not append a duplicate, and so a run
+    // that happened to end exactly on a sample boundary is untouched.
+    const bool haveTail =
+        count_ == 0 ||
+        rows_[(count_ - 1) % rows_.size()].cycle < summary.cycles;
+    if (!finished_ && haveTail && summary.cycles > 0) {
+        sample(summary.cycles, summary.instructions, summary.busy,
+               summary.fuStall, summary.memL1Hit, summary.memL1Miss,
+               /*window=*/0, /*memq=*/0);
+    }
     finished_ = true;
 }
 

@@ -117,6 +117,15 @@ class TimelineRecorder
     bool finished() const { return finished_; }
     const RunSummary &summary() const { return summary_; }
 
+    /**
+     * Flag this timeline's rows and summary as statistical estimates
+     * rather than exact cycle counts (sampled replay sets this; the
+     * exporters mark the records so downstream consumers never mistake
+     * an estimated trajectory for a bit-exact one).
+     */
+    void setApproximate(bool a) { approximate_ = a; }
+    bool approximate() const { return approximate_; }
+
     /** Rows ever sampled (including since-overwritten ones). */
     u64 totalSamples() const { return count_; }
     /** Rows lost to ring wraparound. */
@@ -143,6 +152,7 @@ class TimelineRecorder
     const OccupancyTracker *l2_ = nullptr;
     RunSummary summary_;
     bool finished_ = false;
+    bool approximate_ = false;
 };
 
 } // namespace msim::obs

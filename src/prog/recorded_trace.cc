@@ -18,41 +18,109 @@ RecordedTrace::byteSize() const
            branchPc_.size() * sizeof(u32);
 }
 
-RecordedTrace
-RecordedTrace::prefix(u64 n) const
+RecordedTrace::Mark
+RecordedTrace::advance(Mark from, u64 toInst) const
 {
-    n = std::min(n, instCount());
+    toInst = std::min(toInst, instCount());
+    for (u64 i = from.inst; i < toInst; ++i) {
+        from.srcs += numSrcs_[i];
+        const auto op = static_cast<Op>(op_[i]);
+        if (op == Op::Load || op == Op::Store || op == Op::Prefetch) {
+            if (memKind_[from.memOps] == kMemStore)
+                ++from.stores;
+            ++from.memOps;
+        } else if (op == Op::Branch) {
+            ++from.branches;
+        }
+    }
+    from.inst = toInst;
+    return from;
+}
+
+RecordedTrace
+RecordedTrace::slice(const Mark &begin, u64 end) const
+{
+    end = std::min(end, instCount());
+    const u64 b = std::min(begin.inst, end);
+    const u64 n = end - b;
     RecordedTrace p;
-    p.op_.assign(op_.begin(), op_.begin() + n);
-    p.flags_.assign(flags_.begin(), flags_.begin() + n);
-    p.numSrcs_.assign(numSrcs_.begin(), numSrcs_.begin() + n);
-    p.dst_.assign(dst_.begin(), dst_.begin() + n);
+    p.op_.assign(op_.begin() + b, op_.begin() + end);
+    p.flags_.assign(flags_.begin() + b, flags_.begin() + end);
+    p.numSrcs_.assign(numSrcs_.begin() + b, numSrcs_.begin() + end);
+    p.dst_.assign(dst_.begin() + b, dst_.begin() + end);
 
     // One pass over the kept instructions rebuilds the side-stream
     // lengths and the derived totals the recorder maintained online.
+    // A mid-trace slice's sources can name values produced before the
+    // boundary, so maxValId_ covers the source column too — the replay
+    // cores size their readiness tables from it.
     u64 srcs = 0, memOps = 0, branches = 0;
     for (u64 i = 0; i < n; ++i) {
-        srcs += numSrcs_[i];
-        const auto op = static_cast<Op>(op_[i]);
+        const unsigned ns = numSrcs_[b + i];
+        for (unsigned s = 0; s < ns; ++s)
+            p.maxValId_ = std::max(p.maxValId_, srcs_[begin.srcs + srcs + s]);
+        srcs += ns;
+        const auto op = static_cast<Op>(op_[b + i]);
         if (op == Op::Load || op == Op::Store || op == Op::Prefetch)
             ++memOps;
         else if (op == Op::Branch)
             ++branches;
-        ++p.opCount_[op_[i]];
-        p.maxValId_ = std::max(p.maxValId_, dst_[i]);
+        ++p.opCount_[op_[b + i]];
+        p.maxValId_ = std::max(p.maxValId_, dst_[b + i]);
     }
-    p.srcs_.assign(srcs_.begin(), srcs_.begin() + srcs);
-    p.srcProd_.assign(srcProd_.begin(), srcProd_.begin() + srcs);
-    p.memAddr_.assign(memAddr_.begin(), memAddr_.begin() + memOps);
-    p.memSize_.assign(memSize_.begin(), memSize_.begin() + memOps);
-    p.memKind_.assign(memKind_.begin(), memKind_.begin() + memOps);
-    p.memAux_.assign(memAux_.begin(), memAux_.begin() + memOps);
-    p.branchPc_.assign(branchPc_.begin(), branchPc_.begin() + branches);
+
+    p.srcs_.assign(srcs_.begin() + begin.srcs,
+                   srcs_.begin() + begin.srcs + srcs);
+    p.srcProd_.resize(srcs);
+    for (u64 s = 0; s < srcs; ++s) {
+        const u32 prod = srcProd_[begin.srcs + s];
+        p.srcProd_[s] = (prod == kNoProducer || prod < b)
+                            ? kNoProducer
+                            : prod - static_cast<u32>(b);
+    }
+
+    p.memAddr_.assign(memAddr_.begin() + begin.memOps,
+                      memAddr_.begin() + begin.memOps + memOps);
+    p.memSize_.assign(memSize_.begin() + begin.memOps,
+                      memSize_.begin() + begin.memOps + memOps);
+    p.memKind_.assign(memKind_.begin() + begin.memOps,
+                      memKind_.begin() + begin.memOps + memOps);
+    p.memAux_.resize(memOps);
     for (u64 m = 0; m < memOps; ++m) {
-        if (memKind_[m] == kMemStore)
+        const u32 aux = memAux_[begin.memOps + m];
+        switch (memKind_[begin.memOps + m]) {
+          case kMemStore:
+            // Store ordinals are assigned in program order, so every
+            // kept store's ordinal is >= begin.stores by construction.
+            p.memAux_[m] = aux - begin.stores;
             ++p.numStores_;
+            break;
+          case kMemLoad:
+            p.memAux_[m] = (aux == kNoFwdStore || aux < begin.stores)
+                               ? kNoFwdStore
+                               : aux - begin.stores;
+            break;
+          default:
+            p.memAux_[m] = kNoFwdStore;
+            break;
+        }
     }
+
+    p.branchPc_.assign(branchPc_.begin() + begin.branches,
+                       branchPc_.begin() + begin.branches + branches);
     return p;
+}
+
+RecordedTrace
+RecordedTrace::slice(u64 begin, u64 end) const
+{
+    return slice(advance(Mark{}, begin), end);
+}
+
+RecordedTrace
+RecordedTrace::prefix(u64 n) const
+{
+    return slice(Mark{}, std::min(n, instCount()));
 }
 
 void

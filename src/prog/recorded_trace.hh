@@ -98,14 +98,52 @@ class RecordedTrace
     size_t byteSize() const;
 
     /**
-     * The first @p n dynamic instructions as a self-contained trace
-     * (clamped to instCount()).  Every cross-column reference points
-     * backwards — source producers, store ordinals, a load's forwarding
-     * candidate — so truncating all columns at the instruction boundary
-     * and recomputing the totals yields a trace indistinguishable from
-     * one recorded by stopping the generator after @p n instructions.
-     * Used by the audit fuzzer to shrink a diverging replay to a
-     * minimal trace prefix.
+     * Running side-stream offsets at an instruction boundary.  The
+     * per-instruction columns are indexed directly, but the CSR source
+     * stream, the memory lane, and the branch stream advance at
+     * data-dependent rates; a Mark pins all of them to one boundary so
+     * repeated slicing (the sampler walks a trace chunk by chunk) costs
+     * O(chunk) instead of O(boundary) per slice.
+     */
+    struct Mark
+    {
+        u64 inst = 0;     ///< instruction index
+        u64 srcs = 0;     ///< CSR source-stream offset
+        u64 memOps = 0;   ///< memory-lane offset
+        u64 branches = 0; ///< branch-stream offset
+        u32 stores = 0;   ///< store ordinals consumed so far
+    };
+
+    /** Walk @p from forward to instruction @p toInst (clamped). */
+    Mark advance(Mark from, u64 toInst) const;
+
+    /**
+     * Instructions [begin.inst, end) as a self-contained trace.
+     *
+     * Backward references that cross the lower boundary are rebased or
+     * clamped so the result is indistinguishable from a trace whose
+     * recording started at the boundary with no prior state: source
+     * producer indices shift down by begin.inst (producers before the
+     * slice become kNoProducer — a pre-run value, always ready), store
+     * ordinals shift down by begin.stores, and a load whose forwarding
+     * candidate predates the slice gets kNoFwdStore (the candidate's
+     * data is not observable in the slice; without the clamp its old
+     * ordinal would alias a different in-slice store).  @p end clamps
+     * to instCount(); an empty range yields an empty trace.
+     */
+    RecordedTrace slice(const Mark &begin, u64 end) const;
+
+    /** Convenience overload: computes the Mark by scanning from 0. */
+    RecordedTrace slice(u64 begin, u64 end) const;
+
+    /**
+     * The first @p n dynamic instructions as a self-contained trace —
+     * slice(0, n), with both n = 0 (empty trace) and n >= instCount()
+     * (full copy) well-defined.  In a prefix every cross-column
+     * reference already points backwards into the kept range, so no
+     * clamping fires.  Used by the audit fuzzer to shrink a diverging
+     * replay to a minimal trace prefix, and by the sampled-replay
+     * chunking.
      */
     RecordedTrace prefix(u64 n) const;
 

@@ -1,0 +1,330 @@
+#include "sim/sampled.hh"
+
+#include <algorithm>
+
+#include "common/stats.hh"
+#include "cpu/branch_predictor.hh"
+#include "cpu/core.hh"
+#include "cpu/replay_engine.hh"
+#include "isa/inst.hh"
+#include "mem/hierarchy.hh"
+#include "obs/metrics.hh"
+#include "obs/session.hh"
+#include "obs/span.hh"
+#include "obs/timeline.hh"
+
+namespace msim::sim
+{
+
+namespace
+{
+
+#if MSIM_OBS_ENABLED
+
+struct SampledMetrics
+{
+    obs::MetricId runs = obs::metricId("sampled.runs",
+                                       obs::MetricKind::Counter);
+    obs::MetricId fallbacks = obs::metricId("sampled.exact_fallbacks",
+                                            obs::MetricKind::Counter);
+    obs::MetricId chunks = obs::metricId("sampled.measured_chunks",
+                                         obs::MetricKind::Counter);
+    obs::MetricId cpiCiRel = obs::metricId("sampled.cpi_ci95_rel",
+                                           obs::MetricKind::Dist);
+    obs::MetricId measuredFrac = obs::metricId("sampled.measured_frac",
+                                               obs::MetricKind::Dist);
+};
+
+const SampledMetrics &
+sampledMetrics()
+{
+    static const SampledMetrics m;
+    return m;
+}
+
+/** Approximate per-run timeline (see TimelineRecorder::setApproximate). */
+obs::TimelineRecorder *
+newSampledTimeline(const MachineConfig &machine)
+{
+    obs::Session *s = obs::Session::active();
+    if (!s)
+        return nullptr;
+    std::string label = obs::runLabel();
+    if (label.empty())
+        label = machine.label;
+    else
+        label += "@" + machine.label;
+    obs::TimelineRecorder *tl = s->newTimeline(std::move(label));
+    if (tl)
+        tl->setApproximate(true);
+    return tl;
+}
+
+#endif // MSIM_OBS_ENABLED
+
+/** Fill every estimate from a complete exact result (ci95 stays 0). */
+void
+fillFromExact(SampledResult &r, const RunResult &full)
+{
+    const cpu::ExecStats &e = full.exec;
+    const double instr = static_cast<double>(e.retired);
+    r.cpi.mean = e.retired
+                     ? static_cast<double>(e.cycles) / instr
+                     : 0.0;
+    r.cycles.mean = static_cast<double>(e.cycles);
+    r.fracBusy.mean = e.fracBusy();
+    r.fracFuStall.mean = e.fracFuStall();
+    r.fracMemL1Hit.mean = e.fracMemL1Hit();
+    r.fracMemL1Miss.mean = e.fracMemL1Miss();
+    r.mispredictRate.mean = e.mispredictRate();
+    const u64 loads = e.loadsL1 + e.loadsL2 + e.loadsMem;
+    r.loadL1MissRate.mean =
+        loads ? static_cast<double>(e.loadsL2 + e.loadsMem) / loads : 0.0;
+    r.measuredInstructions = e.retired;
+}
+
+Estimate
+estimateOf(const MeanVar &mv)
+{
+    return {mv.mean(), mv.ci95()};
+}
+
+} // namespace
+
+SampledPlan
+prepareSampled(const prog::RecordedTrace &trace, const SampledParams &params)
+{
+    SampledPlan plan;
+    plan.trace_ = &trace;
+    plan.params_ = params;
+
+    // Degenerate knobs clamp to the smallest meaningful value rather
+    // than fatal(): the fuzzer explores the parameter space freely.
+    const u64 chunk = std::max<u64>(1, params.chunkInstructions);
+    const u64 interval = std::max<u64>(1, params.intervalChunks);
+    const u64 n = trace.instCount();
+
+    // Branch outcomes by dynamic ordinal.  Scalar extraction: this runs
+    // once per plan, and keeping it off the SIMD dispatch table makes
+    // the plan trivially invariant across MSIM_SIMD levels.
+    const u8 *ops = trace.opCol().data();
+    const u8 *flags = trace.flagsCol().data();
+    plan.branchTaken_.reserve(trace.branchPcCol().size());
+    for (u64 i = 0; i < n; ++i)
+        if (static_cast<isa::Op>(ops[i]) == isa::Op::Branch)
+            plan.branchTaken_.push_back(
+                (flags[i] & isa::kFlagTaken) ? 1 : 0);
+
+    // Stratified systematic sampling: one measured chunk per interval
+    // of `interval` chunks, at a per-interval pseudo-random offset.
+    // Measuring a fixed slot (always the interval's first chunk)
+    // aliases badly with the kernels' periodic phase structure —
+    // per-scanline and per-macroblock periods near the sampling period
+    // put the estimate off by several percent in whichever direction
+    // the fixed slot happens to land.  The offsets come from a fixed
+    // splitmix64 sequence, so the plan is a pure function of
+    // (trace, params): bit-reproducible everywhere, no run-to-run
+    // jitter.
+    const u64 fullChunks = n / chunk;
+    const auto offsetIn = [](u64 k, u64 width) {
+        u64 z = (k + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return (z ^ (z >> 31)) % width;
+    };
+
+    // Pin every measured chunk with one incremental Mark walk: the
+    // cursor only ever moves forward, so the whole preparation is a
+    // single O(n) pass regardless of how many chunks are measured.
+    // Only *full* chunks are measured — a short tail would weight the
+    // per-chunk CPI samples unevenly.
+    prog::RecordedTrace::Mark cursor;
+    u64 prevMeasuredMemEnd = 0;
+    for (u64 stratum = 0; stratum * interval < fullChunks; ++stratum) {
+        const u64 width =
+            std::min(interval, fullChunks - stratum * interval);
+        const u64 begin =
+            (stratum * interval + offsetIn(stratum, width)) * chunk;
+        cursor = trace.advance(cursor, begin);
+        const prog::RecordedTrace::Mark endMark =
+            trace.advance(cursor, begin + chunk);
+
+        SampledPlan::MeasuredChunk mc;
+        mc.slice = trace.slice(cursor, begin + chunk);
+        mc.begin = begin;
+        mc.end = begin + chunk;
+        mc.branchOffset = cursor.branches;
+        mc.memBegin = cursor.memOps;
+        // The warm window reaches back up to warmupMemOps but never
+        // past the previous measured chunk: its timed accesses already
+        // left the tags in exactly the warmed state.
+        const u64 span = std::min<u64>(params.warmupMemOps, cursor.memOps);
+        mc.warmMemBegin = std::max(prevMeasuredMemEnd,
+                                   cursor.memOps - span);
+        prevMeasuredMemEnd = endMark.memOps;
+        plan.chunks_.push_back(std::move(mc));
+        cursor = endMark;
+    }
+    return plan;
+}
+
+SampledResult
+replayTraceSampled(const SampledPlan &plan, const MachineConfig &machine)
+{
+    const prog::RecordedTrace &trace = plan.trace();
+    SampledResult r;
+    r.instructions = trace.instCount();
+
+    // Machines the sampler cannot drive: in-order cores (ReplayEngine
+    // is the out-of-order scheduler), the reference replay engine, and
+    // the reference cache model (kept verbatim; it grows no
+    // warm/quiesce surface).  All fall back to exact replay — sampling
+    // never silently changes what a configuration means.
+    const bool canSample = machine.core.outOfOrder &&
+                           !machine.core.referenceEngine &&
+                           machine.mem.model == mem::CacheModel::Fast;
+
+#if MSIM_OBS_ENABLED
+    obs::count(sampledMetrics().runs);
+    MSIM_OBS_SPAN(span, "replay.sampled", machine.label);
+#endif
+
+    if (plan.exactFallback() || !canSample) {
+#if MSIM_OBS_ENABLED
+        obs::count(sampledMetrics().fallbacks);
+#endif
+        r.exact = true;
+        r.full = replayTrace(trace, machine);
+        fillFromExact(r, r.full);
+        return r;
+    }
+
+    // The prediction sequence is a pure function of the dynamic branch
+    // stream and the table size (same argument as BatchReplayEngine),
+    // so one whole-trace predictor pass yields perfectly warmed branch
+    // outcomes for every measured chunk via an offset into the column.
+    const std::vector<u8> &taken = plan.branchTaken();
+    std::vector<u8> mispredicts(taken.size());
+    {
+        cpu::BranchPredictor predictor(machine.core.predictorEntries);
+        const u32 *pcs = trace.branchPcCol().data();
+        for (size_t j = 0; j < taken.size(); ++j)
+            mispredicts[j] =
+                predictor.predictAndUpdate(pcs[j], taken[j] != 0) ? 0 : 1;
+    }
+
+    mem::Hierarchy memory(machine.mem);
+
+    // Measured chunks always replay with event-skip on, whatever the
+    // machine (or MSIM_EVENT_SKIP) says.  Skipping is a pure-performance
+    // knob for the integer counters, but the *fractional* stall
+    // attribution of a skipped span is one bulk add where per-cycle
+    // stepping adds 1.0 repeatedly — with a non-power-of-two retire
+    // width the accumulator carries non-dyadic fractions and the two
+    // association orders can double-round a bit apart.  Whole-trace
+    // replays never see it (the accumulator lives at magnitudes where
+    // binade crossings are rare), but chunk-sized replays keep it small
+    // where crossings are dense.  Canonicalizing the knob makes the
+    // estimate a pure function of (plan, machine) again.
+    cpu::CoreConfig measuredCore = machine.core;
+    measuredCore.eventSkip = true;
+
+#if MSIM_OBS_ENABLED
+    obs::TimelineRecorder *tl = newSampledTimeline(machine);
+    double estCycles = 0.0;
+    double estBusy = 0.0, estFu = 0.0, estHit = 0.0, estMiss = 0.0;
+#endif
+
+    MeanVar cpi, fracBusy, fracFu, fracHit, fracMiss, misRate, loadMiss;
+    const std::vector<SampledPlan::MeasuredChunk> &chunks = plan.chunks();
+    for (size_t c = 0; c < chunks.size(); ++c) {
+        const SampledPlan::MeasuredChunk &mc = chunks[c];
+
+        // Fast-forward: functional warming of the tag state over the
+        // window before the chunk, then reset the timing-coupled state
+        // so the chunk's fresh engine (clock restarting at 0) sees
+        // idle ports and MSHRs but warmed tags.
+        cpu::ReplayEngine::warmMemory(trace, mc.warmMemBegin, mc.memBegin,
+                                      memory);
+        memory.quiesce();
+
+        cpu::ReplayEngine engine(measuredCore, memory);
+        engine.bind(mc.slice);
+        engine.setSharedMispredicts(mispredicts.data() + mc.branchOffset);
+        engine.advanceTo(mc.slice.instCount());
+        const cpu::ExecStats st = engine.takeStats();
+
+        const double instr = static_cast<double>(st.retired);
+        cpi.add(static_cast<double>(st.cycles) / instr);
+        fracBusy.add(st.fracBusy());
+        fracFu.add(st.fracFuStall());
+        fracHit.add(st.fracMemL1Hit());
+        fracMiss.add(st.fracMemL1Miss());
+        misRate.add(st.mispredictRate());
+        const u64 loads = st.loadsL1 + st.loadsL2 + st.loadsMem;
+        loadMiss.add(loads ? static_cast<double>(st.loadsL2 + st.loadsMem) /
+                                 loads
+                           : 0.0);
+        r.measuredInstructions += st.retired;
+
+#if MSIM_OBS_ENABLED
+        if (tl) {
+            // One estimated-trajectory row per measured chunk: the
+            // chunk's measurements scaled to the span it represents
+            // (its start to the next measured start, or trace end).
+            const u64 coveredEnd =
+                c + 1 < chunks.size() ? chunks[c + 1].begin : r.instructions;
+            const double scale =
+                static_cast<double>(coveredEnd - mc.begin) / instr;
+            estCycles += static_cast<double>(st.cycles) * scale;
+            estBusy += st.busy * scale;
+            estFu += st.fuStall * scale;
+            estHit += st.memL1Hit * scale;
+            estMiss += st.memL1Miss * scale;
+            tl->sample(static_cast<Cycle>(estCycles), coveredEnd, estBusy,
+                       estFu, estHit, estMiss, /*window=*/0, /*memq=*/0);
+        }
+#endif
+    }
+
+    r.measuredChunks = chunks.size();
+    r.cpi = estimateOf(cpi);
+    const double n = static_cast<double>(r.instructions);
+    r.cycles = {r.cpi.mean * n, r.cpi.ci95 * n};
+    r.fracBusy = estimateOf(fracBusy);
+    r.fracFuStall = estimateOf(fracFu);
+    r.fracMemL1Hit = estimateOf(fracHit);
+    r.fracMemL1Miss = estimateOf(fracMiss);
+    r.mispredictRate = estimateOf(misRate);
+    r.loadL1MissRate = estimateOf(loadMiss);
+
+#if MSIM_OBS_ENABLED
+    obs::count(sampledMetrics().chunks, r.measuredChunks);
+    if (r.cpi.mean > 0.0)
+        obs::observe(sampledMetrics().cpiCiRel, r.cpi.ci95 / r.cpi.mean);
+    if (r.instructions)
+        obs::observe(sampledMetrics().measuredFrac,
+                     static_cast<double>(r.measuredInstructions) /
+                         static_cast<double>(r.instructions));
+    if (tl) {
+        obs::RunSummary s;
+        s.cycles = static_cast<u64>(r.cycles.mean);
+        s.instructions = r.instructions;
+        s.busy = estBusy;
+        s.fuStall = estFu;
+        s.memL1Hit = estHit;
+        s.memL1Miss = estMiss;
+        tl->finish(s);
+    }
+#endif
+    return r;
+}
+
+SampledResult
+replayTraceSampled(const prog::RecordedTrace &trace,
+                   const MachineConfig &machine, const SampledParams &params)
+{
+    return replayTraceSampled(prepareSampled(trace, params), machine);
+}
+
+} // namespace msim::sim

@@ -381,6 +381,100 @@ TEST(ObsEventSkip, CumulativeDeltasConserveCycles)
     }
 }
 
+/**
+ * finish() must flush the final partial sampling interval: without the
+ * flush, a run whose length is not a multiple of the period loses its
+ * tail and the cumulative columns stop short of the run totals.
+ */
+TEST(ObsEventSkip, FinishFlushesFinalPartialInterval)
+{
+    obs::TimelineRecorder tl(0, "t", /*period=*/10, /*capacity=*/64);
+    tl.sample(10, 4, 6.0, 2.0, 1.0, 1.0, 0, 0);
+    tl.sample(20, 9, 13.0, 4.0, 2.0, 1.0, 0, 0);
+
+    obs::RunSummary s;
+    s.cycles = 25; // 5 cycles past the last sampled boundary
+    s.instructions = 12;
+    s.busy = 16.0;
+    s.fuStall = 5.0;
+    s.memL1Hit = 2.5;
+    s.memL1Miss = 1.5;
+    tl.finish(s);
+
+    ASSERT_EQ(tl.size(), 3u);
+    const obs::TimelineRow last = tl.row(2);
+    EXPECT_EQ(last.cycle, 25u);
+    EXPECT_EQ(last.retired, 12u);
+    EXPECT_DOUBLE_EQ(last.busy, 16.0);
+    EXPECT_DOUBLE_EQ(last.fuStall, 5.0);
+    EXPECT_DOUBLE_EQ(last.memL1Hit, 2.5);
+    EXPECT_DOUBLE_EQ(last.memL1Miss, 1.5);
+
+    // finish() is idempotent: a second call must not append another
+    // flush row (last summary still wins).
+    tl.finish(s);
+    EXPECT_EQ(tl.size(), 3u);
+}
+
+/** A run ending exactly on a sample boundary needs no flush row. */
+TEST(ObsEventSkip, FinishOnExactBoundaryAddsNoRow)
+{
+    obs::TimelineRecorder tl(0, "t", 10, 64);
+    tl.sample(10, 4, 6.0, 2.0, 1.0, 1.0, 0, 0);
+    tl.sample(20, 9, 13.0, 4.0, 2.0, 1.0, 0, 0);
+    obs::RunSummary s;
+    s.cycles = 20;
+    s.instructions = 9;
+    tl.finish(s);
+    EXPECT_EQ(tl.size(), 2u);
+}
+
+/**
+ * End-to-end conservation including the tail: after a replay whose
+ * cycle count is not a period multiple, the finished timeline's last
+ * row carries the run totals and the cumulative columns still
+ * partition the cycle count exactly.
+ */
+TEST(ObsEventSkip, CumulativeDeltasConserveCyclesThroughFinish)
+{
+    const sim::MachineConfig on =
+        sim::withEventSkip(sim::withL1Size(1 << 10), true);
+    const prog::RecordedTrace trace = missHeavyTrace(on);
+
+    mem::Hierarchy h(on.mem);
+    cpu::PipelineCore core(on.core, h);
+    obs::TimelineRecorder tl(0, "tail", /*period=*/64, size_t{1} << 18);
+    tl.attachMem(&h.l1().mshrOccupancy(), &h.l2().mshrOccupancy());
+    core.setTimeline(&tl);
+    core.runRecorded(trace);
+    const cpu::ExecStats st = core.stats();
+    ASSERT_NE(st.cycles % 64, 0u) << "pick a period that leaves a tail";
+
+    obs::RunSummary s;
+    s.cycles = st.cycles;
+    s.instructions = st.retired;
+    s.busy = st.busy;
+    s.fuStall = st.fuStall;
+    s.memL1Hit = st.memL1Hit;
+    s.memL1Miss = st.memL1Miss;
+    tl.finish(s);
+
+    ASSERT_GT(tl.size(), 2u);
+    const obs::TimelineRow last = tl.row(tl.size() - 1);
+    EXPECT_EQ(last.cycle, st.cycles);
+    EXPECT_EQ(last.retired, st.retired);
+    const double lastSum =
+        last.busy + last.fuStall + last.memL1Hit + last.memL1Miss;
+    EXPECT_NEAR(lastSum, static_cast<double>(st.cycles),
+                1e-6 * static_cast<double>(st.cycles) + 1e-6);
+
+    // The flush row extends the monotone cumulative sequence.
+    const obs::TimelineRow prev = tl.row(tl.size() - 2);
+    EXPECT_GT(last.cycle, prev.cycle);
+    EXPECT_GE(last.retired, prev.retired);
+    EXPECT_GE(last.busy, prev.busy);
+}
+
 /** An attached recorder must not perturb results while skipping. */
 TEST(ObsEventSkip, TimelineDoesNotPerturbResults)
 {

@@ -1,12 +1,16 @@
 /** @file Integration tests: registry, runner, machines, experiments. */
 
 #include <cmath>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
+#include "common/env.hh"
+#include "common/simd.hh"
 #include "core/experiment.hh"
 #include "core/registry.hh"
 #include "core/report.hh"
+#include "cpu/core.hh"
 #include "kernels/addition.hh"
 #include "kernels/dotprod.hh"
 #include "sim/machine.hh"
@@ -210,6 +214,80 @@ TEST(Experiment, ComponentsSumToTotalOnRealWorkload)
     const double sum = r.exec.busy + r.exec.fuStall + r.exec.memL1Hit +
                        r.exec.memL1Miss;
     EXPECT_NEAR(sum, double(r.exec.cycles), double(r.exec.cycles) * 0.01);
+}
+
+// ---- strict env-toggle parsing ---------------------------------------
+//
+// A typo in an MSIM_* toggle must fail loudly, never silently take the
+// default path: a user who set MSIM_EVENT_SKIP=of believes skipping is
+// off, and any measurement made under that belief is garbage.  The
+// death tests run in the re-exec'd child ("threadsafe" style), so the
+// setenv inside the statement lands before the toggle's cached parse.
+
+TEST(EnvToggles, AcceptedSpellingsParse)
+{
+    setenv("MSIM_TEST_TOGGLE", "off", 1);
+    EXPECT_FALSE(envBool("MSIM_TEST_TOGGLE", true));
+    setenv("MSIM_TEST_TOGGLE", "ON", 1);
+    EXPECT_TRUE(envBool("MSIM_TEST_TOGGLE", false));
+    setenv("MSIM_TEST_TOGGLE", "0", 1);
+    EXPECT_FALSE(envBool("MSIM_TEST_TOGGLE", true));
+    setenv("MSIM_TEST_TOGGLE", "1", 1);
+    EXPECT_TRUE(envBool("MSIM_TEST_TOGGLE", false));
+    setenv("MSIM_TEST_TOGGLE", "False", 1);
+    EXPECT_FALSE(envBool("MSIM_TEST_TOGGLE", true));
+    setenv("MSIM_TEST_TOGGLE", "true", 1);
+    EXPECT_TRUE(envBool("MSIM_TEST_TOGGLE", false));
+    setenv("MSIM_TEST_TOGGLE", "", 1);
+    EXPECT_TRUE(envBool("MSIM_TEST_TOGGLE", true));
+    unsetenv("MSIM_TEST_TOGGLE");
+    EXPECT_FALSE(envBool("MSIM_TEST_TOGGLE", false));
+}
+
+TEST(EnvTogglesDeathTest, UnrecognizedEnvBoolValueIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        ([] {
+            setenv("MSIM_TEST_TOGGLE", "of", 1);
+            envBool("MSIM_TEST_TOGGLE", true);
+        }()),
+        testing::ExitedWithCode(1), "not recognized");
+}
+
+TEST(EnvTogglesDeathTest, UnrecognizedEventSkipValueIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        ([] {
+            setenv("MSIM_EVENT_SKIP", "of", 1);
+            cpu::CoreConfig::defaultEventSkip();
+        }()),
+        testing::ExitedWithCode(1), "MSIM_EVENT_SKIP.*not recognized");
+}
+
+TEST(EnvTogglesDeathTest, UnrecognizedLiveJobsValueIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        ([] {
+            setenv("MSIM_LIVE_JOBS", "yes please", 1);
+            const std::vector<Job> jobs = {
+                {"addition", Variant::Scalar, sim::outOfOrder4Way()}};
+            runJobs(jobs, 1, JobMode::Auto);
+        }()),
+        testing::ExitedWithCode(1), "MSIM_LIVE_JOBS.*not recognized");
+}
+
+TEST(EnvTogglesDeathTest, UnrecognizedSimdLevelIsFatal)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(
+        ([] {
+            setenv("MSIM_SIMD", "avx512", 1);
+            simd::activeLevel();
+        }()),
+        testing::ExitedWithCode(1), "MSIM_SIMD.*not recognized");
 }
 
 } // namespace

@@ -6,8 +6,14 @@
  * one benchmark per workload family. The env var forces the live path
  * in production sweeps; without a standing equivalence test it could
  * silently rot while every other test exercises only replay.
+ *
+ * Also pins RecordedTrace::prefix/slice boundary handling: empty and
+ * full-copy edges, and the cross-column rebasing rules (producer
+ * indices, store ordinals, forwarding candidates) that make a
+ * mid-trace slice indistinguishable from a fresh recording.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -15,7 +21,9 @@
 #include <gtest/gtest.h>
 
 #include "core/experiment.hh"
+#include "kernels/addition.hh"
 #include "sim/machine.hh"
+#include "sim/runner.hh"
 
 namespace msim::core
 {
@@ -159,6 +167,180 @@ TEST(LiveJobs, JpegFamily)
 TEST(LiveJobs, MpegFamily)
 {
     checkLiveRecordedIdentity("mpeg-dec", Variant::Scalar);
+}
+
+// ---- RecordedTrace prefix/slice boundary handling --------------------
+
+/** A small trace with real stores, loads, forwarding, and branches. */
+prog::RecordedTrace
+recordSmall()
+{
+    const sim::MachineConfig m = sim::outOfOrder4Way();
+    return sim::recordTrace(
+        [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 256, 32, 2);
+        },
+        m.skewArrays, m.visFeatures);
+}
+
+/** Column-for-column equality of two traces. */
+void
+expectSameTrace(const prog::RecordedTrace &a, const prog::RecordedTrace &b)
+{
+    EXPECT_EQ(a.opCol(), b.opCol());
+    EXPECT_EQ(a.flagsCol(), b.flagsCol());
+    EXPECT_EQ(a.numSrcsCol(), b.numSrcsCol());
+    EXPECT_EQ(a.dstCol(), b.dstCol());
+    EXPECT_EQ(a.srcsCol(), b.srcsCol());
+    EXPECT_EQ(a.srcProdCol(), b.srcProdCol());
+    EXPECT_EQ(a.memAddrCol(), b.memAddrCol());
+    EXPECT_EQ(a.memKindCol(), b.memKindCol());
+    EXPECT_EQ(a.memAuxCol(), b.memAuxCol());
+    EXPECT_EQ(a.branchPcCol(), b.branchPcCol());
+    EXPECT_EQ(a.maxValId(), b.maxValId());
+    EXPECT_EQ(a.numStores(), b.numStores());
+    EXPECT_EQ(a.numMemOps(), b.numMemOps());
+}
+
+TEST(TraceSlicing, PrefixEdgeCases)
+{
+    const prog::RecordedTrace t = recordSmall();
+    ASSERT_GT(t.instCount(), 1000u);
+
+    // n = 0: a fully empty trace.
+    const prog::RecordedTrace empty = t.prefix(0);
+    EXPECT_EQ(empty.instCount(), 0u);
+    EXPECT_EQ(empty.numMemOps(), 0u);
+    EXPECT_EQ(empty.numStores(), 0u);
+    EXPECT_EQ(empty.maxValId(), 0u);
+    EXPECT_TRUE(empty.srcsCol().empty());
+    EXPECT_TRUE(empty.branchPcCol().empty());
+
+    // n >= instCount(): an exact full copy, however far past the end.
+    expectSameTrace(t.prefix(t.instCount()), t);
+    expectSameTrace(t.prefix(t.instCount() + 12345), t);
+
+    // prefix(n) is exactly slice(0, n).
+    const u64 n = t.instCount() / 2;
+    expectSameTrace(t.prefix(n), t.slice(0, n));
+    EXPECT_EQ(t.prefix(n).instCount(), n);
+}
+
+TEST(TraceSlicing, PrefixSideStreamLengthsConsistent)
+{
+    const prog::RecordedTrace t = recordSmall();
+    const u64 n = t.instCount() / 3;
+    const prog::RecordedTrace p = t.prefix(n);
+
+    // In a prefix every cross-column reference already points into the
+    // kept range: nothing may have been clamped.
+    u64 srcs = 0;
+    for (u64 i = 0; i < n; ++i)
+        srcs += t.numSrcsCol()[i];
+    EXPECT_EQ(p.srcsCol().size(), srcs);
+    EXPECT_EQ(p.srcProdCol().size(), srcs);
+    for (u64 s = 0; s < srcs; ++s) {
+        EXPECT_EQ(p.srcProdCol()[s], t.srcProdCol()[s]) << "src " << s;
+        if (p.srcProdCol()[s] != prog::kNoProducer)
+            EXPECT_LT(p.srcProdCol()[s], n) << "src " << s;
+    }
+    for (size_t m = 0; m < p.numMemOps(); ++m) {
+        EXPECT_EQ(p.memAuxCol()[m], t.memAuxCol()[m]) << "memop " << m;
+    }
+}
+
+TEST(TraceSlicing, MidSliceRebasesCrossColumnReferences)
+{
+    const prog::RecordedTrace t = recordSmall();
+    const u64 begin = t.instCount() / 3;
+    const u64 end = 2 * t.instCount() / 3;
+    const prog::RecordedTrace::Mark mark = t.advance({}, begin);
+    const prog::RecordedTrace s = t.slice(mark, end);
+    ASSERT_EQ(s.instCount(), end - begin);
+
+    // Per-instruction columns are unshifted copies.
+    for (u64 i = 0; i < s.instCount(); ++i) {
+        EXPECT_EQ(s.opCol()[i], t.opCol()[begin + i]);
+        EXPECT_EQ(s.dstCol()[i], t.dstCol()[begin + i]);
+    }
+
+    // Producers rebase by begin; pre-slice producers become
+    // kNoProducer, never a bogus in-slice index.
+    for (size_t p = 0; p < s.srcProdCol().size(); ++p) {
+        const u32 orig = t.srcProdCol()[mark.srcs + p];
+        const u32 got = s.srcProdCol()[p];
+        if (orig == prog::kNoProducer || orig < begin)
+            EXPECT_EQ(got, prog::kNoProducer) << "src " << p;
+        else
+            EXPECT_EQ(got, orig - begin) << "src " << p;
+        if (got != prog::kNoProducer)
+            EXPECT_LT(got, s.instCount()) << "src " << p;
+    }
+
+    // Store ordinals rebase by the stores consumed before the slice;
+    // a load's forwarding candidate that predates the slice is
+    // clamped to kNoFwdStore (its old ordinal would otherwise alias a
+    // different in-slice store).
+    u32 sliceStores = 0;
+    for (size_t m = 0; m < s.numMemOps(); ++m) {
+        const u8 kind = t.memKindCol()[mark.memOps + m];
+        const u32 orig = t.memAuxCol()[mark.memOps + m];
+        const u32 got = s.memAuxCol()[m];
+        EXPECT_EQ(s.memKindCol()[m], kind) << "memop " << m;
+        EXPECT_EQ(s.memAddrCol()[m], t.memAddrCol()[mark.memOps + m]);
+        if (kind == prog::kMemStore) {
+            EXPECT_EQ(got, orig - mark.stores) << "memop " << m;
+            EXPECT_EQ(got, sliceStores) << "memop " << m;
+            ++sliceStores;
+        } else if (kind == prog::kMemLoad) {
+            if (orig == prog::kNoFwdStore || orig < mark.stores)
+                EXPECT_EQ(got, prog::kNoFwdStore) << "memop " << m;
+            else
+                EXPECT_EQ(got, orig - mark.stores) << "memop " << m;
+        }
+    }
+    EXPECT_EQ(s.numStores(), sliceStores);
+
+    // maxValId covers sources naming pre-slice values, not just
+    // destinations — replay cores size readiness tables from it.
+    ValId maxSeen = 0;
+    for (const ValId v : s.dstCol())
+        maxSeen = std::max(maxSeen, v);
+    for (const ValId v : s.srcsCol())
+        maxSeen = std::max(maxSeen, v);
+    EXPECT_EQ(s.maxValId(), maxSeen);
+}
+
+TEST(TraceSlicing, SliceClampsAndEmptyRanges)
+{
+    const prog::RecordedTrace t = recordSmall();
+    // end past instCount clamps to a suffix slice.
+    const u64 begin = t.instCount() - 100;
+    const prog::RecordedTrace tail = t.slice(begin, ~u64{0});
+    EXPECT_EQ(tail.instCount(), 100u);
+    // begin >= end yields an empty trace, not a crash.
+    EXPECT_EQ(t.slice(500, 500).instCount(), 0u);
+    EXPECT_EQ(t.slice(t.instCount(), ~u64{0}).instCount(), 0u);
+    // advance clamps to instCount.
+    const auto m = t.advance({}, ~u64{0});
+    EXPECT_EQ(m.inst, t.instCount());
+    EXPECT_EQ(m.memOps, t.numMemOps());
+    EXPECT_EQ(m.stores, t.numStores());
+}
+
+TEST(TraceSlicing, SlicesReplayStandalone)
+{
+    const prog::RecordedTrace t = recordSmall();
+    const sim::MachineConfig m = sim::outOfOrder4Way();
+    // A mid-trace slice is a self-contained trace: the exact replay
+    // engine must retire exactly its instructions without tripping
+    // any window/forwarding bookkeeping on rebased references.
+    const u64 begin = t.instCount() / 4;
+    const u64 end = begin + 5000;
+    const sim::RunResult r = sim::replayTrace(t.slice(begin, end), m);
+    EXPECT_EQ(r.exec.retired, end - begin);
+    const sim::RunResult p = sim::replayTrace(t.prefix(4096), m);
+    EXPECT_EQ(p.exec.retired, 4096u);
 }
 
 } // namespace

@@ -36,22 +36,37 @@
  * (prog::RecordedTrace::prefix), printing a ready-to-paste test for
  * tests/test_batch_replay.cc.
  *
+ * `--mode sample` fuzzes the statistical sampling estimator
+ * (sim::replayTraceSampled): randomized SampledParams crossing the
+ * interesting chunk/interval/warmup boundaries on randomized machines
+ * (a slice of which are in-order or reference configs that must take
+ * the exact fallback). Each case checks the exact-fallback contract,
+ * bit-identical determinism across reruns / the opposite host-SIMD
+ * dispatch / event-skip flips, internal estimate identities, and a
+ * deliberately generous accuracy envelope against full replay. Failing
+ * cases shrink toward the default params/config and bisect the trace
+ * prefix, printing a ready-to-paste test for tests/test_sampled.cc.
+ *
  * Cases are derived deterministically from (--seed, case index), so a
  * repro needs only the seed and index, independent of scheduling.
  *
  *   audit_fuzz --seed 1 --cases 200               # the CI gate
  *   audit_fuzz --mode batch --seed 1 --cases 80   # the batch CI gate
  *   audit_fuzz --mode skip --seed 1 --cases 200   # the skip CI gate
+ *   audit_fuzz --mode sample --seed 1 --cases 60  # the sampling CI gate
  *   audit_fuzz --list                             # registered invariants
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "audit/invariants.hh"
@@ -60,6 +75,7 @@
 #include "obs/span.hh"
 #include "sim/machine.hh"
 #include "sim/runner.hh"
+#include "sim/sampled.hh"
 
 namespace
 {
@@ -998,6 +1014,326 @@ printSkipRepro(const SkipCase &c, const Outcome &out, u64 seed,
                 "----------\n\n");
 }
 
+// ---- sample mode ----------------------------------------------------
+
+/**
+ * One sampled-estimator fuzz case: a randomized machine x benchmark x
+ * SampledParams, the estimator cross-checked against full replay of
+ * the same trace.  Checks, in order of severity: the exact-fallback
+ * contract (unsupported machines and too-short traces must return the
+ * bit-exact full result, supported ones must actually sample);
+ * estimator determinism (bit-identical estimates across a second run,
+ * the opposite host-SIMD dispatch, and event-skip off/on); internal
+ * estimate identities; and a generous accuracy envelope against the
+ * exact CPI (randomized params are allowed to be far sloppier than the
+ * tuned defaults — this only catches estimator *bugs*, not noise).
+ */
+struct SampleCase
+{
+    const core::Benchmark *bench = nullptr;
+    prog::Variant variant = prog::Variant::Scalar;
+    sim::SampledParams params;
+    u64 prefixLen = ~u64{0}; ///< trace prefix to replay (shrink only)
+    sim::MachineConfig machine;
+};
+
+SampleCase
+sampleSampleCase(const std::vector<const core::Benchmark *> &benches,
+                 u64 seed, unsigned index)
+{
+    Rng rng(mixSeed(seed, index));
+    SampleCase c;
+    const u32 pick = rng.below(100);
+    if (pick < 76)
+        c.bench = benches[rng.below(6)];
+    else
+        c.bench =
+            benches[6 + rng.below(static_cast<u32>(benches.size()) - 6)];
+    const u32 nvar = c.bench->hasPrefetchVariant ? 3 : 2;
+    c.variant = static_cast<prog::Variant>(rng.below(nvar));
+
+    // Chunk/interval/warmup cross the interesting boundaries: chunks
+    // from transient-dominated to aliasing-prone, every-chunk
+    // measurement (interval 1), sparse sampling, and warm windows from
+    // stone cold to effectively unbounded.
+    static constexpr u64 kChunks[] = {500, 1000, 2000, 6000, 10000, 50000};
+    static constexpr u64 kIntervals[] = {1, 2, 4, 8, 16, 18, 32};
+    static constexpr u64 kWarmups[] = {0, 256, 4096, 32768, 1u << 20};
+    c.params.chunkInstructions = kChunks[rng.below(6)];
+    c.params.intervalChunks = kIntervals[rng.below(7)];
+    c.params.warmupMemOps = kWarmups[rng.below(5)];
+
+    // Most cases force the sampled path (out-of-order fast-model); a
+    // slice keeps whatever sampleMachine drew — in-order and reference
+    // machines exercise the exact-fallback contract instead.
+    c.machine = sampleMachine(rng);
+    if (rng.chance(12)) {
+        if (rng.chance(50))
+            c.machine = sim::asReference(c.machine);
+    } else {
+        c.machine.core.outOfOrder = true;
+        c.machine.core.referenceEngine = false;
+    }
+    return c;
+}
+
+/** Exact equality of two sampled results, doubles compared with ==. */
+std::string
+compareSampled(const sim::SampledResult &a, const sim::SampledResult &b)
+{
+    char buf[256];
+#define MSIM_CMP(field)                                                      \
+    do {                                                                     \
+        if (!(a.field == b.field)) {                                         \
+            std::snprintf(buf, sizeof(buf), #field ": %s != %s",             \
+                          std::to_string(a.field).c_str(),                   \
+                          std::to_string(b.field).c_str());                  \
+            return buf;                                                      \
+        }                                                                    \
+    } while (0)
+    MSIM_CMP(exact);
+    MSIM_CMP(instructions);
+    MSIM_CMP(measuredInstructions);
+    MSIM_CMP(measuredChunks);
+    MSIM_CMP(cpi.mean);
+    MSIM_CMP(cpi.ci95);
+    MSIM_CMP(cycles.mean);
+    MSIM_CMP(cycles.ci95);
+    MSIM_CMP(fracBusy.mean);
+    MSIM_CMP(fracFuStall.mean);
+    MSIM_CMP(fracMemL1Hit.mean);
+    MSIM_CMP(fracMemL1Miss.mean);
+    MSIM_CMP(mispredictRate.mean);
+    MSIM_CMP(loadL1MissRate.mean);
+#undef MSIM_CMP
+    return {};
+}
+
+Outcome
+runSampleCase(const SampleCase &c)
+{
+    Outcome out;
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        prog::RecordedTrace trace = sim::recordTrace(
+            gen, c.machine.skewArrays, c.machine.visFeatures);
+        if (c.prefixLen < trace.instCount())
+            trace = trace.prefix(c.prefixLen);
+
+        const sim::SampledPlan plan =
+            sim::prepareSampled(trace, c.params);
+        const sim::SampledResult est =
+            sim::replayTraceSampled(plan, c.machine);
+        const sim::RunResult full = sim::replayTrace(trace, c.machine);
+
+        const bool canSample =
+            c.machine.core.outOfOrder &&
+            !c.machine.core.referenceEngine &&
+            c.machine.mem.model == mem::CacheModel::Fast;
+        const bool shouldSample = canSample && !plan.exactFallback();
+
+        if (est.exact == shouldSample) {
+            out.divergence = shouldSample
+                                 ? "fell back to exact on a machine the "
+                                   "sampler supports"
+                                 : "claimed to sample an unsupported "
+                                   "machine or too-short trace";
+        } else if (est.exact) {
+            // Fallback contract: the full exact result, zero-width CIs.
+            const std::string d = compareResults(full, est.full);
+            if (!d.empty())
+                out.divergence = "fallback result: " + d;
+            else if (est.cpi.ci95 != 0.0 || est.cycles.ci95 != 0.0)
+                out.divergence = "fallback with nonzero ci95";
+        } else {
+            // Determinism: a second run, the opposite host-SIMD
+            // dispatch, and event-skip flipped must all be bit-equal.
+            std::string d =
+                compareSampled(est, sim::replayTraceSampled(plan, c.machine));
+            if (!d.empty()) {
+                out.divergence = "rerun: " + d;
+            }
+            if (out.divergence.empty()) {
+                const bool nativeFirst =
+                    simd::activeLevel() != simd::Level::Scalar;
+                const auto simdGuard = sim::withSimd(!nativeFirst);
+                d = compareSampled(
+                    est, sim::replayTraceSampled(plan, c.machine));
+                if (!d.empty())
+                    out.divergence = "simd flip: " + d;
+            }
+            if (out.divergence.empty()) {
+                const sim::MachineConfig flipped = sim::withEventSkip(
+                    c.machine, !c.machine.core.eventSkip);
+                d = compareSampled(
+                    est, sim::replayTraceSampled(plan, flipped));
+                if (!d.empty())
+                    out.divergence = "event-skip flip: " + d;
+            }
+            // Internal identities of the estimate.
+            if (out.divergence.empty()) {
+                const double n = static_cast<double>(est.instructions);
+                if (est.cycles.mean != est.cpi.mean * n ||
+                    est.cycles.ci95 != est.cpi.ci95 * n)
+                    out.divergence = "cycles estimate is not cpi scaled "
+                                     "to the trace length";
+                else if (est.measuredChunks != plan.chunks().size())
+                    out.divergence = "measuredChunks != plan chunks";
+                else if (est.measuredInstructions !=
+                         est.measuredChunks * c.params.chunkInstructions)
+                    out.divergence = "measuredInstructions != chunks * "
+                                     "chunk size";
+            }
+            // Accuracy envelope: catastrophic error with a confidence
+            // interval that claims precision is an estimator bug.
+            // Generous on purpose, and only applied when the params give
+            // the estimator a fair shot: sub-2000-instruction chunks are
+            // dominated by the window-fill transient and near-zero warm
+            // windows measure cold caches — both are *expected* to be
+            // far off (consistently, so the ci stays small), and the
+            // envelope exists to catch slicing/indexing bugs, not to
+            // re-litigate known small-sample bias. Every case is
+            // deterministic, so there is no flake to absorb.
+            if (out.divergence.empty() &&
+                c.params.chunkInstructions >= 2000 &&
+                c.params.warmupMemOps >= 4096) {
+                const double exactCpi =
+                    static_cast<double>(full.exec.cycles) /
+                    static_cast<double>(full.exec.retired);
+                const double relErr =
+                    std::abs(est.cpi.mean - exactCpi) / exactCpi;
+                const double relCi = est.cpi.ci95 / est.cpi.mean;
+                if (relErr > 0.35 && relErr > 5.0 * relCi) {
+                    char buf[160];
+                    std::snprintf(buf, sizeof(buf),
+                                  "cpi err %.1f%% beyond 5x ci %.1f%% "
+                                  "(est %.4f exact %.4f)",
+                                  100.0 * relErr, 100.0 * relCi,
+                                  est.cpi.mean, exactCpi);
+                    out.divergence = buf;
+                }
+            }
+        }
+    }
+    out.violations = sink.violations();
+    out.violationRecords = sink.records();
+    return out;
+}
+
+/**
+ * Greedy sample shrink: benchmark/variant toward the cheapest, params
+ * toward the defaults, config dimensions toward the default machine,
+ * then trace-prefix bisection on the shrunk case.
+ */
+SampleCase
+shrinkSampleCase(const SampleCase &failing)
+{
+    SampleCase best = failing;
+    const core::Benchmark &addition = core::findBenchmark("addition");
+    const auto fails = [](const SampleCase &c) {
+        return runSampleCase(c).failed();
+    };
+
+    if (best.bench != &addition) {
+        SampleCase cand = best;
+        cand.bench = &addition;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+    if (best.variant != prog::Variant::Scalar) {
+        SampleCase cand = best;
+        cand.variant = prog::Variant::Scalar;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+
+    const sim::SampledParams defParams;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        const auto tryParam = [&](u64 sim::SampledParams::*field) {
+            if (best.params.*field == defParams.*field)
+                return;
+            SampleCase cand = best;
+            cand.params.*field = defParams.*field;
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            }
+        };
+        tryParam(&sim::SampledParams::chunkInstructions);
+        tryParam(&sim::SampledParams::intervalChunks);
+        tryParam(&sim::SampledParams::warmupMemOps);
+        for (const auto &reduce : configReductions()) {
+            SampleCase cand = best;
+            if (!reduce(cand.machine))
+                continue;
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            }
+        }
+    }
+
+    // Trace-prefix bisection on the shrunk (cheap) configuration.
+    {
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            best.bench->generate(tb, best.variant);
+        };
+        const prog::RecordedTrace full = sim::recordTrace(
+            gen, best.machine.skewArrays, best.machine.visFeatures);
+        u64 hi = std::min(best.prefixLen, full.instCount());
+        u64 lo = 0;
+        while (lo + 1 < hi) {
+            const u64 mid = lo + (hi - lo) / 2;
+            SampleCase cand = best;
+            cand.prefixLen = mid;
+            if (fails(cand))
+                hi = mid;
+            else
+                lo = mid;
+        }
+        best.prefixLen = hi;
+    }
+    best.machine.label = "shrunk";
+    return best;
+}
+
+/** Print the shrunk sample case as a ready-to-paste regression test. */
+void
+printSampleRepro(const SampleCase &c, const Outcome &out, u64 seed,
+                 unsigned index)
+{
+    std::printf("\n// ---- ready-to-paste regression test "
+                "(tests/test_sampled.cc) ----\n");
+    std::printf("TEST(SampledFuzzRegression, Seed%" PRIu64 "Case%u)\n{\n",
+                seed, index);
+    std::printf("    sim::MachineConfig m;\n");
+    printMachineDelta(c.machine);
+    std::printf("    const SampledParams p{%" PRIu64 ", %" PRIu64
+                ", %" PRIu64 "};\n",
+                c.params.chunkInstructions, c.params.intervalChunks,
+                c.params.warmupMemOps);
+    std::printf("    const auto trace =\n"
+                "        recordTrace(generatorFor(\"%s\", %s),\n"
+                "                    m.skewArrays, m.visFeatures)\n"
+                "            .prefix(%" PRIu64 ");\n",
+                c.bench->name.c_str(), variantExpr(c.variant),
+                c.prefixLen);
+    std::printf("    expectSampledEstimatorSane(trace, m, p);\n}\n");
+    if (!out.divergence.empty())
+        std::printf("// divergence: %s\n", out.divergence.c_str());
+    for (const auto &v : out.violationRecords)
+        std::printf("// violation: %s at %s:%d: %s\n", v.check.c_str(),
+                    v.file, v.line, v.message.c_str());
+    std::printf("// ----------------------------------------------------"
+                "----------\n\n");
+}
+
 void
 printInvariants()
 {
@@ -1010,7 +1346,7 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [--mode diff|batch|skip] [--seed N] [--cases N]\n"
+        "usage: %s [--mode diff|batch|skip|sample] [--seed N] [--cases N]\n"
         "          [--live-frac PCT] [--progress] [--verbose] [--list]\n"
         "          [--help]\n"
         "\n"
@@ -1022,7 +1358,10 @@ usage(const char *argv0)
         "                  batch: randomized config sets through\n"
         "                  replayTraceBatch vs sequential replayTrace;\n"
         "                  skip: event-skip on vs off, sequential and\n"
-        "                  batched, counter-exact\n"
+        "                  batched, counter-exact;\n"
+        "                  sample: sampled-replay estimator vs full\n"
+        "                  replay (fallback contract, determinism,\n"
+        "                  accuracy envelope)\n"
         "  --seed N        base seed (default 1); case i derives from\n"
         "                  (seed, i), so repros only need the pair\n"
         "  --cases N       number of cases (default 200)\n"
@@ -1080,7 +1419,9 @@ main(int argc, char **argv)
 
     const bool batch_mode = std::strcmp(mode, "batch") == 0;
     const bool skip_mode = std::strcmp(mode, "skip") == 0;
-    if (!batch_mode && !skip_mode && std::strcmp(mode, "diff") != 0) {
+    const bool sample_mode = std::strcmp(mode, "sample") == 0;
+    if (!batch_mode && !skip_mode && !sample_mode &&
+        std::strcmp(mode, "diff") != 0) {
         std::fprintf(stderr, "unknown --mode: %s\n", mode);
         usage(argv[0]);
         return 2;
@@ -1093,6 +1434,57 @@ main(int argc, char **argv)
                 "%u%% live, audit checks %s\n",
                 mode, seed, cases, live_percent,
                 audit::kEnabled ? "compiled in" : "compiled out");
+
+    if (sample_mode) {
+        unsigned failures = 0;
+        ProgressMeter meter(progress, cases);
+        for (unsigned i = 0; i < cases; ++i) {
+            const SampleCase c = sampleSampleCase(benches, seed, i);
+            if (verbose)
+                std::printf("  case %u: %s/%s chunk %" PRIu64
+                            " interval %" PRIu64 " warm %" PRIu64 "\n",
+                            i, c.bench->name.c_str(),
+                            prog::variantName(c.variant),
+                            c.params.chunkInstructions,
+                            c.params.intervalChunks,
+                            c.params.warmupMemOps);
+            Outcome out;
+            {
+                MSIM_OBS_SPAN(span, "fuzz.case", c.bench->name);
+                out = runSampleCase(c);
+            }
+#if MSIM_OBS_ENABLED
+            obs::count(fuzzMetrics().cases);
+            if (out.failed())
+                obs::count(fuzzMetrics().failures);
+#endif
+            if (!out.failed()) {
+                meter.caseDone(i + 1, failures);
+                continue;
+            }
+            ++failures;
+            std::printf("FAIL case %u (%s/%s, chunk %" PRIu64
+                        " interval %" PRIu64 "): %s%s\n",
+                        i, c.bench->name.c_str(),
+                        prog::variantName(c.variant),
+                        c.params.chunkInstructions,
+                        c.params.intervalChunks,
+                        out.divergence.empty() ? ""
+                                               : out.divergence.c_str(),
+                        out.violations
+                            ? (" [" + std::to_string(out.violations) +
+                               " invariant violations]")
+                                  .c_str()
+                            : "");
+            std::printf("shrinking...\n");
+            const SampleCase minimal = shrinkSampleCase(c);
+            printSampleRepro(minimal, runSampleCase(minimal), seed, i);
+            meter.caseDone(i + 1, failures);
+        }
+        std::printf("audit_fuzz: %u sample cases: %u failing\n", cases,
+                    failures);
+        return failures ? 1 : 0;
+    }
 
     if (skip_mode) {
         unsigned failures = 0;

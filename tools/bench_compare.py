@@ -13,7 +13,9 @@ or speedup_x, higher is better and only a *drop* beyond the threshold
 fails; for *_seconds keys, lower is better and only a *rise* beyond the
 threshold fails.  Other numeric keys are reported but never fail.
 Non-numeric members (e.g. the "meta" host-identification block) are
-ignored.
+ignored.  A numeric key present in only one file of a pair (e.g. a
+benchmark silently dropped from a sweep) is a structural failure and
+fails the gate with a named diff regardless of --keys.
 
     bench_compare.py [--threshold 0.2] [--keys k1,k2] \\
         FRESH BASELINE [FRESH BASELINE ...]
@@ -55,20 +57,33 @@ def load(path):
     return doc
 
 
+def numeric_keys(doc):
+    """The keys this tool would compare: numeric and non-bool."""
+    return {k for k, v in doc.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
 def compare_pair(fresh_path, base_path, threshold, gate_keys):
-    """Diff one fresh/baseline pair; returns (bench_name, failures)."""
+    """Diff one pair; returns (bench_name, failures, missing)."""
     fresh = load(fresh_path)
     base = load(base_path)
     name = fresh.get("bench") or base.get("bench") or fresh_path
 
+    # Mismatched key sets are a structural failure, not a regression: a
+    # benchmark silently dropped from a sweep (its per-benchmark keys
+    # vanish from the fresh file) must fail the gate with a named diff
+    # rather than being skipped by an intersection.
+    fkeys, bkeys = numeric_keys(fresh), numeric_keys(base)
+    missing = [(key, "baseline", base_path)
+               for key in sorted(fkeys - bkeys)]
+    missing += [(key, "fresh", fresh_path)
+                for key in sorted(bkeys - fkeys)]
+    for key, where, path in missing:
+        print(f"MISS [{name}] {key}: absent from {where} file {path}")
+
     failures = []
-    for key in sorted(set(fresh) & set(base)):
+    for key in sorted(fkeys & bkeys):
         fv, bv = fresh[key], base[key]
-        if not (isinstance(fv, (int, float)) and
-                isinstance(bv, (int, float))):
-            continue
-        if isinstance(fv, bool) or isinstance(bv, bool):
-            continue
         delta = (fv - bv) / bv if bv else 0.0
         sign = direction(key)
         gated = sign != 0 and (gate_keys is None or key in gate_keys)
@@ -77,7 +92,7 @@ def compare_pair(fresh_path, base_path, threshold, gate_keys):
         print(f"{marker} [{name}] {key}: {bv:g} -> {fv:g} ({delta:+.1%})")
         if regressed:
             failures.append((key, bv, fv, delta))
-    return name, failures
+    return name, failures, missing
 
 
 def main():
@@ -98,12 +113,19 @@ def main():
     gate_keys = {k for k in args.keys.split(",") if k} or None
 
     table = []
+    miss_table = []
     for i in range(0, len(args.files), 2):
-        name, failures = compare_pair(args.files[i], args.files[i + 1],
-                                      args.threshold, gate_keys)
+        name, failures, missing = compare_pair(
+            args.files[i], args.files[i + 1], args.threshold, gate_keys)
         table.extend((name, key, bv, fv, delta)
                      for key, bv, fv, delta in failures)
+        miss_table.extend((name, key, where) for key, where, _ in missing)
 
+    if miss_table:
+        print(f"\nbench_compare: {len(miss_table)} mismatched key(s) "
+              "between fresh and baseline:")
+        for name, key, where in miss_table:
+            print(f"  {name}  {key}  (absent from {where})")
     if table:
         print(f"\nbench_compare: {len(table)} regression(s) beyond "
               f"{args.threshold:.0%}:")
@@ -112,6 +134,7 @@ def main():
         for name, key, bv, fv, delta in table:
             print(f"  {name:<{wb}}  {key:<{wk}}  "
                   f"{bv:>12g} -> {fv:<12g} {delta:+.1%}")
+    if table or miss_table:
         return 1
     print("bench_compare: ok")
     return 0
