@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Three-way A/B of the batched memory layer on the djpeg L1 sweep: the
+ * same recorded trace replayed (a) sequentially — one sim::replayTrace
+ * per point with a private Hierarchy each — (b) through
+ * sim::replayTraceBatch with the batched memory layer forced off
+ * (mem::ScopedBatchMem(false): the PR 7 lockstep baseline, private
+ * hierarchies under one traversal), and (c) batched with
+ * mem::BatchMemory forced on (shared line columns + lane-major tag
+ * arenas). Single-threaded, recording included, best-of-N per side —
+ * the exact protocol of BENCH_simd_lanes.json — so the three sides are
+ * directly comparable with the committed lane-stepping numbers.
+ * Results must be bit-identical across the three sides before anything
+ * is reported; any divergence fails the binary.
+ *
+ * Writes BENCH_mem_batch.json (full mode) or
+ * BENCH_mem_batch_smoke.json (`--smoke`: a tiny addition-kernel sweep,
+ * seconds long). CI runs the smoke leg and diffs the fresh JSON
+ * against the committed baseline with tools/bench_compare.py. The
+ * isolated kernel costs (shrU64Col, eqU64Bitmap probe) are measured in
+ * bench_micro (BM_MemBatch* entries).
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hh"
+#include "kernels/addition.hh"
+#include "mem/batch.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace
+{
+
+using namespace msim;
+using prog::Variant;
+
+std::vector<sim::MachineConfig>
+l1Sweep()
+{
+    std::vector<sim::MachineConfig> machines;
+    for (u32 size : {1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10,
+                     32u << 10, 64u << 10})
+        machines.push_back(sim::withL1Size(size));
+    return machines;
+}
+
+sim::Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+/** How one measured pass drives the sweep. */
+enum class Side
+{
+    Sequential, ///< one replayTrace per point, private hierarchies
+    BatchOff,   ///< replayTraceBatch, batched memory layer disabled
+    BatchOn,    ///< replayTraceBatch, mem::BatchMemory serving lanes
+};
+
+struct AbResult
+{
+    bench::SelfMeasurement seq;
+    bench::SelfMeasurement off;
+    bench::SelfMeasurement on;
+    bool identical = true;
+
+    double
+    onOverSeq() const
+    {
+        return on.hostSeconds > 0.0 ? seq.hostSeconds / on.hostSeconds
+                                    : 0.0;
+    }
+
+    double
+    onOverOff() const
+    {
+        return on.hostSeconds > 0.0 ? off.hostSeconds / on.hostSeconds
+                                    : 0.0;
+    }
+};
+
+/** One measured pass: record the trace, replay every point one way. */
+bench::SelfMeasurement
+measureOnce(const sim::Generator &gen,
+            const std::vector<sim::MachineConfig> &machines, Side side,
+            std::vector<sim::RunResult> &results)
+{
+    const mem::ScopedBatchMem guard(side == Side::BatchOn);
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto trace =
+        sim::recordTrace(gen, base.skewArrays, base.visFeatures);
+    if (side == Side::Sequential) {
+        results.clear();
+        results.reserve(machines.size());
+        for (const auto &m : machines)
+            results.push_back(sim::replayTrace(trace, m));
+    } else {
+        results = sim::replayTraceBatch(trace, machines);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    bench::SelfMeasurement m;
+    m.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    m.jobs = machines.size();
+    for (const auto &r : results)
+        m.simInstructions += r.tbInstrs;
+    return m;
+}
+
+bench::SelfMeasurement
+bestOf(const sim::Generator &gen,
+       const std::vector<sim::MachineConfig> &machines, Side side,
+       int repeats, std::vector<sim::RunResult> &best)
+{
+    bench::SelfMeasurement out;
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<sim::RunResult> rs;
+        const auto m = measureOnce(gen, machines, side, rs);
+        if (rep == 0 || m.hostSeconds < out.hostSeconds) {
+            out = m;
+            best = std::move(rs);
+        }
+    }
+    return out;
+}
+
+bool
+identicalResults(const sim::RunResult &a, const sim::RunResult &b)
+{
+    return a.exec.cycles == b.exec.cycles && a.exec.busy == b.exec.busy &&
+           a.exec.fuStall == b.exec.fuStall &&
+           a.exec.memL1Hit == b.exec.memL1Hit &&
+           a.exec.memL1Miss == b.exec.memL1Miss &&
+           a.exec.mispredicts == b.exec.mispredicts &&
+           a.l1.misses == b.l1.misses && a.l1.hits == b.l1.hits &&
+           a.l1.writebacks == b.l1.writebacks &&
+           a.l1.combined == b.l1.combined &&
+           a.l1.blocked == b.l1.blocked && a.l2.misses == b.l2.misses &&
+           a.l2.hits == b.l2.hits && a.l2.writebacks == b.l2.writebacks;
+}
+
+AbResult
+runAb(const sim::Generator &gen,
+      const std::vector<sim::MachineConfig> &machines, int repeats)
+{
+    AbResult ab;
+    std::vector<sim::RunResult> seqR, offR, onR;
+    ab.seq = bestOf(gen, machines, Side::Sequential, repeats, seqR);
+    ab.off = bestOf(gen, machines, Side::BatchOff, repeats, offR);
+    ab.on = bestOf(gen, machines, Side::BatchOn, repeats, onR);
+
+    for (size_t i = 0; i < machines.size(); ++i) {
+        if (!identicalResults(seqR[i], offR[i]) ||
+            !identicalResults(seqR[i], onR[i])) {
+            std::fprintf(
+                stderr,
+                "[mem-batch] MISMATCH at point %zu: seq %llu cycles vs "
+                "off %llu vs on %llu\n",
+                i, static_cast<unsigned long long>(seqR[i].exec.cycles),
+                static_cast<unsigned long long>(offR[i].exec.cycles),
+                static_cast<unsigned long long>(onR[i].exec.cycles));
+            ab.identical = false;
+        }
+    }
+    return ab;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    std::fprintf(stderr, "[mem-batch] host simd: detected %s\n",
+                 simd::levelName(simd::detectedLevel()));
+
+    if (smoke) {
+        // Big enough that each measured pass takes a sizable fraction
+        // of a second: the committed smoke baseline has to be stable
+        // under the 20% CI comparison gate.
+        const sim::Generator gen = [](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, Variant::Vis, 1024, 256, 3);
+        };
+        const auto machines = l1Sweep();
+        const AbResult ab = runAb(gen, machines, 3);
+        if (!ab.identical)
+            return EXIT_FAILURE;
+        bench::writeBenchJson(
+            "mem_batch_smoke", ab.on,
+            {{"seq_seconds", ab.seq.hostSeconds},
+             {"off_seconds", ab.off.hostSeconds},
+             {"on_seconds", ab.on.hostSeconds},
+             {"on_over_seq_speedup_x", ab.onOverSeq()},
+             {"on_over_off_speedup_x", ab.onOverOff()}});
+        std::printf("[mem-batch] smoke ok: %zu points, seq %.3fs, "
+                    "off %.3fs, on %.3fs, identical\n",
+                    machines.size(), ab.seq.hostSeconds,
+                    ab.off.hostSeconds, ab.on.hostSeconds);
+        return 0;
+    }
+
+    constexpr int kRepeats = 3;
+    const auto machines = l1Sweep();
+
+    std::fprintf(stderr,
+                 "[mem-batch] djpeg L1 sweep, %zu points, 1 thread, "
+                 "best of %d\n",
+                 machines.size(), kRepeats);
+    const AbResult main_ab =
+        runAb(generatorFor("djpeg", Variant::Vis), machines, kRepeats);
+
+    std::map<std::string, double> extra = {
+        {"seq_seconds", main_ab.seq.hostSeconds},
+        {"off_seconds", main_ab.off.hostSeconds},
+        {"on_seconds", main_ab.on.hostSeconds},
+        {"seq_points_per_second", main_ab.seq.pointsPerSecond()},
+        {"off_points_per_second", main_ab.off.pointsPerSecond()},
+        {"on_points_per_second", main_ab.on.pointsPerSecond()},
+        {"on_over_seq_speedup_x", main_ab.onOverSeq()},
+        {"on_over_off_speedup_x", main_ab.onOverOff()}};
+    bool all_identical = main_ab.identical;
+    for (const char *name : {"conv", "dotprod", "mpeg-dec"}) {
+        std::fprintf(stderr, "[mem-batch] breakdown: %s\n", name);
+        const AbResult ab =
+            runAb(generatorFor(name, Variant::Vis), machines, kRepeats);
+        all_identical = all_identical && ab.identical;
+        std::string key(name);
+        for (char &c : key)
+            if (c == '-')
+                c = '_';
+        extra[key + "_seq_pps"] = ab.seq.pointsPerSecond();
+        extra[key + "_on_pps"] = ab.on.pointsPerSecond();
+        extra[key + "_on_over_seq_speedup_x"] = ab.onOverSeq();
+        extra[key + "_on_over_off_speedup_x"] = ab.onOverOff();
+    }
+
+    if (!all_identical)
+        return EXIT_FAILURE;
+
+    bench::writeBenchJson("mem_batch", main_ab.on, extra);
+    std::printf("=== Batched memory layer A/B (djpeg L1 sweep, "
+                "1 thread) ===\n");
+    std::printf("sequential:      %6.2fs  (%.2f points/s)\n",
+                main_ab.seq.hostSeconds, main_ab.seq.pointsPerSecond());
+    std::printf("batch, mem off:  %6.2fs  (%.2f points/s)\n",
+                main_ab.off.hostSeconds, main_ab.off.pointsPerSecond());
+    std::printf("batch, mem on:   %6.2fs  (%.2f points/s)\n",
+                main_ab.on.hostSeconds, main_ab.on.pointsPerSecond());
+    std::printf("on over seq: %6.2fx\n", main_ab.onOverSeq());
+    std::printf("on over off: %6.2fx\n", main_ab.onOverOff());
+    std::printf("results bit-identical across all %zu points x 3 "
+                "sides\n",
+                machines.size());
+    return 0;
+}

@@ -20,7 +20,9 @@
 #include "jpeg/codec.hh"
 #include "jpeg/dct.hh"
 #include "jpeg/huffman.hh"
+#include "mem/batch.hh"
 #include "mem/hierarchy.hh"
+#include "sim/machine.hh"
 #include "mpeg/codec.hh"
 #include "prog/trace_builder.hh"
 #include "vis/ops.hh"
@@ -377,6 +379,106 @@ BM_SimdMinActiveU64(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * lanes);
 }
 BENCHMARK(BM_SimdMinActiveU64)->Arg(0)->Arg(1);
+
+// ---- batched memory layer kernels (mem/batch.hh) --------------------
+//
+// The shared-column derivation and the multi-lane tag probe, isolated
+// from the replay loop.  These localize BENCH_mem_batch.json's A/B
+// delta and size the probe's sparse-to-wide behaviour across the lane
+// counts real sweeps produce.
+
+void
+BM_SimdShrU64Col(benchmark::State &state)
+{
+    // Chunk-length address column -> shared line-number column, as in
+    // BatchMemory::setChunkWindow (16 Ki default chunk, 64 B lines).
+    const size_t n = 16384;
+    std::vector<u64> addrs(n), lines(n);
+    u64 x = 0x2545f4914f6cdd1dull;
+    for (size_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        addrs[i] = x >> 4;
+    }
+    const simd::Ops &t = tableFor(state);
+    for (auto _ : state) {
+        t.shrU64Col(addrs.data(), n, 6, lines.data());
+        benchmark::DoNotOptimize(lines[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdShrU64Col)->Arg(0)->Arg(1);
+
+void
+BM_SimdEqU64TagProbe(benchmark::State &state)
+{
+    // One geometry-class set slice: laneCount x assoc lane-major tag
+    // slots swept for one line (BatchMemory::probeClass), assoc 2 as
+    // in the paper's L1.  Arg 0: lane count (1..64 crosses every
+    // vector-width boundary); arg 1: scalar vs detected table.  The
+    // measured cutover — where the wide sweep starts beating the
+    // scalar loop — is documented in DESIGN.md section 13.
+    const size_t lanes = static_cast<size_t>(state.range(0));
+    const size_t n = lanes * 2;
+    std::vector<u64> tags(n);
+    std::vector<u64> out((n + 63) / 64);
+    u64 x = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        tags[i] = (x >> 33) % 4 == 0 ? 42 : x >> 16; // ~1/4 slots hit
+    }
+    const simd::Ops &t = state.range(1)
+                             ? simd::opsFor(simd::detectedLevel())
+                             : simd::opsFor(simd::Level::Scalar);
+    for (auto _ : state) {
+        t.eqU64Bitmap(tags.data(), n, 42, out.data());
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdEqU64TagProbe)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({32, 0})
+    ->Args({32, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+void
+BM_MemBatchProbeClass(benchmark::State &state)
+{
+    // End-to-end probe through a real BatchMemory: N duplicate-
+    // geometry lanes in one class, states diverged by different access
+    // strides, then one multi-lane classification per iteration
+    // (includes the set/base arithmetic and the member bit fold).
+    const size_t lanes = static_cast<size_t>(state.range(0));
+    std::vector<mem::MemConfig> configs(lanes,
+                                        sim::outOfOrder4Way().mem);
+    mem::BatchMemory bm(configs);
+    for (size_t k = 0; k < lanes; ++k) {
+        for (u64 i = 0; i < 512; i += k + 1)
+            bm.port(k).access(i * 64, mem::AccessKind::Load,
+                              static_cast<Cycle>(i));
+    }
+    u64 bits[1];
+    Addr line = 0;
+    for (auto _ : state) {
+        bm.probeClass(0, 0, line, bits);
+        line = (line + 1) & 511;
+        benchmark::DoNotOptimize(bits[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_MemBatchProbeClass)->Arg(1)->Arg(8)->Arg(64);
 
 void
 BM_NativeDct(benchmark::State &state)

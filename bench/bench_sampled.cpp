@@ -5,18 +5,21 @@
  * and the djpeg L1-sweep throughput A/B, and fails the binary if either
  * acceptance bound breaks.
  *
- * Accuracy leg: every paper benchmark x {base, VIS} replayed exactly
- * and estimated at the default SampledParams; each cell's CPI error
- * must stay within +/-2%.  The prefetch variants are *not* part of the
- * validated envelope (djpeg VIS+PF sits near +3.7% at the default
- * rate) — see DESIGN.md section 12.
+ * Accuracy leg: every paper benchmark x variant — base, VIS, and
+ * VIS+prefetch where the benchmark has one (33 cells) — replayed
+ * exactly and estimated at the default SampledParams; each cell's CPI
+ * error must stay within +/-2%.  The prefetch cells joined the
+ * envelope when the default design moved to 4000x12 (finer strata at
+ * 1.5x the measured fraction) — see DESIGN.md section 12.
  *
  * Throughput leg: the djpeg L1 sweep (7 sizes, 1KB..64KB), exact
  * sequential replayTrace per point versus prepareSampled once plus
  * replayTraceSampled per point, best-of-3 per side, replay time only
  * (the trace is recorded before the timers start — both sides need it
  * and recording throughput is tracked by BENCH_trace_replay.json).
- * The sampled sweep must clear 10x the exact sweep's points/second.
+ * The sampled sweep must clear 5x the exact sweep's points/second
+ * (down from 10x at the old 6000x18 rate: the denser sampling that
+ * brought the prefetch cells inside 2% measures 1.5x as much trace).
  *
  * Writes BENCH_sampled.json (full mode) or BENCH_sampled_smoke.json
  * (`--smoke`: an addition-kernel sweep, seconds long, plus a loose 5%
@@ -148,7 +151,9 @@ measureCell(const core::Benchmark &bench, Variant variant,
 
     AccuracyCell cell;
     cell.key = keyOf(bench.name) +
-               (variant == Variant::Scalar ? "_base" : "_vis");
+               (variant == Variant::Scalar       ? "_base"
+                : variant == Variant::Vis        ? "_vis"
+                                                 : "_pf");
     cell.errPct = 100.0 * (est.cpi.mean - exactCpi) / exactCpi;
     cell.measuredFrac = static_cast<double>(est.measuredInstructions) /
                         static_cast<double>(est.instructions);
@@ -206,8 +211,8 @@ main(int argc, char **argv)
         return 0;
     }
 
-    // ---- accuracy report: 12 paper benchmarks x {base, VIS} ----------
-    std::fprintf(stderr, "[sampled] accuracy report, 24 cells at "
+    // ---- accuracy report: 12 paper benchmarks x every variant --------
+    std::fprintf(stderr, "[sampled] accuracy report, 33 cells at "
                  "defaults {%llu, %llu, %llu}\n",
                  static_cast<unsigned long long>(
                      sim::SampledParams{}.chunkInstructions),
@@ -221,7 +226,10 @@ main(int argc, char **argv)
     int cells = 0;
     bool accuracyOk = true;
     for (const auto *bench : core::paperBenchmarks()) {
-        for (Variant v : {Variant::Scalar, Variant::Vis}) {
+        std::vector<Variant> variants = {Variant::Scalar, Variant::Vis};
+        if (bench->hasPrefetchVariant)
+            variants.push_back(Variant::VisPrefetch);
+        for (Variant v : variants) {
             const AccuracyCell cell = measureCell(*bench, v, base);
             extra["err_pct_" + cell.key] = cell.errPct;
             meanAbs += std::abs(cell.errPct);
@@ -275,9 +283,9 @@ main(int argc, char **argv)
         std::fprintf(stderr, "[sampled] FAILED: a cell exceeds 2%%\n");
         return EXIT_FAILURE;
     }
-    if (ab.speedup() < 10.0) {
+    if (ab.speedup() < 5.0) {
         std::fprintf(stderr,
-                     "[sampled] FAILED: sweep speedup %.1fx < 10x\n",
+                     "[sampled] FAILED: sweep speedup %.1fx < 5x\n",
                      ab.speedup());
         return EXIT_FAILURE;
     }

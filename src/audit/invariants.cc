@@ -73,6 +73,21 @@ table()
          "windowSize at a chunk boundary, and a finished lane has fully "
          "drained (cursor at instCount, empty window); lockstep pausing "
          "must not leak window occupancy across chunks"},
+        {"batchmem-column-consistency", "mem/batch",
+         "every lane-port access served from a shared per-chunk line "
+         "column must read exactly addr >> lineShift for its memory-lane "
+         "ordinal, and the chunk window handed over by the batch driver "
+         "must lie inside the bound memory lane; a skewed ordinal or a "
+         "stale column would route the access to the wrong line with no "
+         "other symptom than silently divergent timing"},
+        {"batchmem-tag-soa", "mem/batch",
+         "probing a geometry class's lane-major shared tag arena with "
+         "one multi-lane compare sweep must classify every member lane "
+         "exactly as that lane's own cache does through its private "
+         "slot arithmetic (stride/base from Cache::bindTagArena); "
+         "checked once per chunk on a live address, so an arena layout "
+         "bug is caught at the first chunk, not at end-of-run stat "
+         "comparison"},
         {"simd-kernel-identity", "common/simd",
          "every dispatched vector kernel must return exactly what its "
          "scalar twin returns on the same inputs (all kernels are exact "

@@ -118,6 +118,24 @@ popcountWords(const u64 *words, size_t n)
     return total;
 }
 
+void
+shrU64Col(const u64 *in, size_t n, unsigned shift, u64 *out)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = in[i] >> shift;
+}
+
+void
+eqU64Bitmap(const u64 *values, size_t n, u64 needle, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    for (size_t i = 0; i < n; ++i)
+        if (values[i] == needle)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
 } // namespace scalar
 
 // ---------------------------------------------------------------------------
@@ -175,6 +193,24 @@ testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords)
         if ((bytes[i] & bit) != 0)
             outWords[i >> 6] |= u64{1} << (i & 63);
 }
+
+void
+shrU64Col(const u64 *in, size_t n, unsigned shift, u64 *out)
+{
+    const __m128i sv = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(in + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_srl_epi64(v, sv));
+    }
+    for (; i < n; ++i)
+        out[i] = in[i] >> shift;
+}
+
+// eqU64Bitmap needs a 64-bit lane compare (pcmpeqq is SSE4.1), so the
+// SSE2 tier keeps the scalar entry for it.
 
 } // namespace sse2
 
@@ -407,6 +443,42 @@ popcountWords(const u64 *words, size_t n)
     return total;
 }
 
+[[gnu::target("avx2")]] void
+shrU64Col(const u64 *in, size_t n, unsigned shift, u64 *out)
+{
+    const __m128i sv = _mm_cvtsi32_si128(static_cast<int>(shift));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_srl_epi64(v, sv));
+    }
+    for (; i < n; ++i)
+        out[i] = in[i] >> shift;
+}
+
+[[gnu::target("avx2")]] void
+eqU64Bitmap(const u64 *values, size_t n, u64 needle, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const __m256i nv = _mm256_set1_epi64x(static_cast<long long>(needle));
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        const u64 m4 = static_cast<u64>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, nv))));
+        // i is a multiple of 4, so the 4 bits never straddle a word.
+        outWords[i >> 6] |= m4 << (i & 63);
+    }
+    for (; i < n; ++i)
+        if (values[i] == needle)
+            outWords[i >> 6] |= u64{1} << (i & 63);
+}
+
 } // namespace avx2
 
 #endif // MSIM_SIMD_X86
@@ -496,6 +568,38 @@ popcountWords(const u64 *words, size_t n)
     for (; i < n; ++i)
         total += static_cast<u64>(std::popcount(words[i]));
     return total;
+}
+
+void
+shrU64Col(const u64 *in, size_t n, unsigned shift, u64 *out)
+{
+    const int64x2_t sv = vdupq_n_s64(-static_cast<s64>(shift));
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v = vld1q_u64(in + i);
+        vst1q_u64(out + i, vshlq_u64(v, sv));
+    }
+    for (; i < n; ++i)
+        out[i] = in[i] >> shift;
+}
+
+void
+eqU64Bitmap(const u64 *values, size_t n, u64 needle, u64 *outWords)
+{
+    const size_t words = (n + 63) / 64;
+    for (size_t w = 0; w < words; ++w)
+        outWords[w] = 0;
+    const uint64x2_t nv = vdupq_n_u64(needle);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t eq = vceqq_u64(vld1q_u64(values + i), nv);
+        u64 m2 = vgetq_lane_u64(eq, 0) & 1;
+        m2 |= (vgetq_lane_u64(eq, 1) & 1) << 1;
+        outWords[i >> 6] |= m2 << (i & 63);
+    }
+    for (; i < n; ++i)
+        if (values[i] == needle)
+            outWords[i >> 6] |= u64{1} << (i & 63);
 }
 
 } // namespace neon
@@ -614,6 +718,32 @@ checkedPopcount(const u64 *words, size_t n)
     return got;
 }
 
+template <void (*Fn)(const u64 *, size_t, unsigned, u64 *)>
+void
+checkedShrCol(const u64 *in, size_t n, unsigned shift, u64 *out)
+{
+    Fn(in, n, shift, out);
+    std::vector<u64> ref(n);
+    scalar::shrU64Col(in, n, shift, ref.data());
+    MSIM_AUDIT_CHECK(
+        n == 0 ||
+            std::memcmp(ref.data(), out, n * sizeof(u64)) == 0,
+        "simd shrU64Col diverged (n=%zu shift=%u)", n, shift);
+}
+
+template <void (*Fn)(const u64 *, size_t, u64, u64 *)>
+void
+checkedEqU64(const u64 *values, size_t n, u64 needle, u64 *outWords)
+{
+    Fn(values, n, needle, outWords);
+    std::vector<u64> ref((n + 63) / 64);
+    scalar::eqU64Bitmap(values, n, needle, ref.data());
+    MSIM_AUDIT_CHECK(
+        std::memcmp(ref.data(), outWords, ref.size() * sizeof(u64)) == 0,
+        "simd eqU64Bitmap diverged (n=%zu needle=%llx)", n,
+        (unsigned long long)needle);
+}
+
 } // namespace
 
 #define MSIM_SIMD_KERNEL(checker, fn) checker<fn>
@@ -632,6 +762,7 @@ const Ops kScalarOps = {
     Level::Scalar,        scalar::minActiveU64,  scalar::leBitmap64,
     scalar::minMaskedU64, scalar::maxBroadcastU64, scalar::wakeDecU8,
     scalar::eqByteBitmap, scalar::testBitBitmap, scalar::popcountWords,
+    scalar::shrU64Col,    scalar::eqU64Bitmap,
 };
 
 #if MSIM_SIMD_X86
@@ -645,6 +776,8 @@ const Ops kSse2Ops = {
     MSIM_SIMD_KERNEL(checkedEqByte, sse2::eqByteBitmap),
     MSIM_SIMD_KERNEL(checkedTestBit, sse2::testBitBitmap),
     scalar::popcountWords,
+    MSIM_SIMD_KERNEL(checkedShrCol, sse2::shrU64Col),
+    scalar::eqU64Bitmap,
 };
 
 const Ops kAvx2Ops = {
@@ -657,6 +790,8 @@ const Ops kAvx2Ops = {
     MSIM_SIMD_KERNEL(checkedEqByte, avx2::eqByteBitmap),
     MSIM_SIMD_KERNEL(checkedTestBit, avx2::testBitBitmap),
     MSIM_SIMD_KERNEL(checkedPopcount, avx2::popcountWords),
+    MSIM_SIMD_KERNEL(checkedShrCol, avx2::shrU64Col),
+    MSIM_SIMD_KERNEL(checkedEqU64, avx2::eqU64Bitmap),
 };
 #endif
 
@@ -671,6 +806,8 @@ const Ops kNeonOps = {
     MSIM_SIMD_KERNEL(checkedEqByte, neon::eqByteBitmap),
     MSIM_SIMD_KERNEL(checkedTestBit, neon::testBitBitmap),
     MSIM_SIMD_KERNEL(checkedPopcount, neon::popcountWords),
+    MSIM_SIMD_KERNEL(checkedShrCol, neon::shrU64Col),
+    MSIM_SIMD_KERNEL(checkedEqU64, neon::eqU64Bitmap),
 };
 #endif
 

@@ -113,6 +113,24 @@ struct Ops
 
     /** Total population count of words[0..n). */
     u64 (*popcountWords)(const u64 *words, size_t n);
+
+    /**
+     * out[i] = in[i] >> shift for i in [0, n); shift in [0, 63].
+     * The batched memory layer derives a chunk's shared line-address
+     * column from the raw byte-address column with one call per
+     * distinct line size.
+     */
+    void (*shrU64Col)(const u64 *in, size_t n, unsigned shift, u64 *out);
+
+    /**
+     * outWords[i/64] bit i%64 set iff values[i] == needle, i in [0, n).
+     * Writes ceil(n/64) words; tail bits above n are zero.  This is
+     * the multi-lane tag probe: with a geometry class's tags laid out
+     * lane-major per set (see mem::TagArena), one call classifies a
+     * line against every lane x way slot of the set.
+     */
+    void (*eqU64Bitmap)(const u64 *values, size_t n, u64 needle,
+                        u64 *outWords);
 };
 
 /** Table for the currently active level (override / env / detected). */
@@ -136,6 +154,8 @@ u64 wakeDecU8(u8 *counts, u64 mask);
 void eqByteBitmap(const u8 *bytes, size_t n, u8 value, u64 *outWords);
 void testBitBitmap(const u8 *bytes, size_t n, u8 bit, u64 *outWords);
 u64 popcountWords(const u64 *words, size_t n);
+void shrU64Col(const u64 *in, size_t n, unsigned shift, u64 *out);
+void eqU64Bitmap(const u64 *values, size_t n, u64 needle, u64 *outWords);
 } // namespace scalar
 
 /**

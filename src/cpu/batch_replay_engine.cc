@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/simd.hh"
 #include "cpu/core.hh"
+#include "mem/batch.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 
@@ -180,6 +181,8 @@ BatchReplayEngine::decodeChunk(u64 start, u64 end, u64 limit)
     decoded_.resize(limit - start);
     ReplayEngine::DecodedInst *out = decoded_.data();
     u64 sc = srcCursorNext_; // CSR offset of instruction `start`
+    u64 mc = memCursorNext_; // memory-lane ordinal of instruction `start`
+    chunkMemBegin_ = mc;
     for (u64 i = start; i < limit; ++i) {
         ReplayEngine::DecodedInst &d = out[i - start];
         const unsigned opn = ops[i];
@@ -204,9 +207,15 @@ BatchReplayEngine::decodeChunk(u64 start, u64 end, u64 limit)
             d.srcDelta[k] = static_cast<u16>(delta);
         }
         sc += ns;
-        if (i + 1 == end)
+        if (((meta >> ReplayEngine::kDecMemShift) & 3u) !=
+            ReplayEngine::kDecMemNone)
+            ++mc;
+        if (i + 1 == end) {
             srcCursorNext_ = sc; // next chunk decodes from `end`
+            memCursorNext_ = mc;
+        }
     }
+    chunkMemEnd_ = mc; // covers the margin past `end` too
 }
 
 void
@@ -235,6 +244,10 @@ BatchReplayEngine::run()
             MSIM_OBS_SPAN(span, "batch.decode");
             decodeChunk(start, end, limit);
         }
+        // The shared line columns must be live before any lane issues
+        // an access keyed by an ordinal in this chunk's window.
+        if (batchMem_)
+            batchMem_->setChunkWindow(chunkMemBegin_, chunkMemEnd_);
         MSIM_OBS_SPAN(span, "batch.chunk");
         for (size_t k = 0; k < engines_.size(); ++k) {
             if (!laneRunning_[k])

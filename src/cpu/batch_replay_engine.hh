@@ -50,6 +50,11 @@
 
 #include "cpu/replay_engine.hh"
 
+namespace msim::mem
+{
+class BatchMemory;
+}
+
 namespace msim::cpu
 {
 
@@ -89,6 +94,16 @@ class BatchReplayEngine
     BatchReplayEngine(const prog::RecordedTrace &trace,
                       std::span<const Lane> lanes,
                       u64 chunkInstructions = kDefaultChunk);
+
+    /**
+     * Attach the batched memory layer serving (some of) the lanes'
+     * ports: after each chunk decode, run() hands it the chunk's
+     * memory-lane window (mem::BatchMemory::setChunkWindow) so the
+     * shared line-address columns cover every ordinal the chunk can
+     * dispatch.  Optional — lanes on plain Hierarchy ports need no
+     * per-chunk notification.  Call before run().
+     */
+    void setBatchMemory(mem::BatchMemory *bm) { batchMem_ = bm; }
 
     /** Drive every lane to completion; call exactly once. */
     void run();
@@ -146,6 +161,13 @@ class BatchReplayEngine
     /** Decoded window for the current chunk (reused across chunks). */
     std::vector<ReplayEngine::DecodedInst> decoded_;
     u64 srcCursorNext_ = 0; ///< CSR offset of the next chunk's start
+    u64 memCursorNext_ = 0; ///< memory-lane ordinal of the next start
+
+    // Memory-lane span of the chunk just decoded ([begin, end) covers
+    // instructions [start, limit), i.e. including the decode margin).
+    u64 chunkMemBegin_ = 0;
+    u64 chunkMemEnd_ = 0;
+    mem::BatchMemory *batchMem_ = nullptr;
 
     /** Taken bit per dynamic branch (one extraction pass, all lanes). */
     std::vector<u8> branchTaken_;

@@ -131,7 +131,8 @@ ReplayEngine::issueSlot(Slot &s)
             s.level = mem::HitLevel::L1;
             ++stats_.loadsL1;
         } else {
-            const auto res = mem_.access(s.addr, mem::AccessKind::Load, done);
+            const auto res =
+                mem_.accessAt(s.memOrd, s.addr, mem::AccessKind::Load, done);
             s.readyTime = res.ready;
             s.level = res.level;
             switch (res.level) {
@@ -145,7 +146,8 @@ ReplayEngine::issueSlot(Slot &s)
         break;
       }
       case Op::Store: {
-        const auto res = mem_.access(s.addr, mem::AccessKind::Store, done);
+        const auto res =
+            mem_.accessAt(s.memOrd, s.addr, mem::AccessKind::Store, done);
         s.readyTime = done; // retirement does not wait for stores
         s.memFreeTime = res.ready;
         s.level = res.level;
@@ -155,7 +157,8 @@ ReplayEngine::issueSlot(Slot &s)
       }
       case Op::Prefetch: {
         const auto res =
-            mem_.access(s.addr, mem::AccessKind::Prefetch, done);
+            mem_.accessAt(s.memOrd, s.addr, mem::AccessKind::Prefetch,
+                          done);
         s.readyTime = done;
         s.memFreeTime = done;
         memqFrees_.push(done);
@@ -435,6 +438,7 @@ ReplayEngine::tryDispatch()
             // One cursor over the dense memory lane: kind, address and
             // the precomputed ordinal arrive together.
             s.addr = memAddrs_[memPos_];
+            s.memOrd = static_cast<u32>(memPos_);
             const u32 aux = memAux_[memPos_];
             ++memPos_;
             ++memqUsed_;
@@ -1014,8 +1018,8 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                 s.level = mem::HitLevel::L1;
                 ++stats_.loadsL1;
             } else {
-                const auto res =
-                    mem_.access(s.addr, mem::AccessKind::Load, done);
+                const auto res = mem_.accessAt(
+                    s.memOrd, s.addr, mem::AccessKind::Load, done);
                 s.readyTime = res.ready;
                 s.level = res.level;
                 switch (res.level) {
@@ -1029,8 +1033,8 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             break;
           }
           case Op::Store: {
-            const auto res =
-                mem_.access(s.addr, mem::AccessKind::Store, done);
+            const auto res = mem_.accessAt(
+                s.memOrd, s.addr, mem::AccessKind::Store, done);
             s.readyTime = done; // retirement does not wait for stores
             s.memFreeTime = res.ready;
             s.level = res.level;
@@ -1039,8 +1043,8 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             break;
           }
           case Op::Prefetch: {
-            const auto res =
-                mem_.access(s.addr, mem::AccessKind::Prefetch, done);
+            const auto res = mem_.accessAt(
+                s.memOrd, s.addr, mem::AccessKind::Prefetch, done);
             s.readyTime = done;
             s.memFreeTime = done;
             memqFrees_.push(done);
@@ -1458,6 +1462,7 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                 }
                 if (mkBits != kDecMemNone) {
                     s.addr = memAddrs_[memPos];
+                    s.memOrd = static_cast<u32>(memPos);
                     const u32 aux = memAux_[memPos];
                     ++memPos;
                     ++memqUsed;

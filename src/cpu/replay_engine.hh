@@ -210,6 +210,8 @@ class ReplayEngine
         Cycle depTime;     ///< max known source ready time
         Cycle memFreeTime;
         u32 aux;           ///< load: candidate store; store: ring ordinal
+        u32 memOrd;        ///< memory-lane ordinal (mem ops only): keys
+                           ///< the batched layer's shared line columns
         u32 waiterHead;    ///< chain of (slot << 2 | src) waiting on dst
         u32 waiterNext[3];
         isa::Op op;

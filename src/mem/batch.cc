@@ -1,0 +1,327 @@
+#include "mem/batch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "audit/invariants.hh"
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "common/simd.hh"
+#include "obs/metrics.hh"
+
+namespace msim::mem
+{
+
+namespace
+{
+
+/// ScopedBatchMem override: -1 = none, else 0/1. Process-wide like
+/// simd::ScopedLevel — the A/B harnesses run the sides sequentially.
+int g_override = -1;
+
+bool
+envEnabled()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("MSIM_MEM_BATCH");
+        if (!v)
+            return true;
+        return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0);
+    }();
+    return enabled;
+}
+
+#if MSIM_OBS_ENABLED
+
+/** Batched-memory instrumentation: layout gauges + kernel calls. */
+struct BatchMemMetrics
+{
+    obs::MetricId lanes, classes, shrCol, colElems, eqProbe, fallback;
+};
+
+const BatchMemMetrics &
+batchMemMetrics()
+{
+    static const BatchMemMetrics m = {
+        obs::metricId("membatch.lanes", obs::MetricKind::Gauge),
+        obs::metricId("membatch.classes", obs::MetricKind::Gauge),
+        obs::metricId("simd.shr_u64_col", obs::MetricKind::Counter),
+        obs::metricId("membatch.col_elems", obs::MetricKind::Counter),
+        obs::metricId("simd.eq_u64_bitmap", obs::MetricKind::Counter),
+        obs::metricId("membatch.ord_fallback", obs::MetricKind::Counter),
+    };
+    return m;
+}
+
+#endif // MSIM_OBS_ENABLED
+
+} // namespace
+
+bool
+batchMemEnabled()
+{
+    if (g_override >= 0)
+        return g_override != 0;
+    return envEnabled();
+}
+
+ScopedBatchMem::ScopedBatchMem(bool on) : prev_(g_override)
+{
+    g_override = on ? 1 : 0;
+}
+
+ScopedBatchMem::~ScopedBatchMem()
+{
+    g_override = prev_;
+}
+
+bool
+BatchMemory::supports(const MemConfig &config)
+{
+    return config.model == CacheModel::Fast;
+}
+
+BatchMemory::BatchMemory(std::span<const MemConfig> configs)
+{
+    lanes_.reserve(configs.size());
+    for (const MemConfig &cfg : configs) {
+        if (!supports(cfg))
+            panic("batched memory lane requires the fast cache model");
+        auto lane = std::make_unique<Lane>();
+        lane->dram = std::make_unique<Dram>(cfg.dram);
+        lane->l2 =
+            std::make_unique<Cache>(cfg.l2, *lane->dram, HitLevel::L2);
+        lane->l1 =
+            std::make_unique<Cache>(cfg.l1, *lane->l2, HitLevel::L1);
+        lanes_.push_back(std::move(lane));
+    }
+
+    // One shared line column per distinct L1 line size; lane ports keep
+    // a reference into their group (stable: groups are heap-allocated
+    // and the group list never shrinks).
+    for (size_t k = 0; k < configs.size(); ++k) {
+        ShiftGroup &g = groupForShift(log2i(configs[k].l1.lineBytes));
+        lanes_[k]->port = std::make_unique<LanePort>(
+            *lanes_[k]->l1, *lanes_[k]->l2, g);
+    }
+
+    buildClasses(configs);
+
+#if MSIM_OBS_ENABLED
+    const BatchMemMetrics &m = batchMemMetrics();
+    obs::gaugeSet(m.lanes, static_cast<double>(lanes_.size()));
+    obs::gaugeSet(m.classes, static_cast<double>(classes_[0].size() +
+                                                 classes_[1].size()));
+#endif
+}
+
+BatchMemory::ShiftGroup &
+BatchMemory::groupForShift(unsigned shift)
+{
+    for (auto &g : shiftGroups_)
+        if (g->shift == shift)
+            return *g;
+    shiftGroups_.push_back(std::make_unique<ShiftGroup>());
+    shiftGroups_.back()->shift = shift;
+    return *shiftGroups_.back();
+}
+
+void
+BatchMemory::buildClasses(std::span<const MemConfig> configs)
+{
+    for (unsigned level = 0; level < 2; ++level) {
+        auto &classes = classes_[level];
+        for (size_t k = 0; k < configs.size(); ++k) {
+            const CacheConfig &c =
+                level == 0 ? configs[k].l1 : configs[k].l2;
+            // The L2 is indexed with L1 line numbers (Cache::accessLine
+            // receives them from the upper level), so two L2s only
+            // share a tag space when their upstream line granularity
+            // matches too.
+            const u32 space =
+                level == 0 ? c.lineBytes : configs[k].l1.lineBytes;
+            const u32 sets = checkedNumSets(c);
+            TagClass *match = nullptr;
+            for (TagClass &tc : classes) {
+                if (tc.spaceLineBytes == space &&
+                    tc.lineBytes == c.lineBytes && tc.numSets == sets &&
+                    tc.assoc == c.assoc) {
+                    match = &tc;
+                    break;
+                }
+            }
+            if (!match) {
+                classes.push_back(
+                    {space, c.lineBytes, sets, c.assoc, {}, {}, {}, {}});
+                match = &classes.back();
+            }
+            match->members.push_back(k);
+        }
+
+        // Membership is final: allocate each class arena and rebind the
+        // member caches onto their lane-major slices.  bindTagArena
+        // resets every slot the lane owns, and the lanes tile the
+        // arena completely, so the initial fill value is irrelevant.
+        for (TagClass &tc : classes) {
+            const size_t slots =
+                static_cast<size_t>(tc.numSets) * tc.setStride();
+            tc.tags.assign(slots, 0);
+            tc.use.assign(slots, 0);
+            tc.dirty.assign(slots, 0);
+            for (size_t m = 0; m < tc.members.size(); ++m) {
+                const TagArenaView view{tc.tags.data(), tc.use.data(),
+                                        tc.dirty.data(), tc.setStride(),
+                                        m * tc.assoc};
+                Cache &cache = level == 0 ? *lanes_[tc.members[m]]->l1
+                                          : *lanes_[tc.members[m]]->l2;
+                cache.bindTagArena(view);
+            }
+        }
+    }
+}
+
+void
+BatchMemory::bind(const Addr *memAddrs, u64 memOps)
+{
+    memAddrs_ = memAddrs;
+    memOps_ = memOps;
+}
+
+void
+BatchMemory::setChunkWindow(u64 memBegin, u64 memEnd)
+{
+    // An empty trace binds a null column base (vector::data() on an
+    // empty column); that is fine as long as the window is empty too.
+    MSIM_AUDIT_CHECK((memAddrs_ != nullptr || memEnd == 0) &&
+                         memBegin <= memEnd && memEnd <= memOps_,
+                     "chunk window [%llu, %llu) outside memory lane "
+                     "(%llu ops, bound %d)",
+                     static_cast<unsigned long long>(memBegin),
+                     static_cast<unsigned long long>(memEnd),
+                     static_cast<unsigned long long>(memOps_),
+                     memAddrs_ != nullptr);
+    const size_t n = static_cast<size_t>(memEnd - memBegin);
+    const simd::Ops &sv = simd::ops();
+    for (auto &gp : shiftGroups_) {
+        ShiftGroup &g = *gp;
+        g.lines.resize(n);
+        if (n != 0)
+            sv.shrU64Col(memAddrs_ + memBegin, n, g.shift,
+                         g.lines.data());
+        g.base = memBegin;
+        g.end = memEnd;
+    }
+#if MSIM_OBS_ENABLED
+    const BatchMemMetrics &m = batchMemMetrics();
+    obs::count(m.shrCol, shiftGroups_.size());
+    obs::count(m.colElems, n * shiftGroups_.size());
+#endif
+#if MSIM_AUDIT_ENABLED
+    // Exercise the SoA probe invariant once per chunk on a live
+    // address (probeClass self-checks against per-lane recompute).
+    if (n != 0)
+        auditClassProbes(memAddrs_[memBegin]);
+#endif
+}
+
+AccessResult
+BatchMemory::LanePort::accessAt(u64 ord, Addr addr, AccessKind kind,
+                                Cycle t)
+{
+    const ShiftGroup &g = group_;
+    if (ord >= g.base && ord < g.end) {
+        const Addr line = g.lines[ord - g.base];
+        // batchmem-column-consistency: the shared column entry for
+        // this ordinal must equal the per-access decomposition.
+        MSIM_AUDIT_CHECK(line == addr >> g.shift,
+                         "column[%llu] = %llu != addr %llu >> %u",
+                         static_cast<unsigned long long>(ord),
+                         static_cast<unsigned long long>(line),
+                         static_cast<unsigned long long>(addr), g.shift);
+        return l1_.accessLine(line, kind, t);
+    }
+    // In flight since before the current chunk window (bounded by the
+    // lane's window size, so rare): decompose the address directly.
+#if MSIM_OBS_ENABLED
+    obs::count(batchMemMetrics().fallback);
+#endif
+    return l1_.access(addr, kind, t);
+}
+
+size_t
+BatchMemory::classCount(unsigned level) const
+{
+    return classes_[level].size();
+}
+
+const std::vector<size_t> &
+BatchMemory::classMembers(unsigned level, size_t cls) const
+{
+    return classes_[level][cls].members;
+}
+
+void
+BatchMemory::probeClass(unsigned level, size_t cls, Addr line,
+                        u64 *outMemberBits) const
+{
+    const TagClass &c = classes_[level][cls];
+    const size_t stride = c.setStride();
+    const size_t base =
+        static_cast<size_t>(line & (c.numSets - 1)) * stride;
+    const size_t nw = (c.members.size() + 63) / 64;
+
+    // One sweep classifies every lane x way slot of the set; the
+    // member reduction folds each lane's way bits into one residency
+    // bit.
+    std::vector<u64> slotWords((stride + 63) / 64);
+    simd::ops().eqU64Bitmap(c.tags.data() + base, stride, line,
+                            slotWords.data());
+#if MSIM_OBS_ENABLED
+    obs::count(batchMemMetrics().eqProbe);
+#endif
+    for (size_t w = 0; w < nw; ++w)
+        outMemberBits[w] = 0;
+    for (size_t m = 0; m < c.members.size(); ++m) {
+        bool hit = false;
+        for (size_t way = 0; way < c.assoc && !hit; ++way) {
+            const size_t bit = m * c.assoc + way;
+            hit = ((slotWords[bit / 64] >> (bit % 64)) & 1) != 0;
+        }
+        if (hit)
+            outMemberBits[m / 64] |= u64{1} << (m % 64);
+    }
+
+#if MSIM_AUDIT_ENABLED
+    // batchmem-tag-soa: the arena probe must agree with each member
+    // cache's own view through its private slot arithmetic.
+    for (size_t m = 0; m < c.members.size(); ++m) {
+        const Cache &cache = level == 0 ? *lanes_[c.members[m]]->l1
+                                        : *lanes_[c.members[m]]->l2;
+        const bool ref = cache.hasLine(line);
+        const bool got = ((outMemberBits[m / 64] >> (m % 64)) & 1) != 0;
+        MSIM_AUDIT_CHECK(ref == got,
+                         "class L%u/%zu member %zu line %llu: arena "
+                         "probe %d != cache residency %d",
+                         level + 1, cls, m,
+                         static_cast<unsigned long long>(line), got,
+                         ref);
+    }
+#endif
+}
+
+#if MSIM_AUDIT_ENABLED
+void
+BatchMemory::auditClassProbes(Addr byteAddr) const
+{
+    for (unsigned level = 0; level < 2; ++level) {
+        for (size_t i = 0; i < classes_[level].size(); ++i) {
+            const TagClass &c = classes_[level][i];
+            std::vector<u64> bits((c.members.size() + 63) / 64);
+            probeClass(level, i, byteAddr >> log2i(c.spaceLineBytes),
+                       bits.data());
+        }
+    }
+}
+#endif
+
+} // namespace msim::mem

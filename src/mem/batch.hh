@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Cross-lane batched memory hierarchy for sweep replay.
+ *
+ * The batch replay engine (cpu::BatchReplayEngine) steps N machine
+ * configs through one trace in lockstep chunks.  With N independent
+ * Hierarchy objects every lane re-derives the same per-access facts
+ * from the same address stream: the line number (addr >> lineShift)
+ * is recomputed N times per memory op, and each lane's tag store is a
+ * private allocation with no relationship to its neighbours even when
+ * the sweep varies nothing but, say, the L1 size — in which case many
+ * lanes share the exact cache geometry.
+ *
+ * BatchMemory replaces those per-lane hierarchies with one shared
+ * object structured around two observations:
+ *
+ *  1. The *address column* of a chunk is lane-invariant.  Per decoded
+ *     chunk the driver hands over the memory-op window once
+ *     (setChunkWindow) and the shared line-address column is derived
+ *     with one simd::shrU64Col sweep per distinct L1 line size — not
+ *     one shift per lane per access.  Lane ports then look their line
+ *     numbers up by memory-lane ordinal (MemoryPort::accessAt).
+ *
+ *  2. Lanes with identical cache geometry (same lineBytes x numSets x
+ *     assoc at a level, plus the same upstream line granularity for
+ *     the L2, which receives L1 line numbers) are grouped into a
+ *     *geometry class* whose tag stores live in one shared arena laid
+ *     out lane-major per set: slot = set * (laneCount * assoc) +
+ *     lane * assoc + way.  One set's tags across every lane of the
+ *     class are contiguous, so a single simd::eqU64Bitmap call
+ *     classifies a line against all lane x way slots at once
+ *     (probeClass).  Each member Cache is rebound onto its arena
+ *     slice (Cache::bindTagArena) and is otherwise unchanged.
+ *
+ * Timing — MSHRs, ports, DRAM banks, LRU stamps — stays strictly
+ * per-lane: lanes issue at different cycles in different orders, and
+ * hit/miss classification feeds back into per-lane timing (MSHR
+ * combining, prefetch drops), so a cross-lane *timed* probe cannot be
+ * bit-identical to per-lane evaluation.  The multi-lane probe kernel
+ * is therefore load-bearing on the timing-free surfaces — the
+ * tag-SoA audit invariant, the tests and bench_micro — while the
+ * timed path consumes the shared line column per lane.  Results are
+ * bit-identical to per-lane Hierarchy objects by construction
+ * (enforced by tests/test_mem_batch.cc and audit_fuzz --mode
+ * membatch).
+ */
+
+#ifndef MSIM_MEM_BATCH_HH_
+#define MSIM_MEM_BATCH_HH_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/hierarchy.hh"
+
+namespace msim::mem
+{
+
+/**
+ * Process-wide gate for the batched memory layer: when false,
+ * sim::replayTraceBatch gives every lane a private Hierarchy exactly
+ * as before.  Default on; MSIM_MEM_BATCH=0 (or "off") disables, and
+ * ScopedBatchMem overrides either way for A/B harnesses.
+ */
+bool batchMemEnabled();
+
+/** RAII override of batchMemEnabled() (nests; restores on destruction). */
+class ScopedBatchMem
+{
+  public:
+    explicit ScopedBatchMem(bool on);
+    ~ScopedBatchMem();
+
+    ScopedBatchMem(const ScopedBatchMem &) = delete;
+    ScopedBatchMem &operator=(const ScopedBatchMem &) = delete;
+
+  private:
+    int prev_;
+};
+
+/** See file comment. */
+class BatchMemory
+{
+  public:
+    /**
+     * Which configurations the batched layer can drive: the fast cache
+     * model only.  The reference model is kept verbatim from the
+     * original implementation and grows no new entry points; reference
+     * lanes keep private Hierarchy objects (the caller mixes freely).
+     */
+    static bool supports(const MemConfig &config);
+
+    /** One lane per entry of @p configs; all must pass supports(). */
+    explicit BatchMemory(std::span<const MemConfig> configs);
+
+    BatchMemory(const BatchMemory &) = delete;
+    BatchMemory &operator=(const BatchMemory &) = delete;
+
+    /**
+     * Attach the trace's dense memory-address column (the backing
+     * array must outlive replay).  Chunk windows index into it.
+     */
+    void bind(const Addr *memAddrs, u64 memOps);
+
+    /**
+     * Precompute the shared line-address columns for memory-lane
+     * ordinals [memBegin, memEnd): one simd::shrU64Col sweep per
+     * distinct L1 line size.  Called by the batch driver after each
+     * chunk decode; accesses with ordinals below the window (issued by
+     * instructions still in flight from earlier chunks) fall back to
+     * per-access decomposition in the lane port.
+     */
+    void setChunkWindow(u64 memBegin, u64 memEnd);
+
+    size_t laneCount() const { return lanes_.size(); }
+
+    /** The port lane @p lane's core issues accesses to. */
+    MemoryPort &port(size_t lane) { return *lanes_[lane]->port; }
+
+    const CacheLevel &l1(size_t lane) const { return *lanes_[lane]->l1; }
+    const CacheLevel &l2(size_t lane) const { return *lanes_[lane]->l2; }
+    const Dram &dram(size_t lane) const { return *lanes_[lane]->dram; }
+
+    // --- Geometry classes (tests, audit, bench_micro) ----------------
+
+    /** Distinct geometry classes at @p level (0 = L1, 1 = L2). */
+    size_t classCount(unsigned level) const;
+
+    /** Lane indices of class @p cls at @p level, in lane order. */
+    const std::vector<size_t> &classMembers(unsigned level,
+                                            size_t cls) const;
+
+    /**
+     * Timing-free multi-lane tag probe: classify @p line (already in
+     * the level's line-number space) against every member lane of the
+     * class with one simd::eqU64Bitmap sweep over the set's lane-major
+     * arena slots.  Bit k of @p outMemberBits is set iff member k
+     * holds the line; writes ceil(members / 64) words.  Read-only (no
+     * LRU update).  Under audit builds the result is checked against a
+     * per-lane recompute through each member cache's own slot
+     * arithmetic (batchmem-tag-soa invariant).
+     */
+    void probeClass(unsigned level, size_t cls, Addr line,
+                    u64 *outMemberBits) const;
+
+  private:
+    /** Shared per-chunk line column for one distinct L1 line shift. */
+    struct ShiftGroup
+    {
+        unsigned shift = 0;
+        u64 base = 0; ///< memory-lane ordinal of lines[0]
+        u64 end = 0;  ///< one past the last covered ordinal
+        std::vector<Addr> lines;
+    };
+
+    /**
+     * One geometry class: the shared lane-major tag arena plus the
+     * facts needed to address it (see file comment for the layout).
+     */
+    struct TagClass
+    {
+        u32 spaceLineBytes; ///< line granularity of the address space
+        u32 lineBytes;
+        u32 numSets;
+        u32 assoc;
+        std::vector<size_t> members;
+        std::vector<Addr> tags;
+        std::vector<u64> use;
+        std::vector<u8> dirty;
+
+        size_t setStride() const { return members.size() * assoc; }
+    };
+
+    /** MemoryPort view of one lane (accessAt consumes the column). */
+    class LanePort final : public MemoryPort
+    {
+      public:
+        LanePort(Cache &l1, Cache &l2, const ShiftGroup &group)
+            : l1_(l1), l2_(l2), group_(group)
+        {}
+
+        AccessResult
+        access(Addr addr, AccessKind kind, Cycle t) override
+        {
+            return l1_.access(addr, kind, t);
+        }
+
+        AccessResult accessAt(u64 ord, Addr addr, AccessKind kind,
+                              Cycle t) override;
+
+        Cycle
+        nextFillTime(Cycle t) const override
+        {
+            return std::min(l1_.nextFillTime(t), l2_.nextFillTime(t));
+        }
+
+      private:
+        Cache &l1_;
+        Cache &l2_;
+        const ShiftGroup &group_;
+    };
+
+    /** Everything owned per lane; the tag stores live in the arenas. */
+    struct Lane
+    {
+        std::unique_ptr<Dram> dram;
+        std::unique_ptr<Cache> l2;
+        std::unique_ptr<Cache> l1;
+        std::unique_ptr<LanePort> port;
+    };
+
+    ShiftGroup &groupForShift(unsigned shift);
+    void buildClasses(std::span<const MemConfig> configs);
+
+#if MSIM_AUDIT_ENABLED
+    void auditClassProbes(Addr byteAddr) const;
+#endif
+
+    const Addr *memAddrs_ = nullptr;
+    u64 memOps_ = 0;
+
+    std::vector<std::unique_ptr<Lane>> lanes_;
+    // Deques-in-spirit: both vectors are fully built before any
+    // pointer/reference into them is taken (ShiftGroup refs are held
+    // by lane ports, arena pointers by the member caches).
+    std::vector<std::unique_ptr<ShiftGroup>> shiftGroups_;
+    std::vector<TagClass> classes_[2]; ///< [0] = L1, [1] = L2
+};
+
+} // namespace msim::mem
+
+#endif // MSIM_MEM_BATCH_HH_

@@ -48,9 +48,14 @@ Cache::Cache(const CacheConfig &config, Level &next, HitLevel level)
     lineShift_ = log2i(config.lineBytes);
     setMask_ = numSets - 1;
 
-    tags_.assign(static_cast<size_t>(numSets) * assoc_, kNoLine);
-    lastUse_.assign(tags_.size(), 0);
-    dirty_.assign(tags_.size(), 0);
+    tagStore_.assign(static_cast<size_t>(numSets) * assoc_, kNoLine);
+    useStore_.assign(tagStore_.size(), 0);
+    dirtyStore_.assign(tagStore_.size(), 0);
+    tags_ = tagStore_.data();
+    lastUse_ = useStore_.data();
+    dirty_ = dirtyStore_.data();
+    setStride_ = assoc_;
+    laneBase_ = 0;
 
     portFree.assign(config.ports, 0);
 
@@ -68,6 +73,35 @@ Cache::Cache(const CacheConfig &config, Level &next, HitLevel level)
     mapKey_.assign(cap, kNoLine);
     mapVal_.assign(cap, kNoMshr);
     mapMask_ = cap - 1;
+}
+
+void
+Cache::bindTagArena(const TagArenaView &view)
+{
+    MSIM_AUDIT_CHECK(accesses_.value() == 0,
+                     "bindTagArena after %llu accesses",
+                     static_cast<unsigned long long>(accesses_.value()));
+    tags_ = view.tags;
+    lastUse_ = view.lastUse;
+    dirty_ = view.dirty;
+    setStride_ = view.setStride;
+    laneBase_ = view.laneBase;
+    // This lane's slots start just-constructed; the standalone backing
+    // vectors are released (the arena owns the state from here on).
+    for (size_t set = 0; set < numSets; ++set) {
+        const size_t base = set * setStride_ + laneBase_;
+        for (size_t w = 0; w < assoc_; ++w) {
+            tags_[base + w] = kNoLine;
+            lastUse_[base + w] = 0;
+            dirty_[base + w] = 0;
+        }
+    }
+    tagStore_.clear();
+    tagStore_.shrink_to_fit();
+    useStore_.clear();
+    useStore_.shrink_to_fit();
+    dirtyStore_.clear();
+    dirtyStore_.shrink_to_fit();
 }
 
 void
@@ -159,7 +193,7 @@ void
 Cache::auditTagSet(Addr line) const
 {
     const Addr set = line & setMask_;
-    const size_t base = static_cast<size_t>(set) * assoc_;
+    const size_t base = slotBase(line);
     for (size_t s = base; s < base + assoc_; ++s) {
         if (tags_[s] == kNoLine)
             continue;
@@ -301,7 +335,7 @@ Cache::allocateMshr(u32 idx, Addr line, Cycle fill_time, bool is_load,
 s64
 Cache::lookup(Addr line, u64 use_stamp)
 {
-    const size_t base = static_cast<size_t>(line & setMask_) * assoc_;
+    const size_t base = slotBase(line);
     for (size_t s = base; s < base + assoc_; ++s) {
         if (tags_[s] == line) {
             lastUse_[s] = use_stamp;
@@ -314,7 +348,7 @@ Cache::lookup(Addr line, u64 use_stamp)
 void
 Cache::insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp)
 {
-    const size_t base = static_cast<size_t>(line & setMask_) * assoc_;
+    const size_t base = slotBase(line);
     size_t victim = base;
     for (size_t s = base; s < base + assoc_; ++s) {
         if (tags_[s] == kNoLine) {
@@ -339,7 +373,7 @@ Cache::insert(Addr line, bool dirty, Cycle fill_time, u64 use_stamp)
 void
 Cache::warmInsert(Addr line, bool dirty)
 {
-    const size_t base = static_cast<size_t>(line & setMask_) * assoc_;
+    const size_t base = slotBase(line);
     size_t victim = base;
     for (size_t s = base; s < base + assoc_; ++s) {
         if (tags_[s] == kNoLine) {
@@ -434,11 +468,16 @@ Cache::accessImpl(Addr line, AccessKind kind, Cycle t)
     Cycle arrival = std::max(t, inputBlockedUntil);
     for (;;) {
         const Cycle start = allocPort(arrival);
-        mshrOcc.advance(start, busyMshrs(start));
+        const unsigned busy = busyMshrs(start);
+        mshrOcc.advance(start, busy);
         result.contended = result.contended || start != t;
 
-        // 1. Request to a line already in flight: combine onto its MSHR.
-        if (const u32 m = findMshr(line, start); m != kNoMshr) {
+        // 1. Request to a line already in flight: combine onto its
+        // MSHR.  findMshr can only return an MSHR whose fill time
+        // exceeds `start`, so the busy count already computed for the
+        // occupancy tracker proves the probe is futile when zero.
+        if (const u32 m = busy != 0 ? findMshr(line, start) : kNoMshr;
+            m != kNoMshr) {
             if (mshrCombines_[m] < cfg.maxCombines) {
                 ++mshrCombines_[m];
                 MSIM_AUDIT_CHECK(mshrCombines_[m] <= cfg.maxCombines,

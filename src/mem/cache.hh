@@ -135,6 +135,25 @@ class CacheLevel : public Level
     Distribution loadOverlap_;
 };
 
+/**
+ * A view into an externally owned structure-of-arrays tag store shared
+ * by every cache of one geometry class (same lineBytes x numSets x
+ * assoc).  Layout is lane-major per set: slot =
+ * set * setStride + laneBase + way with setStride = laneCount * assoc
+ * and laneBase = laneIndex * assoc, so one set's tags across all lanes
+ * of the class are contiguous and a single simd::eqU64Bitmap call
+ * probes every lane x way slot at once (see mem/batch.hh).  At
+ * laneCount == 1 the layout degenerates to the standalone flat store.
+ */
+struct TagArenaView
+{
+    Addr *tags = nullptr;
+    u64 *lastUse = nullptr;
+    u8 *dirty = nullptr;
+    size_t setStride = 0; ///< slots between consecutive sets
+    size_t laneBase = 0;  ///< first slot of this lane within a set
+};
+
 /** One cache level (fast implementation; see file comment). */
 class Cache final : public CacheLevel
 {
@@ -145,6 +164,35 @@ class Cache final : public CacheLevel
      * @param level   This level's HitLevel tag for classification.
      */
     Cache(const CacheConfig &config, Level &next, HitLevel level);
+
+    /**
+     * Rebind the tag store onto a shared arena slice (see TagArenaView).
+     * Must run before the first access or warm touch: this lane's
+     * arena slots are reset to the just-constructed state (invalid
+     * tags, zero LRU stamps, clean), not migrated.  The arena must
+     * outlive the cache and provide numSets * setStride slots.
+     */
+    void bindTagArena(const TagArenaView &view);
+
+    unsigned sets() const { return numSets; }
+    unsigned ways() const { return assoc_; }
+    unsigned lineShift() const { return lineShift_; }
+    Addr setMask() const { return setMask_; }
+
+    /**
+     * Read-only residency probe (no LRU update, no counters): is
+     * @p line cached right now?  Timing-free surface for the batched
+     * memory layer's tag-SoA audit and the tests.
+     */
+    bool
+    hasLine(Addr line) const
+    {
+        const size_t base = slotBase(line);
+        for (size_t w = 0; w < assoc_; ++w)
+            if (tags_[base + w] == line)
+                return true;
+        return false;
+    }
 
     AccessResult
     access(Addr addr, AccessKind kind, Cycle t) override
@@ -241,16 +289,33 @@ class Cache final : public CacheLevel
     void auditPorts() const;
 #endif
 
+    /** First flat slot of the set holding @p line. */
+    size_t
+    slotBase(Addr line) const
+    {
+        return static_cast<size_t>(line & setMask_) * setStride_ +
+               laneBase_;
+    }
+
     unsigned numSets;
     unsigned assoc_;
     unsigned lineShift_;
     Addr setMask_;
 
-    // Flat tag store: slot = set * assoc + way. tags_[slot] == kNoLine
-    // marks an invalid way.
-    std::vector<Addr> tags_;
-    std::vector<u64> lastUse_;
-    std::vector<u8> dirty_;
+    // Tag store as three parallel columns; tags_[slot] == kNoLine marks
+    // an invalid way.  Standalone caches point the cursors at their own
+    // vectors (slot = set * assoc + way); caches bound to a shared
+    // class arena point into it with the arena's stride/base
+    // (bindTagArena), which is the only layout difference between the
+    // two modes — every lookup/insert path goes through slotBase().
+    std::vector<Addr> tagStore_;
+    std::vector<u64> useStore_;
+    std::vector<u8> dirtyStore_;
+    Addr *tags_ = nullptr;
+    u64 *lastUse_ = nullptr;
+    u8 *dirty_ = nullptr;
+    size_t setStride_ = 0;
+    size_t laneBase_ = 0;
 
     /// Port free times, ascending; [0] is always the next-free port.
     std::vector<Cycle> portFree;

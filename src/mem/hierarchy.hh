@@ -32,6 +32,21 @@ class MemoryPort
     virtual AccessResult access(Addr addr, AccessKind kind, Cycle t) = 0;
 
     /**
+     * access() plus the request's dynamic memory-lane ordinal @p ord
+     * (the index of this access in the trace's dense memory lane).
+     * Ports that precompute per-chunk columns keyed by ordinal — the
+     * batched memory layer's lane views (mem::BatchMemory) — override
+     * this to skip per-access address decomposition; everything else
+     * inherits the plain forward.  Timing and results are identical to
+     * access() by contract (audited in the batch layer).
+     */
+    virtual AccessResult
+    accessAt(u64 /*ord*/, Addr addr, AccessKind kind, Cycle t)
+    {
+        return access(addr, kind, t);
+    }
+
+    /**
      * Earliest cache fill strictly after @p t anywhere behind this
      * port, or ~Cycle{0} when none is in flight.  Diagnostic surface
      * for the event-skip scheduler (fills are not scheduler events —
@@ -56,6 +71,16 @@ class Hierarchy : public MemoryPort
 
     AccessResult
     access(Addr addr, AccessKind kind, Cycle t) override
+    {
+        if (l1Fast_)
+            return l1Fast_->access(addr, kind, t);
+        return l1Ref_->access(addr, kind, t);
+    }
+
+    /// Same devirtualized branch as access(): the default base
+    /// implementation would pay a second virtual dispatch per request.
+    AccessResult
+    accessAt(u64, Addr addr, AccessKind kind, Cycle t) override
     {
         if (l1Fast_)
             return l1Fast_->access(addr, kind, t);

@@ -1,9 +1,12 @@
 #include "sim/runner.hh"
 
+#include <optional>
+
 #include "audit/invariants.hh"
 #include "cpu/batch_replay_engine.hh"
 #include "cpu/core.hh"
 #include "isa/inst.hh"
+#include "mem/batch.hh"
 #include "mem/hierarchy.hh"
 #include "obs/metrics.hh"
 #include "obs/session.hh"
@@ -82,7 +85,8 @@ snapOf(const mem::CacheLevel &c)
  * sampling attached to the run's own hierarchy.
  */
 obs::TimelineRecorder *
-newRunTimeline(const MachineConfig &machine, const mem::Hierarchy &h)
+newRunTimeline(const MachineConfig &machine, const mem::CacheLevel &l1,
+               const mem::CacheLevel &l2)
 {
     obs::Session *s = obs::Session::active();
     if (!s)
@@ -94,7 +98,7 @@ newRunTimeline(const MachineConfig &machine, const mem::Hierarchy &h)
         label += "@" + machine.label;
     obs::TimelineRecorder *tl = s->newTimeline(std::move(label));
     if (tl)
-        tl->attachMem(&h.l1().mshrOccupancy(), &h.l2().mshrOccupancy());
+        tl->attachMem(&l1.mshrOccupancy(), &l2.mshrOccupancy());
     return tl;
 }
 
@@ -172,7 +176,8 @@ runTrace(const Generator &generate, const MachineConfig &machine)
                           machine.visFeatures);
 
 #if MSIM_OBS_ENABLED
-    obs::TimelineRecorder *tl = newRunTimeline(machine, hierarchy);
+    obs::TimelineRecorder *tl =
+        newRunTimeline(machine, hierarchy.l1(), hierarchy.l2());
     core.setTimeline(tl);
     MSIM_OBS_SPAN(span, "live", machine.label);
 #endif
@@ -210,7 +215,8 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
     mem::Hierarchy hierarchy(machine.mem);
     cpu::PipelineCore core(machine.core, hierarchy);
 #if MSIM_OBS_ENABLED
-    obs::TimelineRecorder *tl = newRunTimeline(machine, hierarchy);
+    obs::TimelineRecorder *tl =
+        newRunTimeline(machine, hierarchy.l1(), hierarchy.l2());
     core.setTimeline(tl);
     MSIM_OBS_SPAN(span, "replay", machine.label);
 #endif
@@ -250,28 +256,72 @@ replayTraceBatch(const prog::RecordedTrace &trace,
     }
 
     if (!batched.empty()) {
-        // One hierarchy per lane; Hierarchy is movable, so the vector
-        // can be built without pointer indirection.
+        // Lanes on the fast cache model share one batched memory
+        // object (shared per-chunk line columns + geometry-class tag
+        // arenas, see mem::BatchMemory); reference-model lanes — and
+        // every lane when MSIM_MEM_BATCH=0 — keep a private Hierarchy
+        // but still replay in the same CPU lockstep group.
+        constexpr size_t kNone = ~size_t{0};
+        const bool useBatchMem = mem::batchMemEnabled();
+        std::vector<size_t> bmIndex(batched.size(), kNone);
+        std::vector<size_t> hierIndex(batched.size(), kNone);
+        std::vector<mem::MemConfig> bmConfigs;
+        size_t nHier = 0;
+        for (size_t k = 0; k < batched.size(); ++k) {
+            const mem::MemConfig &mc = machines[batched[k]].mem;
+            if (useBatchMem && mem::BatchMemory::supports(mc)) {
+                bmIndex[k] = bmConfigs.size();
+                bmConfigs.push_back(mc);
+            } else {
+                hierIndex[k] = nHier++;
+            }
+        }
+
+        std::optional<mem::BatchMemory> bm;
+        if (!bmConfigs.empty()) {
+            bm.emplace(std::span<const mem::MemConfig>(bmConfigs));
+            bm->bind(trace.memAddrCol().data(),
+                     trace.memAddrCol().size());
+        }
         std::vector<mem::Hierarchy> hierarchies;
-        hierarchies.reserve(batched.size());
+        hierarchies.reserve(nHier);
+        for (size_t k = 0; k < batched.size(); ++k)
+            if (hierIndex[k] != kNone)
+                hierarchies.emplace_back(machines[batched[k]].mem);
+
         std::vector<cpu::BatchReplayEngine::Lane> lanes;
         lanes.reserve(batched.size());
-        for (const size_t i : batched)
-            hierarchies.emplace_back(machines[i].mem);
-        for (size_t k = 0; k < batched.size(); ++k)
-            lanes.push_back({&machines[batched[k]].core, &hierarchies[k]});
+        for (size_t k = 0; k < batched.size(); ++k) {
+            mem::MemoryPort *port =
+                bmIndex[k] != kNone
+                    ? &bm->port(bmIndex[k])
+                    : static_cast<mem::MemoryPort *>(
+                          &hierarchies[hierIndex[k]]);
+            lanes.push_back({&machines[batched[k]].core, port});
+        }
+
+        const auto l1Of = [&](size_t k) -> const mem::CacheLevel & {
+            return bmIndex[k] != kNone ? bm->l1(bmIndex[k])
+                                       : hierarchies[hierIndex[k]].l1();
+        };
+        const auto l2Of = [&](size_t k) -> const mem::CacheLevel & {
+            return bmIndex[k] != kNone ? bm->l2(bmIndex[k])
+                                       : hierarchies[hierIndex[k]].l2();
+        };
 
         cpu::BatchReplayEngine engine(
             trace, lanes,
             chunkInstructions ? chunkInstructions
                               : cpu::BatchReplayEngine::kDefaultChunk);
+        if (bm)
+            engine.setBatchMemory(&*bm);
 #if MSIM_OBS_ENABLED
         // One timeline track per sweep lane.
         std::vector<obs::TimelineRecorder *> laneTl(batched.size(),
                                                     nullptr);
         for (size_t k = 0; k < batched.size(); ++k) {
-            laneTl[k] =
-                newRunTimeline(machines[batched[k]], hierarchies[k]);
+            laneTl[k] = newRunTimeline(machines[batched[k]], l1Of(k),
+                                       l2Of(k));
             engine.setLaneTimeline(k, laneTl[k]);
         }
         MSIM_OBS_SPAN(span, "batch.run");
@@ -282,8 +332,8 @@ replayTraceBatch(const prog::RecordedTrace &trace,
             RunResult &r = results[batched[k]];
             r.exec = engine.takeStats(k);
             auditAccounting(r.exec);
-            r.l1 = snapOf(hierarchies[k].l1());
-            r.l2 = snapOf(hierarchies[k].l2());
+            r.l1 = snapOf(l1Of(k));
+            r.l2 = snapOf(l2Of(k));
             r.tbInstrs = trace.instCount();
             tallyVisOps(r, trace);
 #if MSIM_OBS_ENABLED

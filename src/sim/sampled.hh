@@ -9,7 +9,11 @@
  * between samples are fast-forwarded with *functional warming* only —
  * cache tag/LRU/dirty state and the branch predictor advance, but no
  * cycle accounting happens (see mem::Level::warmLine and the shared
- * mispredict column).  Per-chunk CPI and stall-mix measurements feed a
+ * mispredict column).  The warming stream carries every memory-op
+ * kind, including tagged prefetch touches: software-prefetch variants
+ * fetch nearly their whole working set through prefetches, so a
+ * warming pass that dropped them would start measured chunks against
+ * cold tags and overshoot CPI by 20-60% on the prefetch cells.  Per-chunk CPI and stall-mix measurements feed a
  * Welford accumulator (common::MeanVar), so every reported metric
  * carries a normal-theory 95% confidence half-width.
  *
@@ -20,8 +24,9 @@
  * builds that SampledPlan once; replayTraceSampled then runs one sweep
  * point against it, so an L1-size sweep pays the O(trace) preparation a
  * single time and each point costs O(measured + warmed) work.  That
- * amortization is what makes the >= 10x points/sec target on the djpeg
- * L1 sweep reachable (bench/bench_sampled.cpp measures it).
+ * amortization is what keeps the djpeg L1 sweep several times faster
+ * than exact replay at the default sampling rate
+ * (bench/bench_sampled.cpp measures and gates it).
  *
  * Sampling is strictly opt-in: nothing in the exact paths calls into
  * this file, and machines the sampler cannot drive (in-order cores, the
@@ -49,22 +54,28 @@ namespace msim::sim
 /** Knobs of the systematic sampler. */
 struct SampledParams
 {
-    // Default sampling rate: 1/18 of the trace in 6000-instruction
+    // Default sampling rate: 1/12 of the trace in 4000-instruction
     // chunks.  The paper kernels are strongly periodic (per-scanline /
     // per-macroblock phases), so plain systematic sampling at a fixed
     // slot aliases with that structure (e.g. 50k-instruction chunks at
     // 1/10 put djpeg's CPI off by >15%); prepareSampled therefore
     // draws one chunk per interval at a deterministic pseudo-random
-    // offset (stratified sampling).  6000x18 keeps every paper
-    // benchmark x variant within 2% of the exact CPI while measuring
-    // only ~5.6% of the trace (bench/bench_sampled.cpp regenerates the
-    // accuracy report).
+    // offset (stratified sampling).  The design point matters in both
+    // directions: larger chunks (12k-48k) *lose* accuracy on the codec
+    // traces because fewer, coarser strata stop averaging over the
+    // long-range phase structure, while the original 6000x18 left the
+    // prefetch variants' worst cell near +3.7% — pure sampling
+    // variance, not warming bias (measuring every chunk puts the same
+    // cell at +0.2%).  4000x12 quadruples the stratum density for 1.5x
+    // the measured fraction (~8.3%) and holds all 33 benchmark x
+    // variant cells — prefetch included — within 2% of the exact CPI
+    // (bench/bench_sampled.cpp regenerates the accuracy report).
 
     /** Instructions per chunk (measurement unit). */
-    u64 chunkInstructions = 6000;
+    u64 chunkInstructions = 4000;
 
     /** Measure one chunk per consecutive group of this many chunks. */
-    u64 intervalChunks = 18;
+    u64 intervalChunks = 12;
 
     /**
      * Length of the functional-warming window, in memory operations,

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Batched memory layer: mem::BatchMemory must be counter- and
+ * timestamp-exact against per-lane Hierarchy objects (the batched
+ * layer forced off) and sequential replay for every benchmark ×
+ * variant, including the structural edge cases — a single lane, a
+ * maximal lane count, all-distinct geometries, duplicate configs,
+ * lane sets mixing batched and fallback engines — plus direct checks
+ * of the geometry-class grouping and the timing-free multi-lane tag
+ * probe against each member cache's own state.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hh"
+#include "kernels/addition.hh"
+#include "mem/batch.hh"
+#include "mem/cache.hh"
+#include "prog/recorded_trace.hh"
+#include "sim/machine.hh"
+#include "sim/runner.hh"
+
+namespace msim::sim
+{
+namespace
+{
+
+using prog::Variant;
+
+/** Assert every RunResult field matches exactly (doubles included). */
+void
+expectIdentical(const RunResult &a, const RunResult &b,
+                const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.exec.cycles, b.exec.cycles);
+    EXPECT_EQ(a.exec.retired, b.exec.retired);
+    EXPECT_EQ(a.exec.busy, b.exec.busy);
+    EXPECT_EQ(a.exec.fuStall, b.exec.fuStall);
+    EXPECT_EQ(a.exec.memL1Hit, b.exec.memL1Hit);
+    EXPECT_EQ(a.exec.memL1Miss, b.exec.memL1Miss);
+    EXPECT_EQ(a.exec.mixFu, b.exec.mixFu);
+    EXPECT_EQ(a.exec.mixBranch, b.exec.mixBranch);
+    EXPECT_EQ(a.exec.mixMemory, b.exec.mixMemory);
+    EXPECT_EQ(a.exec.mixVis, b.exec.mixVis);
+    EXPECT_EQ(a.exec.branches, b.exec.branches);
+    EXPECT_EQ(a.exec.mispredicts, b.exec.mispredicts);
+    EXPECT_EQ(a.exec.loadsL1, b.exec.loadsL1);
+    EXPECT_EQ(a.exec.loadsL2, b.exec.loadsL2);
+    EXPECT_EQ(a.exec.loadsMem, b.exec.loadsMem);
+    EXPECT_EQ(a.exec.prefetchesIssued, b.exec.prefetchesIssued);
+    EXPECT_EQ(a.exec.prefetchesDropped, b.exec.prefetchesDropped);
+
+    EXPECT_EQ(a.l1.accesses, b.l1.accesses);
+    EXPECT_EQ(a.l1.hits, b.l1.hits);
+    EXPECT_EQ(a.l1.misses, b.l1.misses);
+    EXPECT_EQ(a.l1.writebacks, b.l1.writebacks);
+    EXPECT_EQ(a.l1.prefetchDrops, b.l1.prefetchDrops);
+    EXPECT_EQ(a.l1.combined, b.l1.combined);
+    EXPECT_EQ(a.l1.blocked, b.l1.blocked);
+    EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+    EXPECT_EQ(a.l2.hits, b.l2.hits);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.l2.writebacks, b.l2.writebacks);
+
+    EXPECT_EQ(a.tbInstrs, b.tbInstrs);
+    EXPECT_EQ(a.visOps, b.visOps);
+    EXPECT_EQ(a.visOverheadOps, b.visOverheadOps);
+}
+
+/**
+ * The membatch contract: the batched memory layer forced on must be
+ * field-exact against the same lockstep traversal over private
+ * Hierarchy objects (forced off) and against sequential replay.
+ * tools/audit_fuzz --mode membatch emits repro tests calling this
+ * helper; keep the signature stable.
+ */
+void
+expectBatchMemIdentical(const prog::RecordedTrace &trace,
+                        const std::vector<MachineConfig> &machines,
+                        u64 chunk = 0)
+{
+    std::vector<RunResult> on, off;
+    {
+        mem::ScopedBatchMem guard(true);
+        on = replayTraceBatch(trace, machines, chunk);
+    }
+    {
+        mem::ScopedBatchMem guard(false);
+        off = replayTraceBatch(trace, machines, chunk);
+    }
+    ASSERT_EQ(on.size(), machines.size());
+    ASSERT_EQ(off.size(), machines.size());
+    for (size_t i = 0; i < machines.size(); ++i) {
+        const std::string label =
+            "lane " + std::to_string(i) + " chunk " + std::to_string(chunk);
+        expectIdentical(off[i], on[i], "batchmem on vs off, " + label);
+        const auto seq = replayTrace(trace, machines[i]);
+        expectIdentical(seq, on[i], "batchmem on vs sequential, " + label);
+    }
+}
+
+Generator
+generatorFor(const std::string &name, Variant variant)
+{
+    const core::Benchmark &bench = core::findBenchmark(name);
+    return [&bench, variant](prog::TraceBuilder &tb) {
+        bench.generate(tb, variant);
+    };
+}
+
+prog::RecordedTrace
+additionTrace(Variant variant = Variant::Vis)
+{
+    const MachineConfig base = outOfOrder4Way();
+    return recordTrace(
+        [variant](prog::TraceBuilder &tb) {
+            kernels::runAddition(tb, variant, 256, 32, 2);
+        },
+        base.skewArrays, base.visFeatures);
+}
+
+/** Geometry-heavy sweep: shared classes, distinct classes, and lanes
+ *  differing only in timing (MSHRs, ports) within one class. */
+std::vector<MachineConfig>
+geometrySweep()
+{
+    std::vector<MachineConfig> machines = {
+        outOfOrder4Way(), withL1Size(1 << 10), withL1Size(4 << 10),
+        withL2Size(128 << 10)};
+    MachineConfig mshr_limited = outOfOrder4Way();
+    mshr_limited.mem.l1.numMshrs = 1;
+    mshr_limited.mem.l2.numMshrs = 2;
+    machines.push_back(mshr_limited);
+    MachineConfig wide_line = outOfOrder4Way();
+    wide_line.mem.l1.lineBytes = 32;
+    wide_line.mem.l2.lineBytes = 32;
+    machines.push_back(wide_line);
+    MachineConfig direct_mapped = outOfOrder4Way();
+    direct_mapped.mem.l1.assoc = 1;
+    machines.push_back(direct_mapped);
+    return machines;
+}
+
+TEST(MemBatch, SingleLane)
+{
+    const auto trace = additionTrace();
+    expectBatchMemIdentical(trace, {outOfOrder4Way()});
+
+    const mem::MemConfig config = outOfOrder4Way().mem;
+    mem::BatchMemory bm(std::span<const mem::MemConfig>(&config, 1));
+    EXPECT_EQ(bm.laneCount(), 1u);
+    EXPECT_EQ(bm.classCount(0), 1u);
+    EXPECT_EQ(bm.classCount(1), 1u);
+    EXPECT_EQ(bm.classMembers(0, 0), std::vector<size_t>{0});
+}
+
+TEST(MemBatch, MaxLanes)
+{
+    // 64 lanes cycling through four L1 sizes: 16 members per geometry
+    // class, exercising multi-word-free (but wide) member bit folds and
+    // the largest arena strides the sweeps produce.
+    std::vector<MachineConfig> machines;
+    for (u32 i = 0; i < 64; ++i)
+        machines.push_back(withL1Size(1u << (10 + (i % 4))));
+    const auto trace = additionTrace();
+    expectBatchMemIdentical(trace, machines);
+
+    std::vector<mem::MemConfig> configs;
+    for (const auto &m : machines)
+        configs.push_back(m.mem);
+    mem::BatchMemory bm(configs);
+    EXPECT_EQ(bm.laneCount(), 64u);
+    EXPECT_EQ(bm.classCount(0), 4u);
+    for (size_t cls = 0; cls < 4; ++cls)
+        EXPECT_EQ(bm.classMembers(0, cls).size(), 16u);
+    // All 64 lanes share the L2 geometry.
+    EXPECT_EQ(bm.classCount(1), 1u);
+    EXPECT_EQ(bm.classMembers(1, 0).size(), 64u);
+}
+
+TEST(MemBatch, AllDistinctGeometries)
+{
+    std::vector<MachineConfig> machines;
+    for (u32 i = 0; i < 5; ++i)
+        machines.push_back(withL1Size(1u << (10 + i)));
+    const auto trace = additionTrace();
+    expectBatchMemIdentical(trace, machines);
+
+    std::vector<mem::MemConfig> configs;
+    for (const auto &m : machines)
+        configs.push_back(m.mem);
+    mem::BatchMemory bm(configs);
+    EXPECT_EQ(bm.classCount(0), 5u);
+    for (size_t cls = 0; cls < 5; ++cls)
+        EXPECT_EQ(bm.classMembers(0, cls).size(), 1u);
+}
+
+/** Duplicate configs share a geometry class but never lane state:
+ *  every copy reports identical numbers. */
+TEST(MemBatch, DuplicateConfigs)
+{
+    const auto trace = additionTrace();
+    const std::vector<MachineConfig> machines = {
+        withL1Size(1 << 10), withL1Size(1 << 10), outOfOrder4Way(),
+        withL1Size(1 << 10)};
+    expectBatchMemIdentical(trace, machines);
+    mem::ScopedBatchMem guard(true);
+    const auto batch = replayTraceBatch(trace, machines);
+    expectIdentical(batch[0], batch[1], "duplicate 0 vs 1");
+    expectIdentical(batch[0], batch[3], "duplicate 0 vs 3");
+
+    std::vector<mem::MemConfig> configs;
+    for (const auto &m : machines)
+        configs.push_back(m.mem);
+    mem::BatchMemory bm(configs);
+    EXPECT_EQ(bm.classCount(0), 2u);
+}
+
+/** Degenerate geometries must die in checkedNumSets() exactly as a
+ *  private Cache would — the arena path grows no laxer validation. */
+TEST(MemBatch, DegenerateConfigRejected)
+{
+    mem::MemConfig bad = outOfOrder4Way().mem;
+    bad.l1.assoc = 0;
+    EXPECT_DEATH(
+        {
+            mem::BatchMemory bm(std::span<const mem::MemConfig>(&bad, 1));
+        },
+        "");
+    mem::MemConfig nonpow = outOfOrder4Way().mem;
+    nonpow.l1.sizeBytes = 1000; // non-power-of-two set count
+    nonpow.l1.assoc = 3;
+    EXPECT_DEATH(
+        {
+            mem::BatchMemory bm(
+                std::span<const mem::MemConfig>(&nonpow, 1));
+        },
+        "");
+}
+
+/** In-order, reference and >64-window lanes take replayTraceBatch's
+ *  sequential fallback on private hierarchies, interleaved with
+ *  batched-memory lanes, and result order must match input order. */
+TEST(MemBatch, MixedFallbackLanes)
+{
+    const auto trace = additionTrace(Variant::Scalar);
+    MachineConfig huge_window = outOfOrder4Way();
+    huge_window.core.windowSize = 128;
+    const std::vector<MachineConfig> machines = {
+        inOrder1Way(), outOfOrder4Way(), asReference(outOfOrder4Way()),
+        huge_window, withL1Size(1 << 10)};
+    expectBatchMemIdentical(trace, machines);
+}
+
+/** Chunks below the window size force accesses whose memory-lane
+ *  ordinal predates the current chunk's shared column (instructions
+ *  still in flight), exercising the lane port's byte-address fallback
+ *  next to the column fast path. */
+TEST(MemBatch, TinyChunkOrdinalFallback)
+{
+    const auto trace = additionTrace();
+    const std::vector<MachineConfig> machines = {outOfOrder4Way(),
+                                                 withL1Size(1 << 10)};
+    for (const u64 chunk : {u64{1}, u64{2}, u64{7}, u64{64}})
+        expectBatchMemIdentical(trace, machines, chunk);
+}
+
+TEST(MemBatch, EmptyTrace)
+{
+    const MachineConfig base = outOfOrder4Way();
+    const auto trace = recordTrace([](prog::TraceBuilder &) {},
+                                   base.skewArrays, base.visFeatures);
+    ASSERT_EQ(trace.instCount(), 0u);
+    expectBatchMemIdentical(trace, geometrySweep());
+}
+
+/** The multi-lane tag probe must classify every member lane exactly as
+ *  that lane's own cache does, after the lanes' states have diverged
+ *  through different access streams. */
+TEST(MemBatch, ProbeClassMatchesMemberCaches)
+{
+    // Three lanes, the first two sharing one geometry class.
+    std::vector<mem::MemConfig> configs = {
+        withL1Size(1 << 10).mem, withL1Size(1 << 10).mem,
+        outOfOrder4Way().mem};
+    configs[1].l1.numMshrs = 2; // same class, different timing
+    mem::BatchMemory bm(configs);
+    ASSERT_EQ(bm.classCount(0), 2u);
+    ASSERT_EQ(bm.classMembers(0, 0).size(), 2u);
+
+    // Diverge the lanes: lane 0 touches a dense stride, lane 1 a
+    // sparse one, lane 2 everything.
+    Cycle t = 0;
+    for (u64 i = 0; i < 256; ++i) {
+        if (i % 2 == 0)
+            bm.port(0).access(i * 64, mem::AccessKind::Load, t);
+        if (i % 7 == 0)
+            bm.port(1).access(i * 64, mem::AccessKind::Load, t);
+        bm.port(2).access(i * 64, mem::AccessKind::Load, t);
+        t += 3;
+    }
+
+    for (unsigned level = 0; level < 2; ++level) {
+        for (size_t cls = 0; cls < bm.classCount(level); ++cls) {
+            const auto &members = bm.classMembers(level, cls);
+            for (u64 i = 0; i < 256; ++i) {
+                // Both levels live in the L1 line-number space (the L2
+                // is indexed with L1 line numbers).
+                const Addr line = (i * 64) >> 6;
+                u64 bits[1] = {};
+                bm.probeClass(level, cls, line, bits);
+                for (size_t k = 0; k < members.size(); ++k) {
+                    const auto &cache = static_cast<const mem::Cache &>(
+                        level == 0 ? bm.l1(members[k])
+                                   : bm.l2(members[k]));
+                    EXPECT_EQ((bits[0] >> k) & 1, cache.hasLine(line))
+                        << "level " << level << " class " << cls
+                        << " member " << k << " line " << line;
+                }
+            }
+        }
+    }
+}
+
+void
+checkBenchmark(const std::string &name,
+               const std::vector<MachineConfig> &machines)
+{
+    for (Variant variant :
+         {Variant::Scalar, Variant::Vis, Variant::VisPrefetch}) {
+        SCOPED_TRACE(name + "/" +
+                     std::to_string(static_cast<int>(variant)));
+        const MachineConfig base = outOfOrder4Way();
+        const auto trace = recordTrace(generatorFor(name, variant),
+                                       base.skewArrays, base.visFeatures);
+        expectBatchMemIdentical(trace, machines);
+    }
+}
+
+TEST(MemBatch, ImageKernelsAllVariants)
+{
+    for (const char *name : {"addition", "blend", "conv", "dotprod",
+                             "scaling", "thresh"})
+        checkBenchmark(name, geometrySweep());
+}
+
+TEST(MemBatch, ExtraKernelsAllVariants)
+{
+    for (const char *name :
+         {"copy", "invert", "sepconv", "lookup", "transpose", "erode"})
+        checkBenchmark(name, geometrySweep());
+}
+
+/** Codecs are the expensive traces; a compact lane set still crosses
+ *  shared-class, distinct-class and reference-fallback shapes. */
+TEST(MemBatch, JpegCodecs)
+{
+    std::vector<MachineConfig> machines = {outOfOrder4Way(),
+                                           withL1Size(4 << 10)};
+    machines.push_back(asReference(outOfOrder4Way()));
+    for (const char *name : {"cjpeg", "djpeg", "cjpeg-np", "djpeg-np"})
+        checkBenchmark(name, machines);
+}
+
+TEST(MemBatch, MpegCodecs)
+{
+    std::vector<MachineConfig> machines = {outOfOrder4Way(),
+                                           withL1Size(4 << 10)};
+    machines.push_back(asReference(outOfOrder4Way()));
+    for (const char *name : {"mpeg-enc", "mpeg-dec"})
+        checkBenchmark(name, machines);
+}
+
+/** The batched fast path must also match the preserved reference
+ *  models end-to-end: BatchMemory lanes vs RefCache + RefReplayEngine
+ *  on the same trace. */
+TEST(MemBatch, MatchesReferenceModels)
+{
+    for (const char *name : {"addition", "conv"}) {
+        for (Variant variant : {Variant::Scalar, Variant::Vis}) {
+            SCOPED_TRACE(std::string(name) + "/" +
+                         std::to_string(static_cast<int>(variant)));
+            const MachineConfig m = outOfOrder4Way();
+            const auto trace = recordTrace(generatorFor(name, variant),
+                                           m.skewArrays, m.visFeatures);
+            mem::ScopedBatchMem guard(true);
+            const std::vector<MachineConfig> lanes = {m};
+            const auto batched = replayTraceBatch(trace, lanes, 0);
+            const auto ref = replayTrace(trace, asReference(m));
+            expectIdentical(ref, batched[0], "reference vs batched");
+        }
+    }
+}
+
+} // namespace
+} // namespace msim::sim

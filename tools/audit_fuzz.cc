@@ -36,6 +36,20 @@
  * (prog::RecordedTrace::prefix), printing a ready-to-paste test for
  * tests/test_batch_replay.cc.
  *
+ * `--mode membatch` fuzzes the batched memory layer (mem::BatchMemory):
+ * randomized config sets with deliberately mixed cache geometries —
+ * lanes sharing a geometry class (same line/set/assoc, different MSHR,
+ * port and latency timing), all-distinct geometries, exact duplicates,
+ * and reference/in-order lanes that must fall back to private
+ * Hierarchy objects — replayed through sim::replayTraceBatch with the
+ * batched layer forced on and off (mem::ScopedBatchMem) plus
+ * sequential sim::replayTrace ground truth and an opposite-host-SIMD
+ * recheck, all field-exact. Small chunk sizes (below the window size)
+ * additionally stress the ordinal-fallback path for accesses issued
+ * from a previous chunk's window. Failing sets shrink by dropping
+ * lanes, resetting config dimensions and bisecting the trace prefix,
+ * printing a ready-to-paste test for tests/test_mem_batch.cc.
+ *
  * `--mode sample` fuzzes the statistical sampling estimator
  * (sim::replayTraceSampled): randomized SampledParams crossing the
  * interesting chunk/interval/warmup boundaries on randomized machines
@@ -52,6 +66,7 @@
  *
  *   audit_fuzz --seed 1 --cases 200               # the CI gate
  *   audit_fuzz --mode batch --seed 1 --cases 80   # the batch CI gate
+ *   audit_fuzz --mode membatch --seed 1 --cases 80 # the mem-batch gate
  *   audit_fuzz --mode skip --seed 1 --cases 200   # the skip CI gate
  *   audit_fuzz --mode sample --seed 1 --cases 60  # the sampling CI gate
  *   audit_fuzz --list                             # registered invariants
@@ -71,6 +86,7 @@
 
 #include "audit/invariants.hh"
 #include "core/registry.hh"
+#include "mem/batch.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "sim/machine.hh"
@@ -816,6 +832,287 @@ printBatchRepro(const BatchCase &c, const Outcome &out, u64 seed,
                 "----------\n\n");
 }
 
+// ---- membatch mode --------------------------------------------------
+
+/**
+ * One sampled membatch-mode case: a config set with deliberately mixed
+ * cache geometries, replayed with the batched memory layer forced on
+ * and off plus sequential ground truth.  prefixLen < instCount
+ * truncates the trace (shrink only).
+ */
+struct MemBatchCase
+{
+    const core::Benchmark *bench = nullptr;
+    prog::Variant variant = prog::Variant::Scalar;
+    u64 chunk = 0;           ///< 0 = engine default
+    u64 prefixLen = ~u64{0}; ///< trace prefix to replay (clamped)
+    std::vector<sim::MachineConfig> machines;
+};
+
+MemBatchCase
+sampleMemBatchCase(const std::vector<const core::Benchmark *> &benches,
+                   u64 seed, unsigned index)
+{
+    Rng rng(mixSeed(seed, index));
+    MemBatchCase c;
+    const u32 pick = rng.below(100);
+    if (pick < 76)
+        c.bench = benches[rng.below(6)];
+    else
+        c.bench =
+            benches[6 + rng.below(static_cast<u32>(benches.size()) - 6)];
+    const u32 nvar = c.bench->hasPrefetchVariant ? 3 : 2;
+    c.variant = static_cast<prog::Variant>(rng.below(nvar));
+
+    // Chunks below the window size force accesses whose ordinal falls
+    // outside the current chunk's shared column (instructions still in
+    // flight from an earlier chunk), exercising LanePort's byte-address
+    // fallback alongside the column fast path.
+    static constexpr u64 kChunks[] = {1, 2, 7, 64, 1024, 8192, 0};
+    c.chunk = kChunks[rng.below(7)];
+
+    const u32 setSize = 1 + rng.below(6);
+    c.machines.reserve(setSize + 1);
+    for (u32 i = 0; i < setSize; ++i) {
+        sim::MachineConfig m = sampleMachine(rng);
+        if (rng.chance(80)) {
+            // Most lanes must actually reach mem::BatchMemory: force
+            // the lockstep-supported core shape (out-of-order, fast
+            // engine, window <= 64, power-of-two retire width).
+            m.core.outOfOrder = true;
+            m.core.referenceEngine = false;
+            m.core.windowSize = std::min(m.core.windowSize, 64u);
+            m.core.retireWidth = 1u << rng.below(3);
+        } else if (rng.chance(40)) {
+            // Reference lanes keep private RefCache hierarchies through
+            // the sequential fallback; mixing them into a batched set
+            // must not perturb either side.
+            m = sim::asReference(m);
+        }
+        if (i > 0 && rng.chance(40)) {
+            // Copy an earlier lane's cache geometry while keeping this
+            // lane's own MSHR/port/latency/DRAM timing: both lanes land
+            // in one geometry class and share a lane-major tag arena,
+            // the layout where cross-lane slot arithmetic bugs hide.
+            const auto &src = c.machines[rng.below(i)].mem;
+            m.mem.l1.sizeBytes = src.l1.sizeBytes;
+            m.mem.l1.assoc = src.l1.assoc;
+            m.mem.l1.lineBytes = src.l1.lineBytes;
+            m.mem.l2.sizeBytes = src.l2.sizeBytes;
+            m.mem.l2.assoc = src.l2.assoc;
+            m.mem.l2.lineBytes = src.l2.lineBytes;
+        }
+        c.machines.push_back(std::move(m));
+    }
+    if (rng.chance(25))
+        c.machines.push_back(c.machines[rng.below(setSize)]);
+    return c;
+}
+
+Outcome
+runMemBatchCase(const MemBatchCase &c)
+{
+    Outcome out;
+    audit::InvariantSink sink;
+    {
+        audit::ScopedSink guard(sink);
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            c.bench->generate(tb, c.variant);
+        };
+        const sim::MachineConfig &base = c.machines.front();
+        prog::RecordedTrace trace = sim::recordTrace(
+            gen, base.skewArrays, base.visFeatures);
+        if (c.prefixLen < trace.instCount())
+            trace = trace.prefix(c.prefixLen);
+
+        // The on/off pair differs only in the memory layer under test:
+        // same lockstep traversal, batched shared-arena lanes vs
+        // private Hierarchy objects.
+        std::vector<sim::RunResult> on, off;
+        {
+            mem::ScopedBatchMem gOn(true);
+            on = sim::replayTraceBatch(trace, c.machines, c.chunk);
+        }
+        {
+            mem::ScopedBatchMem gOff(false);
+            off = sim::replayTraceBatch(trace, c.machines, c.chunk);
+        }
+        for (size_t i = 0; i < c.machines.size(); ++i) {
+            const std::string d = compareResults(off[i], on[i]);
+            if (!d.empty()) {
+                out.divergence =
+                    "batchmem lane " + std::to_string(i) + ": " + d;
+                break;
+            }
+        }
+        // Sequential ground truth (no lockstep, no batched memory)
+        // guards against the on/off pair agreeing on a shared wrong
+        // answer through some common replayTraceBatch defect.
+        if (out.divergence.empty()) {
+            for (size_t i = 0; i < c.machines.size(); ++i) {
+                const sim::RunResult seq =
+                    sim::replayTrace(trace, c.machines[i]);
+                const std::string d = compareResults(seq, on[i]);
+                if (!d.empty()) {
+                    out.divergence =
+                        "seq lane " + std::to_string(i) + ": " + d;
+                    break;
+                }
+            }
+        }
+        // Opposite host-SIMD dispatch of the batched-memory run: a
+        // divergence here localizes to the shared-column / tag-probe
+        // kernels (shrU64Col, eqU64Bitmap) rather than the arena
+        // plumbing the comparisons above cover.
+        if (out.divergence.empty()) {
+            const bool nativeFirst =
+                simd::activeLevel() != simd::Level::Scalar;
+            const auto sg = sim::withSimd(!nativeFirst);
+            mem::ScopedBatchMem gOn(true);
+            const auto flipped =
+                sim::replayTraceBatch(trace, c.machines, c.chunk);
+            for (size_t i = 0; i < c.machines.size(); ++i) {
+                const std::string d = compareResults(on[i], flipped[i]);
+                if (!d.empty()) {
+                    out.divergence = "simd-vs-scalar lane " +
+                                     std::to_string(i) + ": " + d;
+                    break;
+                }
+            }
+        }
+    }
+    out.violations = sink.violations();
+    out.violationRecords = sink.records();
+    return out;
+}
+
+/**
+ * Greedy membatch shrink: benchmark and variant toward the cheapest,
+ * then repeatedly drop lanes, reset the chunk and reset per-lane
+ * config dimensions while the failure reproduces, finishing with a
+ * trace-prefix bisection on the shrunk configuration.
+ */
+MemBatchCase
+shrinkMemBatchCase(const MemBatchCase &failing)
+{
+    MemBatchCase best = failing;
+    const core::Benchmark &addition = core::findBenchmark("addition");
+    const auto fails = [](const MemBatchCase &c) {
+        return runMemBatchCase(c).failed();
+    };
+
+    if (best.bench != &addition) {
+        MemBatchCase cand = best;
+        cand.bench = &addition;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+    if (best.variant != prog::Variant::Scalar) {
+        MemBatchCase cand = best;
+        cand.variant = prog::Variant::Scalar;
+        if (fails(cand))
+            best = std::move(cand);
+    }
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (size_t i = 0;
+             best.machines.size() > 1 && i < best.machines.size();) {
+            MemBatchCase cand = best;
+            cand.machines.erase(cand.machines.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            } else {
+                ++i;
+            }
+        }
+        if (best.chunk != 0) {
+            MemBatchCase cand = best;
+            cand.chunk = 0;
+            if (fails(cand)) {
+                best = std::move(cand);
+                progressed = true;
+            }
+        }
+        for (size_t i = 0; i < best.machines.size(); ++i) {
+            for (const auto &reduce : configReductions()) {
+                MemBatchCase cand = best;
+                if (!reduce(cand.machines[i]))
+                    continue;
+                if (fails(cand)) {
+                    best = std::move(cand);
+                    progressed = true;
+                }
+            }
+        }
+    }
+
+    // Trace-prefix bisection (heuristic minimum, re-verified failing
+    // before printing; see shrinkSkipCase).
+    {
+        const sim::Generator gen = [&](prog::TraceBuilder &tb) {
+            best.bench->generate(tb, best.variant);
+        };
+        const sim::MachineConfig &base = best.machines.front();
+        const prog::RecordedTrace full = sim::recordTrace(
+            gen, base.skewArrays, base.visFeatures);
+        u64 hi = std::min(best.prefixLen, full.instCount());
+        u64 lo = 0;
+        while (lo + 1 < hi) {
+            const u64 mid = lo + (hi - lo) / 2;
+            MemBatchCase cand = best;
+            cand.prefixLen = mid;
+            if (fails(cand))
+                hi = mid;
+            else
+                lo = mid;
+        }
+        best.prefixLen = hi;
+    }
+    for (auto &m : best.machines)
+        m.label = "shrunk";
+    return best;
+}
+
+/** Print the shrunk membatch case as a ready-to-paste regression test. */
+void
+printMemBatchRepro(const MemBatchCase &c, const Outcome &out, u64 seed,
+                   unsigned index)
+{
+    std::printf("\n// ---- ready-to-paste regression test "
+                "(tests/test_mem_batch.cc) ----\n");
+    std::printf("TEST(MemBatch, FuzzSeed%" PRIu64 "Case%u)\n{\n", seed,
+                index);
+    std::printf("    std::vector<MachineConfig> ms;\n");
+    for (const auto &m : c.machines) {
+        std::printf("    {\n");
+        std::printf("    sim::MachineConfig m;\n");
+        printMachineDelta(m);
+        std::printf("    ms.push_back(m);\n");
+        std::printf("    }\n");
+    }
+    std::printf("    const auto trace =\n"
+                "        recordTrace(generatorFor(\"%s\", %s),\n"
+                "                    ms[0].skewArrays, "
+                "ms[0].visFeatures)\n"
+                "            .prefix(%" PRIu64 ");\n",
+                c.bench->name.c_str(), variantExpr(c.variant),
+                c.prefixLen);
+    std::printf("    expectBatchMemIdentical(trace, ms, "
+                "/*chunk=*/%" PRIu64 ");\n}\n",
+                c.chunk);
+    if (!out.divergence.empty())
+        std::printf("// divergence: %s\n", out.divergence.c_str());
+    for (const auto &v : out.violationRecords)
+        std::printf("// violation: %s at %s:%d: %s\n", v.check.c_str(),
+                    v.file, v.line, v.message.c_str());
+    std::printf("// ----------------------------------------------------"
+                "----------\n\n");
+}
+
 // ---- skip mode ------------------------------------------------------
 
 /**
@@ -1346,7 +1643,8 @@ void
 usage(const char *argv0)
 {
     std::printf(
-        "usage: %s [--mode diff|batch|skip|sample] [--seed N] [--cases N]\n"
+        "usage: %s [--mode diff|batch|membatch|skip|sample] [--seed N]\n"
+        "          [--cases N]\n"
         "          [--live-frac PCT] [--progress] [--verbose] [--list]\n"
         "          [--help]\n"
         "\n"
@@ -1357,6 +1655,9 @@ usage(const char *argv0)
         "  --mode M        diff (default): fast path vs reference;\n"
         "                  batch: randomized config sets through\n"
         "                  replayTraceBatch vs sequential replayTrace;\n"
+        "                  membatch: randomized geometry mixes through\n"
+        "                  the batched memory layer, forced on vs off\n"
+        "                  vs sequential ground truth;\n"
         "                  skip: event-skip on vs off, sequential and\n"
         "                  batched, counter-exact;\n"
         "                  sample: sampled-replay estimator vs full\n"
@@ -1418,9 +1719,10 @@ main(int argc, char **argv)
     }
 
     const bool batch_mode = std::strcmp(mode, "batch") == 0;
+    const bool membatch_mode = std::strcmp(mode, "membatch") == 0;
     const bool skip_mode = std::strcmp(mode, "skip") == 0;
     const bool sample_mode = std::strcmp(mode, "sample") == 0;
-    if (!batch_mode && !skip_mode && !sample_mode &&
+    if (!batch_mode && !membatch_mode && !skip_mode && !sample_mode &&
         std::strcmp(mode, "diff") != 0) {
         std::fprintf(stderr, "unknown --mode: %s\n", mode);
         usage(argv[0]);
@@ -1529,6 +1831,55 @@ main(int argc, char **argv)
             meter.caseDone(i + 1, failures);
         }
         std::printf("audit_fuzz: %u skip cases: %u failing\n", cases,
+                    failures);
+        return failures ? 1 : 0;
+    }
+
+    if (membatch_mode) {
+        unsigned failures = 0;
+        ProgressMeter meter(progress, cases);
+        for (unsigned i = 0; i < cases; ++i) {
+            const MemBatchCase c = sampleMemBatchCase(benches, seed, i);
+            if (verbose)
+                std::printf("  case %u: %s/%s %zu lanes chunk %" PRIu64
+                            "\n",
+                            i, c.bench->name.c_str(),
+                            prog::variantName(c.variant),
+                            c.machines.size(), c.chunk);
+            Outcome out;
+            {
+                MSIM_OBS_SPAN(span, "fuzz.case", c.bench->name);
+                out = runMemBatchCase(c);
+            }
+#if MSIM_OBS_ENABLED
+            obs::count(fuzzMetrics().cases);
+            if (out.failed())
+                obs::count(fuzzMetrics().failures);
+#endif
+            if (!out.failed()) {
+                meter.caseDone(i + 1, failures);
+                continue;
+            }
+            ++failures;
+            std::printf("FAIL case %u (%s/%s, %zu lanes, chunk %" PRIu64
+                        "): %s%s\n",
+                        i, c.bench->name.c_str(),
+                        prog::variantName(c.variant), c.machines.size(),
+                        c.chunk,
+                        out.divergence.empty() ? ""
+                                               : out.divergence.c_str(),
+                        out.violations
+                            ? (" [" + std::to_string(out.violations) +
+                               " invariant violations]")
+                                  .c_str()
+                            : "");
+            std::printf("shrinking...\n");
+            const MemBatchCase minimal = shrinkMemBatchCase(c);
+            printMemBatchRepro(minimal, runMemBatchCase(minimal), seed,
+                               i);
+            meter.caseDone(i + 1, failures);
+        }
+        std::printf("audit_fuzz: %u membatch cases: %u failing\n", cases,
                     failures);
         return failures ? 1 : 0;
     }
