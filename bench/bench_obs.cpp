@@ -13,7 +13,9 @@
  *
  * writes djpeg-l1.ndjson (for tools/msim_report) and
  * djpeg-l1.trace.json (load in https://ui.perfetto.dev). `--smoke`
- * shrinks the sweep for the CI obs leg.
+ * shrinks the sweep for the CI obs leg. `--variant=scalar` sweeps the
+ * scalar build of the same benchmark, so a scalar and a VIS capture
+ * can be compared per kernel with `msim_report --site-diff`.
  */
 
 #include <cstring>
@@ -80,9 +82,14 @@ main(int argc, char **argv)
 
     bool smoke = false;
     bool haveObsOut = false;
+    Variant variant = Variant::Vis;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--variant=scalar") == 0) {
+            variant = Variant::Scalar;
+        } else if (std::strcmp(argv[i], "--variant=vis") == 0) {
+            variant = Variant::Vis;
         } else if (std::strncmp(argv[i], "--obs-", 6) == 0) {
             // No-op (but still accepted) when MSIM_OBS is compiled out.
             obs::handleObsArg(argv[i]);
@@ -90,8 +97,9 @@ main(int argc, char **argv)
                          std::strncmp(argv[i], "--obs-out=", 10) == 0;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--smoke] [--obs-out=BASE]\n"
-                         "          [--obs-period=N] [--obs-capacity=N]\n",
+                         "usage: %s [--smoke] [--variant=scalar|vis]\n"
+                         "          [--obs-out=BASE] [--obs-period=N]\n"
+                         "          [--obs-capacity=N]\n",
                          argv[0]);
             return 2;
         }
@@ -106,7 +114,7 @@ main(int argc, char **argv)
               : std::vector<u32>{1 << 10, 4 << 10, 16 << 10, 64 << 10};
     std::vector<Job> jobs;
     for (u32 size : sizes)
-        jobs.push_back({"djpeg", Variant::Vis, sim::withL1Size(size)});
+        jobs.push_back({"djpeg", variant, sim::withL1Size(size)});
 
     // Warmup — untimed: without it the first timed pass absorbs page
     // faults and allocator growth and the A/B reads ~10% backwards.

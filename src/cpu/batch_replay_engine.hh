@@ -135,6 +135,16 @@ class BatchReplayEngine
     {
         engines_[k].setTimeline(tl);
     }
+
+    /**
+     * Attach a per-site attribution table to lane @p k's engine (one
+     * table per sweep lane, like timelines); call before run().
+     */
+    void
+    setLaneSiteAttribution(size_t k, obs::SiteAttribution *sa)
+    {
+        engines_[k].setSiteAttribution(sa);
+    }
 #endif
 
   private:

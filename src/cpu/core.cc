@@ -138,11 +138,15 @@ PipelineCore::runRecorded(const prog::RecordedTrace &trace)
         // stats bit-identical to feeding the trace live.
         if (cfg.referenceEngine) {
             RefReplayEngine engine(cfg, mem_);
+#if MSIM_OBS_ENABLED
+            engine.setSiteAttribution(siteAttr_);
+#endif
             stats_ = engine.run(trace);
         } else {
             ReplayEngine engine(cfg, mem_);
 #if MSIM_OBS_ENABLED
             engine.setTimeline(timeline_);
+            engine.setSiteAttribution(siteAttr_);
 #endif
             stats_ = engine.run(trace);
         }

@@ -52,6 +52,7 @@
 #include "cpu/fu_pool.hh"
 #include "isa/inst.hh"
 #include "mem/hierarchy.hh"
+#include "obs/site.hh"
 #include "obs/timeline.hh"
 #include "prog/recorded_trace.hh"
 
@@ -155,6 +156,13 @@ class PipelineCore : public isa::InstSink
         timeline_ = tl;
         obsNextAt_ = tl ? now + tl->period() : obs::kNeverCycle;
     }
+
+    /**
+     * Attach a per-site attribution table (nullptr detaches).
+     * Out-of-order replay forwards it to the inner engine — fast or
+     * reference, both carry the hook (see obs/site.hh).
+     */
+    void setSiteAttribution(obs::SiteAttribution *sa) { siteAttr_ = sa; }
 #endif
 
   private:
@@ -285,6 +293,7 @@ class PipelineCore : public isa::InstSink
 
 #if MSIM_OBS_ENABLED
     obs::TimelineRecorder *timeline_ = nullptr;
+    obs::SiteAttribution *siteAttr_ = nullptr;
     Cycle obsNextAt_ = obs::kNeverCycle;
 #endif
 

@@ -385,6 +385,9 @@ RefReplayEngine::run(const prog::RecordedTrace &trace)
     memAddrs_ = trace.memAddrCol().data();
     branchPcs_ = trace.branchPcCol().data();
     memAux_ = trace.memAuxCol().data();
+#if MSIM_OBS_ENABLED
+    sites_ = trace.siteCol().data();
+#endif
     instCount_ = trace.instCount();
 
     storeDone_.assign(trace.numStores(), kNever);
@@ -403,6 +406,20 @@ RefReplayEngine::run(const prog::RecordedTrace &trace)
             block = classifyBlock();
             stats_.charge(block, 1.0 - r);
         }
+#if MSIM_OBS_ENABLED
+        if (siteAttr_) [[unlikely]] {
+            // Per-site mirror of this cycle's charges, in integral
+            // ticks of 1/retireWidth (see obs/site.hh): a Busy tick at
+            // each retired instruction's own site, the remainder at
+            // the blocker's.
+            for (unsigned i = 0; i < retired; ++i)
+                siteAttr_->retire(sites_[headSeq_ - retired + i]);
+            if (retired < retireWidth_)
+                siteAttr_->charge(blockSite(),
+                                  static_cast<unsigned>(block),
+                                  retireWidth_ - retired);
+        }
+#endif
 
         if (retired == 0 && issued == 0 && dispatched == 0 &&
             (windowCount_ != 0 || fetchPos_ < instCount_)) {
@@ -425,6 +442,12 @@ RefReplayEngine::run(const prog::RecordedTrace &trace)
             if (next > now_ + 1) {
                 const Cycle dt = next - now_ - 1;
                 stats_.charge(block, static_cast<double>(dt));
+#if MSIM_OBS_ENABLED
+                if (siteAttr_) [[unlikely]]
+                    siteAttr_->charge(blockSite(),
+                                      static_cast<unsigned>(block),
+                                      dt * retireWidth_);
+#endif
                 now_ = next;
                 continue;
             }

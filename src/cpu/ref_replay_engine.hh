@@ -29,6 +29,7 @@
 #include "cpu/branch_predictor.hh"
 #include "isa/timing.hh"
 #include "mem/hierarchy.hh"
+#include "obs/site.hh"
 #include "prog/recorded_trace.hh"
 
 namespace msim::cpu
@@ -44,6 +45,15 @@ class RefReplayEngine
 
     /** Replay @p trace to completion and return the execution stats. */
     ExecStats run(const prog::RecordedTrace &trace);
+
+#if MSIM_OBS_ENABLED
+    /**
+     * Attribute retired instructions and stall charges per kernel site
+     * while running (read-only hook; see obs/site.hh). Caller resets
+     * @p sa for the trace's site table and this engine's retire width.
+     */
+    void setSiteAttribution(obs::SiteAttribution *sa) { siteAttr_ = sa; }
+#endif
 
   private:
     static constexpr Cycle kNever = ~Cycle{0};
@@ -152,6 +162,7 @@ class RefReplayEngine
     const Addr *memAddrs_ = nullptr;
     const u32 *branchPcs_ = nullptr;
     const u32 *memAux_ = nullptr;
+    const u16 *sites_ = nullptr;
     u64 instCount_ = 0;
     u64 fetchPos_ = 0;
     u64 srcPos_ = 0;
@@ -190,6 +201,18 @@ class RefReplayEngine
     Cycle now_ = 0;
     Cycle dispatchBlockedUntil_ = 0;
     bool awaitingRedirect_ = false;
+
+#if MSIM_OBS_ENABLED
+    obs::SiteAttribution *siteAttr_ = nullptr;
+
+    u16
+    blockSite() const
+    {
+        if (windowCount_ != 0)
+            return sites_[headSeq_];
+        return fetchPos_ < instCount_ ? sites_[fetchPos_] : 0;
+    }
+#endif
 
     ExecStats stats_;
 };

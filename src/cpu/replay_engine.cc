@@ -744,6 +744,7 @@ ReplayEngine::bind(const prog::RecordedTrace &trace)
     memKinds_ = trace.memKindCol().data();
     memAux_ = trace.memAuxCol().data();
     branchPcs_ = trace.branchPcCol().data();
+    sites_ = trace.siteCol().data();
     instCount_ = trace.instCount();
 
     storeDone_.assign(trace.numStores(), kNever);
@@ -814,6 +815,20 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
             block = classifyBlock();
             stats_.charge(block, 1.0 - r);
         }
+#if MSIM_OBS_ENABLED
+        if (siteAttr_) [[unlikely]] {
+            // Mirror this cycle's charges per site, in integral ticks
+            // of 1/retireWidth: one Busy tick at each retired
+            // instruction's own site (tryRetire already advanced
+            // headSeq_ past them), the remainder at the blocker's.
+            for (unsigned i = 0; i < retired; ++i)
+                siteAttr_->retire(sites_[headSeq_ - retired + i]);
+            if (retired < retireWidth_)
+                siteAttr_->charge(
+                    blockSite(headSeq_, windowCount_, fetchPos_),
+                    static_cast<unsigned>(block), retireWidth_ - retired);
+        }
+#endif
 
         if (eventSkip_) {
             // Event-driven scheduling: bound the next event after
@@ -835,6 +850,13 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
                     const StallClass spanCls =
                         retired < retireWidth_ ? block : classifyBlock();
                     stats_.charge(spanCls, static_cast<double>(dt));
+#if MSIM_OBS_ENABLED
+                    if (siteAttr_) [[unlikely]]
+                        siteAttr_->charge(
+                            blockSite(headSeq_, windowCount_, fetchPos_),
+                            static_cast<unsigned>(spanCls),
+                            dt * retireWidth_);
+#endif
                     now_ = h;
                     continue;
                 }
@@ -868,6 +890,12 @@ ReplayEngine::advanceRaw(u64 fetchLimit)
             if (next > now_ + 1) {
                 const Cycle dt = next - now_ - 1;
                 stats_.charge(block, static_cast<double>(dt));
+#if MSIM_OBS_ENABLED
+                if (siteAttr_) [[unlikely]]
+                    siteAttr_->charge(
+                        blockSite(headSeq_, windowCount_, fetchPos_),
+                        static_cast<unsigned>(block), dt * retireWidth_);
+#endif
                 now_ = next;
                 continue;
             }
@@ -1549,6 +1577,19 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             block = classifyLocal();
             chargeAcc(block, 1.0 - r);
         }
+#if MSIM_OBS_ENABLED
+        if (siteAttr_) [[unlikely]] {
+            // Same tick mirroring as advanceRaw, over the local
+            // mirrors: headSeq already moved past this cycle's
+            // retirements, so the oldest is at headSeq - retired.
+            for (unsigned i = 0; i < retired; ++i)
+                siteAttr_->retire(sites_[headSeq - retired + i]);
+            if (retired < retireWidth_)
+                siteAttr_->charge(blockSite(headSeq, wcount, fetchPos),
+                                  static_cast<unsigned>(block),
+                                  retireWidth_ - retired);
+        }
+#endif
 
         if (eventSkip) {
             // Event-driven scheduling (see advanceRaw): evaluate the
@@ -1570,6 +1611,13 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
                                                    ? block
                                                    : classifyLocal();
                     chargeAcc(spanCls, static_cast<double>(dt));
+#if MSIM_OBS_ENABLED
+                    if (siteAttr_) [[unlikely]]
+                        siteAttr_->charge(
+                            blockSite(headSeq, wcount, fetchPos),
+                            static_cast<unsigned>(spanCls),
+                            dt * retireWidth_);
+#endif
                     now = h;
                     continue;
                 }
@@ -1639,6 +1687,12 @@ ReplayEngine::advanceDecoded(u64 fetchLimit)
             if (next > now + 1) {
                 const Cycle dt = next - now - 1;
                 chargeAcc(block, static_cast<double>(dt));
+#if MSIM_OBS_ENABLED
+                if (siteAttr_) [[unlikely]]
+                    siteAttr_->charge(blockSite(headSeq, wcount, fetchPos),
+                                      static_cast<unsigned>(block),
+                                      dt * retireWidth_);
+#endif
                 now = next;
                 continue;
             }

@@ -71,6 +71,7 @@
 #include "cpu/branch_predictor.hh"
 #include "isa/timing.hh"
 #include "mem/hierarchy.hh"
+#include "obs/site.hh"
 #include "obs/timeline.hh"
 #include "prog/recorded_trace.hh"
 
@@ -190,6 +191,17 @@ class ReplayEngine
         timeline_ = tl;
         obsNextAt_ = tl ? now_ + tl->period() : obs::kNeverCycle;
     }
+
+    /**
+     * Attach a per-site attribution accumulator (nullptr detaches).
+     * The accounting points then mirror every retired instruction and
+     * every stall charge into it, keyed by the trace's site column —
+     * read-only hooks, integral tick arithmetic (see obs/site.hh), so
+     * timing and stats stay bit-identical with or without it.  The
+     * caller resets the accumulator for the trace's site-table size
+     * and this engine's resolved retire width.
+     */
+    void setSiteAttribution(obs::SiteAttribution *sa) { siteAttr_ = sa; }
 #endif
 
   private:
@@ -397,6 +409,7 @@ class ReplayEngine
     const u8 *memKinds_ = nullptr;
     const u32 *memAux_ = nullptr;
     const u32 *branchPcs_ = nullptr;
+    const u16 *sites_ = nullptr;
     u64 instCount_ = 0;
     u64 fetchPos_ = 0;
     u64 srcPos_ = 0;
@@ -558,6 +571,22 @@ class ReplayEngine
 #if MSIM_OBS_ENABLED
     obs::TimelineRecorder *timeline_ = nullptr;
     Cycle obsNextAt_ = obs::kNeverCycle;
+    obs::SiteAttribution *siteAttr_ = nullptr;
+
+    /**
+     * Site charged for a non-Busy stall: the window head's (the §2.3.4
+     * blocking instruction), or the next instruction to dispatch when
+     * the window is empty.  During an event-skip span neither cursor
+     * moves, so like the stall class the site is constant across the
+     * span and one bulk charge equals per-cycle charging exactly.
+     */
+    u16
+    blockSite(u64 headSeq, u64 windowCount, u64 fetchPos) const
+    {
+        if (windowCount != 0)
+            return sites_[headSeq];
+        return fetchPos < instCount_ ? sites_[fetchPos] : 0;
+    }
 #endif
 
     ExecStats stats_;

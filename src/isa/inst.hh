@@ -80,6 +80,7 @@ struct Inst
     u8 flags = 0;
     u8 numSrcs = 0;
     u32 pc = 0;        ///< static emission-site id (branch predictor index)
+    u16 site = 0;      ///< kernel-region id (TraceBuilder::pushSite; 0 = top)
     ValId dst = kNoVal;
     ValId src[3] = {kNoVal, kNoVal, kNoVal};
     Addr addr = 0;     ///< virtual address for memory ops
@@ -122,6 +123,17 @@ class InstSink
 
     /** Deliver the next instruction in program order. */
     virtual void feed(const Inst &inst) = 0;
+
+    /**
+     * Announce a kernel-region id before any instruction carries it
+     * (TraceBuilder::pushSite).  Timing sinks ignore sites entirely;
+     * recording sinks keep the id -> name table alongside the stream.
+     */
+    virtual void defineSite(u16 id, const std::string &name)
+    {
+        (void)id;
+        (void)name;
+    }
 
     /** Signal end of program; the sink drains any buffered work. */
     virtual void finish() = 0;

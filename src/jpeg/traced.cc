@@ -55,6 +55,7 @@ downloadPlane(const TraceBuilder &tb, const PlaneBuf &p)
 void
 emitPadPlane(TraceBuilder &tb, const PlaneBuf &p)
 {
+    const prog::ScopedSite site(tb, "jpg.pad");
     const u32 pc = tb.makePc("jpg.pad");
     unsigned count = 0;
     for (unsigned y = 0; y < p.h; ++y) {
@@ -79,6 +80,7 @@ emitColorFwd(TraceBuilder &tb, Variant variant, Addr rgb, unsigned w,
              unsigned h, const PlaneBuf &py, const PlaneBuf &pcb,
              const PlaneBuf &pcr, Addr cb_tmp, Addr cr_tmp)
 {
+    const prog::ScopedSite site(tb, "jpg.color");
     const bool vis = variant != Variant::Scalar;
     const u32 loop_pc = tb.makePc("jpg.ccf");
     const Val k128 = tb.imm(128);
@@ -193,6 +195,7 @@ emitColorInv(TraceBuilder &tb, Variant variant, const PlaneBuf &py,
              const PlaneBuf &pcb, const PlaneBuf &pcr, Addr out,
              unsigned w, unsigned h)
 {
+    const prog::ScopedSite site(tb, "jpg.color");
     const bool vis = variant != Variant::Scalar;
     const u32 loop_pc = tb.makePc("jpg.cci");
     const u32 clamp_pc = tb.sitePc("jpg.cciclamp");

@@ -174,6 +174,7 @@ fdctQuantImpl(TraceBuilder &tb, Variant variant,
               const TracedTables &tables, bool chroma, Addr src,
               unsigned stride, Addr dst, bool residual_input)
 {
+    const prog::ScopedSite site(tb, "jpg.dct");
     const bool vis = variant != Variant::Scalar;
     const DctMatrixT &M = dctMatrix();
     const QuantTable &q = tables.table(chroma);
@@ -304,6 +305,7 @@ emitIdctBlock(TraceBuilder &tb, Variant variant,
               const TracedTables &tables, bool chroma, Addr src, Addr dst,
               unsigned stride, bool residual)
 {
+    const prog::ScopedSite site(tb, "jpg.idct");
     const bool vis = variant != Variant::Scalar;
     const DctMatrixT &M = dctMatrix();
     const Addr sa = tables.scratchA();
@@ -426,6 +428,7 @@ emitEncodeBlock(TraceBuilder &tb, TracedBitWriter &bw,
                 Addr block_addr, const s16 *zz, int &dc_pred,
                 unsigned ss_start, unsigned ss_end)
 {
+    const prog::ScopedSite site(tb, "jpg.vlc");
     const u32 zero_pc = tb.sitePc("jent.zero");
     const u32 cat_pc = tb.sitePc("jent.cat");
 
@@ -465,6 +468,7 @@ emitStatsBlock(TraceBuilder &tb, Addr block_addr, const s16 *zz,
                int &dc_pred, unsigned ss_start, unsigned ss_end,
                Addr freq_table)
 {
+    const prog::ScopedSite site(tb, "jpg.stats");
     const u32 zero_pc = tb.sitePc("jent.stat");
 
     std::vector<Sym> syms;
@@ -489,6 +493,7 @@ emitDecodeBlock(TraceBuilder &tb, TracedBitReader &br,
                 int &dc_pred, unsigned ss_start, unsigned ss_end,
                 Addr dst)
 {
+    const prog::ScopedSite site(tb, "jpg.vld");
     const u32 sign_pc = tb.sitePc("jdec.sign");
 
     unsigned i = ss_start;
@@ -529,6 +534,7 @@ emitDecodeBlock(TraceBuilder &tb, TracedBitReader &br,
 void
 emitZeroBlock(TraceBuilder &tb, Variant variant, Addr dst)
 {
+    const prog::ScopedSite site(tb, "jpg.zero");
     if (variant == Variant::Scalar) {
         for (unsigned i = 0; i < 16; ++i)
             tb.store(dst + 8 * i, 8, tb.imm(0));

@@ -16,6 +16,7 @@ namespace
 void
 emitScalar(TraceBuilder &tb, Addr a, Addr b, Addr d, unsigned n)
 {
+    const prog::ScopedSite site(tb, "add.loop");
     const u32 loop_pc = tb.makePc("add.loop");
     Val idx = tb.imm(0);
     for (unsigned i = 0; i < n; i += 4) {
@@ -37,6 +38,7 @@ void
 emitVis(TraceBuilder &tb, Variant variant, Addr a, Addr b, Addr d,
         unsigned row_bytes, unsigned rows)
 {
+    const prog::ScopedSite site(tb, "add.vloop");
     const u32 loop_pc = tb.makePc("add.vloop");
     const u32 row_pc = tb.makePc("add.vrow");
 

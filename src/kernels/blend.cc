@@ -27,6 +27,7 @@ refBlend(u8 al, u8 x, u8 y)
 void
 emitScalar(TraceBuilder &tb, Addr a1, Addr a2, Addr aa, Addr d, unsigned n)
 {
+    const prog::ScopedSite site(tb, "blend.loop");
     const u32 loop_pc = tb.makePc("blend.loop");
     const Val k255 = tb.imm(255);
     const Val k128 = tb.imm(128);
@@ -57,6 +58,7 @@ void
 emitVis(TraceBuilder &tb, Variant variant, Addr a1, Addr a2, Addr aa,
         Addr d, unsigned n)
 {
+    const prog::ScopedSite site(tb, "blend.vloop");
     const u32 loop_pc = tb.makePc("blend.vloop");
 
     // fexpand yields alpha<<4 per lane; fmul8x16 computes

@@ -35,6 +35,7 @@ refConv(const img::Image &src, const ConvTaps &taps)
 void
 emitBorderCopy(TraceBuilder &tb, Addr s, Addr d, unsigned w, unsigned h)
 {
+    const prog::ScopedSite site(tb, "conv.border");
     const u32 pc = tb.makePc("conv.border");
     unsigned count = 0;
     auto copy_px = [&](unsigned x, unsigned y) {
@@ -58,6 +59,7 @@ void
 emitScalar(TraceBuilder &tb, const ConvTaps &taps, Addr s, Addr d,
            unsigned w, unsigned h)
 {
+    const prog::ScopedSite site(tb, "conv.loop");
     const u32 loop_pc = tb.makePc("conv.loop");
     const u32 low_pc = tb.makePc("conv.satlow");
     const u32 high_pc = tb.makePc("conv.sathigh");
@@ -108,6 +110,7 @@ void
 emitVis(TraceBuilder &tb, Variant variant, const ConvTaps &taps, Addr s,
         Addr d, unsigned w, unsigned h)
 {
+    const prog::ScopedSite site(tb, "conv.vloop");
     const u32 loop_pc = tb.makePc("conv.vloop");
     tb.setGsrScale(7); // fpack16 identity scaling with saturation
 

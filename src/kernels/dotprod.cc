@@ -16,6 +16,7 @@ namespace
 void
 emitScalar(TraceBuilder &tb, Addr a, Addr b, Addr out, unsigned n)
 {
+    const prog::ScopedSite site(tb, "dot.loop");
     const u32 loop_pc = tb.makePc("dot.loop");
     Val acc = tb.imm(0);
     Val idx = tb.imm(0);
@@ -37,6 +38,7 @@ void
 emitVis(TraceBuilder &tb, Variant variant, Addr a, Addr b, Addr out,
         unsigned n)
 {
+    const prog::ScopedSite site(tb, "dot.vloop");
     const u32 loop_pc = tb.makePc("dot.vloop");
     // Two 2x32-bit accumulators (even/odd lane pairs).
     Val acc_lo = tb.imm(0);

@@ -24,6 +24,7 @@ void
 emitScalar(TraceBuilder &tb, Addr s, Addr d, unsigned n, int scale_fx,
            int offset)
 {
+    const prog::ScopedSite site(tb, "scale.loop");
     const u32 loop_pc = tb.makePc("scale.loop");
     const u32 low_pc = tb.makePc("scale.satlow");
     const u32 high_pc = tb.makePc("scale.sathigh");
@@ -65,6 +66,7 @@ void
 emitVis(TraceBuilder &tb, Variant variant, Addr s, Addr d, unsigned n,
         int scale_fx, int offset)
 {
+    const prog::ScopedSite site(tb, "scale.vloop");
     const u32 loop_pc = tb.makePc("scale.vloop");
     tb.setGsrScale(7); // identity extraction with saturation
 

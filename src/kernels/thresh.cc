@@ -19,6 +19,7 @@ void
 emitScalar(TraceBuilder &tb, const ThreshParams &p, Addr s, Addr d,
            unsigned n, unsigned bands)
 {
+    const prog::ScopedSite site(tb, "thresh.loop");
     const u32 loop_pc = tb.makePc("thresh.loop");
     const u32 low_pc = tb.makePc("thresh.low");
     const u32 high_pc = tb.makePc("thresh.high");
@@ -53,6 +54,7 @@ void
 emitVis(TraceBuilder &tb, Variant variant, const ThreshParams &p, Addr s,
         Addr d, unsigned n, unsigned bands)
 {
+    const prog::ScopedSite site(tb, "thresh.vloop");
     const u32 loop_pc = tb.makePc("thresh.vloop");
 
     // Lane-packed limits/map values for each of the `bands` possible

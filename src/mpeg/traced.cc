@@ -89,6 +89,7 @@ u32
 emitSad16(TraceBuilder &tb, Variant variant, Addr cur,
           unsigned cur_stride, Addr ref, unsigned ref_stride)
 {
+    const prog::ScopedSite site(tb, "mpg.sad");
     const u32 abs_pc = tb.sitePc("me.abs");
     const u32 row_pc = tb.sitePc("me.row");
 
@@ -135,6 +136,7 @@ MotionMatch
 emitFullSearch(TraceBuilder &tb, Variant variant, const FrameBufs &cur,
                unsigned mx, unsigned my, const FrameBufs &ref, int range)
 {
+    const prog::ScopedSite site(tb, "mpg.search");
     const u32 best_pc = tb.sitePc("me.best");
 
     MotionMatch best;
@@ -174,6 +176,7 @@ emitFetchPred(TraceBuilder &tb, Variant variant, const FrameBufs &ref,
               unsigned plane, unsigned bx, unsigned by, MotionVector mv,
               unsigned size, Addr dst)
 {
+    const prog::ScopedSite site(tb, "mpg.pred");
     const int dx = size == 16 ? mv.dx : mv.dx / 2;
     const int dy = size == 16 ? mv.dy : mv.dy / 2;
     const unsigned stride = ref.strideOf(plane);
@@ -210,6 +213,7 @@ void
 emitAvgPred(TraceBuilder &tb, Variant variant, Addr a, Addr b, Addr dst,
             unsigned n)
 {
+    const prog::ScopedSite site(tb, "mpg.pred");
     if (variant == Variant::Scalar) {
         for (unsigned i = 0; i < n; ++i) {
             Val x = tb.load(a + i, 1);
@@ -244,6 +248,7 @@ emitResidual(TraceBuilder &tb, Variant variant, Addr cur,
              unsigned cur_stride, Addr pred, unsigned pred_stride,
              Addr dst)
 {
+    const prog::ScopedSite site(tb, "mpg.residual");
     if (variant == Variant::Scalar) {
         for (unsigned y = 0; y < 8; ++y)
             for (unsigned x = 0; x < 8; ++x) {
@@ -282,6 +287,7 @@ emitReconAdd(TraceBuilder &tb, Variant variant, Addr pred,
              unsigned pred_stride, Addr resid, Addr dst,
              unsigned dst_stride, bool have_residual)
 {
+    const prog::ScopedSite site(tb, "mpg.recon");
     const u32 clamp_pc = tb.sitePc("mc.clamp");
 
     if (variant == Variant::Scalar) {
@@ -394,6 +400,7 @@ emitMbVlc(TraceBuilder &tb, TracedBitWriter &bw, const TracedHuff &dc_h,
           const TracedHuff &ac_h, const TracedHuff &mv_h, const MbCode &mb,
           Addr mb_coeff)
 {
+    const prog::ScopedSite site(tb, "mpg.vlc");
     bw.put(static_cast<u32>(mb.mode), 2);
     auto put_mv = [&](MotionVector mv) {
         for (const int c : {mv.dx, mv.dy}) {

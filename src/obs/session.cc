@@ -160,6 +160,28 @@ writeNdjson(std::FILE *f, const SessionConfig &cfg,
         w.endObject();
         w.newline();
 
+        // Per-kernel attribution table (schema v2): one record per
+        // site that received any retired instruction or stall charge.
+        for (const SiteRow &sr : tl->sites()) {
+            if (sr.retired == 0.0 && sr.busy == 0.0 && sr.fuStall == 0.0 &&
+                sr.memL1Hit == 0.0 && sr.memL1Miss == 0.0)
+                continue;
+            w.beginObject();
+            w.field("type", "site");
+            w.field("run_id", tl->id());
+            w.field("site", sr.site);
+            w.field("name", sr.name);
+            if (tl->approximate())
+                w.field("approximate", true);
+            w.field("retired", sr.retired);
+            w.field("busy", sr.busy);
+            w.field("fu_stall", sr.fuStall);
+            w.field("mem_l1_hit", sr.memL1Hit);
+            w.field("mem_l1_miss", sr.memL1Miss);
+            w.endObject();
+            w.newline();
+        }
+
         for (size_t i = 0; i < tl->size(); ++i) {
             const TimelineRow r = tl->row(i);
             w.beginObject();

@@ -35,8 +35,12 @@
 namespace msim::obs
 {
 
-/** Version stamped into every JSON artifact this repo emits. */
-inline constexpr int kSchemaVersion = 1;
+/**
+ * Version stamped into every JSON artifact this repo emits.  v2 added
+ * the per-kernel `site` record (attribution profiler); v1 captures
+ * remain readable — msim_report validates either version.
+ */
+inline constexpr int kSchemaVersion = 2;
 
 struct SessionConfig
 {

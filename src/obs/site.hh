@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-kernel-site attribution accumulator: the "simulated perf"
+ * profiler's data plane.
+ *
+ * A SiteAttribution is attached to a replay engine (one per run, or
+ * per lane in batched replay) the same way a TimelineRecorder is:
+ * a raw pointer the engine null-checks at its accounting points.  The
+ * engine then attributes every retired instruction and every §2.3.4
+ * stall charge to the kernel-region site recorded in the trace's site
+ * column (TraceBuilder::pushSite), so a capture can reproduce the
+ * paper's *per-kernel* cycle/stall tables, not just run totals.
+ *
+ * Exactness contract: all accumulation is integral, in ticks of
+ * 1/retireWidth cycle.  Each cycle the engine charges `retired` Busy
+ * ticks (one at each retired instruction's own site) plus
+ * `retireWidth - retired` ticks of the blocking stall class at the
+ * window head's site; an event-skip span of dt cycles charges
+ * dt * retireWidth ticks in one add.  Summed over sites this
+ * reconstructs the engine's own ExecStats identically:
+ *
+ *   sum(retired)            == stats.retired
+ *   sum(all ticks)          == stats.cycles * retireWidth
+ *   sum(ticks[c]) / width   == stats.<class c>   (exactly, for the
+ *                              power-of-two retire widths the paper
+ *                              machines use — every charge is then a
+ *                              dyadic rational and double addition is
+ *                              exact at these magnitudes)
+ *
+ * tests/test_obs.cc enforces the conservation property across every
+ * benchmark x variant on the sequential, batched, and event-skip
+ * paths.  Hooks are read-only with respect to engine state, so
+ * attribution can never perturb timing (the standing obs guarantee).
+ *
+ * Stall classes are indexed by the numeric value of cpu::StallClass
+ * (Busy, FuStall, MemL1Hit, MemL1Miss) rather than the enum itself so
+ * this header does not pull cpu/ into obs/.
+ */
+
+#ifndef MSIM_OBS_SITE_HH_
+#define MSIM_OBS_SITE_HH_
+
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/obs.hh"
+
+#if MSIM_OBS_ENABLED
+
+namespace msim::obs
+{
+
+/** See file comment. One instance accumulates one run (or lane). */
+class SiteAttribution
+{
+  public:
+    /** Stall classes, in cpu::StallClass order. */
+    static constexpr unsigned kNumClasses = 4;
+    static constexpr unsigned kBusy = 0;
+
+    struct Counts
+    {
+        u64 retired = 0;
+        u64 ticks[kNumClasses] = {}; ///< 1 tick = 1/retireWidth cycle
+    };
+
+    /**
+     * Size for @p numSites kernel sites (site 0, the implicit "(top)"
+     * region, always exists) and record the engine's resolved retire
+     * width; clears all counts.  Call before attaching.
+     */
+    void
+    reset(size_t numSites, unsigned retireWidth)
+    {
+        rows_.assign(numSites ? numSites : 1, Counts{});
+        retireWidth_ = retireWidth ? retireWidth : 1;
+    }
+
+    /** One retired instruction at @p site: 1 retired + 1 Busy tick. */
+    void
+    retire(u16 site)
+    {
+        Counts &c = rows_[site < rows_.size() ? site : 0];
+        ++c.retired;
+        ++c.ticks[kBusy];
+    }
+
+    /** Bulk stall charge: @p ticks of class @p cls at @p site. */
+    void
+    charge(u16 site, unsigned cls, u64 ticks)
+    {
+        rows_[site < rows_.size() ? site : 0].ticks[cls] += ticks;
+    }
+
+    unsigned retireWidth() const { return retireWidth_; }
+    size_t numSites() const { return rows_.size(); }
+    const Counts &row(size_t site) const { return rows_[site]; }
+    const std::vector<Counts> &rows() const { return rows_; }
+
+    /** Ticks of @p cls at @p site converted to (fractional) cycles. */
+    double
+    cycles(size_t site, unsigned cls) const
+    {
+        return static_cast<double>(rows_[site].ticks[cls]) /
+               static_cast<double>(retireWidth_);
+    }
+
+    /** Fold another accumulator in (sampled replay sums chunk runs). */
+    void
+    add(const SiteAttribution &other)
+    {
+        if (rows_.size() < other.rows_.size())
+            rows_.resize(other.rows_.size());
+        for (size_t s = 0; s < other.rows_.size(); ++s) {
+            rows_[s].retired += other.rows_[s].retired;
+            for (unsigned c = 0; c < kNumClasses; ++c)
+                rows_[s].ticks[c] += other.rows_[s].ticks[c];
+        }
+    }
+
+  private:
+    std::vector<Counts> rows_;
+    unsigned retireWidth_ = 1;
+};
+
+} // namespace msim::obs
+
+#endif // MSIM_OBS_ENABLED
+
+#endif // MSIM_OBS_SITE_HH_

@@ -34,6 +34,7 @@
 #if MSIM_OBS_ENABLED
 
 #include "common/stats.hh"
+#include "obs/site.hh"
 
 namespace msim::obs
 {
@@ -59,6 +60,52 @@ struct RunSummary
     double l1MshrMean = 0.0;
     double l2MshrMean = 0.0;
 };
+
+/**
+ * One kernel site's share of a run, attached to a timeline before
+ * finish() (sim/runner converts SiteAttribution ticks via the trace's
+ * site-name table).  Values are fractional cycles; exact replays carry
+ * exact dyadic sums, sampled replays carry scaled estimates flagged by
+ * the timeline's approximate bit.
+ */
+struct SiteRow
+{
+    u16 site = 0;
+    std::string name;
+    double retired = 0.0;
+    double busy = 0.0;
+    double fuStall = 0.0;
+    double memL1Hit = 0.0;
+    double memL1Miss = 0.0;
+};
+
+/**
+ * Convert an engine's attribution ticks to exported rows, naming sites
+ * from the trace's registry table (RecordedTrace::siteNames()).
+ * @p scale scales every count — exact replays pass 1, sampled replay
+ * passes each chunk's coverage factor and accumulates.
+ */
+inline std::vector<SiteRow>
+sitesFromAttribution(const SiteAttribution &sa,
+                     const std::vector<std::string> &names,
+                     double scale = 1.0)
+{
+    std::vector<SiteRow> rows;
+    rows.reserve(sa.numSites());
+    for (size_t s = 0; s < sa.numSites(); ++s) {
+        SiteRow r;
+        r.site = static_cast<u16>(s);
+        r.name = s < names.size() ? names[s]
+                                  : "(site" + std::to_string(s) + ")";
+        r.retired = static_cast<double>(sa.row(s).retired) * scale;
+        r.busy = sa.cycles(s, 0) * scale;
+        r.fuStall = sa.cycles(s, 1) * scale;
+        r.memL1Hit = sa.cycles(s, 2) * scale;
+        r.memL1Miss = sa.cycles(s, 3) * scale;
+        rows.push_back(std::move(r));
+    }
+    return rows;
+}
 
 /** One exported row, in chronological order. */
 struct TimelineRow
@@ -126,6 +173,10 @@ class TimelineRecorder
     void setApproximate(bool a) { approximate_ = a; }
     bool approximate() const { return approximate_; }
 
+    /** Attach the run's per-site attribution table (last call wins). */
+    void setSites(std::vector<SiteRow> sites) { sites_ = std::move(sites); }
+    const std::vector<SiteRow> &sites() const { return sites_; }
+
     /** Rows ever sampled (including since-overwritten ones). */
     u64 totalSamples() const { return count_; }
     /** Rows lost to ring wraparound. */
@@ -151,6 +202,7 @@ class TimelineRecorder
     const OccupancyTracker *l1_ = nullptr;
     const OccupancyTracker *l2_ = nullptr;
     RunSummary summary_;
+    std::vector<SiteRow> sites_;
     bool finished_ = false;
     bool approximate_ = false;
 };

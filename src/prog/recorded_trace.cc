@@ -11,11 +11,21 @@ using isa::Op;
 size_t
 RecordedTrace::byteSize() const
 {
-    return op_.size() * (sizeof(u8) * 3 + sizeof(ValId)) +
-           srcs_.size() * (sizeof(ValId) + sizeof(u32)) +
-           memAddr_.size() *
-               (sizeof(Addr) + sizeof(u8) * 2 + sizeof(u32)) +
-           branchPc_.size() * sizeof(u32);
+    // Every stream, accounted per column, so trace-cache budgets see
+    // the true footprint: four per-instruction byte/word columns plus
+    // the site column, the CSR source stream with its producer lane,
+    // the full memory lane (address, size, kind, aux), the branch
+    // stream, and the site name table.
+    size_t names = siteNames_.size() * sizeof(std::string);
+    for (const std::string &n : siteNames_)
+        names += n.size();
+    return op_.size() * sizeof(u8) + flags_.size() * sizeof(u8) +
+           numSrcs_.size() * sizeof(u8) + dst_.size() * sizeof(ValId) +
+           site_.size() * sizeof(u16) +
+           srcs_.size() * sizeof(ValId) + srcProd_.size() * sizeof(u32) +
+           memAddr_.size() * sizeof(Addr) + memSize_.size() * sizeof(u8) +
+           memKind_.size() * sizeof(u8) + memAux_.size() * sizeof(u32) +
+           branchPc_.size() * sizeof(u32) + names;
 }
 
 RecordedTrace::Mark
@@ -48,6 +58,10 @@ RecordedTrace::slice(const Mark &begin, u64 end) const
     p.flags_.assign(flags_.begin() + b, flags_.begin() + end);
     p.numSrcs_.assign(numSrcs_.begin() + b, numSrcs_.begin() + end);
     p.dst_.assign(dst_.begin() + b, dst_.begin() + end);
+    // Site ids are registry ids (see siteNames()), not positions: copy
+    // the per-instruction values verbatim and the whole name table.
+    p.site_.assign(site_.begin() + b, site_.begin() + end);
+    p.siteNames_ = siteNames_;
 
     // One pass over the kept instructions rebuilds the side-stream
     // lengths and the derived totals the recorder maintained online.
@@ -129,6 +143,7 @@ RecordedTrace::Cursor::next(Inst &inst, u32 &fwd_store, u32 &store_ord)
     inst = Inst{};
     inst.op = static_cast<Op>(t_.op_[pos_]);
     inst.flags = t_.flags_[pos_];
+    inst.site = t_.site_[pos_];
     inst.dst = t_.dst_[pos_];
     inst.numSrcs = t_.numSrcs_[pos_];
     for (unsigned i = 0; i < inst.numSrcs; ++i)
@@ -163,6 +178,15 @@ RecordedTrace::replayInto(isa::InstSink &sink) const
         sink.feed(inst);
     }
     sink.finish();
+}
+
+void
+TraceRecorder::defineSite(u16 id, const std::string &name)
+{
+    std::vector<std::string> &names = trace_.siteNames_;
+    if (names.size() <= id)
+        names.resize(id + 1);
+    names[id] = name;
 }
 
 u32
@@ -200,6 +224,7 @@ TraceRecorder::feed(const Inst &inst)
     t.flags_.push_back(inst.flags);
     t.numSrcs_.push_back(inst.numSrcs);
     t.dst_.push_back(inst.dst);
+    t.site_.push_back(inst.site);
     for (unsigned i = 0; i < inst.numSrcs; ++i) {
         const ValId s = inst.src[i];
         t.srcs_.push_back(s);

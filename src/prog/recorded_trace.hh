@@ -43,6 +43,7 @@
 #ifndef MSIM_PROG_RECORDED_TRACE_HH_
 #define MSIM_PROG_RECORDED_TRACE_HH_
 
+#include <string>
 #include <vector>
 
 #include "isa/inst.hh"
@@ -203,6 +204,16 @@ class RecordedTrace
     const std::vector<u32> &branchPcCol() const { return branchPc_; }
     const std::vector<u8> &memKindCol() const { return memKind_; }
     const std::vector<u32> &memAuxCol() const { return memAux_; }
+    const std::vector<u16> &siteCol() const { return site_; }
+
+    /**
+     * Kernel-region names indexed by site id (index 0 is the implicit
+     * "(top)" region).  Site ids are registry ids, not positions: a
+     * slice copies its per-instruction site values verbatim and keeps
+     * the whole table, so ids stay comparable across slices of one
+     * recording — no rebasing, unlike producer indices.
+     */
+    const std::vector<std::string> &siteNames() const { return siteNames_; }
 
   private:
     friend class TraceRecorder;
@@ -214,6 +225,7 @@ class RecordedTrace
     std::vector<ValId> dst_;
     std::vector<ValId> srcs_; ///< CSR stream, numSrcs_ entries per inst
     std::vector<u32> srcProd_; ///< per source: producer instruction index
+    std::vector<u16> site_;   ///< per inst: kernel-region id (0 = top)
 
     // Side streams, consumed sequentially by the matching op classes.
     // memAddr/memKind/memAux form the dense memory lane (one entry per
@@ -227,6 +239,8 @@ class RecordedTrace
     u64 opCount_[isa::kNumOps] = {};
     ValId maxValId_ = 0;
     u32 numStores_ = 0;
+
+    std::vector<std::string> siteNames_ = {"(top)"};
 };
 
 /**
@@ -238,6 +252,7 @@ class TraceRecorder : public isa::InstSink
 {
   public:
     void feed(const isa::Inst &inst) override;
+    void defineSite(u16 id, const std::string &name) override;
     void finish() override {}
 
     /** The captured trace; valid once the generator has run. */

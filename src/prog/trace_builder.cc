@@ -43,11 +43,39 @@ TraceBuilder::sitePc(const char *tag)
     return it->second;
 }
 
+u16
+TraceBuilder::pushSite(const char *tag)
+{
+    auto [it, inserted] = siteIds_.try_emplace(tag, 0);
+    if (inserted) {
+        // Sites number from their own counter, never from nextPc: a
+        // shared counter would shift branch-pc assignment (predictor
+        // indexing) whenever a kernel gains or loses an annotation.
+        it->second = nextSite_++;
+        sink.defineSite(it->second, it->first);
+    }
+    siteStack_.push_back(curSite_);
+    curSite_ = it->second;
+    return it->second;
+}
+
+void
+TraceBuilder::popSite()
+{
+    if (siteStack_.empty()) {
+        curSite_ = 0;
+        return;
+    }
+    curSite_ = siteStack_.back();
+    siteStack_.pop_back();
+}
+
 Val
 TraceBuilder::emit2(Op op, u64 result, Val a, Val b, Val c)
 {
     Inst inst;
     inst.op = op;
+    inst.site = curSite_;
     inst.dst = nextId++;
     unsigned n = 0;
     for (const Val *v : {&a, &b, &c}) {
@@ -67,6 +95,7 @@ TraceBuilder::emitMem(Op op, Addr a, unsigned size, Val data, Val addr_dep,
 {
     Inst inst;
     inst.op = op;
+    inst.site = curSite_;
     inst.memSize = static_cast<u8>(size);
     inst.flags = flags;
     inst.addr = a;
@@ -236,6 +265,7 @@ TraceBuilder::branch(u32 pc, bool taken, Val dep)
 {
     Inst inst;
     inst.op = Op::Branch;
+    inst.site = curSite_;
     inst.pc = pc;
     inst.flags = taken ? isa::kFlagTaken : 0;
     if (dep.id != kNoVal) {
@@ -258,6 +288,7 @@ TraceBuilder::load(Addr a, unsigned size, Val addr_dep, bool sign)
         v = static_cast<u64>(signExtend(v, 8 * size));
     Inst inst;
     inst.op = Op::Load;
+    inst.site = curSite_;
     inst.memSize = static_cast<u8>(size);
     inst.addr = a;
     inst.dst = nextId++;
@@ -310,6 +341,7 @@ TraceBuilder::vload(Addr a, Val addr_dep)
     const u64 v = arena_.read(a, 8);
     Inst inst;
     inst.op = Op::Load;
+    inst.site = curSite_;
     inst.memSize = 8;
     inst.addr = a;
     inst.dst = nextId++;
@@ -338,6 +370,7 @@ TraceBuilder::vstorePartial(Addr a, Val v, Val mask, Val addr_dep)
     arena_.writeMasked(a, v.data, static_cast<u8>(mask.data));
     Inst inst;
     inst.op = Op::Store;
+    inst.site = curSite_;
     inst.memSize = 8;
     inst.flags = isa::kFlagPartialStore;
     inst.addr = a;

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "isa/inst.hh"
 #include "prog/arena.hh"
@@ -78,6 +79,25 @@ class TraceBuilder
      * making the emitted stream depend on run order.
      */
     u32 sitePc(const char *tag);
+
+    // --- Kernel regions (attribution sites) --------------------------------
+
+    /**
+     * Enter a named kernel region: every instruction emitted until the
+     * matching popSite() carries this site id in Inst::site.  Ids are
+     * memoized per tag like sitePc(), but live in their own registry —
+     * they never consume branch-pc numbers, so annotating a kernel
+     * cannot shift predictor indexing (sites are pure metadata; the
+     * emitted timing stream is unchanged).  Regions nest; id 0 is the
+     * implicit "(top)" region.  Emits no instructions.
+     */
+    u16 pushSite(const char *tag);
+
+    /** Leave the current kernel region (no-op at top level). */
+    void popSite();
+
+    /** Current region id (0 when outside any pushSite). */
+    u16 currentSite() const { return curSite_; }
 
     /** Register-resident constant; emits no instruction. */
     Val imm(u64 v) { return Val{kNoVal, v}; }
@@ -243,8 +263,30 @@ class TraceBuilder
     ValId nextId = 1;
     u32 nextPc = 1;
     std::map<std::string, u32> sitePcs_;
+    std::map<std::string, u16> siteIds_;
+    std::vector<u16> siteStack_;
+    u16 curSite_ = 0;
+    u16 nextSite_ = 1; ///< 0 is the implicit "(top)" region
     u64 count_ = 0;
     u64 opCount[isa::kNumOps] = {};
+};
+
+/** RAII pushSite/popSite pair for annotating a kernel's hot loop. */
+class ScopedSite
+{
+  public:
+    ScopedSite(TraceBuilder &tb, const char *tag) : tb_(tb)
+    {
+        tb_.pushSite(tag);
+    }
+
+    ~ScopedSite() { tb_.popSite(); }
+
+    ScopedSite(const ScopedSite &) = delete;
+    ScopedSite &operator=(const ScopedSite &) = delete;
+
+  private:
+    TraceBuilder &tb_;
 };
 
 } // namespace msim::prog

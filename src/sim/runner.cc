@@ -10,6 +10,7 @@
 #include "mem/hierarchy.hh"
 #include "obs/metrics.hh"
 #include "obs/session.hh"
+#include "obs/site.hh"
 #include "obs/span.hh"
 #include "obs/timeline.hh"
 
@@ -78,6 +79,13 @@ snapOf(const mem::CacheLevel &c)
 }
 
 #if MSIM_OBS_ENABLED
+
+/** Retire width as the replay engines resolve it (0 = issue width). */
+unsigned
+resolvedRetireWidth(const cpu::CoreConfig &core)
+{
+    return core.retireWidth ? core.retireWidth : core.issueWidth;
+}
 
 /**
  * New per-run timeline when a session is active: named by the thread's
@@ -218,6 +226,12 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
     obs::TimelineRecorder *tl =
         newRunTimeline(machine, hierarchy.l1(), hierarchy.l2());
     core.setTimeline(tl);
+    obs::SiteAttribution sa;
+    if (tl) {
+        sa.reset(trace.siteNames().size(),
+                 resolvedRetireWidth(machine.core));
+        core.setSiteAttribution(&sa);
+    }
     MSIM_OBS_SPAN(span, "replay", machine.label);
 #endif
     core.runRecorded(trace);
@@ -230,6 +244,8 @@ replayTrace(const prog::RecordedTrace &trace, const MachineConfig &machine)
     r.tbInstrs = trace.instCount();
     tallyVisOps(r, trace);
 #if MSIM_OBS_ENABLED
+    if (tl)
+        tl->setSites(obs::sitesFromAttribution(sa, trace.siteNames()));
     finishTimeline(tl, r);
 #endif
     return r;
@@ -316,13 +332,21 @@ replayTraceBatch(const prog::RecordedTrace &trace,
         if (bm)
             engine.setBatchMemory(&*bm);
 #if MSIM_OBS_ENABLED
-        // One timeline track per sweep lane.
+        // One timeline track and one attribution table per sweep lane
+        // (the vector is sized once, so lane pointers stay stable).
         std::vector<obs::TimelineRecorder *> laneTl(batched.size(),
                                                     nullptr);
+        std::vector<obs::SiteAttribution> laneSa(batched.size());
         for (size_t k = 0; k < batched.size(); ++k) {
             laneTl[k] = newRunTimeline(machines[batched[k]], l1Of(k),
                                        l2Of(k));
             engine.setLaneTimeline(k, laneTl[k]);
+            if (laneTl[k]) {
+                laneSa[k].reset(
+                    trace.siteNames().size(),
+                    resolvedRetireWidth(machines[batched[k]].core));
+                engine.setLaneSiteAttribution(k, &laneSa[k]);
+            }
         }
         MSIM_OBS_SPAN(span, "batch.run");
 #endif
@@ -337,6 +361,9 @@ replayTraceBatch(const prog::RecordedTrace &trace,
             r.tbInstrs = trace.instCount();
             tallyVisOps(r, trace);
 #if MSIM_OBS_ENABLED
+            if (laneTl[k])
+                laneTl[k]->setSites(obs::sitesFromAttribution(
+                    laneSa[k], trace.siteNames()));
             finishTimeline(laneTl[k], r);
 #endif
         }

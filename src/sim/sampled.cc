@@ -10,6 +10,7 @@
 #include "mem/hierarchy.hh"
 #include "obs/metrics.hh"
 #include "obs/session.hh"
+#include "obs/site.hh"
 #include "obs/span.hh"
 #include "obs/timeline.hh"
 
@@ -233,6 +234,15 @@ replayTraceSampled(const SampledPlan &plan, const MachineConfig &machine)
     obs::TimelineRecorder *tl = newSampledTimeline(machine);
     double estCycles = 0.0;
     double estBusy = 0.0, estFu = 0.0, estHit = 0.0, estMiss = 0.0;
+    // Per-kernel attribution, sampled flavor: each measured chunk's
+    // exact per-site ticks are scaled by the span the chunk represents
+    // and summed — approximate estimates, flagged by the timeline's
+    // approximate bit like every other sampled quantity.
+    obs::SiteAttribution chunkSa;
+    std::vector<obs::SiteRow> siteEst;
+    const unsigned retireW = measuredCore.retireWidth
+                                 ? measuredCore.retireWidth
+                                 : measuredCore.issueWidth;
 #endif
 
     MeanVar cpi, fracBusy, fracFu, fracHit, fracMiss, misRate, loadMiss;
@@ -251,6 +261,12 @@ replayTraceSampled(const SampledPlan &plan, const MachineConfig &machine)
         cpu::ReplayEngine engine(measuredCore, memory);
         engine.bind(mc.slice);
         engine.setSharedMispredicts(mispredicts.data() + mc.branchOffset);
+#if MSIM_OBS_ENABLED
+        if (tl) {
+            chunkSa.reset(trace.siteNames().size(), retireW);
+            engine.setSiteAttribution(&chunkSa);
+        }
+#endif
         engine.advanceTo(mc.slice.instCount());
         const cpu::ExecStats st = engine.takeStats();
 
@@ -283,6 +299,20 @@ replayTraceSampled(const SampledPlan &plan, const MachineConfig &machine)
             estMiss += st.memL1Miss * scale;
             tl->sample(static_cast<Cycle>(estCycles), coveredEnd, estBusy,
                        estFu, estHit, estMiss, /*window=*/0, /*memq=*/0);
+
+            std::vector<obs::SiteRow> rows = obs::sitesFromAttribution(
+                chunkSa, trace.siteNames(), scale);
+            if (siteEst.empty()) {
+                siteEst = std::move(rows);
+            } else {
+                for (size_t s = 0; s < rows.size(); ++s) {
+                    siteEst[s].retired += rows[s].retired;
+                    siteEst[s].busy += rows[s].busy;
+                    siteEst[s].fuStall += rows[s].fuStall;
+                    siteEst[s].memL1Hit += rows[s].memL1Hit;
+                    siteEst[s].memL1Miss += rows[s].memL1Miss;
+                }
+            }
         }
 #endif
     }
@@ -314,6 +344,7 @@ replayTraceSampled(const SampledPlan &plan, const MachineConfig &machine)
         s.fuStall = estFu;
         s.memL1Hit = estHit;
         s.memL1Miss = estMiss;
+        tl->setSites(std::move(siteEst));
         tl->finish(s);
     }
 #endif

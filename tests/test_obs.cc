@@ -498,6 +498,166 @@ TEST(ObsEventSkip, TimelineDoesNotPerturbResults)
     EXPECT_EQ(plain.mispredicts, observed.mispredicts);
 }
 
+// ---- per-site attribution conservation -------------------------------
+
+/** Resolved retire width: the engines treat 0 as "same as issue". */
+unsigned
+resolvedWidth(const cpu::CoreConfig &core)
+{
+    return core.retireWidth ? core.retireWidth : core.issueWidth;
+}
+
+struct AttributedRun
+{
+    obs::SiteAttribution sa;
+    cpu::ExecStats stats;
+};
+
+/** Sequential replay with a SiteAttribution attached to the core. */
+AttributedRun
+seqAttribution(const prog::RecordedTrace &trace, const sim::MachineConfig &m)
+{
+    AttributedRun r;
+    mem::Hierarchy h(m.mem);
+    cpu::PipelineCore core(m.core, h);
+    r.sa.reset(trace.siteNames().size(), resolvedWidth(m.core));
+    core.setSiteAttribution(&r.sa);
+    core.runRecorded(trace);
+    r.stats = core.stats();
+    return r;
+}
+
+/** Same run through a single-lane batched replay. */
+AttributedRun
+batchAttribution(const prog::RecordedTrace &trace,
+                 const sim::MachineConfig &m)
+{
+    AttributedRun r;
+    mem::Hierarchy h(m.mem);
+    const cpu::BatchReplayEngine::Lane lane{&m.core, &h};
+    cpu::BatchReplayEngine engine(trace, std::span(&lane, 1));
+    r.sa.reset(trace.siteNames().size(), resolvedWidth(m.core));
+    engine.setLaneSiteAttribution(0, &r.sa);
+    engine.run();
+    r.stats = engine.takeStats(0);
+    return r;
+}
+
+/**
+ * The exactness contract from obs/site.hh: per-site sums reconstruct
+ * the engine's own ExecStats identically — retired counts as integers,
+ * stall classes as integral ticks of 1/retireWidth cycle, so the
+ * double comparisons are exact (dyadic rationals, power-of-two width).
+ */
+void
+expectConserved(const obs::SiteAttribution &sa, const cpu::ExecStats &st,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    const double width = static_cast<double>(sa.retireWidth());
+    u64 retired = 0, total = 0;
+    u64 cls[obs::SiteAttribution::kNumClasses] = {};
+    for (size_t s = 0; s < sa.numSites(); ++s) {
+        retired += sa.row(s).retired;
+        for (unsigned c = 0; c < obs::SiteAttribution::kNumClasses; ++c) {
+            cls[c] += sa.row(s).ticks[c];
+            total += sa.row(s).ticks[c];
+        }
+    }
+    EXPECT_EQ(retired, st.retired);
+    EXPECT_EQ(total, st.cycles * sa.retireWidth());
+    EXPECT_EQ(static_cast<double>(cls[0]) / width, st.busy);
+    EXPECT_EQ(static_cast<double>(cls[1]) / width, st.fuStall);
+    EXPECT_EQ(static_cast<double>(cls[2]) / width, st.memL1Hit);
+    EXPECT_EQ(static_cast<double>(cls[3]) / width, st.memL1Miss);
+}
+
+void
+expectSameAttribution(const obs::SiteAttribution &a,
+                      const obs::SiteAttribution &b,
+                      const std::string &what)
+{
+    ASSERT_EQ(a.numSites(), b.numSites()) << what;
+    for (size_t s = 0; s < a.numSites(); ++s) {
+        EXPECT_EQ(a.row(s).retired, b.row(s).retired)
+            << what << ": site " << s;
+        for (unsigned c = 0; c < obs::SiteAttribution::kNumClasses; ++c)
+            EXPECT_EQ(a.row(s).ticks[c], b.row(s).ticks[c])
+                << what << ": site " << s << " class " << c;
+    }
+}
+
+/**
+ * The profiler's load-bearing property: for every paper benchmark and
+ * variant, on both the sequential and the single-lane batched path,
+ * with event skipping off and on, the per-site attribution sums
+ * reconstruct the run's ExecStats exactly — and all four paths agree
+ * site-for-site, tick-for-tick (a skipped span charges its whole
+ * length at the frozen window head, which is precisely what per-cycle
+ * charging would have done).
+ */
+TEST(ObsSiteAttribution, ConservesRunTotalsAcrossAllBenchmarks)
+{
+    const sim::MachineConfig base = sim::outOfOrder4Way();
+    const sim::MachineConfig off = sim::withEventSkip(base, false);
+    const sim::MachineConfig on = sim::withEventSkip(base, true);
+
+    for (const core::Benchmark *b : core::paperBenchmarks()) {
+        const unsigned nvar = b->hasPrefetchVariant ? 3 : 2;
+        for (unsigned v = 0; v < nvar; ++v) {
+            const auto variant = static_cast<prog::Variant>(v);
+            const std::string what =
+                b->name + "/" + prog::variantName(variant);
+            const prog::RecordedTrace trace = sim::recordTrace(
+                [&](prog::TraceBuilder &tb) { b->generate(tb, variant); },
+                base.skewArrays, base.visFeatures);
+            ASSERT_GT(trace.siteNames().size(), 1u) << what;
+
+            const AttributedRun seqOff = seqAttribution(trace, off);
+            expectConserved(seqOff.sa, seqOff.stats, what + " seq/skip-off");
+            const AttributedRun seqOn = seqAttribution(trace, on);
+            expectConserved(seqOn.sa, seqOn.stats, what + " seq/skip-on");
+            const AttributedRun batOff = batchAttribution(trace, off);
+            expectConserved(batOff.sa, batOff.stats,
+                            what + " batch/skip-off");
+            const AttributedRun batOn = batchAttribution(trace, on);
+            expectConserved(batOn.sa, batOn.stats, what + " batch/skip-on");
+
+            expectSameAttribution(seqOff.sa, seqOn.sa,
+                                  what + " (seq skip on vs off)");
+            expectSameAttribution(seqOff.sa, batOff.sa,
+                                  what + " (batch vs seq, skip off)");
+            expectSameAttribution(seqOff.sa, batOn.sa,
+                                  what + " (batch vs seq, skip on)");
+        }
+    }
+}
+
+/**
+ * Same property under heavy event skipping: a tiny L1 makes the
+ * skipper jump long miss spans constantly (the regime where one bulk
+ * span charge stands in for thousands of per-cycle charges).
+ */
+TEST(ObsSiteAttribution, ConservesThroughLongSkippedSpans)
+{
+    const sim::MachineConfig small = sim::withL1Size(1 << 10);
+    const sim::MachineConfig off = sim::withEventSkip(small, false);
+    const sim::MachineConfig on = sim::withEventSkip(small, true);
+    const prog::RecordedTrace trace = missHeavyTrace(small);
+
+    const AttributedRun seqOff = seqAttribution(trace, off);
+    const AttributedRun seqOn = seqAttribution(trace, on);
+    expectConserved(seqOff.sa, seqOff.stats, "small-L1 seq/skip-off");
+    expectConserved(seqOn.sa, seqOn.stats, "small-L1 seq/skip-on");
+    expectSameAttribution(seqOff.sa, seqOn.sa,
+                          "small-L1 (seq skip on vs off)");
+
+    const AttributedRun batOn = batchAttribution(trace, on);
+    expectConserved(batOn.sa, batOn.stats, "small-L1 batch/skip-on");
+    expectSameAttribution(seqOff.sa, batOn.sa,
+                          "small-L1 (batch vs seq)");
+}
+
 // ---- session export and bit identity --------------------------------
 
 void

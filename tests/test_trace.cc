@@ -197,6 +197,8 @@ expectSameTrace(const prog::RecordedTrace &a, const prog::RecordedTrace &b)
     EXPECT_EQ(a.memKindCol(), b.memKindCol());
     EXPECT_EQ(a.memAuxCol(), b.memAuxCol());
     EXPECT_EQ(a.branchPcCol(), b.branchPcCol());
+    EXPECT_EQ(a.siteCol(), b.siteCol());
+    EXPECT_EQ(a.siteNames(), b.siteNames());
     EXPECT_EQ(a.maxValId(), b.maxValId());
     EXPECT_EQ(a.numStores(), b.numStores());
     EXPECT_EQ(a.numMemOps(), b.numMemOps());
@@ -258,11 +260,16 @@ TEST(TraceSlicing, MidSliceRebasesCrossColumnReferences)
     const prog::RecordedTrace s = t.slice(mark, end);
     ASSERT_EQ(s.instCount(), end - begin);
 
-    // Per-instruction columns are unshifted copies.
+    // Per-instruction columns are unshifted copies. Site ids in
+    // particular are registry ids, not positions: a slice keeps them
+    // verbatim and carries the whole name table, so attribution over a
+    // slice names the same kernels as over the full trace.
     for (u64 i = 0; i < s.instCount(); ++i) {
         EXPECT_EQ(s.opCol()[i], t.opCol()[begin + i]);
         EXPECT_EQ(s.dstCol()[i], t.dstCol()[begin + i]);
+        EXPECT_EQ(s.siteCol()[i], t.siteCol()[begin + i]);
     }
+    EXPECT_EQ(s.siteNames(), t.siteNames());
 
     // Producers rebase by begin; pre-slice producers become
     // kNoProducer, never a bogus in-slice index.
@@ -326,6 +333,53 @@ TEST(TraceSlicing, SliceClampsAndEmptyRanges)
     EXPECT_EQ(m.inst, t.instCount());
     EXPECT_EQ(m.memOps, t.numMemOps());
     EXPECT_EQ(m.stores, t.numStores());
+}
+
+TEST(TraceSlicing, SiteColumnRecordedAndCounted)
+{
+    const prog::RecordedTrace t = recordSmall();
+
+    // The VIS addition kernel annotates its vector loop, so beyond the
+    // implicit "(top)" entry the registry must hold add.vloop, the
+    // column must span every instruction, and every id must resolve.
+    ASSERT_EQ(t.siteCol().size(), t.instCount());
+    ASSERT_GE(t.siteNames().size(), 2u);
+    EXPECT_EQ(t.siteNames()[0], "(top)");
+    EXPECT_NE(std::find(t.siteNames().begin(), t.siteNames().end(),
+                        "add.vloop"),
+              t.siteNames().end());
+    bool sawNonTop = false;
+    for (const u16 s : t.siteCol()) {
+        ASSERT_LT(s, t.siteNames().size());
+        sawNonTop = sawNonTop || s != 0;
+    }
+    EXPECT_TRUE(sawNonTop);
+
+    // byteSize() accounts every stream per column — including the site
+    // column and its name table — so trace-cache budgets see the true
+    // footprint. Pin the exact sum so a new column can't be forgotten
+    // silently (memSize_ has no accessor but is one u8 per memory op).
+    size_t names = t.siteNames().size() * sizeof(std::string);
+    for (const std::string &n : t.siteNames())
+        names += n.size();
+    const size_t expected =
+        t.opCol().size() * sizeof(u8) + t.flagsCol().size() * sizeof(u8) +
+        t.numSrcsCol().size() * sizeof(u8) +
+        t.dstCol().size() * sizeof(ValId) +
+        t.siteCol().size() * sizeof(u16) +
+        t.srcsCol().size() * sizeof(ValId) +
+        t.srcProdCol().size() * sizeof(u32) +
+        t.memAddrCol().size() * sizeof(Addr) +
+        t.numMemOps() * sizeof(u8) + t.memKindCol().size() * sizeof(u8) +
+        t.memAuxCol().size() * sizeof(u32) +
+        t.branchPcCol().size() * sizeof(u32) + names;
+    EXPECT_EQ(t.byteSize(), expected);
+
+    // An empty prefix still carries the name table, nothing else from
+    // the site column.
+    const prog::RecordedTrace empty = t.prefix(0);
+    EXPECT_TRUE(empty.siteCol().empty());
+    EXPECT_EQ(empty.siteNames(), t.siteNames());
 }
 
 TEST(TraceSlicing, SlicesReplayStandalone)

@@ -6,19 +6,27 @@
  * (see src/obs/session.cc) and reconstructs the paper-facing views
  * without rerunning any simulation: the §2.3.4 stall breakdown per
  * run, cache/MSHR behaviour, timeline occupancy summaries, harness
- * span totals, and the metric registry snapshot. `--diff` compares
- * two captures run-by-run (matched on label), and `--validate` checks
- * NDJSON and Chrome-trace files against the checked-in schema in
- * tools/obs_schema.json, which is what the CI obs leg gates on.
+ * span totals, the metric registry snapshot, and (schema v2) the
+ * per-kernel site attribution tables. `--diff` compares two captures
+ * run-by-run (matched on label), `--hot-sites` ranks kernel sites by
+ * attributed cycles, `--site-diff` compares the per-kernel stall
+ * tables of two captures (paper Table 5 style: scalar vs VIS vs
+ * prefetch), and `--validate` checks NDJSON and Chrome-trace files
+ * against the checked-in schema in tools/obs_schema.json (accepting
+ * any version in its accepted_versions list, so v1 captures stay
+ * valid), which is what the CI obs leg gates on.
  *
  *   msim_report out.ndjson                  summary report
  *   msim_report --diff a.ndjson b.ndjson    compare two captures
+ *   msim_report --hot-sites [--top N] out.ndjson
+ *   msim_report --site-diff a.ndjson b.ndjson
  *   msim_report --validate out.ndjson out.trace.json
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -65,11 +73,25 @@ struct SpanAgg
     double totalUs = 0, maxUs = 0;
 };
 
+/** One kernel site's attributed share of a run (schema v2). */
+struct SiteRecord
+{
+    u32 runId = 0;
+    u32 site = 0;
+    std::string name;
+    bool approximate = false;
+    double retired = 0, busy = 0, fuStall = 0, memL1Hit = 0, memL1Miss = 0;
+
+    double cycles() const { return busy + fuStall + memL1Hit + memL1Miss; }
+    double stalls() const { return fuStall + memL1Hit + memL1Miss; }
+};
+
 struct Capture
 {
     double schemaVersion = 0;
     std::vector<RunRecord> runs;
     std::vector<SampleRecord> samples;
+    std::vector<SiteRecord> sites;
     std::map<std::string, SpanAgg> spans;
     std::vector<Value> metrics; // metric records, in file order
 };
@@ -133,6 +155,19 @@ loadCapture(const std::string &path, Capture &cap)
             s.mshrL1 = v.numberOr("mshr_l1", 0);
             s.mshrL2 = v.numberOr("mshr_l2", 0);
             cap.samples.push_back(s);
+        } else if (type == "site") {
+            SiteRecord s;
+            s.runId = static_cast<u32>(v.numberOr("run_id", 0));
+            s.site = static_cast<u32>(v.numberOr("site", 0));
+            s.name = v.stringOr("name", "?");
+            const Value *ap = v.find("approximate");
+            s.approximate = ap && ap->isBool() && ap->boolean;
+            s.retired = v.numberOr("retired", 0);
+            s.busy = v.numberOr("busy", 0);
+            s.fuStall = v.numberOr("fu_stall", 0);
+            s.memL1Hit = v.numberOr("mem_l1_hit", 0);
+            s.memL1Miss = v.numberOr("mem_l1_miss", 0);
+            cap.sites.push_back(std::move(s));
         } else if (type == "span") {
             SpanAgg &a = cap.spans[v.stringOr("name", "?")];
             const double d = v.numberOr("dur_us", 0);
@@ -241,10 +276,11 @@ report(const std::string &path)
     Capture cap;
     if (!loadCapture(path, cap))
         return 1;
-    std::printf("%s: schema %.0f, %zu runs, %zu samples, %zu span kinds, "
-                "%zu metrics\n\n",
+    std::printf("%s: schema %.0f, %zu runs, %zu samples, %zu sites, "
+                "%zu span kinds, %zu metrics\n\n",
                 path.c_str(), cap.schemaVersion, cap.runs.size(),
-                cap.samples.size(), cap.spans.size(), cap.metrics.size());
+                cap.samples.size(), cap.sites.size(), cap.spans.size(),
+                cap.metrics.size());
     for (const RunRecord &r : cap.runs)
         printRun(cap, r);
 
@@ -282,6 +318,157 @@ report(const std::string &path)
         }
     }
     return 0;
+}
+
+// ---- per-kernel site views ------------------------------------------
+
+/** One run's site table, hottest (most attributed cycles) first. */
+std::vector<const SiteRecord *>
+sitesOfRun(const Capture &cap, u32 runId)
+{
+    std::vector<const SiteRecord *> out;
+    for (const SiteRecord &s : cap.sites)
+        if (s.runId == runId)
+            out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const SiteRecord *a, const SiteRecord *b) {
+                  return a->cycles() > b->cycles();
+              });
+    return out;
+}
+
+int
+hotSites(const std::string &path, unsigned topN)
+{
+    Capture cap;
+    if (!loadCapture(path, cap))
+        return 1;
+    if (cap.sites.empty()) {
+        std::fprintf(stderr,
+                     "msim_report: %s has no site records (schema v1 "
+                     "capture, or no kernel regions annotated)\n",
+                     path.c_str());
+        return 1;
+    }
+    for (const RunRecord &r : cap.runs) {
+        const std::vector<const SiteRecord *> sites =
+            sitesOfRun(cap, r.id);
+        if (sites.empty())
+            continue;
+        std::printf("run %u: %s\n", r.id, r.label.c_str());
+        std::printf("  %-16s %12s %12s %6s %6s %6s %6s %6s\n", "site",
+                    "retired", "cycles", "%run", "busy%", "fu%",
+                    "l1hit%", "l1mis%");
+        unsigned shown = 0;
+        for (const SiteRecord *s : sites) {
+            if (shown++ >= topN)
+                break;
+            const double c = s->cycles();
+            std::printf("  %-16s %12.0f %12.1f %5.1f%% %5.1f%% %5.1f%% "
+                        "%5.1f%% %5.1f%%%s\n",
+                        s->name.c_str(), s->retired, c,
+                        r.cycles > 0 ? 100 * c / r.cycles : 0.0,
+                        c > 0 ? 100 * s->busy / c : 0.0,
+                        c > 0 ? 100 * s->fuStall / c : 0.0,
+                        c > 0 ? 100 * s->memL1Hit / c : 0.0,
+                        c > 0 ? 100 * s->memL1Miss / c : 0.0,
+                        s->approximate ? "  ~" : "");
+        }
+        if (sites.size() > topN)
+            std::printf("  (%zu more sites)\n", sites.size() - topN);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+/**
+ * Per-kernel comparison of two captures (paper Table 5 style): runs
+ * matched by label, sites matched by name within each run pair, so
+ * `--site-diff scalar.ndjson vis.ndjson` prints each kernel region's
+ * cycle count under both ISAs, the speedup, and where the remaining
+ * time goes.
+ */
+int
+siteDiff(const std::string &pathA, const std::string &pathB)
+{
+    Capture a, b;
+    if (!loadCapture(pathA, a) || !loadCapture(pathB, b))
+        return 1;
+    if (a.sites.empty() || b.sites.empty()) {
+        std::fprintf(stderr, "msim_report: %s has no site records\n",
+                     a.sites.empty() ? pathA.c_str() : pathB.c_str());
+        return 1;
+    }
+
+    std::map<std::string, const RunRecord *> byLabel;
+    for (const RunRecord &r : a.runs)
+        byLabel.emplace(r.label, &r); // first wins on duplicate labels
+
+    // Pair runs by label; when no label matches (the usual Table 5
+    // case — a scalar capture against a VIS capture carries variant
+    // names in every label) fall back to pairing by position.
+    std::vector<std::pair<const RunRecord *, const RunRecord *>> pairs;
+    for (const RunRecord &rb : b.runs) {
+        const auto it = byLabel.find(rb.label);
+        if (it != byLabel.end())
+            pairs.emplace_back(it->second, &rb);
+    }
+    bool positional = false;
+    if (pairs.empty() && a.runs.size() == b.runs.size()) {
+        positional = true;
+        for (size_t i = 0; i < a.runs.size(); ++i)
+            pairs.emplace_back(&a.runs[i], &b.runs[i]);
+    }
+
+    std::printf("site-diff: A=%s  B=%s%s\n", pathA.c_str(), pathB.c_str(),
+                positional ? "  (no labels match; paired by position)"
+                           : "");
+    unsigned matched = 0;
+    for (const auto &[pa, pb] : pairs) {
+        const RunRecord &ra = *pa;
+        const RunRecord &rb = *pb;
+        const std::vector<const SiteRecord *> sa = sitesOfRun(a, ra.id);
+        const std::vector<const SiteRecord *> sb = sitesOfRun(b, rb.id);
+        if (sa.empty() && sb.empty())
+            continue;
+        ++matched;
+
+        std::map<std::string, const SiteRecord *> aByName;
+        for (const SiteRecord *s : sa)
+            aByName.emplace(s->name, s);
+
+        std::printf("\n%s\n", rb.label.c_str());
+        std::printf("  %-16s %12s %12s %8s   %s\n", "site", "cycles A",
+                    "cycles B", "A/B", "B stall split");
+        for (const SiteRecord *s : sb) {
+            const auto ai = aByName.find(s->name);
+            const double ca = ai != aByName.end()
+                                  ? ai->second->cycles()
+                                  : 0.0;
+            const double cb = s->cycles();
+            char speed[16];
+            if (ca > 0 && cb > 0)
+                std::snprintf(speed, sizeof(speed), "%.2fx", ca / cb);
+            else
+                std::snprintf(speed, sizeof(speed), "%s",
+                              ca > 0 ? "gone" : "new");
+            std::printf("  %-16s %12.1f %12.1f %8s   busy %4.1f%% "
+                        "fu %4.1f%% l1hit %4.1f%% l1mis %4.1f%%%s\n",
+                        s->name.c_str(), ca, cb, speed,
+                        cb > 0 ? 100 * s->busy / cb : 0.0,
+                        cb > 0 ? 100 * s->fuStall / cb : 0.0,
+                        cb > 0 ? 100 * s->memL1Hit / cb : 0.0,
+                        cb > 0 ? 100 * s->memL1Miss / cb : 0.0,
+                        s->approximate ? "  ~" : "");
+            if (ai != aByName.end())
+                aByName.erase(ai);
+        }
+        for (const auto &[name, s] : aByName)
+            std::printf("  %-16s %12.1f %12s %8s\n", name.c_str(),
+                        s->cycles(), "-", "gone");
+    }
+    std::printf("\n%u run(s) matched\n", matched);
+    return matched ? 0 : 1;
 }
 
 // ---- diff -----------------------------------------------------------
@@ -452,13 +639,23 @@ validateNdjson(const std::string &path, const Value &schema)
                              where.c_str());
                 ++errors;
             }
-            if (checkFields(v, *spec, where, errors) &&
-                v.numberOr("schema_version", 0) != obs::kSchemaVersion) {
-                std::fprintf(stderr,
-                             "%s: schema_version %.0f != expected %d\n",
-                             where.c_str(), v.numberOr("schema_version", 0),
-                             obs::kSchemaVersion);
-                ++errors;
+            if (checkFields(v, *spec, where, errors)) {
+                // Any version in the schema's accepted_versions list is
+                // valid (older captures stay readable); with no list,
+                // only the current version is.
+                const double ver = v.numberOr("schema_version", 0);
+                bool accepted = ver == obs::kSchemaVersion;
+                const Value *acc = schema.find("accepted_versions");
+                if (acc && acc->isArray())
+                    for (const Value &av : acc->array)
+                        accepted = accepted ||
+                                   (av.isNumber() && av.number == ver);
+                if (!accepted) {
+                    std::fprintf(
+                        stderr, "%s: schema_version %.0f not accepted\n",
+                        where.c_str(), ver);
+                    ++errors;
+                }
             }
             continue;
         }
@@ -559,16 +756,23 @@ usage(const char *argv0)
     std::printf(
         "usage: %s <capture.ndjson>                 summary report\n"
         "       %s --diff <a.ndjson> <b.ndjson>     compare two captures\n"
+        "       %s --hot-sites [--top N] <capture>  rank kernel sites\n"
+        "       %s --site-diff <a> <b>              per-kernel stall diff\n"
         "       %s --validate [--schema P] FILE...  schema-check files\n"
         "\n"
         "Reads the NDJSON written by any msim binary run with\n"
         "--obs-out=<base> and prints per-run stall breakdowns (the\n"
         "paper's Busy/FUstall/L1hit/L1miss split), cache and MSHR\n"
-        "summaries, timeline occupancy, host span totals, and metric\n"
-        "values — no simulation rerun needed. Files ending in\n"
-        ".trace.json validate as Chrome trace-event JSON; everything\n"
-        "else as NDJSON. Default schema: tools/obs_schema.json.\n",
-        argv0, argv0, argv0);
+        "summaries, timeline occupancy, host span totals, metric\n"
+        "values, and per-kernel site attribution — no simulation rerun\n"
+        "needed. --hot-sites ranks annotated kernel regions by\n"
+        "attributed cycles (default top 10); --site-diff matches runs\n"
+        "by label and sites by name to compare per-kernel stall tables\n"
+        "(e.g. scalar vs VIS). Sites flagged '~' are sampled-replay\n"
+        "estimates. Files ending in .trace.json validate as Chrome\n"
+        "trace-event JSON; everything else as NDJSON. Default schema:\n"
+        "tools/obs_schema.json.\n",
+        argv0, argv0, argv0, argv0, argv0);
 }
 
 } // namespace
@@ -577,6 +781,8 @@ int
 main(int argc, char **argv)
 {
     bool doDiff = false, doValidate = false;
+    bool doHotSites = false, doSiteDiff = false;
+    unsigned topN = 10;
     std::string schemaPath = "tools/obs_schema.json";
     std::vector<std::string> paths;
 
@@ -585,6 +791,12 @@ main(int argc, char **argv)
             doDiff = true;
         } else if (std::strcmp(argv[i], "--validate") == 0) {
             doValidate = true;
+        } else if (std::strcmp(argv[i], "--hot-sites") == 0) {
+            doHotSites = true;
+        } else if (std::strcmp(argv[i], "--site-diff") == 0) {
+            doSiteDiff = true;
+        } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            topN = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--schema") == 0 && i + 1 < argc) {
             schemaPath = argv[++i];
         } else if (std::strcmp(argv[i], "--help") == 0) {
@@ -603,7 +815,12 @@ main(int argc, char **argv)
         return validate(paths, schemaPath);
     if (doDiff && paths.size() == 2)
         return diff(paths[0], paths[1]);
-    if (!doDiff && !doValidate && paths.size() == 1)
+    if (doSiteDiff && paths.size() == 2)
+        return siteDiff(paths[0], paths[1]);
+    if (doHotSites && paths.size() == 1)
+        return hotSites(paths[0], topN ? topN : 10);
+    if (!doDiff && !doValidate && !doHotSites && !doSiteDiff &&
+        paths.size() == 1)
         return report(paths[0]);
 
     usage(argv[0]);
